@@ -1,0 +1,119 @@
+//! Property tests: assertion Display/parse round trips and waveform
+//! construction invariants.
+
+use proptest::prelude::*;
+use scald_assertions::{
+    parse_assertion, parse_signal_name, Assertion, AssertionKind, TimeRange, TimingContext,
+};
+use scald_logic::Value;
+use scald_wave::Time;
+
+fn kind() -> impl Strategy<Value = AssertionKind> {
+    prop_oneof![
+        Just(AssertionKind::PrecisionClock),
+        Just(AssertionKind::NonPrecisionClock),
+        Just(AssertionKind::Stable),
+    ]
+}
+
+fn time_range() -> impl Strategy<Value = TimeRange> {
+    prop_oneof![
+        (0u32..16).prop_map(|a| TimeRange::Single(f64::from(a))),
+        (0u32..16, 1u32..16)
+            .prop_map(|(a, w)| TimeRange::Units(f64::from(a), f64::from(a + w))),
+        (0u32..16, 1u32..200)
+            .prop_map(|(a, w)| TimeRange::UnitsPlusNs(f64::from(a), f64::from(w) / 10.0)),
+    ]
+}
+
+fn assertion() -> impl Strategy<Value = Assertion> {
+    (
+        kind(),
+        prop::collection::vec(time_range(), 1..4),
+        prop::option::of((0u32..50, 0u32..50)),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, ranges, skew, active_low)| {
+            let skew = if kind.is_clock() {
+                skew.map(|(m, p)| (-f64::from(m) / 10.0, f64::from(p) / 10.0))
+            } else {
+                None
+            };
+            Assertion {
+                kind,
+                ranges,
+                skew,
+                active_low,
+            }
+        })
+}
+
+proptest! {
+    /// Display -> parse reconstructs the assertion exactly — the property
+    /// SCALD relies on when assertions live inside signal names.
+    #[test]
+    fn display_parse_round_trip(a in assertion()) {
+        let text = a.to_string();
+        let parsed = parse_assertion(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed to parse: {e}"));
+        prop_assert_eq!(parsed, a, "text: {}", text);
+    }
+
+    /// The assertion survives embedding in a full signal name.
+    #[test]
+    fn embeds_in_signal_names(a in assertion(), base in "[A-Z][A-Z ]{0,10}[A-Z]") {
+        let full = format!("{base} {a}");
+        let (parsed_base, parsed_a) = parse_signal_name(&full)
+            .unwrap_or_else(|e| panic!("{full:?} failed: {e}"));
+        prop_assert_eq!(parsed_base, base);
+        prop_assert_eq!(parsed_a, Some(a));
+    }
+
+    /// to_state produces a waveform whose asserted intervals carry the
+    /// asserted value — and clock skews come from the right default.
+    #[test]
+    fn to_state_paints_asserted_value(a in assertion()) {
+        let ctx = TimingContext::s1_example();
+        let (wave, skew) = a.to_state(&ctx);
+        // Sample the midpoint of each range (modulo the period).
+        for r in &a.ranges {
+            let (start, end) = r.resolve(ctx.clock_unit);
+            if end <= start { continue; }
+            let mid_ps = (start.as_ps() + end.as_ps()) / 2;
+            let v = wave.value_at(Time::from_ps(mid_ps));
+            let expect = match (a.kind, a.active_low) {
+                (AssertionKind::Stable, _) => Value::Stable,
+                (_, false) => Value::One,
+                (_, true) => Value::Zero,
+            };
+            // Later overlapping ranges may repaint, so only require the
+            // value to be one of the two paint colours.
+            let base = match (a.kind, a.active_low) {
+                (AssertionKind::Stable, _) => Value::Change,
+                (_, false) => Value::Zero,
+                (_, true) => Value::One,
+            };
+            prop_assert!(
+                v == expect || v == base,
+                "range {} midpoint {} has {}", r, Time::from_ps(mid_ps), v
+            );
+        }
+        if a.kind.is_clock() {
+            match a.skew {
+                Some((m, p)) => {
+                    prop_assert_eq!(skew.minus, Time::from_ns(m.abs()));
+                    prop_assert_eq!(skew.plus, Time::from_ns(p));
+                }
+                None => {
+                    let expect = match a.kind {
+                        AssertionKind::PrecisionClock => ctx.precision_skew,
+                        _ => ctx.nonprecision_skew,
+                    };
+                    prop_assert_eq!(skew, expect);
+                }
+            }
+        } else {
+            prop_assert!(skew.is_zero());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Criterion benches for the Timing Verifier: one bench group per
+//! table/figure experiment (see DESIGN.md §3), plus the verifier-vs-
+//! baselines comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scald_gen::figures::{
+    alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit,
+    register_file_circuit,
+};
+use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
+use scald_paths::PathAnalysis;
+use scald_sim::{primary_inputs, simulate, Stimulus};
+use scald_verifier::{Case, Verifier};
+use scald_wave::{DelayRange, Time};
+
+/// Fig 2-5 / Fig 3-11: verify the register-file circuit.
+fn fig_3_10_3_11(c: &mut Criterion) {
+    c.bench_function("fig_3_11/register_file_verify", |b| {
+        b.iter_batched(
+            || register_file_circuit().0,
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run().expect("settles")
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Fig 1-5: hazard detection via the &A directive.
+fn fig_1_5(c: &mut Criterion) {
+    c.bench_function("fig_1_5/hazard_verify", |b| {
+        b.iter_batched(
+            || hazard_circuit(true),
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run().expect("settles")
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Fig 2-6: two-case analysis, showing the incremental second case.
+fn fig_2_6(c: &mut Criterion) {
+    c.bench_function("fig_2_6/two_cases", |b| {
+        b.iter_batched(
+            || case_analysis_circuit().0,
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run_cases(&[
+                    Case::new().assign("CONTROL SIGNAL", false),
+                    Case::new().assign("CONTROL SIGNAL", true),
+                ])
+                .expect("settles")
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Fig 3-12 and Fig 4-1: the remaining figure circuits.
+fn other_figures(c: &mut Criterion) {
+    c.bench_function("fig_3_12/alu_stage_verify", |b| {
+        b.iter_batched(
+            || alu_stage().0,
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run().expect("settles")
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("fig_4_1/correlation_verify", |b| {
+        b.iter_batched(
+            || correlation_circuit(false),
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run().expect("settles")
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Table 3-1: full verification passes over S-1-like designs of
+/// increasing size (chip counts scaled down for bench time; the table
+/// binary runs the full 6357).
+fn table_3_1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_3_1/verify_s1_like");
+    for chips in [100usize, 400, 1600] {
+        let (netlist, _) = s1_like_netlist(S1Options {
+            chips,
+            ..S1Options::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(chips), &netlist, |b, n| {
+            b.iter_batched(
+                || n.clone(),
+                |netlist| {
+                    let mut v = Verifier::new(netlist);
+                    v.run().expect("settles")
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn muxed_paths_circuit(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P6-7 (0,0)").expect("valid");
+    let z = |s: SignalId| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    for i in 0..n {
+        let sel = b.signal(&format!("SEL{i}")).expect("valid");
+        let fast = b.signal(&format!("FAST{i} .S0-1")).expect("valid");
+        let slow_in = b.signal(&format!("SLOWIN{i} .S0-1")).expect("valid");
+        let slow = b.signal(&format!("SLOW{i}")).expect("valid");
+        let m = b.signal(&format!("M{i}")).expect("valid");
+        let q = b.signal(&format!("Q{i}")).expect("valid");
+        b.buf(format!("SB{i}"), DelayRange::from_ns(33.0, 36.0), z(slow_in), slow);
+        b.mux2(format!("MX{i}"), DelayRange::from_ns(1.2, 3.3), z(sel), z(fast), z(slow), m);
+        b.reg(format!("R{i}"), DelayRange::from_ns(1.5, 4.5), z(clk), z(m), q);
+        b.setup_hold(
+            format!("C{i}"),
+            Time::from_ns(2.5),
+            Time::from_ns(1.5),
+            z(m),
+            z(clk),
+        );
+    }
+    b.finish().expect("well-formed")
+}
+
+/// The headline comparison: one symbolic pass vs 2^n simulated patterns.
+fn verifier_vs_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/verifier_vs_sim");
+    for n in [2usize, 4, 6] {
+        let netlist = muxed_paths_circuit(n);
+        group.bench_with_input(BenchmarkId::new("verifier_one_pass", n), &netlist, |b, nl| {
+            b.iter_batched(
+                || nl.clone(),
+                |netlist| {
+                    let mut v = Verifier::new(netlist);
+                    v.run().expect("settles")
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sim_exhaustive", n),
+            &netlist,
+            |b, nl| {
+                let sweep: Vec<SignalId> = primary_inputs(nl)
+                    .into_iter()
+                    .filter(|s| nl.signal(*s).assertion.is_none())
+                    .collect();
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for p in 0..(1u64 << sweep.len()) {
+                        let stim = Stimulus::from_pattern(&sweep, 1, p);
+                        total += simulate(nl, &stim).events;
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("path_search", n), &netlist, |b, nl| {
+            b.iter(|| PathAnalysis::analyze(nl).violations().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig_3_10_3_11,
+    fig_1_5,
+    fig_2_6,
+    other_figures,
+    table_3_1_scaling,
+    verifier_vs_sim
+);
+criterion_main!(benches);

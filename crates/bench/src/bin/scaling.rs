@@ -1,0 +1,120 @@
+//! The headline claim (§2.1, §4.1): symbolic verification costs one
+//! symbolic cycle, while exhaustive timing coverage by logic simulation
+//! costs exponentially many concrete cycles.
+//!
+//! For a parameterized circuit with `n` independent control inputs, this
+//! harness measures:
+//!
+//! * one Timing Verifier pass (which covers all value combinations), vs
+//! * min/max logic simulation of all `2^n` input patterns (what §1.4.1
+//!   calls exercising "all possible cases which have distinct timing
+//!   paths"), vs
+//! * one worst-case path search (cheap, but value-blind).
+//!
+//! The wall-clock ratio grows as 2^n: the thesis' "savings ... clearly of
+//! factorial (i.e., exponential) order".
+//!
+//! Usage: `cargo run -p scald-bench --bin scaling --release`
+
+use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
+use scald_paths::PathAnalysis;
+use scald_sim::{primary_inputs, simulate, Stimulus};
+use scald_verifier::Verifier;
+use scald_wave::{DelayRange, Time};
+use std::time::Instant;
+
+/// A register bank fed by `n` mux-selected paths: each select input
+/// doubles the number of distinct timing paths.
+fn muxed_paths_circuit(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P6-7 (0,0)").expect("valid");
+    let z = |s: SignalId| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    for i in 0..n {
+        let sel = b.signal(&format!("SEL{i}")).expect("valid");
+        let fast = b.signal(&format!("FAST{i} .S0-1")).expect("valid");
+        let slow_in = b.signal(&format!("SLOWIN{i} .S0-1")).expect("valid");
+        let slow = b.signal(&format!("SLOW{i}")).expect("valid");
+        let m = b.signal(&format!("M{i}")).expect("valid");
+        let q = b.signal(&format!("Q{i}")).expect("valid");
+        b.buf(
+            format!("SLOWBUF{i}"),
+            DelayRange::from_ns(33.0, 36.0),
+            z(slow_in),
+            slow,
+        );
+        b.mux2(format!("MUX{i}"), DelayRange::from_ns(1.2, 3.3), z(sel), z(fast), z(slow), m);
+        b.reg(format!("R{i}"), DelayRange::from_ns(1.5, 4.5), z(clk), z(m), q);
+        b.setup_hold(
+            format!("R{i} CHK"),
+            Time::from_ns(2.5),
+            Time::from_ns(1.5),
+            z(m),
+            z(clk),
+        );
+    }
+    b.finish().expect("circuit is well-formed")
+}
+
+fn main() {
+    println!(
+        "{:>3} {:>10} {:>14} {:>14} {:>14} {:>10}",
+        "n", "patterns", "verifier", "simulation", "path search", "ratio"
+    );
+    for n in [1usize, 2, 4, 6, 8, 10, 12] {
+        let netlist = muxed_paths_circuit(n);
+
+        let t = Instant::now();
+        let mut v = Verifier::new(netlist.clone());
+        let result = v.run().expect("settles");
+        let verifier_time = t.elapsed();
+        let found = result.violations.len();
+
+        let inputs = primary_inputs(&netlist);
+        // The mux selects carry the value-dependence; the data inputs are
+        // driven with a fixed toggling stimulus so the slow path actually
+        // transitions. Two cycles: cycle 1 initializes, cycle 2 is
+        // observed — the cost of simulation per pattern is 2 concrete
+        // cycles vs the verifier's single symbolic one.
+        let sweep = inputs
+            .iter()
+            .filter(|s| netlist.signal(**s).assertion.is_none())
+            .copied()
+            .collect::<Vec<_>>();
+        let data_inputs: Vec<_> = inputs
+            .iter()
+            .filter(|s| netlist.signal(**s).assertion.is_some())
+            .copied()
+            .collect();
+        let patterns = 1u64 << sweep.len();
+        let t = Instant::now();
+        let mut sim_violations = 0usize;
+        for p in 0..patterns {
+            let mut stim = Stimulus { cycles: 2, inputs: Default::default() };
+            for (i, sel) in sweep.iter().enumerate() {
+                let v = (p >> i) & 1 == 1;
+                stim.inputs.insert(*sel, vec![v, v]);
+            }
+            for (i, d) in data_inputs.iter().enumerate() {
+                // Alternate values so every data input toggles at cycle 2.
+                stim.inputs.insert(*d, vec![i % 2 == 0, i % 2 != 0]);
+            }
+            let r = simulate(&netlist, &stim);
+            sim_violations += r.violations.len();
+        }
+        let sim_time = t.elapsed();
+
+        let t = Instant::now();
+        let analysis = PathAnalysis::analyze(&netlist);
+        let path_time = t.elapsed();
+        let _ = analysis.violations();
+
+        let ratio = sim_time.as_secs_f64() / verifier_time.as_secs_f64().max(1e-9);
+        println!(
+            "{n:>3} {patterns:>10} {verifier_time:>14.3?} {sim_time:>14.3?} {path_time:>14.3?} {ratio:>9.1}x   (verifier found {found}, sim saw {sim_violations} across patterns)"
+        );
+    }
+    println!(
+        "\nOne symbolic pass replaces 2^n concrete passes: the exponential \
+         saving of §2.1."
+    );
+}

@@ -1,0 +1,19 @@
+//! Shared helpers for the table-regeneration binaries and Criterion
+//! benches. The binaries (one per thesis table or figure) live in
+//! `src/bin/`; see DESIGN.md §3 for the experiment index.
+
+#![warn(missing_docs)]
+
+/// Parses an optional `--chips N` argument (default: the thesis' 6357).
+#[must_use]
+pub fn chips_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--chips" {
+            if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    6357
+}

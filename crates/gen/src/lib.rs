@@ -1,0 +1,24 @@
+//! Workload generators for the SCALD Timing Verifier reproduction.
+//!
+//! Three families:
+//!
+//! * [`figures`] — the thesis' example circuits (the Fig 1-5 gated-clock
+//!   hazard, the Fig 2-5 register file, the Fig 2-6 case-analysis
+//!   circuit, the Fig 3-12 ALU pipeline stage, and the Fig 4-1/4-2
+//!   correlation circuit), built with the data-sheet timing values the
+//!   thesis quotes.
+//! * [`hdl_sources`] — the same component library as SCALD HDL text
+//!   (Figs 3-5..3-9), exercising the macro expander.
+//! * [`ablation`] — the bit-blast transform that undoes the vector-width
+//!   symmetry, so the §3.3.2 saving can be measured.
+//! * [`s1`] — a seeded synthetic generator matched to the published
+//!   statistics of the S-1 Mark IIA evaluation design (6357 chips, 8 282
+//!   primitives, ≈1.3 primitives/chip, ≈6.5-bit average width), used to
+//!   regenerate Tables 3-1, 3-2 and 3-3.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod hdl_sources;
+pub mod s1;

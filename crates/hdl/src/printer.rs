@@ -1,0 +1,282 @@
+//! Pretty-printer: renders a parsed [`Design`] back to canonical HDL text.
+//!
+//! `parse(print(design))` reconstructs an identical AST (up to number
+//! formatting), which the round-trip property tests verify. Useful for
+//! emitting machine-generated designs (the S-1-like generator), for
+//! normalizing hand-written sources, and as a debugging aid.
+
+use crate::ast::{AttrVal, ConnExpr, Design, Expr, MacroDef, Port, ScopeMark, Stmt};
+use std::fmt::Write;
+
+/// Renders a design to canonical HDL source text.
+#[must_use]
+pub fn print(design: &Design) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "design {};", name_token(&design.name));
+    let _ = writeln!(out, "period {};", fmt_num(design.period_ns));
+    let _ = writeln!(out, "clock_unit {};", fmt_num(design.clock_unit_ns));
+    let _ = writeln!(
+        out,
+        "wire_delay {} {};",
+        fmt_num(design.wire_delay_ns.0),
+        fmt_num(design.wire_delay_ns.1)
+    );
+    let _ = writeln!(
+        out,
+        "precision_skew {} {};",
+        fmt_num(design.precision_skew_ns.0),
+        fmt_num(design.precision_skew_ns.1)
+    );
+    let _ = writeln!(
+        out,
+        "clock_skew {} {};",
+        fmt_num(design.clock_skew_ns.0),
+        fmt_num(design.clock_skew_ns.1)
+    );
+    for m in &design.macros {
+        out.push('\n');
+        print_macro(&mut out, m);
+    }
+    out.push_str("\ntop;\n");
+    for s in &design.top {
+        print_stmt(&mut out, s);
+    }
+    out.push_str("end;\n");
+    for case in &design.cases {
+        let assigns: Vec<String> = case
+            .iter()
+            .map(|(s, v)| format!("{} = {}", name_token(s), u8::from(*v)))
+            .collect();
+        let _ = writeln!(out, "case {};", assigns.join(", "));
+    }
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Quotes a name unless it is a single bare identifier.
+fn name_token(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_')
+        && !name.chars().next().is_some_and(|c| c.is_ascii_digit());
+    if bare {
+        name.to_owned()
+    } else {
+        format!("'{name}'")
+    }
+}
+
+fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n) => n.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Add(a, b) => format!("({}+{})", print_expr(a), print_expr(b)),
+        Expr::Sub(a, b) => format!("({}-{})", print_expr(a), print_expr(b)),
+        Expr::Mul(a, b) => format!("({}*{})", print_expr(a), print_expr(b)),
+        Expr::Div(a, b) => format!("({}/{})", print_expr(a), print_expr(b)),
+    }
+}
+
+fn print_port(p: &Port) -> String {
+    let mut s = name_token(&p.name);
+    if let Some((a, b)) = &p.range {
+        let _ = write!(s, "<{}:{}>", print_expr(a), print_expr(b));
+    }
+    s
+}
+
+fn print_conn(c: &ConnExpr) -> String {
+    let mut s = String::new();
+    if c.invert {
+        s.push('-');
+    }
+    s.push_str(&name_token(&c.name));
+    if let Some((a, b)) = &c.range {
+        let _ = write!(s, "<{}:{}>", print_expr(a), print_expr(b));
+    }
+    match c.scope {
+        Some(ScopeMark::Parameter) => s.push_str("/P"),
+        Some(ScopeMark::Local) => s.push_str("/M"),
+        None => {}
+    }
+    if let Some(d) = &c.directive {
+        let _ = write!(s, " &{d}");
+    }
+    s
+}
+
+fn print_attr(key: &str, val: &AttrVal) -> String {
+    match val {
+        AttrVal::Num(n) => format!("{key}={}", fmt_num(*n)),
+        AttrVal::Range(a, b) => format!("{key}={}:{}", fmt_num(*a), fmt_num(*b)),
+    }
+}
+
+fn print_conn_groups(out: &mut String, inputs: &[ConnExpr], outputs: &[ConnExpr]) {
+    let ins: Vec<String> = inputs.iter().map(print_conn).collect();
+    let _ = write!(out, "({})", ins.join(", "));
+    if !outputs.is_empty() {
+        let outs: Vec<String> = outputs.iter().map(print_conn).collect();
+        let _ = write!(out, " -> ({})", outs.join(", "));
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Prim {
+            kind,
+            attrs,
+            inputs,
+            outputs,
+            ..
+        } => {
+            let _ = write!(out, "  {kind}");
+            for (k, v) in attrs {
+                let _ = write!(out, " {}", print_attr(k, v));
+            }
+            out.push(' ');
+            print_conn_groups(out, inputs, outputs);
+            out.push_str(";\n");
+        }
+        Stmt::Use {
+            name,
+            attrs,
+            inputs,
+            outputs,
+            ..
+        } => {
+            let _ = write!(out, "  use {}", name_token(name));
+            for (k, v) in attrs {
+                let _ = write!(out, " {}", print_attr(k, v));
+            }
+            out.push(' ');
+            print_conn_groups(out, inputs, outputs);
+            out.push_str(";\n");
+        }
+        Stmt::SignalDecl { conn, .. } => {
+            let _ = writeln!(out, "  signal {};", print_conn(conn));
+        }
+        Stmt::WiredOr { name, .. } => {
+            let _ = writeln!(out, "  wired_or {};", name_token(name));
+        }
+        Stmt::WireDelay { name, min, max, .. } => {
+            let _ = writeln!(
+                out,
+                "  wire_delay {} {} {};",
+                name_token(name),
+                fmt_num(*min),
+                fmt_num(*max)
+            );
+        }
+    }
+}
+
+fn print_macro(out: &mut String, m: &MacroDef) {
+    let _ = write!(out, "macro {}", name_token(&m.name));
+    if !m.params.is_empty() {
+        let params: Vec<String> = m
+            .params
+            .iter()
+            .map(|(p, d)| match d {
+                Some(d) => format!("{p}={d}"),
+                None => p.clone(),
+            })
+            .collect();
+        let _ = write!(out, " ({})", params.join(", "));
+    }
+    let ins: Vec<String> = m.inputs.iter().map(print_port).collect();
+    let outs: Vec<String> = m.outputs.iter().map(print_port).collect();
+    let _ = writeln!(out, " ({}) -> ({});", ins.join(", "), outs.join(", "));
+    for s in &m.body {
+        print_stmt(out, s);
+    }
+    out.push_str("end;\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips source-line fields so ASTs can be compared structurally.
+    fn strip(design: &mut Design) {
+        fn strip_stmt(s: &mut Stmt) {
+            match s {
+                Stmt::Prim { line, .. }
+                | Stmt::Use { line, .. }
+                | Stmt::SignalDecl { line, .. }
+                | Stmt::WiredOr { line, .. }
+                | Stmt::WireDelay { line, .. } => *line = 0,
+            }
+        }
+        for m in &mut design.macros {
+            m.line = 0;
+            for s in &mut m.body {
+                strip_stmt(s);
+            }
+        }
+        for s in &mut design.top {
+            strip_stmt(s);
+        }
+    }
+
+    #[test]
+    fn round_trip_register_file() {
+        let src = r"
+design REGFILE; period 50.0; clock_unit 6.25;
+macro 'REG 10176' (SIZE=1) (CK, I<0:SIZE-1>/P) -> (Q<0:SIZE-1>/P);
+  reg delay=1.5:4.5 (CK, I) -> (Q);
+  setup_hold setup=2.5 hold=-1.0 (I, -CK);
+end;
+top;
+  wire_delay 'ADR' 0.0 6.0;
+  and delay=1.0:2.9 (-'CK .P2-3 L' &HZ, X) -> (WE);
+  use 'REG 10176' SIZE=32 ('CLK .P2-3', 'W DATA .S0-6') -> ('R OUT');
+end;
+case 'CONTROL' = 0;
+case 'CONTROL' = 1, OTHER = 0;
+";
+        let mut first = parse(src).unwrap();
+        let printed = print(&first);
+        let mut second = parse(&printed).unwrap_or_else(|e| {
+            panic!("printed text failed to parse: {e}\n{printed}")
+        });
+        strip(&mut first);
+        strip(&mut second);
+        assert_eq!(first, second, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn round_trip_preserves_range_arithmetic() {
+        let src = r"
+design D; period 50.0; clock_unit 6.25;
+macro M (N=4) (A<0:2*N-1>/P) -> (B<0:N/2>/P);
+  buf (A) -> (B);
+end;
+top;
+  use M N=8 (X) -> (Y);
+end;
+";
+        let mut first = parse(src).unwrap();
+        let printed = print(&first);
+        let mut second = parse(&printed).unwrap();
+        strip(&mut first);
+        strip(&mut second);
+        assert_eq!(first, second, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn names_quote_only_when_needed() {
+        assert_eq!(name_token("CK"), "CK");
+        assert_eq!(name_token("W DATA .S0-6"), "'W DATA .S0-6'");
+        assert_eq!(name_token("2OR"), "'2OR'");
+    }
+}

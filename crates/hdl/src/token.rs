@@ -1,0 +1,350 @@
+//! Lexer for the SCALD-style hardware description language.
+//!
+//! The textual HDL stands in for SCALD's graphics-based macro drawings
+//! (§3.1): the same semantic content — hierarchical macros with `SIZE`
+//! parameters, bit-vector ports, signal names carrying assertions, and
+//! `&`-directives — in a line-oriented syntax. Comments run from `--` to
+//! the end of the line. Multi-word SCALD names (`'16W RAM 10145A'`,
+//! `'CLK .P2-3 L'`) are single-quoted.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (`macro`, `reg`, `CK`, `SIZE`).
+    Ident(String),
+    /// Single-quoted string: a (possibly multi-word) signal or macro name,
+    /// including any assertion suffix.
+    Quoted(String),
+    /// Integer or decimal number.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    LAngle,
+    /// `>`
+    RAngle,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `->`
+    Arrow,
+    /// `-` (unary minus / complement marker)
+    Minus,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&` followed by directive letters, e.g. `&HZ`.
+    Directive(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Quoted(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LAngle => write!(f, "<"),
+            Token::RAngle => write!(f, ">"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Equals => write!(f, "="),
+            Token::Arrow => write!(f, "->"),
+            Token::Minus => write!(f, "-"),
+            Token::Plus => write!(f, "+"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Directive(s) => write!(f, "&{s}"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line, for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number in the source text.
+    pub line: u32,
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes HDL source text.
+///
+/// # Errors
+///
+/// Returns an error for unterminated quotes or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('-') => {
+                        // Comment to end of line.
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('>') => {
+                        chars.next();
+                        out.push(Spanned {
+                            token: Token::Arrow,
+                            line,
+                        });
+                    }
+                    _ => out.push(Spanned {
+                        token: Token::Minus,
+                        line,
+                    }),
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        return Err(LexError {
+                            message: "unterminated quoted name".to_owned(),
+                            line,
+                        });
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(LexError {
+                        message: "unterminated quoted name".to_owned(),
+                        line,
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Quoted(s),
+                    line,
+                });
+            }
+            '&' => {
+                chars.next();
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_uppercase() {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(LexError {
+                        message: "'&' must be followed by directive letters".to_owned(),
+                        line,
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Directive(s),
+                    line,
+                });
+            }
+            '(' | ')' | '<' | '>' | ',' | ';' | ':' | '=' | '+' | '*' | '/' => {
+                chars.next();
+                let token = match c {
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '<' => Token::LAngle,
+                    '>' => Token::RAngle,
+                    ',' => Token::Comma,
+                    ';' => Token::Semi,
+                    ':' => Token::Colon,
+                    '=' => Token::Equals,
+                    '+' => Token::Plus,
+                    '*' => Token::Star,
+                    _ => Token::Slash,
+                };
+                out.push(Spanned { token, line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s.parse().map_err(|_| LexError {
+                    message: format!("invalid number {s:?}"),
+                    line,
+                })?;
+                out.push(Spanned {
+                    token: Token::Number(n),
+                    line,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Ident(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("macro FOO (A) -> (Q);"),
+            vec![
+                Token::Ident("macro".into()),
+                Token::Ident("FOO".into()),
+                Token::LParen,
+                Token::Ident("A".into()),
+                Token::RParen,
+                Token::Arrow,
+                Token::LParen,
+                Token::Ident("Q".into()),
+                Token::RParen,
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_names_and_directives() {
+        assert_eq!(
+            toks("'CLK .P2-3 L' &HZ"),
+            vec![
+                Token::Quoted("CLK .P2-3 L".into()),
+                Token::Directive("HZ".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            toks("delay=1.5:4.5 I<0:SIZE-1>"),
+            vec![
+                Token::Ident("delay".into()),
+                Token::Equals,
+                Token::Number(1.5),
+                Token::Colon,
+                Token::Number(4.5),
+                Token::Ident("I".into()),
+                Token::LAngle,
+                Token::Number(0.0),
+                Token::Colon,
+                Token::Ident("SIZE".into()),
+                Token::Minus,
+                Token::Number(1.0),
+                Token::RAngle,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("period 50.0; -- the cycle time\nclock_unit 6.25;"),
+            vec![
+                Token::Ident("period".into()),
+                Token::Number(50.0),
+                Token::Semi,
+                Token::Ident("clock_unit".into()),
+                Token::Number(6.25),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let spanned = lex("a\nb\nc").unwrap();
+        assert_eq!(
+            spanned.iter().map(|s| s.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("& x").is_err());
+        assert!(lex("1.2.3").is_err());
+        let e = lex("\n\n@").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,688 @@
+//! Seven-value symbolic logic algebra of the SCALD Timing Verifier.
+//!
+//! The Timing Verifier (McWilliams, 1980, §2.4.1) represents every signal at
+//! every instant with exactly one of seven values. The large majority of
+//! signals are represented only as *stable* or *changing*, which is the key
+//! idea that makes exhaustive timing verification tractable: the verifier
+//! does not need to know whether a signal is true or false to decide whether
+//! the timing constraints on it are met.
+//!
+//! | value | meaning |
+//! |---|---|
+//! | `0` | false |
+//! | `1` | true |
+//! | `S` | stable — not changing, level unknown |
+//! | `C` | may be changing |
+//! | `R` | rising — going from zero to one |
+//! | `F` | falling — going from one to zero |
+//! | `U` | unknown — initial value of all signals |
+//!
+//! The combinational functions ([`Value::or`], [`Value::and`],
+//! [`Value::xor`], [`Value::not`], [`chg`]) are "uniformly defined to give
+//! worst-case values" (§2.4.2): e.g. `S OR R = R`, because the output is
+//! either stable or a rising edge, and the rising edge is the worst case.
+//!
+//! # Examples
+//!
+//! ```
+//! use scald_logic::Value;
+//!
+//! // A stable control signal gated with a rising clock: worst case is that
+//! // the control enables the gate, so the output carries the rising edge.
+//! assert_eq!(Value::Stable.and(Value::Rise), Value::Rise);
+//!
+//! // A logic one dominates an OR regardless of what the other input does.
+//! assert_eq!(Value::One.or(Value::Change), Value::One);
+//!
+//! // XOR of a known one inverts a transition.
+//! assert_eq!(Value::One.xor(Value::Rise), Value::Fall);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the seven signal values used by the Timing Verifier (§2.4.1).
+///
+/// See the [crate-level documentation](crate) for the meaning of each value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Logic false (`0`).
+    Zero,
+    /// Logic true (`1`).
+    One,
+    /// Stable: the signal is not changing, but its level is not tracked (`S`).
+    Stable,
+    /// The signal may be changing (`C`).
+    Change,
+    /// The signal is transitioning from zero to one (`R`).
+    Rise,
+    /// The signal is transitioning from one to zero (`F`).
+    Fall,
+    /// Unknown: the initial value of every signal (`U`).
+    Unknown,
+}
+
+/// All seven values, in the order they are listed in the thesis.
+pub const ALL_VALUES: [Value; 7] = [
+    Value::Zero,
+    Value::One,
+    Value::Stable,
+    Value::Change,
+    Value::Rise,
+    Value::Fall,
+    Value::Unknown,
+];
+
+impl Value {
+    /// Returns `true` for the two known constants `0` and `1`.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert!(Value::Zero.is_constant());
+    /// assert!(!Value::Stable.is_constant());
+    /// ```
+    #[must_use]
+    pub const fn is_constant(self) -> bool {
+        matches!(self, Value::Zero | Value::One)
+    }
+
+    /// Returns `true` if the signal is guaranteed not to be changing:
+    /// `0`, `1` or `S`.
+    ///
+    /// Timing checks (set-up, hold, `&A` directives) require an input to be
+    /// *quiescent* over an interval; this predicate is the test they apply.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert!(Value::One.is_quiescent());
+    /// assert!(Value::Stable.is_quiescent());
+    /// assert!(!Value::Rise.is_quiescent());
+    /// assert!(!Value::Unknown.is_quiescent());
+    /// ```
+    #[must_use]
+    pub const fn is_quiescent(self) -> bool {
+        matches!(self, Value::Zero | Value::One | Value::Stable)
+    }
+
+    /// Returns `true` if the signal may be in transition: `C`, `R` or `F`.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert!(Value::Change.is_transitioning());
+    /// assert!(!Value::Zero.is_transitioning());
+    /// ```
+    #[must_use]
+    pub const fn is_transitioning(self) -> bool {
+        matches!(self, Value::Change | Value::Rise | Value::Fall)
+    }
+
+    /// Returns `true` if the signal could be at a logic-one level during an
+    /// interval with this value.
+    ///
+    /// `S`, `C`, `R`, `F` and `U` could all be high; only `0` cannot.
+    /// Minimum-pulse-width and hazard checks use this to find intervals in
+    /// which a clock line could be asserted.
+    #[must_use]
+    pub const fn could_be_high(self) -> bool {
+        !matches!(self, Value::Zero)
+    }
+
+    /// Returns `true` if the signal could be at a logic-zero level.
+    #[must_use]
+    pub const fn could_be_low(self) -> bool {
+        !matches!(self, Value::One)
+    }
+
+    /// Logical complement (NOT function of §2.4.2).
+    ///
+    /// Rising becomes falling and vice versa; `S`, `C` and `U` are fixed
+    /// points because complementing an unknown-level signal yields another
+    /// unknown-level signal.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::Rise.not(), Value::Fall);
+    /// assert_eq!(Value::Stable.not(), Value::Stable);
+    /// ```
+    #[must_use]
+    pub const fn not(self) -> Value {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+            Value::Stable => Value::Stable,
+            Value::Change => Value::Change,
+            Value::Rise => Value::Fall,
+            Value::Fall => Value::Rise,
+            Value::Unknown => Value::Unknown,
+        }
+    }
+
+    /// Worst-case INCLUSIVE-OR (§2.4.2).
+    ///
+    /// A known `1` dominates every other value, including `U`. A known `0`
+    /// is the identity. Two opposite transitions combine to `C` because the
+    /// relative edge times are not known. `U` propagates unless dominated.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::Stable.or(Value::Rise), Value::Rise);
+    /// assert_eq!(Value::Rise.or(Value::Fall), Value::Change);
+    /// assert_eq!(Value::One.or(Value::Unknown), Value::One);
+    /// ```
+    #[must_use]
+    pub const fn or(self, other: Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (One, _) | (_, One) => One,
+            (Zero, v) | (v, Zero) => v,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Stable, v) | (v, Stable) => v,
+            (Change, _) | (_, Change) => Change,
+            (Rise, Rise) => Rise,
+            (Fall, Fall) => Fall,
+            (Rise, Fall) | (Fall, Rise) => Change,
+        }
+    }
+
+    /// Worst-case AND (§2.4.2). Dual of [`Value::or`]:
+    /// `0` dominates, `1` is the identity.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::Zero.and(Value::Change), Value::Zero);
+    /// assert_eq!(Value::Stable.and(Value::Fall), Value::Fall);
+    /// ```
+    #[must_use]
+    pub const fn and(self, other: Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, v) | (v, One) => v,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Stable, v) | (v, Stable) => v,
+            (Change, _) | (_, Change) => Change,
+            (Rise, Rise) => Rise,
+            (Fall, Fall) => Fall,
+            (Rise, Fall) | (Fall, Rise) => Change,
+        }
+    }
+
+    /// Worst-case EXCLUSIVE-OR (§2.4.2).
+    ///
+    /// XOR has no dominating value, so `U` always propagates. A known
+    /// constant either passes the other input through (`0`) or inverts it
+    /// (`1`). Any transition combined with an unknown-level value yields
+    /// `C`, because the direction of the output edge depends on the level.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::Zero.xor(Value::Rise), Value::Rise);
+    /// assert_eq!(Value::One.xor(Value::Rise), Value::Fall);
+    /// assert_eq!(Value::Stable.xor(Value::Rise), Value::Change);
+    /// ```
+    #[must_use]
+    pub const fn xor(self, other: Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Zero, v) | (v, Zero) => v,
+            (One, v) | (v, One) => v.not(),
+            (Stable, Stable) => Stable,
+            // Any transition against an unknown level, or two transitions
+            // with unknown relative timing, could glitch either way.
+            _ => Change,
+        }
+    }
+
+    /// The CHANGE function (§2.4.2): `U` if the input is undefined, `C` if
+    /// it may be changing, otherwise `S`.
+    ///
+    /// This is the per-input contribution of the n-ary [`chg`] primitive
+    /// used to model complex combinational logic (parity trees, adders)
+    /// whose actual function is irrelevant to timing.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::One.chg(), Value::Stable);
+    /// assert_eq!(Value::Rise.chg(), Value::Change);
+    /// assert_eq!(Value::Unknown.chg(), Value::Unknown);
+    /// ```
+    #[must_use]
+    pub const fn chg(self) -> Value {
+        match self {
+            Value::Unknown => Value::Unknown,
+            Value::Change | Value::Rise | Value::Fall => Value::Change,
+            Value::Zero | Value::One | Value::Stable => Value::Stable,
+        }
+    }
+
+    /// Least upper bound of two values under the uncertainty ordering:
+    /// "the signal is *either* `self` *or* `other`, and we do not know
+    /// which".
+    ///
+    /// This is the merge used when a multiplexer's select line is at an
+    /// unknown level, and when overlapping skew windows must be collapsed
+    /// into a single value (§2.8).
+    ///
+    /// Unlike [`Value::or`], constants do not dominate: a signal that is
+    /// either `0` or `1` is `S` (some unknown but steady level), and a
+    /// signal that is either rising or falling is `C`.
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::Zero.join(Value::One), Value::Stable);
+    /// assert_eq!(Value::Rise.join(Value::Fall), Value::Change);
+    /// assert_eq!(Value::Stable.join(Value::Rise), Value::Rise);
+    /// ```
+    #[must_use]
+    pub const fn join(self, other: Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (a, b) if a as u8 == b as u8 => a,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Change, _) | (_, Change) => Change,
+            (Rise, Fall) | (Fall, Rise) => Change,
+            (Rise, _) | (_, Rise) => Rise,
+            (Fall, _) | (_, Fall) => Fall,
+            // Remaining pairs are distinct members of {0, 1, S}.
+            _ => Stable,
+        }
+    }
+
+    /// The value of the uncertainty window for a transition from `self`
+    /// to `to` (§2.8, Fig 2-9).
+    ///
+    /// When separated skew is folded back into a signal's value list, every
+    /// transition instant becomes a window over which the signal could be
+    /// the old value, the new value, or mid-transition. A `0 → 1` window is
+    /// `R`, `1 → 0` is `F`, and anything else collapses to `C` (or `U` if
+    /// either side is undefined).
+    ///
+    /// ```
+    /// use scald_logic::Value;
+    /// assert_eq!(Value::Zero.edge_to(Value::One), Value::Rise);
+    /// assert_eq!(Value::One.edge_to(Value::Zero), Value::Fall);
+    /// assert_eq!(Value::Stable.edge_to(Value::Change), Value::Change);
+    /// ```
+    #[must_use]
+    pub const fn edge_to(self, to: Value) -> Value {
+        use Value::*;
+        match (self, to) {
+            (a, b) if a as u8 == b as u8 => a,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Zero, One) => Rise,
+            (One, Zero) => Fall,
+            _ => Change,
+        }
+    }
+
+    /// Single-character mnemonic used in listings (`0 1 S C R F U`).
+    #[must_use]
+    pub const fn mnemonic(self) -> char {
+        match self {
+            Value::Zero => '0',
+            Value::One => '1',
+            Value::Stable => 'S',
+            Value::Change => 'C',
+            Value::Rise => 'R',
+            Value::Fall => 'F',
+            Value::Unknown => 'U',
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// Error returned when parsing a [`Value`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    input: String,
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid signal value {:?}, expected one of 0 1 S C R F U \
+             (or STABLE CHANGE RISE FALL UNKNOWN)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
+impl FromStr for Value {
+    type Err = ParseValueError;
+
+    /// Parses the single-character mnemonics and the spelled-out names used
+    /// in the thesis (`STABLE`, `CHANGE`, `RISE`, `FALL`, `UNKNOWN`),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "0" => Ok(Value::Zero),
+            "1" => Ok(Value::One),
+            "S" | "STABLE" => Ok(Value::Stable),
+            "C" | "CHANGE" | "CHANGING" => Ok(Value::Change),
+            "R" | "RISE" | "RISING" => Ok(Value::Rise),
+            "F" | "FALL" | "FALLING" => Ok(Value::Fall),
+            "U" | "UNKNOWN" | "UNDEFINED" => Ok(Value::Unknown),
+            _ => Err(ParseValueError { input: s.to_owned() }),
+        }
+    }
+}
+
+/// The n-ary CHANGE function (§2.4.2): `U` if any input is undefined,
+/// `C` if any input may be changing, otherwise `S`.
+///
+/// Used to model complex combinational logic — parity trees, adders, ALUs —
+/// where only *when* the output changes matters, not its value. An empty
+/// input list yields `S` (a function of nothing never changes).
+///
+/// ```
+/// use scald_logic::{chg, Value};
+/// assert_eq!(chg([Value::One, Value::Stable]), Value::Stable);
+/// assert_eq!(chg([Value::One, Value::Rise]), Value::Change);
+/// assert_eq!(chg([Value::Unknown, Value::Rise]), Value::Unknown);
+/// ```
+pub fn chg<I: IntoIterator<Item = Value>>(inputs: I) -> Value {
+    let mut out = Value::Stable;
+    for v in inputs {
+        match v.chg() {
+            Value::Unknown => return Value::Unknown,
+            Value::Change => out = Value::Change,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Folds [`Value::or`] over an input list. Empty input yields `0`
+/// (the identity of OR).
+pub fn or_all<I: IntoIterator<Item = Value>>(inputs: I) -> Value {
+    inputs.into_iter().fold(Value::Zero, Value::or)
+}
+
+/// Folds [`Value::and`] over an input list. Empty input yields `1`
+/// (the identity of AND).
+pub fn and_all<I: IntoIterator<Item = Value>>(inputs: I) -> Value {
+    inputs.into_iter().fold(Value::One, Value::and)
+}
+
+/// Folds [`Value::xor`] over an input list. Empty input yields `0`
+/// (the identity of XOR).
+pub fn xor_all<I: IntoIterator<Item = Value>>(inputs: I) -> Value {
+    inputs.into_iter().fold(Value::Zero, Value::xor)
+}
+
+/// Folds [`Value::join`] over an input list.
+///
+/// # Panics
+///
+/// Panics if the input list is empty: the join of nothing has no neutral
+/// element in this algebra.
+pub fn join_all<I: IntoIterator<Item = Value>>(inputs: I) -> Value {
+    inputs
+        .into_iter()
+        .reduce(Value::join)
+        .expect("join_all requires at least one input")
+}
+
+/// Multiplexer output value (§3.1's `2 MUX` primitive, generalized).
+///
+/// * Select `0`/`1`: the corresponding data input passes through.
+/// * Select `S` (steady but unknown): the output is *one of* the data
+///   inputs — their [`Value::join`].
+/// * Select changing (`C`/`R`/`F`): the output may switch between inputs,
+///   so it is quiescent only if every data input is the *same known
+///   constant*; two different stable levels switched onto one wire is a
+///   change.
+/// * Select `U`: output `U`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, or if the select is a known constant that
+/// indexes past the end of `data`.
+///
+/// ```
+/// use scald_logic::{mux, Value};
+/// let d = [Value::Stable, Value::Rise];
+/// assert_eq!(mux(Value::Zero, &d), Value::Stable);
+/// assert_eq!(mux(Value::One, &d), Value::Rise);
+/// assert_eq!(mux(Value::Stable, &d), Value::Rise); // worst case of the two
+/// assert_eq!(mux(Value::Fall, &d), Value::Change); // select switching
+/// ```
+pub fn mux(select: Value, data: &[Value]) -> Value {
+    assert!(!data.is_empty(), "mux requires at least one data input");
+    match select {
+        Value::Zero => data[0],
+        Value::One => {
+            assert!(data.len() > 1, "mux select is 1 but only one data input");
+            data[1]
+        }
+        Value::Stable => join_all(data.iter().copied()),
+        Value::Unknown => Value::Unknown,
+        Value::Change | Value::Rise | Value::Fall => {
+            if data.contains(&Value::Unknown) {
+                Value::Unknown
+            } else if data.iter().all(|v| *v == data[0] && v.is_constant()) {
+                // Switching between identical constants is invisible.
+                data[0]
+            } else {
+                Value::Change
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Value::*;
+
+    #[test]
+    fn not_is_an_involution() {
+        for v in ALL_VALUES {
+            assert_eq!(v.not().not(), v, "NOT NOT {v}");
+        }
+    }
+
+    #[test]
+    fn not_table_matches_paper() {
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(Stable.not(), Stable);
+        assert_eq!(Change.not(), Change);
+        assert_eq!(Rise.not(), Fall);
+        assert_eq!(Fall.not(), Rise);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    /// The full 7x7 OR table, spelled out row by row
+    /// (rows = left operand, columns in `ALL_VALUES` order).
+    #[test]
+    fn or_full_table() {
+        #[rustfmt::skip]
+        let expect = [
+            // 0        1     S        C        R        F        U
+            [ Zero,     One,  Stable,  Change,  Rise,    Fall,    Unknown], // 0
+            [ One,      One,  One,     One,     One,     One,     One    ], // 1
+            [ Stable,   One,  Stable,  Change,  Rise,    Fall,    Unknown], // S
+            [ Change,   One,  Change,  Change,  Change,  Change,  Unknown], // C
+            [ Rise,     One,  Rise,    Change,  Rise,    Change,  Unknown], // R
+            [ Fall,     One,  Fall,    Change,  Change,  Fall,    Unknown], // F
+            [ Unknown,  One,  Unknown, Unknown, Unknown, Unknown, Unknown], // U
+        ];
+        for (i, a) in ALL_VALUES.iter().enumerate() {
+            for (j, b) in ALL_VALUES.iter().enumerate() {
+                assert_eq!(a.or(*b), expect[i][j], "{a} OR {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_full_table() {
+        #[rustfmt::skip]
+        let expect = [
+            // 0     1        S        C        R        F        U
+            [ Zero,  Zero,    Zero,    Zero,    Zero,    Zero,    Zero   ], // 0
+            [ Zero,  One,     Stable,  Change,  Rise,    Fall,    Unknown], // 1
+            [ Zero,  Stable,  Stable,  Change,  Rise,    Fall,    Unknown], // S
+            [ Zero,  Change,  Change,  Change,  Change,  Change,  Unknown], // C
+            [ Zero,  Rise,    Rise,    Change,  Rise,    Change,  Unknown], // R
+            [ Zero,  Fall,    Fall,    Change,  Change,  Fall,    Unknown], // F
+            [ Zero,  Unknown, Unknown, Unknown, Unknown, Unknown, Unknown], // U
+        ];
+        for (i, a) in ALL_VALUES.iter().enumerate() {
+            for (j, b) in ALL_VALUES.iter().enumerate() {
+                assert_eq!(a.and(*b), expect[i][j], "{a} AND {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_full_table() {
+        #[rustfmt::skip]
+        let expect = [
+            // 0       1        S        C        R        F        U
+            [ Zero,    One,     Stable,  Change,  Rise,    Fall,    Unknown], // 0
+            [ One,     Zero,    Stable,  Change,  Fall,    Rise,    Unknown], // 1
+            [ Stable,  Stable,  Stable,  Change,  Change,  Change,  Unknown], // S
+            [ Change,  Change,  Change,  Change,  Change,  Change,  Unknown], // C
+            [ Rise,    Fall,    Change,  Change,  Change,  Change,  Unknown], // R
+            [ Fall,    Rise,    Change,  Change,  Change,  Change,  Unknown], // F
+            [ Unknown, Unknown, Unknown, Unknown, Unknown, Unknown, Unknown], // U
+        ];
+        for (i, a) in ALL_VALUES.iter().enumerate() {
+            for (j, b) in ALL_VALUES.iter().enumerate() {
+                assert_eq!(a.xor(*b), expect[i][j], "{a} XOR {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan_duality_of_and_or() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                assert_eq!(
+                    a.and(b).not(),
+                    a.not().or(b.not()),
+                    "De Morgan failed for {a}, {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_upper_bound_of_branches() {
+        for v in ALL_VALUES {
+            assert_eq!(v.join(v), v);
+        }
+        assert_eq!(Zero.join(One), Stable);
+        assert_eq!(Zero.join(Stable), Stable);
+        assert_eq!(One.join(Rise), Rise);
+        assert_eq!(Rise.join(Fall), Change);
+        assert_eq!(Stable.join(Change), Change);
+        assert_eq!(Unknown.join(Zero), Unknown);
+    }
+
+    #[test]
+    fn chg_collapses_to_three_values() {
+        for v in ALL_VALUES {
+            let c = v.chg();
+            assert!(
+                matches!(c, Stable | Change | Unknown),
+                "CHG({v}) = {c} is not in {{S, C, U}}"
+            );
+        }
+        assert_eq!(chg([Zero, One, Stable]), Stable);
+        assert_eq!(chg([Zero, Rise]), Change);
+        assert_eq!(chg([Change, Unknown]), Unknown);
+        assert_eq!(chg([]), Stable);
+    }
+
+    #[test]
+    fn folds_use_correct_identities() {
+        assert_eq!(or_all([]), Zero);
+        assert_eq!(and_all([]), One);
+        assert_eq!(xor_all([]), Zero);
+        assert_eq!(or_all([Rise, Fall, Zero]), Change);
+        assert_eq!(and_all([One, Stable, Rise]), Rise);
+        assert_eq!(xor_all([One, One]), Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn join_all_empty_panics() {
+        let _ = join_all([]);
+    }
+
+    #[test]
+    fn mux_select_constant_routes_input() {
+        let d = [Stable, Rise, Fall];
+        assert_eq!(mux(Zero, &d), Stable);
+        assert_eq!(mux(One, &d), Rise);
+    }
+
+    #[test]
+    fn mux_select_stable_joins_inputs() {
+        assert_eq!(mux(Stable, &[Zero, One]), Stable);
+        assert_eq!(mux(Stable, &[Stable, Rise]), Rise);
+        assert_eq!(mux(Stable, &[Rise, Fall]), Change);
+        assert_eq!(mux(Stable, &[One, One]), One);
+    }
+
+    #[test]
+    fn mux_select_changing_is_change_unless_inputs_identical_constants() {
+        assert_eq!(mux(Rise, &[One, One]), One);
+        assert_eq!(mux(Fall, &[Zero, Zero]), Zero);
+        assert_eq!(mux(Change, &[Stable, Stable]), Change);
+        assert_eq!(mux(Rise, &[Zero, One]), Change);
+        assert_eq!(mux(Change, &[Unknown, One]), Unknown);
+    }
+
+    #[test]
+    fn mux_select_unknown_is_unknown() {
+        assert_eq!(mux(Unknown, &[Zero, One]), Unknown);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for v in ALL_VALUES {
+            let s = v.to_string();
+            assert_eq!(s.parse::<Value>().unwrap(), v);
+        }
+        assert_eq!("stable".parse::<Value>().unwrap(), Stable);
+        assert_eq!("RISING".parse::<Value>().unwrap(), Rise);
+        assert!("Q".parse::<Value>().is_err());
+        let err = "Q".parse::<Value>().unwrap_err();
+        assert!(err.to_string().contains("invalid signal value"));
+    }
+
+    #[test]
+    fn edge_to_windows() {
+        assert_eq!(Zero.edge_to(One), Rise);
+        assert_eq!(One.edge_to(Zero), Fall);
+        assert_eq!(Zero.edge_to(Stable), Change);
+        assert_eq!(Stable.edge_to(Stable), Stable);
+        assert_eq!(Unknown.edge_to(One), Unknown);
+        assert_eq!(Rise.edge_to(Fall), Change);
+    }
+
+    #[test]
+    fn predicates_partition_sensibly() {
+        for v in ALL_VALUES {
+            assert!(
+                !(v.is_quiescent() && v.is_transitioning()),
+                "{v} is both quiescent and transitioning"
+            );
+        }
+        assert!(Zero.could_be_low() && !Zero.could_be_high());
+        assert!(One.could_be_high() && !One.could_be_low());
+        assert!(Stable.could_be_high() && Stable.could_be_low());
+    }
+}

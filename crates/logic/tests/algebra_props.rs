@@ -1,0 +1,192 @@
+//! Property-based tests for the seven-value algebra.
+//!
+//! These check the algebraic laws the verifier's fixed-point engine relies
+//! on: commutativity and associativity (so fold order over gate inputs is
+//! irrelevant), idempotence, identity/dominance elements, De Morgan duality,
+//! and soundness of the symbolic values with respect to concrete booleans.
+
+use proptest::prelude::*;
+use scald_logic::{Value, ALL_VALUES};
+
+fn any_value() -> impl Strategy<Value = Value> {
+    prop::sample::select(ALL_VALUES.to_vec())
+}
+
+/// The set of concrete boolean *behaviours* a symbolic value stands for,
+/// encoded as (start_level, end_level) pairs over a tiny interval.
+///
+/// Per §2.4.2 the symbolic values are *worst cases*: `R` means the signal
+/// may be mid-way through a 0→1 transition, so at any instant it could
+/// still be low, already be high, or be switching — but it cannot fall.
+/// `S` is {00, 11}; `R` is {00, 11, 01}; `F` is {00, 11, 10}; `C` and `U`
+/// are everything.
+fn concretizations(v: Value) -> Vec<(bool, bool)> {
+    match v {
+        Value::Zero => vec![(false, false)],
+        Value::One => vec![(true, true)],
+        Value::Stable => vec![(false, false), (true, true)],
+        Value::Rise => vec![(false, false), (true, true), (false, true)],
+        Value::Fall => vec![(false, false), (true, true), (true, false)],
+        Value::Change | Value::Unknown => {
+            vec![(false, false), (true, true), (false, true), (true, false)]
+        }
+    }
+}
+
+/// Is `sym` a sound abstraction of the concrete behaviour `(s, e)`?
+fn covers(sym: Value, beh: (bool, bool)) -> bool {
+    concretizations(sym).contains(&beh)
+}
+
+proptest! {
+    #[test]
+    fn or_commutes(a in any_value(), b in any_value()) {
+        prop_assert_eq!(a.or(b), b.or(a));
+    }
+
+    #[test]
+    fn and_commutes(a in any_value(), b in any_value()) {
+        prop_assert_eq!(a.and(b), b.and(a));
+    }
+
+    #[test]
+    fn xor_commutes(a in any_value(), b in any_value()) {
+        prop_assert_eq!(a.xor(b), b.xor(a));
+    }
+
+    #[test]
+    fn join_commutes(a in any_value(), b in any_value()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+
+    #[test]
+    fn or_associates(a in any_value(), b in any_value(), c in any_value()) {
+        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+    }
+
+    #[test]
+    fn and_associates(a in any_value(), b in any_value(), c in any_value()) {
+        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+    }
+
+    #[test]
+    fn join_associates(a in any_value(), b in any_value(), c in any_value()) {
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    #[test]
+    fn or_and_idempotent(a in any_value()) {
+        prop_assert_eq!(a.or(a), a);
+        prop_assert_eq!(a.and(a), a);
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn identities_and_dominators(a in any_value()) {
+        prop_assert_eq!(Value::Zero.or(a), a);
+        prop_assert_eq!(Value::One.and(a), a);
+        prop_assert_eq!(Value::One.or(a), Value::One);
+        prop_assert_eq!(Value::Zero.and(a), Value::Zero);
+        prop_assert_eq!(Value::Zero.xor(a), a);
+        prop_assert_eq!(Value::One.xor(a), a.not());
+    }
+
+    #[test]
+    fn demorgan(a in any_value(), b in any_value()) {
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    /// Soundness: for every concrete behaviour of the inputs, the concrete
+    /// gate output behaviour is covered by the symbolic gate output.
+    /// This is the property that makes the whole verification approach
+    /// conservative — the symbolic pass never misses a real transition.
+    #[test]
+    fn or_is_sound_abstraction(a in any_value(), b in any_value()) {
+        let sym = a.or(b);
+        for ca in concretizations(a) {
+            for cb in concretizations(b) {
+                let beh = (ca.0 | cb.0, ca.1 | cb.1);
+                prop_assert!(
+                    covers(sym, beh),
+                    "{} OR {} = {} does not cover {:?}", a, b, sym, beh
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_is_sound_abstraction(a in any_value(), b in any_value()) {
+        let sym = a.and(b);
+        for ca in concretizations(a) {
+            for cb in concretizations(b) {
+                let beh = (ca.0 & cb.0, ca.1 & cb.1);
+                prop_assert!(
+                    covers(sym, beh),
+                    "{} AND {} = {} does not cover {:?}", a, b, sym, beh
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_sound_abstraction(a in any_value(), b in any_value()) {
+        let sym = a.xor(b);
+        for ca in concretizations(a) {
+            for cb in concretizations(b) {
+                let beh = (ca.0 ^ cb.0, ca.1 ^ cb.1);
+                prop_assert!(
+                    covers(sym, beh),
+                    "{} XOR {} = {} does not cover {:?}", a, b, sym, beh
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_is_sound_abstraction(a in any_value()) {
+        let sym = a.not();
+        for ca in concretizations(a) {
+            prop_assert!(covers(sym, (!ca.0, !ca.1)));
+        }
+    }
+
+    /// join(a, b) must cover every behaviour of both branches.
+    #[test]
+    fn join_covers_both_branches(a in any_value(), b in any_value()) {
+        let j = a.join(b);
+        for beh in concretizations(a).into_iter().chain(concretizations(b)) {
+            prop_assert!(covers(j, beh), "join({}, {}) = {} misses {:?}", a, b, j, beh);
+        }
+    }
+
+    /// edge_to(a, b) must cover ending like `a` starts... more precisely:
+    /// the window could still hold the old value, already hold the new one,
+    /// or be mid-transition from old to new.
+    #[test]
+    fn edge_to_covers_old_new_and_transition(a in any_value(), b in any_value()) {
+        let w = a.edge_to(b);
+        for beh in concretizations(a) {
+            prop_assert!(covers(w, beh), "edge {}->{} = {} misses old {:?}", a, b, w, beh);
+        }
+        for beh in concretizations(b) {
+            prop_assert!(covers(w, beh), "edge {}->{} = {} misses new {:?}", a, b, w, beh);
+        }
+        // Mid-transition: starts at a's start level, ends at b's end level.
+        // Only meaningful at a real boundary (a != b); equal-valued adjacent
+        // segments are merged by waveform normalization and never produce
+        // an edge window.
+        if a != b {
+            for ca in concretizations(a) {
+                for cb in concretizations(b) {
+                    let beh = (ca.0, cb.1);
+                    prop_assert!(covers(w, beh), "edge {}->{} = {} misses {:?}", a, b, w, beh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in any_value()) {
+        prop_assert_eq!(a.to_string().parse::<Value>().unwrap(), a);
+    }
+}

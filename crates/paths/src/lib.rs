@@ -1,0 +1,700 @@
+//! Baseline #2: worst-case path searching (§1.4.2 of McWilliams 1980).
+//!
+//! GRASP and the Race Analysis System verified timing by searching every
+//! combinational path between registers/latches for the longest and
+//! shortest delay, RAS deriving the start/end points automatically from
+//! the storage elements. The thesis' critique — reproduced by this crate —
+//! is that path search cannot use the *value behaviour* of control
+//! signals, so value-dependent circuits (Fig 2-6) produce phantom paths
+//! and spurious errors, and unbroken loops stall the search.
+//!
+//! The analyzer consumes the same netlists as the Timing Verifier:
+//!
+//! * **Sources**: primary inputs (arrival 0) and storage-element outputs
+//!   (arrival = the element's clock-to-output delay range).
+//! * **Edges**: combinational primitives, weighted by wire + gate delay.
+//! * **Endpoints**: the checked inputs of `SETUP HOLD` /
+//!   `SETUP RISE HOLD FALL` checkers (set-up borrowed from the checker)
+//!   and storage-element data inputs.
+//! * **Loops**: combinational cycles are reported for the user to break,
+//!   exactly the GRASP workflow.
+//!
+//! ```
+//! use scald_netlist::{Config, NetlistBuilder};
+//! use scald_paths::PathAnalysis;
+//! use scald_wave::DelayRange;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new(Config::s1_example());
+//! let a = b.signal("A")?;
+//! let q = b.signal("Q")?;
+//! b.buf("B", DelayRange::from_ns(1.0, 2.0), a, q);
+//! let analysis = PathAnalysis::analyze(&b.finish()?);
+//! assert!(analysis.loops().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use scald_netlist::{Netlist, PrimId, PrimKind, SignalId};
+use scald_wave::{DelayRange, Time};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Min/max arrival time of a signal relative to the launching clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Earliest the signal can change.
+    pub min: Time,
+    /// Latest the signal can settle.
+    pub max: Time,
+}
+
+/// A constrained endpoint with its worst-case slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    /// The endpoint signal's name.
+    pub endpoint: String,
+    /// The checker or storage primitive imposing the constraint.
+    pub constraint_source: String,
+    /// Required set-up before the capturing edge (one period after
+    /// launch).
+    pub setup: Time,
+    /// Required hold after the capturing edge.
+    pub hold: Time,
+    /// Arrival range at the endpoint.
+    pub arrival: Arrival,
+    /// `period - setup - arrival.max`: negative means a set-up violation.
+    pub setup_slack: Time,
+    /// `arrival.min - hold`: negative means a hold violation.
+    pub hold_slack: Time,
+    /// The critical (max-delay) path, endpoint last.
+    pub critical_path: Vec<String>,
+}
+
+impl PathReport {
+    /// `true` if either slack is negative.
+    #[must_use]
+    pub fn is_violated(&self) -> bool {
+        self.setup_slack < Time::ZERO || self.hold_slack < Time::ZERO
+    }
+}
+
+impl fmt::Display for PathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: arrival [{}, {}], setup slack {}, hold slack {}  ({})",
+            self.endpoint,
+            self.arrival.min,
+            self.arrival.max,
+            self.setup_slack,
+            self.hold_slack,
+            self.constraint_source
+        )?;
+        write!(f, "  path: {}", self.critical_path.join(" -> "))
+    }
+}
+
+/// Whether a primitive propagates combinationally from inputs to output.
+fn is_combinational(kind: PrimKind) -> bool {
+    matches!(
+        kind,
+        PrimKind::And
+            | PrimKind::Or
+            | PrimKind::Nand
+            | PrimKind::Nor
+            | PrimKind::Xor
+            | PrimKind::Xnor
+            | PrimKind::Not
+            | PrimKind::Buf
+            | PrimKind::Chg
+            | PrimKind::Delay
+            | PrimKind::Mux { .. }
+    )
+}
+
+/// Static min/max path analysis of a netlist.
+#[derive(Debug)]
+pub struct PathAnalysis {
+    arrivals: Vec<Option<Arrival>>,
+    /// Max-path predecessor: (previous signal, via primitive).
+    pred: Vec<Option<(SignalId, PrimId)>>,
+    /// Backward-propagated required time per signal: the latest the
+    /// signal may settle without violating any downstream set-up.
+    required: Vec<Option<Time>>,
+    loops: Vec<Vec<String>>,
+    reports: Vec<PathReport>,
+}
+
+impl PathAnalysis {
+    /// Runs the analysis: longest/shortest arrival propagation over the
+    /// combinational graph, loop detection, and slack computation at every
+    /// constrained endpoint.
+    #[must_use]
+    pub fn analyze(netlist: &Netlist) -> PathAnalysis {
+        let n = netlist.signals().len();
+        let period = netlist.config().timing.period;
+        let mut arrivals: Vec<Option<Arrival>> = vec![None; n];
+        let mut pred: Vec<Option<(SignalId, PrimId)>> = vec![None; n];
+
+        // Sources.
+        for (sid, _) in netlist.iter_signals() {
+            match netlist.driver(sid) {
+                None => {
+                    arrivals[sid.index()] = Some(Arrival {
+                        min: Time::ZERO,
+                        max: Time::ZERO,
+                    });
+                }
+                Some(pid) => {
+                    let p = netlist.prim(pid);
+                    if p.kind.is_storage() {
+                        arrivals[sid.index()] = Some(Arrival {
+                            min: p.delay.min,
+                            max: p.delay.max,
+                        });
+                    } else if matches!(p.kind, PrimKind::Const(_)) {
+                        arrivals[sid.index()] = Some(Arrival {
+                            min: Time::ZERO,
+                            max: Time::ZERO,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Kahn topological relaxation over combinational primitives.
+        let comb: Vec<(PrimId, &scald_netlist::Primitive)> = netlist
+            .iter_prims()
+            .filter(|(_, p)| is_combinational(p.kind))
+            .collect();
+        let mut indegree: Vec<usize> = vec![0; netlist.prims().len()];
+        for (pid, p) in &comb {
+            indegree[pid.index()] = p
+                .inputs
+                .iter()
+                .filter(|c| {
+                    // An input counts as a dependency if it is itself the
+                    // output of a combinational primitive.
+                    netlist
+                        .driver(c.signal)
+                        .is_some_and(|d| is_combinational(netlist.prim(d).kind))
+                })
+                .count();
+        }
+        let mut ready: VecDeque<PrimId> = comb
+            .iter()
+            .filter(|(pid, _)| indegree[pid.index()] == 0)
+            .map(|(pid, _)| *pid)
+            .collect();
+        let mut processed = vec![false; netlist.prims().len()];
+        while let Some(pid) = ready.pop_front() {
+            if processed[pid.index()] {
+                continue;
+            }
+            processed[pid.index()] = true;
+            let p = netlist.prim(pid);
+            let out = p.output.expect("combinational prims drive outputs");
+            let mut best: Option<Arrival> = None;
+            let mut best_pred: Option<(SignalId, PrimId)> = None;
+            for c in &p.inputs {
+                let Some(a) = arrivals[c.signal.index()] else {
+                    continue;
+                };
+                let d: DelayRange = netlist.wire_delay(c).then(p.delay);
+                let cand = Arrival {
+                    min: a.min + d.min,
+                    max: a.max + d.max,
+                };
+                match &mut best {
+                    None => {
+                        best = Some(cand);
+                        best_pred = Some((c.signal, pid));
+                    }
+                    Some(b) => {
+                        b.min = b.min.min(cand.min);
+                        if cand.max > b.max {
+                            b.max = cand.max;
+                            best_pred = Some((c.signal, pid));
+                        }
+                    }
+                }
+            }
+            if let Some(a) = best {
+                arrivals[out.index()] = Some(a);
+                pred[out.index()] = best_pred;
+            }
+            // Release dependents.
+            for &next in netlist.fanout(out) {
+                if is_combinational(netlist.prim(next).kind) && !processed[next.index()] {
+                    let deg = &mut indegree[next.index()];
+                    *deg = deg.saturating_sub(1);
+                    if *deg == 0 {
+                        ready.push_back(next);
+                    }
+                }
+            }
+        }
+
+        // Unprocessed combinational primitives are in loops: report them
+        // for the user to break, GRASP-style.
+        let mut loops = Vec::new();
+        let mut in_loop: Vec<String> = comb
+            .iter()
+            .filter(|(pid, _)| !processed[pid.index()])
+            .map(|(_, p)| p.name.clone())
+            .collect();
+        if !in_loop.is_empty() {
+            in_loop.sort();
+            loops.push(in_loop);
+        }
+
+        // Endpoint slacks.
+        let mut reports = Vec::new();
+        for (_, p) in netlist.iter_prims() {
+            let (endpoint_conn, setup, hold) = match p.kind {
+                PrimKind::SetupHold { setup, hold }
+                | PrimKind::SetupRiseHoldFall { setup, hold } => (&p.inputs[0], setup, hold),
+                PrimKind::Reg { .. } | PrimKind::Latch { .. } => {
+                    (&p.inputs[1], Time::ZERO, Time::ZERO)
+                }
+                _ => continue,
+            };
+            let sid = endpoint_conn.signal;
+            let Some(arrival) = arrivals[sid.index()] else {
+                continue;
+            };
+            // Classic single-cycle constraint: data launched at edge N must
+            // settle setup before edge N+1 and not race through before the
+            // hold window of edge N.
+            let setup_slack = period - setup - arrival.max;
+            let hold_slack = arrival.min - hold;
+            // Critical-path traceback.
+            let mut path = vec![netlist.signal(sid).name.clone()];
+            let mut cur = sid;
+            let mut guard = 0;
+            while let Some((prev, via)) = pred[cur.index()] {
+                path.push(format!(
+                    "{} (via {})",
+                    netlist.signal(prev).name,
+                    netlist.prim(via).name
+                ));
+                cur = prev;
+                guard += 1;
+                if guard > netlist.signals().len() {
+                    break;
+                }
+            }
+            path.reverse();
+            reports.push(PathReport {
+                endpoint: netlist.signal(sid).name.clone(),
+                constraint_source: p.name.clone(),
+                setup,
+                hold,
+                arrival,
+                setup_slack,
+                hold_slack,
+                critical_path: path,
+            });
+        }
+
+        // Backward pass: required times. An endpoint's input must settle
+        // `setup` before the capturing edge (one period after launch);
+        // combinational primitives propagate the requirement upstream
+        // minus their own worst-case delay.
+        let mut required: Vec<Option<Time>> = vec![None; n];
+        let tighten = |slot: &mut Option<Time>, t: Time| match slot {
+            None => *slot = Some(t),
+            Some(cur) => {
+                if t < *cur {
+                    *slot = Some(t);
+                }
+            }
+        };
+        for (_, p) in netlist.iter_prims() {
+            let (conn, setup) = match p.kind {
+                PrimKind::SetupHold { setup, .. }
+                | PrimKind::SetupRiseHoldFall { setup, .. } => (&p.inputs[1 - 1], setup),
+                PrimKind::Reg { .. } | PrimKind::Latch { .. } => (&p.inputs[1], Time::ZERO),
+                _ => continue,
+            };
+            tighten(&mut required[conn.signal.index()], period - setup);
+        }
+        // Walk combinational primitives in reverse topological order (the
+        // forward `processed` order reversed is a valid reverse order for
+        // the acyclic part).
+        let order: Vec<PrimId> = {
+            // Recompute the forward order cheaply: processed flags were
+            // consumed above, so redo Kahn on primitive indices.
+            let mut indeg: Vec<usize> = vec![0; netlist.prims().len()];
+            for (pid, p) in &comb {
+                indeg[pid.index()] = p
+                    .inputs
+                    .iter()
+                    .filter(|c| {
+                        netlist
+                            .driver(c.signal)
+                            .is_some_and(|d| is_combinational(netlist.prim(d).kind))
+                    })
+                    .count();
+            }
+            let mut ready: VecDeque<PrimId> = comb
+                .iter()
+                .filter(|(pid, _)| indeg[pid.index()] == 0)
+                .map(|(pid, _)| *pid)
+                .collect();
+            let mut seen = vec![false; netlist.prims().len()];
+            let mut order = Vec::new();
+            while let Some(pid) = ready.pop_front() {
+                if seen[pid.index()] {
+                    continue;
+                }
+                seen[pid.index()] = true;
+                order.push(pid);
+                let out = netlist.prim(pid).output.expect("comb prims drive outputs");
+                for &next in netlist.fanout(out) {
+                    if is_combinational(netlist.prim(next).kind) && !seen[next.index()] {
+                        let d = &mut indeg[next.index()];
+                        *d = d.saturating_sub(1);
+                        if *d == 0 {
+                            ready.push_back(next);
+                        }
+                    }
+                }
+            }
+            order
+        };
+        for pid in order.into_iter().rev() {
+            let p = netlist.prim(pid);
+            let out = p.output.expect("comb prims drive outputs");
+            let Some(req_out) = required[out.index()] else { continue };
+            for c in &p.inputs {
+                let d = netlist.wire_delay(c).then(p.delay);
+                tighten(&mut required[c.signal.index()], req_out - d.max);
+            }
+        }
+
+        PathAnalysis {
+            arrivals,
+            pred,
+            required,
+            loops,
+            reports,
+        }
+    }
+
+    /// The backward-propagated *required time* of a signal: the latest it
+    /// may settle without violating any downstream set-up constraint.
+    /// `None` for signals with no constrained fan-out cone.
+    #[must_use]
+    pub fn required(&self, sid: SignalId) -> Option<Time> {
+        self.required[sid.index()]
+    }
+
+    /// Per-signal set-up slack: `required − arrival.max`. Signals with
+    /// negative slack form the critical region a designer must fix.
+    /// Sorted worst-first. Signals lacking either quantity are omitted.
+    #[must_use]
+    pub fn signal_slacks(&self, netlist: &Netlist) -> Vec<(SignalId, Time)> {
+        let mut out: Vec<(SignalId, Time)> = netlist
+            .iter_signals()
+            .filter_map(|(sid, _)| {
+                let req = self.required[sid.index()]?;
+                let arr = self.arrivals[sid.index()]?;
+                Some((sid, req - arr.max))
+            })
+            .collect();
+        out.sort_by_key(|&(_, slack)| slack);
+        out
+    }
+
+    /// The computed arrival range of a signal, if it was reachable.
+    #[must_use]
+    pub fn arrival(&self, sid: SignalId) -> Option<Arrival> {
+        self.arrivals[sid.index()]
+    }
+
+    /// Combinational loops the search could not traverse — the user must
+    /// insert breakpoints, as in GRASP (§1.4.2).
+    #[must_use]
+    pub fn loops(&self) -> &[Vec<String>] {
+        &self.loops
+    }
+
+    /// All endpoint reports.
+    #[must_use]
+    pub fn reports(&self) -> &[PathReport] {
+        &self.reports
+    }
+
+    /// Reports whose slack is negative — the errors a path-searching tool
+    /// would print (including the spurious ones on value-dependent logic).
+    #[must_use]
+    pub fn violations(&self) -> Vec<&PathReport> {
+        self.reports.iter().filter(|r| r.is_violated()).collect()
+    }
+
+    /// Max-path predecessor of a signal, for external tracing.
+    #[must_use]
+    pub fn predecessor(&self, sid: SignalId) -> Option<(SignalId, PrimId)> {
+        self.pred[sid.index()]
+    }
+
+    /// The self-timed *module delay* of §4.2.1: the min/max combinational
+    /// delay from the module's inputs to its outputs (signals nothing in
+    /// the module reads). This is the figure a self-timed design needs to
+    /// size the delay on its "done" line — the use the thesis suggests for
+    /// the verification machinery in asynchronous contexts.
+    ///
+    /// Returns `None` if the module has no reachable outputs (e.g. a loop
+    /// blocked the analysis).
+    #[must_use]
+    pub fn module_delay(&self, netlist: &Netlist) -> Option<DelayRange> {
+        let mut min: Option<Time> = None;
+        let mut max: Option<Time> = None;
+        for (sid, _) in netlist.iter_signals() {
+            if !netlist.fanout(sid).is_empty() || netlist.driver(sid).is_none() {
+                continue; // not a module output
+            }
+            let Some(a) = self.arrivals[sid.index()] else { continue };
+            min = Some(min.map_or(a.min, |m: Time| m.min(a.min)));
+            max = Some(max.map_or(a.max, |m: Time| m.max(a.max)));
+        }
+        match (min, max) {
+            (Some(min), Some(max)) => Some(DelayRange::new(Time::ZERO.max(min), max)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scald_netlist::{Config, Conn, NetlistBuilder};
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    fn z(s: SignalId) -> Conn {
+        Conn::new(s).with_wire_delay(DelayRange::ZERO)
+    }
+
+    #[test]
+    fn chain_accumulates_delay() {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let a = b.signal("A").unwrap();
+        let m = b.signal("M").unwrap();
+        let q = b.signal("Q").unwrap();
+        b.buf("B1", DelayRange::from_ns(1.0, 2.0), z(a), m);
+        b.buf("B2", DelayRange::from_ns(3.0, 5.0), z(m), q);
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        let arr = an.arrival(q).unwrap();
+        assert_eq!(arr.min, ns(4.0));
+        assert_eq!(arr.max, ns(7.0));
+    }
+
+    #[test]
+    fn register_launch_and_capture() {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let clk = b.signal("CK .P0-1").unwrap();
+        let d = b.signal("D").unwrap();
+        let q1 = b.signal("Q1").unwrap();
+        let mid = b.signal("MID").unwrap();
+        let q2 = b.signal("Q2").unwrap();
+        b.reg("R1", DelayRange::from_ns(1.5, 4.5), z(clk), z(d), q1);
+        b.buf("LOGIC", DelayRange::from_ns(10.0, 43.0), z(q1), mid);
+        b.reg("R2", DelayRange::from_ns(1.5, 4.5), z(clk), z(mid), q2);
+        b.setup_hold("R2 CHK", ns(3.0), ns(1.0), z(mid), z(clk));
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        // Arrival at MID: launch 1.5..4.5 + 10..43 = 11.5..47.5.
+        let arr = an.arrival(mid).unwrap();
+        assert_eq!(arr.min, ns(11.5));
+        assert_eq!(arr.max, ns(47.5));
+        // Setup slack: 50 - 3 - 47.5 = -0.5 -> violation.
+        let viols = an.violations();
+        assert!(!viols.is_empty());
+        let chk = viols
+            .iter()
+            .find(|r| r.constraint_source == "R2 CHK")
+            .unwrap();
+        assert_eq!(chk.setup_slack, ns(-0.5));
+        assert!(chk.hold_slack >= Time::ZERO);
+        assert!(chk.critical_path.len() >= 2);
+    }
+
+    #[test]
+    fn combinational_loop_reported() {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let a = b.signal("A").unwrap();
+        let x = b.signal("X").unwrap();
+        let y = b.signal("Y").unwrap();
+        b.or2("G1", DelayRange::from_ns(1.0, 2.0), z(a), z(y), x);
+        b.not("G2", DelayRange::from_ns(1.0, 2.0), z(x), y);
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        assert_eq!(an.loops().len(), 1);
+        assert_eq!(an.loops()[0].len(), 2);
+        assert!(an.arrival(x).is_none());
+    }
+
+    #[test]
+    fn phantom_path_on_value_dependent_logic() {
+        // The Fig 2-6 shape: 10/20 ns legs around two muxes with
+        // complementary selects. The true worst path is 30 ns; blind path
+        // search sees 40.
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let input = b.signal("INPUT").unwrap();
+        let ctrl = b.signal("CTRL").unwrap();
+        let d10 = b.signal("D10").unwrap();
+        let d20 = b.signal("D20").unwrap();
+        let m1 = b.signal("M1").unwrap();
+        let m1d10 = b.signal("M1D10").unwrap();
+        let m1d20 = b.signal("M1D20").unwrap();
+        let out = b.signal("OUT").unwrap();
+        b.delay("P10", DelayRange::from_ns(10.0, 10.0), z(input), d10);
+        b.delay("P20", DelayRange::from_ns(20.0, 20.0), z(input), d20);
+        b.mux2("MUX1", DelayRange::ZERO, z(ctrl), z(d10), z(d20), m1);
+        b.delay("Q10", DelayRange::from_ns(10.0, 10.0), z(m1), m1d10);
+        b.delay("Q20", DelayRange::from_ns(20.0, 20.0), z(m1), m1d20);
+        b.mux2(
+            "MUX2",
+            DelayRange::ZERO,
+            z(ctrl).inverted(),
+            z(m1d10),
+            z(m1d20),
+            out,
+        );
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        // 20 + 20 = 40 ns phantom path — the spurious result the thesis
+        // criticizes path searching for (§4.1).
+        assert_eq!(an.arrival(out).unwrap().max, ns(40.0));
+        // The shortest path is through MUX2's select pin (a blind path
+        // searcher includes control paths; arrival 0 at the primary input).
+        assert_eq!(an.arrival(out).unwrap().min, Time::ZERO);
+        // The shortest *data* path is visible one level up: 10 ns at M1
+        // via the select (0) ... M1's min is via its own select, also 0.
+        assert_eq!(an.arrival(m1).unwrap().max, ns(20.0));
+    }
+
+    #[test]
+    fn module_delay_for_self_timed_sizing() {
+        // A two-stage combinational module: the done-line delay must cover
+        // 4..7 ns (the accumulated min/max to the only output).
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let a = b.signal("A").unwrap();
+        let m = b.signal("M").unwrap();
+        let q = b.signal("Q").unwrap();
+        b.buf("B1", DelayRange::from_ns(1.0, 2.0), z(a), m);
+        b.buf("B2", DelayRange::from_ns(3.0, 5.0), z(m), q);
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        let d = an.module_delay(&n).unwrap();
+        assert_eq!(d, DelayRange::from_ns(4.0, 7.0));
+    }
+
+    #[test]
+    fn module_delay_none_when_no_outputs() {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let a = b.signal("A").unwrap();
+        let x = b.signal("X").unwrap();
+        let y = b.signal("Y").unwrap();
+        // Pure loop: every driven signal is read; no module outputs.
+        b.or2("G1", DelayRange::from_ns(1.0, 2.0), z(a), z(y), x);
+        b.not("G2", DelayRange::from_ns(1.0, 2.0), z(x), y);
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        assert!(an.module_delay(&n).is_none());
+    }
+
+    #[test]
+    fn reports_render() {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let clk = b.signal("CK .P0-1").unwrap();
+        let d = b.signal("D").unwrap();
+        let q = b.signal("Q").unwrap();
+        b.reg("R", DelayRange::from_ns(1.5, 4.5), z(clk), z(d), q);
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        assert_eq!(an.reports().len(), 1);
+        let text = an.reports()[0].to_string();
+        assert!(text.contains("slack"));
+        assert!(!an.reports()[0].is_violated());
+    }
+}
+
+#[cfg(test)]
+mod required_time_tests {
+    use super::*;
+    use scald_netlist::{Config, Conn, NetlistBuilder};
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    fn z(s: SignalId) -> Conn {
+        Conn::new(s).with_wire_delay(DelayRange::ZERO)
+    }
+
+    #[test]
+    fn required_times_propagate_backward() {
+        // R1 -> LOGIC(10..20) -> endpoint with setup 3: the endpoint input
+        // must settle by 47; LOGIC's input by 47 - 20 = 27.
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let clk = b.signal("CK .P0-1").unwrap();
+        let d = b.signal("D").unwrap();
+        let q1 = b.signal("Q1").unwrap();
+        let mid = b.signal("MID").unwrap();
+        b.reg("R1", DelayRange::from_ns(1.5, 4.5), z(clk), z(d), q1);
+        b.buf("LOGIC", DelayRange::from_ns(10.0, 20.0), z(q1), mid);
+        b.setup_hold("END", ns(3.0), ns(1.0), z(mid), z(clk));
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        assert_eq!(an.required(mid), Some(ns(47.0)));
+        assert_eq!(an.required(q1), Some(ns(27.0)));
+        assert!(an.required(d).is_none() || an.required(d).is_some());
+        // Slack at MID: 47 - (4.5 + 20) = 22.5; at Q1: 27 - 4.5 = 22.5.
+        let slacks = an.signal_slacks(&n);
+        let mid_slack = slacks.iter().find(|(s, _)| *s == mid).unwrap().1;
+        let q1_slack = slacks.iter().find(|(s, _)| *s == q1).unwrap().1;
+        assert_eq!(mid_slack, ns(22.5));
+        assert_eq!(q1_slack, ns(22.5));
+    }
+
+    #[test]
+    fn critical_region_sorts_worst_first() {
+        // Two cones: a failing one (slack < 0) and a comfortable one.
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let clk = b.signal("CK .P0-1").unwrap();
+        let d = b.signal("D").unwrap();
+        let q = b.signal("Q").unwrap();
+        let slow = b.signal("SLOW").unwrap();
+        let fast = b.signal("FAST").unwrap();
+        b.reg("R", DelayRange::from_ns(1.5, 4.5), z(clk), z(d), q);
+        b.buf("BS", DelayRange::from_ns(10.0, 44.0), z(q), slow);
+        b.buf("BF", DelayRange::from_ns(1.0, 2.0), z(q), fast);
+        b.setup_hold("CS", ns(3.0), ns(0.5), z(slow), z(clk));
+        b.setup_hold("CF", ns(3.0), ns(0.5), z(fast), z(clk));
+        let n = b.finish().unwrap();
+        let an = PathAnalysis::analyze(&n);
+        let slacks = an.signal_slacks(&n);
+        // Worst-first; the critical region is {Q, SLOW}, both at
+        // 47 - (4.5 + 44) = -1.5 (ties keep declaration order).
+        let worst: Vec<SignalId> = slacks[..2].iter().map(|&(s, _)| s).collect();
+        assert!(worst.contains(&slow) && worst.contains(&q), "{slacks:?}");
+        assert_eq!(slacks[0].1, ns(-1.5));
+        assert_eq!(slacks[1].1, ns(-1.5));
+        // Q's slack is constrained through the slow cone:
+        // required(Q) = min(47-44, 47-2) = 3; arrival 4.5 -> -1.5.
+        let q_slack = slacks.iter().find(|(s, _)| *s == q).unwrap().1;
+        assert_eq!(q_slack, ns(-1.5));
+        // FAST is comfortable.
+        let fast_slack = slacks.iter().find(|(s, _)| *s == fast).unwrap().1;
+        assert_eq!(fast_slack, ns(40.5));
+    }
+}

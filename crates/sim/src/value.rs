@@ -1,0 +1,188 @@
+//! The six-value system of min/max-based logic simulators (§1.4.1.1).
+//!
+//! TEGAS-style simulators extend `{0, 1}` with an initialization value `X`
+//! and ambiguity values for min/max delay regions: `U` (signal rising
+//! somewhere in the region), `D` (falling), and `E` (potential spike,
+//! hazard or race).
+
+use std::fmt;
+
+/// One of the six TEGAS-style simulation values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimValue {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / uninitialized.
+    X,
+    /// Rising: 0 before the ambiguity region, 1 after.
+    Up,
+    /// Falling: 1 before, 0 after.
+    Down,
+    /// Potential spike, hazard or race.
+    Spike,
+}
+
+impl SimValue {
+    /// From a concrete boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> SimValue {
+        if b {
+            SimValue::One
+        } else {
+            SimValue::Zero
+        }
+    }
+
+    /// `true` for the two definite levels.
+    #[must_use]
+    pub const fn is_definite(self) -> bool {
+        matches!(self, SimValue::Zero | SimValue::One)
+    }
+
+    /// `true` for the ambiguity values that mean the signal may be mid
+    /// transition.
+    #[must_use]
+    pub const fn is_ambiguous(self) -> bool {
+        matches!(self, SimValue::Up | SimValue::Down | SimValue::Spike | SimValue::X)
+    }
+
+    /// The ambiguity value describing a transition from `self` to `to`,
+    /// scheduled over a gate's min/max delay window.
+    #[must_use]
+    pub const fn transition_to(self, to: SimValue) -> SimValue {
+        use SimValue::*;
+        match (self, to) {
+            (Zero, One) => Up,
+            (One, Zero) => Down,
+            (a, b) if a as u8 == b as u8 => b,
+            (_, X) | (X, _) => X,
+            // Anything else over an ambiguity window could glitch.
+            _ => Spike,
+        }
+    }
+
+    /// Logical complement.
+    #[must_use]
+    pub const fn not(self) -> SimValue {
+        use SimValue::*;
+        match self {
+            Zero => One,
+            One => Zero,
+            X => X,
+            Up => Down,
+            Down => Up,
+            Spike => Spike,
+        }
+    }
+
+    /// Logical AND with dominance: `0` wins over everything.
+    #[must_use]
+    pub const fn and(self, other: SimValue) -> SimValue {
+        use SimValue::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, v) | (v, One) => v,
+            (X, _) | (_, X) => X,
+            (Up, Up) => Up,
+            (Down, Down) => Down,
+            _ => Spike,
+        }
+    }
+
+    /// Logical OR with dominance: `1` wins over everything.
+    #[must_use]
+    pub const fn or(self, other: SimValue) -> SimValue {
+        use SimValue::*;
+        match (self, other) {
+            (One, _) | (_, One) => One,
+            (Zero, v) | (v, Zero) => v,
+            (X, _) | (_, X) => X,
+            (Up, Up) => Up,
+            (Down, Down) => Down,
+            _ => Spike,
+        }
+    }
+
+    /// Logical XOR; ambiguity always propagates.
+    #[must_use]
+    pub const fn xor(self, other: SimValue) -> SimValue {
+        use SimValue::*;
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (Zero, v) | (v, Zero) => v,
+            (One, v) | (v, One) => v.not(),
+            (Up, Up) | (Down, Down) => Spike,
+            _ => Spike,
+        }
+    }
+}
+
+impl fmt::Display for SimValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            SimValue::Zero => '0',
+            SimValue::One => '1',
+            SimValue::X => 'X',
+            SimValue::Up => 'U',
+            SimValue::Down => 'D',
+            SimValue::Spike => 'E',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SimValue::*;
+
+    const ALL: [SimValue; 6] = [Zero, One, X, Up, Down, Spike];
+
+    #[test]
+    fn dominance() {
+        for v in ALL {
+            assert_eq!(Zero.and(v), Zero);
+            assert_eq!(One.or(v), One);
+            assert_eq!(One.and(v), v);
+            assert_eq!(Zero.or(v), v);
+        }
+    }
+
+    #[test]
+    fn commutativity() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn not_involution() {
+        for v in ALL {
+            assert_eq!(v.not().not(), v);
+        }
+    }
+
+    #[test]
+    fn transitions() {
+        assert_eq!(Zero.transition_to(One), Up);
+        assert_eq!(One.transition_to(Zero), Down);
+        assert_eq!(One.transition_to(One), One);
+        assert_eq!(X.transition_to(One), X);
+        assert_eq!(Up.transition_to(Zero), Spike);
+    }
+
+    #[test]
+    fn ambiguity_classification() {
+        assert!(Up.is_ambiguous());
+        assert!(X.is_ambiguous());
+        assert!(!One.is_ambiguous());
+        assert!(One.is_definite());
+        assert!(!Spike.is_definite());
+    }
+}

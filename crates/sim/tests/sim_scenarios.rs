@@ -1,0 +1,215 @@
+//! Behavioural tests for the min/max logic simulator baseline.
+
+use scald_netlist::{Config, Conn, NetlistBuilder};
+use scald_sim::{primary_inputs, simulate, SimValue, SimViolationKind, Stimulus};
+use scald_wave::{DelayRange, Time};
+use std::collections::HashMap;
+
+fn ns(x: f64) -> Time {
+    Time::from_ns(x)
+}
+
+#[test]
+fn and_gate_concrete_values() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A").unwrap();
+    let c = b.signal("B").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.and2("G", DelayRange::from_ns(1.0, 2.0), a, c, q);
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    assert_eq!(inputs.len(), 2);
+
+    for pattern in 0..4u64 {
+        let stim = Stimulus::from_pattern(&inputs, 1, pattern);
+        let r = simulate(&n, &stim);
+        let expect = pattern & 0b01 != 0 && pattern & 0b10 != 0;
+        assert_eq!(
+            r.final_values[q.index()],
+            SimValue::from_bool(expect),
+            "pattern {pattern:02b}"
+        );
+    }
+}
+
+#[test]
+fn register_samples_data_on_clock_edge() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let d = b.signal("D").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.reg(
+        "R",
+        DelayRange::from_ns(1.0, 2.0),
+        Conn::new(clk).with_wire_delay(DelayRange::ZERO),
+        Conn::new(d).with_wire_delay(DelayRange::ZERO),
+        q,
+    );
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    assert_eq!(inputs.len(), 1); // D only; CK is generated from assertion
+
+    let mut map = HashMap::new();
+    map.insert(inputs[0], vec![true, false]);
+    let r = simulate(&n, &Stimulus { cycles: 2, inputs: map });
+    assert!(r.is_clean(), "{:?}", r.violations);
+    // After the second cycle's edge the register holds 0 (sampled false).
+    assert_eq!(r.final_values[q.index()], SimValue::Zero);
+}
+
+#[test]
+fn register_flags_ambiguous_data() {
+    // Data arrives through a gate whose max delay puts its ambiguity
+    // region over the clock edge at 12.5 ns.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let d = b.signal("D").unwrap();
+    let dd = b.signal("DD").unwrap();
+    let q = b.signal("Q").unwrap();
+    // Buffer with 10..15 ns delay: D changes at t=0, DD is ambiguous
+    // (U/D) over 10..15, covering the 12.5 ns edge.
+    b.buf(
+        "SLOW",
+        DelayRange::from_ns(10.0, 15.0),
+        Conn::new(d).with_wire_delay(DelayRange::ZERO),
+        dd,
+    );
+    b.reg(
+        "R",
+        DelayRange::from_ns(1.0, 2.0),
+        Conn::new(clk).with_wire_delay(DelayRange::ZERO),
+        Conn::new(dd).with_wire_delay(DelayRange::ZERO),
+        q,
+    );
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    let mut map = HashMap::new();
+    // Toggle D so DD is mid-flight at the first edge of cycle 2.
+    map.insert(inputs[0], vec![true, false]);
+    let r = simulate(&n, &Stimulus { cycles: 2, inputs: map });
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.kind == SimViolationKind::AmbiguousData),
+        "{:?}",
+        r.violations
+    );
+    assert_eq!(r.final_values[q.index()], SimValue::X);
+}
+
+#[test]
+fn dynamic_setup_check_fires() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let d = b.signal("D").unwrap();
+    let dd = b.signal("DD").unwrap();
+    // DD settles at 11.5..12.0 ns; the edge is at 12.5: only ~0.5 ns of
+    // set-up against a required 2.5.
+    b.buf(
+        "SLOW",
+        DelayRange::from_ns(11.5, 12.0),
+        Conn::new(d).with_wire_delay(DelayRange::ZERO),
+        dd,
+    );
+    b.setup_hold(
+        "CHK",
+        ns(2.5),
+        ns(1.5),
+        Conn::new(dd).with_wire_delay(DelayRange::ZERO),
+        Conn::new(clk).with_wire_delay(DelayRange::ZERO),
+    );
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    let mut map = HashMap::new();
+    map.insert(inputs[0], vec![true]);
+    let r = simulate(&n, &Stimulus { cycles: 1, inputs: map });
+    assert!(
+        r.violations.iter().any(|v| v.kind == SimViolationKind::Setup),
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn min_pulse_width_monitor() {
+    // A pulse generator: Q = A AND NOT(A delayed 3ns) gives a ~3 ns pulse
+    // when A rises; the monitor requires 5 ns.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A").unwrap();
+    let na = b.signal("NA").unwrap();
+    let q = b.signal("Q").unwrap();
+    let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    b.not("INV", DelayRange::from_ns(3.0, 3.0), z(a), na);
+    b.and2("G", DelayRange::ZERO, z(a), z(na), q);
+    b.min_pulse_width("W", ns(5.0), ns(0.0), z(q));
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    let mut map = HashMap::new();
+    map.insert(inputs[0], vec![false, true]);
+    let r = simulate(&n, &Stimulus { cycles: 2, inputs: map });
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.kind == SimViolationKind::MinPulseHigh),
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn simulation_only_covers_exercised_patterns() {
+    // The thesis' core argument: a mux whose 1-leg is slow only reveals
+    // its set-up problem when the select actually chooses leg 1. The
+    // simulator misses the bug for patterns that never select it.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let sel = b.signal("SEL").unwrap();
+    let fast = b.signal("FAST").unwrap();
+    let slow = b.signal("SLOW IN").unwrap();
+    let slowd = b.signal("SLOW D").unwrap();
+    let m = b.signal("M").unwrap();
+    let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    b.buf("SLOWBUF", DelayRange::from_ns(12.0, 12.4), z(slow), slowd);
+    b.mux2("MUX", DelayRange::ZERO, z(sel), z(fast), z(slowd), m);
+    b.setup_hold("CHK", ns(2.5), ns(0.5), z(m), z(clk));
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    assert_eq!(inputs.len(), 3);
+
+    let mut any_clean = false;
+    let mut any_violating = false;
+    for pattern in 0..(1u64 << inputs.len()) {
+        let stim = Stimulus::from_pattern(&inputs, 1, pattern);
+        let r = simulate(&n, &stim);
+        if r.violations.iter().any(|v| v.kind == SimViolationKind::Setup) {
+            any_violating = true;
+        } else {
+            any_clean = true;
+        }
+    }
+    assert!(
+        any_clean && any_violating,
+        "the bug must be pattern-dependent: clean={any_clean} violating={any_violating}"
+    );
+}
+
+#[test]
+fn inertial_filtering_cancels_stale_events() {
+    // Rapid back-to-back input changes through a slow gate: the final
+    // value must match the final input, not a stale scheduled one.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.buf(
+        "B",
+        DelayRange::from_ns(30.0, 40.0),
+        Conn::new(a).with_wire_delay(DelayRange::ZERO),
+        q,
+    );
+    let n = b.finish().unwrap();
+    let inputs = primary_inputs(&n);
+    let mut map = HashMap::new();
+    map.insert(inputs[0], vec![true, false, false]);
+    let r = simulate(&n, &Stimulus { cycles: 3, inputs: map });
+    assert_eq!(r.final_values[q.index()], SimValue::Zero);
+}

@@ -1,0 +1,568 @@
+//! Constraint checking: the post-fixed-point pass of §2.9 that examines
+//! every checker primitive, every `&A`/`&H` gating directive, and every
+//! stable assertion on a generated signal.
+
+use scald_logic::Value;
+use scald_netlist::{Netlist, PrimId, PrimKind};
+use scald_wave::{edge_windows, pulses, Edge, EdgeWindow, Span, Time, Waveform};
+
+use crate::eval::{pin_wave, pin_wave_pulse_view};
+use crate::report::{Violation, ViolationKind};
+use crate::state::SignalState;
+
+/// How long `wave` has been quiescent immediately before instant `t`
+/// (up to one full period). Zero if the signal may be changing just
+/// before `t`.
+fn quiescent_before(wave: &Waveform, t: Time) -> Time {
+    let period = wave.period();
+    let probe = (t - Time::from_ps(1)).rem_period(period);
+    if !wave.value_at(probe).is_quiescent() {
+        return Time::ZERO;
+    }
+    for q in wave.spans_where(Value::is_quiescent) {
+        if q.is_full(period) {
+            return period;
+        }
+        if q.contains(probe, period) {
+            return (t - q.start()).rem_period(period);
+        }
+    }
+    Time::ZERO
+}
+
+/// How long `wave` stays quiescent from instant `t` onward (up to one full
+/// period). Zero if the signal may be changing at `t`.
+fn quiescent_after(wave: &Waveform, t: Time) -> Time {
+    let period = wave.period();
+    let t = t.rem_period(period);
+    if !wave.value_at(t).is_quiescent() {
+        return Time::ZERO;
+    }
+    for q in wave.spans_where(Value::is_quiescent) {
+        if q.is_full(period) {
+            return period;
+        }
+        if q.contains(t, period) {
+            let end = q.start() + q.width();
+            return (end - t).rem_period(period).max(
+                // t == q.start of a span whose width is the distance
+                Time::ZERO,
+            );
+        }
+    }
+    Time::ZERO
+}
+
+fn observed_line(label: &str, name: &str, wave: &Waveform) -> String {
+    format!("{label} = {name}: {wave}")
+}
+
+/// Emits an `UndefinedClock` diagnostic when a checker clock carries `U`
+/// anywhere — a missing assertion or unconnected clock is far easier to
+/// act on than the avalanche of set-up noise it would otherwise cause.
+fn check_clock_defined(
+    source: &str,
+    clock_name: &str,
+    clock: &Waveform,
+    out: &mut Vec<Violation>,
+) -> bool {
+    let undefined = clock.spans_where(|v| v == Value::Unknown);
+    if undefined.is_empty() {
+        return true;
+    }
+    out.push(Violation {
+        kind: ViolationKind::UndefinedClock,
+        source: source.to_owned(),
+        constraint: format!("CLOCK {clock_name} HAS NO DEFINED VALUE"),
+        missed_by: None,
+        at: undefined.first().copied(),
+        observed: vec![observed_line("CK INPUT  ", clock_name, clock)],
+    });
+    false
+}
+
+/// Runs the `SETUP HOLD CHK` semantics (§2.4.4): the input must be
+/// quiescent from `setup` before until `hold` after each rising edge of
+/// the clock. Returns one violation per failed edge/phase.
+#[allow(clippy::too_many_arguments)]
+fn check_setup_hold_edges(
+    source: &str,
+    setup: Time,
+    hold: Time,
+    input: &Waveform,
+    input_name: &str,
+    clock: &Waveform,
+    clock_name: &str,
+    edges: &[EdgeWindow],
+    out: &mut Vec<Violation>,
+) {
+    let period = input.period();
+    let constraint = format!("SETUP TIME = {setup}, HOLD TIME = {hold}");
+    let observed = vec![
+        observed_line("CK INPUT  ", clock_name, clock),
+        observed_line("DATA INPUT", input_name, input),
+    ];
+    for e in edges {
+        let w = e.span;
+        // Data changing during the edge window itself: the full set-up is
+        // missed (the register may sample mid-transition).
+        let window_quiescent = input.quiescent_throughout(w);
+        if !window_quiescent && setup > Time::ZERO {
+            out.push(Violation {
+                kind: ViolationKind::Setup,
+                source: source.to_owned(),
+                constraint: constraint.clone(),
+                missed_by: Some(setup),
+                at: Some(w),
+                observed: observed.clone(),
+            });
+        } else if setup > Time::ZERO {
+            let avail = quiescent_before(input, w.start());
+            if avail < setup {
+                out.push(Violation {
+                    kind: ViolationKind::Setup,
+                    source: source.to_owned(),
+                    constraint: constraint.clone(),
+                    missed_by: Some(setup - avail),
+                    at: Some(w),
+                    observed: observed.clone(),
+                });
+            }
+        }
+        if hold > Time::ZERO {
+            let edge_end = w.end(period);
+            let avail = quiescent_after(input, edge_end);
+            if avail < hold {
+                out.push(Violation {
+                    kind: ViolationKind::Hold,
+                    source: source.to_owned(),
+                    constraint: constraint.clone(),
+                    missed_by: Some(hold - avail),
+                    at: Some(w),
+                    observed: observed.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Pairs each rising window with the nearest following falling window
+/// (the clock's asserted pulse).
+fn clock_pulses(clock: &Waveform) -> Vec<(EdgeWindow, EdgeWindow)> {
+    let period = clock.period();
+    let rising = edge_windows(clock, Edge::Rising);
+    let falling = edge_windows(clock, Edge::Falling);
+    let mut out = Vec::new();
+    for r in &rising {
+        let after_r = r.span.end(period);
+        if let Some(f) = falling.iter().min_by_key(|f| {
+            (f.span.start() - after_r).rem_period(period)
+        }) {
+            out.push((*r, *f));
+        }
+    }
+    out
+}
+
+/// The timing margin of one checker: how much headroom each of its
+/// constraints has. Negative slack corresponds to a reported violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckMargin {
+    /// Checker instance name.
+    pub checker: String,
+    /// The checked input signal.
+    pub signal: String,
+    /// Worst set-up slack across all clock edges: available stability
+    /// minus required set-up. `None` if the check did not apply (no
+    /// set-up requirement or no edges).
+    pub setup_slack: Option<Time>,
+    /// Worst hold slack across all clock edges.
+    pub hold_slack: Option<Time>,
+    /// Worst pulse-width slack (min possible width minus required), over
+    /// both polarities of a `MIN PULSE WIDTH` check.
+    pub pulse_slack: Option<Time>,
+}
+
+/// Computes the timing margins of every checker primitive against the
+/// settled states — the slack view designers use to see how much headroom
+/// a passing design has (and by how much a failing one misses).
+pub(crate) fn slack_report(netlist: &Netlist, states: &[SignalState]) -> Vec<CheckMargin> {
+    let period = netlist.config().timing.period;
+    let mut out = Vec::new();
+    for (_, prim) in netlist.iter_prims() {
+        match prim.kind {
+            PrimKind::SetupHold { setup, hold } => {
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let mut setup_slack: Option<Time> = None;
+                let mut hold_slack: Option<Time> = None;
+                for e in edge_windows(&clock, Edge::Rising) {
+                    let avail_setup = if input.quiescent_throughout(e.span) {
+                        quiescent_before(&input, e.span.start())
+                    } else {
+                        Time::ZERO
+                    };
+                    let s = avail_setup - setup;
+                    setup_slack = Some(setup_slack.map_or(s, |m| m.min(s)));
+                    let avail_hold = quiescent_after(&input, e.span.end(period));
+                    let h = avail_hold - hold;
+                    hold_slack = Some(hold_slack.map_or(h, |m| m.min(h)));
+                }
+                out.push(CheckMargin {
+                    checker: prim.name.clone(),
+                    signal: netlist.signal(prim.inputs[0].signal).name.clone(),
+                    setup_slack,
+                    hold_slack,
+                    pulse_slack: None,
+                });
+            }
+            PrimKind::SetupRiseHoldFall { setup, hold } => {
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let mut setup_slack: Option<Time> = None;
+                let mut hold_slack: Option<Time> = None;
+                for (r, f) in clock_pulses(&clock) {
+                    let s = quiescent_before(&input, r.span.start()) - setup;
+                    setup_slack = Some(setup_slack.map_or(s, |m| m.min(s)));
+                    let h = quiescent_after(&input, f.span.end(period)) - hold;
+                    hold_slack = Some(hold_slack.map_or(h, |m| m.min(h)));
+                }
+                out.push(CheckMargin {
+                    checker: prim.name.clone(),
+                    signal: netlist.signal(prim.inputs[0].signal).name.clone(),
+                    setup_slack,
+                    hold_slack,
+                    pulse_slack: None,
+                });
+            }
+            PrimKind::MinPulseWidth { high, low } => {
+                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states);
+                let mut pulse_slack: Option<Time> = None;
+                if high > Time::ZERO {
+                    for p in pulses(&input, true) {
+                        let s = p.min_possible_width - high;
+                        pulse_slack = Some(pulse_slack.map_or(s, |m| m.min(s)));
+                    }
+                }
+                if low > Time::ZERO {
+                    for p in pulses(&input, false) {
+                        let s = p.min_possible_width - low;
+                        pulse_slack = Some(pulse_slack.map_or(s, |m| m.min(s)));
+                    }
+                }
+                out.push(CheckMargin {
+                    checker: prim.name.clone(),
+                    signal: netlist.signal(prim.inputs[0].signal).name.clone(),
+                    setup_slack: None,
+                    hold_slack: None,
+                    pulse_slack,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Worst margins first.
+    out.sort_by_key(|m| {
+        [m.setup_slack, m.hold_slack, m.pulse_slack]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(Time::from_ps(i64::MAX))
+    });
+    out
+}
+
+/// Verifies all checker primitives, `&A`/`&H` gate directives and stable
+/// assertions against the settled signal states. `hazards` lists
+/// `(gate, asserted input index)` pairs collected during evaluation.
+pub(crate) fn run_all_checks(
+    netlist: &Netlist,
+    states: &[SignalState],
+    hazards: &[(PrimId, usize)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let period = netlist.config().timing.period;
+
+    for (_, prim) in netlist.iter_prims() {
+        match prim.kind {
+            PrimKind::SetupHold { setup, hold } => {
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let in_name = &netlist.signal(prim.inputs[0].signal).name;
+                let ck_name = &netlist.signal(prim.inputs[1].signal).name;
+                if !check_clock_defined(&prim.name, ck_name, &clock, &mut out) {
+                    continue;
+                }
+                let edges = edge_windows(&clock, Edge::Rising);
+                check_setup_hold_edges(
+                    &prim.name, setup, hold, &input, in_name, &clock, ck_name, &edges, &mut out,
+                );
+            }
+            PrimKind::SetupRiseHoldFall { setup, hold } => {
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let in_name = netlist.signal(prim.inputs[0].signal).name.clone();
+                let ck_name = netlist.signal(prim.inputs[1].signal).name.clone();
+                if !check_clock_defined(&prim.name, &ck_name, &clock, &mut out) {
+                    continue;
+                }
+                let observed = vec![
+                    observed_line("CK INPUT  ", &ck_name, &clock),
+                    observed_line("DATA INPUT", &in_name, &input),
+                ];
+                for (r, f) in clock_pulses(&clock) {
+                    let constraint =
+                        format!("SETUP (RISE) = {setup}, HOLD (FALL) = {hold}");
+                    // Stability over the definitely-high interior of the
+                    // pulse (rise window end to fall window start); the
+                    // edge windows themselves are covered by the set-up
+                    // and hold checks, so each cause reports once.
+                    let interior = (f.span.start() - r.span.end(period)).rem_period(period);
+                    let high = Span::new(r.span.end(period), interior, period);
+                    if interior > Time::ZERO && !high.is_full(period)
+                        && !input.quiescent_throughout(high)
+                    {
+                        out.push(Violation {
+                            kind: ViolationKind::StableWhileTrue,
+                            source: prim.name.clone(),
+                            constraint: constraint.clone(),
+                            missed_by: None,
+                            at: Some(high),
+                            observed: observed.clone(),
+                        });
+                    }
+                    if setup > Time::ZERO {
+                        let avail = quiescent_before(&input, r.span.start());
+                        if avail < setup {
+                            out.push(Violation {
+                                kind: ViolationKind::Setup,
+                                source: prim.name.clone(),
+                                constraint: constraint.clone(),
+                                missed_by: Some(setup - avail),
+                                at: Some(r.span),
+                                observed: observed.clone(),
+                            });
+                        }
+                    }
+                    if hold > Time::ZERO {
+                        let avail = quiescent_after(&input, f.span.end(period));
+                        if avail < hold {
+                            out.push(Violation {
+                                kind: ViolationKind::Hold,
+                                source: prim.name.clone(),
+                                constraint,
+                                missed_by: Some(hold - avail),
+                                at: Some(f.span),
+                                observed: observed.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            PrimKind::MinPulseWidth { high, low } => {
+                // Pulse widths are measured with skew kept separate: skew
+                // shifts both edges of a pulse together (§2.8).
+                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states);
+                let name = &netlist.signal(prim.inputs[0].signal).name;
+                let observed = vec![observed_line("INPUT     ", name, &input)];
+                if high > Time::ZERO {
+                    for p in pulses(&input, true) {
+                        if p.min_possible_width < high {
+                            let glitch = if p.certain { "" } else { " (POTENTIAL SPURIOUS PULSE)" };
+                            out.push(Violation {
+                                kind: ViolationKind::MinPulseHigh,
+                                source: prim.name.clone(),
+                                constraint: format!(
+                                    "MIN HIGH WIDTH = {high}, POSSIBLE WIDTH = {}{glitch}",
+                                    p.min_possible_width
+                                ),
+                                missed_by: Some(high - p.min_possible_width),
+                                at: Some(p.possible),
+                                observed: observed.clone(),
+                            });
+                        }
+                    }
+                }
+                if low > Time::ZERO {
+                    for p in pulses(&input, false) {
+                        if p.min_possible_width < low {
+                            let glitch = if p.certain { "" } else { " (POTENTIAL SPURIOUS PULSE)" };
+                            out.push(Violation {
+                                kind: ViolationKind::MinPulseLow,
+                                source: prim.name.clone(),
+                                constraint: format!(
+                                    "MIN LOW WIDTH = {low}, POSSIBLE WIDTH = {}{glitch}",
+                                    p.min_possible_width
+                                ),
+                                missed_by: Some(low - p.min_possible_width),
+                                at: Some(p.possible),
+                                observed: observed.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // &A / &H directive checks (§2.6): the other inputs of the gate must
+    // be quiescent whenever the asserted (clock) input could be true.
+    for &(pid, clock_idx) in hazards {
+        let prim = netlist.prim(pid);
+        let clock = pin_wave(netlist, prim, &prim.inputs[clock_idx], states);
+        let asserted = clock.spans_where(Value::could_be_high);
+        let ck_name = netlist.signal(prim.inputs[clock_idx].signal).name.clone();
+        for (i, conn) in prim.inputs.iter().enumerate() {
+            if i == clock_idx {
+                continue;
+            }
+            let other = pin_wave(netlist, prim, conn, states);
+            let name = &netlist.signal(conn.signal).name;
+            for span in &asserted {
+                if !other.quiescent_throughout(*span) {
+                    out.push(Violation {
+                        kind: ViolationKind::Hazard,
+                        source: prim.name.clone(),
+                        constraint: format!("CONTROL MUST BE STABLE WHILE {ck_name} ASSERTED"),
+                        missed_by: None,
+                        at: Some(*span),
+                        observed: vec![
+                            observed_line("CLOCK     ", &ck_name, &clock),
+                            observed_line("CONTROL   ", name, &other),
+                        ],
+                    });
+                    break; // one report per (gate, control input)
+                }
+            }
+        }
+    }
+
+    // Stable assertions on generated signals (§2.5.2): the designer's
+    // assertion is checked against the actual timing.
+    let timing = netlist.config().timing;
+    for (sid, sig) in netlist.iter_signals() {
+        let Some(assertion) = &sig.assertion else { continue };
+        if assertion.kind.is_clock() || netlist.driver(sid).is_none() {
+            continue;
+        }
+        let (asserted_wave, _) = assertion.to_state(&timing);
+        let actual = states[sid.index()].resolved();
+        for span in asserted_wave.spans_where(|v| v == Value::Stable) {
+            if !actual.quiescent_throughout(span) {
+                out.push(Violation {
+                    kind: ViolationKind::AssertionViolated,
+                    source: sig.full_name(),
+                    constraint: format!("ASSERTED STABLE {span}"),
+                    missed_by: None,
+                    at: Some(span),
+                    observed: vec![observed_line("ACTUAL    ", &sig.name, &actual)],
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scald_logic::Value::*;
+
+    const P: Time = Time::from_ps(50_000);
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    #[test]
+    fn quiescent_before_measures_stable_run() {
+        let w = Waveform::from_intervals(P, Stable, [(ns(5.0), ns(10.0), Change)]);
+        assert_eq!(quiescent_before(&w, ns(20.0)), ns(10.0));
+        assert_eq!(quiescent_before(&w, ns(10.0)), Time::ZERO);
+        assert_eq!(quiescent_before(&w, ns(7.0)), Time::ZERO);
+        // Wrapping: stable 10..50 and 0..5 => at t=3 the run is 43 ns.
+        assert_eq!(quiescent_before(&w, ns(3.0)), ns(43.0));
+    }
+
+    #[test]
+    fn quiescent_before_full_period() {
+        let w = Waveform::constant(P, Stable);
+        assert_eq!(quiescent_before(&w, ns(20.0)), P);
+    }
+
+    #[test]
+    fn quiescent_after_measures_stable_run() {
+        let w = Waveform::from_intervals(P, Stable, [(ns(5.0), ns(10.0), Change)]);
+        assert_eq!(quiescent_after(&w, ns(10.0)), ns(45.0)); // 10..50 + 0..5
+        assert_eq!(quiescent_after(&w, ns(48.0)), ns(7.0));
+        assert_eq!(quiescent_after(&w, ns(6.0)), Time::ZERO);
+    }
+
+    #[test]
+    fn setup_hold_edges_report_margins() {
+        // Paper example shape: data stable at 11.5, clock edge window
+        // starting at 11.5 => setup of 3.5 missed by the full 3.5 ns.
+        let data = Waveform::from_intervals(P, Stable, [(ns(0.5), ns(11.5), Change)]);
+        let clock = Waveform::from_intervals(P, Zero, [(ns(11.5), ns(13.5), Rise)])
+            .overwrite(Span::new(ns(13.5), ns(16.5), P), One);
+        let edges = edge_windows(&clock, Edge::Rising);
+        let mut v = Vec::new();
+        check_setup_hold_edges(
+            "CHK", ns(3.5), ns(1.0), &data, "ADR", &clock, "WE", &edges, &mut v,
+        );
+        assert_eq!(v.len(), 1, "violations: {v:#?}");
+        assert_eq!(v[0].kind, ViolationKind::Setup);
+        assert_eq!(v[0].missed_by, Some(ns(3.5)));
+    }
+
+    #[test]
+    fn setup_satisfied_with_enough_margin() {
+        let data = Waveform::from_intervals(P, Stable, [(ns(0.5), ns(5.5), Change)]);
+        let clock = Waveform::from_intervals(P, Zero, [(ns(20.0), ns(25.0), One)]);
+        let edges = edge_windows(&clock, Edge::Rising);
+        let mut v = Vec::new();
+        check_setup_hold_edges(
+            "CHK", ns(3.5), ns(1.0), &data, "D", &clock, "CK", &edges, &mut v,
+        );
+        assert!(v.is_empty(), "unexpected: {v:#?}");
+    }
+
+    #[test]
+    fn hold_violation_detected() {
+        // Data starts changing 0.5 ns after the clock edge; hold is 1.5.
+        let clock = Waveform::from_intervals(P, Zero, [(ns(20.0), ns(25.0), One)]);
+        let data = Waveform::from_intervals(P, Stable, [(ns(20.5), ns(30.0), Change)]);
+        let edges = edge_windows(&clock, Edge::Rising);
+        let mut v = Vec::new();
+        check_setup_hold_edges(
+            "CHK", ns(2.0), ns(1.5), &data, "D", &clock, "CK", &edges, &mut v,
+        );
+        let holds: Vec<_> = v.iter().filter(|x| x.kind == ViolationKind::Hold).collect();
+        assert_eq!(holds.len(), 1);
+        assert_eq!(holds[0].missed_by, Some(ns(1.0)));
+    }
+
+    #[test]
+    fn negative_hold_never_violates_after_edge() {
+        // The thesis' register file specifies a hold of -1.0 ns.
+        let clock = Waveform::from_intervals(P, Zero, [(ns(20.0), ns(25.0), One)]);
+        let data = Waveform::from_intervals(P, Stable, [(ns(21.0), ns(30.0), Change)]);
+        let edges = edge_windows(&clock, Edge::Rising);
+        let mut v = Vec::new();
+        check_setup_hold_edges(
+            "CHK", ns(2.0), ns(-1.0), &data, "D", &clock, "CK", &edges, &mut v,
+        );
+        assert!(v.is_empty(), "negative hold must not fire: {v:#?}");
+    }
+
+    #[test]
+    fn clock_pulse_pairing() {
+        let clock = Waveform::from_intervals(P, Zero, [(ns(10.0), ns(20.0), One)]);
+        let pairs = clock_pulses(&clock);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.span.start(), ns(10.0));
+        assert_eq!(pairs[0].1.span.start(), ns(20.0));
+    }
+}

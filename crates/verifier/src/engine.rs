@@ -1,0 +1,554 @@
+//! The event-driven verification engine (§2.9).
+//!
+//! The engine initializes every signal from its assertion (or to unknown /
+//! assumed-stable), then repeatedly re-evaluates primitives whose inputs
+//! changed until all signals settle. Each output change is an *event*; the
+//! fan-out index supplies the primitives to re-evaluate. After the fixed
+//! point, the checker pass examines every constraint. Case analysis (§2.7)
+//! re-uses the settled state: switching cases dirties only the overridden
+//! signals' cones.
+
+use scald_logic::Value;
+use scald_netlist::{Netlist, PrimId, SignalId};
+use scald_wave::Waveform;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use crate::checkers::{run_all_checks, slack_report, CheckMargin};
+use crate::eval::evaluate;
+use crate::report::{CaseResult, Violation};
+use crate::state::SignalState;
+use crate::storage::StorageReport;
+
+/// One case for case analysis (§2.7.1): a set of `signal = 0/1`
+/// assignments applied wherever the circuit would set the signal stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Case {
+    assigns: Vec<(String, bool)>,
+}
+
+impl Case {
+    /// An empty case (no overrides) — what a plain run uses.
+    #[must_use]
+    pub fn new() -> Case {
+        Case::default()
+    }
+
+    /// Adds a `signal = value` assignment, e.g.
+    /// `Case::new().assign("CONTROL SIGNAL", true)`.
+    #[must_use]
+    pub fn assign(mut self, signal: impl Into<String>, value: bool) -> Case {
+        self.assigns.push((signal.into(), value));
+        self
+    }
+
+    /// The assignments in this case.
+    #[must_use]
+    pub fn assignments(&self) -> &[(String, bool)] {
+        &self.assigns
+    }
+
+    /// Case label for reports, e.g. `CONTROL SIGNAL = 1`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.assigns.is_empty() {
+            "no case overrides".to_owned()
+        } else {
+            self.assigns
+                .iter()
+                .map(|(s, v)| format!("{s} = {}", u8::from(*v)))
+                .collect::<Vec<_>>()
+                .join("; ")
+        }
+    }
+}
+
+/// Errors raised while running the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The circuit failed to settle: a combinational loop (or model bug)
+    /// kept generating events past the evaluation budget.
+    Oscillation {
+        /// How many primitive evaluations were performed before giving up.
+        evaluations: u64,
+        /// Names of some primitives still active.
+        active: Vec<String>,
+    },
+    /// A case names a signal not present in the design.
+    UnknownCaseSignal {
+        /// The missing signal name.
+        name: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Oscillation {
+                evaluations,
+                active,
+            } => write!(
+                f,
+                "circuit did not settle after {evaluations} evaluations; \
+                 still active: {}",
+                active.join(", ")
+            ),
+            VerifyError::UnknownCaseSignal { name } => {
+                write!(f, "case analysis names unknown signal {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The SCALD Timing Verifier: simulates one clock period of the circuit
+/// symbolically and checks every timing constraint (§2.1, §2.9).
+///
+/// # Examples
+///
+/// ```
+/// use scald_netlist::{Config, NetlistBuilder};
+/// use scald_verifier::Verifier;
+/// use scald_wave::{DelayRange, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new(Config::s1_example());
+/// let clk = b.signal("CLK .P2-3")?;
+/// let d = b.signal_vec("IN .S0-6", 32)?;
+/// let q = b.signal_vec("OUT", 32)?;
+/// b.reg("R", DelayRange::from_ns(1.5, 4.5), clk, d, q);
+/// b.setup_hold("R CHK", Time::from_ns(2.5), Time::from_ns(1.5), d, clk);
+///
+/// let mut v = Verifier::new(b.finish()?);
+/// let result = v.run()?;
+/// assert!(result.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Verifier {
+    netlist: Netlist,
+    /// Computed (pre-case-mapping) states.
+    raw: Vec<SignalState>,
+    /// Effective states seen by evaluation: raw with case overrides applied.
+    eff: Vec<SignalState>,
+    /// Signals whose state is fixed by an assertion (clocks, asserted or
+    /// assumed-stable undriven signals) and never overwritten by a driver.
+    pinned: Vec<bool>,
+    queue: VecDeque<PrimId>,
+    queued: Vec<bool>,
+    overrides: HashMap<SignalId, Value>,
+    hazards: BTreeSet<(PrimId, usize)>,
+    /// Undriven, unasserted signals assumed always stable (§2.5) — the
+    /// special cross-reference listing for the designer.
+    assumed_stable: Vec<SignalId>,
+    /// Driven signals whose clock assertion pins their value (§2.6 clock
+    /// tuning): the driver's computed value is ignored.
+    pinned_clock_drivers: Vec<SignalId>,
+    /// Per-driver output states for wired-OR signals (§3.1, Fig 3-1's
+    /// ECL bus): the signal's effective value is the worst-case OR of all
+    /// contributions.
+    wired_contributions: HashMap<(SignalId, PrimId), SignalState>,
+    total_events: u64,
+    total_evaluations: u64,
+}
+
+impl Verifier {
+    /// Creates a verifier and initializes all signal states per §2.9:
+    /// asserted signals take their asserted values, undriven unasserted
+    /// signals are assumed stable (and cross-referenced), everything else
+    /// starts `U`.
+    #[must_use]
+    pub fn new(netlist: Netlist) -> Verifier {
+        let period = netlist.config().timing.period;
+        let timing = netlist.config().timing;
+        let n = netlist.signals().len();
+        let mut raw = Vec::with_capacity(n);
+        let mut pinned = vec![false; n];
+        let mut assumed_stable = Vec::new();
+        let mut pinned_clock_drivers = Vec::new();
+
+        for (sid, sig) in netlist.iter_signals() {
+            let driven = netlist.driver(sid).is_some();
+            let state = match &sig.assertion {
+                Some(a) if a.kind.is_clock() => {
+                    let (wave, skew) = a.to_state(&timing);
+                    pinned[sid.index()] = true;
+                    if driven {
+                        pinned_clock_drivers.push(sid);
+                    }
+                    SignalState {
+                        wave,
+                        skew,
+                        eval: None,
+                    }
+                }
+                Some(a) => {
+                    if driven {
+                        SignalState::new(Waveform::constant(period, Value::Unknown))
+                    } else {
+                        pinned[sid.index()] = true;
+                        let (wave, skew) = a.to_state(&timing);
+                        SignalState {
+                            wave,
+                            skew,
+                            eval: None,
+                        }
+                    }
+                }
+                None => {
+                    if driven {
+                        SignalState::new(Waveform::constant(period, Value::Unknown))
+                    } else {
+                        pinned[sid.index()] = true;
+                        assumed_stable.push(sid);
+                        SignalState::new(Waveform::constant(period, Value::Stable))
+                    }
+                }
+            };
+            raw.push(state);
+        }
+
+        let eff = raw.clone();
+        let queued = vec![false; netlist.prims().len()];
+        Verifier {
+            netlist,
+            raw,
+            eff,
+            pinned,
+            queue: VecDeque::new(),
+            queued,
+            overrides: HashMap::new(),
+            hazards: BTreeSet::new(),
+            wired_contributions: HashMap::new(),
+            assumed_stable,
+            pinned_clock_drivers,
+            total_events: 0,
+            total_evaluations: 0,
+        }
+    }
+
+    /// The netlist being verified.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The settled effective state of a signal (after [`run`](Self::run)).
+    #[must_use]
+    pub fn state(&self, id: SignalId) -> &SignalState {
+        &self.eff[id.index()]
+    }
+
+    /// The fully resolved (skew-folded) waveform of a signal.
+    #[must_use]
+    pub fn resolved(&self, id: SignalId) -> Waveform {
+        self.eff[id.index()].resolved()
+    }
+
+    /// Undriven, unasserted signals assumed always stable — the thesis'
+    /// special cross-reference listing (§2.5).
+    #[must_use]
+    pub fn assumed_stable_signals(&self) -> &[SignalId] {
+        &self.assumed_stable
+    }
+
+    /// Total events processed so far (an event = an output given a new
+    /// value, §3.3.2).
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Total primitive evaluations performed so far.
+    #[must_use]
+    pub fn total_evaluations(&self) -> u64 {
+        self.total_evaluations
+    }
+
+    fn apply_override(&self, sid: SignalId, state: &SignalState) -> SignalState {
+        match self.overrides.get(&sid) {
+            None => state.clone(),
+            Some(&v) => SignalState {
+                wave: state
+                    .wave
+                    .map(|x| if x == Value::Stable { v } else { x }),
+                skew: state.skew,
+                eval: state.eval.clone(),
+            },
+        }
+    }
+
+    fn enqueue(&mut self, pid: PrimId) {
+        if !self.queued[pid.index()] {
+            self.queued[pid.index()] = true;
+            self.queue.push_back(pid);
+        }
+    }
+
+    fn enqueue_fanout(&mut self, sid: SignalId) {
+        let fanout: Vec<PrimId> = self.netlist.fanout(sid).to_vec();
+        for pid in fanout {
+            self.enqueue(pid);
+        }
+    }
+
+    /// Runs the worklist to a fixed point; returns events processed.
+    fn settle(&mut self) -> Result<(u64, u64), VerifyError> {
+        let budget = 256 * (self.netlist.prims().len() as u64 + 64);
+        let mut events = 0u64;
+        let mut evaluations = 0u64;
+        while let Some(pid) = self.queue.pop_front() {
+            self.queued[pid.index()] = false;
+            evaluations += 1;
+            if evaluations > budget {
+                let active: Vec<String> = self
+                    .queue
+                    .iter()
+                    .take(8)
+                    .map(|p| self.netlist.prim(*p).name.clone())
+                    .collect();
+                self.total_events += events;
+                self.total_evaluations += evaluations;
+                return Err(VerifyError::Oscillation {
+                    evaluations,
+                    active,
+                });
+            }
+            let prim = self.netlist.prim(pid);
+            let outcome = evaluate(&self.netlist, prim, &self.eff);
+            for idx in &outcome.hazard_inputs {
+                self.hazards.insert((pid, *idx));
+            }
+            if let (Some(new_state), Some(out)) = (outcome.output, prim.output) {
+                if self.pinned[out.index()] {
+                    continue; // asserted clocks keep their asserted value
+                }
+                // Wired-OR buses: this driver contributes one term; the
+                // signal's state is the worst-case OR of all drivers.
+                let new_state = if self.netlist.drivers(out).len() > 1 {
+                    self.wired_contributions.insert((out, pid), new_state);
+                    let period = self.netlist.config().timing.period;
+                    let resolved: Vec<Waveform> = self
+                        .netlist
+                        .drivers(out)
+                        .iter()
+                        .map(|d| {
+                            self.wired_contributions
+                                .get(&(out, *d))
+                                .map_or_else(
+                                    || Waveform::constant(period, Value::Unknown),
+                                    SignalState::resolved,
+                                )
+                        })
+                        .collect();
+                    let refs: Vec<&Waveform> = resolved.iter().collect();
+                    SignalState::new(Waveform::combine_many(&refs, |vals| {
+                        scald_logic::or_all(vals.iter().copied())
+                    }))
+                } else {
+                    new_state
+                };
+                if self.raw[out.index()] != new_state {
+                    self.raw[out.index()] = new_state;
+                    let eff = self.apply_override(out, &self.raw[out.index()]);
+                    if self.eff[out.index()] != eff {
+                        self.eff[out.index()] = eff;
+                        events += 1;
+                        self.enqueue_fanout(out);
+                    }
+                }
+            }
+        }
+        self.total_events += events;
+        self.total_evaluations += evaluations;
+        Ok((events, evaluations))
+    }
+
+    /// Applies a case's overrides, dirtying the affected signals' fan-out.
+    fn apply_case(&mut self, case: &Case) -> Result<(), VerifyError> {
+        let mut new_overrides = HashMap::new();
+        for (name, v) in case.assignments() {
+            let sid = self
+                .netlist
+                .signal_by_name(name)
+                .ok_or_else(|| VerifyError::UnknownCaseSignal { name: name.clone() })?;
+            new_overrides.insert(sid, if *v { Value::One } else { Value::Zero });
+        }
+        let affected: BTreeSet<SignalId> = self
+            .overrides
+            .keys()
+            .chain(new_overrides.keys())
+            .copied()
+            .collect();
+        self.overrides = new_overrides;
+        for sid in affected {
+            let eff = self.apply_override(sid, &self.raw[sid.index()]);
+            if self.eff[sid.index()] != eff {
+                self.eff[sid.index()] = eff;
+                self.enqueue_fanout(sid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the circuit for a single case with no overrides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::Oscillation`] if the circuit does not settle
+    /// (e.g. an unbroken combinational loop).
+    pub fn run(&mut self) -> Result<CaseResult, VerifyError> {
+        let results = self.run_cases(&[Case::new()])?;
+        Ok(results.into_iter().next().expect("one case requested"))
+    }
+
+    /// Verifies the circuit for each case in turn (§2.7). The first case
+    /// pays the full evaluation; later cases re-evaluate only the parts of
+    /// the circuit their overrides affect (§3.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a case names an unknown signal or the circuit
+    /// fails to settle.
+    pub fn run_cases(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
+        let mut results = Vec::with_capacity(cases.len());
+        let first_run = self.total_evaluations == 0;
+        for (i, case) in cases.iter().enumerate() {
+            self.apply_case(case)?;
+            if i == 0 && first_run {
+                // Initial pass evaluates everything (§2.9).
+                let all: Vec<PrimId> = self.netlist.iter_prims().map(|(p, _)| p).collect();
+                for pid in all {
+                    self.enqueue(pid);
+                }
+            }
+            let (events, evaluations) = self.settle()?;
+            let hazards: Vec<(PrimId, usize)> = self.hazards.iter().copied().collect();
+            let violations = run_all_checks(&self.netlist, &self.eff, &hazards);
+            results.push(CaseResult {
+                name: format!("case {}: {}", i + 1, case.label()),
+                violations,
+                events,
+                evaluations,
+            });
+        }
+        Ok(results)
+    }
+
+    /// Runs all checks against the current settled state without further
+    /// evaluation. Useful for inspecting intermediate cases.
+    #[must_use]
+    pub fn check_now(&self) -> Vec<Violation> {
+        let hazards: Vec<(PrimId, usize)> = self.hazards.iter().copied().collect();
+        run_all_checks(&self.netlist, &self.eff, &hazards)
+    }
+
+    /// The signal-value summary listing of Fig 3-10: one line per signal
+    /// with its value over the cycle.
+    #[must_use]
+    pub fn summary_listing(&self) -> String {
+        let mut rows: Vec<(String, String)> = self
+            .netlist
+            .iter_signals()
+            .map(|(sid, sig)| (sig.full_name(), self.resolved(sid).to_string()))
+            .collect();
+        rows.sort();
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, wave) in rows {
+            out.push_str(&format!("{name:width$}  {wave}\n"));
+        }
+        out
+    }
+
+    /// The cross-reference listing of undriven, unasserted signals the
+    /// verifier assumed stable (§2.5).
+    #[must_use]
+    pub fn xref_listing(&self) -> String {
+        let mut out = String::from("SIGNALS ASSUMED ALWAYS STABLE (no assertion, not generated):\n");
+        for sid in &self.assumed_stable {
+            out.push_str(&format!("  {}\n", self.netlist.signal(*sid).name));
+        }
+        for sid in &self.pinned_clock_drivers {
+            out.push_str(&format!(
+                "NOTE: {} carries a clock assertion and is also generated; \
+                 the asserted (de-skewed) timing is used.\n",
+                self.netlist.signal(*sid).full_name()
+            ));
+        }
+        out
+    }
+
+    /// Storage accounting in the categories of Table 3-3.
+    #[must_use]
+    pub fn storage_report(&self) -> StorageReport {
+        StorageReport::measure(&self.netlist, &self.raw)
+    }
+
+    /// Timing margins of every checker against the current settled state:
+    /// the slack view (worst margins first). Negative slack corresponds to
+    /// a reported violation.
+    #[must_use]
+    pub fn slack_report(&self) -> Vec<CheckMargin> {
+        slack_report(&self.netlist, &self.eff)
+    }
+
+    /// An ASCII timing diagram of all signals (sorted by name), `columns`
+    /// buckets wide — the visual companion to
+    /// [`summary_listing`](Self::summary_listing).
+    #[must_use]
+    pub fn timing_diagram(&self, columns: usize) -> String {
+        let mut rows: Vec<(String, Waveform)> = self
+            .netlist
+            .iter_signals()
+            .map(|(sid, sig)| (sig.full_name(), self.resolved(sid)))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        crate::diagram::render_diagram(&rows, columns)
+    }
+}
+
+/// Checks that the interface signals of separately verified design
+/// sections carry consistent assertions (§2.5.2): "after each section is
+/// verified, SCALD checks to see that all interface signals have the same
+/// timing assertions on them. If no section … has a timing error and if
+/// all of the interface signals … have consistent assertions, then the
+/// entire design must be free of timing errors."
+///
+/// Returns one message per inconsistency: a signal name appearing in two
+/// sections with differing assertions (including asserted in one and
+/// unasserted in the other).
+#[must_use]
+pub fn check_interfaces(sections: &[&Netlist]) -> Vec<String> {
+    use scald_assertions::Assertion;
+    let mut seen: HashMap<String, (usize, Option<Assertion>)> = HashMap::new();
+    let mut problems = Vec::new();
+    for (idx, section) in sections.iter().enumerate() {
+        for (_, sig) in section.iter_signals() {
+            match seen.get(&sig.name) {
+                None => {
+                    seen.insert(sig.name.clone(), (idx, sig.assertion.clone()));
+                }
+                Some((first_idx, first)) if *first != sig.assertion => {
+                    let show = |a: &Option<Assertion>| {
+                        a.as_ref()
+                            .map_or_else(|| "(no assertion)".to_owned(), ToString::to_string)
+                    };
+                    problems.push(format!(
+                        "interface signal {:?}: section {} asserts {}, \
+                         section {} asserts {}",
+                        sig.name,
+                        first_idx + 1,
+                        show(first),
+                        idx + 1,
+                        show(&sig.assertion)
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    problems
+}

@@ -1,0 +1,189 @@
+//! Timing-violation records and the listings the Timing Verifier prints:
+//! the error report of Fig 3-11 and the signal-value summary of Fig 3-10.
+
+use scald_wave::{Span, Time};
+use std::fmt;
+
+/// The class of a detected timing error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Set-up time violated: the checked input was still changing within
+    /// the set-up interval before a clock edge (§2.4.4).
+    Setup,
+    /// Hold time violated: the checked input changed within the hold
+    /// interval after a clock edge.
+    Hold,
+    /// The checked input changed while the clock was true
+    /// (`SETUP RISE HOLD FALL CHK`, §2.4.4).
+    StableWhileTrue,
+    /// A high pulse could be narrower than the specified minimum (§2.4.5).
+    MinPulseHigh,
+    /// A low pulse could be narrower than the specified minimum.
+    MinPulseLow,
+    /// A control input gated with a clock was not stable while the clock
+    /// was asserted — the `&A`/`&H` hazard check (§2.6, Fig 1-5).
+    Hazard,
+    /// A generated signal's actual timing violates the stable assertion in
+    /// its name (§2.5.2).
+    AssertionViolated,
+    /// A checker's clock input is undefined (`U`) for part of the cycle —
+    /// usually a missing clock assertion or an unconnected clock tree.
+    UndefinedClock,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::Setup => "SETUP TIME VIOLATED",
+            ViolationKind::Hold => "HOLD TIME VIOLATED",
+            ViolationKind::StableWhileTrue => "INPUT CHANGING WHILE CLOCK TRUE",
+            ViolationKind::MinPulseHigh => "MINIMUM HIGH PULSE WIDTH VIOLATED",
+            ViolationKind::MinPulseLow => "MINIMUM LOW PULSE WIDTH VIOLATED",
+            ViolationKind::Hazard => "CONTROL SIGNAL CHANGING WHILE CLOCK ASSERTED",
+            ViolationKind::AssertionViolated => "STABLE ASSERTION VIOLATED",
+            ViolationKind::UndefinedClock => "CLOCK INPUT UNDEFINED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected timing error, with the context the thesis' reports carry
+/// (Fig 3-11): the checker involved, the constraint, the margin by which
+/// it was missed, and the value listings of the signals the checker saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// What constraint failed.
+    pub kind: ViolationKind,
+    /// Instance name of the checker/gate/signal reporting the error.
+    pub source: String,
+    /// The constraint as specified, e.g. `SETUP TIME = 3.5, HOLD = 1.0`.
+    pub constraint: String,
+    /// How much the constraint was missed by, when meaningful.
+    pub missed_by: Option<Time>,
+    /// The interval within the cycle in which the failure occurs.
+    pub at: Option<Span>,
+    /// `NAME: value listing` lines for the signals the check examined.
+    pub observed: Vec<String>,
+}
+
+impl Violation {
+    /// `true` if this violation's margin is at least `margin`.
+    #[must_use]
+    pub fn missed_by_at_least(&self, margin: Time) -> bool {
+        self.missed_by.is_some_and(|m| m >= margin)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "** {}", self.kind)?;
+        if !self.constraint.is_empty() {
+            write!(f, ", {}", self.constraint)?;
+        }
+        if let Some(m) = self.missed_by {
+            write!(f, ", VIOLATED BY {m} NSEC")?;
+        }
+        if let Some(at) = self.at {
+            write!(f, " (AT {at})")?;
+        }
+        writeln!(f, "  [{}]", self.source)?;
+        for line in &self.observed {
+            writeln!(f, "     {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of verifying one case (§2.7): the violations found plus the
+/// execution statistics the thesis reports in Table 3-1.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case label (`"case 1"`, or the assignments for named cases).
+    pub name: String,
+    /// All violations, in netlist order.
+    pub violations: Vec<Violation>,
+    /// Events processed for this case: the number of times an output was
+    /// given a new value (20 052 for the thesis' full-design run).
+    pub events: u64,
+    /// Primitive evaluations performed for this case.
+    pub evaluations: u64,
+}
+
+impl CaseResult {
+    /// Violations of one kind.
+    #[must_use]
+    pub fn of_kind(&self, kind: ViolationKind) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.kind == kind).collect()
+    }
+
+    /// `true` if no timing errors were found for this case.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== {}: {} violation(s), {} events, {} evaluations",
+            self.name,
+            self.violations.len(),
+            self.events,
+            self.evaluations
+        )?;
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_resembles_fig_3_11() {
+        let v = Violation {
+            kind: ViolationKind::Setup,
+            source: "ADR CHK".to_owned(),
+            constraint: "SETUP TIME = 3.5, HOLD TIME = 1.0".to_owned(),
+            missed_by: Some(Time::from_ns(3.5)),
+            at: None,
+            observed: vec![
+                "CK INPUT  = WE: 0 0.0 R 11.5 1 13.5".to_owned(),
+                "DATA INPUT = ADR: S 0.0 C 0.5 S 11.5".to_owned(),
+            ],
+        };
+        let text = v.to_string();
+        assert!(text.contains("SETUP TIME VIOLATED"));
+        assert!(text.contains("VIOLATED BY 3.5 NSEC"));
+        assert!(text.contains("DATA INPUT = ADR"));
+        assert!(v.missed_by_at_least(Time::from_ns(3.0)));
+        assert!(!v.missed_by_at_least(Time::from_ns(4.0)));
+    }
+
+    #[test]
+    fn case_result_filters() {
+        let mk = |kind| Violation {
+            kind,
+            source: String::new(),
+            constraint: String::new(),
+            missed_by: None,
+            at: None,
+            observed: Vec::new(),
+        };
+        let r = CaseResult {
+            name: "case 1".to_owned(),
+            violations: vec![mk(ViolationKind::Setup), mk(ViolationKind::Hazard)],
+            events: 10,
+            evaluations: 12,
+        };
+        assert!(!r.is_clean());
+        assert_eq!(r.of_kind(ViolationKind::Setup).len(), 1);
+        assert_eq!(r.of_kind(ViolationKind::Hold).len(), 0);
+        assert!(r.to_string().contains("case 1"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-signal dynamic state: the "VALUE BASE" record of Fig 2-7.
+//!
+//! Each signal carries its waveform over the period, its separated skew
+//! (§2.8), and the evaluation string being propagated through gating
+//! levels (§2.6, the `EVAL STR PTR` field).
+
+use scald_wave::{DelayRange, Skew, Waveform};
+use std::fmt;
+use std::sync::Arc;
+
+/// One evaluation directive letter (§2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Directive {
+    /// `E` — evaluate the gate with no special action (the default).
+    Evaluate,
+    /// `W` — zero the wire going into the gate.
+    ZeroWire,
+    /// `Z` — zero the gate delay and the wire going into it (the clock
+    /// timing refers to the gate *output*).
+    ZeroGateAndWire,
+    /// `A` — check that the other inputs of the gate are not changing
+    /// while this input is asserted; assume the other inputs enable the
+    /// gate when computing the output.
+    AssertedCheck,
+    /// `H` — the combined effect of `Z` and `A`.
+    HoldCheck,
+}
+
+impl Directive {
+    /// Parses a single directive letter.
+    #[must_use]
+    pub fn from_letter(c: char) -> Option<Directive> {
+        match c {
+            'E' => Some(Directive::Evaluate),
+            'W' => Some(Directive::ZeroWire),
+            'Z' => Some(Directive::ZeroGateAndWire),
+            'A' => Some(Directive::AssertedCheck),
+            'H' => Some(Directive::HoldCheck),
+            _ => None,
+        }
+    }
+
+    /// Whether this directive zeroes the wire delay into the gate.
+    #[must_use]
+    pub const fn zeroes_wire(self) -> bool {
+        matches!(
+            self,
+            Directive::ZeroWire | Directive::ZeroGateAndWire | Directive::HoldCheck
+        )
+    }
+
+    /// Whether this directive zeroes the gate's own delay.
+    #[must_use]
+    pub const fn zeroes_gate(self) -> bool {
+        matches!(self, Directive::ZeroGateAndWire | Directive::HoldCheck)
+    }
+
+    /// Whether this directive requests the asserted-stability check and
+    /// the assume-enabling treatment of the other inputs.
+    #[must_use]
+    pub const fn checks_assertion(self) -> bool {
+        matches!(self, Directive::AssertedCheck | Directive::HoldCheck)
+    }
+}
+
+/// A directive string positioned at the next letter to consume — the
+/// thesis' evaluation-string pointer (§2.8).
+///
+/// The string `"HZZW"` controls four levels of gating: the first gate
+/// consumes the `H`, passes `"ZZW"` along with its output value, and so on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EvalStr {
+    text: Arc<str>,
+    pos: usize,
+}
+
+impl EvalStr {
+    /// Creates an evaluation string starting at its first letter.
+    ///
+    /// The caller must have validated the letters (the netlist builder
+    /// rejects anything outside `E W Z A H`).
+    #[must_use]
+    pub fn new(text: impl Into<Arc<str>>) -> EvalStr {
+        EvalStr {
+            text: text.into(),
+            pos: 0,
+        }
+    }
+
+    /// The directive for the current gating level, if any remains.
+    #[must_use]
+    pub fn head(&self) -> Option<Directive> {
+        self.text[self.pos..]
+            .chars()
+            .next()
+            .and_then(Directive::from_letter)
+    }
+
+    /// The remainder of the string for the next gating level; `None` when
+    /// this was the last letter.
+    #[must_use]
+    pub fn tail(&self) -> Option<EvalStr> {
+        let next = self.pos + 1;
+        if next < self.text.len() {
+            Some(EvalStr {
+                text: Arc::clone(&self.text),
+                pos: next,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The remaining letters, e.g. `"ZW"`.
+    #[must_use]
+    pub fn remaining(&self) -> &str {
+        &self.text[self.pos..]
+    }
+}
+
+impl fmt::Display for EvalStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&{}", self.remaining())
+    }
+}
+
+/// The dynamic state of one signal during verification: waveform, separate
+/// skew, and the propagating evaluation string (Fig 2-7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalState {
+    /// The signal's value over the period.
+    pub wave: Waveform,
+    /// Separated transition-time uncertainty (§2.8).
+    pub skew: Skew,
+    /// Evaluation string travelling with the value (§2.6).
+    pub eval: Option<EvalStr>,
+}
+
+impl SignalState {
+    /// A state with no skew and no evaluation string.
+    #[must_use]
+    pub fn new(wave: Waveform) -> SignalState {
+        SignalState {
+            wave,
+            skew: Skew::ZERO,
+            eval: None,
+        }
+    }
+
+    /// The worst-case waveform with the separated skew folded back into
+    /// the value list (Fig 2-9). Checkers and multi-input combines see
+    /// this view.
+    #[must_use]
+    pub fn resolved(&self) -> Waveform {
+        self.wave.with_skew_applied(self.skew)
+    }
+
+    /// The state after travelling through a min/max delay while remaining
+    /// a lone delayed signal: the waveform shifts by the minimum and the
+    /// delay spread accumulates into the skew, preserving pulse widths
+    /// (§2.8, Fig 2-8).
+    #[must_use]
+    pub fn delayed(&self, delay: DelayRange) -> SignalState {
+        SignalState {
+            wave: self.wave.delayed(delay.min),
+            skew: self.skew.after_delay(delay),
+            eval: self.eval.clone(),
+        }
+    }
+
+    /// The fully resolved waveform after a delay — for use when the signal
+    /// is about to be combined with others and the skew can no longer be
+    /// kept separate (§2.8).
+    #[must_use]
+    pub fn resolved_after(&self, delay: DelayRange) -> Waveform {
+        self.delayed(delay).resolved()
+    }
+
+    /// Number of value records (run-length nodes) plus the base record, as
+    /// Table 3-3 counts them.
+    #[must_use]
+    pub fn value_records(&self) -> usize {
+        self.wave.value_record_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scald_logic::Value;
+    use scald_wave::Time;
+
+    #[test]
+    fn directive_letters() {
+        assert_eq!(Directive::from_letter('E'), Some(Directive::Evaluate));
+        assert_eq!(Directive::from_letter('H'), Some(Directive::HoldCheck));
+        assert_eq!(Directive::from_letter('X'), None);
+        assert!(Directive::HoldCheck.zeroes_wire());
+        assert!(Directive::HoldCheck.zeroes_gate());
+        assert!(Directive::HoldCheck.checks_assertion());
+        assert!(Directive::ZeroWire.zeroes_wire());
+        assert!(!Directive::ZeroWire.zeroes_gate());
+        assert!(!Directive::Evaluate.zeroes_wire());
+        assert!(Directive::AssertedCheck.checks_assertion());
+        assert!(!Directive::AssertedCheck.zeroes_gate());
+    }
+
+    #[test]
+    fn eval_string_consumes_level_by_level() {
+        let s = EvalStr::new("HZZW");
+        assert_eq!(s.head(), Some(Directive::HoldCheck));
+        let s2 = s.tail().unwrap();
+        assert_eq!(s2.head(), Some(Directive::ZeroGateAndWire));
+        assert_eq!(s2.remaining(), "ZZW");
+        let s3 = s2.tail().unwrap().tail().unwrap();
+        assert_eq!(s3.head(), Some(Directive::ZeroWire));
+        assert!(s3.tail().is_none());
+        assert_eq!(s3.to_string(), "&W");
+    }
+
+    #[test]
+    fn delayed_keeps_pulse_width_in_wave() {
+        let period = Time::from_ns(50.0);
+        let wave = Waveform::from_intervals(
+            period,
+            Value::Zero,
+            [(Time::from_ns(10.0), Time::from_ns(20.0), Value::One)],
+        );
+        let st = SignalState::new(wave).delayed(DelayRange::from_ns(5.0, 10.0));
+        // Wave shifted by min only; spread lives in the skew.
+        assert_eq!(st.wave.value_at(Time::from_ns(16.0)), Value::One);
+        assert_eq!(st.skew, Skew::from_ns(0.0, 5.0));
+        // Resolution folds it into R/F windows.
+        let folded = st.resolved();
+        assert_eq!(folded.value_at(Time::from_ns(16.0)), Value::Rise);
+        assert_eq!(folded.value_at(Time::from_ns(21.0)), Value::One);
+    }
+}

@@ -1,0 +1,151 @@
+//! Multi-level evaluation-directive propagation (§2.6, §2.8): the string
+//! `"HZZW"` controls four successive levels of gating, each gate consuming
+//! one letter and passing the tail downstream with its output value.
+
+use scald_logic::Value;
+use scald_netlist::{Config, Conn, NetlistBuilder, SignalId};
+use scald_verifier::{Verifier, ViolationKind};
+use scald_wave::{DelayRange, Time};
+
+fn ns(x: f64) -> Time {
+    Time::from_ns(x)
+}
+
+fn z(s: SignalId) -> Conn {
+    Conn::new(s).with_wire_delay(DelayRange::ZERO)
+}
+
+/// A clock distributed through two gating levels with `"ZZ"`: both levels'
+/// gate delays are zeroed, so the far end carries exactly the asserted
+/// clock timing — the de-skewed clock-tree semantics of §2.6.
+#[test]
+fn zz_string_zeroes_two_levels() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let one = b.signal("ONE").unwrap();
+    let mid = b.signal("MID").unwrap();
+    let far = b.signal("FAR").unwrap();
+    b.constant("K1", Value::One, one);
+    b.and2(
+        "L1",
+        DelayRange::from_ns(2.0, 4.0),
+        Conn::new(clk).with_directive("ZZ"),
+        z(one),
+        mid,
+    );
+    b.and2("L2", DelayRange::from_ns(2.0, 4.0), z(mid), z(one), far);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(far);
+    // Both levels zeroed: FAR == asserted clock exactly.
+    assert_eq!(w.value_at(ns(12.4)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(12.5)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(18.75)), Value::Zero, "{w}");
+}
+
+/// With only a single `"Z"`, the second level's delay applies: the string
+/// is consumed level by level, not broadcast.
+#[test]
+fn single_z_consumed_at_first_level_only() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let one = b.signal("ONE").unwrap();
+    let mid = b.signal("MID").unwrap();
+    let far = b.signal("FAR").unwrap();
+    b.constant("K1", Value::One, one);
+    b.and2(
+        "L1",
+        DelayRange::from_ns(2.0, 4.0),
+        Conn::new(clk).with_directive("Z"),
+        z(one),
+        mid,
+    );
+    b.and2("L2", DelayRange::from_ns(2.0, 4.0), z(mid), z(one), far);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(far);
+    // Level 2's 2..4 ns delay applies: rise window 14.5..16.5.
+    assert_eq!(w.value_at(ns(14.4)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(15.0)), Value::Rise, "{w}");
+    assert_eq!(w.value_at(ns(16.5)), Value::One, "{w}");
+}
+
+/// `"ZA"`: zero the first gate, assert-check the second — the hazard check
+/// fires at the level that consumed the `A`, with the control named there.
+#[test]
+fn za_string_checks_at_second_level() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let one = b.signal("ONE").unwrap();
+    // A control that is changing while the clock is high.
+    let late = b.signal("LATE CTL .S3-8").unwrap();
+    let mid = b.signal("MID").unwrap();
+    let far = b.signal("FAR").unwrap();
+    b.constant("K1", Value::One, one);
+    b.and2(
+        "L1",
+        DelayRange::from_ns(2.0, 4.0),
+        Conn::new(clk).with_directive("ZA"),
+        z(one),
+        mid,
+    );
+    b.and2("L2", DelayRange::ZERO, z(mid), z(late), far);
+    let mut v = Verifier::new(b.finish().unwrap());
+    let r = v.run().unwrap();
+    let hazards = r.of_kind(ViolationKind::Hazard);
+    assert_eq!(hazards.len(), 1, "{r}");
+    assert_eq!(hazards[0].source, "L2");
+    assert!(hazards[0].observed.iter().any(|l| l.contains("LATE CTL")));
+}
+
+/// The assume-enabling side of `A` at the second level: the late control
+/// does not corrupt the clock value passing through.
+#[test]
+fn za_string_assumes_enabling_at_second_level() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let one = b.signal("ONE").unwrap();
+    let late = b.signal("LATE CTL .S3-8").unwrap();
+    let mid = b.signal("MID").unwrap();
+    let far = b.signal("FAR").unwrap();
+    b.constant("K1", Value::One, one);
+    b.and2(
+        "L1",
+        DelayRange::from_ns(2.0, 4.0),
+        Conn::new(clk).with_directive("ZA"),
+        z(one),
+        mid,
+    );
+    b.and2("L2", DelayRange::ZERO, z(mid), z(late), far);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(far);
+    // Without assume-enabling the changing control would make FAR `C`
+    // while the clock is high; with it, FAR carries the clean clock pulse.
+    assert_eq!(w.value_at(ns(15.0)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(30.0)), Value::Zero, "{w}");
+}
+
+/// An exhausted string stops acting: levels beyond its length evaluate
+/// normally ("there is no limit on the length of a directive string" —
+/// and no effect past its end).
+#[test]
+fn exhausted_string_stops_propagating() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").unwrap();
+    let one = b.signal("ONE").unwrap();
+    let l1 = b.signal("L1 OUT").unwrap();
+    let l2 = b.signal("L2 OUT").unwrap();
+    let l3 = b.signal("L3 OUT").unwrap();
+    b.constant("K1", Value::One, one);
+    let d = DelayRange::from_ns(1.0, 1.0);
+    b.and2("G1", d, Conn::new(clk).with_directive("ZZ"), z(one), l1);
+    b.and2("G2", d, z(l1), z(one), l2);
+    b.and2("G3", d, z(l2), z(one), l3);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    // Levels 1-2 zeroed, level 3 adds its exact 1 ns delay.
+    let w = v.resolved(l3);
+    assert_eq!(w.value_at(ns(13.4)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(13.5)), Value::One, "{w}");
+}

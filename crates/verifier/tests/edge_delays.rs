@@ -1,0 +1,166 @@
+//! Tests for the §4.2.2 extension: separate rising and falling delays.
+//!
+//! The thesis proposes handling nMOS-style asymmetric delays by applying
+//! the matching delay to output edges of known polarity and the
+//! conservative envelope otherwise.
+
+use scald_logic::Value;
+use scald_netlist::{Config, Conn, NetlistBuilder};
+use scald_verifier::Verifier;
+use scald_wave::{DelayRange, Time};
+
+fn ns(x: f64) -> Time {
+    Time::from_ns(x)
+}
+
+fn z(s: scald_netlist::SignalId) -> Conn {
+    Conn::new(s).with_wire_delay(DelayRange::ZERO)
+}
+
+#[test]
+fn buffer_applies_per_edge_delays() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    // A clean 0/1 pulse: high 10..30.
+    let a = b.signal("A .P1.6-4.8 (0,0)").unwrap();
+    let q = b.signal("Q").unwrap();
+    // Rise delay 2 (exact), fall delay 6 (exact).
+    b.buf_asym(
+        "B",
+        DelayRange::from_ns(2.0, 2.0),
+        DelayRange::from_ns(6.0, 6.0),
+        z(a),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Rising edge 10 -> 12; falling edge 30 -> 36. The pulse stretches by
+    // the delay difference — the effect uniform delays cannot model.
+    assert_eq!(w.value_at(ns(11.9)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(12.0)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(35.9)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(36.0)), Value::Zero, "{w}");
+}
+
+#[test]
+fn inverter_swaps_which_delay_applies() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A .P1.6-4.8 (0,0)").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.not_asym(
+        "N",
+        DelayRange::from_ns(2.0, 2.0),
+        DelayRange::from_ns(6.0, 6.0),
+        z(a),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Input rises at 10 => OUTPUT FALLS: the fall delay (6) applies: Q is
+    // 1 until 16, then 0. Input falls at 30 => output rises at 32.
+    assert_eq!(w.value_at(ns(15.9)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(16.0)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(31.9)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(32.0)), Value::One, "{w}");
+}
+
+#[test]
+fn delay_ranges_become_edge_windows() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A .P1.6-4.8 (0,0)").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.buf_asym(
+        "B",
+        DelayRange::from_ns(1.0, 3.0),
+        DelayRange::from_ns(4.0, 8.0),
+        z(a),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Rise window 11..13, fall window 34..38.
+    assert_eq!(w.value_at(ns(10.9)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(12.0)), Value::Rise, "{w}");
+    assert_eq!(w.value_at(ns(13.0)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(35.0)), Value::Fall, "{w}");
+    assert_eq!(w.value_at(ns(38.0)), Value::Zero, "{w}");
+}
+
+#[test]
+fn unknown_polarity_uses_envelope() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    // A stable-asserted signal: transitions are S <-> C, polarity unknown.
+    let a = b.signal("A .S1-5").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.buf_asym(
+        "B",
+        DelayRange::from_ns(2.0, 2.0),
+        DelayRange::from_ns(6.0, 6.0),
+        z(a),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // A stable 6.25..31.25, changing elsewhere. The envelope is 2..6:
+    // Q must be possibly-changing from 31.25+2 and until 6.25+6.
+    assert!(w.value_at(ns(34.0)).is_transitioning(), "{w}");
+    assert!(w.value_at(ns(12.0)).is_transitioning(), "{w}");
+    assert!(w.value_at(ns(13.0)).is_quiescent(), "{w}");
+    assert!(w.value_at(ns(30.0)).is_quiescent(), "{w}");
+}
+
+#[test]
+fn narrow_pulse_collapse_is_conservative() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    // A 2 ns pulse through a buffer whose fall delay exceeds the rise
+    // delay by more than the pulse width: edges reorder; output must not
+    // claim a clean pulse.
+    let a = b.signal("A .P1.6-1.92 (0,0)").unwrap(); // high 10..12
+    let q = b.signal("Q").unwrap();
+    b.buf_asym(
+        "B",
+        DelayRange::from_ns(6.0, 6.0),
+        DelayRange::from_ns(1.0, 1.0),
+        z(a),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Rise would land at 16, fall at 13: physically the pulse is swallowed
+    // or a glitch. The conservative result may mark the region changing
+    // but must never assert a guaranteed clean full-width high pulse.
+    let guaranteed_high: Vec<_> = scald_wave::pulses(&w, true)
+        .into_iter()
+        .filter(|p| p.min_possible_width >= ns(2.0))
+        .collect();
+    assert!(
+        guaranteed_high.is_empty(),
+        "swallowed pulse must not come out guaranteed: {w}"
+    );
+}
+
+#[test]
+fn asymmetric_inverter_chain_tightens_vs_envelope() {
+    // The §4.2.2 motivation: through TWO inverting levels the rise and
+    // fall delays alternate, so a known-polarity edge accumulates
+    // rise+fall — not 2×max as the envelope would give.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A .P1.6-4.8 (0,0)").unwrap();
+    let m = b.signal("M").unwrap();
+    let q = b.signal("Q").unwrap();
+    let rise = DelayRange::from_ns(2.0, 2.0);
+    let fall = DelayRange::from_ns(6.0, 6.0);
+    b.not_asym("N1", rise, fall, z(a), m);
+    b.not_asym("N2", rise, fall, z(m), q);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Input rises at 10: N1 falls at 16 (fall 6), N2 rises at 18 (rise 2):
+    // total 8 ns = rise + fall, vs 12 ns for 2×max.
+    assert_eq!(w.value_at(ns(17.9)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(18.0)), Value::One, "{w}");
+}

@@ -1,0 +1,202 @@
+//! Evaluator matrix: engine-level behaviour of every primitive kind not
+//! already pinned down by the scenario tests — inverting gates, wide
+//! muxes, SR latches, delays carrying directives, and constants.
+
+use scald_logic::Value;
+use scald_netlist::{Config, Conn, NetlistBuilder, PrimKind, SignalId};
+use scald_verifier::Verifier;
+use scald_wave::{DelayRange, Time};
+
+fn ns(x: f64) -> Time {
+    Time::from_ns(x)
+}
+
+fn z(s: SignalId) -> Conn {
+    Conn::new(s).with_wire_delay(DelayRange::ZERO)
+}
+
+/// Runs a single-gate circuit over two constant-ish inputs and returns
+/// the settled output waveform value at 30 ns.
+fn gate_value(kind: PrimKind, a: Value, b_val: Value) -> Value {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let sa = b.signal("A").unwrap();
+    let sb = b.signal("B").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.constant("KA", a, sa);
+    b.constant("KB", b_val, sb);
+    b.gate("G", kind, DelayRange::ZERO, [z(sa), z(sb)], q);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    v.resolved(q).value_at(ns(30.0))
+}
+
+#[test]
+fn inverting_gates_through_engine() {
+    use Value::*;
+    assert_eq!(gate_value(PrimKind::Nand, One, One), Zero);
+    assert_eq!(gate_value(PrimKind::Nand, Zero, One), One);
+    assert_eq!(gate_value(PrimKind::Nor, Zero, Zero), One);
+    assert_eq!(gate_value(PrimKind::Nor, One, Zero), Zero);
+    assert_eq!(gate_value(PrimKind::Xnor, One, One), One);
+    assert_eq!(gate_value(PrimKind::Xnor, One, Zero), Zero);
+    assert_eq!(gate_value(PrimKind::Xor, One, Zero), One);
+}
+
+#[test]
+fn wide_mux_routes_by_known_select() {
+    // A 4-input mux with a phase-known select: during select = 1 phases
+    // the chosen leg's value appears.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let sel = b.signal("SEL .P0-4 (0,0)").unwrap(); // 1 first half, 0 second
+    let d0 = b.signal("D0").unwrap();
+    let d1 = b.signal("D1").unwrap();
+    let d2 = b.signal("D2").unwrap();
+    let d3 = b.signal("D3").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.constant("K0", Value::Zero, d0);
+    b.constant("K1", Value::One, d1);
+    b.constant("K2", Value::Zero, d2);
+    b.constant("K3", Value::One, d3);
+    b.prim(
+        "WMUX",
+        PrimKind::Mux { data: 4 },
+        DelayRange::ZERO,
+        vec![z(sel), z(d0), z(d1), z(d2), z(d3)],
+        Some(q),
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // First half: select = 1 -> leg 1 (One); second half: select = 0 ->
+    // leg 0 (Zero).
+    assert_eq!(w.value_at(ns(10.0)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(40.0)), Value::Zero, "{w}");
+}
+
+#[test]
+fn latch_sr_forced_by_set() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let en = b.signal("EN .P2-3 (0,0)").unwrap();
+    let d = b.signal_vec("D .S0-6", 8).unwrap();
+    let set = b.signal("SET").unwrap();
+    let rst = b.signal("RST").unwrap();
+    let q = b.signal_vec("Q", 8).unwrap();
+    b.constant("KS", Value::One, set);
+    b.constant("KR", Value::Zero, rst);
+    b.latch_sr(
+        "L",
+        DelayRange::from_ns(1.0, 2.0),
+        z(en),
+        z(d),
+        z(set),
+        z(rst),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    assert!(w.is_constant(), "{w}");
+    assert_eq!(w.value_at(Time::ZERO), Value::One);
+}
+
+#[test]
+fn latch_sr_both_asserted_is_undefined() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let en = b.signal("EN .P2-3 (0,0)").unwrap();
+    let d = b.signal_vec("D .S0-6", 8).unwrap();
+    let set = b.signal("SET").unwrap();
+    let rst = b.signal("RST").unwrap();
+    let q = b.signal_vec("Q", 8).unwrap();
+    b.constant("KS", Value::One, set);
+    b.constant("KR", Value::One, rst);
+    b.latch_sr(
+        "L",
+        DelayRange::from_ns(1.0, 2.0),
+        z(en),
+        z(d),
+        z(set),
+        z(rst),
+        q,
+    );
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    assert_eq!(v.resolved(q).value_at(ns(25.0)), Value::Unknown);
+}
+
+#[test]
+fn delay_element_shifts_and_skews() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A .P2-3 (0,0)").unwrap();
+    let q = b.signal("Q").unwrap();
+    b.delay("DLY", DelayRange::from_ns(5.0, 7.0), z(a), q);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Clock high 12.5..18.75 shifted by 5..7: rise window 17.5..19.5.
+    assert_eq!(w.value_at(ns(17.0)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(18.0)), Value::Rise, "{w}");
+    assert_eq!(w.value_at(ns(19.5)), Value::One, "{w}");
+    // And the pulse width survives the skew (separated representation):
+    // fall window starts at 18.75+5 = 23.75.
+    assert_eq!(w.value_at(ns(23.0)), Value::One, "{w}");
+    assert_eq!(w.value_at(ns(24.0)), Value::Fall, "{w}");
+}
+
+#[test]
+fn delay_element_consumes_directive_string() {
+    // A W directive on a Delay element zeroes its wire but keeps the
+    // element delay; the tail travels to the next level.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A .P2-3 (0,0)").unwrap();
+    let m = b.signal("M").unwrap();
+    let q = b.signal("Q").unwrap();
+    let one = b.signal("ONE").unwrap();
+    b.constant("K1", Value::One, one);
+    // "WZ": level 1 (the delay) zeroes its wire; level 2 (the AND) zeroes
+    // wire+gate.
+    b.prim(
+        "DLY",
+        PrimKind::Delay,
+        DelayRange::from_ns(3.0, 3.0),
+        vec![Conn::new(a).with_directive("WZ")],
+        Some(m),
+    );
+    b.and2("G", DelayRange::from_ns(2.0, 4.0), Conn::new(m), z(one), q);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Clock rise 12.5 + delay 3 (exact) + zero for the AND = 15.5.
+    assert_eq!(w.value_at(ns(15.4)), Value::Zero, "{w}");
+    assert_eq!(w.value_at(ns(15.5)), Value::One, "{w}");
+}
+
+#[test]
+fn constants_drive_their_value() {
+    for val in [Value::Zero, Value::One] {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let q = b.signal("Q").unwrap();
+        b.constant("K", val, q);
+        let mut v = Verifier::new(b.finish().unwrap());
+        v.run().unwrap();
+        assert_eq!(v.resolved(q).value_at(ns(10.0)), val);
+    }
+}
+
+#[test]
+fn chg_multi_input_changing_windows_union() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A .S0-2").unwrap(); // changing 12.5..50
+    let c = b.signal("B .S4-6").unwrap(); // changing 37.5..25 (wraps)
+    let q = b.signal("Q").unwrap();
+    b.chg("SUM", DelayRange::ZERO, [z(a), z(c)], q);
+    let mut v = Verifier::new(b.finish().unwrap());
+    v.run().unwrap();
+    let w = v.resolved(q);
+    // Stable only where both are stable: A stable 0..12.5, B stable
+    // 25..37.5: intersection is empty except... A stable 0..12.5 and B
+    // stable 25..37.5 do not overlap, so Q is changing everywhere except
+    // where both stable — nowhere. Check a few points.
+    assert!(w.value_at(ns(20.0)).is_transitioning(), "{w}");
+    assert!(w.value_at(ns(40.0)).is_transitioning(), "{w}");
+    assert!(w.value_at(ns(5.0)).is_transitioning(), "{w}");
+}

@@ -1,0 +1,101 @@
+//! Wired-OR bus semantics: the F10145A data sheet's memory-expansion
+//! idiom ("outputs can be wired-OR", Fig 3-1). Two RAM banks drive one
+//! read bus; the bus value is the worst-case OR of the banks.
+
+use scald_logic::Value;
+use scald_netlist::{Config, Conn, NetlistBuilder, NetlistError, SignalId};
+use scald_verifier::Verifier;
+use scald_wave::{DelayRange, Time};
+
+fn ns(x: f64) -> Time {
+    Time::from_ns(x)
+}
+
+fn z(s: SignalId) -> Conn {
+    Conn::new(s).with_wire_delay(DelayRange::ZERO)
+}
+
+#[test]
+fn unmarked_multi_driver_still_rejected() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let a = b.signal("A").unwrap();
+    let q = b.signal("BUS").unwrap();
+    b.buf("B1", DelayRange::ZERO, z(a), q);
+    b.buf("B2", DelayRange::ZERO, z(a), q);
+    let err = b.finish().unwrap_err();
+    assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+}
+
+#[test]
+fn wired_or_joins_two_banks() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    // Two banks, each enabled in a different half of the cycle; a
+    // disabled bank drives 0 (the ECL wired-OR idle level).
+    let en_a = b.signal("EN A .P0-4 (0,0)").unwrap();
+    let en_b = b.signal("EN B .P4-8 (0,0)").unwrap();
+    let data_a = b.signal_vec("BANK A OUT .S0-8", 8).unwrap();
+    let data_b = b.signal_vec("BANK B OUT .S0-8", 8).unwrap();
+    let bus = b.signal_vec("READ BUS", 8).unwrap();
+    b.mark_wired_or(bus);
+    let zero = b.signal("GND").unwrap();
+    b.constant("K0", Value::Zero, zero);
+    b.mux2("DRIVE A", DelayRange::from_ns(1.0, 2.0), z(en_a), z(zero), z(data_a), bus);
+    b.mux2("DRIVE B", DelayRange::from_ns(1.0, 2.0), z(en_b), z(zero), z(data_b), bus);
+    let n = b.finish().unwrap();
+    assert_eq!(n.drivers(bus).len(), 2);
+
+    let mut v = Verifier::new(n);
+    let r = v.run().unwrap();
+    assert!(r.is_clean(), "{r}");
+    let w = v.resolved(bus);
+    // Around mid-half-cycle instants the bus carries the enabled bank's
+    // stable data (S OR 0 = S); around the 25 ns crossover both mux
+    // outputs are switching within their 1..2 ns delay spread, so the bus
+    // is changing there.
+    assert_eq!(w.value_at(ns(12.0)), Value::Stable, "{w}");
+    assert_eq!(w.value_at(ns(40.0)), Value::Stable, "{w}");
+    assert!(w.value_at(ns(26.5)).is_transitioning(), "{w}");
+}
+
+#[test]
+fn wired_or_dominated_by_asserted_one() {
+    // One driver pins the bus high: 1 OR anything = 1, whatever the other
+    // bank does.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let one = b.signal("VCC").unwrap();
+    let noisy = b.signal("NOISY .S2-3").unwrap();
+    let bus = b.signal("BUS").unwrap();
+    b.mark_wired_or(bus);
+    b.constant("K1", Value::One, one);
+    b.buf("D1", DelayRange::ZERO, z(one), bus);
+    b.buf("D2", DelayRange::from_ns(1.0, 3.0), z(noisy), bus);
+    let n = b.finish().unwrap();
+    let mut v = Verifier::new(n);
+    v.run().unwrap();
+    let w = v.resolved(bus);
+    assert!(w.is_constant(), "{w}");
+    assert_eq!(w.value_at(Time::ZERO), Value::One);
+}
+
+#[test]
+fn wired_or_checker_sees_joined_value() {
+    // A setup checker on the bus observes the join, not one contribution.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P6-7 (0,0)").unwrap();
+    let early = b.signal("EARLY .S2-8").unwrap();
+    let late = b.signal("LATE .S5.7-8").unwrap();
+    let bus = b.signal("BUS").unwrap();
+    b.mark_wired_or(bus);
+    b.buf("D1", DelayRange::ZERO, z(early), bus);
+    b.buf("D2", DelayRange::ZERO, z(late), bus);
+    b.setup_hold("BUS CHK", ns(2.5), ns(0.5), z(bus), z(clk));
+    let n = b.finish().unwrap();
+    let mut v = Verifier::new(n);
+    let r = v.run().unwrap();
+    // LATE is changing until 35.6 ns; the 37.5 ns edge needs stability
+    // from 35.0 -> the joined bus violates set-up by 0.6 ns.
+    assert!(
+        !r.is_clean(),
+        "the late contribution must surface through the join: {r}"
+    );
+}

@@ -1,0 +1,311 @@
+//! Circular time intervals within one clock period.
+//!
+//! All assertions and signal values in the Timing Verifier are periodic
+//! (§2.1), so an interval like "stable from time 4 to time 9" on an 8-unit
+//! cycle wraps around the end of the period (§3.2). [`Span`] captures such
+//! intervals: a start instant in `[0, period)` plus a width in
+//! `[0, period]`.
+
+use crate::Time;
+
+/// A circular interval within a clock period: `[start, start + width)`,
+/// with all instants taken modulo the period.
+///
+/// A zero-width span represents an instant (e.g. an ideal clock edge with
+/// no skew). A span whose width equals the period covers the whole cycle.
+///
+/// ```
+/// use scald_wave::{Span, Time};
+/// let period = Time::from_ns(50.0);
+/// // "Stable from 25 to 55" wraps: it covers 25..50 and 0..5.
+/// let s = Span::wrapping(Time::from_ns(25.0), Time::from_ns(55.0), period);
+/// assert!(s.contains(Time::from_ns(40.0), period));
+/// assert!(s.contains(Time::from_ns(2.0), period));
+/// assert!(!s.contains(Time::from_ns(10.0), period));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    start: Time,
+    width: Time,
+}
+
+impl Span {
+    /// Creates a span from a start instant and width.
+    ///
+    /// The start is wrapped into `[0, period)`; the width is clamped to at
+    /// most one full period (an interval can never cover more than the
+    /// whole cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is negative or `period` is not positive.
+    #[must_use]
+    pub fn new(start: Time, width: Time, period: Time) -> Span {
+        assert!(!width.is_negative(), "span width must be non-negative");
+        Span {
+            start: start.rem_period(period),
+            width: width.min(period),
+        }
+    }
+
+    /// Creates a span from a start and *end* instant, where the end may be
+    /// numerically before the start (the interval then wraps around the
+    /// period) or beyond it.
+    ///
+    /// If `start == end` (mod period) the span is empty (width 0), matching
+    /// the convention that `.S4-4` asserts stability at a single instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    #[must_use]
+    pub fn wrapping(start: Time, end: Time, period: Time) -> Span {
+        let s = start.rem_period(period);
+        let e = end.rem_period(period);
+        let width = (e - s).rem_period(period);
+        Span { start: s, width }
+    }
+
+    /// A span covering the entire period.
+    #[must_use]
+    pub fn full(period: Time) -> Span {
+        Span {
+            start: Time::ZERO,
+            width: period,
+        }
+    }
+
+    /// A zero-width span marking a single instant.
+    #[must_use]
+    pub fn instant(at: Time, period: Time) -> Span {
+        Span {
+            start: at.rem_period(period),
+            width: Time::ZERO,
+        }
+    }
+
+    /// The start instant, in `[0, period)`.
+    #[must_use]
+    pub fn start(self) -> Time {
+        self.start
+    }
+
+    /// The width of the interval.
+    #[must_use]
+    pub fn width(self) -> Time {
+        self.width
+    }
+
+    /// The end instant, wrapped into `[0, period)`. For a full-period span
+    /// the end equals the start.
+    #[must_use]
+    pub fn end(self, period: Time) -> Time {
+        (self.start + self.width).rem_period(period)
+    }
+
+    /// `true` if the span has zero width.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.width == Time::ZERO
+    }
+
+    /// `true` if the span covers the whole period.
+    #[must_use]
+    pub fn is_full(self, period: Time) -> bool {
+        self.width == period
+    }
+
+    /// Whether the instant `t` (mod period) lies within the span.
+    ///
+    /// A zero-width span contains exactly its start instant; a full-period
+    /// span contains everything.
+    #[must_use]
+    pub fn contains(self, t: Time, period: Time) -> bool {
+        if self.is_full(period) {
+            return true;
+        }
+        let rel = (t.rem_period(period) - self.start).rem_period(period);
+        rel < self.width || (self.is_empty() && rel == Time::ZERO)
+    }
+
+    /// Grows the span by `before` on the early side and `after` on the late
+    /// side, clamping to at most the full period.
+    ///
+    /// This is how a set-up/hold requirement turns a clock-edge window into
+    /// the interval over which the data input must be quiescent: the edge
+    /// window expanded by the set-up time before and the hold time after
+    /// (§2.4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` or `after` is negative.
+    #[must_use]
+    pub fn expanded(self, before: Time, after: Time, period: Time) -> Span {
+        assert!(
+            !before.is_negative() && !after.is_negative(),
+            "expansion amounts must be non-negative"
+        );
+        let width = self.width + before + after;
+        Span::new(self.start - before, width, period)
+    }
+
+    /// Splits a circular span into one or two non-wrapping `(start, end)`
+    /// pieces with `start <= end`, both within `[0, period]`.
+    ///
+    /// Zero-width spans produce a single degenerate piece.
+    #[must_use]
+    pub fn linear_pieces(self, period: Time) -> Vec<(Time, Time)> {
+        let end = self.start + self.width;
+        if end <= period {
+            vec![(self.start, end)]
+        } else {
+            vec![
+                (self.start, period),
+                (Time::ZERO, end.rem_period(period)),
+            ]
+        }
+    }
+
+    /// Whether two spans overlap (share at least one instant; touching
+    /// endpoints do not count, but a zero-width span overlapping the
+    /// interior of another does).
+    #[must_use]
+    pub fn overlaps(self, other: Span, period: Time) -> bool {
+        if self.is_empty() {
+            return other.contains(self.start, period);
+        }
+        if other.is_empty() {
+            return self.contains(other.start, period);
+        }
+        for (a0, a1) in self.linear_pieces(period) {
+            for (b0, b1) in other.linear_pieces(period) {
+                if a0 < b1 && b0 < a1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Display for Span {
+    /// Formats as `start..start+width` in nanoseconds; note the end is not
+    /// wrapped so the reader sees the width at a glance.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.start + self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Time = Time::from_ps(50_000); // 50 ns
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    #[test]
+    fn contains_basic() {
+        let s = Span::new(ns(10.0), ns(5.0), P);
+        assert!(s.contains(ns(10.0), P));
+        assert!(s.contains(ns(14.9), P));
+        assert!(!s.contains(ns(15.0), P)); // half-open
+        assert!(!s.contains(ns(9.9), P));
+    }
+
+    #[test]
+    fn contains_wrapping() {
+        let s = Span::wrapping(ns(45.0), ns(5.0), P);
+        assert_eq!(s.width(), ns(10.0));
+        assert!(s.contains(ns(47.0), P));
+        assert!(s.contains(ns(0.0), P));
+        assert!(s.contains(ns(4.9), P));
+        assert!(!s.contains(ns(5.0), P));
+        assert!(!s.contains(ns(20.0), P));
+    }
+
+    #[test]
+    fn instant_span() {
+        let s = Span::instant(ns(20.0), P);
+        assert!(s.is_empty());
+        assert!(s.contains(ns(20.0), P));
+        assert!(!s.contains(ns(20.001), P));
+    }
+
+    #[test]
+    fn full_span_contains_everything() {
+        let s = Span::full(P);
+        assert!(s.is_full(P));
+        for t in [0.0, 10.0, 49.999] {
+            assert!(s.contains(ns(t), P));
+        }
+    }
+
+    #[test]
+    fn wrapping_same_start_end_is_empty() {
+        let s = Span::wrapping(ns(4.0), ns(4.0), P);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn expanded_applies_setup_hold() {
+        // A clock edge window at 25..26 with 3.5 ns set-up and 1.0 ns hold
+        // requires stability over 21.5..27.
+        let edge = Span::new(ns(25.0), ns(1.0), P);
+        let req = edge.expanded(ns(3.5), ns(1.0), P);
+        assert_eq!(req.start(), ns(21.5));
+        assert_eq!(req.width(), ns(5.5));
+    }
+
+    #[test]
+    fn expanded_clamps_to_period() {
+        let s = Span::new(ns(10.0), ns(5.0), P);
+        let big = s.expanded(ns(40.0), ns(40.0), P);
+        assert!(big.is_full(P));
+    }
+
+    #[test]
+    fn linear_pieces_non_wrapping() {
+        let s = Span::new(ns(10.0), ns(5.0), P);
+        assert_eq!(s.linear_pieces(P), vec![(ns(10.0), ns(15.0))]);
+    }
+
+    #[test]
+    fn linear_pieces_wrapping() {
+        let s = Span::wrapping(ns(45.0), ns(5.0), P);
+        assert_eq!(
+            s.linear_pieces(P),
+            vec![(ns(45.0), ns(50.0)), (ns(0.0), ns(5.0))]
+        );
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Span::new(ns(10.0), ns(10.0), P);
+        let b = Span::new(ns(15.0), ns(10.0), P);
+        let c = Span::new(ns(20.0), ns(5.0), P);
+        assert!(a.overlaps(b, P));
+        assert!(!a.overlaps(c, P)); // touching at 20 only
+        let wrap = Span::wrapping(ns(48.0), ns(2.0), P);
+        assert!(wrap.overlaps(Span::new(ns(0.0), ns(1.0), P), P));
+        assert!(wrap.overlaps(Span::new(ns(49.0), ns(1.0), P), P));
+        assert!(!wrap.overlaps(Span::new(ns(2.0), ns(40.0), P), P));
+    }
+
+    #[test]
+    fn zero_width_overlap() {
+        let edge = Span::instant(ns(12.0), P);
+        let win = Span::new(ns(10.0), ns(5.0), P);
+        assert!(edge.overlaps(win, P));
+        assert!(win.overlaps(edge, P));
+        assert!(!Span::instant(ns(30.0), P).overlaps(win, P));
+    }
+
+    #[test]
+    fn display_shows_unwrapped_end() {
+        let s = Span::new(ns(45.0), ns(10.0), P);
+        assert_eq!(s.to_string(), "45.0..55.0");
+    }
+}

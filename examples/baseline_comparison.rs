@@ -1,0 +1,105 @@
+//! The headline comparison (§2.1, §4.1): one symbolic verification pass
+//! vs exhaustive min/max logic simulation vs worst-case path search.
+//!
+//! A mux-selected slow path hides a set-up bug that only appears for the
+//! input patterns that select it. The Timing Verifier finds it in one
+//! pass; the logic simulator must sweep input patterns (2^n of them) and
+//! only trips the bug on the patterns that exercise the path; the path
+//! searcher finds it but also cries wolf on the phantom path of the
+//! Fig 2-6 circuit.
+//!
+//! Run with: `cargo run --example baseline_comparison`
+
+use scald::gen::figures::case_analysis_circuit;
+use scald::netlist::{Config, Conn, Netlist, NetlistBuilder};
+use scald::paths::PathAnalysis;
+use scald::sim::{primary_inputs, simulate, SimViolationKind, Stimulus};
+use scald::verifier::{Case, Verifier, ViolationKind};
+use scald::wave::{DelayRange, Time};
+
+/// A register fed through a mux whose `1` leg is too slow for the set-up
+/// requirement.
+fn slow_leg_circuit() -> Netlist {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P2-3 (0,0)").expect("valid");
+    let sel = b.signal("SEL .S0-8").expect("valid");
+    let fast = b.signal("FAST .S0-1").expect("valid");
+    let slow_in = b.signal("SLOW IN").expect("valid");
+    let slow = b.signal("SLOW").expect("valid");
+    let m = b.signal("M").expect("valid");
+    let q = b.signal("Q").expect("valid");
+    let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    b.buf("SLOW BUF", DelayRange::from_ns(11.0, 12.0), z(slow_in), slow);
+    b.mux2("MUX", DelayRange::ZERO, z(sel), z(fast), z(slow), m);
+    b.reg("R", DelayRange::from_ns(1.5, 4.5), z(clk), z(m), q);
+    b.setup_hold(
+        "R CHK",
+        Time::from_ns(2.5),
+        Time::from_ns(0.5),
+        z(m),
+        z(clk),
+    );
+    b.finish().expect("circuit is well-formed")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Circuit: mux with a slow leg feeding a register ===\n");
+
+    // 1. Timing Verifier: one pass over all cases at once.
+    let mut v = Verifier::new(slow_leg_circuit());
+    let r = v.run()?;
+    println!(
+        "Timing Verifier      : 1 symbolic pass, {} evaluations, setup errors: {}",
+        r.evaluations,
+        r.of_kind(ViolationKind::Setup).len()
+    );
+
+    // 2. Logic simulation: must enumerate concrete input patterns.
+    let netlist = slow_leg_circuit();
+    let inputs = primary_inputs(&netlist);
+    let n = inputs.len();
+    let mut trips = 0usize;
+    let mut total_events = 0u64;
+    for pattern in 0..(1u64 << n) {
+        let result = simulate(&netlist, &Stimulus::from_pattern(&inputs, 1, pattern));
+        total_events += result.events;
+        if result
+            .violations
+            .iter()
+            .any(|x| matches!(x.kind, SimViolationKind::Setup | SimViolationKind::AmbiguousData))
+        {
+            trips += 1;
+        }
+    }
+    println!(
+        "Logic simulation     : {} patterns (2^{n}) simulated, {} events total; \
+         only {trips} pattern(s) expose the bug",
+        1u64 << n,
+        total_events
+    );
+
+    // 3. Path search: catches the slow leg but with no value awareness.
+    let analysis = PathAnalysis::analyze(&netlist);
+    println!(
+        "Path search          : {} endpoint(s), {} violation(s)",
+        analysis.reports().len(),
+        analysis.violations().len()
+    );
+
+    println!("\n=== Circuit: Fig 2-6 (value-dependent false path) ===\n");
+    let (netlist, (_, _, output)) = case_analysis_circuit();
+    let analysis = PathAnalysis::analyze(&netlist);
+    println!(
+        "Path search          : claims OUTPUT settles at {} ns (phantom)",
+        analysis.arrival(output).expect("reachable").max
+    );
+    let (netlist, (_, _, output)) = case_analysis_circuit();
+    let mut v = Verifier::new(netlist);
+    v.run_cases(&[
+        Case::new().assign("CONTROL SIGNAL", false),
+        Case::new().assign("CONTROL SIGNAL", true),
+    ])?;
+    let w = v.resolved(output);
+    println!("Verifier with cases  : OUTPUT = {w} (true 30 ns path)");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Probability-based analysis (§1.4.1.2, §4.2.4): the DIGSIM-style
+//! extension the thesis sketches as future work.
+//!
+//! An 8-stage pipeline path is analyzed three ways: min/max worst case,
+//! probabilistic with independent component delays, and probabilistic with
+//! fully correlated delays (components from one production run, §4.2.3).
+//!
+//! Run with: `cargo run --example probabilistic`
+
+use scald::netlist::{Config, Conn, NetlistBuilder};
+use scald::stats::ProbPathAnalysis;
+use scald::wave::{DelayRange, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let clk = b.signal("CK .P0-1")?;
+    let d = b.signal("D")?;
+    let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    let q0 = b.signal("Q0")?;
+    b.reg("R0", DelayRange::from_ns(1.5, 4.5), z(clk), z(d), q0);
+    // Two reconvergent 4-stage branches joined before the endpoint: the
+    // join takes the max of two path distributions, where correlation
+    // matters.
+    let mut branch_ends = Vec::new();
+    for br in 0..2 {
+        let mut cur = q0;
+        for i in 0..4 {
+            let next = b.signal(&format!("BR{br} N{i}"))?;
+            b.buf(
+                format!("BR{br} B{i}"),
+                DelayRange::from_ns(1.0, 4.0),
+                z(cur),
+                next,
+            );
+            cur = next;
+        }
+        branch_ends.push(cur);
+    }
+    let joined = b.signal("JOINED")?;
+    b.and2(
+        "JOIN",
+        DelayRange::from_ns(1.0, 2.0),
+        z(branch_ends[0]),
+        z(branch_ends[1]),
+        joined,
+    );
+    b.setup_hold(
+        "END CHK",
+        Time::from_ns(2.5),
+        Time::from_ns(0.0),
+        z(joined),
+        z(clk),
+    );
+    let netlist = b.finish()?;
+
+    println!(
+        "two reconvergent 4-stage branches (1.0/4.0 ns buffers) joined by an\n\
+         AND gate, behind a 1.5/4.5 ns register\n"
+    );
+    for (label, rho) in [("independent (rho = 0)", 0.0), ("correlated (rho = 1)", 1.0)] {
+        let analysis = ProbPathAnalysis::analyze(&netlist, rho);
+        let r = analysis
+            .reports()
+            .iter()
+            .find(|r| r.constraint_source == "END CHK")
+            .expect("endpoint analyzed");
+        println!("{label}:");
+        println!("  arrival distribution : {}", r.arrival);
+        println!("  3-sigma bound        : {:.2} ns", r.arrival.quantile(3.0));
+        println!("  min/max worst case   : {:.2} ns", r.worst_case_ns);
+        println!(
+            "  P(setup violated)    : {:.2e}\n",
+            r.violation_probability
+        );
+    }
+    println!(
+        "The 3-sigma bound sits well inside the worst case — the reason\n\
+         probabilistic analysis predicts faster feasible designs (§1.4.1.2) —\n\
+         but the answer depends on the correlation assumption, which is why\n\
+         the thesis kept min/max for production use (§4.2.4)."
+    );
+    Ok(())
+}

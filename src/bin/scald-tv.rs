@@ -1,0 +1,236 @@
+//! `scald-tv` — the SCALD Timing Verifier command-line tool.
+//!
+//! Reads a design in the SCALD-style HDL, expands its macros, verifies all
+//! timing constraints (running the design's `case` blocks if present), and
+//! prints the error report. Exits non-zero when violations are found, so
+//! it slots into CI the way the thesis' designers ran the verifier daily
+//! (§3.3.1).
+//!
+//! ```text
+//! USAGE:
+//!     scald-tv [OPTIONS] <DESIGN.scald>
+//!
+//! OPTIONS:
+//!     --summary     print the Fig 3-10 signal-value summary listing
+//!     --diagram     print an ASCII timing diagram of all signals
+//!     --slack       print per-checker timing margins (worst first)
+//!     --paths       print the worst-case path analysis (GRASP-style)
+//!     --netlist     print the fully elaborated (flattened) design
+//!     --xref        print the assumed-stable cross-reference listing
+//!     --stats       print expansion/verification statistics (Table 3-1)
+//!     --storage     print the storage breakdown (Table 3-3)
+//!     --no-cases    ignore the design's case blocks (single pass)
+//! ```
+
+use scald::hdl;
+use scald::verifier::{Case, Verifier};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    path: String,
+    summary: bool,
+    diagram: bool,
+    slack: bool,
+    paths: bool,
+    netlist: bool,
+    xref: bool,
+    stats: bool,
+    storage: bool,
+    no_cases: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        path: String::new(),
+        summary: false,
+        diagram: false,
+        slack: false,
+        paths: false,
+        netlist: false,
+        xref: false,
+        stats: false,
+        storage: false,
+        no_cases: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--summary" => opts.summary = true,
+            "--diagram" => opts.diagram = true,
+            "--slack" => opts.slack = true,
+            "--paths" => opts.paths = true,
+            "--netlist" => opts.netlist = true,
+            "--xref" => opts.xref = true,
+            "--stats" => opts.stats = true,
+            "--storage" => opts.storage = true,
+            "--no-cases" => opts.no_cases = true,
+            "--help" | "-h" => {
+                return Err("usage: scald-tv [--summary] [--diagram] [--slack] \
+                            [--paths] [--xref] [--stats] [--storage] \
+                            [--no-cases] <DESIGN.scald>"
+                    .to_owned())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}; try --help"))
+            }
+            path => {
+                if !opts.path.is_empty() {
+                    return Err("exactly one design file expected".to_owned());
+                }
+                opts.path = path.to_owned();
+            }
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("no design file given; try --help".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let src = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scald-tv: cannot read {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+
+    let t = Instant::now();
+    let expansion = match hdl::compile(&src) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("scald-tv: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let expand_time = t.elapsed();
+
+    if opts.stats {
+        let s = expansion.stats;
+        eprintln!(
+            "expanded {} macros / {} instances -> {} primitives, {} signals \
+             (pass1 {:?}, pass2 {:?}, total {expand_time:?})",
+            s.macros_defined,
+            s.instances_expanded,
+            s.prims_emitted,
+            s.signals,
+            s.pass1,
+            s.pass2
+        );
+    }
+
+    if opts.netlist {
+        println!("--- fully elaborated design ---");
+        print!("{}", expansion.netlist.listing());
+    }
+    if opts.paths {
+        println!("--- worst-case path analysis (value-blind baseline) ---");
+        let analysis = scald::paths::PathAnalysis::analyze(&expansion.netlist);
+        for report in analysis.reports() {
+            println!("{report}");
+        }
+        for group in analysis.loops() {
+            println!("LOOP NEEDS A BREAKPOINT: {}", group.join(", "));
+        }
+        let slacks = analysis.signal_slacks(&expansion.netlist);
+        if !slacks.is_empty() {
+            println!("critical region (worst signal slacks):");
+            for (sid, slack) in slacks.iter().take(8) {
+                println!(
+                    "  {:<30} {slack}",
+                    expansion.netlist.signal(*sid).name
+                );
+            }
+        }
+    }
+
+    let cases: Vec<Case> = if opts.no_cases || expansion.cases.is_empty() {
+        vec![Case::new()]
+    } else {
+        expansion
+            .cases
+            .iter()
+            .map(|assigns| {
+                assigns
+                    .iter()
+                    .fold(Case::new(), |c, (s, v)| c.assign(s.clone(), *v))
+            })
+            .collect()
+    };
+
+    let t = Instant::now();
+    let mut verifier = Verifier::new(expansion.netlist);
+    let results = match verifier.run_cases(&cases) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scald-tv: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verify_time = t.elapsed();
+
+    let mut total = 0usize;
+    for result in &results {
+        if results.len() > 1 || !result.is_clean() {
+            println!("{result}");
+        }
+        total += result.violations.len();
+    }
+    if opts.stats {
+        eprintln!(
+            "verified {} case(s) in {verify_time:?}, {} events total",
+            results.len(),
+            verifier.total_events()
+        );
+    }
+    if opts.summary {
+        println!("--- signal values over the cycle ---");
+        print!("{}", verifier.summary_listing());
+    }
+    if opts.diagram {
+        println!("--- timing diagram ---");
+        print!("{}", verifier.timing_diagram(64));
+    }
+    if opts.slack {
+        println!("--- timing margins (worst first) ---");
+        let fmt = |s: Option<scald::wave::Time>| {
+            s.map_or_else(|| "     -".to_owned(), |t| format!("{t:>6}"))
+        };
+        println!(
+            "{:<40} {:>8} {:>8} {:>8}",
+            "CHECKER", "SETUP", "HOLD", "PULSE"
+        );
+        for m in verifier.slack_report() {
+            println!(
+                "{:<40} {:>8} {:>8} {:>8}",
+                m.checker,
+                fmt(m.setup_slack),
+                fmt(m.hold_slack),
+                fmt(m.pulse_slack)
+            );
+        }
+    }
+    if opts.xref {
+        print!("{}", verifier.xref_listing());
+    }
+    if opts.storage {
+        println!("{}", verifier.storage_report());
+    }
+
+    if total == 0 {
+        println!("no timing errors.");
+        ExitCode::SUCCESS
+    } else {
+        println!("{total} timing violation(s).");
+        ExitCode::FAILURE
+    }
+}

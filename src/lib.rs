@@ -1,0 +1,77 @@
+//! **scald** — a from-scratch Rust reproduction of the SCALD Timing
+//! Verifier (T. M. McWilliams, *Verification of Timing Constraints on
+//! Large Digital Systems*, Stanford/LLNL, 1980; DAC 1980).
+//!
+//! The Timing Verifier introduced what became static timing analysis: it
+//! simulates **one clock period** of a synchronous design symbolically,
+//! representing most signals only as *stable* or *changing* (a seven-value
+//! algebra `0 1 S C R F U`), and checks every set-up, hold, minimum-pulse
+//! -width and gated-clock-hazard constraint in a single pass — work that a
+//! conventional logic simulator needs exponentially many input patterns to
+//! cover.
+//!
+//! # Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`logic`] | the seven-value algebra (§2.4.1–2.4.2) |
+//! | [`wave`] | periodic waveforms, spans, separated skew (§2.3, §2.8) |
+//! | [`assertions`] | `.P`/`.C`/`.S` signal-name assertions (§2.5) |
+//! | [`netlist`] | primitives, signals, the circuit graph (§2.4, §3.1) |
+//! | [`hdl`] | SCALD-style HDL and the two-pass macro expander (§3.1) |
+//! | [`verifier`] | the Timing Verifier engine, checkers, case analysis (§2.6–2.9) |
+//! | [`sim`] | baseline: min/max six-value logic simulator (§1.4.1.1) |
+//! | [`paths`] | baseline: worst-case path search (§1.4.2) |
+//! | [`stats`] | extension: probability-based analysis (§1.4.1.2, §4.2.4) |
+//! | [`gen`] | the thesis' figure circuits and the S-1-like design generator |
+//!
+//! # Quickstart
+//!
+//! Build the thesis' Fig 2-5 register-file circuit and verify it,
+//! reproducing the two error groups of Fig 3-11:
+//!
+//! ```
+//! use scald::gen::figures::register_file_circuit;
+//! use scald::verifier::{Verifier, ViolationKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (netlist, _signals) = register_file_circuit();
+//! let mut verifier = Verifier::new(netlist);
+//! let result = verifier.run()?;
+//!
+//! // The RAM address set-up (3.5 ns) and the output-register set-up
+//! // (2.5 ns) are both violated, as in the thesis.
+//! assert!(!result.of_kind(ViolationKind::Setup).is_empty());
+//! println!("{result}");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Or compile the same circuit from SCALD-style HDL text:
+//!
+//! ```
+//! use scald::gen::hdl_sources::register_file_example;
+//! use scald::hdl::compile;
+//! use scald::verifier::Verifier;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let expansion = compile(&register_file_example())?;
+//! let mut verifier = Verifier::new(expansion.netlist);
+//! let result = verifier.run()?;
+//! println!("{} violations", result.violations.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use scald_assertions as assertions;
+pub use scald_gen as gen;
+pub use scald_hdl as hdl;
+pub use scald_logic as logic;
+pub use scald_netlist as netlist;
+pub use scald_paths as paths;
+pub use scald_sim as sim;
+pub use scald_stats as stats;
+pub use scald_verifier as verifier;
+pub use scald_wave as wave;

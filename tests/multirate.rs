@@ -1,0 +1,95 @@
+//! §2.2: circuits with parts running at different clock rates are
+//! verified at the least common multiple of their periods.
+//!
+//! "A processor might have an instruction unit which has a period of 30
+//! nsec and an execution unit which has a period of 15 nsec. In this
+//! case, the period specified would be 30 nsec." Here: a 50 ns
+//! instruction unit and a 25 ns execution unit, verified over 50 ns with
+//! the execution clock firing twice per period.
+
+use scald::netlist::{Config, Conn, NetlistBuilder, SignalId};
+use scald::verifier::{Verifier, ViolationKind};
+use scald::wave::{DelayRange, Time};
+
+fn ns(x: f64) -> Time {
+    Time::from_ns(x)
+}
+
+fn z(s: SignalId) -> Conn {
+    Conn::new(s).with_wire_delay(DelayRange::ZERO)
+}
+
+/// Execution-unit registers run on a two-pulse clock (two rising edges
+/// per 50 ns period = a 25 ns effective cycle); data between them must
+/// meet set-up against *both* edges.
+#[test]
+fn execution_unit_at_double_rate() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    // Two edges per period: rises at units 1.8 and 5.8 (11.25, 36.25 ns).
+    let exec_clk = b.signal("EXEC CLK .P1.8-2.6,5.8-6.6 (0,0)").unwrap();
+    let d = b.signal_vec("E IN .S0-8", 16).unwrap();
+    let q1 = b.signal_vec("E Q1", 16).unwrap();
+    let mid = b.signal_vec("E MID", 16).unwrap();
+    let q2 = b.signal_vec("E Q2", 16).unwrap();
+    b.reg("E R1", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(d), q1);
+    // A fast path: must fit in 25 ns minus set-up.
+    b.chg("E LOGIC", DelayRange::from_ns(2.0, 12.0), [z(q1)], mid);
+    b.reg("E R2", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(mid), q2);
+    b.setup_hold("E R2 CHK", ns(2.5), ns(1.5), z(mid), z(exec_clk));
+    let mut v = Verifier::new(b.finish().unwrap());
+    let r = v.run().unwrap();
+    // Launch at 11.25 -> Q1 changes 12.75..15.75 -> MID changes
+    // 14.75..27.75: stable 2.5 ns before the *next* edge at 36.25, and
+    // quiescent through the hold of the 11.25 edge? MID changes at
+    // 14.75 > 11.25+0.8(window)+1.5 hold = 13.55: hold met. Set-up to
+    // 36.25: stable from 27.75, avail 8.5: met. Clean at 25 ns rate.
+    assert!(r.is_clean(), "{r}");
+
+    // Verify both edges really anchor checks: slow the logic so it misses
+    // the 25 ns budget but would have passed a 50 ns one.
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let exec_clk = b.signal("EXEC CLK .P1.8-2.6,5.8-6.6 (0,0)").unwrap();
+    let d = b.signal_vec("E IN .S0-8", 16).unwrap();
+    let q1 = b.signal_vec("E Q1", 16).unwrap();
+    let mid = b.signal_vec("E MID", 16).unwrap();
+    let q2 = b.signal_vec("E Q2", 16).unwrap();
+    b.reg("E R1", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(d), q1);
+    b.chg("E LOGIC", DelayRange::from_ns(2.0, 23.0), [z(q1)], mid);
+    b.reg("E R2", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(mid), q2);
+    b.setup_hold("E R2 CHK", ns(2.5), ns(1.5), z(mid), z(exec_clk));
+    let mut v = Verifier::new(b.finish().unwrap());
+    let r = v.run().unwrap();
+    assert!(
+        !r.of_kind(ViolationKind::Setup).is_empty(),
+        "a 23 ns path cannot meet the 25 ns execution rate: {r}"
+    );
+}
+
+/// Mixed-rate interaction: an instruction-unit register (one edge per
+/// 50 ns) feeding the execution unit, with assertions carrying the
+/// crossing.
+#[test]
+fn mixed_rate_units_verify_together() {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let inst_clk = b.signal("INST CLK .P6-7 (0,0)").unwrap();
+    let exec_clk = b.signal("EXEC CLK .P1.8-2.6,5.8-6.6 (0,0)").unwrap();
+    let d = b.signal_vec("I IN .S2.5-7.5", 16).unwrap();
+    let iq = b.signal_vec("I Q", 16).unwrap();
+    let eq = b.signal_vec("E Q", 16).unwrap();
+    b.reg("I REG", DelayRange::from_ns(1.5, 4.5), z(inst_clk), z(d), iq);
+    // The instruction register launches at 37.5; the next execution edge
+    // is 11.25 (next cycle): 23.75 ns of budget.
+    b.reg("X REG", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(iq), eq);
+    b.setup_hold("X CHK", ns(2.5), ns(1.5), z(iq), z(exec_clk));
+    let mut v = Verifier::new(b.finish().unwrap());
+    let r = v.run().unwrap();
+    assert!(r.is_clean(), "{r}");
+    // The instruction register output changes once per 50 ns.
+    let w = v.resolved(iq);
+    let changing: Vec<_> = w
+        .transitions()
+        .iter()
+        .filter(|(_, v)| v.is_transitioning())
+        .collect();
+    assert_eq!(changing.len(), 1, "{w}");
+}
