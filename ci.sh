@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Full CI gate, runnable offline on any machine with the Rust toolchain.
+# Mirrors .github/workflows/ci.yml.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1: release build plus the root integration suites.
+cargo build --release
+cargo test -q
+
+# Everything else: every crate's unit, integration and property tests.
+cargo test --workspace -q

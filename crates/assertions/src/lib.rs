@@ -248,7 +248,9 @@ pub struct ParseAssertionError {
 
 impl ParseAssertionError {
     fn new(msg: impl Into<String>) -> ParseAssertionError {
-        ParseAssertionError { message: msg.into() }
+        ParseAssertionError {
+            message: msg.into(),
+        }
     }
 }
 
@@ -379,7 +381,9 @@ pub fn parse_assertion(s: &str) -> Result<Assertion, ParseAssertionError> {
         if toks.peek() == Some(',') {
             toks.bump();
         } else {
-            return Err(ParseAssertionError::new("expected ',' in skew specification"));
+            return Err(ParseAssertionError::new(
+                "expected ',' in skew specification",
+            ));
         }
         let plus = toks
             .number()
@@ -508,7 +512,10 @@ mod tests {
         // "XYZ .C2,5" — single times are one clock unit wide.
         let (_, a) = parse_signal_name("XYZ .C2,5").unwrap();
         let a = a.unwrap();
-        assert_eq!(a.ranges, vec![TimeRange::Single(2.0), TimeRange::Single(5.0)]);
+        assert_eq!(
+            a.ranges,
+            vec![TimeRange::Single(2.0), TimeRange::Single(5.0)]
+        );
 
         // "2+10.0": high at unit 2 for 10.0 ns.
         let (_, a) = parse_signal_name("XYZ .C2+10.0").unwrap();

@@ -1,17 +1,16 @@
-//! Criterion benches for the substrates: waveform algebra, skew folding,
-//! assertion parsing, HDL expansion (the Table 3-1 macro-expander phases)
-//! and the probabilistic extension.
+//! Benches for the substrates: waveform algebra, skew folding,
+//! assertion parsing, HDL expansion (the Table 3-1 macro-expander
+//! phases) and the probabilistic extension. Std-only harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scald_assertions::parse_signal_name;
+use scald_bench::harness::Bench;
 use scald_gen::s1::{s1_like_hdl, S1Options};
 use scald_logic::Value;
 use scald_stats::DelayDist;
 use scald_wave::{DelayRange, Skew, Time, Waveform};
 
-fn waveform_ops(c: &mut Criterion) {
+fn waveform_ops(b: &Bench) {
     let period = Time::from_ns(50.0);
-    let mut group = c.benchmark_group("wave");
     // A busy waveform with many segments.
     let busy = Waveform::from_intervals(
         period,
@@ -20,7 +19,11 @@ fn waveform_ops(c: &mut Criterion) {
             (
                 Time::from_ns(f64::from(i) * 5.0),
                 Time::from_ns(f64::from(i) * 5.0 + 2.0),
-                if i % 2 == 0 { Value::Change } else { Value::One },
+                if i % 2 == 0 {
+                    Value::Change
+                } else {
+                    Value::One
+                },
             )
         }),
     );
@@ -29,65 +32,52 @@ fn waveform_ops(c: &mut Criterion) {
         Value::Zero,
         [(Time::from_ns(10.0), Time::from_ns(20.0), Value::One)],
     );
-    group.bench_function("combine_or", |b| {
-        b.iter(|| busy.combine(&clock, Value::or));
+    b.bench("wave/combine_or", || busy.combine(&clock, Value::or));
+    b.bench("wave/skew_fold", || {
+        busy.with_skew_applied(Skew::from_ns(1.0, 1.0))
     });
-    group.bench_function("skew_fold", |b| {
-        b.iter(|| busy.with_skew_applied(Skew::from_ns(1.0, 1.0)));
-    });
-    group.bench_function("delay_rotate", |b| {
-        b.iter(|| busy.delayed(Time::from_ns(13.7)));
-    });
-    group.bench_function("edge_windows", |b| {
-        let skewed = clock.with_skew_applied(Skew::from_ns(1.0, 1.0));
-        b.iter(|| scald_wave::edge_windows(&skewed, scald_wave::Edge::Rising));
-    });
-    group.finish();
-}
-
-fn assertion_parsing(c: &mut Criterion) {
-    c.bench_function("assertions/parse", |b| {
-        b.iter(|| {
-            parse_signal_name("MEM WRITE STROBE .C2-3,5-6 (-0.5,0.5) L").expect("parses")
-        });
+    b.bench("wave/delay_rotate", || busy.delayed(Time::from_ns(13.7)));
+    let skewed = clock.with_skew_applied(Skew::from_ns(1.0, 1.0));
+    b.bench("wave/edge_windows", || {
+        scald_wave::edge_windows(&skewed, scald_wave::Edge::Rising)
     });
 }
 
-fn hdl_expansion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hdl/compile_s1_like");
-    group.sample_size(10);
+fn assertion_parsing(b: &Bench) {
+    b.bench("assertions/parse", || {
+        parse_signal_name("MEM WRITE STROBE .C2-3,5-6 (-0.5,0.5) L").expect("parses")
+    });
+}
+
+fn hdl_expansion(b: &Bench) {
     for chips in [60usize, 300] {
         let src = s1_like_hdl(S1Options {
             chips,
             ..S1Options::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(chips), &src, |b, src| {
-            b.iter(|| scald_hdl::compile(src).expect("compiles"));
+        b.bench(&format!("hdl/compile_s1_like/{chips}"), || {
+            scald_hdl::compile(&src).expect("compiles")
         });
     }
-    group.finish();
 }
 
-fn probabilistic(c: &mut Criterion) {
-    c.bench_function("stats/clark_max_chain", |b| {
-        let stage = DelayDist::from_range(DelayRange::from_ns(1.0, 4.0));
-        b.iter(|| {
-            let mut acc = DelayDist::exact(0.0);
-            for _ in 0..32 {
-                let a = acc.then(stage);
-                let bb = acc.then(stage).then(stage);
-                acc = a.max(bb, 0.3);
-            }
-            acc
-        });
+fn probabilistic(b: &Bench) {
+    let stage = DelayDist::from_range(DelayRange::from_ns(1.0, 4.0));
+    b.bench("stats/clark_max_chain", || {
+        let mut acc = DelayDist::exact(0.0);
+        for _ in 0..32 {
+            let a = acc.then(stage);
+            let bb = acc.then(stage).then(stage);
+            acc = a.max(bb, 0.3);
+        }
+        acc
     });
 }
 
-criterion_group!(
-    benches,
-    waveform_ops,
-    assertion_parsing,
-    hdl_expansion,
-    probabilistic
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_args();
+    waveform_ops(&b);
+    assertion_parsing(&b);
+    hdl_expansion(&b);
+    probabilistic(&b);
+}

@@ -1,11 +1,11 @@
-//! Criterion benches for the Timing Verifier: one bench group per
-//! table/figure experiment (see DESIGN.md §3), plus the verifier-vs-
-//! baselines comparison.
+//! Benches for the Timing Verifier: one group per table/figure
+//! experiment (see DESIGN.md §3), plus the verifier-vs-baselines
+//! comparison. Std-only harness — run with `cargo bench`, filter by
+//! substring: `cargo bench --bench verifier_benches -- fig_2_6`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scald_bench::harness::Bench;
 use scald_gen::figures::{
-    alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit,
-    register_file_circuit,
+    alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
@@ -15,97 +15,121 @@ use scald_verifier::{Case, Verifier};
 use scald_wave::{DelayRange, Time};
 
 /// Fig 2-5 / Fig 3-11: verify the register-file circuit.
-fn fig_3_10_3_11(c: &mut Criterion) {
-    c.bench_function("fig_3_11/register_file_verify", |b| {
-        b.iter_batched(
-            || register_file_circuit().0,
-            |netlist| {
-                let mut v = Verifier::new(netlist);
-                v.run().expect("settles")
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+fn fig_3_10_3_11(b: &Bench) {
+    b.bench_with_setup(
+        "fig_3_11/register_file_verify",
+        || register_file_circuit().0,
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run().expect("settles")
+        },
+    );
 }
 
 /// Fig 1-5: hazard detection via the &A directive.
-fn fig_1_5(c: &mut Criterion) {
-    c.bench_function("fig_1_5/hazard_verify", |b| {
-        b.iter_batched(
-            || hazard_circuit(true),
-            |netlist| {
-                let mut v = Verifier::new(netlist);
-                v.run().expect("settles")
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+fn fig_1_5(b: &Bench) {
+    b.bench_with_setup(
+        "fig_1_5/hazard_verify",
+        || hazard_circuit(true),
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run().expect("settles")
+        },
+    );
 }
 
 /// Fig 2-6: two-case analysis, showing the incremental second case.
-fn fig_2_6(c: &mut Criterion) {
-    c.bench_function("fig_2_6/two_cases", |b| {
-        b.iter_batched(
-            || case_analysis_circuit().0,
-            |netlist| {
-                let mut v = Verifier::new(netlist);
-                v.run_cases(&[
-                    Case::new().assign("CONTROL SIGNAL", false),
-                    Case::new().assign("CONTROL SIGNAL", true),
-                ])
-                .expect("settles")
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+fn fig_2_6(b: &Bench) {
+    b.bench_with_setup(
+        "fig_2_6/two_cases",
+        || case_analysis_circuit().0,
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run_cases(&[
+                Case::new().assign("CONTROL SIGNAL", false),
+                Case::new().assign("CONTROL SIGNAL", true),
+            ])
+            .expect("settles")
+        },
+    );
 }
 
 /// Fig 3-12 and Fig 4-1: the remaining figure circuits.
-fn other_figures(c: &mut Criterion) {
-    c.bench_function("fig_3_12/alu_stage_verify", |b| {
-        b.iter_batched(
-            || alu_stage().0,
-            |netlist| {
-                let mut v = Verifier::new(netlist);
-                v.run().expect("settles")
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    c.bench_function("fig_4_1/correlation_verify", |b| {
-        b.iter_batched(
-            || correlation_circuit(false),
-            |netlist| {
-                let mut v = Verifier::new(netlist);
-                v.run().expect("settles")
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+fn other_figures(b: &Bench) {
+    b.bench_with_setup(
+        "fig_3_12/alu_stage_verify",
+        || alu_stage().0,
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run().expect("settles")
+        },
+    );
+    b.bench_with_setup(
+        "fig_4_1/correlation_verify",
+        || correlation_circuit(false),
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run().expect("settles")
+        },
+    );
 }
 
 /// Table 3-1: full verification passes over S-1-like designs of
 /// increasing size (chip counts scaled down for bench time; the table
 /// binary runs the full 6357).
-fn table_3_1_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_3_1/verify_s1_like");
+fn table_3_1_scaling(b: &Bench) {
     for chips in [100usize, 400, 1600] {
         let (netlist, _) = s1_like_netlist(S1Options {
             chips,
             ..S1Options::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(chips), &netlist, |b, n| {
-            b.iter_batched(
-                || n.clone(),
-                |netlist| {
-                    let mut v = Verifier::new(netlist);
-                    v.run().expect("settles")
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        b.bench_with_setup(
+            &format!("table_3_1/verify_s1_like/{chips}"),
+            || netlist.clone(),
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run().expect("settles")
+            },
+        );
     }
-    group.finish();
+}
+
+/// §2.7 at scale: many-case analysis over an S-1-like design, serial vs
+/// the worker pool — the experiment behind the `--jobs` flag.
+fn par_cases(b: &Bench) {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 400,
+        ..S1Options::default()
+    });
+    // 16 cases, each flipping three of the generator's global controls so
+    // every case dirties a sizeable cone. The engine is pre-settled in the
+    // untimed setup, so the timed region is exactly the case sweep — the
+    // part the worker pool parallelizes.
+    let cases: Vec<Case> = (0..16)
+        .map(|i| {
+            Case::new()
+                .assign(format!("CTL {i}"), i % 2 == 0)
+                .assign(format!("CTL {}", (i + 5) % 24), i % 3 == 0)
+                .assign(format!("CTL {}", (i + 11) % 24), i % 2 == 1)
+        })
+        .collect();
+    let settled = || {
+        let mut v = Verifier::new(netlist.clone());
+        v.run().expect("settles");
+        v
+    };
+    b.bench_with_setup(
+        &format!("par_cases/serial/{}", cases.len()),
+        settled,
+        |mut v| v.run_cases_serial(&cases).expect("settles"),
+    );
+    for jobs in [2usize, 4] {
+        b.bench_with_setup(
+            &format!("par_cases/jobs{jobs}/{}", cases.len()),
+            settled,
+            |mut v| v.run_cases_with_jobs(&cases, jobs).expect("settles"),
+        );
+    }
 }
 
 fn muxed_paths_circuit(n: usize) -> Netlist {
@@ -119,9 +143,27 @@ fn muxed_paths_circuit(n: usize) -> Netlist {
         let slow = b.signal(&format!("SLOW{i}")).expect("valid");
         let m = b.signal(&format!("M{i}")).expect("valid");
         let q = b.signal(&format!("Q{i}")).expect("valid");
-        b.buf(format!("SB{i}"), DelayRange::from_ns(33.0, 36.0), z(slow_in), slow);
-        b.mux2(format!("MX{i}"), DelayRange::from_ns(1.2, 3.3), z(sel), z(fast), z(slow), m);
-        b.reg(format!("R{i}"), DelayRange::from_ns(1.5, 4.5), z(clk), z(m), q);
+        b.buf(
+            format!("SB{i}"),
+            DelayRange::from_ns(33.0, 36.0),
+            z(slow_in),
+            slow,
+        );
+        b.mux2(
+            format!("MX{i}"),
+            DelayRange::from_ns(1.2, 3.3),
+            z(sel),
+            z(fast),
+            z(slow),
+            m,
+        );
+        b.reg(
+            format!("R{i}"),
+            DelayRange::from_ns(1.5, 4.5),
+            z(clk),
+            z(m),
+            q,
+        );
         b.setup_hold(
             format!("C{i}"),
             Time::from_ns(2.5),
@@ -134,52 +176,42 @@ fn muxed_paths_circuit(n: usize) -> Netlist {
 }
 
 /// The headline comparison: one symbolic pass vs 2^n simulated patterns.
-fn verifier_vs_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling/verifier_vs_sim");
+fn verifier_vs_sim(b: &Bench) {
     for n in [2usize, 4, 6] {
         let netlist = muxed_paths_circuit(n);
-        group.bench_with_input(BenchmarkId::new("verifier_one_pass", n), &netlist, |b, nl| {
-            b.iter_batched(
-                || nl.clone(),
-                |netlist| {
-                    let mut v = Verifier::new(netlist);
-                    v.run().expect("settles")
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        group.bench_with_input(
-            BenchmarkId::new("sim_exhaustive", n),
-            &netlist,
-            |b, nl| {
-                let sweep: Vec<SignalId> = primary_inputs(nl)
-                    .into_iter()
-                    .filter(|s| nl.signal(*s).assertion.is_none())
-                    .collect();
-                b.iter(|| {
-                    let mut total = 0u64;
-                    for p in 0..(1u64 << sweep.len()) {
-                        let stim = Stimulus::from_pattern(&sweep, 1, p);
-                        total += simulate(nl, &stim).events;
-                    }
-                    total
-                });
+        b.bench_with_setup(
+            &format!("scaling/verifier_one_pass/{n}"),
+            || netlist.clone(),
+            |netlist| {
+                let mut v = Verifier::new(netlist);
+                v.run().expect("settles")
             },
         );
-        group.bench_with_input(BenchmarkId::new("path_search", n), &netlist, |b, nl| {
-            b.iter(|| PathAnalysis::analyze(nl).violations().len());
+        let sweep: Vec<SignalId> = primary_inputs(&netlist)
+            .into_iter()
+            .filter(|s| netlist.signal(*s).assertion.is_none())
+            .collect();
+        b.bench(&format!("scaling/sim_exhaustive/{n}"), || {
+            let mut total = 0u64;
+            for p in 0..(1u64 << sweep.len()) {
+                let stim = Stimulus::from_pattern(&sweep, 1, p);
+                total += simulate(&netlist, &stim).events;
+            }
+            total
+        });
+        b.bench(&format!("scaling/path_search/{n}"), || {
+            PathAnalysis::analyze(&netlist).violations().len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    fig_3_10_3_11,
-    fig_1_5,
-    fig_2_6,
-    other_figures,
-    table_3_1_scaling,
-    verifier_vs_sim
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_args();
+    fig_3_10_3_11(&b);
+    fig_1_5(&b);
+    fig_2_6(&b);
+    other_figures(&b);
+    table_3_1_scaling(&b);
+    par_cases(&b);
+    verifier_vs_sim(&b);
+}

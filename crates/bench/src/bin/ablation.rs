@@ -28,10 +28,7 @@ fn main() {
         chips,
         ..S1Options::default()
     });
-    println!(
-        "ABLATION — vector-width symmetry ({} chips)\n",
-        stats.chips
-    );
+    println!("ABLATION — vector-width symmetry ({} chips)\n", stats.chips);
 
     let t = Instant::now();
     let blasted = bit_blast(&vector);

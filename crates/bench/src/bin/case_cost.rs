@@ -65,7 +65,40 @@ fn main() {
          ({:.1}% of one full pass each, on average)",
         100.0 * incremental as f64 / 8.0 / full as f64
     );
-    println!("total wall time for all {} cases: {total:.2?}", results.len());
+    println!(
+        "total wall time for all {} cases: {total:.2?}",
+        results.len()
+    );
+
+    // Serial vs. parallel wall-clock for the same case sweep, on fresh
+    // engines so both paths pay the same base settle.
+    println!("\nSERIAL VS PARALLEL WALL-CLOCK (same cases, fresh engine each)");
+    println!("{:<10} {:>14} {:>10}", "JOBS", "WALL", "SPEEDUP");
+    let time_with = |jobs: Option<usize>| {
+        let (netlist, _) = s1_like_netlist(S1Options {
+            chips,
+            ..S1Options::default()
+        });
+        let mut v = Verifier::new(netlist);
+        let t = Instant::now();
+        let r = match jobs {
+            None => v.run_cases_serial(&cases),
+            Some(n) => v.run_cases_with_jobs(&cases, n),
+        };
+        r.expect("design settles");
+        t.elapsed()
+    };
+    let serial = time_with(None);
+    println!("{:<10} {:>14.2?} {:>9.2}x", "serial", serial, 1.0);
+    for jobs in [2, 4, scald_bench::default_jobs()] {
+        let par = time_with(Some(jobs));
+        println!(
+            "{:<10} {:>14.2?} {:>9.2}x",
+            jobs,
+            par,
+            serial.as_secs_f64() / par.as_secs_f64()
+        );
+    }
     println!(
         "\npaper (§3.3.2): the cost of an additional case is proportional \
          to the events its overrides trigger — not to design size."

@@ -5,8 +5,7 @@
 //! Usage: `cargo run -p scald-bench --bin figures --release`
 
 use scald_gen::figures::{
-    alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit,
-    register_file_circuit,
+    alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_logic::Value;
 use scald_verifier::{Case, Verifier, ViolationKind};
@@ -36,9 +35,16 @@ fn main() {
     let mut v = Verifier::new(netlist);
     let r = v.run().expect("settles");
     let setups = r.of_kind(ViolationKind::Setup);
-    println!("  violations: {} (paper: 2 setup-error groups)", r.violations.len());
+    println!(
+        "  violations: {} (paper: 2 setup-error groups)",
+        r.violations.len()
+    );
     for s in &setups {
-        println!("    {} missed by {}", s.source, s.missed_by.map_or_else(|| "?".into(), |m| m.to_string()));
+        println!(
+            "    {} missed by {}",
+            s.source,
+            s.missed_by.map_or_else(|| "?".into(), |m| m.to_string())
+        );
     }
     println!("  ADR over the cycle: {}", v.resolved(handles.adr));
     println!("  paper (Fig 3-10) : S 0.0 C 0.5 S 5.5 C 25.5 S 30.5");
@@ -71,7 +77,10 @@ fn main() {
     let delayed = input.delayed(gate.min);
     let skew = Skew::ZERO.after_delay(gate);
     println!("  Z delayed by min, skew separate : {delayed}  skew {skew}");
-    println!("  Z with skew folded (Fig 2-9)    : {}", delayed.with_skew_applied(skew));
+    println!(
+        "  Z with skew folded (Fig 2-9)    : {}",
+        delayed.with_skew_applied(skew)
+    );
 
     println!("\n== Fig 3-12: ALU pipeline stage ==");
     let (netlist, latched) = alu_stage();

@@ -42,8 +42,21 @@ fn muxed_paths_circuit(n: usize) -> Netlist {
             z(slow_in),
             slow,
         );
-        b.mux2(format!("MUX{i}"), DelayRange::from_ns(1.2, 3.3), z(sel), z(fast), z(slow), m);
-        b.reg(format!("R{i}"), DelayRange::from_ns(1.5, 4.5), z(clk), z(m), q);
+        b.mux2(
+            format!("MUX{i}"),
+            DelayRange::from_ns(1.2, 3.3),
+            z(sel),
+            z(fast),
+            z(slow),
+            m,
+        );
+        b.reg(
+            format!("R{i}"),
+            DelayRange::from_ns(1.5, 4.5),
+            z(clk),
+            z(m),
+            q,
+        );
         b.setup_hold(
             format!("R{i} CHK"),
             Time::from_ns(2.5),
@@ -89,7 +102,10 @@ fn main() {
         let t = Instant::now();
         let mut sim_violations = 0usize;
         for p in 0..patterns {
-            let mut stim = Stimulus { cycles: 2, inputs: Default::default() };
+            let mut stim = Stimulus {
+                cycles: 2,
+                inputs: Default::default(),
+            };
             for (i, sel) in sweep.iter().enumerate() {
                 let v = (p >> i) & 1 == 1;
                 stim.inputs.insert(*sel, vec![v, v]);

@@ -52,8 +52,14 @@ fn main() {
         "  reading input files, building structures  {:>9.3?}     1.92",
         read_time
     );
-    println!("  pass 1 of macro expansion                  {:>9.3?}     8.42", stats.pass1);
-    println!("  pass 2 of macro expansion                  {:>9.3?}     6.18", stats.pass2);
+    println!(
+        "  pass 1 of macro expansion                  {:>9.3?}     8.42",
+        stats.pass1
+    );
+    println!(
+        "  pass 2 of macro expansion                  {:>9.3?}     6.18",
+        stats.pass2
+    );
     println!(
         "  -> {} macro instances expanded into {} primitives / {} signals\n",
         stats.instances_expanded, stats.prims_emitted, stats.signals
@@ -104,7 +110,10 @@ fn main() {
     println!("  evaluations               {:>10}", result.evaluations);
     println!("  time per primitive        {us_per_prim:>10.1} us  (paper: 49 ms)");
     println!("  time per event            {us_per_event:>10.1} us  (paper: 20 ms)");
-    println!("  violations found          {:>10}", result.violations.len());
+    println!(
+        "  violations found          {:>10}",
+        result.violations.len()
+    );
     println!(
         "  xref / summary sizes      {:>10} / {} bytes",
         xref.len(),

@@ -17,7 +17,10 @@ fn main() {
         ..S1Options::default()
     });
 
-    println!("TABLE 3-2 — primitive definitions generated ({} chips)\n", stats.chips);
+    println!(
+        "TABLE 3-2 — primitive definitions generated ({} chips)\n",
+        stats.chips
+    );
     println!("{:<28} {:>8}", "PRIMITIVE TYPE", "COUNT");
     let hist = netlist.primitive_histogram();
     for (name, count) in &hist {
@@ -40,7 +43,10 @@ fn main() {
         .sum();
     println!("\n{:<38} measured      paper", "STATISTIC");
     println!("{:<38} {per_chip:>8.2}      1.30", "primitives per chip");
-    println!("{:<38} {avg_width:>8.2}      6.5", "average primitive width (bits)");
+    println!(
+        "{:<38} {avg_width:>8.2}      6.5",
+        "average primitive width (bits)"
+    );
     println!(
         "{:<38} {bit_blasted:>8}      53 833",
         "bit-blasted primitive equivalent"
@@ -48,8 +54,7 @@ fn main() {
     let bit_lists: u64 = netlist.signals().iter().map(|s| u64::from(s.width)).sum();
     println!(
         "{:<38} {:>8}      33 152",
-        "signal value lists (per-bit)",
-        bit_lists
+        "signal value lists (per-bit)", bit_lists
     );
     println!(
         "{:<38} {:>8}      (vector nets)",

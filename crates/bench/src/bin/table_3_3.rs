@@ -28,7 +28,10 @@ fn main() {
         "TABLE 3-3 — storage required by the Timing Verifier ({} chips)\n",
         stats.chips
     );
-    println!("{:<22} {:>12} {:>9}   PAPER", "STORAGE AREA", "BYTES", "MEASURED");
+    println!(
+        "{:<22} {:>12} {:>9}   PAPER",
+        "STORAGE AREA", "BYTES", "MEASURED"
+    );
     let paper = [
         ("CIRCUIT DESCRIPTION", Some(37.8)),
         ("SIGNAL VALUES", None), // the thesis calls it "next largest"

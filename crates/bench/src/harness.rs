@@ -1,0 +1,134 @@
+//! A minimal wall-clock bench harness (std only, no external crates).
+//!
+//! `cargo bench` runs each `[[bench]]` target's `main()` with
+//! `harness = false`; this module supplies the measurement loop those
+//! targets share. Each benchmark is auto-calibrated to a target batch
+//! time, run for a fixed number of batches, and reported as
+//! `min / median / mean` nanoseconds per iteration. Substring filters
+//! passed on the command line (`cargo bench -- skew`) select benchmarks
+//! by name.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench targets don't need to name `std::hint` themselves.
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+/// Measured batches per benchmark (excluding warm-up).
+const BATCHES: usize = 7;
+
+/// Bench runner: owns the name filter and prints one line per benchmark.
+pub struct Bench {
+    filters: Vec<String>,
+}
+
+impl Bench {
+    /// Builds a runner from `std::env::args`, treating every non-flag
+    /// argument as a substring filter on benchmark names. (`cargo bench`
+    /// also passes `--bench`, which is ignored.)
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Bench { filters }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Benchmarks `routine`, timing the whole closure.
+    pub fn bench<T>(&self, name: &str, mut routine: impl FnMut() -> T) {
+        self.bench_with_setup(name, || (), |()| routine());
+    }
+
+    /// Benchmarks `routine` with a fresh, untimed `setup` product per
+    /// iteration — the equivalent of batched benching for routines that
+    /// consume their input (e.g. `Verifier::new(netlist)`).
+    pub fn bench_with_setup<S, T>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+
+        // Calibrate: how many iterations fill one batch?
+        let mut iters = 1u64;
+        loop {
+            let elapsed = run_batch(iters, &mut setup, &mut routine);
+            if elapsed >= BATCH_TARGET || iters >= 1 << 20 {
+                break;
+            }
+            // Grow geometrically toward the target, at least doubling.
+            let scale = BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters.saturating_mul(scale.ceil() as u64)).max(iters * 2);
+        }
+
+        let mut per_iter: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let elapsed = run_batch(iters, &mut setup, &mut routine);
+                elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{name:<44} {:>12} /iter  (min {}, mean {}, {iters} iters x {BATCHES})",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+        );
+    }
+}
+
+/// Runs one timed batch: `iters` iterations, setup excluded from timing.
+fn run_batch<S, T>(
+    iters: u64,
+    setup: &mut impl FnMut() -> S,
+    routine: &mut impl FnMut(S) -> T,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        total += start.elapsed();
+        black_box(out);
+    }
+    total
+}
+
+/// Formats nanoseconds with a human unit, e.g. `12.3 µs`.
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_ns;
+
+    #[test]
+    fn formats_scale_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -1,8 +1,17 @@
-//! Shared helpers for the table-regeneration binaries and Criterion
+//! Shared helpers for the table-regeneration binaries and the std-only
 //! benches. The binaries (one per thesis table or figure) live in
 //! `src/bin/`; see DESIGN.md §3 for the experiment index.
 
 #![warn(missing_docs)]
+
+pub mod harness;
+
+/// The machine's available parallelism — the `run_cases` default worker
+/// count, used by benches comparing serial vs. parallel case analysis.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 /// Parses an optional `--chips N` argument (default: the thesis' 6357).
 #[must_use]

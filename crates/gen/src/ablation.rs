@@ -57,11 +57,10 @@ pub fn bit_blast(netlist: &Netlist) -> Netlist {
     };
 
     for (_, prim) in netlist.iter_prims() {
-        let out_width = prim
-            .output
-            .map_or_else(|| netlist.signal(prim.inputs[0].signal).width.max(1), |o| {
-                netlist.signal(o).width.max(1)
-            });
+        let out_width = prim.output.map_or_else(
+            || netlist.signal(prim.inputs[0].signal).width.max(1),
+            |o| netlist.signal(o).width.max(1),
+        );
         for bit in 0..out_width {
             let inputs: Vec<Conn> = prim
                 .inputs
@@ -106,10 +105,10 @@ mod tests {
             .prims()
             .iter()
             .map(|p| {
-                p.output
-                    .map_or_else(|| n.signal(p.inputs[0].signal).width.max(1), |o| {
-                        n.signal(o).width.max(1)
-                    }) as usize
+                p.output.map_or_else(
+                    || n.signal(p.inputs[0].signal).width.max(1),
+                    |o| n.signal(o).width.max(1),
+                ) as usize
             })
             .sum();
         assert_eq!(blasted.prims().len(), expect);

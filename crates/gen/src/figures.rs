@@ -276,7 +276,13 @@ pub fn alu_stage() -> (Netlist, SignalId) {
         alu,
         latched,
     );
-    b.setup_hold("ALU LATCH CHK", ns(2.0), ns(1.0), alu, Conn::new(lat_en).inverted());
+    b.setup_hold(
+        "ALU LATCH CHK",
+        ns(2.0),
+        ns(1.0),
+        alu,
+        Conn::new(lat_en).inverted(),
+    );
 
     // Debugging/status register with load enable gated onto its clock.
     let stat_clk = b.signal("STATUS CLK .P7-8").expect("valid name");
@@ -343,7 +349,13 @@ pub fn correlation_circuit(with_corr_delay: bool) -> Netlist {
         z(newd),
         m,
     );
-    b.reg("FEEDBACK REG", DelayRange::from_ns(1.0, 3.8), z(ckb), z(m), q);
+    b.reg(
+        "FEEDBACK REG",
+        DelayRange::from_ns(1.0, 3.8),
+        z(ckb),
+        z(m),
+        q,
+    );
     b.setup_hold("FEEDBACK CHK", ns(2.5), ns(1.5), z(m), z(ckb));
     b.finish().expect("correlation circuit is well-formed")
 }
@@ -406,10 +418,7 @@ mod tests {
     fn sr_latch_terminates() {
         use scald_netlist::PrimKind;
         let n = sr_latch();
-        assert!(n
-            .prims()
-            .iter()
-            .all(|p| matches!(p.kind, PrimKind::Nor)));
+        assert!(n.prims().iter().all(|p| matches!(p.kind, PrimKind::Nor)));
         // Termination (not verdicts) is the contract for asynchronous
         // feedback; the verifier crate's tests drive it.
     }

@@ -82,8 +82,8 @@ mod tests {
 
     #[test]
     fn register_file_example_compiles() {
-        let expansion = scald_hdl::compile(&register_file_example())
-            .expect("figure circuit must compile");
+        let expansion =
+            scald_hdl::compile(&register_file_example()).expect("figure circuit must compile");
         let n = &expansion.netlist;
         // RAM (4 prims incl. checkers... ) + mux macro (2) + reg macro (2)
         // + or (1) + top-level and + const.

@@ -22,3 +22,10 @@ pub mod ablation;
 pub mod figures;
 pub mod hdl_sources;
 pub mod s1;
+
+/// Deterministic std-only PRNG used by the generators (re-exported from
+/// [`scald_rng`] so workloads and tests share one implementation). The
+/// repo builds offline: no external `rand` dependency.
+pub mod prng {
+    pub use scald_rng::{Rng, SplitMix64};
+}

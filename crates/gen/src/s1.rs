@@ -13,9 +13,8 @@
 //! The generator is seeded and reproducible; the Table 3-1/3-2/3-3
 //! benchmarks report both the paper's numbers and the measured ones.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
+use scald_rng::Rng;
 use scald_wave::{DelayRange, Time};
 
 /// Options for the synthetic design.
@@ -60,8 +59,8 @@ pub struct S1Stats {
 
 /// Vector width distribution tuned so the average primitive width lands
 /// near the thesis' 6.5 bits.
-fn sample_width(rng: &mut SmallRng) -> u32 {
-    match rng.gen_range(0..100u32) {
+fn sample_width(rng: &mut Rng) -> u32 {
+    match rng.range_u32(0, 100) {
         0..=24 => 1,
         25..=34 => 4,
         35..=54 => 8,
@@ -78,7 +77,7 @@ fn sample_width(rng: &mut SmallRng) -> u32 {
 /// Panics only on internal builder inconsistencies (a bug).
 #[must_use]
 pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut rng = Rng::seed_from_u64(opts.seed);
     let mut b = NetlistBuilder::new(Config::s1_example());
     let ns = Time::from_ns;
 
@@ -96,9 +95,7 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
     let mut controls = Vec::new();
     for i in 0..24 {
         let lo = ["2", "2.5", "3"][i % 3];
-        let c = b
-            .signal(&format!("CTL {i} .S{lo}-8"))
-            .expect("valid");
+        let c = b.signal(&format!("CTL {i} .S{lo}-8")).expect("valid");
         controls.push(c);
     }
 
@@ -111,16 +108,14 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
     while chips < opts.chips {
         slice += 1;
         let w = sample_width(&mut rng);
-        let clk = clocks[rng.gen_range(0..clocks.len())];
-        let ctl = controls[rng.gen_range(0..controls.len())];
-        let ctl2 = controls[rng.gen_range(0..controls.len())];
+        let clk = *rng.choose(&clocks);
+        let ctl = *rng.choose(&controls);
+        let ctl2 = *rng.choose(&controls);
         let p = format!("S{slice}");
-        match rng.gen_range(0..10u32) {
+        match rng.range_u32(0, 10) {
             // Datapath slice: mux -> logic -> register, with checker.
             0..=3 => {
-                let din = b
-                    .signal_vec(&format!("{p}/IN .S3-8"), w)
-                    .expect("valid");
+                let din = b.signal_vec(&format!("{p}/IN .S3-8"), w).expect("valid");
                 let muxed = b.signal_vec(&format!("{p}/MUXED"), w).expect("valid");
                 let logic = b.signal_vec(&format!("{p}/LOGIC"), w).expect("valid");
                 let q = b.signal_vec(&format!("{p}/Q"), w).expect("valid");
@@ -130,9 +125,7 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
                         // the clock skew decorrelates the same-clock
                         // feed-forward path.
                         let pw = b.signal_width(s);
-                        let piped = b
-                            .signal_vec(&format!("{p}/PIPE"), pw)
-                            .expect("valid");
+                        let piped = b.signal_vec(&format!("{p}/PIPE"), pw).expect("valid");
                         b.delay(
                             format!("{p}/PIPE CORR"),
                             DelayRange::from_ns(6.0, 6.0),
@@ -157,16 +150,20 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
                     [Conn::new(muxed), Conn::new(ctl2)],
                     logic,
                 );
-                b.reg(format!("{p}/REG"), DelayRange::from_ns(1.5, 4.5), clk, logic, q);
+                b.reg(
+                    format!("{p}/REG"),
+                    DelayRange::from_ns(1.5, 4.5),
+                    clk,
+                    logic,
+                    q,
+                );
                 b.setup_hold(format!("{p}/REG CHK"), ns(2.5), ns(1.5), logic, clk);
                 prev_out = Some(q);
                 chips += 3;
             }
             // Memory-like slice: SRHF + pulse checks + wide read path.
             4..=5 => {
-                let adr = b
-                    .signal_vec(&format!("{p}/ADR .S3-8"), 4)
-                    .expect("valid");
+                let adr = b.signal_vec(&format!("{p}/ADR .S3-8"), 4).expect("valid");
                 let we = b.signal(&format!("{p}/WE")).expect("valid");
                 let rdata = b.signal_vec(&format!("{p}/RDATA"), w).expect("valid");
                 b.and2(
@@ -182,9 +179,7 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
                 let extra: Conn = match prev_out {
                     Some(s) => {
                         let pw = b.signal_width(s);
-                        let piped = b
-                            .signal_vec(&format!("{p}/RPIPE"), pw)
-                            .expect("valid");
+                        let piped = b.signal_vec(&format!("{p}/RPIPE"), pw).expect("valid");
                         b.delay(
                             format!("{p}/RPIPE CORR"),
                             DelayRange::from_ns(6.0, 6.0),
@@ -214,7 +209,13 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
                 let bq = b.signal(&format!("{p}/BQ")).expect("valid");
                 let lq = b.signal(&format!("{p}/LQ")).expect("valid");
                 b.or2(format!("{p}/OR"), DelayRange::from_ns(1.0, 2.9), x, ctl, y);
-                b.and2(format!("{p}/AND"), DelayRange::from_ns(1.0, 2.9), y, ctl2, zz);
+                b.and2(
+                    format!("{p}/AND"),
+                    DelayRange::from_ns(1.0, 2.9),
+                    y,
+                    ctl2,
+                    zz,
+                );
                 b.gate(
                     format!("{p}/NAND"),
                     scald_netlist::PrimKind::Nand,
@@ -242,14 +243,12 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
             }
             // Wide-select slice: 4/8-input multiplexer trees.
             8 => {
-                let nsel = if rng.gen_bool(0.5) { 4 } else { 8 };
+                let nsel = if rng.bool() { 4 } else { 8 };
                 let sel = b.signal(&format!("{p}/SEL .S3-8")).expect("valid");
                 let out = b.signal_vec(&format!("{p}/MOUT"), w).expect("valid");
                 let mut inputs: Vec<Conn> = vec![sel.into()];
                 for i in 0..nsel {
-                    let d = b
-                        .signal_vec(&format!("{p}/MD{i} .S3-8"), w)
-                        .expect("valid");
+                    let d = b.signal_vec(&format!("{p}/MD{i} .S3-8"), w).expect("valid");
                     inputs.push(d.into());
                 }
                 b.prim(
@@ -270,7 +269,7 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
                 let fb = b.signal_vec(&format!("{p}/FB"), w).expect("valid");
                 b.constant(format!("{p}/KS"), scald_logic::Value::Zero, set);
                 b.constant(format!("{p}/KR"), scald_logic::Value::Zero, rst);
-                if rng.gen_bool(0.5) {
+                if rng.bool() {
                     b.reg_sr(
                         format!("{p}/SR REG"),
                         DelayRange::from_ns(1.0, 3.8),
@@ -291,12 +290,7 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
                         q,
                     );
                 }
-                b.delay(
-                    format!("{p}/CORR"),
-                    DelayRange::from_ns(4.0, 4.0),
-                    q,
-                    fb,
-                );
+                b.delay(format!("{p}/CORR"), DelayRange::from_ns(4.0, 4.0), q, fb);
                 prev_out = Some(fb);
                 chips += 3;
             }
@@ -321,7 +315,7 @@ pub fn s1_like_netlist(opts: S1Options) -> (Netlist, S1Stats) {
 /// widths and directive propagation at scale.
 #[must_use]
 pub fn s1_like_hdl(opts: S1Options) -> String {
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut rng = Rng::seed_from_u64(opts.seed);
     let mut src = String::from(
         "design S1 LIKE;\nperiod 50.0;\nclock_unit 6.25;\nwire_delay 0.0 2.0;\n\n\
          macro 'DP SLICE' (SIZE=8) (CK, SEL, DIN<0:SIZE-1>/P, ALT<0:SIZE-1>/P) \
@@ -344,7 +338,7 @@ pub fn s1_like_hdl(opts: S1Options) -> String {
     let mut prev: Option<(usize, u32)> = None;
     for i in 0..slices {
         let w = sample_width(&mut rng);
-        let ctl = rng.gen_range(0..24u32);
+        let ctl = rng.range_u32(0, 24);
         let lo = ["2", "2.5", "3"][ctl as usize % 3];
         let (alt, altw) = match prev {
             Some((j, pw)) if pw == w => (format!("'S{j} Q'"), w),
@@ -405,10 +399,7 @@ mod tests {
 
     #[test]
     fn hdl_variant_compiles() {
-        let src = s1_like_hdl(S1Options {
-            chips: 30,
-            seed: 3,
-        });
+        let src = s1_like_hdl(S1Options { chips: 30, seed: 3 });
         let expansion = scald_hdl::compile(&src).expect("generated HDL must compile");
         assert!(expansion.netlist.prims().len() >= 40);
         assert_eq!(expansion.stats.instances_expanded, 10);

@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(range_width(&None, &env).unwrap(), 1);
         let r = Some((
             Expr::Num(0),
-            Expr::Sub(Box::new(Expr::Var("SIZE".to_owned())), Box::new(Expr::Num(1))),
+            Expr::Sub(
+                Box::new(Expr::Var("SIZE".to_owned())),
+                Box::new(Expr::Num(1)),
+            ),
         ));
         assert_eq!(range_width(&r, &env).unwrap(), 32);
         // Descending ranges have the same width.

@@ -241,10 +241,9 @@ impl<'a> Walker<'a> {
     ) -> Result<Bound, HdlError> {
         let (base, assertion) = split(&conn.name, line)?;
         let width = match &conn.range {
-            Some(_) => Some(range_width(&conn.range, env).map_err(|m| HdlError::Expand {
-                message: m,
-                line,
-            })?),
+            Some(_) => Some(
+                range_width(&conn.range, env).map_err(|m| HdlError::Expand { message: m, line })?,
+            ),
             None => None,
         };
         let bound = if let Some(actual) = bindings.get(&base) {
@@ -378,7 +377,9 @@ impl<'a> Walker<'a> {
                     outputs,
                     line,
                 } => {
-                    self.use_stmt(name, attrs, inputs, outputs, env, bindings, path, depth, *line)?;
+                    self.use_stmt(
+                        name, attrs, inputs, outputs, env, bindings, path, depth, *line,
+                    )?;
                 }
             }
         }
@@ -418,10 +419,7 @@ impl<'a> Walker<'a> {
         }
         for (key, val) in attrs {
             if !mac.params.iter().any(|(p, _)| p == key) {
-                return self.err(
-                    line,
-                    format!("macro {name:?} has no parameter {key:?}"),
-                );
+                return self.err(line, format!("macro {name:?} has no parameter {key:?}"));
             }
             let AttrVal::Num(n) = val else {
                 return self.err(line, format!("parameter {key:?} must be a number"));
@@ -433,10 +431,7 @@ impl<'a> Walker<'a> {
         }
         for (p, _) in &mac.params {
             if !callee_env.contains_key(p) {
-                return self.err(
-                    line,
-                    format!("macro {name:?} parameter {p:?} has no value"),
-                );
+                return self.err(line, format!("macro {name:?} parameter {p:?} has no value"));
             }
         }
 
@@ -457,7 +452,11 @@ impl<'a> Walker<'a> {
         // Bind formals to resolved actuals, unifying the actual's width
         // with the formal port's declared width.
         let mut callee_bindings = HashMap::new();
-        for (port, actual) in mac.inputs.iter().chain(&mac.outputs).zip(inputs.iter().chain(outputs))
+        for (port, actual) in mac
+            .inputs
+            .iter()
+            .chain(&mac.outputs)
+            .zip(inputs.iter().chain(outputs))
         {
             let bound = self.resolve(actual, env, bindings, path, line)?;
             let port_width = range_width(&port.range, &callee_env)
@@ -488,7 +487,13 @@ impl<'a> Walker<'a> {
             callee_bindings.insert(port_base, bound);
         }
 
-        self.block(&mac.body, &callee_env, &callee_bindings, &inst_path, depth + 1)
+        self.block(
+            &mac.body,
+            &callee_env,
+            &callee_bindings,
+            &inst_path,
+            depth + 1,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -504,10 +509,7 @@ impl<'a> Walker<'a> {
         line: u32,
     ) -> Result<(), HdlError> {
         let attr = |name: &str| -> Option<AttrVal> {
-            attrs
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| *v)
+            attrs.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
         };
         let num_attr = |name: &str, default: f64| -> Result<f64, HdlError> {
             match attr(name) {

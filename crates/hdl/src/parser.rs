@@ -50,8 +50,25 @@ impl std::error::Error for ParseError {}
 
 /// The primitive keywords recognized in statement position.
 pub const PRIM_KEYWORDS: &[&str] = &[
-    "and", "or", "nand", "nor", "xor", "xnor", "not", "buf", "chg", "mux", "reg", "reg_sr",
-    "latch", "latch_sr", "delay", "const0", "const1", "setup_hold", "setup_rise_hold_fall",
+    "and",
+    "or",
+    "nand",
+    "nor",
+    "xor",
+    "xnor",
+    "not",
+    "buf",
+    "chg",
+    "mux",
+    "reg",
+    "reg_sr",
+    "latch",
+    "latch_sr",
+    "delay",
+    "const0",
+    "const1",
+    "setup_hold",
+    "setup_rise_hold_fall",
     "min_pulse_width",
 ];
 
@@ -641,7 +658,13 @@ end;
         assert_eq!(m.body.len(), 2);
         assert_eq!(d.top.len(), 1);
         match &d.top[0] {
-            Stmt::Use { name, attrs, inputs, outputs, .. } => {
+            Stmt::Use {
+                name,
+                attrs,
+                inputs,
+                outputs,
+                ..
+            } => {
                 assert_eq!(name, "REG 10176");
                 assert_eq!(attrs[0], ("SIZE".to_owned(), AttrVal::Num(32.0)));
                 assert_eq!(inputs[0].name, "CLK .P2-3");

@@ -63,9 +63,7 @@ fn fmt_num(x: f64) -> String {
 /// Quotes a name unless it is a single bare identifier.
 fn name_token(name: &str) -> String {
     let bare = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_')
         && !name.chars().next().is_some_and(|c| c.is_ascii_digit());
     if bare {
         name.to_owned()
@@ -246,9 +244,8 @@ case 'CONTROL' = 1, OTHER = 0;
 ";
         let mut first = parse(src).unwrap();
         let printed = print(&first);
-        let mut second = parse(&printed).unwrap_or_else(|e| {
-            panic!("printed text failed to parse: {e}\n{printed}")
-        });
+        let mut second = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed text failed to parse: {e}\n{printed}"));
         strip(&mut first);
         strip(&mut second);
         assert_eq!(first, second, "printed:\n{printed}");

@@ -1,65 +1,129 @@
 //! Parser robustness: arbitrary input must produce `Ok` or a structured
 //! error — never a panic. (A verifier run daily on in-progress designs,
-//! §3.3.1, sees a lot of malformed input.)
+//! §3.3.1, sees a lot of malformed input.) Seeded random fuzzing, std-only.
 
-use proptest::prelude::*;
 use scald_hdl::{compile, lex, parse};
+use scald_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: usize = 512;
 
-    /// The lexer never panics on arbitrary text.
-    #[test]
-    fn lexer_never_panics(src in ".*") {
+/// Arbitrary text: a mix of random bytes-as-chars, printable ASCII and
+/// multi-byte unicode, weighted toward characters the lexer actually
+/// treats specially.
+fn arbitrary_text(rng: &mut Rng) -> String {
+    const SPICE: &[char] = &[
+        '\'', '"', '(', ')', '<', '>', ',', ';', ':', '=', '-', '>', '&', '/', '.', '\n', '\t',
+        '\u{0}', 'é', '→', '𝕏',
+    ];
+    let len = rng.range_usize(0, 80);
+    (0..len)
+        .map(|_| {
+            if rng.bool_with(0.3) {
+                *rng.choose(SPICE)
+            } else {
+                char::from_u32(rng.range_u32(1, 0x250)).unwrap_or('?')
+            }
+        })
+        .collect()
+}
+
+/// The lexer never panics on arbitrary text.
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xf121);
+    for _ in 0..CASES {
+        let src = arbitrary_text(&mut rng);
         let _ = lex(&src);
     }
+}
 
-    /// The parser never panics on arbitrary text.
-    #[test]
-    fn parser_never_panics(src in ".*") {
+/// The parser never panics on arbitrary text.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xf122);
+    for _ in 0..CASES {
+        let src = arbitrary_text(&mut rng);
         let _ = parse(&src);
     }
+}
 
-    /// The parser never panics on token-soup built from the language's own
-    /// vocabulary — much better coverage of deep parser states than raw
-    /// bytes.
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "design", "period", "clock_unit", "macro", "top", "end",
-                "use", "case", "signal", "wire_delay", "wired_or", "reg",
-                "and", "mux", "setup_hold", "delay", "not", "const0",
-                "50.0", "6.25", "1", "0", "SIZE", "A", "'X Y .S0-6'",
-                "(", ")", "<", ">", ",", ";", ":", "=", "->", "-", "+",
-                "&H", "/P", "/M",
-            ]),
-            0..60,
-        )
-    ) {
-        let src = words.join(" ");
-        let _ = parse(&src);
+/// The parser never panics on token-soup built from the language's own
+/// vocabulary — much better coverage of deep parser states than raw
+/// bytes.
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const WORDS: &[&str] = &[
+        "design",
+        "period",
+        "clock_unit",
+        "macro",
+        "top",
+        "end",
+        "use",
+        "case",
+        "signal",
+        "wire_delay",
+        "wired_or",
+        "reg",
+        "and",
+        "mux",
+        "setup_hold",
+        "delay",
+        "not",
+        "const0",
+        "50.0",
+        "6.25",
+        "1",
+        "0",
+        "SIZE",
+        "A",
+        "'X Y .S0-6'",
+        "(",
+        ")",
+        "<",
+        ">",
+        ",",
+        ";",
+        ":",
+        "=",
+        "->",
+        "-",
+        "+",
+        "&H",
+        "/P",
+        "/M",
+    ];
+    let mut rng = Rng::seed_from_u64(0xf123);
+    for _ in 0..CASES {
+        let n = rng.range_usize(0, 60);
+        let src: Vec<&str> = (0..n).map(|_| *rng.choose(WORDS)).collect();
+        let _ = parse(&src.join(" "));
     }
+}
 
-    /// Full compilation (parse + expand + netlist validation) never panics
-    /// on token soup either.
-    #[test]
-    fn compile_never_panics_on_token_soup(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "design D ;", "period 50.0 ;", "clock_unit 6.25 ;",
-                "top ;", "end ;",
-                "macro M (SIZE=4) (A<0:SIZE-1>/P) -> (Q/P) ;",
-                "buf (A) -> (Q) ;", "use M (X) -> (Y) ;",
-                "reg delay=1.5:4.5 (CK, D) -> (Q) ;",
-                "setup_hold setup=2.5 hold=1.5 (D, CK) ;",
-                "case 'X' = 1 ;", "wired_or BUS ;",
-                "wire_delay W 0.0 2.0 ;",
-            ]),
-            0..20,
-        )
-    ) {
-        let src = words.join("\n");
-        let _ = compile(&src);
+/// Full compilation (parse + expand + netlist validation) never panics
+/// on token soup either.
+#[test]
+fn compile_never_panics_on_token_soup() {
+    const STMTS: &[&str] = &[
+        "design D ;",
+        "period 50.0 ;",
+        "clock_unit 6.25 ;",
+        "top ;",
+        "end ;",
+        "macro M (SIZE=4) (A<0:SIZE-1>/P) -> (Q/P) ;",
+        "buf (A) -> (Q) ;",
+        "use M (X) -> (Y) ;",
+        "reg delay=1.5:4.5 (CK, D) -> (Q) ;",
+        "setup_hold setup=2.5 hold=1.5 (D, CK) ;",
+        "case 'X' = 1 ;",
+        "wired_or BUS ;",
+        "wire_delay W 0.0 2.0 ;",
+    ];
+    let mut rng = Rng::seed_from_u64(0xf124);
+    for _ in 0..CASES {
+        let n = rng.range_usize(0, 20);
+        let src: Vec<&str> = (0..n).map(|_| *rng.choose(STMTS)).collect();
+        let _ = compile(&src.join("\n"));
     }
 }

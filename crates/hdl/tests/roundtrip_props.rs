@@ -1,132 +1,143 @@
-//! Property tests: print → parse round trips for randomly generated
-//! designs, and expansion determinism.
+//! Randomized property tests (seeded, std-only): print → parse round
+//! trips for randomly generated designs, and expansion determinism.
 
-use proptest::prelude::*;
 use scald_hdl::ast::{AttrVal, ConnExpr, Design, Expr, MacroDef, Port, ScopeMark, Stmt};
 use scald_hdl::{expand, parse, print};
+use scald_rng::Rng;
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Z][A-Z0-9_]{0,6}".prop_map(|s| s)
+const CASES: usize = 128;
+
+/// `[A-Z][A-Z0-9_]{0,6}`
+fn ident(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST) as char);
+    for _ in 0..rng.range_usize(0, 7) {
+        s.push(*rng.choose(REST) as char);
+    }
+    s
 }
 
 /// Multi-word SCALD-style names that need quoting.
-fn fancy_name() -> impl Strategy<Value = String> {
-    prop_oneof![
-        ident(),
-        (ident(), ident()).prop_map(|(a, b)| format!("{a} {b}")),
-        (ident(), 0u8..8, 1u8..8).prop_map(|(a, lo, w)| format!("{a} .S{lo}-{}", lo + w)),
-    ]
+fn fancy_name(rng: &mut Rng) -> String {
+    match rng.range_u32(0, 3) {
+        0 => ident(rng),
+        1 => format!("{} {}", ident(rng), ident(rng)),
+        _ => {
+            let a = ident(rng);
+            let lo = rng.range_u32(0, 8);
+            let w = rng.range_u32(1, 8);
+            format!("{a} .S{lo}-{}", lo + w)
+        }
+    }
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (0i64..64).prop_map(Expr::Num),
-        Just(Expr::Var("SIZE".to_owned())),
-        (1i64..8).prop_map(|n| Expr::Sub(
+fn expr(rng: &mut Rng) -> Expr {
+    match rng.range_u32(0, 3) {
+        0 => Expr::Num(rng.range_i64(0, 64)),
+        1 => Expr::Var("SIZE".to_owned()),
+        _ => Expr::Sub(
             Box::new(Expr::Var("SIZE".to_owned())),
-            Box::new(Expr::Num(n))
-        )),
-    ]
-}
-
-fn conn() -> impl Strategy<Value = ConnExpr> {
-    (
-        any::<bool>(),
-        fancy_name(),
-        prop::option::of((expr(), expr())),
-        prop::option::of(prop_oneof![
-            Just(ScopeMark::Local),
-            Just(ScopeMark::Parameter)
-        ]),
-        prop::option::of("[EWZAH]{1,3}".prop_map(|s| s)),
-    )
-        .prop_map(|(invert, name, range, scope, directive)| ConnExpr {
-            invert,
-            name,
-            range,
-            scope,
-            directive,
-        })
-}
-
-fn attr() -> impl Strategy<Value = (String, AttrVal)> {
-    (
-        prop_oneof![
-            Just("delay".to_owned()),
-            Just("setup".to_owned()),
-            Just("hold".to_owned())
-        ],
-        prop_oneof![
-            (0u32..100, 0u32..100).prop_map(|(a, b)| AttrVal::Range(
-                f64::from(a) / 10.0,
-                f64::from(a + b) / 10.0
-            )),
-            (0i32..100).prop_map(|n| AttrVal::Num(f64::from(n) / 10.0)),
-        ],
-    )
-}
-
-fn prim_stmt() -> impl Strategy<Value = Stmt> {
-    (
-        prop_oneof![
-            Just("and".to_owned()),
-            Just("or".to_owned()),
-            Just("buf".to_owned()),
-            Just("chg".to_owned()),
-        ],
-        prop::collection::vec(attr(), 0..2),
-        prop::collection::vec(conn(), 1..3),
-        prop::collection::vec(conn(), 1..2),
-    )
-        .prop_map(|(kind, attrs, inputs, outputs)| Stmt::Prim {
-            kind,
-            attrs,
-            inputs,
-            outputs,
-            line: 0,
-        })
-}
-
-fn design() -> impl Strategy<Value = Design> {
-    (
-        ident(),
-        prop::collection::vec(prim_stmt(), 1..5),
-        prop::collection::vec(prim_stmt(), 0..3),
-        prop::collection::vec(
-            prop::collection::vec((fancy_name(), any::<bool>()), 1..3),
-            0..2,
+            Box::new(Expr::Num(rng.range_i64(1, 8))),
         ),
-    )
-        .prop_map(|(name, top, body, cases)| {
-            let mac = MacroDef {
-                name: "HELPER".to_owned(),
-                params: vec![("SIZE".to_owned(), Some(4))],
-                inputs: vec![Port {
-                    name: "A".to_owned(),
-                    range: Some((
-                        Expr::Num(0),
-                        Expr::Sub(Box::new(Expr::Var("SIZE".to_owned())), Box::new(Expr::Num(1))),
-                    )),
-                }],
-                outputs: vec![Port {
-                    name: "Q".to_owned(),
-                    range: None,
-                }],
-                body,
-                line: 0,
-            };
-            Design {
-                name,
-                period_ns: 50.0,
-                clock_unit_ns: 6.25,
-                wire_delay_ns: (0.0, 2.0),
-                precision_skew_ns: (1.0, 1.0),
-                clock_skew_ns: (5.0, 5.0),
-                macros: vec![mac],
-                top,
-                cases,
-            }
+    }
+}
+
+fn directive(rng: &mut Rng) -> String {
+    const LETTERS: &[u8] = b"EWZAH";
+    (0..rng.range_usize(1, 4))
+        .map(|_| *rng.choose(LETTERS) as char)
+        .collect()
+}
+
+fn conn(rng: &mut Rng) -> ConnExpr {
+    ConnExpr {
+        invert: rng.bool(),
+        name: fancy_name(rng),
+        range: if rng.bool() {
+            Some((expr(rng), expr(rng)))
+        } else {
+            None
+        },
+        scope: match rng.range_u32(0, 3) {
+            0 => Some(ScopeMark::Local),
+            1 => Some(ScopeMark::Parameter),
+            _ => None,
+        },
+        directive: if rng.bool() {
+            Some(directive(rng))
+        } else {
+            None
+        },
+    }
+}
+
+fn attr(rng: &mut Rng) -> (String, AttrVal) {
+    let key = rng.choose(&["delay", "setup", "hold"]).to_string();
+    let val = if rng.bool() {
+        let a = rng.range_u32(0, 100);
+        let b = rng.range_u32(0, 100);
+        AttrVal::Range(f64::from(a) / 10.0, f64::from(a + b) / 10.0)
+    } else {
+        AttrVal::Num(f64::from(rng.range_u32(0, 100)) / 10.0)
+    };
+    (key, val)
+}
+
+fn prim_stmt(rng: &mut Rng) -> Stmt {
+    let kind = rng.choose(&["and", "or", "buf", "chg"]).to_string();
+    Stmt::Prim {
+        kind,
+        attrs: (0..rng.range_usize(0, 2)).map(|_| attr(rng)).collect(),
+        inputs: (0..rng.range_usize(1, 3)).map(|_| conn(rng)).collect(),
+        outputs: vec![conn(rng)],
+        line: 0,
+    }
+}
+
+fn design(rng: &mut Rng) -> Design {
+    let name = ident(rng);
+    let top: Vec<Stmt> = (0..rng.range_usize(1, 5)).map(|_| prim_stmt(rng)).collect();
+    let body: Vec<Stmt> = (0..rng.range_usize(0, 3)).map(|_| prim_stmt(rng)).collect();
+    let cases: Vec<Vec<(String, bool)>> = (0..rng.range_usize(0, 2))
+        .map(|_| {
+            (0..rng.range_usize(1, 3))
+                .map(|_| (fancy_name(rng), rng.bool()))
+                .collect()
         })
+        .collect();
+    let mac = MacroDef {
+        name: "HELPER".to_owned(),
+        params: vec![("SIZE".to_owned(), Some(4))],
+        inputs: vec![Port {
+            name: "A".to_owned(),
+            range: Some((
+                Expr::Num(0),
+                Expr::Sub(
+                    Box::new(Expr::Var("SIZE".to_owned())),
+                    Box::new(Expr::Num(1)),
+                ),
+            )),
+        }],
+        outputs: vec![Port {
+            name: "Q".to_owned(),
+            range: None,
+        }],
+        body,
+        line: 0,
+    };
+    Design {
+        name,
+        period_ns: 50.0,
+        clock_unit_ns: 6.25,
+        wire_delay_ns: (0.0, 2.0),
+        precision_skew_ns: (1.0, 1.0),
+        clock_skew_ns: (5.0, 5.0),
+        macros: vec![mac],
+        top,
+        cases,
+    }
 }
 
 fn strip(design: &mut Design) {
@@ -150,39 +161,39 @@ fn strip(design: &mut Design) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// print -> parse reconstructs the AST exactly (modulo line numbers).
-    #[test]
-    fn print_parse_round_trip(d in design()) {
+/// print -> parse reconstructs the AST exactly (modulo line numbers).
+#[test]
+fn print_parse_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x1d1_0001);
+    for _ in 0..CASES {
+        let d = design(&mut rng);
         let printed = print(&d);
         let mut parsed = match parse(&printed) {
             Ok(p) => p,
-            Err(e) => {
-                return Err(TestCaseError::fail(format!(
-                    "printed text failed to parse: {e}\n{printed}"
-                )))
-            }
+            Err(e) => panic!("printed text failed to parse: {e}\n{printed}"),
         };
         strip(&mut parsed);
         let mut original = d;
         strip(&mut original);
         // The macro body may be unused; still must round trip.
-        prop_assert_eq!(parsed, original, "printed:\n{}", printed);
+        assert_eq!(parsed, original, "printed:\n{printed}");
     }
+}
 
-    /// If the design expands at all, a second expansion from the printed
-    /// text gives the same primitive and signal counts.
-    #[test]
-    fn expansion_agrees_across_round_trip(d in design()) {
-        let Ok(a) = expand(&d) else { return Ok(()) };
+/// If the design expands at all, a second expansion from the printed
+/// text gives the same primitive and signal counts.
+#[test]
+fn expansion_agrees_across_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x1d1_0002);
+    for _ in 0..CASES {
+        let d = design(&mut rng);
+        let Ok(a) = expand(&d) else { continue };
         let printed = print(&d);
         let reparsed = parse(&printed).expect("printed parses");
         let b = expand(&reparsed).expect("round-tripped design expands");
-        prop_assert_eq!(a.netlist.prims().len(), b.netlist.prims().len());
-        prop_assert_eq!(a.netlist.signals().len(), b.netlist.signals().len());
-        prop_assert_eq!(
+        assert_eq!(a.netlist.prims().len(), b.netlist.prims().len());
+        assert_eq!(a.netlist.signals().len(), b.netlist.signals().len());
+        assert_eq!(
             a.netlist.primitive_histogram(),
             b.netlist.primitive_histogram()
         );

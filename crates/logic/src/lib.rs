@@ -371,7 +371,9 @@ impl FromStr for Value {
             "R" | "RISE" | "RISING" => Ok(Value::Rise),
             "F" | "FALL" | "FALLING" => Ok(Value::Fall),
             "U" | "UNKNOWN" | "UNDEFINED" => Ok(Value::Unknown),
-            _ => Err(ParseValueError { input: s.to_owned() }),
+            _ => Err(ParseValueError {
+                input: s.to_owned(),
+            }),
         }
     }
 }

@@ -1,16 +1,16 @@
-//! Property-based tests for the seven-value algebra.
+//! Property tests for the seven-value algebra — run *exhaustively*.
 //!
 //! These check the algebraic laws the verifier's fixed-point engine relies
 //! on: commutativity and associativity (so fold order over gate inputs is
 //! irrelevant), idempotence, identity/dominance elements, De Morgan duality,
 //! and soundness of the symbolic values with respect to concrete booleans.
+//!
+//! The domain has only seven values, so instead of sampling (the original
+//! suite used proptest, which the offline build can no longer carry) every
+//! law is verified over **all** pairs and triples: 343 combinations cover
+//! the space completely.
 
-use proptest::prelude::*;
 use scald_logic::{Value, ALL_VALUES};
-
-fn any_value() -> impl Strategy<Value = Value> {
-    prop::sample::select(ALL_VALUES.to_vec())
-}
 
 /// The set of concrete boolean *behaviours* a symbolic value stands for,
 /// encoded as (start_level, end_level) pairs over a tiny interval.
@@ -38,138 +38,147 @@ fn covers(sym: Value, beh: (bool, bool)) -> bool {
     concretizations(sym).contains(&beh)
 }
 
-proptest! {
-    #[test]
-    fn or_commutes(a in any_value(), b in any_value()) {
-        prop_assert_eq!(a.or(b), b.or(a));
-    }
+fn pairs() -> impl Iterator<Item = (Value, Value)> {
+    ALL_VALUES
+        .iter()
+        .flat_map(|&a| ALL_VALUES.iter().map(move |&b| (a, b)))
+}
 
-    #[test]
-    fn and_commutes(a in any_value(), b in any_value()) {
-        prop_assert_eq!(a.and(b), b.and(a));
-    }
+fn triples() -> impl Iterator<Item = (Value, Value, Value)> {
+    pairs().flat_map(|(a, b)| ALL_VALUES.iter().map(move |&c| (a, b, c)))
+}
 
-    #[test]
-    fn xor_commutes(a in any_value(), b in any_value()) {
-        prop_assert_eq!(a.xor(b), b.xor(a));
+#[test]
+fn or_and_xor_join_commute() {
+    for (a, b) in pairs() {
+        assert_eq!(a.or(b), b.or(a), "OR {a} {b}");
+        assert_eq!(a.and(b), b.and(a), "AND {a} {b}");
+        assert_eq!(a.xor(b), b.xor(a), "XOR {a} {b}");
+        assert_eq!(a.join(b), b.join(a), "JOIN {a} {b}");
     }
+}
 
-    #[test]
-    fn join_commutes(a in any_value(), b in any_value()) {
-        prop_assert_eq!(a.join(b), b.join(a));
+#[test]
+fn or_and_join_associate() {
+    for (a, b, c) in triples() {
+        assert_eq!(a.or(b).or(c), a.or(b.or(c)), "OR {a} {b} {c}");
+        assert_eq!(a.and(b).and(c), a.and(b.and(c)), "AND {a} {b} {c}");
+        assert_eq!(a.join(b).join(c), a.join(b.join(c)), "JOIN {a} {b} {c}");
     }
+}
 
-    #[test]
-    fn or_associates(a in any_value(), b in any_value(), c in any_value()) {
-        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+#[test]
+fn or_and_idempotent() {
+    for &a in &ALL_VALUES {
+        assert_eq!(a.or(a), a);
+        assert_eq!(a.and(a), a);
+        assert_eq!(a.join(a), a);
     }
+}
 
-    #[test]
-    fn and_associates(a in any_value(), b in any_value(), c in any_value()) {
-        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+#[test]
+fn identities_and_dominators() {
+    for &a in &ALL_VALUES {
+        assert_eq!(Value::Zero.or(a), a);
+        assert_eq!(Value::One.and(a), a);
+        assert_eq!(Value::One.or(a), Value::One);
+        assert_eq!(Value::Zero.and(a), Value::Zero);
+        assert_eq!(Value::Zero.xor(a), a);
+        assert_eq!(Value::One.xor(a), a.not());
     }
+}
 
-    #[test]
-    fn join_associates(a in any_value(), b in any_value(), c in any_value()) {
-        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+#[test]
+fn demorgan() {
+    for (a, b) in pairs() {
+        assert_eq!(a.or(b).not(), a.not().and(b.not()), "{a} {b}");
     }
+}
 
-    #[test]
-    fn or_and_idempotent(a in any_value()) {
-        prop_assert_eq!(a.or(a), a);
-        prop_assert_eq!(a.and(a), a);
-        prop_assert_eq!(a.join(a), a);
-    }
-
-    #[test]
-    fn identities_and_dominators(a in any_value()) {
-        prop_assert_eq!(Value::Zero.or(a), a);
-        prop_assert_eq!(Value::One.and(a), a);
-        prop_assert_eq!(Value::One.or(a), Value::One);
-        prop_assert_eq!(Value::Zero.and(a), Value::Zero);
-        prop_assert_eq!(Value::Zero.xor(a), a);
-        prop_assert_eq!(Value::One.xor(a), a.not());
-    }
-
-    #[test]
-    fn demorgan(a in any_value(), b in any_value()) {
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
-    }
-
-    /// Soundness: for every concrete behaviour of the inputs, the concrete
-    /// gate output behaviour is covered by the symbolic gate output.
-    /// This is the property that makes the whole verification approach
-    /// conservative — the symbolic pass never misses a real transition.
-    #[test]
-    fn or_is_sound_abstraction(a in any_value(), b in any_value()) {
+/// Soundness: for every concrete behaviour of the inputs, the concrete
+/// gate output behaviour is covered by the symbolic gate output.
+/// This is the property that makes the whole verification approach
+/// conservative — the symbolic pass never misses a real transition.
+#[test]
+fn or_is_sound_abstraction() {
+    for (a, b) in pairs() {
         let sym = a.or(b);
         for ca in concretizations(a) {
             for cb in concretizations(b) {
                 let beh = (ca.0 | cb.0, ca.1 | cb.1);
-                prop_assert!(
+                assert!(
                     covers(sym, beh),
-                    "{} OR {} = {} does not cover {:?}", a, b, sym, beh
+                    "{a} OR {b} = {sym} does not cover {beh:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn and_is_sound_abstraction(a in any_value(), b in any_value()) {
+#[test]
+fn and_is_sound_abstraction() {
+    for (a, b) in pairs() {
         let sym = a.and(b);
         for ca in concretizations(a) {
             for cb in concretizations(b) {
                 let beh = (ca.0 & cb.0, ca.1 & cb.1);
-                prop_assert!(
+                assert!(
                     covers(sym, beh),
-                    "{} AND {} = {} does not cover {:?}", a, b, sym, beh
+                    "{a} AND {b} = {sym} does not cover {beh:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn xor_is_sound_abstraction(a in any_value(), b in any_value()) {
+#[test]
+fn xor_is_sound_abstraction() {
+    for (a, b) in pairs() {
         let sym = a.xor(b);
         for ca in concretizations(a) {
             for cb in concretizations(b) {
                 let beh = (ca.0 ^ cb.0, ca.1 ^ cb.1);
-                prop_assert!(
+                assert!(
                     covers(sym, beh),
-                    "{} XOR {} = {} does not cover {:?}", a, b, sym, beh
+                    "{a} XOR {b} = {sym} does not cover {beh:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn not_is_sound_abstraction(a in any_value()) {
+#[test]
+fn not_is_sound_abstraction() {
+    for &a in &ALL_VALUES {
         let sym = a.not();
         for ca in concretizations(a) {
-            prop_assert!(covers(sym, (!ca.0, !ca.1)));
+            assert!(covers(sym, (!ca.0, !ca.1)), "NOT {a}");
         }
     }
+}
 
-    /// join(a, b) must cover every behaviour of both branches.
-    #[test]
-    fn join_covers_both_branches(a in any_value(), b in any_value()) {
+/// join(a, b) must cover every behaviour of both branches.
+#[test]
+fn join_covers_both_branches() {
+    for (a, b) in pairs() {
         let j = a.join(b);
         for beh in concretizations(a).into_iter().chain(concretizations(b)) {
-            prop_assert!(covers(j, beh), "join({}, {}) = {} misses {:?}", a, b, j, beh);
+            assert!(covers(j, beh), "join({a}, {b}) = {j} misses {beh:?}");
         }
     }
+}
 
-    /// edge_to(a, b) must cover ending like `a` starts... more precisely:
-    /// the window could still hold the old value, already hold the new one,
-    /// or be mid-transition from old to new.
-    #[test]
-    fn edge_to_covers_old_new_and_transition(a in any_value(), b in any_value()) {
+/// edge_to(a, b) must cover holding the old value, already holding the new
+/// one, and being mid-transition from old to new.
+#[test]
+fn edge_to_covers_old_new_and_transition() {
+    for (a, b) in pairs() {
         let w = a.edge_to(b);
         for beh in concretizations(a) {
-            prop_assert!(covers(w, beh), "edge {}->{} = {} misses old {:?}", a, b, w, beh);
+            assert!(covers(w, beh), "edge {a}->{b} = {w} misses old {beh:?}");
         }
         for beh in concretizations(b) {
-            prop_assert!(covers(w, beh), "edge {}->{} = {} misses new {:?}", a, b, w, beh);
+            assert!(covers(w, beh), "edge {a}->{b} = {w} misses new {beh:?}");
         }
         // Mid-transition: starts at a's start level, ends at b's end level.
         // Only meaningful at a real boundary (a != b); equal-valued adjacent
@@ -179,14 +188,16 @@ proptest! {
             for ca in concretizations(a) {
                 for cb in concretizations(b) {
                     let beh = (ca.0, cb.1);
-                    prop_assert!(covers(w, beh), "edge {}->{} = {} misses {:?}", a, b, w, beh);
+                    assert!(covers(w, beh), "edge {a}->{b} = {w} misses {beh:?}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn display_parse_round_trip(a in any_value()) {
-        prop_assert_eq!(a.to_string().parse::<Value>().unwrap(), a);
+#[test]
+fn display_parse_round_trip() {
+    for &a in &ALL_VALUES {
+        assert_eq!(a.to_string().parse::<Value>().unwrap(), a);
     }
 }

@@ -338,7 +338,13 @@ impl NetlistBuilder {
         input: impl Into<Conn>,
         output: SignalId,
     ) {
-        self.prim(name, PrimKind::Delay, delay, vec![input.into()], Some(output));
+        self.prim(
+            name,
+            PrimKind::Delay,
+            delay,
+            vec![input.into()],
+            Some(output),
+        );
     }
 
     /// Adds a constant driver.
@@ -624,7 +630,10 @@ mod tests {
             q,
         );
         let err = b.finish().unwrap_err();
-        assert!(matches!(err, NetlistError::InvalidDirective { bad: 'X', .. }));
+        assert!(matches!(
+            err,
+            NetlistError::InvalidDirective { bad: 'X', .. }
+        ));
     }
 
     #[test]

@@ -138,7 +138,9 @@ impl Netlist {
             }
             for conn in &prim.inputs {
                 if let Some(dir) = &conn.directive {
-                    if let Some(bad) = dir.chars().find(|c| !matches!(c, 'E' | 'W' | 'Z' | 'A' | 'H'))
+                    if let Some(bad) = dir
+                        .chars()
+                        .find(|c| !matches!(c, 'E' | 'W' | 'Z' | 'A' | 'H'))
                     {
                         return Err(NetlistError::InvalidDirective {
                             prim: prim.name.clone(),

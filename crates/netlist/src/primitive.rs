@@ -284,9 +284,15 @@ mod tests {
         assert_eq!(PrimKind::Not.required_inputs(), Some(1));
         assert_eq!(PrimKind::And.required_inputs(), None);
         assert_eq!(PrimKind::Mux { data: 4 }.required_inputs(), Some(5));
-        assert_eq!(PrimKind::Reg { set_reset: false }.required_inputs(), Some(2));
+        assert_eq!(
+            PrimKind::Reg { set_reset: false }.required_inputs(),
+            Some(2)
+        );
         assert_eq!(PrimKind::Reg { set_reset: true }.required_inputs(), Some(4));
-        assert_eq!(PrimKind::Latch { set_reset: true }.required_inputs(), Some(4));
+        assert_eq!(
+            PrimKind::Latch { set_reset: true }.required_inputs(),
+            Some(4)
+        );
         assert_eq!(PrimKind::Const(Value::Zero).required_inputs(), Some(0));
         assert_eq!(
             PrimKind::MinPulseWidth {

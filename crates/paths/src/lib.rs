@@ -315,8 +315,11 @@ impl PathAnalysis {
         };
         for (_, p) in netlist.iter_prims() {
             let (conn, setup) = match p.kind {
-                PrimKind::SetupHold { setup, .. }
-                | PrimKind::SetupRiseHoldFall { setup, .. } => (&p.inputs[1 - 1], setup),
+                PrimKind::SetupHold { setup, .. } | PrimKind::SetupRiseHoldFall { setup, .. } => {
+                    // Checkers carry the checked data input first, the
+                    // clock second (the reverse of Reg/Latch below).
+                    (&p.inputs[0], setup)
+                }
                 PrimKind::Reg { .. } | PrimKind::Latch { .. } => (&p.inputs[1], Time::ZERO),
                 _ => continue,
             };
@@ -369,7 +372,9 @@ impl PathAnalysis {
         for pid in order.into_iter().rev() {
             let p = netlist.prim(pid);
             let out = p.output.expect("comb prims drive outputs");
-            let Some(req_out) = required[out.index()] else { continue };
+            let Some(req_out) = required[out.index()] else {
+                continue;
+            };
             for c in &p.inputs {
                 let d = netlist.wire_delay(c).then(p.delay);
                 tighten(&mut required[c.signal.index()], req_out - d.max);
@@ -458,7 +463,9 @@ impl PathAnalysis {
             if !netlist.fanout(sid).is_empty() || netlist.driver(sid).is_none() {
                 continue; // not a module output
             }
-            let Some(a) = self.arrivals[sid.index()] else { continue };
+            let Some(a) = self.arrivals[sid.index()] else {
+                continue;
+            };
             min = Some(min.map_or(a.min, |m: Time| m.min(a.min)));
             max = Some(max.map_or(a.max, |m: Time| m.max(a.max)));
         }

@@ -1,0 +1,242 @@
+//! Deterministic, dependency-free pseudo-random numbers.
+//!
+//! The repo must build and test with **no external crates** (the tier-1
+//! verify runs offline), so the workload generators and randomized tests
+//! use this tiny module instead of `rand`. Two layers:
+//!
+//! * [`SplitMix64`] — the 64-bit finalizer-based generator of Steele,
+//!   Lea & Flood (2014). Streams well from any seed, including 0, and is
+//!   the standard seeding routine for larger-state generators.
+//! * [`Rng`] — xoshiro256** (Blackman & Vigna), seeded via SplitMix64,
+//!   with the small set of helpers the repo needs: integer ranges,
+//!   floats, booleans, selection and shuffling.
+//!
+//! Everything is reproducible: the same seed always yields the same
+//! sequence, on every platform (the arithmetic is exact wrapping integer
+//! math; floats are derived from the high mantissa bits).
+
+#![warn(missing_docs)]
+
+/// SplitMix64: a tiny, high-quality 64-bit generator used directly for
+/// simple streams and to seed [`Rng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed (any value is fine, including 0).
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The repo's general-purpose generator: xoshiro256** seeded from
+/// [`SplitMix64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose full 256-bit state is expanded from
+    /// `seed` with SplitMix64 (the seeding scheme Vigna recommends).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = SplitMix64::new(seed);
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 pseudo-random bits (the high half, which mixes best).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)` by widening multiply (Lemire's
+    /// nearly-divisionless method without the rejection step — the tiny
+    /// bias is irrelevant for test and workload generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `u64` in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `u32` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform `f64` in `[0, 1)`, from the top 53 bits.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Rng::choose on empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1_234_567);
+        assert_eq!(sm.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(sm.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let x = rng.range_u32(5, 17);
+            assert!((5..17).contains(&x));
+            let y = rng.range_i64(-50, -3);
+            assert!((-50..-3).contains(&y));
+            let f = rng.range_f64(1.5, 2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_all_values_of_small_domain() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.range_usize(0, 6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn bool_with_probability_is_roughly_calibrated() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.bool_with(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+}

@@ -142,10 +142,7 @@ pub fn primary_inputs(netlist: &Netlist) -> Vec<SignalId> {
         .iter_signals()
         .filter(|(sid, sig)| {
             netlist.driver(*sid).is_none()
-                && !sig
-                    .assertion
-                    .as_ref()
-                    .is_some_and(|a| a.kind.is_clock())
+                && !sig.assertion.as_ref().is_some_and(|a| a.kind.is_clock())
         })
         .map(|(sid, _)| sid)
         .collect()
@@ -180,10 +177,10 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
     let mut queue: BTreeMap<(Time, u64), (SignalId, SimValue)> = BTreeMap::new();
     let mut seq = 0u64;
     let schedule = |queue: &mut BTreeMap<(Time, u64), (SignalId, SimValue)>,
-                        seq: &mut u64,
-                        t: Time,
-                        sid: SignalId,
-                        v: SimValue| {
+                    seq: &mut u64,
+                    t: Time,
+                    sid: SignalId,
+                    v: SimValue| {
         *seq += 1;
         queue.insert((t, *seq), (sid, v));
     };
@@ -378,7 +375,13 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                             };
                             if forced != target[out.index()] {
                                 schedule_storage(
-                                    &mut queue, &mut seq, &mut target, netlist, prim, out, t,
+                                    &mut queue,
+                                    &mut seq,
+                                    &mut target,
+                                    netlist,
+                                    prim,
+                                    out,
+                                    t,
                                     forced,
                                 );
                             }
@@ -389,15 +392,25 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                     let ctl_new = pin(0);
                     if is_reg {
                         if is_ctl {
-                            let ctl_old = if prim.inputs[0].invert { old.not() } else { old };
+                            let ctl_old = if prim.inputs[0].invert {
+                                old.not()
+                            } else {
+                                old
+                            };
                             if ctl_old == SimValue::Zero && ctl_new == SimValue::One {
                                 // Definite rising edge: sample.
                                 let d = pin(1);
                                 if d.is_definite() {
                                     if d != target[out.index()] {
                                         schedule_storage(
-                                            &mut queue, &mut seq, &mut target, netlist, prim,
-                                            out, t, d,
+                                            &mut queue,
+                                            &mut seq,
+                                            &mut target,
+                                            netlist,
+                                            prim,
+                                            out,
+                                            t,
+                                            d,
                                         );
                                     }
                                 } else {
@@ -407,8 +420,14 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                                         at: t,
                                     });
                                     schedule_storage(
-                                        &mut queue, &mut seq, &mut target, netlist, prim, out,
-                                        t, SimValue::X,
+                                        &mut queue,
+                                        &mut seq,
+                                        &mut target,
+                                        netlist,
+                                        prim,
+                                        out,
+                                        t,
+                                        SimValue::X,
                                     );
                                 }
                             } else if ctl_old == SimValue::Zero && ctl_new.is_ambiguous() {
@@ -418,7 +437,13 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                                     at: t,
                                 });
                                 schedule_storage(
-                                    &mut queue, &mut seq, &mut target, netlist, prim, out, t,
+                                    &mut queue,
+                                    &mut seq,
+                                    &mut target,
+                                    netlist,
+                                    prim,
+                                    out,
+                                    t,
                                     SimValue::X,
                                 );
                             }
@@ -430,8 +455,14 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                                 let d = pin(1);
                                 if d != target[out.index()] {
                                     schedule_storage(
-                                        &mut queue, &mut seq, &mut target, netlist, prim, out,
-                                        t, d,
+                                        &mut queue,
+                                        &mut seq,
+                                        &mut target,
+                                        netlist,
+                                        prim,
+                                        out,
+                                        t,
+                                        d,
                                     );
                                 }
                             }
@@ -440,8 +471,14 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                                 let d = pin(1);
                                 if d != target[out.index()] {
                                     schedule_storage(
-                                        &mut queue, &mut seq, &mut target, netlist, prim, out,
-                                        t, SimValue::X,
+                                        &mut queue,
+                                        &mut seq,
+                                        &mut target,
+                                        netlist,
+                                        prim,
+                                        out,
+                                        t,
+                                        SimValue::X,
                                     );
                                 }
                             }
@@ -476,7 +513,11 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                         }
                     }
                     if sid == clock_sig {
-                        let cv = if prim.inputs[1].invert { new_v.not() } else { new_v };
+                        let cv = if prim.inputs[1].invert {
+                            new_v.not()
+                        } else {
+                            new_v
+                        };
                         let was_high = st.clock_high;
                         st.clock_high = cv == SimValue::One;
                         if !was_high && cv == SimValue::One {
@@ -499,8 +540,16 @@ pub fn simulate(netlist: &Netlist, stimulus: &Stimulus) -> SimResult {
                     }
                 }
                 PrimKind::MinPulseWidth { high, low } => {
-                    let cv = if prim.inputs[0].invert { new_v.not() } else { new_v };
-                    let ov = if prim.inputs[0].invert { old.not() } else { old };
+                    let cv = if prim.inputs[0].invert {
+                        new_v.not()
+                    } else {
+                        new_v
+                    };
+                    let ov = if prim.inputs[0].invert {
+                        old.not()
+                    } else {
+                        old
+                    };
                     let st = checkers.get_mut(&pid).expect("checker state exists");
                     if ov != SimValue::One && cv == SimValue::One {
                         if let Some(f) = st.last_fall {

@@ -36,7 +36,5 @@
 mod engine;
 mod value;
 
-pub use engine::{
-    primary_inputs, simulate, SimResult, SimViolation, SimViolationKind, Stimulus,
-};
+pub use engine::{primary_inputs, simulate, SimResult, SimViolation, SimViolationKind, Stimulus};
 pub use value::SimValue;

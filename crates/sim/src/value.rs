@@ -45,7 +45,10 @@ impl SimValue {
     /// transition.
     #[must_use]
     pub const fn is_ambiguous(self) -> bool {
-        matches!(self, SimValue::Up | SimValue::Down | SimValue::Spike | SimValue::X)
+        matches!(
+            self,
+            SimValue::Up | SimValue::Down | SimValue::Spike | SimValue::X
+        )
     }
 
     /// The ambiguity value describing a transition from `self` to `to`,

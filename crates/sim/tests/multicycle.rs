@@ -22,14 +22,22 @@ fn two_stage_pipeline_shifts_values() {
     // D = 1,0,0,0: the 1 marches through the pipeline one stage per cycle.
     let mut map = HashMap::new();
     map.insert(inputs[0], vec![true, false, false, false]);
-    let r = simulate(&n, &Stimulus { cycles: 4, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 4,
+            inputs: map,
+        },
+    );
     // The first usable clock edge samples Q1 while it still holds its
     // initialization X — a legitimate warm-up ambiguity report.
-    assert!(r
-        .violations
-        .iter()
-        .all(|v| v.kind == scald_sim::SimViolationKind::AmbiguousData),
-        "{:?}", r.violations);
+    assert!(
+        r.violations
+            .iter()
+            .all(|v| v.kind == scald_sim::SimViolationKind::AmbiguousData),
+        "{:?}",
+        r.violations
+    );
     // After 4 cycles both stages have flushed back to 0.
     assert_eq!(r.final_values[q1.index()], SimValue::Zero);
     assert_eq!(r.final_values[q2.index()], SimValue::Zero);
@@ -38,7 +46,13 @@ fn two_stage_pipeline_shifts_values() {
     // Q1 and Q1's previous 1 into Q2.
     let mut map = HashMap::new();
     map.insert(inputs[0], vec![false, false, true, true]);
-    let r = simulate(&n, &Stimulus { cycles: 4, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 4,
+            inputs: map,
+        },
+    );
     assert_eq!(r.final_values[q1.index()], SimValue::One);
     assert_eq!(r.final_values[q2.index()], SimValue::One);
 }
@@ -100,7 +114,13 @@ fn toggle_with_set_initialization_resolves() {
     let mut map = HashMap::new();
     // SET high during cycle 1 only.
     map.insert(inputs[0], vec![true, false, false, false]);
-    let r = simulate(&n, &Stimulus { cycles: 4, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 4,
+            inputs: map,
+        },
+    );
     // The async SET pulse breaks the X: from cycle 2 on the register
     // truly toggles, so the final value is a definite level (its exact
     // parity depends on same-instant event ordering at the SET release).
@@ -125,7 +145,14 @@ fn event_counts_scale_with_cycles() {
     let run = |cycles: usize| {
         let mut map = HashMap::new();
         map.insert(inputs[0], (0..cycles).map(|c| c % 2 == 0).collect());
-        simulate(&n, &Stimulus { cycles, inputs: map }).events
+        simulate(
+            &n,
+            &Stimulus {
+                cycles,
+                inputs: map,
+            },
+        )
+        .events
     };
     let e4 = run(4);
     let e8 = run(8);

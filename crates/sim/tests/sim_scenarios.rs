@@ -51,7 +51,13 @@ fn register_samples_data_on_clock_edge() {
 
     let mut map = HashMap::new();
     map.insert(inputs[0], vec![true, false]);
-    let r = simulate(&n, &Stimulus { cycles: 2, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 2,
+            inputs: map,
+        },
+    );
     assert!(r.is_clean(), "{:?}", r.violations);
     // After the second cycle's edge the register holds 0 (sampled false).
     assert_eq!(r.final_values[q.index()], SimValue::Zero);
@@ -86,7 +92,13 @@ fn register_flags_ambiguous_data() {
     let mut map = HashMap::new();
     // Toggle D so DD is mid-flight at the first edge of cycle 2.
     map.insert(inputs[0], vec![true, false]);
-    let r = simulate(&n, &Stimulus { cycles: 2, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 2,
+            inputs: map,
+        },
+    );
     assert!(
         r.violations
             .iter()
@@ -122,9 +134,17 @@ fn dynamic_setup_check_fires() {
     let inputs = primary_inputs(&n);
     let mut map = HashMap::new();
     map.insert(inputs[0], vec![true]);
-    let r = simulate(&n, &Stimulus { cycles: 1, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 1,
+            inputs: map,
+        },
+    );
     assert!(
-        r.violations.iter().any(|v| v.kind == SimViolationKind::Setup),
+        r.violations
+            .iter()
+            .any(|v| v.kind == SimViolationKind::Setup),
         "{:?}",
         r.violations
     );
@@ -146,7 +166,13 @@ fn min_pulse_width_monitor() {
     let inputs = primary_inputs(&n);
     let mut map = HashMap::new();
     map.insert(inputs[0], vec![false, true]);
-    let r = simulate(&n, &Stimulus { cycles: 2, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 2,
+            inputs: map,
+        },
+    );
     assert!(
         r.violations
             .iter()
@@ -181,7 +207,10 @@ fn simulation_only_covers_exercised_patterns() {
     for pattern in 0..(1u64 << inputs.len()) {
         let stim = Stimulus::from_pattern(&inputs, 1, pattern);
         let r = simulate(&n, &stim);
-        if r.violations.iter().any(|v| v.kind == SimViolationKind::Setup) {
+        if r.violations
+            .iter()
+            .any(|v| v.kind == SimViolationKind::Setup)
+        {
             any_violating = true;
         } else {
             any_clean = true;
@@ -210,6 +239,12 @@ fn inertial_filtering_cancels_stale_events() {
     let inputs = primary_inputs(&n);
     let mut map = HashMap::new();
     map.insert(inputs[0], vec![true, false, false]);
-    let r = simulate(&n, &Stimulus { cycles: 3, inputs: map });
+    let r = simulate(
+        &n,
+        &Stimulus {
+            cycles: 3,
+            inputs: map,
+        },
+    );
     assert_eq!(r.final_values[q.index()], SimValue::Zero);
 }

@@ -261,7 +261,9 @@ impl ProbPathAnalysis {
             let mut acc: Option<DelayDist> = None;
             let mut acc_worst: Option<f64> = None;
             for c in &p.inputs {
-                let Some(a) = arrivals[c.signal.index()] else { continue };
+                let Some(a) = arrivals[c.signal.index()] else {
+                    continue;
+                };
                 let total = netlist.wire_delay(c).then(p.delay);
                 let cand = a.then(DelayDist::from_range(total));
                 acc = Some(match acc {
@@ -291,8 +293,9 @@ impl ProbPathAnalysis {
         let mut reports = Vec::new();
         for (_, p) in netlist.iter_prims() {
             let (conn, setup) = match p.kind {
-                PrimKind::SetupHold { setup, .. }
-                | PrimKind::SetupRiseHoldFall { setup, .. } => (&p.inputs[0], setup.as_ns()),
+                PrimKind::SetupHold { setup, .. } | PrimKind::SetupRiseHoldFall { setup, .. } => {
+                    (&p.inputs[0], setup.as_ns())
+                }
                 PrimKind::Reg { .. } | PrimKind::Latch { .. } => (&p.inputs[1], 0.0),
                 _ => continue,
             };
@@ -356,9 +359,8 @@ impl ProbPathAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
     use scald_netlist::{Config, Conn, NetlistBuilder};
+    use scald_rng::Rng;
 
     #[test]
     fn erf_matches_known_values() {
@@ -372,8 +374,14 @@ mod tests {
 
     #[test]
     fn series_composition() {
-        let a = DelayDist { mean: 3.0, sigma: 0.4 };
-        let b = DelayDist { mean: 2.0, sigma: 0.3 };
+        let a = DelayDist {
+            mean: 3.0,
+            sigma: 0.4,
+        };
+        let b = DelayDist {
+            mean: 2.0,
+            sigma: 0.3,
+        };
         let c = a.then(b);
         assert!((c.mean - 5.0).abs() < 1e-12);
         assert!((c.var() - 0.25).abs() < 1e-12);
@@ -382,13 +390,19 @@ mod tests {
     /// Clark's max vs Monte Carlo with a Box-Muller sampler.
     #[test]
     fn clark_max_matches_monte_carlo() {
-        let a = DelayDist { mean: 10.0, sigma: 1.0 };
-        let b = DelayDist { mean: 10.5, sigma: 2.0 };
+        let a = DelayDist {
+            mean: 10.0,
+            sigma: 1.0,
+        };
+        let b = DelayDist {
+            mean: 10.5,
+            sigma: 2.0,
+        };
         let clark = a.max(b, 0.0);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let mut normal = move || {
-            let u1: f64 = rng.gen_range(1e-12..1.0f64);
-            let u2: f64 = rng.gen_range(0.0..1.0f64);
+            let u1: f64 = rng.range_f64(1e-12, 1.0);
+            let u2: f64 = rng.range_f64(0.0, 1.0);
             (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
         };
         let n = 200_000;
@@ -419,8 +433,14 @@ mod tests {
 
     #[test]
     fn perfectly_correlated_max_degenerates() {
-        let a = DelayDist { mean: 10.0, sigma: 1.0 };
-        let b = DelayDist { mean: 12.0, sigma: 1.0 };
+        let a = DelayDist {
+            mean: 10.0,
+            sigma: 1.0,
+        };
+        let b = DelayDist {
+            mean: 12.0,
+            sigma: 1.0,
+        };
         // Same sigma, rho = 1: the max is simply the larger-mean branch.
         let m = a.max(b, 1.0);
         assert!((m.mean - 12.0).abs() < 1e-9);
@@ -428,7 +448,10 @@ mod tests {
 
     #[test]
     fn prob_exceeds_monotone() {
-        let d = DelayDist { mean: 10.0, sigma: 1.0 };
+        let d = DelayDist {
+            mean: 10.0,
+            sigma: 1.0,
+        };
         assert!(d.prob_exceeds(8.0) > 0.97);
         assert!((d.prob_exceeds(10.0) - 0.5).abs() < 1e-6);
         assert!(d.prob_exceeds(13.0) < 0.01);

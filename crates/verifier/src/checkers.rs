@@ -8,7 +8,7 @@ use scald_wave::{edge_windows, pulses, Edge, EdgeWindow, Span, Time, Waveform};
 
 use crate::eval::{pin_wave, pin_wave_pulse_view};
 use crate::report::{Violation, ViolationKind};
-use crate::state::SignalState;
+use crate::view::StateView;
 
 /// How long `wave` has been quiescent immediately before instant `t`
 /// (up to one full period). Zero if the signal may be changing just
@@ -155,9 +155,10 @@ fn clock_pulses(clock: &Waveform) -> Vec<(EdgeWindow, EdgeWindow)> {
     let mut out = Vec::new();
     for r in &rising {
         let after_r = r.span.end(period);
-        if let Some(f) = falling.iter().min_by_key(|f| {
-            (f.span.start() - after_r).rem_period(period)
-        }) {
+        if let Some(f) = falling
+            .iter()
+            .min_by_key(|f| (f.span.start() - after_r).rem_period(period))
+        {
             out.push((*r, *f));
         }
     }
@@ -186,7 +187,10 @@ pub struct CheckMargin {
 /// Computes the timing margins of every checker primitive against the
 /// settled states — the slack view designers use to see how much headroom
 /// a passing design has (and by how much a failing one misses).
-pub(crate) fn slack_report(netlist: &Netlist, states: &[SignalState]) -> Vec<CheckMargin> {
+pub(crate) fn slack_report<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+) -> Vec<CheckMargin> {
     let period = netlist.config().timing.period;
     let mut out = Vec::new();
     for (_, prim) in netlist.iter_prims() {
@@ -275,9 +279,9 @@ pub(crate) fn slack_report(netlist: &Netlist, states: &[SignalState]) -> Vec<Che
 /// Verifies all checker primitives, `&A`/`&H` gate directives and stable
 /// assertions against the settled signal states. `hazards` lists
 /// `(gate, asserted input index)` pairs collected during evaluation.
-pub(crate) fn run_all_checks(
+pub(crate) fn run_all_checks<S: StateView + ?Sized>(
     netlist: &Netlist,
-    states: &[SignalState],
+    states: &S,
     hazards: &[(PrimId, usize)],
 ) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -311,15 +315,15 @@ pub(crate) fn run_all_checks(
                     observed_line("DATA INPUT", &in_name, &input),
                 ];
                 for (r, f) in clock_pulses(&clock) {
-                    let constraint =
-                        format!("SETUP (RISE) = {setup}, HOLD (FALL) = {hold}");
+                    let constraint = format!("SETUP (RISE) = {setup}, HOLD (FALL) = {hold}");
                     // Stability over the definitely-high interior of the
                     // pulse (rise window end to fall window start); the
                     // edge windows themselves are covered by the set-up
                     // and hold checks, so each cause reports once.
                     let interior = (f.span.start() - r.span.end(period)).rem_period(period);
                     let high = Span::new(r.span.end(period), interior, period);
-                    if interior > Time::ZERO && !high.is_full(period)
+                    if interior > Time::ZERO
+                        && !high.is_full(period)
                         && !input.quiescent_throughout(high)
                     {
                         out.push(Violation {
@@ -368,7 +372,11 @@ pub(crate) fn run_all_checks(
                 if high > Time::ZERO {
                     for p in pulses(&input, true) {
                         if p.min_possible_width < high {
-                            let glitch = if p.certain { "" } else { " (POTENTIAL SPURIOUS PULSE)" };
+                            let glitch = if p.certain {
+                                ""
+                            } else {
+                                " (POTENTIAL SPURIOUS PULSE)"
+                            };
                             out.push(Violation {
                                 kind: ViolationKind::MinPulseHigh,
                                 source: prim.name.clone(),
@@ -386,7 +394,11 @@ pub(crate) fn run_all_checks(
                 if low > Time::ZERO {
                     for p in pulses(&input, false) {
                         if p.min_possible_width < low {
-                            let glitch = if p.certain { "" } else { " (POTENTIAL SPURIOUS PULSE)" };
+                            let glitch = if p.certain {
+                                ""
+                            } else {
+                                " (POTENTIAL SPURIOUS PULSE)"
+                            };
                             out.push(Violation {
                                 kind: ViolationKind::MinPulseLow,
                                 source: prim.name.clone(),
@@ -442,12 +454,14 @@ pub(crate) fn run_all_checks(
     // assertion is checked against the actual timing.
     let timing = netlist.config().timing;
     for (sid, sig) in netlist.iter_signals() {
-        let Some(assertion) = &sig.assertion else { continue };
+        let Some(assertion) = &sig.assertion else {
+            continue;
+        };
         if assertion.kind.is_clock() || netlist.driver(sid).is_none() {
             continue;
         }
         let (asserted_wave, _) = assertion.to_state(&timing);
-        let actual = states[sid.index()].resolved();
+        let actual = states.state_at(sid.index()).resolved();
         for span in asserted_wave.spans_where(|v| v == Value::Stable) {
             if !actual.quiescent_throughout(span) {
                 out.push(Violation {
@@ -510,7 +524,15 @@ mod tests {
         let edges = edge_windows(&clock, Edge::Rising);
         let mut v = Vec::new();
         check_setup_hold_edges(
-            "CHK", ns(3.5), ns(1.0), &data, "ADR", &clock, "WE", &edges, &mut v,
+            "CHK",
+            ns(3.5),
+            ns(1.0),
+            &data,
+            "ADR",
+            &clock,
+            "WE",
+            &edges,
+            &mut v,
         );
         assert_eq!(v.len(), 1, "violations: {v:#?}");
         assert_eq!(v[0].kind, ViolationKind::Setup);
@@ -524,7 +546,15 @@ mod tests {
         let edges = edge_windows(&clock, Edge::Rising);
         let mut v = Vec::new();
         check_setup_hold_edges(
-            "CHK", ns(3.5), ns(1.0), &data, "D", &clock, "CK", &edges, &mut v,
+            "CHK",
+            ns(3.5),
+            ns(1.0),
+            &data,
+            "D",
+            &clock,
+            "CK",
+            &edges,
+            &mut v,
         );
         assert!(v.is_empty(), "unexpected: {v:#?}");
     }
@@ -537,7 +567,15 @@ mod tests {
         let edges = edge_windows(&clock, Edge::Rising);
         let mut v = Vec::new();
         check_setup_hold_edges(
-            "CHK", ns(2.0), ns(1.5), &data, "D", &clock, "CK", &edges, &mut v,
+            "CHK",
+            ns(2.0),
+            ns(1.5),
+            &data,
+            "D",
+            &clock,
+            "CK",
+            &edges,
+            &mut v,
         );
         let holds: Vec<_> = v.iter().filter(|x| x.kind == ViolationKind::Hold).collect();
         assert_eq!(holds.len(), 1);
@@ -552,7 +590,15 @@ mod tests {
         let edges = edge_windows(&clock, Edge::Rising);
         let mut v = Vec::new();
         check_setup_hold_edges(
-            "CHK", ns(2.0), ns(-1.0), &data, "D", &clock, "CK", &edges, &mut v,
+            "CHK",
+            ns(2.0),
+            ns(-1.0),
+            &data,
+            "D",
+            &clock,
+            "CK",
+            &edges,
+            &mut v,
         );
         assert!(v.is_empty(), "negative hold must not fire: {v:#?}");
     }

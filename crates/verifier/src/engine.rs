@@ -13,12 +13,15 @@ use scald_netlist::{Netlist, PrimId, SignalId};
 use scald_wave::Waveform;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::checkers::{run_all_checks, slack_report, CheckMargin};
 use crate::eval::evaluate;
 use crate::report::{CaseResult, Violation};
 use crate::state::SignalState;
 use crate::storage::StorageReport;
+use crate::view::ConeState;
 
 /// One case for case analysis (§2.7.1): a set of `signal = 0/1`
 /// assignments applied wherever the circuit would set the signal stable.
@@ -268,16 +271,7 @@ impl Verifier {
     }
 
     fn apply_override(&self, sid: SignalId, state: &SignalState) -> SignalState {
-        match self.overrides.get(&sid) {
-            None => state.clone(),
-            Some(&v) => SignalState {
-                wave: state
-                    .wave
-                    .map(|x| if x == Value::Stable { v } else { x }),
-                skew: state.skew,
-                eval: state.eval.clone(),
-            },
-        }
+        override_state(self.overrides.get(&sid).copied(), state)
     }
 
     fn enqueue(&mut self, pid: PrimId) {
@@ -303,11 +297,12 @@ impl Verifier {
             self.queued[pid.index()] = false;
             evaluations += 1;
             if evaluations > budget {
-                let active: Vec<String> = self
-                    .queue
-                    .iter()
+                // The just-popped primitive is still active too — in a
+                // tight ring the queue can be empty right after the pop.
+                let active: Vec<String> = std::iter::once(pid)
+                    .chain(self.queue.iter().copied())
                     .take(8)
-                    .map(|p| self.netlist.prim(*p).name.clone())
+                    .map(|p| self.netlist.prim(p).name.clone())
                     .collect();
                 self.total_events += events;
                 self.total_evaluations += evaluations;
@@ -317,7 +312,7 @@ impl Verifier {
                 });
             }
             let prim = self.netlist.prim(pid);
-            let outcome = evaluate(&self.netlist, prim, &self.eff);
+            let outcome = evaluate(&self.netlist, prim, self.eff.as_slice());
             for idx in &outcome.hazard_inputs {
                 self.hazards.insert((pid, *idx));
             }
@@ -335,12 +330,10 @@ impl Verifier {
                         .drivers(out)
                         .iter()
                         .map(|d| {
-                            self.wired_contributions
-                                .get(&(out, *d))
-                                .map_or_else(
-                                    || Waveform::constant(period, Value::Unknown),
-                                    SignalState::resolved,
-                                )
+                            self.wired_contributions.get(&(out, *d)).map_or_else(
+                                || Waveform::constant(period, Value::Unknown),
+                                SignalState::resolved,
+                            )
                         })
                         .collect();
                     let refs: Vec<&Waveform> = resolved.iter().collect();
@@ -404,36 +397,170 @@ impl Verifier {
         Ok(results.into_iter().next().expect("one case requested"))
     }
 
-    /// Verifies the circuit for each case in turn (§2.7). The first case
-    /// pays the full evaluation; later cases re-evaluate only the parts of
-    /// the circuit their overrides affect (§3.3.2).
+    /// Verifies the circuit for each case (§2.7), fanning the per-case
+    /// incremental re-evaluations across a worker pool sized to
+    /// [`std::thread::available_parallelism`]. The base (no-override)
+    /// state is settled once — the full evaluation of §2.9 — and each
+    /// case then re-evaluates only the cone its overrides dirty
+    /// (§3.3.2), on its own copy-on-write overlay of the base.
+    ///
+    /// Results are merged in input-case order and are byte-identical to
+    /// [`run_cases_serial`](Self::run_cases_serial): every case is
+    /// computed by the same deterministic procedure from the same settled
+    /// base, so worker scheduling cannot affect any result.
     ///
     /// # Errors
     ///
     /// Returns an error if a case names an unknown signal or the circuit
     /// fails to settle.
     pub fn run_cases(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
-        let mut results = Vec::with_capacity(cases.len());
-        let first_run = self.total_evaluations == 0;
-        for (i, case) in cases.iter().enumerate() {
-            self.apply_case(case)?;
-            if i == 0 && first_run {
-                // Initial pass evaluates everything (§2.9).
-                let all: Vec<PrimId> = self.netlist.iter_prims().map(|(p, _)| p).collect();
-                for pid in all {
-                    self.enqueue(pid);
-                }
-            }
-            let (events, evaluations) = self.settle()?;
-            let hazards: Vec<(PrimId, usize)> = self.hazards.iter().copied().collect();
-            let violations = run_all_checks(&self.netlist, &self.eff, &hazards);
-            results.push(CaseResult {
-                name: format!("case {}: {}", i + 1, case.label()),
-                violations,
-                events,
-                evaluations,
-            });
+        self.run_cases_with_jobs(cases, default_jobs())
+    }
+
+    /// [`run_cases`](Self::run_cases) restricted to one worker: the
+    /// reference serial path. Produces byte-identical results; kept
+    /// public so callers (and the cross-check tests) can compare.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_cases`](Self::run_cases).
+    pub fn run_cases_serial(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
+        self.run_cases_with_jobs(cases, 1)
+    }
+
+    /// [`run_cases`](Self::run_cases) with an explicit worker count
+    /// (clamped to at least 1; the pool never spawns more workers than
+    /// cases). The `--jobs` flag of `scald-tv` lands here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_cases`](Self::run_cases). On an error the
+    /// first failing case (by input order) is reported; the event and
+    /// evaluation totals still count whatever work completed.
+    pub fn run_cases_with_jobs(
+        &mut self,
+        cases: &[Case],
+        jobs: usize,
+    ) -> Result<Vec<CaseResult>, VerifyError> {
+        if cases.is_empty() {
+            return Ok(Vec::new());
         }
+        // Resolve every case's signal names up front, so an unknown name
+        // errors deterministically before any evaluation runs.
+        let mut resolved: Vec<Vec<(SignalId, Value)>> = Vec::with_capacity(cases.len());
+        for case in cases {
+            let mut assigns = Vec::with_capacity(case.assignments().len());
+            for (name, v) in case.assignments() {
+                let sid = self
+                    .netlist
+                    .signal_by_name(name)
+                    .ok_or_else(|| VerifyError::UnknownCaseSignal { name: name.clone() })?;
+                assigns.push((sid, if *v { Value::One } else { Value::Zero }));
+            }
+            // Deterministic seeding order for the worker's worklist.
+            assigns.sort_by_key(|(sid, _)| sid.index());
+            resolved.push(assigns);
+        }
+
+        // Establish (or return to) the settled base: no overrides.
+        let first_run = self.total_evaluations == 0;
+        self.apply_case(&Case::new())?;
+        if first_run {
+            // Initial pass evaluates everything (§2.9).
+            let all: Vec<PrimId> = self.netlist.iter_prims().map(|(p, _)| p).collect();
+            for pid in all {
+                self.enqueue(pid);
+            }
+        }
+        let (base_events, base_evaluations) = self.settle()?;
+
+        // Fan the cases across the pool. Each worker repeatedly claims
+        // the next unclaimed case index and settles it against the shared
+        // immutable base; per-case effort is summed into the totals with
+        // atomics as workers finish.
+        let jobs = jobs.max(1).min(cases.len());
+        let netlist = &self.netlist;
+        let base_raw: &[SignalState] = &self.raw;
+        let base_eff: &[SignalState] = &self.eff;
+        let pinned: &[bool] = &self.pinned;
+        let base_hazards = &self.hazards;
+        let base_wired = &self.wired_contributions;
+        let events_total = AtomicU64::new(0);
+        let evaluations_total = AtomicU64::new(0);
+        let work = |i: usize| {
+            let outcome = settle_case(
+                netlist,
+                base_raw,
+                base_eff,
+                pinned,
+                base_hazards,
+                base_wired,
+                &resolved[i],
+            );
+            if let Ok(o) = &outcome {
+                events_total.fetch_add(o.events, Ordering::Relaxed);
+                evaluations_total.fetch_add(o.evaluations, Ordering::Relaxed);
+            }
+            outcome
+        };
+        let mut outcomes: Vec<Option<Result<CaseOutcome, VerifyError>>> = if jobs == 1 {
+            (0..cases.len()).map(|i| Some(work(i))).collect()
+        } else {
+            let slots: Vec<Mutex<Option<Result<CaseOutcome, VerifyError>>>> =
+                (0..cases.len()).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..jobs {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cases.len() {
+                            break;
+                        }
+                        let outcome = work(i);
+                        *slots[i].lock().expect("case slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("case slot poisoned"))
+                .collect()
+        };
+        self.total_events += events_total.into_inner();
+        self.total_evaluations += evaluations_total.into_inner();
+
+        // Merge in input-case order; the first error (by case index) wins.
+        let mut results = Vec::with_capacity(cases.len());
+        let mut last: Option<CaseOutcome> = None;
+        for (i, slot) in outcomes.iter_mut().enumerate() {
+            let mut outcome = slot.take().expect("worker filled every case slot")?;
+            results.push(CaseResult {
+                name: format!("case {}: {}", i + 1, cases[i].label()),
+                violations: std::mem::take(&mut outcome.violations),
+                events: outcome.events + if i == 0 && first_run { base_events } else { 0 },
+                evaluations: outcome.evaluations
+                    + if i == 0 && first_run {
+                        base_evaluations
+                    } else {
+                        0
+                    },
+                value_records: outcome.value_records,
+            });
+            last = Some(outcome);
+        }
+
+        // Install the last case's state so `state`/`resolved`/listings
+        // reflect it, exactly as the serial path left things.
+        let last = last.expect("cases is non-empty");
+        for (idx, st) in last.raw_overlay {
+            self.raw[idx] = st;
+        }
+        for (idx, st) in last.eff_overlay {
+            self.eff[idx] = st;
+        }
+        self.overrides = last.overrides;
+        self.hazards = last.hazards;
+        self.wired_contributions = last.wired;
         Ok(results)
     }
 
@@ -442,7 +569,7 @@ impl Verifier {
     #[must_use]
     pub fn check_now(&self) -> Vec<Violation> {
         let hazards: Vec<(PrimId, usize)> = self.hazards.iter().copied().collect();
-        run_all_checks(&self.netlist, &self.eff, &hazards)
+        run_all_checks(&self.netlist, self.eff.as_slice(), &hazards)
     }
 
     /// The signal-value summary listing of Fig 3-10: one line per signal
@@ -467,7 +594,8 @@ impl Verifier {
     /// verifier assumed stable (§2.5).
     #[must_use]
     pub fn xref_listing(&self) -> String {
-        let mut out = String::from("SIGNALS ASSUMED ALWAYS STABLE (no assertion, not generated):\n");
+        let mut out =
+            String::from("SIGNALS ASSUMED ALWAYS STABLE (no assertion, not generated):\n");
         for sid in &self.assumed_stable {
             out.push_str(&format!("  {}\n", self.netlist.signal(*sid).name));
         }
@@ -484,7 +612,7 @@ impl Verifier {
     /// Storage accounting in the categories of Table 3-3.
     #[must_use]
     pub fn storage_report(&self) -> StorageReport {
-        StorageReport::measure(&self.netlist, &self.raw)
+        StorageReport::measure(&self.netlist, self.raw.as_slice())
     }
 
     /// Timing margins of every checker against the current settled state:
@@ -492,7 +620,7 @@ impl Verifier {
     /// a reported violation.
     #[must_use]
     pub fn slack_report(&self) -> Vec<CheckMargin> {
-        slack_report(&self.netlist, &self.eff)
+        slack_report(&self.netlist, self.eff.as_slice())
     }
 
     /// An ASCII timing diagram of all signals (sorted by name), `columns`
@@ -508,6 +636,164 @@ impl Verifier {
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         crate::diagram::render_diagram(&rows, columns)
     }
+}
+
+/// The default worker count for [`Verifier::run_cases`]: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies a case override to a computed state: the override replaces the
+/// signal's value wherever the circuit would leave it merely *stable*
+/// (§2.7.1) — asserted changing windows and computed constants win.
+fn override_state(over: Option<Value>, state: &SignalState) -> SignalState {
+    match over {
+        None => state.clone(),
+        Some(v) => SignalState {
+            wave: state.wave.map(|x| if x == Value::Stable { v } else { x }),
+            skew: state.skew,
+            eval: state.eval.clone(),
+        },
+    }
+}
+
+/// Everything one case worker produced: the check results, its effort
+/// counters, and the dirtied-cone overlays needed to install the case's
+/// state back into the [`Verifier`].
+struct CaseOutcome {
+    violations: Vec<Violation>,
+    events: u64,
+    evaluations: u64,
+    value_records: usize,
+    raw_overlay: HashMap<usize, SignalState>,
+    eff_overlay: HashMap<usize, SignalState>,
+    hazards: BTreeSet<(PrimId, usize)>,
+    wired: HashMap<(SignalId, PrimId), SignalState>,
+    overrides: HashMap<SignalId, Value>,
+}
+
+/// Settles one case against the shared settled base state (§2.7, §3.3.2).
+///
+/// This is the per-case unit of work for both the serial path and the
+/// worker pool: it reads the base immutably, re-evaluates only the cone
+/// the case's overrides dirty (on a [`ConeState`] copy-on-write overlay),
+/// and runs all checks against the overlaid state. Because every input is
+/// the same settled base and the worklist seeding order is fixed, the
+/// outcome is a pure function of `(base, assigns)` — which is what makes
+/// parallel case analysis byte-identical to serial.
+fn settle_case(
+    netlist: &Netlist,
+    base_raw: &[SignalState],
+    base_eff: &[SignalState],
+    pinned: &[bool],
+    base_hazards: &BTreeSet<(PrimId, usize)>,
+    base_wired: &HashMap<(SignalId, PrimId), SignalState>,
+    assigns: &[(SignalId, Value)],
+) -> Result<CaseOutcome, VerifyError> {
+    let overrides: HashMap<SignalId, Value> = assigns.iter().copied().collect();
+    let mut raw = ConeState::new(base_raw);
+    let mut eff = ConeState::new(base_eff);
+    let mut hazards = base_hazards.clone();
+    let mut wired = base_wired.clone();
+    let mut queue: VecDeque<PrimId> = VecDeque::new();
+    let mut queued = vec![false; netlist.prims().len()];
+    let enqueue = |pid: PrimId, queue: &mut VecDeque<PrimId>, queued: &mut Vec<bool>| {
+        if !queued[pid.index()] {
+            queued[pid.index()] = true;
+            queue.push_back(pid);
+        }
+    };
+
+    // Seed: apply the overrides (in SignalId order) and dirty their
+    // fan-out cones.
+    use crate::view::StateView;
+    for &(sid, v) in assigns {
+        let new_eff = override_state(Some(v), &base_raw[sid.index()]);
+        if new_eff != base_eff[sid.index()] {
+            eff.set(sid.index(), new_eff);
+            for &pid in netlist.fanout(sid) {
+                enqueue(pid, &mut queue, &mut queued);
+            }
+        }
+    }
+
+    // The same worklist loop as the base `settle`, on the overlay.
+    let budget = 256 * (netlist.prims().len() as u64 + 64);
+    let mut events = 0u64;
+    let mut evaluations = 0u64;
+    while let Some(pid) = queue.pop_front() {
+        queued[pid.index()] = false;
+        evaluations += 1;
+        if evaluations > budget {
+            let active: Vec<String> = std::iter::once(pid)
+                .chain(queue.iter().copied())
+                .take(8)
+                .map(|p| netlist.prim(p).name.clone())
+                .collect();
+            return Err(VerifyError::Oscillation {
+                evaluations,
+                active,
+            });
+        }
+        let prim = netlist.prim(pid);
+        let outcome = evaluate(netlist, prim, &eff);
+        for idx in &outcome.hazard_inputs {
+            hazards.insert((pid, *idx));
+        }
+        if let (Some(new_state), Some(out)) = (outcome.output, prim.output) {
+            if pinned[out.index()] {
+                continue; // asserted clocks keep their asserted value
+            }
+            // Wired-OR buses: recombine all drivers' contributions.
+            let new_state = if netlist.drivers(out).len() > 1 {
+                wired.insert((out, pid), new_state);
+                let period = netlist.config().timing.period;
+                let resolved: Vec<Waveform> = netlist
+                    .drivers(out)
+                    .iter()
+                    .map(|d| {
+                        wired.get(&(out, *d)).map_or_else(
+                            || Waveform::constant(period, Value::Unknown),
+                            SignalState::resolved,
+                        )
+                    })
+                    .collect();
+                let refs: Vec<&Waveform> = resolved.iter().collect();
+                SignalState::new(Waveform::combine_many(&refs, |vals| {
+                    scald_logic::or_all(vals.iter().copied())
+                }))
+            } else {
+                new_state
+            };
+            if *raw.state_at(out.index()) != new_state {
+                let new_eff = override_state(overrides.get(&out).copied(), &new_state);
+                raw.set(out.index(), new_state);
+                if *eff.state_at(out.index()) != new_eff {
+                    eff.set(out.index(), new_eff);
+                    events += 1;
+                    for &fan in netlist.fanout(out) {
+                        enqueue(fan, &mut queue, &mut queued);
+                    }
+                }
+            }
+        }
+    }
+
+    let hazard_list: Vec<(PrimId, usize)> = hazards.iter().copied().collect();
+    let violations = run_all_checks(netlist, &eff, &hazard_list);
+    let value_records = StorageReport::measure(netlist, &raw).value_records;
+    Ok(CaseOutcome {
+        violations,
+        events,
+        evaluations,
+        value_records,
+        raw_overlay: raw.into_overlay(),
+        eff_overlay: eff.into_overlay(),
+        hazards,
+        wired,
+        overrides,
+    })
 }
 
 /// Checks that the interface signals of separately verified design

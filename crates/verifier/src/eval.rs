@@ -17,6 +17,7 @@ use scald_netlist::{Conn, Netlist, PrimKind, Primitive};
 use scald_wave::{edge_windows, DelayRange, Edge, Skew, Span, Time, Waveform};
 
 use crate::state::{Directive, EvalStr, SignalState};
+use crate::view::StateView;
 
 /// The result of evaluating one primitive.
 #[derive(Debug)]
@@ -40,14 +41,14 @@ struct Pin {
     tail: Option<EvalStr>,
 }
 
-fn prep_input(
+fn prep_input<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
     conn: &Conn,
-    states: &[SignalState],
+    states: &S,
     include_gate_delay: bool,
 ) -> Pin {
-    let src = &states[conn.signal.index()];
+    let src = states.state_at(conn.signal.index());
     let eval = conn
         .directive
         .as_ref()
@@ -93,12 +94,20 @@ fn output_eval(pins: &[Pin]) -> Option<EvalStr> {
 /// Combines pin states with an n-ary fold, preserving separated skew when
 /// at most one input actually varies (§2.8).
 fn combine_pins(states: &[&SignalState], fold: impl Fn(&[Value]) -> Value) -> SignalState {
-    let varying: Vec<&SignalState> = states.iter().copied().filter(|s| !s.wave.is_constant()).collect();
+    let varying: Vec<&SignalState> = states
+        .iter()
+        .copied()
+        .filter(|s| !s.wave.is_constant())
+        .collect();
     if varying.len() <= 1 {
         let waves: Vec<&Waveform> = states.iter().map(|s| &s.wave).collect();
         let wave = Waveform::combine_many(&waves, &fold);
         let skew = varying.first().map_or(Skew::ZERO, |s| s.skew);
-        SignalState { wave, skew, eval: None }
+        SignalState {
+            wave,
+            skew,
+            eval: None,
+        }
     } else {
         let resolved: Vec<Waveform> = states.iter().map(|s| s.resolved()).collect();
         let refs: Vec<&Waveform> = resolved.iter().collect();
@@ -113,7 +122,11 @@ fn combine_pins(states: &[&SignalState], fold: impl Fn(&[Value]) -> Value) -> Si
 
 /// Evaluates `prim` against the current signal states, returning the new
 /// output state and any asserted-check requests.
-pub(crate) fn evaluate(netlist: &Netlist, prim: &Primitive, states: &[SignalState]) -> EvalOutcome {
+pub(crate) fn evaluate<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    prim: &Primitive,
+    states: &S,
+) -> EvalOutcome {
     let period = netlist.config().timing.period;
     match prim.kind {
         PrimKind::And
@@ -168,7 +181,11 @@ fn gate_fold(kind: PrimKind, vals: &[Value]) -> Value {
     }
 }
 
-fn eval_gate(netlist: &Netlist, prim: &Primitive, states: &[SignalState]) -> EvalOutcome {
+fn eval_gate<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    prim: &Primitive,
+    states: &S,
+) -> EvalOutcome {
     let pins: Vec<Pin> = prim
         .inputs
         .iter()
@@ -209,7 +226,11 @@ fn eval_gate(netlist: &Netlist, prim: &Primitive, states: &[SignalState]) -> Eva
     }
 }
 
-fn eval_unary(netlist: &Netlist, prim: &Primitive, states: &[SignalState]) -> EvalOutcome {
+fn eval_unary<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    prim: &Primitive,
+    states: &S,
+) -> EvalOutcome {
     // §4.2.2 extension: with asymmetric rise/fall delays the gate delay is
     // applied per output edge instead of uniformly.
     if let Some(ed) = prim.edge_delays {
@@ -335,7 +356,7 @@ fn delayed_per_edge(wave: &Waveform, ed: scald_netlist::EdgeDelays) -> Waveform 
     Waveform::from_transitions(period, trans)
 }
 
-fn eval_mux(netlist: &Netlist, prim: &Primitive, states: &[SignalState]) -> EvalOutcome {
+fn eval_mux<S: StateView + ?Sized>(netlist: &Netlist, prim: &Primitive, states: &S) -> EvalOutcome {
     let pins: Vec<Pin> = prim
         .inputs
         .iter()
@@ -402,10 +423,10 @@ fn latched_value(sampled: Value) -> Value {
     }
 }
 
-fn eval_reg(
+fn eval_reg<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
-    states: &[SignalState],
+    states: &S,
     set_reset: bool,
 ) -> EvalOutcome {
     let period = netlist.config().timing.period;
@@ -504,13 +525,15 @@ fn overlay_set_reset(base: &Waveform, set: &Waveform, reset: &Waveform) -> Wavef
 /// The fully resolved waveform seen at a primitive's input pin: inversion
 /// applied, wire delay (subject to `W`/`Z`/`H` zeroing) folded, skew
 /// resolved. Set-up/hold checkers observe their inputs through this view.
-pub(crate) fn pin_wave(
+pub(crate) fn pin_wave<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
     conn: &Conn,
-    states: &[SignalState],
+    states: &S,
 ) -> Waveform {
-    prep_input(netlist, prim, conn, states, false).state.resolved()
+    prep_input(netlist, prim, conn, states, false)
+        .state
+        .resolved()
 }
 
 /// The *unresolved* pin waveform: wire delay applied as a shift, skew kept
@@ -519,19 +542,19 @@ pub(crate) fn pin_wave(
 /// narrow it — the precise reason §2.8 separates skew from the value list
 /// ("to avoid incorrect assertions ... that minimum pulse width
 /// requirements have not been met").
-pub(crate) fn pin_wave_pulse_view(
+pub(crate) fn pin_wave_pulse_view<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
     conn: &Conn,
-    states: &[SignalState],
+    states: &S,
 ) -> Waveform {
     prep_input(netlist, prim, conn, states, false).state.wave
 }
 
-fn eval_latch(
+fn eval_latch<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
-    states: &[SignalState],
+    states: &S,
     set_reset: bool,
 ) -> EvalOutcome {
     let period = netlist.config().timing.period;

@@ -22,6 +22,25 @@
 //! with incremental re-evaluation (§2.7), the assumed-stable cross-reference
 //! listing (§2.5), and storage/event statistics matching Tables 3-1 and 3-3.
 //!
+//! # Parallel case analysis
+//!
+//! [`Verifier::run_cases`] settles the base (no-override) state once, then
+//! fans the per-case incremental re-evaluations of §2.7 across a
+//! `std::thread::scope` worker pool sized to the machine's available
+//! parallelism (`--jobs` in `scald-tv`). Each worker reads the settled
+//! base immutably and re-evaluates only the cone its case's overrides
+//! dirty, on a private copy-on-write overlay — no locks are held during
+//! evaluation, and no external crates are involved.
+//!
+//! **Determinism guarantee:** every case is computed by the same pure
+//! procedure from the same settled base, and results are merged in input
+//! order, so `run_cases` output is byte-identical to
+//! [`Verifier::run_cases_serial`] regardless of worker count or
+//! scheduling. The only scheduling-sensitive quantities are the
+//! *cumulative* effort counters ([`Verifier::total_events`],
+//! [`Verifier::total_evaluations`]) on the error path, which count
+//! whatever work actually completed.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -54,6 +73,7 @@ mod eval;
 mod report;
 mod state;
 mod storage;
+mod view;
 
 pub use diagram::render_diagram;
 pub use engine::{check_interfaces, Case, Verifier, VerifyError};

@@ -107,6 +107,10 @@ pub struct CaseResult {
     pub events: u64,
     /// Primitive evaluations performed for this case.
     pub evaluations: u64,
+    /// Value records (Fig 2-7 run-length nodes) across all signals in
+    /// this case's settled state — the per-case slice of the Table 3-3
+    /// `SIGNAL VALUES` storage accounting.
+    pub value_records: usize,
 }
 
 impl CaseResult {
@@ -180,6 +184,7 @@ mod tests {
             violations: vec![mk(ViolationKind::Setup), mk(ViolationKind::Hazard)],
             events: 10,
             evaluations: 12,
+            value_records: 0,
         };
         assert!(!r.is_clean());
         assert_eq!(r.of_kind(ViolationKind::Setup).len(), 1);

@@ -12,7 +12,7 @@
 use scald_netlist::Netlist;
 use std::fmt;
 
-use crate::state::SignalState;
+use crate::view::StateView;
 
 /// Bytes per unpacked PASCAL field on the S-1 Mark I (§3.3.2).
 const FIELD: usize = 4;
@@ -44,7 +44,7 @@ pub struct StorageReport {
 impl StorageReport {
     /// Measures a settled verifier's structures.
     #[must_use]
-    pub(crate) fn measure(netlist: &Netlist, states: &[SignalState]) -> StorageReport {
+    pub(crate) fn measure<S: StateView + ?Sized>(netlist: &Netlist, states: &S) -> StorageReport {
         // Circuit description: a primitive header (kind, delay min/max,
         // output pointer, name pointer, width — 8 fields) plus a parameter
         // record per connection (signal pointer, flags, directive pointer,
@@ -60,8 +60,8 @@ impl StorageReport {
         // record (value, width — 2 fields) per run-length node.
         let mut signal_values = 0usize;
         let mut value_records = 0usize;
-        for st in states {
-            let records = st.value_records();
+        for i in 0..netlist.signals().len() {
+            let records = states.state_at(i).value_records();
             value_records += records;
             signal_values += 4 * FIELD + records * 2 * FIELD;
         }
@@ -96,7 +96,7 @@ impl StorageReport {
             call_list,
             miscellaneous,
             value_records,
-            signal_count: states.len(),
+            signal_count: netlist.signals().len(),
         }
     }
 

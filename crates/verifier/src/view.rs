@@ -1,0 +1,82 @@
+//! Read access to signal states, abstracted so the evaluators and
+//! checkers work both on the engine's flat state vectors and on a
+//! per-case *cone overlay* (§2.7): the settled base state plus only the
+//! signals a case's overrides actually dirtied. The overlay is what lets
+//! case workers run concurrently without cloning the whole design state —
+//! each worker copies just the slice of [`SignalState`]s in its case's
+//! fan-out cone.
+
+use std::collections::HashMap;
+
+use crate::state::SignalState;
+
+/// Read-only view of all signal states, indexed by `SignalId::index()`.
+pub(crate) trait StateView {
+    /// The state of signal `idx`.
+    fn state_at(&self, idx: usize) -> &SignalState;
+}
+
+impl StateView for [SignalState] {
+    fn state_at(&self, idx: usize) -> &SignalState {
+        &self[idx]
+    }
+}
+
+/// A copy-on-write overlay over a settled base state: reads fall through
+/// to the base unless the signal was re-evaluated under this case's
+/// overrides. Writes touch only the overlay, so concurrent case workers
+/// share one immutable base.
+#[derive(Debug)]
+pub(crate) struct ConeState<'a> {
+    base: &'a [SignalState],
+    local: HashMap<usize, SignalState>,
+}
+
+impl<'a> ConeState<'a> {
+    pub(crate) fn new(base: &'a [SignalState]) -> ConeState<'a> {
+        ConeState {
+            base,
+            local: HashMap::new(),
+        }
+    }
+
+    /// Replaces the state of signal `idx` in the overlay.
+    pub(crate) fn set(&mut self, idx: usize, state: SignalState) {
+        self.local.insert(idx, state);
+    }
+
+    /// The dirtied slice: every (index, state) this case re-computed.
+    pub(crate) fn into_overlay(self) -> HashMap<usize, SignalState> {
+        self.local
+    }
+}
+
+impl StateView for ConeState<'_> {
+    fn state_at(&self, idx: usize) -> &SignalState {
+        self.local.get(&idx).unwrap_or(&self.base[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scald_logic::Value;
+    use scald_wave::{Time, Waveform};
+
+    fn st(v: Value) -> SignalState {
+        SignalState::new(Waveform::constant(Time::from_ps(50_000), v))
+    }
+
+    #[test]
+    fn overlay_shadows_base() {
+        let base = vec![st(Value::Zero), st(Value::One)];
+        let mut cone = ConeState::new(&base);
+        assert_eq!(cone.state_at(0), &base[0]);
+        cone.set(0, st(Value::Stable));
+        assert_eq!(cone.state_at(0), &st(Value::Stable));
+        assert_eq!(cone.state_at(1), &base[1]);
+        let overlay = cone.into_overlay();
+        assert_eq!(overlay.len(), 1);
+        assert_eq!(overlay[&0], st(Value::Stable));
+    }
+}

@@ -486,7 +486,9 @@ fn summary_listing_shows_signal_values() {
     assert!(listing.contains("CK .P2-3"));
     assert!(listing.contains("Q"));
     // Each line carries a waveform rendering.
-    assert!(listing.lines().all(|l| l.trim().is_empty() || l.contains(char::is_numeric)));
+    assert!(listing
+        .lines()
+        .all(|l| l.trim().is_empty() || l.contains(char::is_numeric)));
 }
 
 #[test]
@@ -530,12 +532,7 @@ fn chg_absorbs_values_but_tracks_changing() {
     let clkish = b.signal("CKX .P2-3 (0,0)").unwrap();
     let out = b.signal("PARITY").unwrap();
     let w = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
-    b.chg(
-        "PAR",
-        DelayRange::from_ns(1.5, 3.0),
-        [w(a), w(clkish)],
-        out,
-    );
+    b.chg("PAR", DelayRange::from_ns(1.5, 3.0), [w(a), w(clkish)], out);
     let mut v = Verifier::new(b.finish().unwrap());
     v.run().unwrap();
     let ow = v.resolved(v.netlist().signal_by_name("PARITY").unwrap());
@@ -632,18 +629,28 @@ fn engine_reuse_is_incremental() {
     let unrelated_in = b.signal("OTHER IN .S0-4").unwrap();
     let unrelated = b.signal("OTHER").unwrap();
     let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
-    b.mux2("M1", DelayRange::from_ns(1.0, 2.0), z(ctrl), z(input), z(input), m);
+    b.mux2(
+        "M1",
+        DelayRange::from_ns(1.0, 2.0),
+        z(ctrl),
+        z(input),
+        z(input),
+        m,
+    );
     b.buf("B1", DelayRange::from_ns(1.0, 2.0), z(m), far);
-    b.buf("B2", DelayRange::from_ns(1.0, 2.0), z(unrelated_in), unrelated);
+    b.buf(
+        "B2",
+        DelayRange::from_ns(1.0, 2.0),
+        z(unrelated_in),
+        unrelated,
+    );
     let mut v = Verifier::new(b.finish().unwrap());
     let first = v.run().unwrap();
     assert!(first.evaluations >= 3);
 
     // Switching CTRL to a constant touches only the mux cone (M1, B1) —
     // never B2.
-    let results = v
-        .run_cases(&[Case::new().assign("CTRL", true)])
-        .unwrap();
+    let results = v.run_cases(&[Case::new().assign("CTRL", true)]).unwrap();
     assert!(
         results[0].evaluations <= 2,
         "expected only the mux cone to re-evaluate: {}",

@@ -39,8 +39,22 @@ fn wired_or_joins_two_banks() {
     b.mark_wired_or(bus);
     let zero = b.signal("GND").unwrap();
     b.constant("K0", Value::Zero, zero);
-    b.mux2("DRIVE A", DelayRange::from_ns(1.0, 2.0), z(en_a), z(zero), z(data_a), bus);
-    b.mux2("DRIVE B", DelayRange::from_ns(1.0, 2.0), z(en_b), z(zero), z(data_b), bus);
+    b.mux2(
+        "DRIVE A",
+        DelayRange::from_ns(1.0, 2.0),
+        z(en_a),
+        z(zero),
+        z(data_a),
+        bus,
+    );
+    b.mux2(
+        "DRIVE B",
+        DelayRange::from_ns(1.0, 2.0),
+        z(en_b),
+        z(zero),
+        z(data_b),
+        bus,
+    );
     let n = b.finish().unwrap();
     assert_eq!(n.drivers(bus).len(), 2);
 

@@ -191,8 +191,20 @@ pub fn edge_windows(wave: &Waveform, edge: Edge) -> Vec<EdgeWindow> {
 #[must_use]
 pub fn pulses(wave: &Waveform, level: bool) -> Vec<Pulse> {
     let period = wave.period();
-    let could = |v: Value| if level { v.could_be_high() } else { v.could_be_low() };
-    let guaranteed = |v: Value| if level { v == Value::One } else { v == Value::Zero };
+    let could = |v: Value| {
+        if level {
+            v.could_be_high()
+        } else {
+            v.could_be_low()
+        }
+    };
+    let guaranteed = |v: Value| {
+        if level {
+            v == Value::One
+        } else {
+            v == Value::Zero
+        }
+    };
 
     let segs = wave.segments();
     let n = segs.len();
@@ -353,7 +365,10 @@ mod tests {
     fn all_change_is_full_period_window() {
         let w = Waveform::from_intervals(P, Change, [(ns(0.0), ns(1.0), Change)]);
         assert!(w.is_constant());
-        assert!(edge_windows(&w, Edge::Rising).is_empty(), "constant C: no anchor");
+        assert!(
+            edge_windows(&w, Edge::Rising).is_empty(),
+            "constant C: no anchor"
+        );
         // But a C period with a single 1 segment: rest is one wrapping window.
         let w = Waveform::from_intervals(P, Change, [(ns(10.0), ns(12.0), One)]);
         let rising = edge_windows(&w, Edge::Rising);

@@ -159,10 +159,7 @@ impl Span {
         if end <= period {
             vec![(self.start, end)]
         } else {
-            vec![
-                (self.start, period),
-                (Time::ZERO, end.rem_period(period)),
-            ]
+            vec![(self.start, period), (Time::ZERO, end.rem_period(period))]
         }
     }
 

@@ -150,7 +150,8 @@ impl Waveform {
         // Merge adjacent equal values.
         self.trans.dedup_by_key(|(_, v)| *v);
         // Merge across the wrap point.
-        while self.trans.len() > 1 && self.trans.first().map(|e| e.1) == self.trans.last().map(|e| e.1)
+        while self.trans.len() > 1
+            && self.trans.first().map(|e| e.1) == self.trans.last().map(|e| e.1)
         {
             self.trans.remove(0);
         }
@@ -305,7 +306,10 @@ impl Waveform {
     /// Panics if `waves` is empty or the periods differ.
     #[must_use]
     pub fn combine_many(waves: &[&Waveform], f: impl Fn(&[Value]) -> Value) -> Waveform {
-        assert!(!waves.is_empty(), "combine_many requires at least one input");
+        assert!(
+            !waves.is_empty(),
+            "combine_many requires at least one input"
+        );
         let period = waves[0].period;
         assert!(
             waves.iter().all(|w| w.period == period),
@@ -487,10 +491,9 @@ impl fmt::Display for SegmentError {
             SegmentError::NonPositiveWidth { at, width } => {
                 write!(f, "segment at offset {at} has non-positive width {width}")
             }
-            SegmentError::WidthSumMismatch { sum, period } => write!(
-                f,
-                "segment widths sum to {sum} but the period is {period}"
-            ),
+            SegmentError::WidthSumMismatch { sum, period } => {
+                write!(f, "segment widths sum to {sum} but the period is {period}")
+            }
         }
     }
 }
@@ -535,11 +538,8 @@ mod tests {
 
     #[test]
     fn from_segments_round_trip() {
-        let w = Waveform::from_segments(
-            P,
-            [(Zero, ns(10.0)), (One, ns(10.0)), (Zero, ns(30.0))],
-        )
-        .unwrap();
+        let w = Waveform::from_segments(P, [(Zero, ns(10.0)), (One, ns(10.0)), (Zero, ns(30.0))])
+            .unwrap();
         assert_eq!(w, clock_10_20());
     }
 
@@ -552,8 +552,7 @@ mod tests {
 
     #[test]
     fn from_segments_rejects_zero_width() {
-        let err =
-            Waveform::from_segments(P, [(Zero, Time::ZERO), (One, P)]).unwrap_err();
+        let err = Waveform::from_segments(P, [(Zero, Time::ZERO), (One, P)]).unwrap_err();
         assert!(matches!(err, SegmentError::NonPositiveWidth { .. }));
     }
 
@@ -561,7 +560,12 @@ mod tests {
     fn canonicalization_merges_adjacent_and_wraparound() {
         let w = Waveform::from_transitions(
             P,
-            vec![(ns(0.0), Zero), (ns(10.0), Zero), (ns(20.0), One), (ns(30.0), Zero)],
+            vec![
+                (ns(0.0), Zero),
+                (ns(10.0), Zero),
+                (ns(20.0), One),
+                (ns(30.0), Zero),
+            ],
         );
         // 0..20 Zero merges; trailing Zero merges with leading Zero.
         assert_eq!(w.transitions(), &[(ns(20.0), One), (ns(30.0), Zero)]);
@@ -645,7 +649,10 @@ mod tests {
         assert_eq!(o.value_at(ns(25.0)), One);
         assert_eq!(o.value_at(ns(35.0)), Zero);
         // Exactly one high run 10..30.
-        assert_eq!(o, Waveform::from_intervals(P, Zero, [(ns(10.0), ns(30.0), One)]));
+        assert_eq!(
+            o,
+            Waveform::from_intervals(P, Zero, [(ns(10.0), ns(30.0), One)])
+        );
     }
 
     #[test]
@@ -653,9 +660,8 @@ mod tests {
         let a = clock_10_20();
         let b = Waveform::from_intervals(P, Zero, [(ns(15.0), ns(30.0), One)]);
         let c = Waveform::constant(P, Stable);
-        let many = Waveform::combine_many(&[&a, &b, &c], |vs| {
-            vs.iter().copied().fold(Zero, Value::or)
-        });
+        let many =
+            Waveform::combine_many(&[&a, &b, &c], |vs| vs.iter().copied().fold(Zero, Value::or));
         let pair = a.combine(&b, Value::or).combine(&c, Value::or);
         assert_eq!(many, pair);
     }
@@ -670,8 +676,8 @@ mod tests {
 
     #[test]
     fn overwrite_wrapping_span() {
-        let w = Waveform::constant(P, Stable)
-            .overwrite(Span::wrapping(ns(45.0), ns(5.0), P), Change);
+        let w =
+            Waveform::constant(P, Stable).overwrite(Span::wrapping(ns(45.0), ns(5.0), P), Change);
         assert_eq!(w.value_at(ns(47.0)), Change);
         assert_eq!(w.value_at(ns(2.0)), Change);
         assert_eq!(w.value_at(ns(5.0)), Stable);

@@ -1,183 +1,236 @@
-//! Property-based tests for waveform invariants.
+//! Randomized property tests for waveform invariants (seeded, std-only).
 //!
 //! These exercise the consistency rules of §2.8: segment widths sum to the
 //! period, canonicalization is idempotent, delays compose and rotate
 //! losslessly, and the separated-skew fold is a sound widening of the
-//! original waveform.
+//! original waveform. Each property runs over a deterministic stream of
+//! random waveforms from [`scald_rng`], so failures reproduce exactly.
 
-use proptest::prelude::*;
 use scald_logic::{Value, ALL_VALUES};
+use scald_rng::Rng;
 use scald_wave::{edge_windows, pulses, Edge, Skew, Span, Time, Waveform};
 
 const PERIOD_PS: i64 = 50_000;
+const CASES: usize = 512;
 
 fn period() -> Time {
     Time::from_ps(PERIOD_PS)
 }
 
-fn any_value() -> impl Strategy<Value = Value> {
-    prop::sample::select(ALL_VALUES.to_vec())
+fn any_value(rng: &mut Rng) -> Value {
+    *rng.choose(&ALL_VALUES)
 }
 
 /// A waveform built from up to 8 raw transitions at arbitrary instants.
-fn any_waveform() -> impl Strategy<Value = Waveform> {
-    prop::collection::vec((0..PERIOD_PS, any_value()), 1..8).prop_map(|raw| {
-        Waveform::from_transitions(
-            period(),
-            raw.into_iter().map(|(t, v)| (Time::from_ps(t), v)).collect(),
-        )
-    })
+fn any_waveform(rng: &mut Rng) -> Waveform {
+    let n = rng.range_usize(1, 8);
+    let raw: Vec<(Time, Value)> = (0..n)
+        .map(|_| (Time::from_ps(rng.range_i64(0, PERIOD_PS)), any_value(rng)))
+        .collect();
+    Waveform::from_transitions(period(), raw)
 }
 
-proptest! {
-    /// The thesis' consistency rule: segment widths sum exactly to the
-    /// period.
-    #[test]
-    fn segments_cover_period(w in any_waveform()) {
+/// The thesis' consistency rule: segment widths sum exactly to the period.
+#[test]
+fn segments_cover_period() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0001);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
         let total = w
             .segments()
             .iter()
             .fold(Time::ZERO, |acc, &(_, _, width)| acc + width);
-        prop_assert_eq!(total, period());
+        assert_eq!(total, period(), "waveform {w}");
     }
+}
 
-    /// Round-tripping through the run-length representation is lossless.
-    #[test]
-    fn segments_round_trip(w in any_waveform()) {
+/// Round-tripping through the run-length representation is lossless.
+#[test]
+fn segments_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0002);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
         let rebuilt = Waveform::from_segments(
             period(),
             w.segments().into_iter().map(|(_, v, width)| (v, width)),
-        ).unwrap();
-        prop_assert_eq!(rebuilt, w);
+        )
+        .unwrap();
+        assert_eq!(rebuilt, w);
     }
+}
 
-    /// Canonical representation: rebuilding from transitions is identity.
-    #[test]
-    fn canonicalization_idempotent(w in any_waveform()) {
+/// Canonical representation: rebuilding from transitions is identity.
+#[test]
+fn canonicalization_idempotent() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0003);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
         let again = Waveform::from_transitions(period(), w.transitions().to_vec());
-        prop_assert_eq!(again, w);
+        assert_eq!(again, w);
     }
+}
 
-    /// Delay by the period (either direction) is the identity; delays add.
-    #[test]
-    fn delay_rotates(w in any_waveform(), a in 0..PERIOD_PS, b in 0..PERIOD_PS) {
-        prop_assert_eq!(w.delayed(period()), w.clone());
-        prop_assert_eq!(w.delayed(-period()), w.clone());
+/// Delay by the period (either direction) is the identity; delays add.
+#[test]
+fn delay_rotates() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0004);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        let a = rng.range_i64(0, PERIOD_PS);
+        let b = rng.range_i64(0, PERIOD_PS);
+        assert_eq!(w.delayed(period()), w.clone());
+        assert_eq!(w.delayed(-period()), w.clone());
         let split = w.delayed(Time::from_ps(a)).delayed(Time::from_ps(b));
         let joined = w.delayed(Time::from_ps(a + b));
-        prop_assert_eq!(split, joined);
+        assert_eq!(split, joined, "waveform {w}, delays {a} + {b}");
     }
+}
 
-    /// value_at agrees with the segment covering the instant.
-    #[test]
-    fn value_at_matches_segments(w in any_waveform(), t in 0..PERIOD_PS) {
-        let t = Time::from_ps(t);
+/// value_at agrees with the segment covering the instant.
+#[test]
+fn value_at_matches_segments() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0005);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        let t = Time::from_ps(rng.range_i64(0, PERIOD_PS));
         let from_segs = w
             .segments()
             .into_iter()
             .find(|&(start, _, width)| start <= t && t < start + width)
             .map(|(_, v, _)| v)
             .expect("segments cover the period");
-        prop_assert_eq!(w.value_at(t), from_segs);
+        assert_eq!(w.value_at(t), from_segs, "waveform {w} at {t}");
     }
+}
 
-    /// The skew fold only widens: wherever the original was quiescent and
-    /// the folded is too, values agree; and the folded waveform covers the
-    /// original at every instant (covering = join absorbs it).
-    #[test]
-    fn skew_fold_is_a_widening(
-        w in any_waveform(),
-        minus in 0..5_000i64,
-        plus in 0..5_000i64,
-    ) {
-        let folded = w.with_skew_applied(Skew::new(
-            Time::from_ps(minus),
-            Time::from_ps(plus),
-        ));
+/// The skew fold only widens: wherever the original was quiescent and
+/// the folded is too, values agree; and the folded waveform covers the
+/// original at every instant (covering = join absorbs it).
+#[test]
+fn skew_fold_is_a_widening() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0006);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        let minus = rng.range_i64(0, 5_000);
+        let plus = rng.range_i64(0, 5_000);
+        let folded = w.with_skew_applied(Skew::new(Time::from_ps(minus), Time::from_ps(plus)));
         for t in (0..PERIOD_PS).step_by(977) {
             let t = Time::from_ps(t);
             let orig = w.value_at(t);
             let fold = folded.value_at(t);
-            prop_assert_eq!(
-                fold.join(orig), fold,
-                "at {}: folded {} does not cover original {}", t, fold, orig
+            assert_eq!(
+                fold.join(orig),
+                fold,
+                "at {t}: folded {fold} does not cover original {orig} (waveform {w})"
             );
         }
     }
+}
 
-    /// Zero skew is the identity fold.
-    #[test]
-    fn zero_skew_fold_identity(w in any_waveform()) {
-        prop_assert_eq!(w.with_skew_applied(Skew::ZERO), w);
+/// Zero skew is the identity fold.
+#[test]
+fn zero_skew_fold_identity() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0007);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        assert_eq!(w.with_skew_applied(Skew::ZERO), w);
     }
+}
 
-    /// combine is pointwise: sampling agrees with combining samples.
-    #[test]
-    fn combine_is_pointwise(a in any_waveform(), b in any_waveform(), t in 0..PERIOD_PS) {
-        let t = Time::from_ps(t);
+/// combine is pointwise: sampling agrees with combining samples.
+#[test]
+fn combine_is_pointwise() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0008);
+    for _ in 0..CASES {
+        let a = any_waveform(&mut rng);
+        let b = any_waveform(&mut rng);
+        let t = Time::from_ps(rng.range_i64(0, PERIOD_PS));
         let c = a.combine(&b, Value::or);
-        prop_assert_eq!(c.value_at(t), a.value_at(t).or(b.value_at(t)));
+        assert_eq!(c.value_at(t), a.value_at(t).or(b.value_at(t)));
     }
+}
 
-    /// spans_where returns exactly the instants satisfying the predicate.
-    #[test]
-    fn spans_where_partition(w in any_waveform(), t in 0..PERIOD_PS) {
-        let t = Time::from_ps(t);
+/// spans_where returns exactly the instants satisfying the predicate.
+#[test]
+fn spans_where_partition() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d0009);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        let t = Time::from_ps(rng.range_i64(0, PERIOD_PS));
         let spans = w.spans_where(Value::is_transitioning);
         let in_span = spans.iter().any(|s| s.contains(t, period()));
-        prop_assert_eq!(in_span, w.value_at(t).is_transitioning());
+        assert_eq!(
+            in_span,
+            w.value_at(t).is_transitioning(),
+            "waveform {w} at {t}"
+        );
     }
+}
 
-    /// Every guaranteed `1` instant lies inside some reported high pulse
-    /// (unless the signal can be high all period, when no pulse exists).
-    #[test]
-    fn pulses_cover_guaranteed_levels(w in any_waveform(), t in 0..PERIOD_PS) {
-        let t = Time::from_ps(t);
+/// Every guaranteed `1` instant lies inside some reported high pulse
+/// (unless the signal can be high all period, when no pulse exists).
+#[test]
+fn pulses_cover_guaranteed_levels() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d000a);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        let t = Time::from_ps(rng.range_i64(0, PERIOD_PS));
         let ps = pulses(&w, true);
         if w.value_at(t) == Value::One && !ps.is_empty() {
-            prop_assert!(
+            assert!(
                 ps.iter().any(|p| p.possible.contains(t, period())),
-                "instant {} is high but outside every pulse", t
+                "instant {t} is high but outside every pulse of {w}"
             );
         }
     }
+}
 
-    /// Any instant where the value admits a rising transition is covered by
-    /// a rising edge window (conservatism of the checker anchors).
-    #[test]
-    fn edge_windows_cover_transitioning_instants(w in any_waveform(), t in 0..PERIOD_PS) {
-        let t = Time::from_ps(t);
+/// Any instant where the value admits a rising transition is covered by
+/// a rising edge window (conservatism of the checker anchors).
+#[test]
+fn edge_windows_cover_transitioning_instants() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d000b);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
+        let t = Time::from_ps(rng.range_i64(0, PERIOD_PS));
         let v = w.value_at(t);
         if matches!(v, Value::Rise | Value::Change | Value::Unknown) && !w.is_constant() {
             let wins = edge_windows(&w, Edge::Rising);
-            prop_assert!(
+            assert!(
                 wins.iter().any(|e| e.span.contains(t, period())),
-                "instant {} ({}) admits a rise but no window covers it", t, v
+                "instant {t} ({v}) admits a rise but no window covers it in {w}"
             );
         }
     }
+}
 
-    /// Span queries: a span always contains its start (if non-empty or
-    /// zero-width by convention) and linear pieces reassemble its width.
-    #[test]
-    fn span_pieces_reassemble(start in 0..PERIOD_PS, width in 0..=PERIOD_PS) {
+/// Span queries: a span always contains its start (if non-empty or
+/// zero-width by convention) and linear pieces reassemble its width.
+#[test]
+fn span_pieces_reassemble() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d000c);
+    for _ in 0..CASES {
+        let start = rng.range_i64(0, PERIOD_PS);
+        let width = rng.range_i64(0, PERIOD_PS + 1);
         let s = Span::new(Time::from_ps(start), Time::from_ps(width), period());
-        prop_assert!(s.contains(Time::from_ps(start), period()));
+        assert!(s.contains(Time::from_ps(start), period()));
         let total: Time = s
             .linear_pieces(period())
             .into_iter()
             .fold(Time::ZERO, |acc, (a, b)| acc + (b - a));
-        prop_assert_eq!(total, s.width());
+        assert_eq!(total, s.width());
     }
 }
 
-proptest! {
-    /// Cross-check `pulses` against an independent reference: the minimum
-    /// possible high-pulse width of a pulse equals the narrowest
-    /// guaranteed-One run inside its span, where the One runs come from
-    /// the independently-tested `spans_where`.
-    #[test]
-    fn pulse_min_width_matches_reference_scan(w in any_waveform()) {
+/// Cross-check `pulses` against an independent reference: the minimum
+/// possible high-pulse width of a pulse equals the narrowest
+/// guaranteed-One run inside its span, where the One runs come from
+/// the independently-tested `spans_where`.
+#[test]
+fn pulse_min_width_matches_reference_scan() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d000d);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
         let ps = pulses(&w, true);
         let one_runs = w.spans_where(|v| v == Value::One);
         for p in &ps {
@@ -187,29 +240,30 @@ proptest! {
                 .map(|s| s.width())
                 .min()
                 .unwrap_or(Time::ZERO);
-            prop_assert_eq!(
-                p.min_possible_width, reference,
-                "pulse {:?} in {}", p, w
-            );
+            assert_eq!(p.min_possible_width, reference, "pulse {p:?} in {w}");
         }
     }
+}
 
-    /// Edge windows and pulses agree: every *certain* high pulse is
-    /// bracketed by a rising window before (or at) its start and a falling
-    /// window at (or after) its end.
-    #[test]
-    fn certain_pulses_are_bracketed_by_edges(w in any_waveform()) {
+/// Edge windows and pulses agree: every *certain* high pulse is
+/// bracketed by a rising window before (or at) its start and a falling
+/// window at (or after) its end.
+#[test]
+fn certain_pulses_are_bracketed_by_edges() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_d000e);
+    for _ in 0..CASES {
+        let w = any_waveform(&mut rng);
         let high = pulses(&w, true);
         let rising = edge_windows(&w, Edge::Rising);
         let falling = edge_windows(&w, Edge::Falling);
         for p in high.iter().filter(|p| p.certain) {
-            prop_assert!(
+            assert!(
                 !rising.is_empty(),
-                "certain pulse {:?} but no rising edges in {}", p, w
+                "certain pulse {p:?} but no rising edges in {w}"
             );
-            prop_assert!(
+            assert!(
                 !falling.is_empty(),
-                "certain pulse {:?} but no falling edges in {}", p, w
+                "certain pulse {p:?} but no falling edges in {w}"
             );
         }
     }

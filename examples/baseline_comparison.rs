@@ -29,7 +29,12 @@ fn slow_leg_circuit() -> Netlist {
     let m = b.signal("M").expect("valid");
     let q = b.signal("Q").expect("valid");
     let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
-    b.buf("SLOW BUF", DelayRange::from_ns(11.0, 12.0), z(slow_in), slow);
+    b.buf(
+        "SLOW BUF",
+        DelayRange::from_ns(11.0, 12.0),
+        z(slow_in),
+        slow,
+    );
     b.mux2("MUX", DelayRange::ZERO, z(sel), z(fast), z(slow), m);
     b.reg("R", DelayRange::from_ns(1.5, 4.5), z(clk), z(m), q);
     b.setup_hold(
@@ -63,11 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pattern in 0..(1u64 << n) {
         let result = simulate(&netlist, &Stimulus::from_pattern(&inputs, 1, pattern));
         total_events += result.events;
-        if result
-            .violations
-            .iter()
-            .any(|x| matches!(x.kind, SimViolationKind::Setup | SimViolationKind::AmbiguousData))
-        {
+        if result.violations.iter().any(|x| {
+            matches!(
+                x.kind,
+                SimViolationKind::Setup | SimViolationKind::AmbiguousData
+            )
+        }) {
             trips += 1;
         }
     }

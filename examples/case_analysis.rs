@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut v = Verifier::new(netlist);
     let r = v.run()?;
     let w = v.resolved(output);
-    println!(
-        "verifier, no cases  : OUTPUT = {w}   ({} events)",
-        r.events
-    );
+    println!("verifier, no cases  : OUTPUT = {w}   ({} events)", r.events);
     let pessimistic = w.value_at(Time::from_ns(36.0));
     println!("                      value at 36 ns: {pessimistic} (pessimistic)");
 

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut v = Verifier::new(correlation_circuit(true));
     let r = v.run()?;
     if r.of_kind(ViolationKind::Hold).is_empty() {
-        println!("false hold error suppressed; {} other violation(s)", r.violations.len());
+        println!(
+            "false hold error suppressed; {} other violation(s)",
+            r.violations.len()
+        );
     } else {
         for violation in &r.violations {
             println!("{violation}");

@@ -34,10 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!(
-        "\nlatched ALU result: {}",
-        v.resolved(latched)
-    );
+    println!("\nlatched ALU result: {}", v.resolved(latched));
     println!(
         "events {} / evaluations {}",
         result.events, result.evaluations

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "two reconvergent 4-stage branches (1.0/4.0 ns buffers) joined by an\n\
          AND gate, behind a 1.5/4.5 ns register\n"
     );
-    for (label, rho) in [("independent (rho = 0)", 0.0), ("correlated (rho = 1)", 1.0)] {
+    for (label, rho) in [
+        ("independent (rho = 0)", 0.0),
+        ("correlated (rho = 1)", 1.0),
+    ] {
         let analysis = ProbPathAnalysis::analyze(&netlist, rho);
         let r = analysis
             .reports()
@@ -68,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  arrival distribution : {}", r.arrival);
         println!("  3-sigma bound        : {:.2} ns", r.arrival.quantile(3.0));
         println!("  min/max worst case   : {:.2} ns", r.worst_case_ns);
-        println!(
-            "  P(setup violated)    : {:.2e}\n",
-            r.violation_probability
-        );
+        println!("  P(setup violated)    : {:.2e}\n", r.violation_probability);
     }
     println!(
         "The 3-sigma bound sits well inside the worst case — the reason\n\

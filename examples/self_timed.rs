@@ -28,11 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = b.finish()?;
 
     let analysis = PathAnalysis::analyze(&module);
-    let delay = analysis
-        .module_delay(&module)
-        .expect("module has outputs");
+    let delay = analysis.module_delay(&module).expect("module has outputs");
     println!("module settles within {delay} ns of its inputs changing");
-    println!("=> the self-timed DONE line needs at least {} ns of delay\n", delay.max);
+    println!(
+        "=> the self-timed DONE line needs at least {} ns of delay\n",
+        delay.max
+    );
 
     // The wrapper: REQ fans out to the module inputs and to a done-line
     // delay sized from the analysis; DONE clocks the capture register.
@@ -57,8 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         z(req),
         done,
     );
-    b.reg("CAPTURE", DelayRange::from_ns(1.5, 4.5), z(done), z(out), captured);
-    b.setup_hold("CAPTURE CHK", Time::from_ns(2.0), Time::from_ns(1.0), z(out), z(done));
+    b.reg(
+        "CAPTURE",
+        DelayRange::from_ns(1.5, 4.5),
+        z(done),
+        z(out),
+        captured,
+    );
+    b.setup_hold(
+        "CAPTURE CHK",
+        Time::from_ns(2.0),
+        Time::from_ns(1.0),
+        z(out),
+        z(done),
+    );
     let wrapper = b.finish()?;
 
     let mut v = Verifier::new(wrapper);

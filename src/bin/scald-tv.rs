@@ -20,6 +20,7 @@
 //!     --stats       print expansion/verification statistics (Table 3-1)
 //!     --storage     print the storage breakdown (Table 3-3)
 //!     --no-cases    ignore the design's case blocks (single pass)
+//!     --jobs N      case-analysis worker count (default: CPU cores)
 //! ```
 
 use scald::hdl;
@@ -38,6 +39,7 @@ struct Options {
     stats: bool,
     storage: bool,
     no_cases: bool,
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -52,8 +54,10 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         storage: false,
         no_cases: false,
+        jobs: None,
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--summary" => opts.summary = true,
             "--diagram" => opts.diagram = true,
@@ -64,10 +68,18 @@ fn parse_args() -> Result<Options, String> {
             "--stats" => opts.stats = true,
             "--storage" => opts.storage = true,
             "--no-cases" => opts.no_cases = true,
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| "--jobs expects a worker count >= 1".to_owned())?;
+                opts.jobs = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: scald-tv [--summary] [--diagram] [--slack] \
                             [--paths] [--xref] [--stats] [--storage] \
-                            [--no-cases] <DESIGN.scald>"
+                            [--no-cases] [--jobs N] <DESIGN.scald>"
                     .to_owned())
             }
             other if other.starts_with('-') => {
@@ -119,12 +131,7 @@ fn main() -> ExitCode {
         eprintln!(
             "expanded {} macros / {} instances -> {} primitives, {} signals \
              (pass1 {:?}, pass2 {:?}, total {expand_time:?})",
-            s.macros_defined,
-            s.instances_expanded,
-            s.prims_emitted,
-            s.signals,
-            s.pass1,
-            s.pass2
+            s.macros_defined, s.instances_expanded, s.prims_emitted, s.signals, s.pass1, s.pass2
         );
     }
 
@@ -145,10 +152,7 @@ fn main() -> ExitCode {
         if !slacks.is_empty() {
             println!("critical region (worst signal slacks):");
             for (sid, slack) in slacks.iter().take(8) {
-                println!(
-                    "  {:<30} {slack}",
-                    expansion.netlist.signal(*sid).name
-                );
+                println!("  {:<30} {slack}", expansion.netlist.signal(*sid).name);
             }
         }
     }
@@ -169,7 +173,12 @@ fn main() -> ExitCode {
 
     let t = Instant::now();
     let mut verifier = Verifier::new(expansion.netlist);
-    let results = match verifier.run_cases(&cases) {
+    let results = match opts.jobs {
+        // Default: the parallel engine picks its own worker count.
+        None => verifier.run_cases(&cases),
+        Some(n) => verifier.run_cases_with_jobs(&cases, n),
+    };
+    let results = match results {
         Ok(r) => r,
         Err(e) => {
             eprintln!("scald-tv: {e}");

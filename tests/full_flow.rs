@@ -60,10 +60,7 @@ fn summary_listing_matches_fig_3_10_shape() {
         .map(|t| adr.value_at(ns(f64::from(t))).is_transitioning())
         .collect();
     // Two separate changing regions (count rising edges of the boolean).
-    let regions = transitioning
-        .windows(2)
-        .filter(|w| !w[0] && w[1])
-        .count()
+    let regions = transitioning.windows(2).filter(|w| !w[0] && w[1]).count()
         + usize::from(transitioning[0] && !transitioning[49]);
     assert_eq!(regions, 2, "ADR = {adr}");
     // The WE pulse is high only around units 2-3.
@@ -185,9 +182,11 @@ case 'CONTROL' = 1;
         .cases
         .iter()
         .map(|assigns| {
-            assigns.iter().fold(scald::verifier::Case::new(), |c, (s, v)| {
-                c.assign(s.clone(), *v)
-            })
+            assigns
+                .iter()
+                .fold(scald::verifier::Case::new(), |c, (s, v)| {
+                    c.assign(s.clone(), *v)
+                })
         })
         .collect();
     let mut v = Verifier::new(expansion.netlist);

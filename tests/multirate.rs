@@ -34,7 +34,13 @@ fn execution_unit_at_double_rate() {
     b.reg("E R1", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(d), q1);
     // A fast path: must fit in 25 ns minus set-up.
     b.chg("E LOGIC", DelayRange::from_ns(2.0, 12.0), [z(q1)], mid);
-    b.reg("E R2", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(mid), q2);
+    b.reg(
+        "E R2",
+        DelayRange::from_ns(1.5, 4.5),
+        z(exec_clk),
+        z(mid),
+        q2,
+    );
     b.setup_hold("E R2 CHK", ns(2.5), ns(1.5), z(mid), z(exec_clk));
     let mut v = Verifier::new(b.finish().unwrap());
     let r = v.run().unwrap();
@@ -55,7 +61,13 @@ fn execution_unit_at_double_rate() {
     let q2 = b.signal_vec("E Q2", 16).unwrap();
     b.reg("E R1", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(d), q1);
     b.chg("E LOGIC", DelayRange::from_ns(2.0, 23.0), [z(q1)], mid);
-    b.reg("E R2", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(mid), q2);
+    b.reg(
+        "E R2",
+        DelayRange::from_ns(1.5, 4.5),
+        z(exec_clk),
+        z(mid),
+        q2,
+    );
     b.setup_hold("E R2 CHK", ns(2.5), ns(1.5), z(mid), z(exec_clk));
     let mut v = Verifier::new(b.finish().unwrap());
     let r = v.run().unwrap();
@@ -76,10 +88,22 @@ fn mixed_rate_units_verify_together() {
     let d = b.signal_vec("I IN .S2.5-7.5", 16).unwrap();
     let iq = b.signal_vec("I Q", 16).unwrap();
     let eq = b.signal_vec("E Q", 16).unwrap();
-    b.reg("I REG", DelayRange::from_ns(1.5, 4.5), z(inst_clk), z(d), iq);
+    b.reg(
+        "I REG",
+        DelayRange::from_ns(1.5, 4.5),
+        z(inst_clk),
+        z(d),
+        iq,
+    );
     // The instruction register launches at 37.5; the next execution edge
     // is 11.25 (next cycle): 23.75 ns of budget.
-    b.reg("X REG", DelayRange::from_ns(1.5, 4.5), z(exec_clk), z(iq), eq);
+    b.reg(
+        "X REG",
+        DelayRange::from_ns(1.5, 4.5),
+        z(exec_clk),
+        z(iq),
+        eq,
+    );
     b.setup_hold("X CHK", ns(2.5), ns(1.5), z(iq), z(exec_clk));
     let mut v = Verifier::new(b.finish().unwrap());
     let r = v.run().unwrap();

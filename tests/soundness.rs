@@ -2,17 +2,17 @@
 //!
 //! The thesis' central safety claim: the single symbolic pass covers every
 //! behaviour any concrete execution can exhibit. We check it by property:
-//! generate random combinational circuits, run the min/max logic simulator
-//! over every input pattern, and assert that whenever the concrete
-//! simulation shows a signal changing (or settled at a level), the
-//! symbolic waveform admits it at that instant.
+//! generate random combinational circuits (seeded, std-only), run the
+//! min/max logic simulator over every input pattern, and assert that
+//! whenever the concrete simulation shows a signal changing (or settled at
+//! a level), the symbolic waveform admits it at that instant.
 
-use proptest::prelude::*;
 use scald::logic::Value;
 use scald::netlist::{Config, Conn, Netlist, NetlistBuilder, PrimKind, SignalId};
 use scald::sim::{primary_inputs, simulate, SimValue, Stimulus};
 use scald::verifier::Verifier;
 use scald::wave::{DelayRange, Time};
+use scald_rng::Rng;
 
 /// A recipe for one random gate layer.
 #[derive(Debug, Clone)]
@@ -23,6 +23,21 @@ struct GateSpec {
     delay_min_ps: i64,
     delay_spread_ps: i64,
     invert_a: bool,
+}
+
+fn gate_spec(rng: &mut Rng) -> GateSpec {
+    GateSpec {
+        kind_sel: rng.next_u32() as u8,
+        in_a: rng.next_u32() as u8,
+        in_b: rng.next_u32() as u8,
+        delay_min_ps: rng.range_i64(0, 5_000),
+        delay_spread_ps: rng.range_i64(0, 4_000),
+        invert_a: rng.bool(),
+    }
+}
+
+fn gate_specs(rng: &mut Rng) -> Vec<GateSpec> {
+    (0..rng.range_usize(1, 6)).map(|_| gate_spec(rng)).collect()
 }
 
 fn gate_kind(sel: u8) -> PrimKind {
@@ -36,12 +51,13 @@ fn gate_kind(sel: u8) -> PrimKind {
     }
 }
 
-/// Builds a DAG of random gates over three primary inputs.
-fn build(specs: &[GateSpec]) -> (Netlist, Vec<SignalId>) {
+/// Builds a DAG of random gates over three primary inputs. `input_suffix`
+/// decorates the input names (e.g. with a `.S` assertion).
+fn build_with_inputs(specs: &[GateSpec], input_suffix: &str) -> (Netlist, Vec<SignalId>) {
     let mut b = NetlistBuilder::new(Config::s1_example());
     let mut pool: Vec<SignalId> = Vec::new();
     for i in 0..3 {
-        pool.push(b.signal(&format!("IN{i}")).expect("valid"));
+        pool.push(b.signal(&format!("IN{i}{input_suffix}")).expect("valid"));
     }
     for (i, g) in specs.iter().enumerate() {
         let out = b.signal(&format!("G{i}")).expect("valid");
@@ -72,6 +88,10 @@ fn build(specs: &[GateSpec]) -> (Netlist, Vec<SignalId>) {
     (n, pool)
 }
 
+fn build(specs: &[GateSpec]) -> (Netlist, Vec<SignalId>) {
+    build_with_inputs(specs, "")
+}
+
 /// Does the symbolic value admit the concrete simulation value?
 ///
 /// Strict containment: `S` (stable, unknown level) admits steady levels
@@ -88,41 +108,23 @@ fn admits(sym: Value, conc: SimValue) -> bool {
     }
 }
 
-fn gate_spec() -> impl Strategy<Value = GateSpec> {
-    (
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        0i64..5_000,
-        0i64..4_000,
-        any::<bool>(),
-    )
-        .prop_map(|(kind_sel, in_a, in_b, delay_min_ps, delay_spread_ps, invert_a)| GateSpec {
-            kind_sel,
-            in_a,
-            in_b,
-            delay_min_ps,
-            delay_spread_ps,
-            invert_a,
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// For every input pattern and every signal, at the end of the cycle
-    /// the concrete settled value must be admitted by the symbolic one.
-    ///
-    /// Inputs are undriven and unasserted, so the verifier assumes them
-    /// always stable — matching a stimulus that holds each input constant
-    /// for the whole (single-cycle) simulation.
-    #[test]
-    fn symbolic_pass_admits_every_concrete_run(specs in prop::collection::vec(gate_spec(), 1..6)) {
+/// For every input pattern and every signal, at the end of the cycle
+/// the concrete settled value must be admitted by the symbolic one.
+///
+/// Inputs are undriven and unasserted, so the verifier assumes them
+/// always stable — matching a stimulus that holds each input constant
+/// for the whole (single-cycle) simulation.
+#[test]
+fn symbolic_pass_admits_every_concrete_run() {
+    let mut rng = Rng::seed_from_u64(0x50d1);
+    for _ in 0..48 {
+        let specs = gate_specs(&mut rng);
         let (netlist, pool) = build(&specs);
 
         let mut v = Verifier::new(netlist.clone());
-        let r = v.run();
-        prop_assume!(r.is_ok());
+        if v.run().is_err() {
+            continue;
+        }
 
         let inputs = primary_inputs(&netlist);
         let sample_at = Time::from_ns(49.9); // end of cycle, everything settled
@@ -132,52 +134,61 @@ proptest! {
             for &sid in &pool {
                 let sym = v.resolved(sid).value_at(sample_at);
                 let conc = sim.final_values[sid.index()];
-                prop_assert!(
+                assert!(
                     admits(sym, conc),
                     "signal {} pattern {:b}: symbolic {} does not admit concrete {}",
-                    netlist.signal(sid).name, pattern, sym, conc
+                    netlist.signal(sid).name,
+                    pattern,
+                    sym,
+                    conc
                 );
             }
         }
     }
+}
 
-    /// Determinism: running the verifier twice on the same netlist gives
-    /// identical waveforms.
-    #[test]
-    fn verifier_is_deterministic(specs in prop::collection::vec(gate_spec(), 1..6)) {
+/// Determinism: running the verifier twice on the same netlist gives
+/// identical waveforms.
+#[test]
+fn verifier_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x50d2);
+    for _ in 0..48 {
+        let specs = gate_specs(&mut rng);
         let (n1, pool) = build(&specs);
         let (n2, _) = build(&specs);
         let mut v1 = Verifier::new(n1);
         let mut v2 = Verifier::new(n2);
         let r1 = v1.run();
         let r2 = v2.run();
-        prop_assume!(r1.is_ok() && r2.is_ok());
-        for &sid in &pool {
-            prop_assert_eq!(v1.resolved(sid), v2.resolved(sid));
+        if r1.is_err() || r2.is_err() {
+            continue;
         }
-        prop_assert_eq!(r1.unwrap().events, r2.unwrap().events);
+        for &sid in &pool {
+            assert_eq!(v1.resolved(sid), v2.resolved(sid));
+        }
+        assert_eq!(r1.unwrap().events, r2.unwrap().events);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The stronger per-instant containment property: at every sampled
-    /// instant of every concrete run, the concrete simulation value is
-    /// admitted by the symbolic waveform at that instant (modulo the
-    /// period). This is the full §2.1 safety claim, not just its
-    /// end-of-cycle shadow.
-    ///
-    /// Combinational circuits with always-stable inputs settle within the
-    /// first cycle, so instants in cycle 2 are steady state.
-    #[test]
-    fn symbolic_waveform_admits_concrete_trace(
-        specs in prop::collection::vec(gate_spec(), 1..6),
-        sample_offsets in prop::collection::vec(0i64..50_000, 8),
-    ) {
+/// The stronger per-instant containment property: at every sampled
+/// instant of every concrete run, the concrete simulation value is
+/// admitted by the symbolic waveform at that instant (modulo the
+/// period). This is the full §2.1 safety claim, not just its
+/// end-of-cycle shadow.
+///
+/// Combinational circuits with always-stable inputs settle within the
+/// first cycle, so instants in cycle 2 are steady state.
+#[test]
+fn symbolic_waveform_admits_concrete_trace() {
+    let mut rng = Rng::seed_from_u64(0x50d3);
+    for _ in 0..32 {
+        let specs = gate_specs(&mut rng);
+        let sample_offsets: Vec<i64> = (0..8).map(|_| rng.range_i64(0, 50_000)).collect();
         let (netlist, pool) = build(&specs);
         let mut v = Verifier::new(netlist.clone());
-        prop_assume!(v.run().is_ok());
+        if v.run().is_err() {
+            continue;
+        }
         let period = Time::from_ns(50.0);
 
         let inputs = primary_inputs(&netlist);
@@ -185,7 +196,10 @@ proptest! {
             // Unasserted inputs are assumed *always stable* by the
             // verifier (§2.5), so the concrete run must hold them constant
             // across both cycles: one bit per input.
-            let mut stim = Stimulus { cycles: 2, inputs: Default::default() };
+            let mut stim = Stimulus {
+                cycles: 2,
+                inputs: Default::default(),
+            };
             for (i, sid) in inputs.iter().enumerate() {
                 let v = (pattern >> i) & 1 == 1;
                 stim.inputs.insert(*sid, vec![v, v]);
@@ -197,65 +211,49 @@ proptest! {
                     let t_abs = period + Time::from_ps(off);
                     let conc = sim.value_at(sid, t_abs);
                     let sym = v.resolved(sid).value_at(Time::from_ps(off));
-                    prop_assert!(
+                    assert!(
                         admits(sym, conc),
                         "signal {} pattern {:b} t={}: symbolic {} !>= concrete {}",
-                        netlist.signal(sid).name, pattern, Time::from_ps(off), sym, conc
+                        netlist.signal(sid).name,
+                        pattern,
+                        Time::from_ps(off),
+                        sym,
+                        conc
                     );
                 }
             }
         }
     }
+}
 
-    /// The same per-instant containment with inputs that *do* change —
-    /// declared via `.S` assertions whose changing window covers the cycle
-    /// boundary where the stimulus toggles them. The symbolic envelope
-    /// must absorb the resulting concrete transients.
-    #[test]
-    fn symbolic_envelope_admits_toggling_inputs(
-        specs in prop::collection::vec(gate_spec(), 1..6),
-        sample_offsets in prop::collection::vec(0i64..50_000, 8),
-    ) {
-        // Rebuild the DAG with asserted inputs: stable from unit 1.5 on,
-        // changing 0..9.375 ns — covering the boundary toggles plus input
-        // transients.
-        let mut b = NetlistBuilder::new(Config::s1_example());
-        let mut pool: Vec<SignalId> = Vec::new();
-        for i in 0..3 {
-            pool.push(b.signal(&format!("IN{i} .S1.5-8")).expect("valid"));
-        }
-        for (i, g) in specs.iter().enumerate() {
-            let out = b.signal(&format!("G{i}")).expect("valid");
-            let kind = gate_kind(g.kind_sel);
-            let a = pool[g.in_a as usize % pool.len()];
-            let bsig = pool[g.in_b as usize % pool.len()];
-            let delay = DelayRange::new(
-                Time::from_ps(g.delay_min_ps),
-                Time::from_ps(g.delay_min_ps + g.delay_spread_ps),
-            );
-            let conn_a = {
-                let c = Conn::new(a).with_wire_delay(DelayRange::ZERO);
-                if g.invert_a { c.inverted() } else { c }
-            };
-            let conn_b = Conn::new(bsig).with_wire_delay(DelayRange::ZERO);
-            if kind == PrimKind::Not {
-                b.gate(format!("G{i}"), kind, delay, [conn_a], out);
-            } else {
-                b.gate(format!("G{i}"), kind, delay, [conn_a, conn_b], out);
-            }
-            pool.push(out);
-        }
-        let netlist = b.finish().expect("well-formed");
+/// The same per-instant containment with inputs that *do* change —
+/// declared via `.S` assertions whose changing window covers the cycle
+/// boundary where the stimulus toggles them. The symbolic envelope
+/// must absorb the resulting concrete transients.
+#[test]
+fn symbolic_envelope_admits_toggling_inputs() {
+    let mut rng = Rng::seed_from_u64(0x50d4);
+    for _ in 0..32 {
+        let specs = gate_specs(&mut rng);
+        let sample_offsets: Vec<i64> = (0..8).map(|_| rng.range_i64(0, 50_000)).collect();
+        // Asserted inputs: stable from unit 1.5 on, changing 0..9.375 ns —
+        // covering the boundary toggles plus input transients.
+        let (netlist, pool) = build_with_inputs(&specs, " .S1.5-8");
 
         let mut v = Verifier::new(netlist.clone());
-        prop_assume!(v.run().is_ok());
+        if v.run().is_err() {
+            continue;
+        }
         let period = Time::from_ns(50.0);
 
         let inputs = primary_inputs(&netlist);
         for pattern in 0..(1u64 << inputs.len()) {
             // Each input toggles at the cycle-2 boundary (t = 50 ns),
             // inside its asserted changing window.
-            let mut stim = Stimulus { cycles: 2, inputs: Default::default() };
+            let mut stim = Stimulus {
+                cycles: 2,
+                inputs: Default::default(),
+            };
             for (i, sid) in inputs.iter().enumerate() {
                 let first = (pattern >> i) & 1 == 1;
                 stim.inputs.insert(*sid, vec![first, !first]);
@@ -266,10 +264,14 @@ proptest! {
                     let t_abs = period + Time::from_ps(off);
                     let conc = sim.value_at(sid, t_abs);
                     let sym = v.resolved(sid).value_at(Time::from_ps(off));
-                    prop_assert!(
+                    assert!(
                         admits(sym, conc),
                         "signal {} pattern {:b} t={}: symbolic {} !>= concrete {}",
-                        netlist.signal(sid).name, pattern, Time::from_ps(off), sym, conc
+                        netlist.signal(sid).name,
+                        pattern,
+                        Time::from_ps(off),
+                        sym,
+                        conc
                     );
                 }
             }
