@@ -11,4 +11,13 @@ cargo build --release
 cargo test -q
 
 # Everything else: every crate's unit, integration and property tests.
+# (tests/cli.rs drives the scald-tv binary end to end: exit codes,
+# --help coverage, and the --format json golden round-trip.)
 cargo test --workspace -q
+
+# The CLI integration suite alone, named so a red run points here.
+cargo test -q --test cli
+
+# Rendered docs must stay warning-free; the report JSON schema lives in
+# crates/verifier/src/report.rs module docs.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

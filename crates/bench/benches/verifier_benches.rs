@@ -11,8 +11,10 @@ use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
-use scald_verifier::{Case, Verifier};
+use scald_trace::CounterSink;
+use scald_verifier::{Case, Verifier, VerifierBuilder};
 use scald_wave::{DelayRange, Time};
+use std::sync::Arc;
 
 /// Fig 2-5 / Fig 3-11: verify the register-file circuit.
 fn fig_3_10_3_11(b: &Bench) {
@@ -132,6 +134,36 @@ fn par_cases(b: &Bench) {
     }
 }
 
+/// Observability cost: the same full verification pass with tracing
+/// disabled (`Verifier::new`, the `Option<Arc<dyn TraceSink>>` is
+/// `None`) and with a live counter sink attached. The disabled run is
+/// the ≤ 2 % overhead claim: compare `trace_overhead/disabled/400`
+/// against `table_3_1/verify_s1_like/400` from the same bench run.
+fn trace_overhead(b: &Bench) {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 400,
+        ..S1Options::default()
+    });
+    b.bench_with_setup(
+        "trace_overhead/disabled/400",
+        || netlist.clone(),
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run().expect("settles")
+        },
+    );
+    b.bench_with_setup(
+        "trace_overhead/counter_sink/400",
+        || netlist.clone(),
+        |netlist| {
+            let mut v = VerifierBuilder::new(netlist)
+                .trace(Arc::new(CounterSink::new()))
+                .build();
+            v.run().expect("settles")
+        },
+    );
+}
+
 fn muxed_paths_circuit(n: usize) -> Netlist {
     let mut b = NetlistBuilder::new(Config::s1_example());
     let clk = b.signal("CK .P6-7 (0,0)").expect("valid");
@@ -213,5 +245,6 @@ fn main() {
     other_figures(&b);
     table_3_1_scaling(&b);
     par_cases(&b);
+    trace_overhead(&b);
     verifier_vs_sim(&b);
 }

@@ -1,0 +1,257 @@
+//! Engine observability for the SCALD Timing Verifier.
+//!
+//! The thesis' designers ran the verifier nightly and read its listings to
+//! find *and explain* violations (§3.3.1, Tables 3-1/3-3) — convergence
+//! behaviour, evaluation effort and storage were reported product surface,
+//! not debug scaffolding. This crate makes that surface pluggable: the
+//! engine emits [`TraceEvent`]s describing its fixed-point iteration
+//! (per-primitive evaluations, per-signal settle ordinals, queue-depth
+//! samples, per-case wall-clock and effort) into any [`TraceSink`].
+//!
+//! Tracing is **zero-cost when disabled**: the engine holds an
+//! `Option<Arc<dyn TraceSink>>` and constructs an event only inside the
+//! `Some` branch, so a bare run pays one predictable branch per
+//! evaluation (see the `trace_overhead` bench group).
+//!
+//! Shipped sinks:
+//!
+//! * [`CounterSink`] — lock-guarded aggregation: per-primitive evaluation
+//!   counts, per-signal last-settle ordinals, queue-depth high-water mark,
+//!   per-case wall-clock/effort summaries.
+//! * [`TimelineSink`] — the convergence wave: `(case, ordinal, depth)`
+//!   queue-depth samples over the run, renderable as an ASCII profile.
+//! * [`JsonlSink`] — one JSON object per event, streamed to any writer
+//!   (`--trace FILE` in `scald-tv`).
+//!
+//! The [`json`] module is the crate's second export: a dependency-free
+//! JSON value type, escaper and recursive-descent parser shared by the
+//! JSONL sink, the verifier's `Report::to_json`, and the golden tests
+//! that validate CLI output without `serde`.
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod sinks;
+
+pub use sinks::{
+    CaseSummary, CounterSink, CounterSnapshot, JsonlSink, TimelineSample, TimelineSink,
+};
+
+/// One observability event emitted by the verification engine.
+///
+/// Events borrow names from the engine's netlist; sinks that outlive the
+/// call must copy what they keep. `case` is `None` for the base
+/// (no-override) settle pass and `Some(i)` for case-analysis case `i`
+/// (0-based input order); case events may arrive from worker threads
+/// concurrently, so sinks must be thread-safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent<'a> {
+    /// A verification run ([`run_cases`]-level) is starting.
+    ///
+    /// [`run_cases`]: https://docs.rs/scald-verifier
+    RunStart {
+        /// Signals in the design.
+        signals: usize,
+        /// Primitives in the design.
+        prims: usize,
+        /// Cases about to be analysed.
+        cases: usize,
+        /// Worker-pool size for the case fan-out.
+        jobs: usize,
+    },
+    /// One primitive evaluation inside a settle loop.
+    Evaluation {
+        /// Case index, or `None` for the base settle.
+        case: Option<u32>,
+        /// Primitive index (`PrimId::index()`).
+        prim: u32,
+        /// Primitive instance name.
+        name: &'a str,
+        /// 1-based ordinal of this evaluation within its settle loop.
+        ordinal: u64,
+        /// Worklist depth immediately after popping this primitive.
+        queue_depth: usize,
+    },
+    /// A signal took a new effective value (an *event* in §3.3.2 terms).
+    /// The ordinal of the last such event per signal is its settle
+    /// iteration: how deep into the fixed-point wave it kept moving.
+    SignalSettled {
+        /// Case index, or `None` for the base settle.
+        case: Option<u32>,
+        /// Signal index (`SignalId::index()`).
+        signal: u32,
+        /// Signal name.
+        name: &'a str,
+        /// Evaluation ordinal at which the change happened.
+        ordinal: u64,
+    },
+    /// A case worker picked up a case.
+    CaseStart {
+        /// Case index (0-based input order).
+        case: u32,
+        /// The case's human-readable label.
+        label: &'a str,
+    },
+    /// A case worker finished a case.
+    CaseEnd {
+        /// Case index (0-based input order).
+        case: u32,
+        /// Wall-clock nanoseconds the case's settle + checks took.
+        wall_nanos: u64,
+        /// Signal-change events within the case.
+        events: u64,
+        /// Primitive evaluations within the case.
+        evaluations: u64,
+        /// Violations the case's check pass reported.
+        violations: usize,
+    },
+    /// The run finished (all cases merged).
+    RunEnd {
+        /// Wall-clock nanoseconds for the whole run.
+        wall_nanos: u64,
+        /// Total signal-change events across base + all cases.
+        events: u64,
+        /// Total primitive evaluations across base + all cases.
+        evaluations: u64,
+    },
+}
+
+impl TraceEvent<'_> {
+    /// Stable lower-snake token naming the event variant (the `"type"`
+    /// field of the JSONL stream).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::Evaluation { .. } => "evaluation",
+            TraceEvent::SignalSettled { .. } => "signal_settled",
+            TraceEvent::CaseStart { .. } => "case_start",
+            TraceEvent::CaseEnd { .. } => "case_end",
+            TraceEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The event as a [`json::Json`] object — what [`JsonlSink`] writes,
+    /// one per line.
+    #[must_use]
+    pub fn to_json(&self) -> json::Json {
+        use json::Json;
+        let case_field = |c: &Option<u32>| c.map_or(Json::Null, |i| Json::from(u64::from(i)));
+        let mut obj: Vec<(String, Json)> = vec![("type".into(), Json::str(self.kind()))];
+        match *self {
+            TraceEvent::RunStart {
+                signals,
+                prims,
+                cases,
+                jobs,
+            } => {
+                obj.push(("signals".into(), Json::from(signals as u64)));
+                obj.push(("prims".into(), Json::from(prims as u64)));
+                obj.push(("cases".into(), Json::from(cases as u64)));
+                obj.push(("jobs".into(), Json::from(jobs as u64)));
+            }
+            TraceEvent::Evaluation {
+                ref case,
+                prim,
+                name,
+                ordinal,
+                queue_depth,
+            } => {
+                obj.push(("case".into(), case_field(case)));
+                obj.push(("prim".into(), Json::from(u64::from(prim))));
+                obj.push(("name".into(), Json::str(name)));
+                obj.push(("ordinal".into(), Json::from(ordinal)));
+                obj.push(("queue_depth".into(), Json::from(queue_depth as u64)));
+            }
+            TraceEvent::SignalSettled {
+                ref case,
+                signal,
+                name,
+                ordinal,
+            } => {
+                obj.push(("case".into(), case_field(case)));
+                obj.push(("signal".into(), Json::from(u64::from(signal))));
+                obj.push(("name".into(), Json::str(name)));
+                obj.push(("ordinal".into(), Json::from(ordinal)));
+            }
+            TraceEvent::CaseStart { case, label } => {
+                obj.push(("case".into(), Json::from(u64::from(case))));
+                obj.push(("label".into(), Json::str(label)));
+            }
+            TraceEvent::CaseEnd {
+                case,
+                wall_nanos,
+                events,
+                evaluations,
+                violations,
+            } => {
+                obj.push(("case".into(), Json::from(u64::from(case))));
+                obj.push(("wall_nanos".into(), Json::from(wall_nanos)));
+                obj.push(("events".into(), Json::from(events)));
+                obj.push(("evaluations".into(), Json::from(evaluations)));
+                obj.push(("violations".into(), Json::from(violations as u64)));
+            }
+            TraceEvent::RunEnd {
+                wall_nanos,
+                events,
+                evaluations,
+            } => {
+                obj.push(("wall_nanos".into(), Json::from(wall_nanos)));
+                obj.push(("events".into(), Json::from(events)));
+                obj.push(("evaluations".into(), Json::from(evaluations)));
+            }
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// A consumer of engine observability events.
+///
+/// Sinks must be `Send + Sync`: case-analysis workers emit events
+/// concurrently from a `std::thread::scope` pool. A sink that cannot
+/// keep up slows the engine down (events are delivered synchronously),
+/// so heavy sinks should aggregate cheaply and defer formatting.
+pub trait TraceSink: Send + Sync {
+    /// Receives one event. Called from the engine's hot loop when
+    /// tracing is enabled; implementations should be quick.
+    fn record(&self, event: &TraceEvent<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kinds_are_stable_tokens() {
+        let e = TraceEvent::RunEnd {
+            wall_nanos: 1,
+            events: 2,
+            evaluations: 3,
+        };
+        assert_eq!(e.kind(), "run_end");
+        let text = e.to_json().to_string();
+        assert!(text.contains("\"type\":\"run_end\""), "{text}");
+        assert!(text.contains("\"evaluations\":3"), "{text}");
+    }
+
+    #[test]
+    fn evaluation_event_round_trips_through_json() {
+        let e = TraceEvent::Evaluation {
+            case: Some(4),
+            prim: 7,
+            name: "TOP/REG#3",
+            ordinal: 19,
+            queue_depth: 2,
+        };
+        let parsed = json::parse(&e.to_json().to_string()).expect("valid");
+        assert_eq!(parsed.get("case").and_then(json::Json::as_u64), Some(4));
+        assert_eq!(
+            parsed.get("name").and_then(json::Json::as_str),
+            Some("TOP/REG#3")
+        );
+        assert_eq!(
+            parsed.get("queue_depth").and_then(json::Json::as_u64),
+            Some(2)
+        );
+    }
+}

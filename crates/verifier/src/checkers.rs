@@ -3,12 +3,83 @@
 //! stable assertion on a generated signal.
 
 use scald_logic::Value;
-use scald_netlist::{Netlist, PrimId, PrimKind};
+use scald_netlist::{Netlist, PrimId, PrimKind, SignalId};
 use scald_wave::{edge_windows, pulses, Edge, EdgeWindow, Span, Time, Waveform};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::eval::{pin_wave, pin_wave_pulse_view};
-use crate::report::{Violation, ViolationKind};
+use crate::report::{Provenance, ProvenanceHop, Violation, ViolationKind};
 use crate::view::StateView;
+
+/// Fan-in walk caps: deep enough to cross several levels of gating, small
+/// enough that a wide bus cone doesn't swamp the report.
+const PROVENANCE_MAX_DEPTH: usize = 8;
+const PROVENANCE_MAX_HOPS: usize = 24;
+
+/// Walks the fan-in cone back from `anchor` (breadth-first) and records,
+/// at each signal, the windows where it may be changing — the arrival
+/// time it feeds forward. The walk stops at asserted signals (their
+/// timing is a designer-stated fact, the §2.5 root-cause boundary) and
+/// at undriven sources, and is capped by depth and hop count.
+pub(crate) fn provenance_for<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+    anchor: SignalId,
+) -> Provenance {
+    let mut hops = Vec::new();
+    let mut truncated = false;
+    let mut visited = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    visited.insert(anchor);
+    queue.push_back((anchor, 0usize));
+    while let Some((sid, depth)) = queue.pop_front() {
+        if hops.len() >= PROVENANCE_MAX_HOPS {
+            truncated = true;
+            break;
+        }
+        let sig = netlist.signal(sid);
+        let driver = netlist.driver(sid);
+        let wave = states.state_at(sid.index()).resolved();
+        hops.push(ProvenanceHop {
+            signal: sig.full_name(),
+            depth,
+            via: driver.map(|pid| netlist.prim(pid).name.clone()),
+            arrival: wave.spans_where(|v| !v.is_quiescent()),
+        });
+        if driver.is_none() || sig.assertion.is_some() {
+            continue;
+        }
+        if depth >= PROVENANCE_MAX_DEPTH {
+            truncated = true;
+            continue;
+        }
+        for pid in netlist.drivers(sid) {
+            for input in netlist.prim(*pid).input_signals() {
+                if visited.insert(input) {
+                    queue.push_back((input, depth + 1));
+                }
+            }
+        }
+    }
+    Provenance { hops, truncated }
+}
+
+/// Attaches the fan-in provenance of `anchor` to every violation in
+/// `slice` — computed once per batch, only when a check actually fired.
+fn attach_provenance<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+    anchor: SignalId,
+    slice: &mut [Violation],
+) {
+    if slice.is_empty() {
+        return;
+    }
+    let p = provenance_for(netlist, states, anchor);
+    for v in slice {
+        v.provenance = Some(p.clone());
+    }
+}
 
 /// How long `wave` has been quiescent immediately before instant `t`
 /// (up to one full period). Zero if the signal may be changing just
@@ -77,6 +148,7 @@ fn check_clock_defined(
         missed_by: None,
         at: undefined.first().copied(),
         observed: vec![observed_line("CK INPUT  ", clock_name, clock)],
+        provenance: None,
     });
     false
 }
@@ -115,6 +187,7 @@ fn check_setup_hold_edges(
                 missed_by: Some(setup),
                 at: Some(w),
                 observed: observed.clone(),
+                provenance: None,
             });
         } else if setup > Time::ZERO {
             let avail = quiescent_before(input, w.start());
@@ -126,6 +199,7 @@ fn check_setup_hold_edges(
                     missed_by: Some(setup - avail),
                     at: Some(w),
                     observed: observed.clone(),
+                    provenance: None,
                 });
             }
         }
@@ -140,6 +214,7 @@ fn check_setup_hold_edges(
                     missed_by: Some(hold - avail),
                     at: Some(w),
                     observed: observed.clone(),
+                    provenance: None,
                 });
             }
         }
@@ -294,12 +369,25 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                 let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
                 let in_name = &netlist.signal(prim.inputs[0].signal).name;
                 let ck_name = &netlist.signal(prim.inputs[1].signal).name;
+                let len_before = out.len();
                 if !check_clock_defined(&prim.name, ck_name, &clock, &mut out) {
+                    attach_provenance(
+                        netlist,
+                        states,
+                        prim.inputs[1].signal,
+                        &mut out[len_before..],
+                    );
                     continue;
                 }
                 let edges = edge_windows(&clock, Edge::Rising);
                 check_setup_hold_edges(
                     &prim.name, setup, hold, &input, in_name, &clock, ck_name, &edges, &mut out,
+                );
+                attach_provenance(
+                    netlist,
+                    states,
+                    prim.inputs[0].signal,
+                    &mut out[len_before..],
                 );
             }
             PrimKind::SetupRiseHoldFall { setup, hold } => {
@@ -307,7 +395,14 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                 let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
                 let in_name = netlist.signal(prim.inputs[0].signal).name.clone();
                 let ck_name = netlist.signal(prim.inputs[1].signal).name.clone();
+                let len_before = out.len();
                 if !check_clock_defined(&prim.name, &ck_name, &clock, &mut out) {
+                    attach_provenance(
+                        netlist,
+                        states,
+                        prim.inputs[1].signal,
+                        &mut out[len_before..],
+                    );
                     continue;
                 }
                 let observed = vec![
@@ -333,6 +428,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                             missed_by: None,
                             at: Some(high),
                             observed: observed.clone(),
+                            provenance: None,
                         });
                     }
                     if setup > Time::ZERO {
@@ -345,6 +441,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                                 missed_by: Some(setup - avail),
                                 at: Some(r.span),
                                 observed: observed.clone(),
+                                provenance: None,
                             });
                         }
                     }
@@ -358,16 +455,24 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                                 missed_by: Some(hold - avail),
                                 at: Some(f.span),
                                 observed: observed.clone(),
+                                provenance: None,
                             });
                         }
                     }
                 }
+                attach_provenance(
+                    netlist,
+                    states,
+                    prim.inputs[0].signal,
+                    &mut out[len_before..],
+                );
             }
             PrimKind::MinPulseWidth { high, low } => {
                 // Pulse widths are measured with skew kept separate: skew
                 // shifts both edges of a pulse together (§2.8).
                 let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states);
                 let name = &netlist.signal(prim.inputs[0].signal).name;
+                let len_before = out.len();
                 let observed = vec![observed_line("INPUT     ", name, &input)];
                 if high > Time::ZERO {
                     for p in pulses(&input, true) {
@@ -387,6 +492,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                                 missed_by: Some(high - p.min_possible_width),
                                 at: Some(p.possible),
                                 observed: observed.clone(),
+                                provenance: None,
                             });
                         }
                     }
@@ -409,10 +515,17 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                                 missed_by: Some(low - p.min_possible_width),
                                 at: Some(p.possible),
                                 observed: observed.clone(),
+                                provenance: None,
                             });
                         }
                     }
                 }
+                attach_provenance(
+                    netlist,
+                    states,
+                    prim.inputs[0].signal,
+                    &mut out[len_before..],
+                );
             }
             _ => {}
         }
@@ -443,6 +556,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                             observed_line("CLOCK     ", &ck_name, &clock),
                             observed_line("CONTROL   ", name, &other),
                         ],
+                        provenance: Some(provenance_for(netlist, states, conn.signal)),
                     });
                     break; // one report per (gate, control input)
                 }
@@ -471,6 +585,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                     missed_by: None,
                     at: Some(span),
                     observed: vec![observed_line("ACTUAL    ", &sig.name, &actual)],
+                    provenance: Some(provenance_for(netlist, states, sid)),
                 });
             }
         }

@@ -10,15 +10,17 @@
 
 use scald_logic::Value;
 use scald_netlist::{Netlist, PrimId, SignalId};
+use scald_trace::{TraceEvent, TraceSink};
 use scald_wave::Waveform;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::checkers::{run_all_checks, slack_report, CheckMargin};
 use crate::eval::evaluate;
-use crate::report::{CaseResult, Violation};
+use crate::report::{CaseResult, EngineStats, Report, Violation};
 use crate::state::SignalState;
 use crate::storage::StorageReport;
 use crate::view::ConeState;
@@ -105,6 +107,109 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Configures and builds a [`Verifier`]: the front door for everything
+/// beyond a plain run — worker-pool size, oscillation budget, and an
+/// observability [`TraceSink`].
+///
+/// [`Verifier::new`] is a shim over the all-defaults builder, so simple
+/// callers never see this type.
+///
+/// # Examples
+///
+/// ```
+/// use scald_netlist::{Config, NetlistBuilder};
+/// use scald_trace::CounterSink;
+/// use scald_verifier::VerifierBuilder;
+/// use scald_wave::{DelayRange, Time};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new(Config::s1_example());
+/// let clk = b.signal("CLK .P2-3")?;
+/// let d = b.signal_vec("IN .S0-6", 32)?;
+/// let q = b.signal_vec("OUT", 32)?;
+/// b.reg("R", DelayRange::from_ns(1.5, 4.5), clk, d, q);
+/// b.setup_hold("R CHK", Time::from_ns(2.5), Time::from_ns(1.5), d, clk);
+///
+/// let sink = Arc::new(CounterSink::new());
+/// let mut v = VerifierBuilder::new(b.finish()?)
+///     .jobs(2)
+///     .trace(Arc::clone(&sink) as Arc<_>)
+///     .build();
+/// let result = v.run()?;
+/// assert!(result.is_clean());
+/// assert_eq!(sink.snapshot().evaluations, result.evaluations);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+#[must_use]
+pub struct VerifierBuilder {
+    jobs: Option<usize>,
+    oscillation_budget: Option<u64>,
+    trace: Option<Arc<dyn TraceSink>>,
+    netlist: Option<Netlist>,
+}
+
+impl VerifierBuilder {
+    /// Starts a builder for verifying `netlist`, with default worker
+    /// count (available parallelism), default oscillation budget
+    /// (256 evaluations per primitive, plus slack for tiny designs) and
+    /// no tracing.
+    pub fn new(netlist: Netlist) -> VerifierBuilder {
+        VerifierBuilder {
+            netlist: Some(netlist),
+            ..VerifierBuilder::default()
+        }
+    }
+
+    /// Sets the case-analysis worker-pool size (clamped to at least 1).
+    /// [`Verifier::run_cases`] uses this; an explicit
+    /// [`Verifier::run_cases_with_jobs`] call still wins.
+    pub fn jobs(mut self, jobs: usize) -> VerifierBuilder {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Sets the oscillation budget: the maximum primitive evaluations one
+    /// settle pass may perform before the engine reports
+    /// [`VerifyError::Oscillation`]. Lower it to fail fast on designs
+    /// with suspected combinational loops; raise it for pathological but
+    /// convergent circuits.
+    pub fn oscillation_budget(mut self, evaluations: u64) -> VerifierBuilder {
+        self.oscillation_budget = Some(evaluations.max(1));
+        self
+    }
+
+    /// Attaches an observability sink. Every settle loop then emits
+    /// [`TraceEvent`]s (per-primitive evaluations, per-signal settle
+    /// ordinals, queue depths, per-case wall-clock/effort). Without a
+    /// sink the engine pays only an `Option` check per evaluation.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> VerifierBuilder {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Builds the verifier and initializes all signal states per §2.9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder was obtained via `Default` instead of
+    /// [`VerifierBuilder::new`] (there is no netlist to verify).
+    #[must_use]
+    pub fn build(self) -> Verifier {
+        let netlist = self.netlist.expect("VerifierBuilder::new sets the netlist");
+        let budget = self
+            .oscillation_budget
+            .unwrap_or_else(|| 256 * (netlist.prims().len() as u64 + 64));
+        let mut v = Verifier::init(netlist);
+        v.jobs = self.jobs.unwrap_or_else(default_jobs);
+        v.budget = budget;
+        v.trace = self.trace;
+        v
+    }
+}
+
 /// The SCALD Timing Verifier: simulates one clock period of the circuit
 /// symbolically and checks every timing constraint (§2.1, §2.9).
 ///
@@ -129,7 +234,6 @@ impl std::error::Error for VerifyError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Verifier {
     netlist: Netlist,
     /// Computed (pre-case-mapping) states.
@@ -155,15 +259,41 @@ pub struct Verifier {
     wired_contributions: HashMap<(SignalId, PrimId), SignalState>,
     total_events: u64,
     total_evaluations: u64,
+    /// Default worker-pool size for [`run_cases`](Self::run_cases).
+    jobs: usize,
+    /// Evaluation budget per settle pass before declaring oscillation.
+    budget: u64,
+    /// Observability sink; `None` keeps the hot loops branch-only.
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Verifier")
+            .field("signals", &self.netlist.signals().len())
+            .field("prims", &self.netlist.prims().len())
+            .field("jobs", &self.jobs)
+            .field("budget", &self.budget)
+            .field("traced", &self.trace.is_some())
+            .field("total_events", &self.total_events)
+            .field("total_evaluations", &self.total_evaluations)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Verifier {
-    /// Creates a verifier and initializes all signal states per §2.9:
-    /// asserted signals take their asserted values, undriven unasserted
-    /// signals are assumed stable (and cross-referenced), everything else
-    /// starts `U`.
+    /// Creates a verifier with all defaults — a shim over
+    /// [`VerifierBuilder`], which configures worker count, oscillation
+    /// budget and tracing.
     #[must_use]
     pub fn new(netlist: Netlist) -> Verifier {
+        VerifierBuilder::new(netlist).build()
+    }
+
+    /// Initializes all signal states per §2.9: asserted signals take
+    /// their asserted values, undriven unasserted signals are assumed
+    /// stable (and cross-referenced), everything else starts `U`.
+    fn init(netlist: Netlist) -> Verifier {
         let period = netlist.config().timing.period;
         let timing = netlist.config().timing;
         let n = netlist.signals().len();
@@ -229,6 +359,9 @@ impl Verifier {
             pinned_clock_drivers,
             total_events: 0,
             total_evaluations: 0,
+            jobs: 1,
+            budget: 0,
+            trace: None,
         }
     }
 
@@ -290,12 +423,21 @@ impl Verifier {
 
     /// Runs the worklist to a fixed point; returns events processed.
     fn settle(&mut self) -> Result<(u64, u64), VerifyError> {
-        let budget = 256 * (self.netlist.prims().len() as u64 + 64);
+        let budget = self.budget;
         let mut events = 0u64;
         let mut evaluations = 0u64;
         while let Some(pid) = self.queue.pop_front() {
             self.queued[pid.index()] = false;
             evaluations += 1;
+            if let Some(trace) = &self.trace {
+                trace.record(&TraceEvent::Evaluation {
+                    case: None,
+                    prim: pid.index() as u32,
+                    name: &self.netlist.prim(pid).name,
+                    ordinal: evaluations,
+                    queue_depth: self.queue.len(),
+                });
+            }
             if evaluations > budget {
                 // The just-popped primitive is still active too — in a
                 // tight ring the queue can be empty right after the pop.
@@ -349,6 +491,14 @@ impl Verifier {
                     if self.eff[out.index()] != eff {
                         self.eff[out.index()] = eff;
                         events += 1;
+                        if let Some(trace) = &self.trace {
+                            trace.record(&TraceEvent::SignalSettled {
+                                case: None,
+                                signal: out.index() as u32,
+                                name: &self.netlist.signal(out).name,
+                                ordinal: evaluations,
+                            });
+                        }
                         self.enqueue_fanout(out);
                     }
                 }
@@ -414,7 +564,7 @@ impl Verifier {
     /// Returns an error if a case names an unknown signal or the circuit
     /// fails to settle.
     pub fn run_cases(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
-        self.run_cases_with_jobs(cases, default_jobs())
+        self.run_cases_with_jobs(cases, self.jobs)
     }
 
     /// [`run_cases`](Self::run_cases) restricted to one worker: the
@@ -444,6 +594,16 @@ impl Verifier {
     ) -> Result<Vec<CaseResult>, VerifyError> {
         if cases.is_empty() {
             return Ok(Vec::new());
+        }
+        let run_started = Instant::now();
+        let effort_before = (self.total_events, self.total_evaluations);
+        if let Some(trace) = &self.trace {
+            trace.record(&TraceEvent::RunStart {
+                signals: self.netlist.signals().len(),
+                prims: self.netlist.prims().len(),
+                cases: cases.len(),
+                jobs: jobs.max(1).min(cases.len()),
+            });
         }
         // Resolve every case's signal names up front, so an unknown name
         // errors deterministically before any evaluation runs.
@@ -485,9 +645,19 @@ impl Verifier {
         let pinned: &[bool] = &self.pinned;
         let base_hazards = &self.hazards;
         let base_wired = &self.wired_contributions;
+        let budget = self.budget;
+        let trace: Option<&dyn TraceSink> = self.trace.as_deref();
+        let labels: Vec<String> = cases.iter().map(Case::label).collect();
         let events_total = AtomicU64::new(0);
         let evaluations_total = AtomicU64::new(0);
         let work = |i: usize| {
+            if let Some(t) = trace {
+                t.record(&TraceEvent::CaseStart {
+                    case: i as u32,
+                    label: &labels[i],
+                });
+            }
+            let case_started = Instant::now();
             let outcome = settle_case(
                 netlist,
                 base_raw,
@@ -496,10 +666,22 @@ impl Verifier {
                 base_hazards,
                 base_wired,
                 &resolved[i],
+                budget,
+                trace.map(|t| (t, i as u32)),
             );
             if let Ok(o) = &outcome {
                 events_total.fetch_add(o.events, Ordering::Relaxed);
                 evaluations_total.fetch_add(o.evaluations, Ordering::Relaxed);
+                if let Some(t) = trace {
+                    t.record(&TraceEvent::CaseEnd {
+                        case: i as u32,
+                        wall_nanos: u64::try_from(case_started.elapsed().as_nanos())
+                            .unwrap_or(u64::MAX),
+                        events: o.events,
+                        evaluations: o.evaluations,
+                        violations: o.violations.len(),
+                    });
+                }
             }
             outcome
         };
@@ -561,6 +743,13 @@ impl Verifier {
         self.overrides = last.overrides;
         self.hazards = last.hazards;
         self.wired_contributions = last.wired;
+        if let Some(trace) = &self.trace {
+            trace.record(&TraceEvent::RunEnd {
+                wall_nanos: u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                events: self.total_events - effort_before.0,
+                evaluations: self.total_evaluations - effort_before.1,
+            });
+        }
         Ok(results)
     }
 
@@ -576,37 +765,14 @@ impl Verifier {
     /// with its value over the cycle.
     #[must_use]
     pub fn summary_listing(&self) -> String {
-        let mut rows: Vec<(String, String)> = self
-            .netlist
-            .iter_signals()
-            .map(|(sid, sig)| (sig.full_name(), self.resolved(sid).to_string()))
-            .collect();
-        rows.sort();
-        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
-        let mut out = String::new();
-        for (name, wave) in rows {
-            out.push_str(&format!("{name:width$}  {wave}\n"));
-        }
-        out
+        crate::report::format_summary(&self.sorted_waves())
     }
 
     /// The cross-reference listing of undriven, unasserted signals the
     /// verifier assumed stable (§2.5).
     #[must_use]
     pub fn xref_listing(&self) -> String {
-        let mut out =
-            String::from("SIGNALS ASSUMED ALWAYS STABLE (no assertion, not generated):\n");
-        for sid in &self.assumed_stable {
-            out.push_str(&format!("  {}\n", self.netlist.signal(*sid).name));
-        }
-        for sid in &self.pinned_clock_drivers {
-            out.push_str(&format!(
-                "NOTE: {} carries a clock assertion and is also generated; \
-                 the asserted (de-skewed) timing is used.\n",
-                self.netlist.signal(*sid).full_name()
-            ));
-        }
-        out
+        crate::report::format_xref(&self.assumed_stable_names(), &self.clock_driver_notes())
     }
 
     /// Storage accounting in the categories of Table 3-3.
@@ -628,13 +794,65 @@ impl Verifier {
     /// [`summary_listing`](Self::summary_listing).
     #[must_use]
     pub fn timing_diagram(&self, columns: usize) -> String {
+        crate::diagram::render_diagram(&self.sorted_waves(), columns)
+    }
+
+    /// Every signal's resolved waveform against the current settled
+    /// state, sorted by full name — the rows behind the summary listing
+    /// and the timing diagram.
+    fn sorted_waves(&self) -> Vec<(String, Waveform)> {
         let mut rows: Vec<(String, Waveform)> = self
             .netlist
             .iter_signals()
             .map(|(sid, sig)| (sig.full_name(), self.resolved(sid)))
             .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
-        crate::diagram::render_diagram(&rows, columns)
+        rows
+    }
+
+    fn assumed_stable_names(&self) -> Vec<String> {
+        self.assumed_stable
+            .iter()
+            .map(|sid| self.netlist.signal(*sid).name.clone())
+            .collect()
+    }
+
+    fn clock_driver_notes(&self) -> Vec<String> {
+        self.pinned_clock_drivers
+            .iter()
+            .map(|sid| self.netlist.signal(*sid).full_name())
+            .collect()
+    }
+
+    /// Bundles everything this verifier knows about its last run into one
+    /// [`Report`]: the per-case results, engine statistics, the slack and
+    /// storage views, the assumed-stable cross-reference and every settled
+    /// waveform. `design` labels the report (usually the source path);
+    /// `results` are what [`run_cases`](Self::run_cases) returned.
+    ///
+    /// The caller may fill in [`EngineStats::verify_wall`] afterwards if
+    /// it measured the run.
+    #[must_use]
+    pub fn report(&self, design: impl Into<String>, results: &[CaseResult]) -> Report {
+        Report {
+            design: design.into(),
+            cases: results.to_vec(),
+            engine: EngineStats {
+                signals: self.netlist.signals().len(),
+                prims: self.netlist.prims().len(),
+                cases: results.len(),
+                jobs: self.jobs,
+                events: self.total_events,
+                evaluations: self.total_evaluations,
+                verify_wall: None,
+            },
+            slack: self.slack_report(),
+            storage: self.storage_report(),
+            assumed_stable: self.assumed_stable_names(),
+            clock_driver_notes: self.clock_driver_notes(),
+            waves: self.sorted_waves(),
+            period: self.netlist.config().timing.period,
+        }
     }
 }
 
@@ -681,7 +899,9 @@ struct CaseOutcome {
 /// and runs all checks against the overlaid state. Because every input is
 /// the same settled base and the worklist seeding order is fixed, the
 /// outcome is a pure function of `(base, assigns)` — which is what makes
-/// parallel case analysis byte-identical to serial.
+/// parallel case analysis byte-identical to serial. (An attached trace
+/// sink observes the work but cannot influence it.)
+#[allow(clippy::too_many_arguments)]
 fn settle_case(
     netlist: &Netlist,
     base_raw: &[SignalState],
@@ -690,6 +910,8 @@ fn settle_case(
     base_hazards: &BTreeSet<(PrimId, usize)>,
     base_wired: &HashMap<(SignalId, PrimId), SignalState>,
     assigns: &[(SignalId, Value)],
+    budget: u64,
+    trace: Option<(&dyn TraceSink, u32)>,
 ) -> Result<CaseOutcome, VerifyError> {
     let overrides: HashMap<SignalId, Value> = assigns.iter().copied().collect();
     let mut raw = ConeState::new(base_raw);
@@ -719,12 +941,20 @@ fn settle_case(
     }
 
     // The same worklist loop as the base `settle`, on the overlay.
-    let budget = 256 * (netlist.prims().len() as u64 + 64);
     let mut events = 0u64;
     let mut evaluations = 0u64;
     while let Some(pid) = queue.pop_front() {
         queued[pid.index()] = false;
         evaluations += 1;
+        if let Some((t, case)) = trace {
+            t.record(&TraceEvent::Evaluation {
+                case: Some(case),
+                prim: pid.index() as u32,
+                name: &netlist.prim(pid).name,
+                ordinal: evaluations,
+                queue_depth: queue.len(),
+            });
+        }
         if evaluations > budget {
             let active: Vec<String> = std::iter::once(pid)
                 .chain(queue.iter().copied())
@@ -772,6 +1002,14 @@ fn settle_case(
                 if *eff.state_at(out.index()) != new_eff {
                     eff.set(out.index(), new_eff);
                     events += 1;
+                    if let Some((t, case)) = trace {
+                        t.record(&TraceEvent::SignalSettled {
+                            case: Some(case),
+                            signal: out.index() as u32,
+                            name: &netlist.signal(out).name,
+                            ordinal: evaluations,
+                        });
+                    }
                     for &fan in netlist.fanout(out) {
                         enqueue(fan, &mut queue, &mut queued);
                     }

@@ -76,7 +76,10 @@ mod storage;
 mod view;
 
 pub use diagram::render_diagram;
-pub use engine::{check_interfaces, Case, Verifier, VerifyError};
-pub use report::{CaseResult, Violation, ViolationKind};
+pub use engine::{check_interfaces, Case, Verifier, VerifierBuilder, VerifyError};
+pub use report::{
+    CaseResult, EngineStats, Provenance, ProvenanceHop, Report, Violation, ViolationKind,
+    REPORT_SCHEMA, REPORT_VERSION,
+};
 pub use state::{Directive, EvalStr, SignalState};
 pub use storage::StorageReport;

@@ -1,8 +1,75 @@
-//! Timing-violation records and the listings the Timing Verifier prints:
-//! the error report of Fig 3-11 and the signal-value summary of Fig 3-10.
+//! The report layer: timing-violation records with fan-in provenance,
+//! and the [`Report`] document that owns every listing the Timing
+//! Verifier prints — the error report of Fig 3-11, the signal-value
+//! summary of Fig 3-10, the cross-reference, slack and storage views —
+//! renderable as text sections or as one versioned JSON document.
+//!
+//! # JSON schema (version 1)
+//!
+//! [`Report::to_json`] emits a single top-level object:
+//!
+//! ```text
+//! {
+//!   "schema": "scald-tv-report",        // REPORT_SCHEMA, always present
+//!   "version": 1,                       // REPORT_VERSION, bumped on breaking change
+//!   "design": "designs/foo.scald",      // caller-supplied design label
+//!   "clean": false,
+//!   "total_violations": 3,
+//!   "engine": {
+//!     "signals": 61, "prims": 50,       // design size
+//!     "cases": 1, "jobs": 4,            // case-analysis shape
+//!     "events": 123, "evaluations": 456,// cumulative effort (§3.3.2)
+//!     "wall_ns": 183042,                // null when not measured
+//!     "period_ns": 50
+//!   },
+//!   "cases": [ {
+//!     "name": "case 1: no case overrides",
+//!     "events": 123, "evaluations": 456, "value_records": 78,
+//!     "violations": [ {
+//!       "kind": "setup",                // stable lower-snake token
+//!       "label": "SETUP TIME VIOLATED", // the Fig 3-11 heading
+//!       "source": "TOP/REG#14/setup_hold#16",
+//!       "constraint": "SETUP TIME = 2.5, HOLD TIME = 1.5",
+//!       "missed_by_ns": 2.5,            // null when not meaningful
+//!       "at": {"start_ns": 49, "width_ns": 2},   // null when not localized
+//!       "observed": ["CK INPUT   = ...", ...],
+//!       "provenance": {                 // fan-in cone of the checked input
+//!         "truncated": false,
+//!         "hops": [ {
+//!           "signal": "READ BUS",
+//!           "depth": 0,                 // 0 = the checked input itself
+//!           "via": "TOP/RAM#6",         // driving primitive; null at a source
+//!           "arrival": [{"start_ns": 0, "width_ns": 1.4}, ...]
+//!         }, ... ]
+//!       }
+//!     } ]
+//!   } ],
+//!   "slack": [ {"checker": ..., "signal": ...,
+//!               "setup_slack_ns": 1.5|null, "hold_slack_ns": ..., "pulse_slack_ns": ...} ],
+//!   "storage": { "rows": [{"area": "SIGNAL VALUES", "bytes": N}, ...],
+//!                "total_bytes": N, "value_records_per_signal": 2.97 },
+//!   "assumed_stable": ["NAME", ...],    // the §2.5 cross-reference
+//!   "summary": [ {"signal": "ADR", "wave": "S 0.0 C 0.5 S 13.5"}, ... ]
+//! }
+//! ```
+//!
+//! `arrival` windows are the spans (start + width within the cycle,
+//! nanoseconds) where the signal *may be changing*; spans can wrap the
+//! period. Consumers must ignore unknown fields; within a major version
+//! fields are only added, never removed or retyped.
 
-use scald_wave::{Span, Time};
+use scald_trace::json::Json;
+use scald_wave::{Span, Time, Waveform};
 use std::fmt;
+use std::time::Duration;
+
+use crate::checkers::CheckMargin;
+use crate::storage::StorageReport;
+
+/// The JSON document identifier emitted in the `"schema"` field.
+pub const REPORT_SCHEMA: &str = "scald-tv-report";
+/// Current major version of the JSON report schema.
+pub const REPORT_VERSION: u64 = 1;
 
 /// The class of a detected timing error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +98,24 @@ pub enum ViolationKind {
     UndefinedClock,
 }
 
+impl ViolationKind {
+    /// Stable lower-snake token for machine-readable output (the JSON
+    /// `"kind"` field). Display gives the Fig 3-11 heading instead.
+    #[must_use]
+    pub const fn token(self) -> &'static str {
+        match self {
+            ViolationKind::Setup => "setup",
+            ViolationKind::Hold => "hold",
+            ViolationKind::StableWhileTrue => "stable_while_true",
+            ViolationKind::MinPulseHigh => "min_pulse_high",
+            ViolationKind::MinPulseLow => "min_pulse_low",
+            ViolationKind::Hazard => "hazard",
+            ViolationKind::AssertionViolated => "assertion_violated",
+            ViolationKind::UndefinedClock => "undefined_clock",
+        }
+    }
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -45,6 +130,36 @@ impl fmt::Display for ViolationKind {
         };
         f.write_str(s)
     }
+}
+
+/// One hop of a violation's fan-in provenance: a signal in the cone
+/// walked back from the failing checker input, with the arrival windows
+/// it contributed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceHop {
+    /// Full display name of the signal (assertion suffix included).
+    pub signal: String,
+    /// Distance from the checked input (0 = the checked input itself).
+    pub depth: usize,
+    /// The primitive driving this signal, or `None` at a source (an
+    /// asserted or assumed-stable signal, or a primary input).
+    pub via: Option<String>,
+    /// Windows within the cycle where the signal may be changing — the
+    /// arrival time this hop feeds forward. Empty if quiescent all cycle.
+    pub arrival: Vec<Span>,
+}
+
+/// The fan-in cone of a failing checker input, breadth-first from the
+/// checked signal back through its drivers (§2.9's explanation listings,
+/// made structural). Walks stop at asserted signals — their timing is a
+/// designer-stated fact, the root cause boundary of §2.5.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Provenance {
+    /// Hops in breadth-first order; the first is the checked input.
+    pub hops: Vec<ProvenanceHop>,
+    /// `true` if the walk hit its depth or size cap before exhausting
+    /// the cone.
+    pub truncated: bool,
 }
 
 /// One detected timing error, with the context the thesis' reports carry
@@ -64,6 +179,9 @@ pub struct Violation {
     pub at: Option<Span>,
     /// `NAME: value listing` lines for the signals the check examined.
     pub observed: Vec<String>,
+    /// The fan-in cone of the failing input, walked back with the
+    /// arrival window contributed at each hop.
+    pub provenance: Option<Provenance>,
 }
 
 impl Violation {
@@ -71,6 +189,64 @@ impl Violation {
     #[must_use]
     pub fn missed_by_at_least(&self, margin: Time) -> bool {
         self.missed_by.is_some_and(|m| m >= margin)
+    }
+
+    fn json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::str(self.kind.token())),
+            ("label".into(), Json::str(self.kind.to_string())),
+            ("source".into(), Json::str(&self.source)),
+            ("constraint".into(), Json::str(&self.constraint)),
+            (
+                "missed_by_ns".into(),
+                self.missed_by.map_or(Json::Null, |t| Json::from(t.as_ns())),
+            ),
+            ("at".into(), self.at.map_or(Json::Null, span_json)),
+            (
+                "observed".into(),
+                Json::Arr(self.observed.iter().map(Json::str).collect()),
+            ),
+            (
+                "provenance".into(),
+                self.provenance
+                    .as_ref()
+                    .map_or(Json::Null, Provenance::json_value),
+            ),
+        ])
+    }
+}
+
+fn span_json(s: Span) -> Json {
+    Json::Obj(vec![
+        ("start_ns".into(), Json::from(s.start().as_ns())),
+        ("width_ns".into(), Json::from(s.width().as_ns())),
+    ])
+}
+
+impl Provenance {
+    fn json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("truncated".into(), Json::from(self.truncated)),
+            (
+                "hops".into(),
+                Json::Arr(
+                    self.hops
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("signal".into(), Json::str(&h.signal)),
+                                ("depth".into(), Json::from(h.depth as u64)),
+                                ("via".into(), h.via.as_deref().map_or(Json::Null, Json::str)),
+                                (
+                                    "arrival".into(),
+                                    Json::Arr(h.arrival.iter().map(|s| span_json(*s)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -89,6 +265,34 @@ impl fmt::Display for Violation {
         writeln!(f, "  [{}]", self.source)?;
         for line in &self.observed {
             writeln!(f, "     {line}")?;
+        }
+        if let Some(p) = &self.provenance {
+            if !p.hops.is_empty() {
+                writeln!(f, "     FAN-IN PROVENANCE:")?;
+                for hop in &p.hops {
+                    let via = hop
+                        .via
+                        .as_deref()
+                        .map_or_else(|| "(source)".to_owned(), |v| format!("<- {v}"));
+                    let windows = if hop.arrival.is_empty() {
+                        "quiescent".to_owned()
+                    } else {
+                        let spans: Vec<String> =
+                            hop.arrival.iter().map(ToString::to_string).collect();
+                        format!("changing {}", spans.join(", "))
+                    };
+                    writeln!(
+                        f,
+                        "       {:pad$}{} {via}, {windows}",
+                        "",
+                        hop.signal,
+                        pad = 2 * hop.depth
+                    )?;
+                }
+                if p.truncated {
+                    writeln!(f, "       ... (cone truncated)")?;
+                }
+            }
         }
         Ok(())
     }
@@ -125,6 +329,22 @@ impl CaseResult {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    fn json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("events".into(), Json::from(self.events)),
+            ("evaluations".into(), Json::from(self.evaluations)),
+            (
+                "value_records".into(),
+                Json::from(self.value_records as u64),
+            ),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(Violation::json_value).collect()),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for CaseResult {
@@ -144,6 +364,242 @@ impl fmt::Display for CaseResult {
     }
 }
 
+/// Execution statistics of one verification run — the Table 3-1 numbers
+/// plus the run shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Signals in the design.
+    pub signals: usize,
+    /// Primitives in the design.
+    pub prims: usize,
+    /// Cases analysed.
+    pub cases: usize,
+    /// Worker-pool size used for case analysis.
+    pub jobs: usize,
+    /// Cumulative signal-change events (§3.3.2).
+    pub events: u64,
+    /// Cumulative primitive evaluations.
+    pub evaluations: u64,
+    /// Wall-clock time of the run, when the caller measured it.
+    pub verify_wall: Option<Duration>,
+}
+
+/// Everything one verification run produced, in one place: per-case
+/// results (violations with provenance), engine statistics, the slack
+/// and storage views, the assumed-stable cross-reference, and the
+/// settled waveform of every signal.
+///
+/// This is the API the listings hang off — `scald-tv` renders a
+/// `Report` either as the classic text sections or as the versioned
+/// JSON document described in the module docs in `report.rs`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Caller-supplied design label (usually the source path).
+    pub design: String,
+    /// Per-case outcomes, in input-case order.
+    pub cases: Vec<CaseResult>,
+    /// Run statistics.
+    pub engine: EngineStats,
+    /// Per-checker timing margins, worst first.
+    pub slack: Vec<CheckMargin>,
+    /// Table 3-3 storage accounting of the settled state.
+    pub storage: StorageReport,
+    /// Names of undriven, unasserted signals assumed always stable (§2.5).
+    pub assumed_stable: Vec<String>,
+    /// Notes about generated signals whose clock assertion pins them.
+    pub clock_driver_notes: Vec<String>,
+    /// `(full signal name, settled waveform)`, sorted by name — the data
+    /// behind the Fig 3-10 summary and the timing diagram.
+    pub waves: Vec<(String, Waveform)>,
+    /// Clock period, for interpreting wrapping spans.
+    pub period: Time,
+}
+
+impl Report {
+    /// Total violations across all cases.
+    #[must_use]
+    pub fn total_violations(&self) -> usize {
+        self.cases.iter().map(|c| c.violations.len()).sum()
+    }
+
+    /// `true` if every case is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.cases.iter().all(CaseResult::is_clean)
+    }
+
+    /// The signal-value summary listing of Fig 3-10.
+    #[must_use]
+    pub fn summary_text(&self) -> String {
+        format_summary(&self.waves)
+    }
+
+    /// An ASCII timing diagram of all signals, `columns` buckets wide.
+    #[must_use]
+    pub fn diagram_text(&self, columns: usize) -> String {
+        crate::diagram::render_diagram(&self.waves, columns)
+    }
+
+    /// The §2.5 cross-reference listing of assumed-stable signals.
+    #[must_use]
+    pub fn xref_text(&self) -> String {
+        format_xref(&self.assumed_stable, &self.clock_driver_notes)
+    }
+
+    /// The per-checker slack table, worst margins first.
+    #[must_use]
+    pub fn slack_text(&self) -> String {
+        let fmt_slack =
+            |s: Option<Time>| s.map_or_else(|| "     -".to_owned(), |t| format!("{t:>6}"));
+        let mut out = format!(
+            "{:<40} {:>8} {:>8} {:>8}\n",
+            "CHECKER", "SETUP", "HOLD", "PULSE"
+        );
+        for m in &self.slack {
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>8} {:>8}\n",
+                m.checker,
+                fmt_slack(m.setup_slack),
+                fmt_slack(m.hold_slack),
+                fmt_slack(m.pulse_slack)
+            ));
+        }
+        out
+    }
+
+    /// The Table 3-3 storage breakdown.
+    #[must_use]
+    pub fn storage_text(&self) -> String {
+        format!("{}\n", self.storage)
+    }
+
+    /// The full document as a [`Json`] value — callers (like `scald-tv`)
+    /// may append extra top-level sections before printing.
+    #[must_use]
+    pub fn json_value(&self) -> Json {
+        let engine = Json::Obj(vec![
+            ("signals".into(), Json::from(self.engine.signals as u64)),
+            ("prims".into(), Json::from(self.engine.prims as u64)),
+            ("cases".into(), Json::from(self.engine.cases as u64)),
+            ("jobs".into(), Json::from(self.engine.jobs as u64)),
+            ("events".into(), Json::from(self.engine.events)),
+            ("evaluations".into(), Json::from(self.engine.evaluations)),
+            (
+                "wall_ns".into(),
+                self.engine.verify_wall.map_or(Json::Null, |d| {
+                    Json::from(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                }),
+            ),
+            ("period_ns".into(), Json::from(self.period.as_ns())),
+        ]);
+        let slack_ns = |s: Option<Time>| s.map_or(Json::Null, |t| Json::from(t.as_ns()));
+        let slack = Json::Arr(
+            self.slack
+                .iter()
+                .map(|m| {
+                    Json::Obj(vec![
+                        ("checker".into(), Json::str(&m.checker)),
+                        ("signal".into(), Json::str(&m.signal)),
+                        ("setup_slack_ns".into(), slack_ns(m.setup_slack)),
+                        ("hold_slack_ns".into(), slack_ns(m.hold_slack)),
+                        ("pulse_slack_ns".into(), slack_ns(m.pulse_slack)),
+                    ])
+                })
+                .collect(),
+        );
+        let storage = Json::Obj(vec![
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.storage
+                        .rows()
+                        .into_iter()
+                        .map(|(area, bytes, _pct)| {
+                            Json::Obj(vec![
+                                ("area".into(), Json::str(area)),
+                                ("bytes".into(), Json::from(bytes as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "total_bytes".into(),
+                Json::from(self.storage.total() as u64),
+            ),
+            (
+                "value_records_per_signal".into(),
+                Json::from(self.storage.value_records_per_signal()),
+            ),
+        ]);
+        let summary = Json::Arr(
+            self.waves
+                .iter()
+                .map(|(name, wave)| {
+                    Json::Obj(vec![
+                        ("signal".into(), Json::str(name)),
+                        ("wave".into(), Json::str(wave.to_string())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::str(REPORT_SCHEMA)),
+            ("version".into(), Json::from(REPORT_VERSION)),
+            ("design".into(), Json::str(&self.design)),
+            ("clean".into(), Json::from(self.is_clean())),
+            (
+                "total_violations".into(),
+                Json::from(self.total_violations() as u64),
+            ),
+            ("engine".into(), engine),
+            (
+                "cases".into(),
+                Json::Arr(self.cases.iter().map(CaseResult::json_value).collect()),
+            ),
+            ("slack".into(), slack),
+            ("storage".into(), storage),
+            (
+                "assumed_stable".into(),
+                Json::Arr(self.assumed_stable.iter().map(Json::str).collect()),
+            ),
+            ("summary".into(), summary),
+        ])
+    }
+
+    /// The versioned JSON document, pretty-printed (see the
+    /// module docs in `report.rs` for the schema).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.json_value().to_string_pretty()
+    }
+}
+
+/// Formats the Fig 3-10 signal-value summary from sorted waveform rows.
+pub(crate) fn format_summary(waves: &[(String, Waveform)]) -> String {
+    let width = waves.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, wave) in waves {
+        out.push_str(&format!("{name:width$}  {wave}\n"));
+    }
+    out
+}
+
+/// Formats the §2.5 assumed-stable cross-reference listing.
+pub(crate) fn format_xref(assumed_stable: &[String], clock_driver_notes: &[String]) -> String {
+    let mut out = String::from("SIGNALS ASSUMED ALWAYS STABLE (no assertion, not generated):\n");
+    for name in assumed_stable {
+        out.push_str(&format!("  {name}\n"));
+    }
+    for note in clock_driver_notes {
+        out.push_str(&format!(
+            "NOTE: {note} carries a clock assertion and is also generated; \
+             the asserted (de-skewed) timing is used.\n"
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +616,7 @@ mod tests {
                 "CK INPUT  = WE: 0 0.0 R 11.5 1 13.5".to_owned(),
                 "DATA INPUT = ADR: S 0.0 C 0.5 S 11.5".to_owned(),
             ],
+            provenance: None,
         };
         let text = v.to_string();
         assert!(text.contains("SETUP TIME VIOLATED"));
@@ -167,6 +624,44 @@ mod tests {
         assert!(text.contains("DATA INPUT = ADR"));
         assert!(v.missed_by_at_least(Time::from_ns(3.0)));
         assert!(!v.missed_by_at_least(Time::from_ns(4.0)));
+    }
+
+    #[test]
+    fn violation_display_includes_provenance_chain() {
+        let period = Time::from_ns(50.0);
+        let v = Violation {
+            kind: ViolationKind::Hold,
+            source: "CHK".to_owned(),
+            constraint: String::new(),
+            missed_by: None,
+            at: None,
+            observed: Vec::new(),
+            provenance: Some(Provenance {
+                hops: vec![
+                    ProvenanceHop {
+                        signal: "BUS".to_owned(),
+                        depth: 0,
+                        via: Some("TOP/RAM#6".to_owned()),
+                        arrival: vec![Span::new(Time::from_ns(0.5), Time::from_ns(4.0), period)],
+                    },
+                    ProvenanceHop {
+                        signal: "ADR .S0-2".to_owned(),
+                        depth: 1,
+                        via: None,
+                        arrival: Vec::new(),
+                    },
+                ],
+                truncated: true,
+            }),
+        };
+        let text = v.to_string();
+        assert!(text.contains("FAN-IN PROVENANCE"), "{text}");
+        assert!(
+            text.contains("BUS <- TOP/RAM#6, changing 0.5..4.5"),
+            "{text}"
+        );
+        assert!(text.contains("ADR .S0-2 (source), quiescent"), "{text}");
+        assert!(text.contains("cone truncated"), "{text}");
     }
 
     #[test]
@@ -178,6 +673,7 @@ mod tests {
             missed_by: None,
             at: None,
             observed: Vec::new(),
+            provenance: None,
         };
         let r = CaseResult {
             name: "case 1".to_owned(),
@@ -190,5 +686,22 @@ mod tests {
         assert_eq!(r.of_kind(ViolationKind::Setup).len(), 1);
         assert_eq!(r.of_kind(ViolationKind::Hold).len(), 0);
         assert!(r.to_string().contains("case 1"));
+    }
+
+    #[test]
+    fn kind_tokens_are_lower_snake() {
+        for kind in [
+            ViolationKind::Setup,
+            ViolationKind::Hold,
+            ViolationKind::StableWhileTrue,
+            ViolationKind::MinPulseHigh,
+            ViolationKind::MinPulseLow,
+            ViolationKind::Hazard,
+            ViolationKind::AssertionViolated,
+            ViolationKind::UndefinedClock,
+        ] {
+            let t = kind.token();
+            assert!(t.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{t}");
+        }
     }
 }

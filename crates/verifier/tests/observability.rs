@@ -1,0 +1,141 @@
+//! The observability contract: trace sinks see exactly the work the
+//! engine reports, violations carry fan-in provenance anchored at the
+//! checked signal, the builder's knobs behave, and attaching a sink
+//! never perturbs verification results.
+
+use scald_gen::figures::{case_analysis_circuit, register_file_circuit};
+use scald_trace::{CounterSink, JsonlSink, TimelineSink};
+use scald_verifier::{Case, Verifier, VerifierBuilder, VerifyError, REPORT_SCHEMA};
+use std::sync::Arc;
+
+#[test]
+fn counter_sink_totals_match_engine_counters() {
+    let (netlist, _) = register_file_circuit();
+    let sink = Arc::new(CounterSink::new());
+    let mut v = VerifierBuilder::new(netlist).trace(sink.clone()).build();
+    let result = v.run().expect("settles");
+
+    let snap = sink.snapshot();
+    assert_eq!(snap.evaluations, result.evaluations);
+    assert_eq!(snap.events, result.events);
+    assert_eq!(snap.cases.len(), 1);
+    assert_eq!(snap.cases[0].violations, result.violations.len());
+    assert!(snap.cases[0].wall_nanos > 0);
+    assert!(!snap.hottest_prims.is_empty());
+    assert!(snap.run_wall_nanos > 0);
+}
+
+#[test]
+fn violations_carry_provenance_anchored_at_checked_signal() {
+    let (netlist, _) = register_file_circuit();
+    let mut v = Verifier::new(netlist);
+    let result = v.run().expect("settles");
+    assert!(!result.violations.is_empty());
+    for violation in &result.violations {
+        let p = violation
+            .provenance
+            .as_ref()
+            .unwrap_or_else(|| panic!("violation without provenance: {violation}"));
+        assert!(!p.hops.is_empty());
+        assert_eq!(p.hops[0].depth, 0, "first hop must be the checked input");
+        // The walk reaches past the anchor into its cone, and the anchor
+        // itself was changing somewhere (that is why the check fired).
+        assert!(p.hops.len() > 1, "cone should extend past the anchor");
+        assert!(!p.hops[0].arrival.is_empty());
+    }
+}
+
+#[test]
+fn builder_oscillation_budget_cuts_runs_short() {
+    let (netlist, _) = register_file_circuit();
+    let mut v = VerifierBuilder::new(netlist).oscillation_budget(3).build();
+    match v.run() {
+        Err(VerifyError::Oscillation { evaluations, .. }) => {
+            // The engine gives up on the first evaluation past the budget.
+            assert_eq!(evaluations, 4, "budget not honored");
+        }
+        other => panic!("expected Oscillation, got {other:?}"),
+    }
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let (netlist, _) = case_analysis_circuit();
+    let cases = vec![
+        Case::new().assign("CONTROL SIGNAL", false),
+        Case::new().assign("CONTROL SIGNAL", true),
+    ];
+    let mut bare = Verifier::new(netlist.clone());
+    let baseline = format!("{:?}", bare.run_cases(&cases).expect("settles"));
+
+    let sink = Arc::new(CounterSink::new());
+    let mut traced = VerifierBuilder::new(netlist).trace(sink.clone()).build();
+    let traced_out = format!("{:?}", traced.run_cases(&cases).expect("settles"));
+    assert_eq!(traced_out, baseline, "tracing perturbed verification");
+    assert!(sink.snapshot().evaluations > 0, "sink saw no work");
+}
+
+#[test]
+fn jsonl_sink_streams_parseable_events() {
+    let (netlist, _) = register_file_circuit();
+    let sink = Arc::new(JsonlSink::new(Vec::new()));
+    let mut v = VerifierBuilder::new(netlist).trace(sink.clone()).build();
+    v.run().expect("settles");
+    drop(v); // release the engine's Arc so the buffer can be reclaimed
+
+    let sink = Arc::into_inner(sink).expect("engine dropped its handle");
+    let body = String::from_utf8(sink.into_inner()).expect("utf-8 stream");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() > 3);
+    for line in &lines {
+        scald_trace::json::parse(line).expect("valid JSONL line");
+    }
+    assert!(lines[0].contains("run_start"));
+    assert!(lines[lines.len() - 1].contains("run_end"));
+}
+
+#[test]
+fn timeline_sink_records_queue_depth_profile() {
+    let (netlist, _) = register_file_circuit();
+    let sink = Arc::new(TimelineSink::new());
+    let mut v = VerifierBuilder::new(netlist).trace(sink.clone()).build();
+    v.run().expect("settles");
+    let samples = sink.samples();
+    assert!(!samples.is_empty());
+    assert!(samples.iter().all(|s| s.ordinal >= 1));
+    let wave = sink.render_base_wave(32);
+    let lines: Vec<&str> = wave.lines().collect();
+    assert_eq!(lines.len(), 9, "8 profile rows + footer: {wave}");
+    assert!(lines[..8].iter().all(|l| l.chars().count() <= 32));
+    assert!(lines[8].contains("queue depth"), "{wave}");
+    // The worklist drains to zero at the fixed point, so at least one
+    // sample is a collapse-to-empty marker.
+    assert!(samples.iter().any(|s| s.depth == 0));
+}
+
+#[test]
+fn report_json_round_trips_through_own_parser() {
+    let (netlist, _) = register_file_circuit();
+    let mut v = Verifier::new(netlist);
+    let results = vec![v.run().expect("settles")];
+    let report = v.report("register-file", &results);
+    assert!(!report.is_clean());
+    assert_eq!(report.total_violations(), results[0].violations.len());
+
+    let doc = scald_trace::json::parse(&report.to_json()).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(scald_trace::json::Json::as_str),
+        Some(REPORT_SCHEMA)
+    );
+    let engine = doc.get("engine").expect("engine stats");
+    assert_eq!(
+        engine
+            .get("evaluations")
+            .and_then(scald_trace::json::Json::as_u64),
+        Some(v.total_evaluations())
+    );
+    // Text renderers stay consistent with the legacy listings.
+    assert_eq!(report.summary_text(), v.summary_listing());
+    assert_eq!(report.xref_text(), v.xref_listing());
+    assert!(report.diagram_text(40).starts_with("time"));
+}

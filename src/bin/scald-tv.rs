@@ -11,63 +11,134 @@
 //!     scald-tv [OPTIONS] <DESIGN.scald>
 //!
 //! OPTIONS:
-//!     --summary     print the Fig 3-10 signal-value summary listing
-//!     --diagram     print an ASCII timing diagram of all signals
-//!     --slack       print per-checker timing margins (worst first)
-//!     --paths       print the worst-case path analysis (GRASP-style)
-//!     --netlist     print the fully elaborated (flattened) design
-//!     --xref        print the assumed-stable cross-reference listing
-//!     --stats       print expansion/verification statistics (Table 3-1)
-//!     --storage     print the storage breakdown (Table 3-3)
-//!     --no-cases    ignore the design's case blocks (single pass)
-//!     --jobs N      case-analysis worker count (default: CPU cores)
+//!     --summary        print the Fig 3-10 signal-value summary listing
+//!     --diagram        print an ASCII timing diagram of all signals
+//!     --slack          print per-checker timing margins (worst first)
+//!     --paths          print the worst-case path analysis (GRASP-style)
+//!     --netlist        print the fully elaborated (flattened) design
+//!     --xref           print the assumed-stable cross-reference listing
+//!     --stats          print expansion/verification statistics (Table 3-1)
+//!     --storage        print the storage breakdown (Table 3-3)
+//!     --format FORMAT  output format: text (default) or json — json emits
+//!                      one versioned document covering violations with
+//!                      fan-in provenance, engine statistics and every
+//!                      requested listing
+//!     --trace FILE     stream engine trace events (one JSON object per
+//!                      line) to FILE while verifying
+//!     --no-cases       ignore the design's case blocks (single pass)
+//!     --jobs N         case-analysis worker count (default: CPU cores)
 //! ```
+//!
+//! Exit codes: 0 = no timing errors, 1 = violations found, 2 = usage or
+//! compile/oscillation error.
 
 use scald::hdl;
-use scald::verifier::{Case, Verifier};
+use scald::trace::json::Json;
+use scald::trace::JsonlSink;
+use scald::verifier::{Case, CaseResult, Verifier, VerifierBuilder, VerifyError};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// One optional report section, in the order the text renderer prints
+/// them. `--format json` folds every requested section into the single
+/// output document instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Listing {
+    /// Fig 3-10 signal-value summary.
+    Summary,
+    /// ASCII timing diagram.
+    Diagram,
+    /// Per-checker timing margins.
+    Slack,
+    /// Worst-case path analysis (the value-blind baseline).
+    Paths,
+    /// The fully elaborated design.
+    Netlist,
+    /// The assumed-stable cross-reference (§2.5).
+    Xref,
+    /// Expansion and verification statistics.
+    Stats,
+    /// The Table 3-3 storage breakdown.
+    Storage,
+}
+
+impl Listing {
+    fn from_flag(flag: &str) -> Option<Listing> {
+        Some(match flag {
+            "--summary" => Listing::Summary,
+            "--diagram" => Listing::Diagram,
+            "--slack" => Listing::Slack,
+            "--paths" => Listing::Paths,
+            "--netlist" => Listing::Netlist,
+            "--xref" => Listing::Xref,
+            "--stats" => Listing::Stats,
+            "--storage" => Listing::Storage,
+            _ => return None,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Format {
+    #[default]
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: scald-tv [--summary] [--diagram] [--slack] \
+                     [--paths] [--netlist] [--xref] [--stats] [--storage] \
+                     [--format text|json] [--trace FILE] \
+                     [--no-cases] [--jobs N] <DESIGN.scald>";
 
 struct Options {
     path: String,
-    summary: bool,
-    diagram: bool,
-    slack: bool,
-    paths: bool,
-    netlist: bool,
-    xref: bool,
-    stats: bool,
-    storage: bool,
+    listings: Vec<Listing>,
+    format: Format,
+    trace: Option<String>,
     no_cases: bool,
     jobs: Option<usize>,
+}
+
+impl Options {
+    fn wants(&self, l: Listing) -> bool {
+        self.listings.contains(&l)
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         path: String::new(),
-        summary: false,
-        diagram: false,
-        slack: false,
-        paths: false,
-        netlist: false,
-        xref: false,
-        stats: false,
-        storage: false,
+        listings: Vec::new(),
+        format: Format::Text,
+        trace: None,
         no_cases: false,
         jobs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if let Some(listing) = Listing::from_flag(&arg) {
+            if !opts.listings.contains(&listing) {
+                opts.listings.push(listing);
+            }
+            continue;
+        }
         match arg.as_str() {
-            "--summary" => opts.summary = true,
-            "--diagram" => opts.diagram = true,
-            "--slack" => opts.slack = true,
-            "--paths" => opts.paths = true,
-            "--netlist" => opts.netlist = true,
-            "--xref" => opts.xref = true,
-            "--stats" => opts.stats = true,
-            "--storage" => opts.storage = true,
             "--no-cases" => opts.no_cases = true,
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    _ => return Err("--format expects 'text' or 'json'".to_owned()),
+                };
+            }
+            "--trace" => {
+                let file = args
+                    .next()
+                    .filter(|f| !f.is_empty())
+                    .ok_or_else(|| "--trace expects a file path".to_owned())?;
+                opts.trace = Some(file);
+            }
             "--jobs" => {
                 let n = args
                     .next()
@@ -76,12 +147,7 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| "--jobs expects a worker count >= 1".to_owned())?;
                 opts.jobs = Some(n);
             }
-            "--help" | "-h" => {
-                return Err("usage: scald-tv [--summary] [--diagram] [--slack] \
-                            [--paths] [--xref] [--stats] [--storage] \
-                            [--no-cases] [--jobs N] <DESIGN.scald>"
-                    .to_owned())
-            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}; try --help"))
             }
@@ -97,6 +163,35 @@ fn parse_args() -> Result<Options, String> {
         return Err("no design file given; try --help".to_owned());
     }
     Ok(opts)
+}
+
+/// The worst-case path listing, shared by the text and JSON renderers.
+fn path_lines(netlist: &scald::netlist::Netlist) -> Vec<String> {
+    let analysis = scald::paths::PathAnalysis::analyze(netlist);
+    let mut lines: Vec<String> = analysis.reports().iter().map(ToString::to_string).collect();
+    for group in analysis.loops() {
+        lines.push(format!("LOOP NEEDS A BREAKPOINT: {}", group.join(", ")));
+    }
+    let slacks = analysis.signal_slacks(netlist);
+    if !slacks.is_empty() {
+        lines.push("critical region (worst signal slacks):".to_owned());
+        for (sid, slack) in slacks.iter().take(8) {
+            lines.push(format!("  {:<30} {slack}", netlist.signal(*sid).name));
+        }
+    }
+    lines
+}
+
+fn run_verifier(
+    opts: &Options,
+    verifier: &mut Verifier,
+    cases: &[Case],
+) -> Result<Vec<CaseResult>, VerifyError> {
+    match opts.jobs {
+        // Default: the parallel engine picks its own worker count.
+        None => verifier.run_cases(cases),
+        Some(n) => verifier.run_cases_with_jobs(cases, n),
+    }
 }
 
 fn main() -> ExitCode {
@@ -125,8 +220,9 @@ fn main() -> ExitCode {
         }
     };
     let expand_time = t.elapsed();
+    let text = opts.format == Format::Text;
 
-    if opts.stats {
+    if text && opts.wants(Listing::Stats) {
         let s = expansion.stats;
         eprintln!(
             "expanded {} macros / {} instances -> {} primitives, {} signals \
@@ -135,24 +231,22 @@ fn main() -> ExitCode {
         );
     }
 
-    if opts.netlist {
-        println!("--- fully elaborated design ---");
-        print!("{}", expansion.netlist.listing());
-    }
-    if opts.paths {
-        println!("--- worst-case path analysis (value-blind baseline) ---");
-        let analysis = scald::paths::PathAnalysis::analyze(&expansion.netlist);
-        for report in analysis.reports() {
-            println!("{report}");
+    // Sections that need the netlist before the verifier takes ownership.
+    let netlist_listing = opts
+        .wants(Listing::Netlist)
+        .then(|| expansion.netlist.listing());
+    let paths_listing = opts
+        .wants(Listing::Paths)
+        .then(|| path_lines(&expansion.netlist));
+    if text {
+        if let Some(listing) = &netlist_listing {
+            println!("--- fully elaborated design ---");
+            print!("{listing}");
         }
-        for group in analysis.loops() {
-            println!("LOOP NEEDS A BREAKPOINT: {}", group.join(", "));
-        }
-        let slacks = analysis.signal_slacks(&expansion.netlist);
-        if !slacks.is_empty() {
-            println!("critical region (worst signal slacks):");
-            for (sid, slack) in slacks.iter().take(8) {
-                println!("  {:<30} {slack}", expansion.netlist.signal(*sid).name);
+        if let Some(lines) = &paths_listing {
+            println!("--- worst-case path analysis (value-blind baseline) ---");
+            for line in lines {
+                println!("{line}");
             }
         }
     }
@@ -171,14 +265,20 @@ fn main() -> ExitCode {
             .collect()
     };
 
+    let mut builder = VerifierBuilder::new(expansion.netlist);
+    if let Some(file) = &opts.trace {
+        match JsonlSink::create(file) {
+            Ok(sink) => builder = builder.trace(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("scald-tv: cannot create trace file {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut verifier = builder.build();
+
     let t = Instant::now();
-    let mut verifier = Verifier::new(expansion.netlist);
-    let results = match opts.jobs {
-        // Default: the parallel engine picks its own worker count.
-        None => verifier.run_cases(&cases),
-        Some(n) => verifier.run_cases_with_jobs(&cases, n),
-    };
-    let results = match results {
+    let results = match run_verifier(&opts, &mut verifier, &cases) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("scald-tv: {e}");
@@ -187,59 +287,98 @@ fn main() -> ExitCode {
     };
     let verify_time = t.elapsed();
 
-    let mut total = 0usize;
-    for result in &results {
-        if results.len() > 1 || !result.is_clean() {
-            println!("{result}");
+    let mut report = verifier.report(&opts.path, &results);
+    report.engine.verify_wall = Some(verify_time);
+    if let Some(n) = opts.jobs {
+        report.engine.jobs = n;
+    }
+    let total = report.total_violations();
+
+    if text {
+        for result in &results {
+            if results.len() > 1 || !result.is_clean() {
+                println!("{result}");
+            }
         }
-        total += result.violations.len();
-    }
-    if opts.stats {
-        eprintln!(
-            "verified {} case(s) in {verify_time:?}, {} events total",
-            results.len(),
-            verifier.total_events()
-        );
-    }
-    if opts.summary {
-        println!("--- signal values over the cycle ---");
-        print!("{}", verifier.summary_listing());
-    }
-    if opts.diagram {
-        println!("--- timing diagram ---");
-        print!("{}", verifier.timing_diagram(64));
-    }
-    if opts.slack {
-        println!("--- timing margins (worst first) ---");
-        let fmt = |s: Option<scald::wave::Time>| {
-            s.map_or_else(|| "     -".to_owned(), |t| format!("{t:>6}"))
-        };
-        println!(
-            "{:<40} {:>8} {:>8} {:>8}",
-            "CHECKER", "SETUP", "HOLD", "PULSE"
-        );
-        for m in verifier.slack_report() {
-            println!(
-                "{:<40} {:>8} {:>8} {:>8}",
-                m.checker,
-                fmt(m.setup_slack),
-                fmt(m.hold_slack),
-                fmt(m.pulse_slack)
+        if opts.wants(Listing::Stats) {
+            eprintln!(
+                "verified {} case(s) in {verify_time:?}, {} events total",
+                results.len(),
+                verifier.total_events()
             );
         }
-    }
-    if opts.xref {
-        print!("{}", verifier.xref_listing());
-    }
-    if opts.storage {
-        println!("{}", verifier.storage_report());
+        if opts.wants(Listing::Summary) {
+            println!("--- signal values over the cycle ---");
+            print!("{}", report.summary_text());
+        }
+        if opts.wants(Listing::Diagram) {
+            println!("--- timing diagram ---");
+            print!("{}", report.diagram_text(64));
+        }
+        if opts.wants(Listing::Slack) {
+            println!("--- timing margins (worst first) ---");
+            print!("{}", report.slack_text());
+        }
+        if opts.wants(Listing::Xref) {
+            print!("{}", report.xref_text());
+        }
+        if opts.wants(Listing::Storage) {
+            print!("{}", report.storage_text());
+        }
+        if total == 0 {
+            println!("no timing errors.");
+        } else {
+            println!("{total} timing violation(s).");
+        }
+    } else {
+        // One versioned document; requested listings that are not already
+        // part of the schema ride along as extra top-level sections.
+        let Json::Obj(mut fields) = report.json_value() else {
+            unreachable!("Report::json_value returns an object");
+        };
+        if let Some(listing) = &netlist_listing {
+            fields.push((
+                "netlist".to_owned(),
+                Json::Arr(listing.lines().map(Json::str).collect()),
+            ));
+        }
+        if let Some(lines) = &paths_listing {
+            fields.push((
+                "paths".to_owned(),
+                Json::Arr(lines.iter().map(Json::str).collect()),
+            ));
+        }
+        if opts.wants(Listing::Stats) {
+            let s = expansion.stats;
+            fields.push((
+                "expansion".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "macros_defined".to_owned(),
+                        Json::from(s.macros_defined as u64),
+                    ),
+                    (
+                        "instances_expanded".to_owned(),
+                        Json::from(s.instances_expanded as u64),
+                    ),
+                    (
+                        "prims_emitted".to_owned(),
+                        Json::from(s.prims_emitted as u64),
+                    ),
+                    ("signals".to_owned(), Json::from(s.signals as u64)),
+                    (
+                        "wall_ns".to_owned(),
+                        Json::from(u64::try_from(expand_time.as_nanos()).unwrap_or(u64::MAX)),
+                    ),
+                ]),
+            ));
+        }
+        print!("{}", Json::Obj(fields).to_string_pretty());
     }
 
     if total == 0 {
-        println!("no timing errors.");
         ExitCode::SUCCESS
     } else {
-        println!("{total} timing violation(s).");
         ExitCode::FAILURE
     }
 }

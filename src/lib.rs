@@ -24,6 +24,7 @@
 //! | [`paths`] | baseline: worst-case path search (§1.4.2) |
 //! | [`stats`] | extension: probability-based analysis (§1.4.1.2, §4.2.4) |
 //! | [`gen`] | the thesis' figure circuits and the S-1-like design generator |
+//! | [`trace`] | engine observability: trace events, sinks, the JSON toolkit |
 //!
 //! # Quickstart
 //!
@@ -73,5 +74,6 @@ pub use scald_netlist as netlist;
 pub use scald_paths as paths;
 pub use scald_sim as sim;
 pub use scald_stats as stats;
+pub use scald_trace as trace;
 pub use scald_verifier as verifier;
 pub use scald_wave as wave;

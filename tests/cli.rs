@@ -1,0 +1,222 @@
+//! End-to-end tests of the `scald-tv` binary: the documented exit codes
+//! (0 = clean, 1 = violations, 2 = usage/compile error) and the golden
+//! shape of the `--format json` document, validated with the workspace's
+//! own parser and cross-checked against a library run of the same design.
+
+use scald::trace::json::{parse, Json};
+use scald::verifier::{Verifier, REPORT_SCHEMA, REPORT_VERSION};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_scald-tv");
+
+fn design(name: &str) -> String {
+    format!("{}/designs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("scald-tv binary runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("process not killed by signal")
+}
+
+#[test]
+fn clean_design_exits_zero() {
+    let out = run(&[&design("mini_cpu.scald")]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(text(&out.stdout).contains("no timing errors."));
+}
+
+#[test]
+fn violating_design_exits_one() {
+    let out = run(&[&design("register_file.scald")]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+    let stdout = text(&out.stdout);
+    assert!(stdout.contains("SETUP TIME VIOLATED"), "{stdout}");
+    assert!(stdout.contains("FAN-IN PROVENANCE"), "{stdout}");
+    assert!(stdout.contains("timing violation(s)."), "{stdout}");
+}
+
+#[test]
+fn missing_file_and_bad_usage_exit_two() {
+    assert_eq!(exit_code(&run(&["/nonexistent/x.scald"])), 2);
+    assert_eq!(
+        exit_code(&run(&["--frobnicate", &design("mini_cpu.scald")])),
+        2
+    );
+    assert_eq!(exit_code(&run(&[])), 2);
+    assert_eq!(
+        exit_code(&run(&["--format", "yaml", &design("mini_cpu.scald")])),
+        2
+    );
+    assert_eq!(
+        exit_code(&run(&["--jobs", "0", &design("mini_cpu.scald")])),
+        2
+    );
+}
+
+#[test]
+fn help_usage_names_every_flag() {
+    let out = run(&["--help"]);
+    assert_eq!(exit_code(&out), 2);
+    let usage = text(&out.stderr);
+    for flag in [
+        "--summary",
+        "--diagram",
+        "--slack",
+        "--paths",
+        "--netlist",
+        "--xref",
+        "--stats",
+        "--storage",
+        "--format",
+        "--trace",
+        "--no-cases",
+        "--jobs",
+    ] {
+        assert!(usage.contains(flag), "usage omits {flag}: {usage}");
+    }
+}
+
+/// The golden test for `--format json`: the emitted document must parse
+/// with the workspace's strict parser, carry the documented schema and
+/// version, and agree with a library run of the same design on the
+/// violation counts. Violations must carry non-empty provenance chains
+/// anchored at the checked signal.
+#[test]
+fn json_report_is_valid_and_matches_library_run() {
+    let path = design("register_file.scald");
+    let out = run(&["--format", "json", &path]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+    let doc = parse(&text(&out.stdout)).expect("scald-tv emits valid JSON");
+
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(REPORT_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("version").and_then(Json::as_u64),
+        Some(REPORT_VERSION)
+    );
+    assert_eq!(doc.get("clean").and_then(Json::as_bool), Some(false));
+
+    // Engine statistics must reflect real work.
+    let engine = doc.get("engine").expect("engine section");
+    for key in ["signals", "prims", "events", "evaluations", "wall_ns"] {
+        let n = engine.get(key).and_then(Json::as_u64).unwrap_or(0);
+        assert!(n > 0, "engine.{key} should be positive: {engine}");
+    }
+
+    // Round-trip the violation counts against the library.
+    let src = std::fs::read_to_string(&path).expect("shipped design");
+    let expansion = scald::hdl::compile(&src).expect("compiles");
+    let mut verifier = Verifier::new(expansion.netlist);
+    let expected = verifier.run().expect("settles").violations.len() as u64;
+    assert!(expected > 0);
+    assert_eq!(
+        doc.get("total_violations").and_then(Json::as_u64),
+        Some(expected)
+    );
+
+    let cases = doc.get("cases").and_then(Json::as_array).expect("cases");
+    let counted: u64 = cases
+        .iter()
+        .map(|c| {
+            c.get("violations")
+                .and_then(Json::as_array)
+                .map_or(0, |v| v.len() as u64)
+        })
+        .sum();
+    assert_eq!(counted, expected, "per-case counts disagree with total");
+
+    // Every violation carries a provenance chain whose first hop is the
+    // checked input at depth 0.
+    for case in cases {
+        for v in case.get("violations").and_then(Json::as_array).unwrap() {
+            assert!(v.get("kind").and_then(Json::as_str).is_some(), "{v}");
+            let prov = v.get("provenance").expect("provenance field");
+            let hops = prov.get("hops").and_then(Json::as_array).expect("hops");
+            assert!(!hops.is_empty(), "empty provenance: {v}");
+            assert_eq!(hops[0].get("depth").and_then(Json::as_u64), Some(0));
+            assert!(hops[0].get("signal").and_then(Json::as_str).is_some());
+        }
+    }
+}
+
+#[test]
+fn json_report_on_clean_design_is_clean() {
+    let out = run(&["--format", "json", &design("mini_cpu.scald")]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    let doc = parse(&text(&out.stdout)).expect("valid JSON");
+    assert_eq!(doc.get("clean").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("total_violations").and_then(Json::as_u64), Some(0));
+    // Both shipped cases appear, in order.
+    let cases = doc.get("cases").and_then(Json::as_array).expect("cases");
+    assert_eq!(cases.len(), 2);
+}
+
+#[test]
+fn json_extra_sections_ride_along() {
+    let out = run(&[
+        "--format",
+        "json",
+        "--netlist",
+        "--paths",
+        "--stats",
+        &design("case_analysis.scald"),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    let doc = parse(&text(&out.stdout)).expect("valid JSON");
+    assert!(doc
+        .get("netlist")
+        .and_then(Json::as_array)
+        .is_some_and(|a| !a.is_empty()));
+    assert!(doc.get("paths").and_then(Json::as_array).is_some());
+    let expansion = doc.get("expansion").expect("expansion stats");
+    assert!(
+        expansion
+            .get("prims_emitted")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0
+    );
+}
+
+#[test]
+fn trace_file_contains_run_events() {
+    let dir = std::env::temp_dir().join(format!("scald-tv-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = run(&[
+        "--trace",
+        trace.to_str().expect("utf-8 temp path"),
+        &design("case_analysis.scald"),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() > 2, "trace too short: {body}");
+    for line in &lines {
+        parse(line).expect("every trace line is valid JSON");
+    }
+    assert_eq!(
+        parse(lines[0]).unwrap().get("type").and_then(Json::as_str),
+        Some("run_start")
+    );
+    assert_eq!(
+        parse(lines[lines.len() - 1])
+            .unwrap()
+            .get("type")
+            .and_then(Json::as_str),
+        Some("run_end")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
