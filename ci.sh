@@ -18,6 +18,12 @@ cargo test --workspace -q
 # The CLI integration suite alone, named so a red run points here.
 cargo test -q --test cli
 
+# Examples must keep building; incr_session doubles as a smoke test of
+# the incremental re-verification subsystem (it asserts the warm report
+# is byte-identical to a cold run).
+cargo build --examples
+cargo run -q --example incr_session
+
 # Rendered docs must stay warning-free; the report JSON schema lives in
 # crates/verifier/src/report.rs module docs.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

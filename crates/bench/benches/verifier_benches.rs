@@ -8,6 +8,7 @@ use scald_gen::figures::{
     alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_incr::{Delta, NetlistDelta, Session};
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
@@ -164,6 +165,50 @@ fn trace_overhead(b: &Bench) {
     );
 }
 
+/// Incremental re-verification (`scald-incr`): a full cold pass over the
+/// 400-chip design vs a warm [`Session::apply`] of a one-primitive ECO
+/// retime. The warm routine alternates between two delay values so every
+/// iteration is a genuine edit (same dirty cone each time); it includes
+/// the netlist rebuild, hashing and verifier-clone overhead, so the
+/// measured gap is what a `--watch` user actually sees per edit.
+///
+/// [`Session::apply`]: scald_incr::Session::apply
+fn incr_vs_full(b: &Bench) {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 400,
+        ..S1Options::default()
+    });
+    b.bench_with_setup(
+        "incr_vs_full/full_verify/400",
+        || netlist.clone(),
+        |netlist| {
+            let mut v = Verifier::new(netlist);
+            v.run().expect("settles")
+        },
+    );
+    let target = netlist
+        .prims()
+        .iter()
+        .find(|p| p.name.ends_with("/LOGIC"))
+        .expect("generated design has datapath slices")
+        .name
+        .clone();
+    let mut session =
+        Session::from_netlist(netlist.clone(), vec![Case::new()], "bench").expect("settles");
+    let delays = [DelayRange::from_ns(2.0, 6.0), DelayRange::from_ns(2.5, 7.0)];
+    let mut flip = 0usize;
+    b.bench("incr_vs_full/warm_retime/400", move || {
+        let mut delta = NetlistDelta::new();
+        delta.retime(target.clone(), delays[flip % delays.len()]);
+        flip += 1;
+        session
+            .apply(Delta::Netlist(delta))
+            .expect("retime applies")
+            .stats
+            .events
+    });
+}
+
 fn muxed_paths_circuit(n: usize) -> Netlist {
     let mut b = NetlistBuilder::new(Config::s1_example());
     let clk = b.signal("CK .P6-7 (0,0)").expect("valid");
@@ -246,5 +291,6 @@ fn main() {
     table_3_1_scaling(&b);
     par_cases(&b);
     trace_overhead(&b);
+    incr_vs_full(&b);
     verifier_vs_sim(&b);
 }

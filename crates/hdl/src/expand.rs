@@ -132,7 +132,6 @@ pub fn expand(design: &Design) -> Result<Expansion, HdlError> {
         builder: None,
         instances: 0,
         prims: 0,
-        next_ordinal: 0,
     };
     pass1.block(&design.top, &Env::new(), &HashMap::new(), "TOP", 0)?;
     let widths = pass1.widths;
@@ -152,7 +151,6 @@ pub fn expand(design: &Design) -> Result<Expansion, HdlError> {
         builder: Some(&mut builder),
         instances: 0,
         prims: 0,
-        next_ordinal: 0,
     };
     pass2.block(&design.top, &Env::new(), &HashMap::new(), "TOP", 0)?;
     let prims = pass2.prims;
@@ -219,7 +217,6 @@ struct Walker<'a> {
     builder: Option<&'a mut NetlistBuilder>,
     instances: usize,
     prims: usize,
-    next_ordinal: usize,
 }
 
 impl<'a> Walker<'a> {
@@ -329,6 +326,19 @@ impl<'a> Walker<'a> {
                 format!("macro nesting exceeds {MAX_DEPTH} levels; recursive macro?"),
             );
         }
+        // Instance names are `{path}/{kind-or-macro}#{n}` where `n`
+        // counts same-named statements *within this block only*. A
+        // statement's generated name therefore depends only on the
+        // statements above it in its own body — editing one macro body
+        // never renames primitives expanded from another, which is what
+        // lets incremental re-verification (`scald-incr`) match survivors
+        // across a re-expansion.
+        let mut ordinals: HashMap<&str, usize> = HashMap::new();
+        fn next_ordinal<'k>(ordinals: &mut HashMap<&'k str, usize>, key: &'k str) -> usize {
+            let n = ordinals.entry(key).or_insert(0);
+            *n += 1;
+            *n
+        }
         for stmt in stmts {
             match stmt {
                 Stmt::SignalDecl { conn, line } => {
@@ -368,7 +378,8 @@ impl<'a> Walker<'a> {
                     outputs,
                     line,
                 } => {
-                    self.prim_stmt(kind, attrs, inputs, outputs, env, bindings, path, *line)?;
+                    let n = next_ordinal(&mut ordinals, kind);
+                    self.prim_stmt(kind, attrs, inputs, outputs, env, bindings, path, n, *line)?;
                 }
                 Stmt::Use {
                     name,
@@ -377,8 +388,9 @@ impl<'a> Walker<'a> {
                     outputs,
                     line,
                 } => {
+                    let n = next_ordinal(&mut ordinals, name);
                     self.use_stmt(
-                        name, attrs, inputs, outputs, env, bindings, path, depth, *line,
+                        name, attrs, inputs, outputs, env, bindings, path, depth, n, *line,
                     )?;
                 }
             }
@@ -397,6 +409,7 @@ impl<'a> Walker<'a> {
         bindings: &HashMap<String, Bound>,
         path: &str,
         depth: usize,
+        ordinal: usize,
         line: u32,
     ) -> Result<(), HdlError> {
         let mac = self
@@ -407,8 +420,7 @@ impl<'a> Walker<'a> {
                 line,
             })?;
         self.instances += 1;
-        self.next_ordinal += 1;
-        let inst_path = format!("{path}/{}#{}", mac.name, self.next_ordinal);
+        let inst_path = format!("{path}/{}#{ordinal}", mac.name);
 
         // Parameter environment: defaults, then call-site overrides.
         let mut callee_env = Env::new();
@@ -506,6 +518,7 @@ impl<'a> Walker<'a> {
         env: &Env,
         bindings: &HashMap<String, Bound>,
         path: &str,
+        ordinal: usize,
         line: u32,
     ) -> Result<(), HdlError> {
         let attr = |name: &str| -> Option<AttrVal> {
@@ -598,8 +611,7 @@ impl<'a> Walker<'a> {
         }
 
         self.prims += 1;
-        self.next_ordinal += 1;
-        let inst_name = format!("{path}/{kind}#{}", self.next_ordinal);
+        let inst_name = format!("{path}/{kind}#{ordinal}");
 
         let mut conns = Vec::with_capacity(inputs.len());
         for c in inputs {

@@ -96,10 +96,82 @@ fn prim_stmt(rng: &mut Rng) -> Stmt {
     }
 }
 
+/// A macro instantiation of the design's single `HELPER` macro.
+fn use_stmt(rng: &mut Rng) -> Stmt {
+    Stmt::Use {
+        name: "HELPER".to_owned(),
+        attrs: if rng.bool() {
+            vec![(
+                "SIZE".to_owned(),
+                AttrVal::Num(f64::from(rng.range_u32(1, 9))),
+            )]
+        } else {
+            Vec::new()
+        },
+        inputs: vec![conn(rng)],
+        outputs: vec![conn(rng)],
+        line: 0,
+    }
+}
+
+/// The declaration-flavoured statements: signal widths, wired-OR marks,
+/// per-signal wire-delay overrides.
+fn decl_stmt(rng: &mut Rng) -> Stmt {
+    match rng.range_u32(0, 3) {
+        0 => Stmt::SignalDecl {
+            conn: ConnExpr {
+                invert: false,
+                name: fancy_name(rng),
+                range: if rng.bool() {
+                    Some((Expr::Num(0), Expr::Num(rng.range_i64(1, 32))))
+                } else {
+                    None
+                },
+                scope: if rng.bool() {
+                    Some(ScopeMark::Local)
+                } else {
+                    None
+                },
+                directive: None,
+            },
+            line: 0,
+        },
+        1 => Stmt::WiredOr {
+            name: fancy_name(rng),
+            line: 0,
+        },
+        _ => {
+            let min = f64::from(rng.range_u32(0, 50)) / 10.0;
+            Stmt::WireDelay {
+                name: fancy_name(rng),
+                min,
+                max: min + f64::from(rng.range_u32(0, 50)) / 10.0,
+                line: 0,
+            }
+        }
+    }
+}
+
+/// Any top-level statement, weighted toward primitives.
+fn stmt(rng: &mut Rng) -> Stmt {
+    match rng.range_u32(0, 6) {
+        0 => use_stmt(rng),
+        1 => decl_stmt(rng),
+        _ => prim_stmt(rng),
+    }
+}
+
 fn design(rng: &mut Rng) -> Design {
     let name = ident(rng);
-    let top: Vec<Stmt> = (0..rng.range_usize(1, 5)).map(|_| prim_stmt(rng)).collect();
-    let body: Vec<Stmt> = (0..rng.range_usize(0, 3)).map(|_| prim_stmt(rng)).collect();
+    let top: Vec<Stmt> = (0..rng.range_usize(1, 6)).map(|_| stmt(rng)).collect();
+    // No `use` in the macro body: HELPER instantiating itself would only
+    // exercise the recursion guard and starve the expansion property.
+    let body: Vec<Stmt> = (0..rng.range_usize(0, 3))
+        .map(|_| match rng.range_u32(0, 5) {
+            0 => decl_stmt(rng),
+            _ => prim_stmt(rng),
+        })
+        .collect();
     let cases: Vec<Vec<(String, bool)>> = (0..rng.range_usize(0, 2))
         .map(|_| {
             (0..rng.range_usize(1, 3))
@@ -197,5 +269,123 @@ fn expansion_agrees_across_round_trip() {
             a.netlist.primitive_histogram(),
             b.netlist.primitive_histogram()
         );
+    }
+}
+
+/// A buffer statement `buf (IN) -> (OUT)` over plain signal names.
+fn buf_stmt(input: &str, output: &str, scope: Option<ScopeMark>) -> Stmt {
+    let end = |name: &str| ConnExpr {
+        invert: false,
+        name: name.to_owned(),
+        range: None,
+        scope,
+        directive: None,
+    };
+    Stmt::Prim {
+        kind: "buf".to_owned(),
+        attrs: Vec::new(),
+        inputs: vec![end(input)],
+        outputs: vec![end(output)],
+        line: 0,
+    }
+}
+
+/// A design with two macros (`HA`, `HB`) instantiated in a random
+/// interleaving with top-level primitives.
+fn two_macro_design(rng: &mut Rng) -> Design {
+    let mac = |name: &str, extra: usize| MacroDef {
+        name: name.to_owned(),
+        params: Vec::new(),
+        inputs: vec![Port {
+            name: "A".to_owned(),
+            range: None,
+        }],
+        outputs: vec![Port {
+            name: "Q".to_owned(),
+            range: None,
+        }],
+        body: {
+            let mut body = vec![buf_stmt("A", "Q", None)];
+            for k in 0..extra {
+                body.push(buf_stmt("A", &format!("T{k}"), Some(ScopeMark::Local)));
+            }
+            body
+        },
+        line: 0,
+    };
+    let mut top = Vec::new();
+    for i in 0..rng.range_usize(4, 9) {
+        top.push(match rng.range_u32(0, 3) {
+            0 => buf_stmt(&format!("IN{i}"), &format!("W{i}"), None),
+            kind => Stmt::Use {
+                name: if kind == 1 { "HA" } else { "HB" }.to_owned(),
+                attrs: Vec::new(),
+                inputs: vec![ConnExpr {
+                    invert: false,
+                    name: format!("IN{i}"),
+                    range: None,
+                    scope: None,
+                    directive: None,
+                }],
+                outputs: vec![ConnExpr {
+                    invert: false,
+                    name: format!("W{i}"),
+                    range: None,
+                    scope: None,
+                    directive: None,
+                }],
+                line: 0,
+            },
+        });
+    }
+    Design {
+        name: "STABLE IDS".to_owned(),
+        period_ns: 50.0,
+        clock_unit_ns: 6.25,
+        wire_delay_ns: (0.0, 2.0),
+        precision_skew_ns: (1.0, 1.0),
+        clock_skew_ns: (5.0, 5.0),
+        macros: vec![mac("HA", 1), mac("HB", rng.range_usize(0, 3))],
+        top,
+        cases: Vec::new(),
+    }
+}
+
+/// The guarantee `scald-incr` warm starts rest on: expanded instance
+/// names are *stable* under macro-body edits. Growing `HB`'s body must
+/// not rename any primitive outside the `HB` instances — with the old
+/// global-ordinal naming, an extra statement inside one macro body
+/// shifted the ordinals of every primitive expanded after it.
+#[test]
+fn macro_body_edit_keeps_outside_prim_names_stable() {
+    use std::collections::BTreeSet;
+    let mut rng = Rng::seed_from_u64(0x1d1_0003);
+    for _ in 0..32 {
+        let original = two_macro_design(&mut rng);
+        let a = expand(&original).expect("original expands");
+
+        let mut edited = original.clone();
+        edited.macros[1]
+            .body
+            .push(buf_stmt("A", "PATCH", Some(ScopeMark::Local)));
+        let b = expand(&edited).expect("edited design expands");
+
+        let names = |e: &scald_hdl::Expansion| -> BTreeSet<String> {
+            e.netlist.prims().iter().map(|p| p.name.clone()).collect()
+        };
+        let outside = |s: &BTreeSet<String>| -> BTreeSet<String> {
+            s.iter().filter(|n| !n.contains("HB#")).cloned().collect()
+        };
+        let (before, after) = (names(&a), names(&b));
+        assert_eq!(
+            outside(&before),
+            outside(&after),
+            "names outside the edited macro must not move"
+        );
+        // The edit itself landed: one new primitive per HB instance.
+        let hb_instances = before.iter().filter(|n| n.contains("HB#")).count() > 0;
+        if hb_instances {
+            assert!(after.len() > before.len(), "edited body grew the design");
+        }
     }
 }

@@ -1,0 +1,492 @@
+//! The [`Session`] type: a settled verifier plus content hashes, and the
+//! warm-start re-verification pipeline behind [`Session::apply`].
+
+use scald_netlist::{DeltaError, Netlist, NetlistDelta, PrimId, SignalId};
+use scald_trace::TraceSink;
+use scald_verifier::{Case, Report, Verifier, VerifierBuilder, VerifyError};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An edit to re-verify against a [`Session`].
+#[derive(Debug, Clone)]
+pub enum Delta {
+    /// Replace the whole design from HDL source text. The source is
+    /// re-expanded by `scald-hdl`; because expanded instance names are
+    /// stable across re-expansion (per-block ordinals), primitives whose
+    /// definition did not change hash identically and stay warm. The
+    /// design's `case` blocks replace the session's case set.
+    Source(String),
+    /// Apply structural edits ([`NetlistDelta`]) to the current netlist:
+    /// add/remove/retime primitives, change assertions. The case set is
+    /// kept.
+    Netlist(NetlistDelta),
+    /// Replace the case set only; the netlist (and its settled base
+    /// fixed point) carries over untouched.
+    Cases(Vec<Case>),
+}
+
+/// Effort accounting for one [`Session::apply`] (or initial open).
+#[derive(Debug, Clone, Copy)]
+pub struct IncrStats {
+    /// `false` when the session fell back to a cold run (initial open,
+    /// or a design-configuration change).
+    pub warm: bool,
+    /// Primitives whose content hash changed (or that are new).
+    pub dirty_prims: usize,
+    /// Primitives seeded into the worklist (the dirty frontier).
+    pub seeded_prims: usize,
+    /// Size of the structurally affected cone
+    /// ([`Netlist::affected_cone`]): the upper bound on what re-settling
+    /// may touch.
+    pub cone_prims: usize,
+    /// Total primitives in the (edited) design.
+    pub total_prims: usize,
+    /// Signal-change events this re-verification processed (base settle
+    /// plus all cases).
+    pub events: u64,
+    /// Primitive evaluations this re-verification processed.
+    pub evaluations: u64,
+    /// Wall-clock time of the re-verification.
+    pub wall: Duration,
+}
+
+impl IncrStats {
+    /// The affected cone as a fraction of the design, in `[0, 1]`.
+    #[must_use]
+    pub fn cone_fraction(&self) -> f64 {
+        if self.total_prims == 0 {
+            0.0
+        } else {
+            self.cone_prims as f64 / self.total_prims as f64
+        }
+    }
+}
+
+/// What one verification pass produced: the full [`Report`] plus the
+/// incremental-effort statistics.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The report, exactly as a cold run of the same design would
+    /// produce it (modulo effort counters; see [`Report::strip_effort`]).
+    pub report: Report,
+    /// How much of the design the pass actually touched.
+    pub stats: IncrStats,
+}
+
+/// Errors from opening a session or applying a delta.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The HDL source failed to compile.
+    Compile(scald_hdl::HdlError),
+    /// A [`NetlistDelta`] failed to apply.
+    Delta(DeltaError),
+    /// Verification failed (oscillation, unknown case signal).
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Compile(e) => write!(f, "{e}"),
+            SessionError::Delta(e) => write!(f, "{e}"),
+            SessionError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<scald_hdl::HdlError> for SessionError {
+    fn from(e: scald_hdl::HdlError) -> SessionError {
+        SessionError::Compile(e)
+    }
+}
+
+impl From<DeltaError> for SessionError {
+    fn from(e: DeltaError) -> SessionError {
+        SessionError::Delta(e)
+    }
+}
+
+impl From<VerifyError> for SessionError {
+    fn from(e: VerifyError) -> SessionError {
+        SessionError::Verify(e)
+    }
+}
+
+/// Configures and opens a [`Session`].
+#[derive(Default)]
+pub struct SessionBuilder {
+    jobs: Option<usize>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl SessionBuilder {
+    /// A builder with defaults: worker count chosen by the engine, no
+    /// trace sink.
+    #[must_use]
+    pub fn new() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Case-analysis worker count for every verification this session
+    /// runs.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> SessionBuilder {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Attaches a trace sink to every verifier the session builds. The
+    /// sink outlives individual passes, so per-session counters (e.g. a
+    /// `CounterSink`, or the JSONL stream behind `scald-tv --watch
+    /// --trace`) accumulate across edits; warm starts are marked with a
+    /// `warm_start` event.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> SessionBuilder {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Opens a session by compiling HDL source; the design's `case`
+    /// blocks become the session's case set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the source fails to compile or the
+    /// initial cold verification fails.
+    pub fn open_source(self, src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
+        let (netlist, cases) = compile(src)?;
+        self.open_netlist(netlist, cases, label)
+    }
+
+    /// Opens a session on an already-built netlist and case set (pass
+    /// `vec![Case::new()]` for a single base case).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the initial cold verification
+    /// fails.
+    pub fn open_netlist(
+        self,
+        netlist: Netlist,
+        cases: Vec<Case>,
+        label: impl Into<String>,
+    ) -> Result<Session, SessionError> {
+        let mut session = Session {
+            settled: VerifierBuilder::new(netlist.clone()).build(),
+            sigs: HashMap::new(),
+            prims: HashMap::new(),
+            cases,
+            label: label.into(),
+            jobs: self.jobs,
+            trace: self.trace,
+            last: None,
+        };
+        let outcome = session.verify(netlist, None)?;
+        session.last = Some(outcome);
+        Ok(session)
+    }
+}
+
+/// An incremental re-verification session. See the [crate docs](crate).
+pub struct Session {
+    /// Verifier snapshotted at its settled base fixed point — the
+    /// `prior` of the next warm start. Never holds a case overlay.
+    settled: Verifier,
+    /// Signal base name -> (id, content hash) in `settled`'s netlist.
+    sigs: HashMap<String, (SignalId, u64)>,
+    /// Primitive name -> (id, content hash); ambiguous (duplicate) names
+    /// are excluded and therefore always re-verify dirty.
+    prims: HashMap<String, (PrimId, u64)>,
+    cases: Vec<Case>,
+    label: String,
+    jobs: Option<usize>,
+    trace: Option<Arc<dyn TraceSink>>,
+    last: Option<SessionOutcome>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("label", &self.label)
+            .field("signals", &self.sigs.len())
+            .field("prims", &self.prims.len())
+            .field("cases", &self.cases.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// [`SessionBuilder::open_source`] with default options.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SessionBuilder::open_source`].
+    pub fn from_source(src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
+        SessionBuilder::new().open_source(src, label)
+    }
+
+    /// [`SessionBuilder::open_netlist`] with default options.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SessionBuilder::open_netlist`].
+    pub fn from_netlist(
+        netlist: Netlist,
+        cases: Vec<Case>,
+        label: impl Into<String>,
+    ) -> Result<Session, SessionError> {
+        SessionBuilder::new().open_netlist(netlist, cases, label)
+    }
+
+    /// The current (edited-to-date) netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.settled.netlist()
+    }
+
+    /// The current case set.
+    #[must_use]
+    pub fn cases(&self) -> &[Case] {
+        &self.cases
+    }
+
+    /// The report and effort statistics of the most recent pass.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every constructed session has verified at least
+    /// once.
+    #[must_use]
+    pub fn outcome(&self) -> &SessionOutcome {
+        self.last.as_ref().expect("session verified on open")
+    }
+
+    /// The report of the most recent pass.
+    #[must_use]
+    pub fn report(&self) -> &Report {
+        &self.outcome().report
+    }
+
+    /// Applies an edit and re-verifies, warm-starting from the prior
+    /// fixed point. On success the session advances to the edited
+    /// design; on error it is left unchanged (the prior state stays
+    /// valid, so a failed edit can simply be corrected and re-applied).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the delta fails to compile/apply or
+    /// verification fails.
+    pub fn apply(&mut self, delta: Delta) -> Result<SessionOutcome, SessionError> {
+        let (netlist, cases) = match delta {
+            Delta::Source(src) => {
+                let (netlist, cases) = compile(&src)?;
+                (netlist, Some(cases))
+            }
+            Delta::Netlist(d) => (d.apply(self.settled.netlist())?, None),
+            Delta::Cases(cases) => (self.settled.netlist().clone(), Some(cases)),
+        };
+        let outcome = self.verify(netlist, cases)?;
+        self.last = Some(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// One verification pass over `netlist` (and, if given, a new case
+    /// set), warm-started when a prior fixed point with a matching
+    /// configuration exists. Commits the new snapshot/hashes/cases on
+    /// success.
+    fn verify(
+        &mut self,
+        netlist: Netlist,
+        cases: Option<Vec<Case>>,
+    ) -> Result<SessionOutcome, SessionError> {
+        let new_sigs = index_signals(&netlist);
+        let new_prims = index_prims(&netlist);
+        let total_prims = netlist.prims().len();
+
+        // A configuration change (period, clock units, skews, default
+        // wire delay) invalidates every settled waveform: run cold. The
+        // very first pass has empty hash maps, so it is naturally cold.
+        let warm = !self.sigs.is_empty() && netlist.config() == self.settled.netlist().config();
+
+        let mut sig_pairs: Vec<(SignalId, SignalId)> = Vec::new();
+        let mut prim_pairs: Vec<(PrimId, PrimId)> = Vec::new();
+        let mut dirty_sigs: Vec<SignalId> = Vec::new();
+        let mut dirty_prims: Vec<PrimId> = Vec::new();
+        for (name, &(nid, nh)) in &new_sigs {
+            match self.sigs.get(name) {
+                Some(&(oid, oh)) if warm && oh == nh => sig_pairs.push((nid, oid)),
+                _ => dirty_sigs.push(nid),
+            }
+        }
+        for (name, &(nid, nh)) in &new_prims {
+            match self.prims.get(name) {
+                Some(&(oid, oh)) if warm && oh == nh => prim_pairs.push((nid, oid)),
+                _ => dirty_prims.push(nid),
+            }
+        }
+        dirty_sigs.sort_unstable_by_key(|s| s.index());
+        dirty_prims.sort_unstable_by_key(|p| p.index());
+
+        let mut builder = VerifierBuilder::new(netlist.clone());
+        if let Some(jobs) = self.jobs {
+            builder = builder.jobs(jobs);
+        }
+        if let Some(trace) = &self.trace {
+            builder = builder.trace(Arc::clone(trace));
+        }
+        let mut verifier = builder.build();
+
+        let seeded_prims = if warm {
+            // Seed frontier: edited primitives, plus the fan-out and the
+            // drivers of every dirtied signal (its value must be
+            // re-derived even when its driver itself is clean).
+            let mut seeds: BTreeSet<PrimId> = dirty_prims.iter().copied().collect();
+            for &sid in &dirty_sigs {
+                seeds.extend(netlist.fanout(sid).iter().copied());
+                seeds.extend(netlist.drivers(sid).iter().copied());
+            }
+            let seeds: Vec<PrimId> = seeds.into_iter().collect();
+            verifier.warm_start(&self.settled, &sig_pairs, &prim_pairs, &seeds);
+            seeds.len()
+        } else {
+            total_prims
+        };
+        let cone_prims = if warm {
+            netlist.affected_cone(&dirty_sigs, &dirty_prims).len()
+        } else {
+            total_prims
+        };
+
+        let started = Instant::now();
+        verifier.settle_base()?;
+        // Snapshot at the base fixed point, *before* run_cases installs
+        // the last case's overlay/hazards — the next warm start must not
+        // inherit a case's state as its base.
+        let snapshot = verifier.clone();
+        let cases = cases.unwrap_or_else(|| self.cases.clone());
+        let results = verifier.run_cases(&cases)?;
+        let wall = started.elapsed();
+
+        let mut report = verifier.report(self.label.clone(), &results);
+        report.engine.verify_wall = Some(wall);
+        if let Some(jobs) = self.jobs {
+            report.engine.jobs = jobs;
+        }
+        let stats = IncrStats {
+            warm,
+            dirty_prims: if warm { dirty_prims.len() } else { total_prims },
+            seeded_prims,
+            cone_prims,
+            total_prims,
+            events: verifier.total_events(),
+            evaluations: verifier.total_evaluations(),
+            wall,
+        };
+
+        self.settled = snapshot;
+        self.sigs = new_sigs;
+        self.prims = new_prims;
+        self.cases = cases;
+        Ok(SessionOutcome { report, stats })
+    }
+}
+
+/// Compiles HDL source into a netlist plus its case set (one empty base
+/// case when the design declares none), mirroring `scald-tv`.
+fn compile(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
+    let expansion = scald_hdl::compile(src)?;
+    let cases: Vec<Case> = if expansion.cases.is_empty() {
+        vec![Case::new()]
+    } else {
+        expansion
+            .cases
+            .iter()
+            .map(|assigns| {
+                assigns
+                    .iter()
+                    .fold(Case::new(), |c, (s, v)| c.assign(s.clone(), *v))
+            })
+            .collect()
+    };
+    Ok((expansion.netlist, cases))
+}
+
+/// Content hash of a signal: everything that feeds the verifier's init
+/// and wiring decisions for it — width, assertion, wire-delay override,
+/// wired-OR flag, and the (sorted) names of its drivers. The settled
+/// *value* is deliberately excluded: values are what warm starting
+/// carries over.
+fn hash_signal(netlist: &Netlist, sid: SignalId) -> u64 {
+    let sig = netlist.signal(sid);
+    let mut h = DefaultHasher::new();
+    sig.width.hash(&mut h);
+    sig.full_name().hash(&mut h);
+    format!("{:?}", sig.wire_delay).hash(&mut h);
+    sig.wired_or.hash(&mut h);
+    let mut drivers: Vec<&str> = netlist
+        .drivers(sid)
+        .iter()
+        .map(|p| netlist.prim(*p).name.as_str())
+        .collect();
+    drivers.sort_unstable();
+    drivers.hash(&mut h);
+    h.finish()
+}
+
+/// Content hash of a primitive: kind (with parameters), delays, and each
+/// connection — source signal full name, the source's wire-delay
+/// override, inversion, directive, per-connection wire delay — plus the
+/// output signal name. Any attribute change that could alter the
+/// primitive's evaluation changes the hash.
+fn hash_prim(netlist: &Netlist, pid: PrimId) -> u64 {
+    let p = netlist.prim(pid);
+    let mut h = DefaultHasher::new();
+    format!("{:?}", p.kind).hash(&mut h);
+    format!("{:?}", p.delay).hash(&mut h);
+    format!("{:?}", p.edge_delays).hash(&mut h);
+    for conn in &p.inputs {
+        let src = netlist.signal(conn.signal);
+        src.full_name().hash(&mut h);
+        format!("{:?}", src.wire_delay).hash(&mut h);
+        conn.invert.hash(&mut h);
+        conn.directive.hash(&mut h);
+        format!("{:?}", conn.wire_delay).hash(&mut h);
+    }
+    match p.output {
+        Some(out) => netlist.signal(out).name.hash(&mut h),
+        None => 0_u8.hash(&mut h),
+    }
+    h.finish()
+}
+
+fn index_signals(netlist: &Netlist) -> HashMap<String, (SignalId, u64)> {
+    netlist
+        .iter_signals()
+        .map(|(sid, sig)| (sig.name.clone(), (sid, hash_signal(netlist, sid))))
+        .collect()
+}
+
+/// Primitive names are not guaranteed unique (the expander makes them
+/// so, hand-built netlists might not); duplicates are dropped from the
+/// index so they can never be matched as clean.
+fn index_prims(netlist: &Netlist) -> HashMap<String, (PrimId, u64)> {
+    let mut map: HashMap<String, (PrimId, u64)> = HashMap::new();
+    let mut dup: Vec<String> = Vec::new();
+    for (pid, p) in netlist.iter_prims() {
+        if map
+            .insert(p.name.clone(), (pid, hash_prim(netlist, pid)))
+            .is_some()
+        {
+            dup.push(p.name.clone());
+        }
+    }
+    for name in dup {
+        map.remove(&name);
+    }
+    map
+}

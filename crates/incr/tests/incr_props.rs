@@ -1,0 +1,198 @@
+//! The central correctness property of `scald-incr`: a warm-started
+//! [`Session::apply`] produces a report **byte-identical** (modulo effort
+//! counters) to a cold verification of the edited design.
+//!
+//! Designs are generated S-1-like netlists; edits are seeded scripts of
+//! retimes, removals, buffer splices, assertion changes and case-set
+//! swaps, applied in sequence so later edits see earlier ones.
+
+use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_incr::{Case, Delta, DeltaConn, NetlistDelta, PrimSpec, Session};
+use scald_netlist::{Netlist, PrimKind};
+use scald_rng::Rng;
+use scald_verifier::Verifier;
+use scald_wave::DelayRange;
+
+/// Cold-verifies `netlist` against `cases` exactly as a fresh run would.
+fn cold_report(netlist: &Netlist, cases: &[Case]) -> String {
+    let mut v = Verifier::new(netlist.clone());
+    let results = v.run_cases(cases).expect("cold run settles");
+    v.report("prop", &results).strip_effort().to_json()
+}
+
+/// One seeded edit: either a structural [`NetlistDelta`] or a case swap.
+enum Edit {
+    Structural(NetlistDelta),
+    Cases(Vec<Case>),
+}
+
+/// Draws an edit against the *current* state of the design so scripts
+/// stay valid as they accumulate.
+fn draw_edit(rng: &mut Rng, netlist: &Netlist, tag: String) -> Edit {
+    let prims = netlist.prims();
+    match rng.range_u32(0, 5) {
+        0 => {
+            // ECO retime of a random primitive.
+            let p = rng.range_usize(0, prims.len());
+            let lo = rng.range_f64(0.5, 4.0);
+            let hi = lo + rng.range_f64(0.0, 6.0);
+            let mut d = NetlistDelta::new();
+            d.retime(prims[p].name.clone(), DelayRange::from_ns(lo, hi));
+            Edit::Structural(d)
+        }
+        1 => {
+            // Remove a random primitive; its output goes undriven.
+            let p = rng.range_usize(0, prims.len());
+            let mut d = NetlistDelta::new();
+            d.remove_prim(prims[p].name.clone());
+            Edit::Structural(d)
+        }
+        2 => {
+            // Splice a buffer off a scalar control signal.
+            let ctl = rng.range_u32(0, 24);
+            let mut d = NetlistDelta::new();
+            d.add_prim(PrimSpec {
+                name: format!("ECO/{tag}"),
+                kind: PrimKind::Buf,
+                delay: DelayRange::from_ns(0.5, 2.5),
+                inputs: vec![DeltaConn::new(format!("CTL {ctl}"))],
+                output: Some(format!("ECO/{tag} OUT")),
+            });
+            Edit::Structural(d)
+        }
+        3 => {
+            // Change (or drop) a random signal's assertion.
+            let sigs = netlist.signals();
+            let s = rng.range_usize(0, sigs.len());
+            let assertion = if rng.bool() {
+                let lo = ["2", "2.5", "3"][rng.range_usize(0, 3)];
+                Some(format!(".S{lo}-8"))
+            } else {
+                None
+            };
+            let mut d = NetlistDelta::new();
+            d.set_assertion(sigs[s].name.clone(), assertion);
+            Edit::Structural(d)
+        }
+        _ => {
+            // Swap the case set: pin one or two control signals.
+            let mut cases = Vec::new();
+            for _ in 0..rng.range_u32(1, 3) {
+                let mut case = Case::new();
+                for _ in 0..rng.range_u32(1, 3) {
+                    let ctl = rng.range_u32(0, 24);
+                    case = case.assign(format!("CTL {ctl}"), rng.bool());
+                }
+                cases.push(case);
+            }
+            Edit::Cases(cases)
+        }
+    }
+}
+
+#[test]
+fn warm_apply_matches_cold_run_over_seeded_edit_scripts() {
+    const DESIGNS: usize = 12;
+    const EDITS: usize = 9;
+    let mut pairs = 0usize;
+    let mut warm_passes = 0usize;
+
+    for design in 0..DESIGNS {
+        let opts = S1Options {
+            chips: 8 + 2 * design,
+            seed: 0xec0_0000 + design as u64,
+        };
+        let (netlist, _) = s1_like_netlist(opts);
+        let mut rng = Rng::seed_from_u64(0x5eed_0000 + design as u64);
+        let mut current = netlist.clone();
+        let mut cases = vec![Case::new()];
+        let mut session =
+            Session::from_netlist(netlist, cases.clone(), "prop").expect("opens cold");
+        assert!(!session.outcome().stats.warm, "initial open is cold");
+        assert_eq!(
+            session.report().strip_effort().to_json(),
+            cold_report(&current, &cases),
+            "design {design}: the opening run is itself a plain cold run"
+        );
+
+        for edit in 0..EDITS {
+            let delta = match draw_edit(&mut rng, &current, format!("{design}_{edit}")) {
+                Edit::Structural(d) => {
+                    current = d.apply(&current).expect("edit applies");
+                    Delta::Netlist(d)
+                }
+                Edit::Cases(c) => {
+                    cases = c.clone();
+                    Delta::Cases(c)
+                }
+            };
+            let outcome = session.apply(delta).expect("warm apply settles");
+            assert!(
+                outcome.stats.warm,
+                "design {design} edit {edit}: same config must warm-start"
+            );
+            assert_eq!(
+                outcome.report.strip_effort().to_json(),
+                cold_report(&current, &cases),
+                "design {design} edit {edit}: warm report differs from cold"
+            );
+            pairs += 1;
+            if outcome.stats.warm {
+                warm_passes += 1;
+            }
+        }
+    }
+
+    assert!(pairs >= 100, "property needs >=100 pairs, got {pairs}");
+    assert_eq!(warm_passes, pairs, "every apply after open must be warm");
+}
+
+#[test]
+fn single_retime_touches_a_small_cone() {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 60,
+        seed: 0x5ca1d,
+    });
+    let target = netlist
+        .prims()
+        .iter()
+        .find(|p| p.name.ends_with("/LOGIC") || p.name.ends_with("/MUX"))
+        .expect("generated design has datapath slices")
+        .name
+        .clone();
+    let mut session = Session::from_netlist(netlist, vec![Case::new()], "cone").expect("opens");
+    let cold_events = session.outcome().stats.events;
+
+    let mut d = NetlistDelta::new();
+    d.retime(target, DelayRange::from_ns(2.0, 7.0));
+    let outcome = session.apply(Delta::Netlist(d)).expect("applies");
+    assert!(outcome.stats.warm);
+    assert!(
+        outcome.stats.cone_prims < outcome.stats.total_prims / 2,
+        "one retime should dirty a minority cone: {}/{} prims",
+        outcome.stats.cone_prims,
+        outcome.stats.total_prims
+    );
+    assert!(
+        outcome.stats.events < cold_events,
+        "warm settle ({} events) should beat the cold run ({cold_events})",
+        outcome.stats.events
+    );
+}
+
+#[test]
+fn identical_source_reapply_is_all_clean() {
+    let (netlist, _) = s1_like_netlist(S1Options { chips: 20, seed: 7 });
+    let mut session =
+        Session::from_netlist(netlist.clone(), vec![Case::new()], "noop").expect("opens");
+    let outcome = session
+        .apply(Delta::Netlist(NetlistDelta::new()))
+        .expect("empty delta applies");
+    assert!(outcome.stats.warm);
+    assert_eq!(outcome.stats.dirty_prims, 0, "nothing changed");
+    assert_eq!(outcome.stats.seeded_prims, 0);
+    assert_eq!(
+        outcome.report.strip_effort().to_json(),
+        session.report().strip_effort().to_json()
+    );
+}

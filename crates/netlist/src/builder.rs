@@ -215,6 +215,14 @@ impl NetlistBuilder {
         });
     }
 
+    /// Adds a fully specified primitive verbatim — connections, edge
+    /// delays and all. Used by delta application (`NetlistDelta::apply`)
+    /// to replay an existing primitive table; the referenced signal ids
+    /// must belong to this builder.
+    pub fn push_prim(&mut self, prim: Primitive) {
+        self.prims.push(prim);
+    }
+
     /// Adds a variadic gate (`And`, `Or`, `Xor`, their inverting forms, or
     /// `Chg`).
     pub fn gate<C: Into<Conn>>(

@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod delta;
 mod netlist;
 mod primitive;
 
 pub use builder::{Conn, NetlistBuilder};
+pub use delta::{DeltaConn, DeltaError, DeltaOp, NetlistDelta, PrimSpec};
 pub use netlist::{Config, Netlist, NetlistError, PrimId, Signal, SignalId};
 pub use primitive::{EdgeDelays, PrimKind, Primitive};

@@ -249,6 +249,58 @@ impl Netlist {
         &self.fanout[signal.index()]
     }
 
+    /// The forward structural closure of a set of edited signals and
+    /// primitives: every primitive that could need re-evaluation when
+    /// those signals' values (or those primitives' definitions) change.
+    /// This is the "dirty cone" seeded into a warm-started verifier run;
+    /// for the initial signals it also includes their *drivers*, since a
+    /// dirtied signal must be recomputed from scratch.
+    ///
+    /// Returns the cone members in id order.
+    #[must_use]
+    pub fn affected_cone(&self, signals: &[SignalId], prims: &[PrimId]) -> Vec<PrimId> {
+        let mut in_cone = vec![false; self.prims.len()];
+        let mut sig_seen = vec![false; self.signals.len()];
+        let mut work: Vec<PrimId> = Vec::new();
+        let enter = |p: PrimId, in_cone: &mut Vec<bool>, work: &mut Vec<PrimId>| {
+            if !in_cone[p.index()] {
+                in_cone[p.index()] = true;
+                work.push(p);
+            }
+        };
+        for &p in prims {
+            enter(p, &mut in_cone, &mut work);
+        }
+        for &s in signals {
+            if sig_seen[s.index()] {
+                continue;
+            }
+            sig_seen[s.index()] = true;
+            for &p in self.fanout(s) {
+                enter(p, &mut in_cone, &mut work);
+            }
+            for &p in self.drivers(s) {
+                enter(p, &mut in_cone, &mut work);
+            }
+        }
+        while let Some(p) = work.pop() {
+            if let Some(out) = self.prims[p.index()].output {
+                if !sig_seen[out.index()] {
+                    sig_seen[out.index()] = true;
+                    for &q in self.fanout(out) {
+                        enter(q, &mut in_cone, &mut work);
+                    }
+                }
+            }
+        }
+        in_cone
+            .iter()
+            .enumerate()
+            .filter(|(_, &hit)| hit)
+            .map(|(i, _)| PrimId(i as u32))
+            .collect()
+    }
+
     /// Iterates over `(id, signal)` pairs.
     pub fn iter_signals(&self) -> impl Iterator<Item = (SignalId, &Signal)> {
         self.signals

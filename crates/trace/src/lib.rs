@@ -114,6 +114,17 @@ pub enum TraceEvent<'a> {
         /// Total primitive evaluations across base + all cases.
         evaluations: u64,
     },
+    /// The verifier was warm-started from a prior session's fixed point
+    /// (`scald-incr`): only the structurally dirty cone was seeded into
+    /// the worklist; every other signal kept its settled value.
+    WarmStart {
+        /// Signals whose settled state was carried over unchanged.
+        copied_signals: usize,
+        /// Primitives seeded into the worklist (the dirty frontier).
+        seeded_prims: usize,
+        /// Total primitives in the (edited) design, for cone ratios.
+        prims: usize,
+    },
 }
 
 impl TraceEvent<'_> {
@@ -128,6 +139,7 @@ impl TraceEvent<'_> {
             TraceEvent::CaseStart { .. } => "case_start",
             TraceEvent::CaseEnd { .. } => "case_end",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::WarmStart { .. } => "warm_start",
         }
     }
 
@@ -199,6 +211,15 @@ impl TraceEvent<'_> {
                 obj.push(("wall_nanos".into(), Json::from(wall_nanos)));
                 obj.push(("events".into(), Json::from(events)));
                 obj.push(("evaluations".into(), Json::from(evaluations)));
+            }
+            TraceEvent::WarmStart {
+                copied_signals,
+                seeded_prims,
+                prims,
+            } => {
+                obj.push(("copied_signals".into(), Json::from(copied_signals as u64)));
+                obj.push(("seeded_prims".into(), Json::from(seeded_prims as u64)));
+                obj.push(("prims".into(), Json::from(prims as u64)));
             }
         }
         Json::Obj(obj)

@@ -175,7 +175,7 @@ impl TraceSink for CounterSink {
             TraceEvent::RunEnd { wall_nanos, .. } => {
                 inner.run_wall_nanos = wall_nanos;
             }
-            TraceEvent::RunStart { .. } => {}
+            TraceEvent::RunStart { .. } | TraceEvent::WarmStart { .. } => {}
         }
     }
 }

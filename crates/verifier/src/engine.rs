@@ -234,6 +234,7 @@ impl VerifierBuilder {
 /// # Ok(())
 /// # }
 /// ```
+#[derive(Clone)]
 pub struct Verifier {
     netlist: Netlist,
     /// Computed (pre-case-mapping) states.
@@ -259,6 +260,11 @@ pub struct Verifier {
     wired_contributions: HashMap<(SignalId, PrimId), SignalState>,
     total_events: u64,
     total_evaluations: u64,
+    /// Set by [`warm_start`](Self::warm_start): suppresses the
+    /// enqueue-everything initial pass even when no evaluation has
+    /// happened yet (a warm verifier whose dirty cone is empty must not
+    /// re-evaluate the whole design).
+    warmed: bool,
     /// Default worker-pool size for [`run_cases`](Self::run_cases).
     jobs: usize,
     /// Evaluation budget per settle pass before declaring oscillation.
@@ -359,6 +365,7 @@ impl Verifier {
             pinned_clock_drivers,
             total_events: 0,
             total_evaluations: 0,
+            warmed: false,
             jobs: 1,
             budget: 0,
             trace: None,
@@ -536,6 +543,107 @@ impl Verifier {
         Ok(())
     }
 
+    /// Settles the base (no-override) fixed point and returns the
+    /// `(events, evaluations)` this settle took. On a fresh verifier this
+    /// is the full evaluation of §2.9; on a [warm-started](Self::warm_start)
+    /// one only the seeded dirty cone is processed.
+    ///
+    /// A verifier in this state is the correct `prior` for a later
+    /// [`warm_start`](Self::warm_start): its signal states, hazard set and
+    /// wired-OR contributions describe the base fixed point, not some
+    /// case's overlay (which [`run_cases`](Self::run_cases) installs when
+    /// it finishes). `scald-incr` clones the verifier here to snapshot a
+    /// session checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::Oscillation`] if the circuit does not
+    /// settle.
+    pub fn settle_base(&mut self) -> Result<(u64, u64), VerifyError> {
+        let first_run = self.total_evaluations == 0 && !self.warmed;
+        self.apply_case(&Case::new())?;
+        if first_run {
+            let all: Vec<PrimId> = self.netlist.iter_prims().map(|(p, _)| p).collect();
+            for pid in all {
+                self.enqueue(pid);
+            }
+        }
+        self.settle()
+    }
+
+    /// Seeds this (freshly built, not yet run) verifier from `prior`'s
+    /// settled base fixed point, so the next settle only re-evaluates the
+    /// structurally dirty cone. The caller asserts, via the maps, which
+    /// parts of the design survived the edit:
+    ///
+    /// * `signal_map` — `(self, prior)` id pairs of signals whose
+    ///   definition (width, assertion, wire delay, wired-OR flag, driver
+    ///   set) is unchanged. Their settled states are copied over; every
+    ///   other signal keeps its §2.9 init value until re-derived.
+    /// * `prim_map` — `(self, prior)` id pairs of unchanged primitives.
+    ///   Their recorded hazards and wired-OR contributions carry over.
+    /// * `seeds` — the dirty frontier to enqueue: edited primitives, the
+    ///   fan-out of dirtied signals, *and the drivers of dirtied signals*
+    ///   (a dirtied signal's value must be recomputed even when its
+    ///   driver itself is clean). Propagation handles everything
+    ///   transitively downstream.
+    ///
+    /// `prior` must be at its settled base — i.e. right after
+    /// [`settle_base`](Self::settle_base), before any case overlay was
+    /// installed. With correct maps the subsequent
+    /// [`settle_base`](Self::settle_base)/[`run_cases`](Self::run_cases)
+    /// reach a state identical to a cold run of the edited design
+    /// (`scald-incr` property-tests this; see `Report::strip_effort` for
+    /// the one caveat, effort counters). Exactness relies on hazard sets
+    /// being trajectory-independent, which holds for connection-attribute
+    /// directives (`&H` on a pin); designs relying on *propagated*
+    /// evaluation directives through edited regions should re-verify
+    /// cold.
+    pub fn warm_start(
+        &mut self,
+        prior: &Verifier,
+        signal_map: &[(SignalId, SignalId)],
+        prim_map: &[(PrimId, PrimId)],
+        seeds: &[PrimId],
+    ) {
+        let mut copied = 0usize;
+        for &(new, old) in signal_map {
+            if self.pinned[new.index()] {
+                continue; // init already pinned it to its asserted value
+            }
+            self.raw[new.index()] = prior.raw[old.index()].clone();
+            self.eff[new.index()] = self.raw[new.index()].clone();
+            copied += 1;
+        }
+        let prim_back: HashMap<PrimId, PrimId> =
+            prim_map.iter().map(|&(new, old)| (old, new)).collect();
+        let sig_back: HashMap<SignalId, SignalId> =
+            signal_map.iter().map(|&(new, old)| (old, new)).collect();
+        for &(pid, idx) in &prior.hazards {
+            if let Some(&np) = prim_back.get(&pid) {
+                self.hazards.insert((np, idx));
+            }
+        }
+        for (&(sid, pid), st) in &prior.wired_contributions {
+            if let (Some(&ns), Some(&np)) = (sig_back.get(&sid), prim_back.get(&pid)) {
+                if self.netlist.drivers(ns).contains(&np) {
+                    self.wired_contributions.insert((ns, np), st.clone());
+                }
+            }
+        }
+        for &pid in seeds {
+            self.enqueue(pid);
+        }
+        self.warmed = true;
+        if let Some(trace) = &self.trace {
+            trace.record(&TraceEvent::WarmStart {
+                copied_signals: copied,
+                seeded_prims: self.queue.len(),
+                prims: self.netlist.prims().len(),
+            });
+        }
+    }
+
     /// Verifies the circuit for a single case with no overrides.
     ///
     /// # Errors
@@ -623,7 +731,7 @@ impl Verifier {
         }
 
         // Establish (or return to) the settled base: no overrides.
-        let first_run = self.total_evaluations == 0;
+        let first_run = self.total_evaluations == 0 && !self.warmed;
         self.apply_case(&Case::new())?;
         if first_run {
             // Initial pass evaluates everything (§2.9).

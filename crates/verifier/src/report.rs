@@ -428,6 +428,30 @@ impl Report {
         self.cases.iter().all(CaseResult::is_clean)
     }
 
+    /// A copy of the report with all *effort* counters zeroed: engine and
+    /// per-case events/evaluations, the worker count, and the wall clock.
+    ///
+    /// Everything that remains — violations with provenance, slack,
+    /// storage, value records, waveforms, cross-references — is a pure
+    /// function of the settled fixed point, so two runs that reach the
+    /// same fixed point by different routes (a cold run vs. a
+    /// warm-started `scald-incr` re-verification, serial vs. parallel
+    /// case analysis) produce byte-identical stripped reports. Used by
+    /// the `--baseline` diff and the incremental-vs-cold property tests.
+    #[must_use]
+    pub fn strip_effort(&self) -> Report {
+        let mut r = self.clone();
+        r.engine.jobs = 0;
+        r.engine.events = 0;
+        r.engine.evaluations = 0;
+        r.engine.verify_wall = None;
+        for case in &mut r.cases {
+            case.events = 0;
+            case.evaluations = 0;
+        }
+        r
+    }
+
     /// The signal-value summary listing of Fig 3-10.
     #[must_use]
     pub fn summary_text(&self) -> String {

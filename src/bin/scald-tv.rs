@@ -27,18 +27,30 @@
 //!                      line) to FILE while verifying
 //!     --no-cases       ignore the design's case blocks (single pass)
 //!     --jobs N         case-analysis worker count (default: CPU cores)
+//!     --watch          stay resident and re-verify DESIGN.scald on every
+//!                      file change, warm-starting from the prior fixed
+//!                      point and printing per-edit effort
+//!     --watch-poll-ms N    watch-mode poll interval (default 200)
+//!     --watch-max-edits N  exit after N re-verifications (default: run
+//!                      until interrupted)
+//!     --baseline OLD.scald report only the violations DESIGN.scald
+//!                      introduces or fixes relative to OLD.scald
 //! ```
 //!
 //! Exit codes: 0 = no timing errors, 1 = violations found, 2 = usage or
-//! compile/oscillation error.
+//! compile/oscillation error. In `--baseline` mode the exit code is 1
+//! exactly when the edit *introduced* violations; pre-existing ones do
+//! not fail the run. In `--watch` mode the exit code follows the last
+//! completed re-verification.
 
 use scald::hdl;
+use scald::incr::{report_diff, Delta, IncrStats, Session, SessionBuilder};
 use scald::trace::json::Json;
 use scald::trace::JsonlSink;
-use scald::verifier::{Case, CaseResult, Verifier, VerifierBuilder, VerifyError};
+use scald::verifier::{Case, CaseResult, Verifier, VerifierBuilder, VerifyError, Violation};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One optional report section, in the order the text renderer prints
 /// them. `--format json` folds every requested section into the single
@@ -89,7 +101,9 @@ enum Format {
 const USAGE: &str = "usage: scald-tv [--summary] [--diagram] [--slack] \
                      [--paths] [--netlist] [--xref] [--stats] [--storage] \
                      [--format text|json] [--trace FILE] \
-                     [--no-cases] [--jobs N] <DESIGN.scald>";
+                     [--no-cases] [--jobs N] \
+                     [--watch] [--watch-poll-ms N] [--watch-max-edits N] \
+                     [--baseline OLD.scald] <DESIGN.scald>";
 
 struct Options {
     path: String,
@@ -98,6 +112,10 @@ struct Options {
     trace: Option<String>,
     no_cases: bool,
     jobs: Option<usize>,
+    watch: bool,
+    watch_poll_ms: u64,
+    watch_max_edits: Option<u64>,
+    baseline: Option<String>,
 }
 
 impl Options {
@@ -114,6 +132,10 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         no_cases: false,
         jobs: None,
+        watch: false,
+        watch_poll_ms: 200,
+        watch_max_edits: None,
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -147,6 +169,30 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| "--jobs expects a worker count >= 1".to_owned())?;
                 opts.jobs = Some(n);
             }
+            "--watch" => opts.watch = true,
+            "--watch-poll-ms" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| "--watch-poll-ms expects a millisecond count >= 1".to_owned())?;
+                opts.watch_poll_ms = n;
+            }
+            "--watch-max-edits" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| "--watch-max-edits expects an edit count >= 1".to_owned())?;
+                opts.watch_max_edits = Some(n);
+            }
+            "--baseline" => {
+                let file = args
+                    .next()
+                    .filter(|f| !f.is_empty())
+                    .ok_or_else(|| "--baseline expects a design file path".to_owned())?;
+                opts.baseline = Some(file);
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}; try --help"))
@@ -162,7 +208,148 @@ fn parse_args() -> Result<Options, String> {
     if opts.path.is_empty() {
         return Err("no design file given; try --help".to_owned());
     }
+    if opts.watch && opts.baseline.is_some() {
+        return Err("--watch and --baseline are mutually exclusive".to_owned());
+    }
+    if (opts.watch || opts.baseline.is_some()) && opts.format == Format::Json {
+        return Err("--format json is not supported with --watch/--baseline".to_owned());
+    }
     Ok(opts)
+}
+
+/// The shared per-pass effort summary for the incremental modes.
+fn effort_line(stats: &IncrStats) -> String {
+    format!(
+        "{} events ({}), seeded {}/{} prims, cone {:.1}%, {:.1?}",
+        stats.events,
+        if stats.warm { "warm" } else { "cold" },
+        stats.seeded_prims,
+        stats.total_prims,
+        100.0 * stats.cone_fraction(),
+        stats.wall,
+    )
+}
+
+/// Builds the incremental session shared by `--watch` and `--baseline`:
+/// same trace/jobs plumbing as a plain run.
+fn open_session(opts: &Options, src: &str) -> Result<Session, String> {
+    let mut builder = SessionBuilder::new();
+    if let Some(n) = opts.jobs {
+        builder = builder.jobs(n);
+    }
+    if let Some(file) = &opts.trace {
+        let sink =
+            JsonlSink::create(file).map_err(|e| format!("cannot create trace file {file}: {e}"))?;
+        builder = builder.trace(Arc::new(sink));
+    }
+    builder
+        .open_source(src, opts.path.clone())
+        .map_err(|e| e.to_string())
+}
+
+/// `--watch`: poll the design file, re-verifying each time its contents
+/// change. Warm starts keep per-edit work proportional to the edited
+/// cone, so the loop stays interactive even on large designs.
+fn run_watch(opts: &Options) -> ExitCode {
+    let mut last_src = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scald-tv: cannot read {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let mut session = match open_session(opts, &last_src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scald-tv: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut violations = session.report().total_violations();
+    println!(
+        "[watch] {}: {violations} violation(s); {}",
+        opts.path,
+        effort_line(&session.outcome().stats)
+    );
+    let mut edits = 0u64;
+    while opts.watch_max_edits.is_none_or(|max| edits < max) {
+        std::thread::sleep(Duration::from_millis(opts.watch_poll_ms));
+        // A read can fail transiently while an editor replaces the file;
+        // just poll again.
+        let Ok(src) = std::fs::read_to_string(&opts.path) else {
+            continue;
+        };
+        if src == last_src {
+            continue;
+        }
+        last_src.clone_from(&src);
+        edits += 1;
+        match session.apply(Delta::Source(src)) {
+            Ok(outcome) => {
+                violations = outcome.report.total_violations();
+                println!(
+                    "[watch] edit {edits}: {violations} violation(s); {}",
+                    effort_line(&outcome.stats)
+                );
+            }
+            // A broken intermediate save: report it, keep the prior
+            // state, and wait for the next edit.
+            Err(e) => eprintln!("[watch] edit {edits}: {e}"),
+        }
+    }
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One line per diffed violation: compact, grep-friendly.
+fn diff_lines(heading: &str, violations: &[Violation]) {
+    println!("{heading} ({}):", violations.len());
+    for v in violations {
+        println!("  {}: {} [{}]", v.kind, v.source, v.constraint);
+    }
+}
+
+/// `--baseline OLD`: verify OLD, warm-apply the positional design as an
+/// edit, and report only what the edit changed.
+fn run_baseline(opts: &Options, old_path: &str) -> ExitCode {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let result = read(old_path).and_then(|old_src| {
+        let new_src = read(&opts.path)?;
+        let mut session = open_session(opts, &old_src)?;
+        let before = session.report().clone();
+        let outcome = session
+            .apply(Delta::Source(new_src))
+            .map_err(|e| e.to_string())?;
+        Ok((before, outcome))
+    });
+    let (before, outcome) = match result {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("scald-tv: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = report_diff(&before, &outcome.report);
+    println!("baseline {old_path} -> {}", opts.path);
+    if diff.is_empty() {
+        println!(
+            "no violations introduced or fixed ({} in both).",
+            outcome.report.total_violations()
+        );
+    } else {
+        diff_lines("introduced", &diff.introduced);
+        diff_lines("fixed", &diff.fixed);
+    }
+    println!("re-verified with {}", effort_line(&outcome.stats));
+    if diff.introduced.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// The worst-case path listing, shared by the text and JSON renderers.
@@ -202,6 +389,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.watch {
+        return run_watch(&opts);
+    }
+    if let Some(old_path) = opts.baseline.clone() {
+        return run_baseline(&opts, &old_path);
+    }
 
     let src = match std::fs::read_to_string(&opts.path) {
         Ok(s) => s,

@@ -25,6 +25,7 @@
 //! | [`stats`] | extension: probability-based analysis (§1.4.1.2, §4.2.4) |
 //! | [`gen`] | the thesis' figure circuits and the S-1-like design generator |
 //! | [`trace`] | engine observability: trace events, sinks, the JSON toolkit |
+//! | [`incr`] | incremental re-verification: netlist deltas, warm-started sessions |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@
 pub use scald_assertions as assertions;
 pub use scald_gen as gen;
 pub use scald_hdl as hdl;
+pub use scald_incr as incr;
 pub use scald_logic as logic;
 pub use scald_netlist as netlist;
 pub use scald_paths as paths;

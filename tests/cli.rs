@@ -57,6 +57,26 @@ fn missing_file_and_bad_usage_exit_two() {
         exit_code(&run(&["--jobs", "0", &design("mini_cpu.scald")])),
         2
     );
+    assert_eq!(
+        exit_code(&run(&["--jobs", "abc", &design("mini_cpu.scald")])),
+        2
+    );
+    assert_eq!(exit_code(&run(&["--jobs", &design("mini_cpu.scald")])), 2);
+}
+
+#[test]
+fn incremental_mode_usage_errors_exit_two() {
+    let path = design("eco_edit_before.scald");
+    // The incremental modes are text-only and mutually exclusive.
+    assert_eq!(exit_code(&run(&["--watch", "--format", "json", &path])), 2);
+    assert_eq!(
+        exit_code(&run(&["--baseline", &path, "--format", "json", &path])),
+        2
+    );
+    assert_eq!(exit_code(&run(&["--watch", "--baseline", &path, &path])), 2);
+    assert_eq!(exit_code(&run(&["--watch-poll-ms", "0", &path])), 2);
+    assert_eq!(exit_code(&run(&["--watch-max-edits", "x", &path])), 2);
+    assert_eq!(exit_code(&run(&["--baseline", &path])), 2);
 }
 
 #[test]
@@ -77,6 +97,10 @@ fn help_usage_names_every_flag() {
         "--trace",
         "--no-cases",
         "--jobs",
+        "--watch",
+        "--watch-poll-ms",
+        "--watch-max-edits",
+        "--baseline",
     ] {
         assert!(usage.contains(flag), "usage omits {flag}: {usage}");
     }
@@ -213,6 +237,87 @@ fn trace_file_contains_run_events() {
             .get("type")
             .and_then(Json::as_str),
         Some("run_end")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--baseline` reports only the delta between two runs: the retimed
+/// "after" design introduces one set-up violation (exit 1); undoing the
+/// edit fixes it (exit 0 — pre-existing violations do not fail the run).
+#[test]
+fn baseline_reports_introduced_and_fixed() {
+    let before = design("eco_edit_before.scald");
+    let after = design("eco_edit_after.scald");
+
+    let out = run(&["--baseline", &before, &after]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+    let stdout = text(&out.stdout);
+    assert!(stdout.contains("introduced (1):"), "{stdout}");
+    assert!(stdout.contains("SETUP TIME VIOLATED"), "{stdout}");
+    assert!(stdout.contains("fixed (0):"), "{stdout}");
+    assert!(stdout.contains("warm"), "re-run should be warm: {stdout}");
+
+    let out = run(&["--baseline", &after, &before]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    let stdout = text(&out.stdout);
+    assert!(stdout.contains("introduced (0):"), "{stdout}");
+    assert!(stdout.contains("fixed (1):"), "{stdout}");
+
+    let out = run(&["--baseline", &before, &before]);
+    assert_eq!(exit_code(&out), 0);
+    assert!(text(&out.stdout).contains("no violations introduced or fixed"));
+}
+
+/// `--watch` re-verifies when the file changes: start on the clean
+/// design, rewrite it to the violating one, and expect a warm per-edit
+/// report plus exit code 1 from the last pass.
+#[test]
+fn watch_reverifies_on_file_change() {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!("scald-tv-watch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let watched = dir.join("watched.scald");
+    std::fs::copy(design("eco_edit_before.scald"), &watched).expect("seed watched file");
+
+    let mut child = std::process::Command::new(BIN)
+        .args([
+            "--watch",
+            "--watch-poll-ms",
+            "25",
+            "--watch-max-edits",
+            "1",
+            watched.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("watch mode starts");
+
+    // Give the initial verification a moment, then make the edit.
+    std::thread::sleep(Duration::from_millis(300));
+    std::fs::copy(design("eco_edit_after.scald"), &watched).expect("rewrite watched file");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("poll watch process") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("watch mode did not exit after the edit");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    let out = child.wait_with_output().expect("collect watch output");
+    assert_eq!(status.code(), Some(1), "stderr: {}", text(&out.stderr));
+    let stdout = text(&out.stdout);
+    assert!(stdout.contains("[watch]"), "{stdout}");
+    assert!(stdout.contains("edit 1: 1 violation(s)"), "{stdout}");
+    assert!(
+        stdout.contains("warm"),
+        "edit pass should be warm: {stdout}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
