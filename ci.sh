@@ -18,6 +18,15 @@ cargo test --workspace -q
 # The CLI integration suite alone, named so a red run points here.
 cargo test -q --test cli
 
+# The engine-determinism property suites alone, same reason: the wave
+# engine and the case fan-out must stay byte-identical for every worker
+# count.
+cargo test -q -p scald-verifier --test parallel_settle --test parallel_cases
+
+# Smoke the settle-scaling bench harness (tiny design, serial only);
+# the full run regenerates BENCH_settle.json.
+cargo run -q -p scald-bench --release --bin settle_scaling -- --chips 40 --workers 1 --out target/BENCH_settle_smoke.json
+
 # Examples must keep building; incr_session doubles as a smoke test of
 # the incremental re-verification subsystem (it asserts the warm report
 # is byte-identical to a cold run).

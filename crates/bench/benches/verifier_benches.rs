@@ -13,7 +13,7 @@ use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
 use scald_trace::CounterSink;
-use scald_verifier::{Case, Verifier, VerifierBuilder};
+use scald_verifier::{Case, RunOptions, Verifier, VerifierBuilder};
 use scald_wave::{DelayRange, Time};
 use std::sync::Arc;
 
@@ -24,7 +24,7 @@ fn fig_3_10_3_11(b: &Bench) {
         || register_file_circuit().0,
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
 }
@@ -36,7 +36,7 @@ fn fig_1_5(b: &Bench) {
         || hazard_circuit(true),
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
 }
@@ -48,10 +48,10 @@ fn fig_2_6(b: &Bench) {
         || case_analysis_circuit().0,
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run_cases(&[
+            v.run(&RunOptions::new().cases(vec![
                 Case::new().assign("CONTROL SIGNAL", false),
                 Case::new().assign("CONTROL SIGNAL", true),
-            ])
+            ]))
             .expect("settles")
         },
     );
@@ -64,7 +64,7 @@ fn other_figures(b: &Bench) {
         || alu_stage().0,
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
     b.bench_with_setup(
@@ -72,7 +72,7 @@ fn other_figures(b: &Bench) {
         || correlation_circuit(false),
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
 }
@@ -91,7 +91,7 @@ fn table_3_1_scaling(b: &Bench) {
             || netlist.clone(),
             |netlist| {
                 let mut v = Verifier::new(netlist);
-                v.run().expect("settles")
+                v.run(&RunOptions::new()).expect("settles").into_sole()
             },
         );
     }
@@ -118,19 +118,53 @@ fn par_cases(b: &Bench) {
         .collect();
     let settled = || {
         let mut v = Verifier::new(netlist.clone());
-        v.run().expect("settles");
+        v.run(&RunOptions::new()).expect("settles");
         v
     };
     b.bench_with_setup(
         &format!("par_cases/serial/{}", cases.len()),
         settled,
-        |mut v| v.run_cases_serial(&cases).expect("settles"),
+        |mut v| {
+            v.run(&RunOptions::new().cases(cases.clone()).jobs(1))
+                .expect("settles")
+        },
     );
     for jobs in [2usize, 4] {
         b.bench_with_setup(
             &format!("par_cases/jobs{jobs}/{}", cases.len()),
             settled,
-            |mut v| v.run_cases_with_jobs(&cases, jobs).expect("settles"),
+            |mut v| {
+                v.run(&RunOptions::new().cases(cases.clone()).jobs(jobs))
+                    .expect("settles")
+            },
+        );
+    }
+}
+
+/// The wave engine *inside* one settle: the cold base fixed point of a
+/// 400-chip design evaluated serially vs across 2/4/8 wave workers.
+/// A single implicit case, so none of the parallelism comes from the
+/// case fan-out — this times `--jobs` for the intra-run settle path.
+fn par_settle(b: &Bench) {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 400,
+        ..S1Options::default()
+    });
+    for jobs in [1usize, 2, 4, 8] {
+        let label = if jobs == 1 {
+            "serial".to_owned()
+        } else {
+            format!("jobs{jobs}")
+        };
+        b.bench_with_setup(
+            &format!("par_settle/{label}"),
+            || netlist.clone(),
+            |n| {
+                let mut v = Verifier::new(n);
+                v.run(&RunOptions::new().jobs(jobs))
+                    .expect("settles")
+                    .into_sole()
+            },
         );
     }
 }
@@ -150,7 +184,7 @@ fn trace_overhead(b: &Bench) {
         || netlist.clone(),
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
     b.bench_with_setup(
@@ -160,7 +194,7 @@ fn trace_overhead(b: &Bench) {
             let mut v = VerifierBuilder::new(netlist)
                 .trace(Arc::new(CounterSink::new()))
                 .build();
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
 }
@@ -183,7 +217,7 @@ fn incr_vs_full(b: &Bench) {
         || netlist.clone(),
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run().expect("settles")
+            v.run(&RunOptions::new()).expect("settles").into_sole()
         },
     );
     let target = netlist
@@ -261,7 +295,7 @@ fn verifier_vs_sim(b: &Bench) {
             || netlist.clone(),
             |netlist| {
                 let mut v = Verifier::new(netlist);
-                v.run().expect("settles")
+                v.run(&RunOptions::new()).expect("settles").into_sole()
             },
         );
         let sweep: Vec<SignalId> = primary_inputs(&netlist)
@@ -290,6 +324,7 @@ fn main() {
     other_figures(&b);
     table_3_1_scaling(&b);
     par_cases(&b);
+    par_settle(&b);
     trace_overhead(&b);
     incr_vs_full(&b);
     verifier_vs_sim(&b);

@@ -10,7 +10,7 @@
 
 use scald_gen::ablation::bit_blast;
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 use std::time::Instant;
 
 fn main() {
@@ -37,7 +37,10 @@ fn main() {
     let run = |netlist: scald_netlist::Netlist| {
         let t = Instant::now();
         let mut v = Verifier::new(netlist);
-        let r = v.run().expect("design settles");
+        let r = v
+            .run(&RunOptions::new())
+            .expect("design settles")
+            .into_sole();
         (t.elapsed(), r.events, r.evaluations, r.violations.len())
     };
 

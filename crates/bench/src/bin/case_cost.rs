@@ -12,7 +12,7 @@
 //! Usage: `cargo run -p scald-bench --bin case_cost --release [--chips N]`
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_verifier::{Case, Verifier};
+use scald_verifier::{Case, RunOptions, Verifier};
 use std::time::Instant;
 
 fn main() {
@@ -42,7 +42,10 @@ fn main() {
 
     let mut v = Verifier::new(netlist);
     let t = Instant::now();
-    let results = v.run_cases(&cases).expect("design settles");
+    let results = v
+        .run(&RunOptions::new().cases(cases.to_vec()))
+        .expect("design settles")
+        .cases;
     let total = t.elapsed();
 
     println!(
@@ -81,11 +84,9 @@ fn main() {
         });
         let mut v = Verifier::new(netlist);
         let t = Instant::now();
-        let r = match jobs {
-            None => v.run_cases_serial(&cases),
-            Some(n) => v.run_cases_with_jobs(&cases, n),
-        };
-        r.expect("design settles");
+        let jobs = jobs.unwrap_or(1);
+        v.run(&RunOptions::new().cases(cases.clone()).jobs(jobs))
+            .expect("design settles");
         t.elapsed()
     };
     let serial = time_with(None);

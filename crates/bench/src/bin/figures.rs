@@ -8,7 +8,7 @@ use scald_gen::figures::{
     alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_logic::Value;
-use scald_verifier::{Case, Verifier, ViolationKind};
+use scald_verifier::{Case, RunOptions, Verifier, ViolationKind};
 use scald_wave::{DelayRange, Skew, Time, Waveform};
 
 fn ns(x: f64) -> Time {
@@ -18,13 +18,13 @@ fn ns(x: f64) -> Time {
 fn main() {
     println!("== Fig 1-5: gated-clock hazard ==");
     let mut v = Verifier::new(hazard_circuit(true));
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     println!(
         "  with &A directive : {} hazard violation(s)  [paper: the class of error the directive exists for]",
         r.of_kind(ViolationKind::Hazard).len()
     );
     let mut v = Verifier::new(hazard_circuit(false));
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     println!(
         "  without directive : {} potential-runt-pulse violation(s) (5 ns spurious pulse)",
         r.of_kind(ViolationKind::MinPulseHigh).len()
@@ -33,7 +33,7 @@ fn main() {
     println!("\n== Fig 2-5 / 3-10 / 3-11: register file ==");
     let (netlist, handles) = register_file_circuit();
     let mut v = Verifier::new(netlist);
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     let setups = r.of_kind(ViolationKind::Setup);
     println!(
         "  violations: {} (paper: 2 setup-error groups)",
@@ -52,16 +52,17 @@ fn main() {
     println!("\n== Fig 2-6: case analysis ==");
     let (netlist, (_, _, out)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
-    v.run().expect("settles");
+    v.run(&RunOptions::new()).expect("settles");
     let blind = v.resolved(out);
     let (netlist, (_, _, out)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
     let results = v
-        .run_cases(&[
+        .run(&RunOptions::new().cases(vec![
             Case::new().assign("CONTROL SIGNAL", false),
             Case::new().assign("CONTROL SIGNAL", true),
-        ])
-        .expect("settles");
+        ]))
+        .expect("settles")
+        .cases;
     let cased = v.resolved(out);
     println!("  without cases: OUTPUT = {blind}   (40 ns phantom path)");
     println!("  with cases   : OUTPUT = {cased}   (true 30 ns path, both cases)");
@@ -85,7 +86,7 @@ fn main() {
     println!("\n== Fig 3-12: ALU pipeline stage ==");
     let (netlist, latched) = alu_stage();
     let mut v = Verifier::new(netlist);
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     println!(
         "  {} violations (stage verifies in isolation via interface assertions)",
         r.violations.len()
@@ -94,13 +95,13 @@ fn main() {
 
     println!("\n== Fig 4-1 / 4-2: correlation false error ==");
     let mut v = Verifier::new(correlation_circuit(false));
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     println!(
         "  without CORR: {} hold violation(s) — FALSE error from ignored correlation",
         r.of_kind(ViolationKind::Hold).len()
     );
     let mut v = Verifier::new(correlation_circuit(true));
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     println!(
         "  with CORR   : {} hold violation(s) — suppressed by the fictitious delay",
         r.of_kind(ViolationKind::Hold).len()

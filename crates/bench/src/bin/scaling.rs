@@ -19,7 +19,7 @@
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 use scald_wave::{DelayRange, Time};
 use std::time::Instant;
 
@@ -78,7 +78,7 @@ fn main() {
 
         let t = Instant::now();
         let mut v = Verifier::new(netlist.clone());
-        let result = v.run().expect("settles");
+        let result = v.run(&RunOptions::new()).expect("settles").into_sole();
         let verifier_time = t.elapsed();
         let found = result.violations.len();
 

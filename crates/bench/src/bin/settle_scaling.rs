@@ -1,0 +1,130 @@
+//! Intra-run settle scaling: the cold base fixed point of the S-1-like
+//! design, settled serially and across widening wave-worker pools.
+//!
+//! Unlike `par_cases` (which parallelizes *across* cases), this measures
+//! the level-synchronized wave engine inside a single settle loop — the
+//! part of `--jobs` that helps even a one-case run. Records per-width
+//! wall clocks, the (worker-independent) evaluation trajectory and the
+//! wave shape to `BENCH_settle.json` in the current directory.
+//!
+//! Usage: `cargo run -p scald-bench --bin settle_scaling --release`
+//! (`--chips N` for the design size, default 400; `--workers N` for the
+//! widest pool, default 8 — widths measured are 1 and the powers of two
+//! up to `N`; `--out FILE` to redirect the JSON record, as the CI smoke
+//! run does to avoid clobbering the committed 400-chip snapshot).
+
+use std::time::Instant;
+
+use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_trace::json::Json;
+use scald_trace::CounterSink;
+use scald_verifier::{RunOptions, Verifier, VerifierBuilder};
+
+/// Repetitions per width; the best (least-noisy) wall clock is kept.
+const REPS: u32 = 3;
+
+fn usize_arg(flag: &str, default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    default
+}
+
+fn out_arg() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(path) = args.next() {
+                return path;
+            }
+        }
+    }
+    "BENCH_settle.json".to_owned()
+}
+
+fn main() {
+    let chips = usize_arg("--chips", 400);
+    let max_workers = usize_arg("--workers", 8).max(1);
+    let out = out_arg();
+    let (netlist, stats) = s1_like_netlist(S1Options {
+        chips,
+        ..S1Options::default()
+    });
+    println!(
+        "design: {} chips, {} primitives, {} signals",
+        stats.chips, stats.prims, stats.signals
+    );
+
+    // The wave shape of this settle, from a traced warm-up run: every
+    // width replays the identical trajectory, so one look suffices.
+    let counters = std::sync::Arc::new(CounterSink::new());
+    let mut traced = VerifierBuilder::new(netlist.clone())
+        .trace(counters.clone())
+        .build();
+    traced.run(&RunOptions::new().jobs(1)).expect("settles");
+    let shape = counters.snapshot();
+    println!(
+        "settle shape: {} evaluations over {} waves (widest: {})",
+        shape.evaluations, shape.waves, shape.max_wave
+    );
+
+    let mut widths = vec![1usize];
+    let mut w = 2;
+    while w <= max_workers {
+        widths.push(w);
+        w *= 2;
+    }
+
+    let mut runs = Vec::new();
+    let mut serial_ns = 0u64;
+    let mut serial_evals = 0u64;
+    for &jobs in &widths {
+        let mut best_ns = u64::MAX;
+        let mut evaluations = 0u64;
+        let mut events = 0u64;
+        for _ in 0..REPS {
+            let mut v = Verifier::new(netlist.clone());
+            let started = Instant::now();
+            let outcome = v.run(&RunOptions::new().jobs(jobs)).expect("settles");
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            best_ns = best_ns.min(ns);
+            let sole = outcome.into_sole();
+            evaluations = sole.evaluations;
+            events = sole.events;
+        }
+        if jobs == 1 {
+            serial_ns = best_ns;
+            serial_evals = evaluations;
+        }
+        assert_eq!(
+            evaluations, serial_evals,
+            "the wave trajectory must be identical for every width"
+        );
+        let speedup = serial_ns as f64 / best_ns as f64;
+        println!("jobs {jobs:>2}: {best_ns:>12} ns  ({speedup:.2}x vs serial)");
+        runs.push(Json::Obj(vec![
+            ("jobs".to_owned(), Json::from(jobs as u64)),
+            ("wall_ns".to_owned(), Json::from(best_ns)),
+            ("events".to_owned(), Json::from(events)),
+            ("evaluations".to_owned(), Json::from(evaluations)),
+            ("speedup".to_owned(), Json::from(speedup)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".to_owned(), Json::str("scald-bench-settle")),
+        ("version".to_owned(), Json::from(1u64)),
+        ("chips".to_owned(), Json::from(chips as u64)),
+        ("prims".to_owned(), Json::from(stats.prims as u64)),
+        ("waves".to_owned(), Json::from(shape.waves)),
+        ("max_wave".to_owned(), Json::from(shape.max_wave as u64)),
+        ("runs".to_owned(), Json::Arr(runs)),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write the JSON record");
+    println!("recorded {out}");
+}

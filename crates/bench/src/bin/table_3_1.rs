@@ -19,7 +19,7 @@
 //! Usage: `cargo run -p scald-bench --bin table_3_1 --release [--chips N]`
 
 use scald_gen::s1::{s1_like_hdl, S1Options};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 use std::time::Instant;
 
 fn main() {
@@ -78,7 +78,10 @@ fn main() {
     let xref_time = t.elapsed();
 
     let t = Instant::now();
-    let result = verifier.run().expect("design settles");
+    let result = verifier
+        .run(&RunOptions::new())
+        .expect("design settles")
+        .into_sole();
     let verify_time = t.elapsed();
 
     let t = Instant::now();

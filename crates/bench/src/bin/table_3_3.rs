@@ -10,7 +10,7 @@
 //! Usage: `cargo run -p scald-bench --bin table_3_3 --release [--chips N]`
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 
 fn main() {
     let chips = scald_bench::chips_arg();
@@ -21,7 +21,7 @@ fn main() {
     let n_prims = netlist.prims().len();
 
     let mut verifier = Verifier::new(netlist);
-    verifier.run().expect("design settles");
+    verifier.run(&RunOptions::new()).expect("design settles");
     let report = verifier.storage_report();
 
     println!(

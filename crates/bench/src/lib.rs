@@ -6,7 +6,7 @@
 
 pub mod harness;
 
-/// The machine's available parallelism — the `run_cases` default worker
+/// The machine's available parallelism — the `Verifier::run` default worker
 /// count, used by benches comparing serial vs. parallel case analysis.
 #[must_use]
 pub fn default_jobs() -> usize {

@@ -119,12 +119,12 @@ mod tests {
 
     #[test]
     fn blast_preserves_verification_verdicts() {
-        use scald_verifier::Verifier;
+        use scald_verifier::{RunOptions, Verifier};
         let (n, _) = register_file_circuit();
         let mut v = Verifier::new(n.clone());
-        let original = v.run().expect("settles");
+        let original = v.run(&RunOptions::new()).expect("settles").into_sole();
         let mut vb = Verifier::new(bit_blast(&n));
-        let blasted = vb.run().expect("settles");
+        let blasted = vb.run(&RunOptions::new()).expect("settles").into_sole();
         // Violations multiply by the vector width, but the per-cause
         // classes are identical.
         assert_eq!(original.is_clean(), blasted.is_clean());

@@ -3,7 +3,9 @@
 
 use scald_netlist::{DeltaError, Netlist, NetlistDelta, PrimId, SignalId};
 use scald_trace::TraceSink;
-use scald_verifier::{Case, Report, Verifier, VerifierBuilder, VerifyError};
+use scald_verifier::{
+    Case, CheckpointPolicy, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
@@ -363,13 +365,17 @@ impl Session {
         };
 
         let started = Instant::now();
-        verifier.settle_base()?;
-        // Snapshot at the base fixed point, *before* run_cases installs
-        // the last case's overlay/hazards — the next warm start must not
-        // inherit a case's state as its base.
-        let snapshot = verifier.clone();
         let cases = cases.unwrap_or_else(|| self.cases.clone());
-        let results = verifier.run_cases(&cases)?;
+        // Checkpoint at the base fixed point, *before* the last case's
+        // overlay/hazards are installed — the next warm start must not
+        // inherit a case's state as its base.
+        let outcome = verifier.run(
+            &RunOptions::new()
+                .cases(cases.clone())
+                .checkpoint(CheckpointPolicy::SettledBase),
+        )?;
+        let snapshot = *outcome.checkpoint.expect("checkpoint was requested");
+        let results = outcome.cases;
         let wall = started.elapsed();
 
         let mut report = verifier.report(self.label.clone(), &results);

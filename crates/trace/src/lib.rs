@@ -18,8 +18,10 @@
 //! * [`CounterSink`] — lock-guarded aggregation: per-primitive evaluation
 //!   counts, per-signal last-settle ordinals, queue-depth high-water mark,
 //!   per-case wall-clock/effort summaries.
-//! * [`TimelineSink`] — the convergence wave: `(case, ordinal, depth)`
-//!   queue-depth samples over the run, renderable as an ASCII profile.
+//! * [`TimelineSink`] — the convergence profile: `(case, ordinal, depth)`
+//!   queue-depth samples over the run plus the committed
+//!   [`WaveSample`]s of the level-synchronized settle loop, renderable
+//!   as an ASCII profile.
 //! * [`JsonlSink`] — one JSON object per event, streamed to any writer
 //!   (`--trace FILE` in `scald-tv`).
 //!
@@ -34,7 +36,7 @@ pub mod json;
 mod sinks;
 
 pub use sinks::{
-    CaseSummary, CounterSink, CounterSnapshot, JsonlSink, TimelineSample, TimelineSink,
+    CaseSummary, CounterSink, CounterSnapshot, JsonlSink, TimelineSample, TimelineSink, WaveSample,
 };
 
 /// One observability event emitted by the verification engine.
@@ -46,9 +48,7 @@ pub use sinks::{
 /// concurrently, so sinks must be thread-safe.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent<'a> {
-    /// A verification run ([`run_cases`]-level) is starting.
-    ///
-    /// [`run_cases`]: https://docs.rs/scald-verifier
+    /// A verification run (`Verifier::run`-level) is starting.
     RunStart {
         /// Signals in the design.
         signals: usize,
@@ -59,7 +59,9 @@ pub enum TraceEvent<'a> {
         /// Worker-pool size for the case fan-out.
         jobs: usize,
     },
-    /// One primitive evaluation inside a settle loop.
+    /// One primitive evaluation inside a settle loop. Emitted on the
+    /// settle loop's single commit thread in commit order, so the stream
+    /// is identical for every worker count.
     Evaluation {
         /// Case index, or `None` for the base settle.
         case: Option<u32>,
@@ -69,7 +71,24 @@ pub enum TraceEvent<'a> {
         name: &'a str,
         /// 1-based ordinal of this evaluation within its settle loop.
         ordinal: u64,
-        /// Worklist depth immediately after popping this primitive.
+        /// Evaluations still pending after this one: the rest of the
+        /// current wave plus everything already queued for the next.
+        queue_depth: usize,
+    },
+    /// One wave of the level-synchronized settle loop finished
+    /// committing: the worklist was drained into a deduplicated wave,
+    /// every primitive of the wave was evaluated against the frozen
+    /// pre-wave state (possibly concurrently), and the results were
+    /// committed in primitive-id order.
+    Wave {
+        /// Case index, or `None` for the base settle.
+        case: Option<u32>,
+        /// 1-based ordinal of this wave within its settle loop.
+        ordinal: u64,
+        /// Primitives evaluated in this wave.
+        size: usize,
+        /// Worklist depth after the commit — the seed of the next wave
+        /// (0 means the fixed point was reached).
         queue_depth: usize,
     },
     /// A signal took a new effective value (an *event* in §3.3.2 terms).
@@ -135,6 +154,7 @@ impl TraceEvent<'_> {
         match self {
             TraceEvent::RunStart { .. } => "run_start",
             TraceEvent::Evaluation { .. } => "evaluation",
+            TraceEvent::Wave { .. } => "wave",
             TraceEvent::SignalSettled { .. } => "signal_settled",
             TraceEvent::CaseStart { .. } => "case_start",
             TraceEvent::CaseEnd { .. } => "case_end",
@@ -173,6 +193,17 @@ impl TraceEvent<'_> {
                 obj.push(("prim".into(), Json::from(u64::from(prim))));
                 obj.push(("name".into(), Json::str(name)));
                 obj.push(("ordinal".into(), Json::from(ordinal)));
+                obj.push(("queue_depth".into(), Json::from(queue_depth as u64)));
+            }
+            TraceEvent::Wave {
+                ref case,
+                ordinal,
+                size,
+                queue_depth,
+            } => {
+                obj.push(("case".into(), case_field(case)));
+                obj.push(("ordinal".into(), Json::from(ordinal)));
+                obj.push(("size".into(), Json::from(size as u64)));
                 obj.push(("queue_depth".into(), Json::from(queue_depth as u64)));
             }
             TraceEvent::SignalSettled {

@@ -33,6 +33,8 @@ struct CounterInner {
     events: u64,
     evaluations: u64,
     max_queue_depth: usize,
+    waves: u64,
+    max_wave: usize,
     cases: Vec<CaseSummary>,
     run_wall_nanos: u64,
 }
@@ -62,6 +64,11 @@ pub struct CounterSnapshot {
     pub evaluations: u64,
     /// Deepest worklist observed across all settle loops.
     pub max_queue_depth: usize,
+    /// Waves committed across all settle loops (level-synchronized
+    /// engine: one wave = one drain/evaluate/commit round).
+    pub waves: u64,
+    /// Largest single wave (primitives evaluated in one round).
+    pub max_wave: usize,
     /// Per-case wall-clock/effort summaries, in completion order.
     pub cases: Vec<CaseSummary>,
     /// Whole-run wall-clock nanoseconds (0 until `RunEnd` arrives).
@@ -94,6 +101,8 @@ impl CounterSink {
             events: inner.events,
             evaluations: inner.evaluations,
             max_queue_depth: inner.max_queue_depth,
+            waves: inner.waves,
+            max_wave: inner.max_wave,
             cases: inner.cases.clone(),
             run_wall_nanos: inner.run_wall_nanos,
         }
@@ -172,6 +181,10 @@ impl TraceSink for CounterSink {
                     None => inner.cases.push(filled),
                 }
             }
+            TraceEvent::Wave { size, .. } => {
+                inner.waves += 1;
+                inner.max_wave = inner.max_wave.max(size);
+            }
             TraceEvent::RunEnd { wall_nanos, .. } => {
                 inner.run_wall_nanos = wall_nanos;
             }
@@ -191,6 +204,20 @@ pub struct TimelineSample {
     pub depth: usize,
 }
 
+/// One committed wave of the level-synchronized settle loop, as recorded
+/// from [`TraceEvent::Wave`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveSample {
+    /// Case index, or `None` for the base settle.
+    pub case: Option<u32>,
+    /// 1-based wave ordinal within its settle loop.
+    pub ordinal: u64,
+    /// Primitives evaluated in the wave.
+    pub size: usize,
+    /// Worklist depth after the commit (the next wave's seed).
+    pub depth: usize,
+}
+
 /// Records the *convergence wave*: worklist depth over evaluation
 /// ordinal, per settle loop. A settling circuit shows a rising front as
 /// events fan out, then a collapse to zero; an oscillating one plateaus.
@@ -201,16 +228,19 @@ pub struct TimelineSample {
 pub struct TimelineSink {
     stride: u64,
     samples: Mutex<Vec<TimelineSample>>,
+    waves: Mutex<Vec<WaveSample>>,
 }
 
 impl TimelineSink {
     /// A sink sampling every `stride`-th evaluation (`stride` is clamped
-    /// to at least 1).
+    /// to at least 1). Wave events are always recorded — there are only
+    /// as many as the settle loop has levels.
     #[must_use]
     pub fn every(stride: u64) -> TimelineSink {
         TimelineSink {
             stride: stride.max(1),
             samples: Mutex::new(Vec::new()),
+            waves: Mutex::new(Vec::new()),
         }
     }
 
@@ -228,6 +258,18 @@ impl TimelineSink {
     #[must_use]
     pub fn samples(&self) -> Vec<TimelineSample> {
         self.samples.lock().expect("timeline sink poisoned").clone()
+    }
+
+    /// The committed waves recorded so far, in arrival order: the
+    /// wave-by-wave convergence profile of the level-synchronized engine
+    /// (size shrinking to the fixed point, depth reaching 0 at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    #[must_use]
+    pub fn waves(&self) -> Vec<WaveSample> {
+        self.waves.lock().expect("timeline sink poisoned").clone()
     }
 
     /// Renders the base-settle convergence wave as an ASCII profile,
@@ -278,14 +320,13 @@ impl Default for TimelineSink {
 
 impl TraceSink for TimelineSink {
     fn record(&self, event: &TraceEvent<'_>) {
-        if let TraceEvent::Evaluation {
-            case,
-            ordinal,
-            queue_depth,
-            ..
-        } = *event
-        {
-            if ordinal % self.stride == 0 || queue_depth == 0 {
+        match *event {
+            TraceEvent::Evaluation {
+                case,
+                ordinal,
+                queue_depth,
+                ..
+            } if (ordinal % self.stride == 0 || queue_depth == 0) => {
                 self.samples
                     .lock()
                     .expect("timeline sink poisoned")
@@ -295,6 +336,23 @@ impl TraceSink for TimelineSink {
                         depth: queue_depth,
                     });
             }
+            TraceEvent::Wave {
+                case,
+                ordinal,
+                size,
+                queue_depth,
+            } => {
+                self.waves
+                    .lock()
+                    .expect("timeline sink poisoned")
+                    .push(WaveSample {
+                        case,
+                        ordinal,
+                        size,
+                        depth: queue_depth,
+                    });
+            }
+            _ => {}
         }
     }
 }

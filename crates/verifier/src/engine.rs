@@ -7,6 +7,16 @@
 //! point, the checker pass examines every constraint. Case analysis (§2.7)
 //! re-uses the settled state: switching cases dirties only the overridden
 //! signals' cones.
+//!
+//! Settling is *level-synchronized*: the worklist is drained into a
+//! deduplicated wave, every primitive of the wave is evaluated against
+//! the frozen pre-wave state (concurrently when the jobs budget allows),
+//! and the results are committed on one thread in primitive-id order.
+//! Because each wave reads only state committed by previous waves,
+//! in-wave evaluation order is unobservable — waveforms, violation
+//! lists, report JSON and trace streams are byte-identical for every
+//! worker count (DESIGN.md § "The wave engine";
+//! `tests/parallel_settle.rs` proves it over seeded designs).
 
 use scald_logic::Value;
 use scald_netlist::{Netlist, PrimId, SignalId};
@@ -19,11 +29,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::checkers::{run_all_checks, slack_report, CheckMargin};
-use crate::eval::evaluate;
+use crate::eval::{evaluate, EvalOutcome};
 use crate::report::{CaseResult, EngineStats, Report, Violation};
 use crate::state::SignalState;
 use crate::storage::StorageReport;
-use crate::view::ConeState;
+use crate::view::{ConeState, StateStore, StateView};
 
 /// One case for case analysis (§2.7.1): a set of `signal = 0/1`
 /// assignments applied wherever the circuit would set the signal stable.
@@ -107,6 +117,144 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Options for one [`Verifier::run`]: the cases to analyse, an optional
+/// per-run worker override, and whether to checkpoint the settled base.
+/// The default (`RunOptions::new()`) verifies the single no-override
+/// base case.
+///
+/// # Examples
+///
+/// ```ignore
+/// let outcome = verifier.run(
+///     &RunOptions::new()
+///         .case(Case::new().assign("MODE", true))
+///         .case(Case::new().assign("MODE", false))
+///         .jobs(4)
+///         .checkpoint(CheckpointPolicy::SettledBase),
+/// )?;
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use]
+pub struct RunOptions {
+    cases: Vec<Case>,
+    jobs: Option<usize>,
+    checkpoint: CheckpointPolicy,
+}
+
+impl RunOptions {
+    /// Options for a plain single-case (no-override) run.
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Sets the cases to analyse (§2.7), replacing any set before. An
+    /// empty list means "just the base case": the outcome then holds one
+    /// [`CaseResult`] with no overrides.
+    pub fn cases(mut self, cases: impl Into<Vec<Case>>) -> RunOptions {
+        self.cases = cases.into();
+        self
+    }
+
+    /// Adds one case to the analysis.
+    pub fn case(mut self, case: Case) -> RunOptions {
+        self.cases.push(case);
+        self
+    }
+
+    /// Overrides the verifier's worker budget for this run only (clamped
+    /// to at least 1). The budget covers case fan-out *and* intra-settle
+    /// wave evaluation — see [`VerifierBuilder::jobs`]. Results are
+    /// byte-identical for every value.
+    pub fn jobs(mut self, jobs: usize) -> RunOptions {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Sets the checkpoint policy; see [`CheckpointPolicy`].
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> RunOptions {
+        self.checkpoint = policy;
+        self
+    }
+}
+
+/// Whether [`Verifier::run`] snapshots the verifier at the settled base
+/// (the §2.9 fixed point, before any case overlay is installed) into
+/// [`RunOutcome::checkpoint`]. The snapshot is the correct `prior` for a
+/// later [`Verifier::warm_start`]; `scald-incr` uses it to checkpoint
+/// sessions without a separate settle call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// No snapshot (the default); [`RunOutcome::checkpoint`] is `None`.
+    #[default]
+    None,
+    /// Clone the verifier right after the base settle, before the case
+    /// fan-out. Costs one deep copy of the design state.
+    SettledBase,
+}
+
+/// Effort of the base (no-override) settle inside one [`Verifier::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaseResult {
+    /// Signal-change events during the base settle.
+    pub events: u64,
+    /// Primitive evaluations during the base settle.
+    pub evaluations: u64,
+    /// `true` for a cold full settle (every primitive enqueued, §2.9)
+    /// rather than a return to an already settled base. On a cold run
+    /// the base effort is *also* folded into the first case's counters,
+    /// preserving the invariant that per-case counters sum to the
+    /// engine totals.
+    pub full_settle: bool,
+}
+
+/// Everything one [`Verifier::run`] produced: the base settle's effort,
+/// one [`CaseResult`] per analysed case, and (when requested) a
+/// settled-base checkpoint for incremental re-verification.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The base settle's effort, shared by every case.
+    pub base: BaseResult,
+    /// Per-case results in input order — never empty (a run with no
+    /// explicit cases analyses the implicit base case).
+    pub cases: Vec<CaseResult>,
+    /// The settled-base snapshot, if
+    /// [`CheckpointPolicy::SettledBase`] was requested.
+    pub checkpoint: Option<Box<Verifier>>,
+}
+
+impl RunOutcome {
+    /// The sole case's result — the common accessor for single-case runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run analysed more than one case.
+    #[must_use]
+    pub fn sole(&self) -> &CaseResult {
+        assert!(
+            self.cases.len() == 1,
+            "RunOutcome::sole on a {}-case run",
+            self.cases.len()
+        );
+        &self.cases[0]
+    }
+
+    /// Owning [`sole`](Self::sole): consumes the outcome and returns the
+    /// single case's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run analysed more than one case.
+    #[must_use]
+    pub fn into_sole(self) -> CaseResult {
+        assert!(
+            self.cases.len() == 1,
+            "RunOutcome::into_sole on a {}-case run",
+            self.cases.len()
+        );
+        self.cases.into_iter().next().expect("one case")
+    }
+}
+
 /// Configures and builds a [`Verifier`]: the front door for everything
 /// beyond a plain run — worker-pool size, oscillation budget, and an
 /// observability [`TraceSink`].
@@ -119,7 +267,7 @@ impl std::error::Error for VerifyError {}
 /// ```
 /// use scald_netlist::{Config, NetlistBuilder};
 /// use scald_trace::CounterSink;
-/// use scald_verifier::VerifierBuilder;
+/// use scald_verifier::{RunOptions, VerifierBuilder};
 /// use scald_wave::{DelayRange, Time};
 /// use std::sync::Arc;
 ///
@@ -136,9 +284,9 @@ impl std::error::Error for VerifyError {}
 ///     .jobs(2)
 ///     .trace(Arc::clone(&sink) as Arc<_>)
 ///     .build();
-/// let result = v.run()?;
-/// assert!(result.is_clean());
-/// assert_eq!(sink.snapshot().evaluations, result.evaluations);
+/// let outcome = v.run(&RunOptions::new())?;
+/// assert!(outcome.sole().is_clean());
+/// assert_eq!(sink.snapshot().evaluations, outcome.sole().evaluations);
 /// # Ok(())
 /// # }
 /// ```
@@ -163,9 +311,13 @@ impl VerifierBuilder {
         }
     }
 
-    /// Sets the case-analysis worker-pool size (clamped to at least 1).
-    /// [`Verifier::run_cases`] uses this; an explicit
-    /// [`Verifier::run_cases_with_jobs`] call still wins.
+    /// Sets the run's worker budget (clamped to at least 1). One budget
+    /// governs *both* parallel dimensions: case fan-out across the case
+    /// pool and wave evaluation inside every settle loop. Nested settles
+    /// split the budget — with `jobs(8)` and 4 cases, 4 case workers
+    /// each evaluate waves 2 wide — so a run never oversubscribes the
+    /// machine. [`RunOptions::jobs`] overrides this per run; results are
+    /// byte-identical for every value.
     pub fn jobs(mut self, jobs: usize) -> VerifierBuilder {
         self.jobs = Some(jobs.max(1));
         self
@@ -217,7 +369,7 @@ impl VerifierBuilder {
 ///
 /// ```
 /// use scald_netlist::{Config, NetlistBuilder};
-/// use scald_verifier::Verifier;
+/// use scald_verifier::{RunOptions, Verifier};
 /// use scald_wave::{DelayRange, Time};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -229,8 +381,8 @@ impl VerifierBuilder {
 /// b.setup_hold("R CHK", Time::from_ns(2.5), Time::from_ns(1.5), d, clk);
 ///
 /// let mut v = Verifier::new(b.finish()?);
-/// let result = v.run()?;
-/// assert!(result.is_clean());
+/// let outcome = v.run(&RunOptions::new())?;
+/// assert!(outcome.sole().is_clean());
 /// # Ok(())
 /// # }
 /// ```
@@ -265,7 +417,8 @@ pub struct Verifier {
     /// happened yet (a warm verifier whose dirty cone is empty must not
     /// re-evaluate the whole design).
     warmed: bool,
-    /// Default worker-pool size for [`run_cases`](Self::run_cases).
+    /// Default worker budget for [`run`](Self::run): case fan-out and
+    /// intra-settle wave evaluation share it.
     jobs: usize,
     /// Evaluation budget per settle pass before declaring oscillation.
     budget: u64,
@@ -428,92 +581,37 @@ impl Verifier {
         }
     }
 
-    /// Runs the worklist to a fixed point; returns events processed.
-    fn settle(&mut self) -> Result<(u64, u64), VerifyError> {
-        let budget = self.budget;
+    /// Runs the worklist to a fixed point with `wave_jobs` evaluation
+    /// workers per wave; returns `(events, evaluations)`. Effort is
+    /// folded into the running totals on the error path too, matching
+    /// the thesis' effort accounting.
+    fn settle(&mut self, wave_jobs: usize) -> Result<(u64, u64), VerifyError> {
         let mut events = 0u64;
         let mut evaluations = 0u64;
-        while let Some(pid) = self.queue.pop_front() {
-            self.queued[pid.index()] = false;
-            evaluations += 1;
-            if let Some(trace) = &self.trace {
-                trace.record(&TraceEvent::Evaluation {
-                    case: None,
-                    prim: pid.index() as u32,
-                    name: &self.netlist.prim(pid).name,
-                    ordinal: evaluations,
-                    queue_depth: self.queue.len(),
-                });
-            }
-            if evaluations > budget {
-                // The just-popped primitive is still active too — in a
-                // tight ring the queue can be empty right after the pop.
-                let active: Vec<String> = std::iter::once(pid)
-                    .chain(self.queue.iter().copied())
-                    .take(8)
-                    .map(|p| self.netlist.prim(p).name.clone())
-                    .collect();
-                self.total_events += events;
-                self.total_evaluations += evaluations;
-                return Err(VerifyError::Oscillation {
-                    evaluations,
-                    active,
-                });
-            }
-            let prim = self.netlist.prim(pid);
-            let outcome = evaluate(&self.netlist, prim, self.eff.as_slice());
-            for idx in &outcome.hazard_inputs {
-                self.hazards.insert((pid, *idx));
-            }
-            if let (Some(new_state), Some(out)) = (outcome.output, prim.output) {
-                if self.pinned[out.index()] {
-                    continue; // asserted clocks keep their asserted value
-                }
-                // Wired-OR buses: this driver contributes one term; the
-                // signal's state is the worst-case OR of all drivers.
-                let new_state = if self.netlist.drivers(out).len() > 1 {
-                    self.wired_contributions.insert((out, pid), new_state);
-                    let period = self.netlist.config().timing.period;
-                    let resolved: Vec<Waveform> = self
-                        .netlist
-                        .drivers(out)
-                        .iter()
-                        .map(|d| {
-                            self.wired_contributions.get(&(out, *d)).map_or_else(
-                                || Waveform::constant(period, Value::Unknown),
-                                SignalState::resolved,
-                            )
-                        })
-                        .collect();
-                    let refs: Vec<&Waveform> = resolved.iter().collect();
-                    SignalState::new(Waveform::combine_many(&refs, |vals| {
-                        scald_logic::or_all(vals.iter().copied())
-                    }))
-                } else {
-                    new_state
-                };
-                if self.raw[out.index()] != new_state {
-                    self.raw[out.index()] = new_state;
-                    let eff = self.apply_override(out, &self.raw[out.index()]);
-                    if self.eff[out.index()] != eff {
-                        self.eff[out.index()] = eff;
-                        events += 1;
-                        if let Some(trace) = &self.trace {
-                            trace.record(&TraceEvent::SignalSettled {
-                                case: None,
-                                signal: out.index() as u32,
-                                name: &self.netlist.signal(out).name,
-                                ordinal: evaluations,
-                            });
-                        }
-                        self.enqueue_fanout(out);
-                    }
-                }
-            }
-        }
+        let result = settle_waves(
+            &WaveParams {
+                netlist: &self.netlist,
+                pinned: &self.pinned,
+                overrides: &self.overrides,
+                budget: self.budget,
+                jobs: wave_jobs,
+                case: None,
+                trace: self.trace.as_deref(),
+            },
+            WaveBooks {
+                hazards: &mut self.hazards,
+                wired: &mut self.wired_contributions,
+                queue: &mut self.queue,
+                queued: &mut self.queued,
+                events: &mut events,
+                evaluations: &mut evaluations,
+            },
+            self.raw.as_mut_slice(),
+            self.eff.as_mut_slice(),
+        );
         self.total_events += events;
         self.total_evaluations += evaluations;
-        Ok((events, evaluations))
+        result.map(|()| (events, evaluations))
     }
 
     /// Applies a case's overrides, dirtying the affected signals' fan-out.
@@ -551,9 +649,9 @@ impl Verifier {
     /// A verifier in this state is the correct `prior` for a later
     /// [`warm_start`](Self::warm_start): its signal states, hazard set and
     /// wired-OR contributions describe the base fixed point, not some
-    /// case's overlay (which [`run_cases`](Self::run_cases) installs when
-    /// it finishes). `scald-incr` clones the verifier here to snapshot a
-    /// session checkpoint.
+    /// case's overlay (which [`run`](Self::run) installs when it
+    /// finishes). [`CheckpointPolicy::SettledBase`] captures the same
+    /// state without a separate settle call.
     ///
     /// # Errors
     ///
@@ -568,7 +666,7 @@ impl Verifier {
                 self.enqueue(pid);
             }
         }
-        self.settle()
+        self.settle(self.jobs)
     }
 
     /// Seeds this (freshly built, not yet run) verifier from `prior`'s
@@ -644,57 +742,72 @@ impl Verifier {
         }
     }
 
-    /// Verifies the circuit for a single case with no overrides.
+    /// Verifies the circuit per `options` — the single entry point for
+    /// plain runs, case analysis (§2.7) and incremental sessions. The
+    /// base (no-override) fixed point is settled once — the full
+    /// evaluation of §2.9 on a cold verifier, only the dirty cone after
+    /// a [`warm_start`](Self::warm_start) — then every case re-evaluates
+    /// the cone its overrides dirty on its own copy-on-write overlay,
+    /// fanned across the worker budget.
+    ///
+    /// Results are deterministic: waveforms, violation lists, report
+    /// JSON and per-case trace streams are byte-identical for every
+    /// worker budget (`tests/parallel_settle.rs` proves it).
     ///
     /// # Errors
     ///
-    /// Returns [`VerifyError::Oscillation`] if the circuit does not settle
-    /// (e.g. an unbroken combinational loop).
-    pub fn run(&mut self) -> Result<CaseResult, VerifyError> {
-        let results = self.run_cases(&[Case::new()])?;
-        Ok(results.into_iter().next().expect("one case requested"))
+    /// Returns [`VerifyError::UnknownCaseSignal`] if a case names an
+    /// unknown signal (checked up front, before any evaluation) and
+    /// [`VerifyError::Oscillation`] if a settle exceeds the evaluation
+    /// budget. On a case error the first failing case (by input order)
+    /// is reported; completed cases' effort still counts in the totals.
+    pub fn run(&mut self, options: &RunOptions) -> Result<RunOutcome, VerifyError> {
+        let base_case;
+        let cases: &[Case] = if options.cases.is_empty() {
+            base_case = [Case::new()];
+            &base_case
+        } else {
+            &options.cases
+        };
+        self.run_impl(
+            cases,
+            options.jobs.unwrap_or(self.jobs),
+            options.checkpoint == CheckpointPolicy::SettledBase,
+        )
     }
 
-    /// Verifies the circuit for each case (§2.7), fanning the per-case
-    /// incremental re-evaluations across a worker pool sized to
-    /// [`std::thread::available_parallelism`]. The base (no-override)
-    /// state is settled once — the full evaluation of §2.9 — and each
-    /// case then re-evaluates only the cone its overrides dirty
-    /// (§3.3.2), on its own copy-on-write overlay of the base.
-    ///
-    /// Results are merged in input-case order and are byte-identical to
-    /// [`run_cases_serial`](Self::run_cases_serial): every case is
-    /// computed by the same deterministic procedure from the same settled
-    /// base, so worker scheduling cannot affect any result.
+    /// Deprecated spelling of [`run`](Self::run) with explicit cases.
     ///
     /// # Errors
     ///
-    /// Returns an error if a case names an unknown signal or the circuit
-    /// fails to settle.
+    /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `run(&RunOptions::new().cases(cases))` and take `.cases`")]
     pub fn run_cases(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
-        self.run_cases_with_jobs(cases, self.jobs)
+        if cases.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.run(&RunOptions::new().cases(cases))?.cases)
     }
 
-    /// [`run_cases`](Self::run_cases) restricted to one worker: the
-    /// reference serial path. Produces byte-identical results; kept
-    /// public so callers (and the cross-check tests) can compare.
+    /// Deprecated spelling of [`run`](Self::run) pinned to one worker.
     ///
     /// # Errors
     ///
-    /// Same as [`run_cases`](Self::run_cases).
+    /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `run(&RunOptions::new().cases(cases).jobs(1))` and take `.cases`")]
     pub fn run_cases_serial(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
-        self.run_cases_with_jobs(cases, 1)
+        if cases.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.run(&RunOptions::new().cases(cases).jobs(1))?.cases)
     }
 
-    /// [`run_cases`](Self::run_cases) with an explicit worker count
-    /// (clamped to at least 1; the pool never spawns more workers than
-    /// cases). The `--jobs` flag of `scald-tv` lands here.
+    /// Deprecated spelling of [`run`](Self::run) with a worker override.
     ///
     /// # Errors
     ///
-    /// Same as [`run_cases`](Self::run_cases). On an error the
-    /// first failing case (by input order) is reported; the event and
-    /// evaluation totals still count whatever work completed.
+    /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `run(&RunOptions::new().cases(cases).jobs(jobs))` and take `.cases`")]
     pub fn run_cases_with_jobs(
         &mut self,
         cases: &[Case],
@@ -703,14 +816,32 @@ impl Verifier {
         if cases.is_empty() {
             return Ok(Vec::new());
         }
+        Ok(self.run(&RunOptions::new().cases(cases).jobs(jobs))?.cases)
+    }
+
+    /// The engine behind [`run`](Self::run): resolves case names, settles
+    /// the base with the full worker budget, optionally checkpoints, then
+    /// fans the cases across the pool with the budget split between case
+    /// workers and per-case wave evaluation.
+    fn run_impl(
+        &mut self,
+        cases: &[Case],
+        jobs: usize,
+        checkpoint: bool,
+    ) -> Result<RunOutcome, VerifyError> {
         let run_started = Instant::now();
         let effort_before = (self.total_events, self.total_evaluations);
+        // Split the worker budget: W case workers each evaluating waves
+        // J/W wide never oversubscribe a J-job budget.
+        let jobs = jobs.max(1);
+        let case_workers = jobs.min(cases.len());
+        let wave_jobs = (jobs / case_workers).max(1);
         if let Some(trace) = &self.trace {
             trace.record(&TraceEvent::RunStart {
                 signals: self.netlist.signals().len(),
                 prims: self.netlist.prims().len(),
                 cases: cases.len(),
-                jobs: jobs.max(1).min(cases.len()),
+                jobs: case_workers,
             });
         }
         // Resolve every case's signal names up front, so an unknown name
@@ -730,7 +861,9 @@ impl Verifier {
             resolved.push(assigns);
         }
 
-        // Establish (or return to) the settled base: no overrides.
+        // Establish (or return to) the settled base: no overrides. The
+        // base settle gets the whole budget — no case worker is running
+        // yet.
         let first_run = self.total_evaluations == 0 && !self.warmed;
         self.apply_case(&Case::new())?;
         if first_run {
@@ -740,13 +873,13 @@ impl Verifier {
                 self.enqueue(pid);
             }
         }
-        let (base_events, base_evaluations) = self.settle()?;
+        let (base_events, base_evaluations) = self.settle(jobs)?;
+        let checkpoint = checkpoint.then(|| Box::new(self.clone()));
 
         // Fan the cases across the pool. Each worker repeatedly claims
         // the next unclaimed case index and settles it against the shared
         // immutable base; per-case effort is summed into the totals with
         // atomics as workers finish.
-        let jobs = jobs.max(1).min(cases.len());
         let netlist = &self.netlist;
         let base_raw: &[SignalState] = &self.raw;
         let base_eff: &[SignalState] = &self.eff;
@@ -775,6 +908,7 @@ impl Verifier {
                 base_wired,
                 &resolved[i],
                 budget,
+                wave_jobs,
                 trace.map(|t| (t, i as u32)),
             );
             if let Ok(o) = &outcome {
@@ -793,14 +927,14 @@ impl Verifier {
             }
             outcome
         };
-        let mut outcomes: Vec<Option<Result<CaseOutcome, VerifyError>>> = if jobs == 1 {
+        let mut outcomes: Vec<Option<Result<CaseOutcome, VerifyError>>> = if case_workers == 1 {
             (0..cases.len()).map(|i| Some(work(i))).collect()
         } else {
             let slots: Vec<Mutex<Option<Result<CaseOutcome, VerifyError>>>> =
                 (0..cases.len()).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|s| {
-                for _ in 0..jobs {
+                for _ in 0..case_workers {
                     s.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cases.len() {
@@ -858,7 +992,15 @@ impl Verifier {
                 evaluations: self.total_evaluations - effort_before.1,
             });
         }
-        Ok(results)
+        Ok(RunOutcome {
+            base: BaseResult {
+                events: base_events,
+                evaluations: base_evaluations,
+                full_settle: first_run,
+            },
+            cases: results,
+            checkpoint,
+        })
     }
 
     /// Runs all checks against the current settled state without further
@@ -936,7 +1078,7 @@ impl Verifier {
     /// [`Report`]: the per-case results, engine statistics, the slack and
     /// storage views, the assumed-stable cross-reference and every settled
     /// waveform. `design` labels the report (usually the source path);
-    /// `results` are what [`run_cases`](Self::run_cases) returned.
+    /// `results` are the [`RunOutcome::cases`] of [`run`](Self::run).
     ///
     /// The caller may fill in [`EngineStats::verify_wall`] afterwards if
     /// it measured the run.
@@ -964,7 +1106,7 @@ impl Verifier {
     }
 }
 
-/// The default worker count for [`Verifier::run_cases`]: the machine's
+/// The default worker budget for [`Verifier::run`]: the machine's
 /// available parallelism, or 1 if it cannot be determined.
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -982,6 +1124,218 @@ fn override_state(over: Option<Value>, state: &SignalState) -> SignalState {
             eval: state.eval.clone(),
         },
     }
+}
+
+/// Immutable inputs of one settle loop, shared by the base settle (flat
+/// state vectors) and the per-case settle (cone overlays).
+struct WaveParams<'a> {
+    netlist: &'a Netlist,
+    pinned: &'a [bool],
+    overrides: &'a HashMap<SignalId, Value>,
+    budget: u64,
+    /// Wave-evaluation workers; 1 keeps everything on this thread.
+    jobs: usize,
+    /// Case index for trace events; `None` for the base settle.
+    case: Option<u32>,
+    trace: Option<&'a dyn TraceSink>,
+}
+
+/// Mutable bookkeeping of one settle loop, borrowed from whoever owns
+/// it (the [`Verifier`] for the base settle, the case worker's locals
+/// for a case settle). `events`/`evaluations` accumulate even when the
+/// loop errors out, so callers can fold partial effort into totals.
+struct WaveBooks<'a> {
+    hazards: &'a mut BTreeSet<(PrimId, usize)>,
+    wired: &'a mut HashMap<(SignalId, PrimId), SignalState>,
+    queue: &'a mut VecDeque<PrimId>,
+    queued: &'a mut [bool],
+    events: &'a mut u64,
+    evaluations: &'a mut u64,
+}
+
+/// One level-synchronized settle loop — the wave engine. Each iteration
+/// drains the worklist into a deduplicated wave, evaluates every
+/// primitive of the wave against the frozen pre-wave state
+/// (concurrently when `jobs` allows), then commits the results on this
+/// thread in primitive-id order.
+///
+/// Determinism: an evaluation reads only state committed by *previous*
+/// waves, so in-wave evaluation order is unobservable; the serial,
+/// sorted commit makes event emission, wired-OR recombination, hazard
+/// recording and fan-out enqueueing identical for every worker count.
+/// The oscillation budget is charged per committed evaluation, and a
+/// budget overrun aborts *before* the offending primitive's effects are
+/// applied — exactly the single-worklist engine's semantics. A commit
+/// that changes a signal read by a later member of the same wave simply
+/// re-enqueues that member: its stale result is committed now and
+/// corrected next wave, which cannot change the fixed point because
+/// evaluation is a pure function of the inputs.
+fn settle_waves<R, E>(
+    p: &WaveParams<'_>,
+    books: WaveBooks<'_>,
+    raw: &mut R,
+    eff: &mut E,
+) -> Result<(), VerifyError>
+where
+    R: StateStore + ?Sized,
+    E: StateStore + ?Sized,
+{
+    let WaveBooks {
+        hazards,
+        wired,
+        queue,
+        queued,
+        events,
+        evaluations,
+    } = books;
+    let period = p.netlist.config().timing.period;
+    // More workers than hardware threads measures nothing but spawn
+    // overhead, so an oversized `--jobs` is capped here; the trajectory
+    // is worker-count-independent either way.
+    let wave_jobs = p
+        .jobs
+        .min(std::thread::available_parallelism().map_or(1, usize::from));
+    let mut wave_ordinal = 0u64;
+    let mut wave: Vec<PrimId> = Vec::new();
+    while !queue.is_empty() {
+        wave.clear();
+        wave.extend(queue.drain(..));
+        for pid in &wave {
+            queued[pid.index()] = false;
+        }
+        // Commit in primitive-id order: canonical, and independent of
+        // how last wave's commits happened to interleave enqueues.
+        wave.sort_unstable();
+        let outcomes = evaluate_wave(p.netlist, &wave, &*eff, wave_jobs);
+        for (i, (&pid, outcome)) in wave.iter().zip(outcomes).enumerate() {
+            *evaluations += 1;
+            if let Some(t) = p.trace {
+                t.record(&TraceEvent::Evaluation {
+                    case: p.case,
+                    prim: pid.index() as u32,
+                    name: &p.netlist.prim(pid).name,
+                    ordinal: *evaluations,
+                    queue_depth: wave.len() - i - 1 + queue.len(),
+                });
+            }
+            if *evaluations > p.budget {
+                // Everything not yet committed is still active: the rest
+                // of this wave (the offender included) plus the queue.
+                let active: Vec<String> = wave[i..]
+                    .iter()
+                    .chain(queue.iter())
+                    .take(8)
+                    .map(|&prim| p.netlist.prim(prim).name.clone())
+                    .collect();
+                return Err(VerifyError::Oscillation {
+                    evaluations: *evaluations,
+                    active,
+                });
+            }
+            for idx in &outcome.hazard_inputs {
+                hazards.insert((pid, *idx));
+            }
+            let prim = p.netlist.prim(pid);
+            if let (Some(new_state), Some(out)) = (outcome.output, prim.output) {
+                if p.pinned[out.index()] {
+                    continue; // asserted clocks keep their asserted value
+                }
+                // Wired-OR buses: this driver contributes one term; the
+                // signal's state is the worst-case OR of all drivers.
+                let new_state = if p.netlist.drivers(out).len() > 1 {
+                    wired.insert((out, pid), new_state);
+                    let resolved: Vec<Waveform> = p
+                        .netlist
+                        .drivers(out)
+                        .iter()
+                        .map(|d| {
+                            wired.get(&(out, *d)).map_or_else(
+                                || Waveform::constant(period, Value::Unknown),
+                                SignalState::resolved,
+                            )
+                        })
+                        .collect();
+                    let refs: Vec<&Waveform> = resolved.iter().collect();
+                    SignalState::new(Waveform::combine_many(&refs, |vals| {
+                        scald_logic::or_all(vals.iter().copied())
+                    }))
+                } else {
+                    new_state
+                };
+                if *raw.state_at(out.index()) != new_state {
+                    let new_eff = override_state(p.overrides.get(&out).copied(), &new_state);
+                    raw.set_state(out.index(), new_state);
+                    if *eff.state_at(out.index()) != new_eff {
+                        eff.set_state(out.index(), new_eff);
+                        *events += 1;
+                        if let Some(t) = p.trace {
+                            t.record(&TraceEvent::SignalSettled {
+                                case: p.case,
+                                signal: out.index() as u32,
+                                name: &p.netlist.signal(out).name,
+                                ordinal: *evaluations,
+                            });
+                        }
+                        for &fan in p.netlist.fanout(out) {
+                            if !queued[fan.index()] {
+                                queued[fan.index()] = true;
+                                queue.push_back(fan);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        wave_ordinal += 1;
+        if let Some(t) = p.trace {
+            t.record(&TraceEvent::Wave {
+                case: p.case,
+                ordinal: wave_ordinal,
+                size: wave.len(),
+                queue_depth: queue.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates every primitive of `wave` against the frozen `state`,
+/// fanning across a scoped worker pool when `jobs` allows. The output
+/// vector is indexed like `wave` regardless of which worker computed
+/// which entry, so callers observe nothing but the wall-clock.
+fn evaluate_wave<S>(netlist: &Netlist, wave: &[PrimId], state: &S, jobs: usize) -> Vec<EvalOutcome>
+where
+    S: StateView + ?Sized,
+{
+    let workers = jobs.min(wave.len());
+    if workers <= 1 {
+        return wave
+            .iter()
+            .map(|&pid| evaluate(netlist, netlist.prim(pid), state))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<EvalOutcome>>> = wave.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= wave.len() {
+                    break;
+                }
+                let out = evaluate(netlist, netlist.prim(wave[i]), state);
+                *slots[i].lock().expect("wave slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("wave slot poisoned")
+                .expect("worker filled every wave slot")
+        })
+        .collect()
 }
 
 /// Everything one case worker produced: the check results, its effort
@@ -1008,7 +1362,8 @@ struct CaseOutcome {
 /// the same settled base and the worklist seeding order is fixed, the
 /// outcome is a pure function of `(base, assigns)` — which is what makes
 /// parallel case analysis byte-identical to serial. (An attached trace
-/// sink observes the work but cannot influence it.)
+/// sink observes the work but cannot influence it; `wave_jobs` changes
+/// only who computes each wave entry, never any result.)
 #[allow(clippy::too_many_arguments)]
 fn settle_case(
     netlist: &Netlist,
@@ -1019,6 +1374,7 @@ fn settle_case(
     base_wired: &HashMap<(SignalId, PrimId), SignalState>,
     assigns: &[(SignalId, Value)],
     budget: u64,
+    wave_jobs: usize,
     trace: Option<(&dyn TraceSink, u32)>,
 ) -> Result<CaseOutcome, VerifyError> {
     let overrides: HashMap<SignalId, Value> = assigns.iter().copied().collect();
@@ -1028,103 +1384,46 @@ fn settle_case(
     let mut wired = base_wired.clone();
     let mut queue: VecDeque<PrimId> = VecDeque::new();
     let mut queued = vec![false; netlist.prims().len()];
-    let enqueue = |pid: PrimId, queue: &mut VecDeque<PrimId>, queued: &mut Vec<bool>| {
-        if !queued[pid.index()] {
-            queued[pid.index()] = true;
-            queue.push_back(pid);
-        }
-    };
 
     // Seed: apply the overrides (in SignalId order) and dirty their
     // fan-out cones.
-    use crate::view::StateView;
     for &(sid, v) in assigns {
         let new_eff = override_state(Some(v), &base_raw[sid.index()]);
         if new_eff != base_eff[sid.index()] {
             eff.set(sid.index(), new_eff);
             for &pid in netlist.fanout(sid) {
-                enqueue(pid, &mut queue, &mut queued);
-            }
-        }
-    }
-
-    // The same worklist loop as the base `settle`, on the overlay.
-    let mut events = 0u64;
-    let mut evaluations = 0u64;
-    while let Some(pid) = queue.pop_front() {
-        queued[pid.index()] = false;
-        evaluations += 1;
-        if let Some((t, case)) = trace {
-            t.record(&TraceEvent::Evaluation {
-                case: Some(case),
-                prim: pid.index() as u32,
-                name: &netlist.prim(pid).name,
-                ordinal: evaluations,
-                queue_depth: queue.len(),
-            });
-        }
-        if evaluations > budget {
-            let active: Vec<String> = std::iter::once(pid)
-                .chain(queue.iter().copied())
-                .take(8)
-                .map(|p| netlist.prim(p).name.clone())
-                .collect();
-            return Err(VerifyError::Oscillation {
-                evaluations,
-                active,
-            });
-        }
-        let prim = netlist.prim(pid);
-        let outcome = evaluate(netlist, prim, &eff);
-        for idx in &outcome.hazard_inputs {
-            hazards.insert((pid, *idx));
-        }
-        if let (Some(new_state), Some(out)) = (outcome.output, prim.output) {
-            if pinned[out.index()] {
-                continue; // asserted clocks keep their asserted value
-            }
-            // Wired-OR buses: recombine all drivers' contributions.
-            let new_state = if netlist.drivers(out).len() > 1 {
-                wired.insert((out, pid), new_state);
-                let period = netlist.config().timing.period;
-                let resolved: Vec<Waveform> = netlist
-                    .drivers(out)
-                    .iter()
-                    .map(|d| {
-                        wired.get(&(out, *d)).map_or_else(
-                            || Waveform::constant(period, Value::Unknown),
-                            SignalState::resolved,
-                        )
-                    })
-                    .collect();
-                let refs: Vec<&Waveform> = resolved.iter().collect();
-                SignalState::new(Waveform::combine_many(&refs, |vals| {
-                    scald_logic::or_all(vals.iter().copied())
-                }))
-            } else {
-                new_state
-            };
-            if *raw.state_at(out.index()) != new_state {
-                let new_eff = override_state(overrides.get(&out).copied(), &new_state);
-                raw.set(out.index(), new_state);
-                if *eff.state_at(out.index()) != new_eff {
-                    eff.set(out.index(), new_eff);
-                    events += 1;
-                    if let Some((t, case)) = trace {
-                        t.record(&TraceEvent::SignalSettled {
-                            case: Some(case),
-                            signal: out.index() as u32,
-                            name: &netlist.signal(out).name,
-                            ordinal: evaluations,
-                        });
-                    }
-                    for &fan in netlist.fanout(out) {
-                        enqueue(fan, &mut queue, &mut queued);
-                    }
+                if !queued[pid.index()] {
+                    queued[pid.index()] = true;
+                    queue.push_back(pid);
                 }
             }
         }
     }
+
+    // The same wave loop as the base settle, on the overlay.
+    let mut events = 0u64;
+    let mut evaluations = 0u64;
+    settle_waves(
+        &WaveParams {
+            netlist,
+            pinned,
+            overrides: &overrides,
+            budget,
+            jobs: wave_jobs,
+            case: trace.map(|(_, c)| c),
+            trace: trace.map(|(t, _)| t),
+        },
+        WaveBooks {
+            hazards: &mut hazards,
+            wired: &mut wired,
+            queue: &mut queue,
+            queued: &mut queued,
+            events: &mut events,
+            evaluations: &mut evaluations,
+        },
+        &mut raw,
+        &mut eff,
+    )?;
 
     let hazard_list: Vec<(PrimId, usize)> = hazards.iter().copied().collect();
     let violations = run_all_checks(netlist, &eff, &hazard_list);

@@ -22,30 +22,39 @@
 //! with incremental re-evaluation (§2.7), the assumed-stable cross-reference
 //! listing (§2.5), and storage/event statistics matching Tables 3-1 and 3-3.
 //!
-//! # Parallel case analysis
+//! # Parallel settling and case analysis
 //!
-//! [`Verifier::run_cases`] settles the base (no-override) state once, then
-//! fans the per-case incremental re-evaluations of §2.7 across a
-//! `std::thread::scope` worker pool sized to the machine's available
-//! parallelism (`--jobs` in `scald-tv`). Each worker reads the settled
-//! base immutably and re-evaluates only the cone its case's overrides
-//! dirty, on a private copy-on-write overlay — no locks are held during
+//! [`Verifier::run`] is the single entry point: it settles the base
+//! (no-override) state once, then fans the per-case incremental
+//! re-evaluations of §2.7 across a `std::thread::scope` worker pool
+//! (`--jobs` in `scald-tv`). Each case worker reads the settled base
+//! immutably and re-evaluates only the cone its case's overrides dirty,
+//! on a private copy-on-write overlay — no locks are held during
 //! evaluation, and no external crates are involved.
 //!
-//! **Determinism guarantee:** every case is computed by the same pure
-//! procedure from the same settled base, and results are merged in input
-//! order, so `run_cases` output is byte-identical to
-//! [`Verifier::run_cases_serial`] regardless of worker count or
-//! scheduling. The only scheduling-sensitive quantities are the
-//! *cumulative* effort counters ([`Verifier::total_events`],
-//! [`Verifier::total_evaluations`]) on the error path, which count
-//! whatever work actually completed.
+//! The settle loop itself is parallel too: it is *level-synchronized*,
+//! draining the worklist into deduplicated waves, evaluating each wave
+//! concurrently against the frozen pre-wave state, and committing
+//! results serially in primitive-id order. One worker budget
+//! ([`VerifierBuilder::jobs`], overridable per run with
+//! [`RunOptions::jobs`]) covers both dimensions — nested settles split
+//! it rather than oversubscribing.
+//!
+//! **Determinism guarantee:** every evaluation in a wave reads only
+//! state committed by previous waves, every case is computed by the same
+//! pure procedure from the same settled base, and results are merged in
+//! input order — so waveforms, violation lists, report JSON and
+//! per-case trace streams are byte-identical for every worker count
+//! (`tests/parallel_settle.rs` proves it over seeded designs). The only
+//! scheduling-sensitive quantities are the *cumulative* effort counters
+//! ([`Verifier::total_events`], [`Verifier::total_evaluations`]) on the
+//! error path, which count whatever work actually completed.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use scald_netlist::{Config, NetlistBuilder};
-//! use scald_verifier::{Verifier, ViolationKind};
+//! use scald_verifier::{RunOptions, Verifier, ViolationKind};
 //! use scald_wave::{DelayRange, Time};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,8 +66,8 @@
 //! b.setup_hold("R CHK", Time::from_ns(2.5), Time::from_ns(1.5), d, clk);
 //!
 //! let mut verifier = Verifier::new(b.finish()?);
-//! let result = verifier.run()?;
-//! assert_eq!(result.of_kind(ViolationKind::Setup).len(), 1);
+//! let outcome = verifier.run(&RunOptions::new())?;
+//! assert_eq!(outcome.sole().of_kind(ViolationKind::Setup).len(), 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -76,7 +85,10 @@ mod storage;
 mod view;
 
 pub use diagram::render_diagram;
-pub use engine::{check_interfaces, Case, Verifier, VerifierBuilder, VerifyError};
+pub use engine::{
+    check_interfaces, BaseResult, Case, CheckpointPolicy, RunOptions, RunOutcome, Verifier,
+    VerifierBuilder, VerifyError,
+};
 pub use report::{
     CaseResult, EngineStats, Provenance, ProvenanceHop, Report, Violation, ViolationKind,
     REPORT_SCHEMA, REPORT_VERSION,

@@ -1,17 +1,24 @@
-//! Read access to signal states, abstracted so the evaluators and
-//! checkers work both on the engine's flat state vectors and on a
-//! per-case *cone overlay* (§2.7): the settled base state plus only the
-//! signals a case's overrides actually dirtied. The overlay is what lets
-//! case workers run concurrently without cloning the whole design state —
-//! each worker copies just the slice of [`SignalState`]s in its case's
-//! fan-out cone.
+//! Read and write access to signal states, abstracted so the evaluators,
+//! checkers and the wave-based settle loop work both on the engine's flat
+//! state vectors and on a per-case *cone overlay* (§2.7): the settled base
+//! state plus only the signals a case's overrides actually dirtied. The
+//! overlay is what lets case workers run concurrently without cloning the
+//! whole design state — each worker copies just the slice of
+//! [`SignalState`]s in its case's fan-out cone.
+//!
+//! The wave engine reuses the same machinery in the other direction:
+//! during a wave's evaluation phase many worker threads read one frozen
+//! state through a shared [`StateView`]; the single commit phase then
+//! writes through [`StateStore`]. Both the flat `[SignalState]` backing
+//! of the base settle and the [`ConeState`] overlay of a case settle
+//! implement both traits, so one settle loop serves every path.
 
 use std::collections::HashMap;
 
 use crate::state::SignalState;
 
 /// Read-only view of all signal states, indexed by `SignalId::index()`.
-pub(crate) trait StateView {
+pub(crate) trait StateView: Sync {
     /// The state of signal `idx`.
     fn state_at(&self, idx: usize) -> &SignalState;
 }
@@ -19,6 +26,20 @@ pub(crate) trait StateView {
 impl StateView for [SignalState] {
     fn state_at(&self, idx: usize) -> &SignalState {
         &self[idx]
+    }
+}
+
+/// A writable [`StateView`]: what the wave engine's commit phase needs.
+/// Writes never happen concurrently with reads — the engine evaluates a
+/// whole wave against a frozen view, then commits on one thread.
+pub(crate) trait StateStore: StateView {
+    /// Replaces the state of signal `idx`.
+    fn set_state(&mut self, idx: usize, state: SignalState);
+}
+
+impl StateStore for [SignalState] {
+    fn set_state(&mut self, idx: usize, state: SignalState) {
+        self[idx] = state;
     }
 }
 
@@ -57,6 +78,12 @@ impl StateView for ConeState<'_> {
     }
 }
 
+impl StateStore for ConeState<'_> {
+    fn set_state(&mut self, idx: usize, state: SignalState) {
+        self.set(idx, state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +105,18 @@ mod tests {
         let overlay = cone.into_overlay();
         assert_eq!(overlay.len(), 1);
         assert_eq!(overlay[&0], st(Value::Stable));
+    }
+
+    #[test]
+    fn store_writes_through_both_backends() {
+        let mut flat = vec![st(Value::Zero)];
+        flat.as_mut_slice().set_state(0, st(Value::One));
+        assert_eq!(flat[0], st(Value::One));
+
+        let base = vec![st(Value::Zero)];
+        let mut cone = ConeState::new(&base);
+        cone.set_state(0, st(Value::One));
+        assert_eq!(cone.state_at(0), &st(Value::One));
+        assert_eq!(base[0], st(Value::Zero), "base untouched");
     }
 }

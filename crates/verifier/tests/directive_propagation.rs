@@ -4,7 +4,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Config, Conn, NetlistBuilder, SignalId};
-use scald_verifier::{Verifier, ViolationKind};
+use scald_verifier::{RunOptions, Verifier, ViolationKind};
 use scald_wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -35,7 +35,7 @@ fn zz_string_zeroes_two_levels() {
     );
     b.and2("L2", DelayRange::from_ns(2.0, 4.0), z(mid), z(one), far);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(far);
     // Both levels zeroed: FAR == asserted clock exactly.
     assert_eq!(w.value_at(ns(12.4)), Value::Zero, "{w}");
@@ -62,7 +62,7 @@ fn single_z_consumed_at_first_level_only() {
     );
     b.and2("L2", DelayRange::from_ns(2.0, 4.0), z(mid), z(one), far);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(far);
     // Level 2's 2..4 ns delay applies: rise window 14.5..16.5.
     assert_eq!(w.value_at(ns(14.4)), Value::Zero, "{w}");
@@ -91,7 +91,7 @@ fn za_string_checks_at_second_level() {
     );
     b.and2("L2", DelayRange::ZERO, z(mid), z(late), far);
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let hazards = r.of_kind(ViolationKind::Hazard);
     assert_eq!(hazards.len(), 1, "{r}");
     assert_eq!(hazards[0].source, "L2");
@@ -118,7 +118,7 @@ fn za_string_assumes_enabling_at_second_level() {
     );
     b.and2("L2", DelayRange::ZERO, z(mid), z(late), far);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(far);
     // Without assume-enabling the changing control would make FAR `C`
     // while the clock is high; with it, FAR carries the clean clock pulse.
@@ -143,7 +143,7 @@ fn exhausted_string_stops_propagating() {
     b.and2("G2", d, z(l1), z(one), l2);
     b.and2("G3", d, z(l2), z(one), l3);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     // Levels 1-2 zeroed, level 3 adds its exact 1 ns delay.
     let w = v.resolved(l3);
     assert_eq!(w.value_at(ns(13.4)), Value::Zero, "{w}");

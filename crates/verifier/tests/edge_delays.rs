@@ -6,7 +6,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Config, Conn, NetlistBuilder};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 use scald_wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -32,7 +32,7 @@ fn buffer_applies_per_edge_delays() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Rising edge 10 -> 12; falling edge 30 -> 36. The pulse stretches by
     // the delay difference — the effect uniform delays cannot model.
@@ -55,7 +55,7 @@ fn inverter_swaps_which_delay_applies() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Input rises at 10 => OUTPUT FALLS: the fall delay (6) applies: Q is
     // 1 until 16, then 0. Input falls at 30 => output rises at 32.
@@ -78,7 +78,7 @@ fn delay_ranges_become_edge_windows() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Rise window 11..13, fall window 34..38.
     assert_eq!(w.value_at(ns(10.9)), Value::Zero, "{w}");
@@ -102,7 +102,7 @@ fn unknown_polarity_uses_envelope() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // A stable 6.25..31.25, changing elsewhere. The envelope is 2..6:
     // Q must be possibly-changing from 31.25+2 and until 6.25+6.
@@ -128,7 +128,7 @@ fn narrow_pulse_collapse_is_conservative() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Rise would land at 16, fall at 13: physically the pulse is swallowed
     // or a glitch. The conservative result may mark the region changing
@@ -157,7 +157,7 @@ fn asymmetric_inverter_chain_tightens_vs_envelope() {
     b.not_asym("N1", rise, fall, z(a), m);
     b.not_asym("N2", rise, fall, z(m), q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Input rises at 10: N1 falls at 16 (fall 6), N2 rises at 18 (rise 2):
     // total 8 ns = rise + fall, vs 12 ns for 2×max.

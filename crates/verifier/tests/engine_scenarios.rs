@@ -4,7 +4,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Config, Conn, NetlistBuilder};
-use scald_verifier::{Case, Verifier, VerifyError, ViolationKind};
+use scald_verifier::{Case, RunOptions, Verifier, VerifyError, ViolationKind};
 use scald_wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -31,7 +31,7 @@ fn register_output_timing_follows_clock_edge() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean(), "{r}");
     let qw = v.resolved(v.netlist().signal_by_name("Q").unwrap());
     // Edge at 12.5; output changing over [12.5+1.5, 12.5+4.5) = [14, 17).
@@ -57,7 +57,7 @@ fn register_latches_constant_data_value() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let qw = v.resolved(v.netlist().signal_by_name("Q").unwrap());
     // After the change window the output is the latched 1, not just S.
     assert_eq!(qw.value_at(ns(30.0)), Value::One);
@@ -86,7 +86,7 @@ fn setup_violation_detected_with_margin() {
         Conn::new(clk).with_wire_delay(DelayRange::ZERO),
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let setups = r.of_kind(ViolationKind::Setup);
     assert_eq!(setups.len(), 1, "{r}");
     // Data stable exactly at the edge: missed by the full 2.5 ns, the
@@ -106,7 +106,7 @@ fn wire_delay_defaults_push_data_late() {
     b.reg("R", DelayRange::from_ns(1.5, 4.5), clk, d, q);
     b.setup_hold("R CHK", ns(2.5), ns(1.5), d, clk);
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     // Data stable at unit 1 = 6.25 ns nominal, but up to +2 wire = 8.25.
     // Clock edge window 12.5..14.5 (its own wire spread). Setup available
     // = 12.5 - 8.25 = 4.25 >= 2.5: clean.
@@ -147,7 +147,7 @@ fn gated_clock_hazard_fig_1_5() {
         Conn::new(regck).with_wire_delay(DelayRange::ZERO),
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let hazards = r.of_kind(ViolationKind::Hazard);
     assert_eq!(hazards.len(), 1, "{r}");
     assert!(hazards[0].observed.iter().any(|l| l.contains("ENABLE")));
@@ -182,7 +182,7 @@ fn gated_clock_runt_pulse_without_directive() {
         Conn::new(regck).with_wire_delay(DelayRange::ZERO),
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let widths = r.of_kind(ViolationKind::MinPulseHigh);
     assert_eq!(widths.len(), 1, "{r}");
     assert!(
@@ -223,7 +223,7 @@ fn case_analysis_fig_2_6_recovers_30ns_path() {
     // Without case analysis: CONTROL is S, both muxes join both paths,
     // and the output looks changing for the 40 ns worst case.
     let mut v = fig_2_6_circuit();
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean());
     let out = v.netlist().signal_by_name("OUTPUT").unwrap();
     // INPUT changes 25..50; via the phantom 40 ns path the output could
@@ -241,7 +241,10 @@ fn case_analysis_fig_2_6_recovers_30ns_path() {
         Case::new().assign("CONTROL SIGNAL", false),
         Case::new().assign("CONTROL SIGNAL", true),
     ];
-    let results = v.run_cases(&cases).unwrap();
+    let results = v
+        .run(&RunOptions::new().cases(cases.to_vec()))
+        .unwrap()
+        .cases;
     assert_eq!(results.len(), 2);
     for r in &results {
         assert!(r.is_clean(), "{r}");
@@ -262,7 +265,7 @@ fn case_analysis_fig_2_6_recovers_30ns_path() {
 fn case_analysis_unknown_signal_errors() {
     let mut v = fig_2_6_circuit();
     let err = v
-        .run_cases(&[Case::new().assign("NO SUCH", true)])
+        .run(&RunOptions::new().case(Case::new().assign("NO SUCH", true)))
         .unwrap_err();
     assert!(matches!(err, VerifyError::UnknownCaseSignal { .. }));
 }
@@ -285,7 +288,7 @@ fn z_directive_dereferences_clock_to_gate_output() {
         gated,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let g = v.netlist().signal_by_name("GATED CK").unwrap();
     let w = v.resolved(g);
     // Rising edge exactly at 12.5 ns — no wire, no gate delay.
@@ -310,7 +313,7 @@ fn without_z_directive_gate_delay_applies() {
         gated,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let g = v.netlist().signal_by_name("GATED CK").unwrap();
     let w = v.resolved(g);
     // Shifted by 2 ns minimum, with a 2 ns rise window from the spread.
@@ -333,7 +336,7 @@ fn latch_transparent_then_holds() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean(), "{r}");
     let qw = v.resolved(v.netlist().signal_by_name("Q").unwrap());
     // Data is stable while the latch is open (13.5..19.75 after delay) and
@@ -358,7 +361,7 @@ fn latch_passes_changing_data_while_open() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let qw = v.resolved(v.netlist().signal_by_name("Q").unwrap());
     // While open (enable high 12.5..18.75 + 1 delay) the changing data
     // shows through.
@@ -385,7 +388,7 @@ fn register_set_reset_overrides() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let qw = v.resolved(v.netlist().signal_by_name("Q").unwrap());
     // SET = 1, RESET = 0: output forced to one for the whole cycle.
     assert!(qw.is_constant());
@@ -406,7 +409,7 @@ fn stable_assertion_on_generated_signal_checked() {
         sum,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let vio = r.of_kind(ViolationKind::AssertionViolated);
     assert_eq!(vio.len(), 1, "{r}");
     assert!(vio[0].source.contains("SUM"));
@@ -426,7 +429,7 @@ fn stable_assertion_satisfied_is_clean() {
         sum,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean(), "{r}");
 }
 
@@ -437,7 +440,7 @@ fn undriven_unasserted_signals_assumed_stable_and_crossreferenced() {
     let out = b.signal("OUT").unwrap();
     b.buf("B", DelayRange::from_ns(1.0, 2.0), mystery, out);
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean());
     assert_eq!(v.assumed_stable_signals().len(), 1);
     assert!(v.xref_listing().contains("NOT YET DESIGNED"));
@@ -460,7 +463,7 @@ fn oscillating_loop_is_detected_not_hung() {
     b.constant("K1", Value::One, one);
     b.mux2("M", DelayRange::ZERO, w(clk), w(fb), w(one), out);
     let mut v = Verifier::new(b.finish().unwrap());
-    match v.run() {
+    match v.run(&RunOptions::new()) {
         Err(VerifyError::Oscillation { evaluations, .. }) => {
             assert!(evaluations > 0);
         }
@@ -481,7 +484,7 @@ fn summary_listing_shows_signal_values() {
     let q = b.signal_vec("Q", 8).unwrap();
     b.reg("R", DelayRange::from_ns(1.5, 4.5), clk, d, q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let listing = v.summary_listing();
     assert!(listing.contains("CK .P2-3"));
     assert!(listing.contains("Q"));
@@ -499,7 +502,7 @@ fn storage_report_totals_are_consistent() {
     let q = b.signal_vec("Q", 8).unwrap();
     b.reg("R", DelayRange::from_ns(1.5, 4.5), clk, d, q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let report = v.storage_report();
     let sum: usize = report.rows().iter().map(|(_, b, _)| b).sum();
     assert_eq!(sum, report.total());
@@ -518,7 +521,7 @@ fn events_are_counted() {
     b.buf("B1", DelayRange::from_ns(1.0, 2.0), a, q1);
     b.buf("B2", DelayRange::from_ns(1.0, 2.0), q1, q2);
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     // Both buffers produce new values at least once.
     assert!(r.events >= 2, "{}", r.events);
     assert!(r.evaluations >= r.events);
@@ -534,7 +537,7 @@ fn chg_absorbs_values_but_tracks_changing() {
     let w = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
     b.chg("PAR", DelayRange::from_ns(1.5, 3.0), [w(a), w(clkish)], out);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let ow = v.resolved(v.netlist().signal_by_name("PARITY").unwrap());
     // The clock's edges at 12.5/18.75 appear as changing windows
     // (1.5..3.0 after each edge), the 0/1 levels are absorbed into S.
@@ -556,7 +559,7 @@ fn inverted_connection_complement() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(v.netlist().signal_by_name("NCK").unwrap());
     assert_eq!(w.value_at(ns(15.0)), Value::Zero); // clock is high here
     assert_eq!(w.value_at(ns(30.0)), Value::One);
@@ -570,7 +573,7 @@ fn inverted_connection_complement() {
 fn sr_latch_feedback_terminates() {
     let netlist = scald_gen::figures::sr_latch();
     let mut v = Verifier::new(netlist);
-    match v.run() {
+    match v.run(&RunOptions::new()) {
         Ok(r) => {
             // Settled: outputs carry conservative (U/S/C) values.
             let q = v.netlist().signal_by_name("B").unwrap();
@@ -599,7 +602,7 @@ fn slack_report_margins() {
     b.setup_hold("TIGHT CHK", ns(2.5), ns(1.5), z(tight), z(clk));
     b.min_pulse_width("CK WIDTH", ns(4.0), ns(0.0), z(clk));
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let slack = v.slack_report();
     assert_eq!(slack.len(), 3);
     // TIGHT goes stable at 11.875 ns; the edge is at 12.5: 0.625 avail vs
@@ -645,12 +648,15 @@ fn engine_reuse_is_incremental() {
         unrelated,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    let first = v.run().unwrap();
+    let first = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(first.evaluations >= 3);
 
     // Switching CTRL to a constant touches only the mux cone (M1, B1) —
     // never B2.
-    let results = v.run_cases(&[Case::new().assign("CTRL", true)]).unwrap();
+    let results = v
+        .run(&RunOptions::new().case(Case::new().assign("CTRL", true)))
+        .unwrap()
+        .cases;
     assert!(
         results[0].evaluations <= 2,
         "expected only the mux cone to re-evaluate: {}",
@@ -667,7 +673,7 @@ fn check_now_reflects_current_state() {
     let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
     b.setup_hold("CHK", ns(2.5), ns(1.5), z(d), z(clk));
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let again = v.check_now();
     assert_eq!(r.violations, again);
 }
@@ -692,7 +698,7 @@ fn undefined_clock_diagnostic() {
     b.buf("CKBUF", DelayRange::from_ns(1.0, 1.0), z(fb), ck);
     b.setup_hold("CHK", ns(2.5), ns(1.5), z(d), z(ck));
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     let undef = r.of_kind(ViolationKind::UndefinedClock);
     assert_eq!(undef.len(), 1, "{r}");
     assert!(undef[0].constraint.contains("MYSTERY CLK"));
@@ -717,7 +723,7 @@ fn driven_stable_assertion_checks_but_does_not_pin() {
     b.buf("B1", DelayRange::from_ns(1.0, 2.0), z(input), mid);
     b.buf("B2", DelayRange::from_ns(1.0, 2.0), z(mid), out);
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     // The false assertion is reported...
     assert_eq!(r.of_kind(ViolationKind::AssertionViolated).len(), 1, "{r}");
     // ...and OUT sees MID's real changing window (26..4 after two 1-2 ns
@@ -739,7 +745,7 @@ fn driven_clock_assertion_pins_value() {
     let z = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
     b.buf("CK TREE", DelayRange::from_ns(3.0, 9.0), z(raw), gen);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(gen);
     // Pinned to the asserted 12.5..18.75 pulse, not shifted by 3..9 ns.
     assert_eq!(w.value_at(ns(12.5)), Value::One, "{w}");

@@ -4,7 +4,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Config, Conn, NetlistBuilder, PrimKind, SignalId};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 use scald_wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -26,7 +26,7 @@ fn gate_value(kind: PrimKind, a: Value, b_val: Value) -> Value {
     b.constant("KB", b_val, sb);
     b.gate("G", kind, DelayRange::ZERO, [z(sa), z(sb)], q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     v.resolved(q).value_at(ns(30.0))
 }
 
@@ -65,7 +65,7 @@ fn wide_mux_routes_by_known_select() {
         Some(q),
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // First half: select = 1 -> leg 1 (One); second half: select = 0 ->
     // leg 0 (Zero).
@@ -93,7 +93,7 @@ fn latch_sr_forced_by_set() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     assert!(w.is_constant(), "{w}");
     assert_eq!(w.value_at(Time::ZERO), Value::One);
@@ -119,7 +119,7 @@ fn latch_sr_both_asserted_is_undefined() {
         q,
     );
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     assert_eq!(v.resolved(q).value_at(ns(25.0)), Value::Unknown);
 }
 
@@ -130,7 +130,7 @@ fn delay_element_shifts_and_skews() {
     let q = b.signal("Q").unwrap();
     b.delay("DLY", DelayRange::from_ns(5.0, 7.0), z(a), q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Clock high 12.5..18.75 shifted by 5..7: rise window 17.5..19.5.
     assert_eq!(w.value_at(ns(17.0)), Value::Zero, "{w}");
@@ -163,7 +163,7 @@ fn delay_element_consumes_directive_string() {
     );
     b.and2("G", DelayRange::from_ns(2.0, 4.0), Conn::new(m), z(one), q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Clock rise 12.5 + delay 3 (exact) + zero for the AND = 15.5.
     assert_eq!(w.value_at(ns(15.4)), Value::Zero, "{w}");
@@ -177,7 +177,7 @@ fn constants_drive_their_value() {
         let q = b.signal("Q").unwrap();
         b.constant("K", val, q);
         let mut v = Verifier::new(b.finish().unwrap());
-        v.run().unwrap();
+        v.run(&RunOptions::new()).unwrap();
         assert_eq!(v.resolved(q).value_at(ns(10.0)), val);
     }
 }
@@ -190,7 +190,7 @@ fn chg_multi_input_changing_windows_union() {
     let q = b.signal("Q").unwrap();
     b.chg("SUM", DelayRange::ZERO, [z(a), z(c)], q);
     let mut v = Verifier::new(b.finish().unwrap());
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(q);
     // Stable only where both are stable: A stable 0..12.5, B stable
     // 25..37.5: intersection is empty except... A stable 0..12.5 and B

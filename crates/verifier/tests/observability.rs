@@ -5,7 +5,7 @@
 
 use scald_gen::figures::{case_analysis_circuit, register_file_circuit};
 use scald_trace::{CounterSink, JsonlSink, TimelineSink};
-use scald_verifier::{Case, Verifier, VerifierBuilder, VerifyError, REPORT_SCHEMA};
+use scald_verifier::{Case, RunOptions, Verifier, VerifierBuilder, VerifyError, REPORT_SCHEMA};
 use std::sync::Arc;
 
 #[test]
@@ -13,7 +13,7 @@ fn counter_sink_totals_match_engine_counters() {
     let (netlist, _) = register_file_circuit();
     let sink = Arc::new(CounterSink::new());
     let mut v = VerifierBuilder::new(netlist).trace(sink.clone()).build();
-    let result = v.run().expect("settles");
+    let result = v.run(&RunOptions::new()).expect("settles").into_sole();
 
     let snap = sink.snapshot();
     assert_eq!(snap.evaluations, result.evaluations);
@@ -29,7 +29,7 @@ fn counter_sink_totals_match_engine_counters() {
 fn violations_carry_provenance_anchored_at_checked_signal() {
     let (netlist, _) = register_file_circuit();
     let mut v = Verifier::new(netlist);
-    let result = v.run().expect("settles");
+    let result = v.run(&RunOptions::new()).expect("settles").into_sole();
     assert!(!result.violations.is_empty());
     for violation in &result.violations {
         let p = violation
@@ -49,7 +49,7 @@ fn violations_carry_provenance_anchored_at_checked_signal() {
 fn builder_oscillation_budget_cuts_runs_short() {
     let (netlist, _) = register_file_circuit();
     let mut v = VerifierBuilder::new(netlist).oscillation_budget(3).build();
-    match v.run() {
+    match v.run(&RunOptions::new()) {
         Err(VerifyError::Oscillation { evaluations, .. }) => {
             // The engine gives up on the first evaluation past the budget.
             assert_eq!(evaluations, 4, "budget not honored");
@@ -61,16 +61,27 @@ fn builder_oscillation_budget_cuts_runs_short() {
 #[test]
 fn tracing_does_not_change_results() {
     let (netlist, _) = case_analysis_circuit();
-    let cases = vec![
+    let cases = [
         Case::new().assign("CONTROL SIGNAL", false),
         Case::new().assign("CONTROL SIGNAL", true),
     ];
     let mut bare = Verifier::new(netlist.clone());
-    let baseline = format!("{:?}", bare.run_cases(&cases).expect("settles"));
+    let baseline = format!(
+        "{:?}",
+        bare.run(&RunOptions::new().cases(cases.to_vec()))
+            .expect("settles")
+            .cases
+    );
 
     let sink = Arc::new(CounterSink::new());
     let mut traced = VerifierBuilder::new(netlist).trace(sink.clone()).build();
-    let traced_out = format!("{:?}", traced.run_cases(&cases).expect("settles"));
+    let traced_out = format!(
+        "{:?}",
+        traced
+            .run(&RunOptions::new().cases(cases.to_vec()))
+            .expect("settles")
+            .cases
+    );
     assert_eq!(traced_out, baseline, "tracing perturbed verification");
     assert!(sink.snapshot().evaluations > 0, "sink saw no work");
 }
@@ -80,7 +91,7 @@ fn jsonl_sink_streams_parseable_events() {
     let (netlist, _) = register_file_circuit();
     let sink = Arc::new(JsonlSink::new(Vec::new()));
     let mut v = VerifierBuilder::new(netlist).trace(sink.clone()).build();
-    v.run().expect("settles");
+    v.run(&RunOptions::new()).expect("settles");
     drop(v); // release the engine's Arc so the buffer can be reclaimed
 
     let sink = Arc::into_inner(sink).expect("engine dropped its handle");
@@ -99,7 +110,7 @@ fn timeline_sink_records_queue_depth_profile() {
     let (netlist, _) = register_file_circuit();
     let sink = Arc::new(TimelineSink::new());
     let mut v = VerifierBuilder::new(netlist).trace(sink.clone()).build();
-    v.run().expect("settles");
+    v.run(&RunOptions::new()).expect("settles");
     let samples = sink.samples();
     assert!(!samples.is_empty());
     assert!(samples.iter().all(|s| s.ordinal >= 1));
@@ -117,7 +128,7 @@ fn timeline_sink_records_queue_depth_profile() {
 fn report_json_round_trips_through_own_parser() {
     let (netlist, _) = register_file_circuit();
     let mut v = Verifier::new(netlist);
-    let results = vec![v.run().expect("settles")];
+    let results = vec![v.run(&RunOptions::new()).expect("settles").into_sole()];
     let report = v.report("register-file", &results);
     assert!(!report.is_clean());
     assert_eq!(report.total_violations(), results[0].violations.len());

@@ -1,12 +1,13 @@
 //! Determinism and error-path coverage for the parallel case-analysis
-//! engine (§2.7): `run_cases` must be byte-identical to
-//! `run_cases_serial` for any worker count, and the engine's two error
-//! variants (`Oscillation`, `UnknownCaseSignal`) must surface
-//! deterministically regardless of scheduling.
+//! engine (§2.7): `run` must produce byte-identical results for any
+//! worker budget, and the engine's two error variants (`Oscillation`,
+//! `UnknownCaseSignal`) must surface deterministically regardless of
+//! scheduling. (`parallel_settle.rs` covers the intra-run wave engine;
+//! this file covers the case fan-out dimension.)
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_netlist::{Config, Conn, NetlistBuilder};
-use scald_verifier::{Case, Verifier, VerifyError};
+use scald_verifier::{Case, RunOptions, Verifier, VerifyError};
 use scald_wave::DelayRange;
 
 /// Twelve cases over the generated design's global control signals —
@@ -34,27 +35,42 @@ fn fresh_s1_verifier() -> Verifier {
     Verifier::new(netlist)
 }
 
-/// `run_cases` (parallel, default jobs) and explicit 1-, 2-, and
-/// N-worker pools all produce output byte-identical to the serial
-/// engine on a generated S-1-like design.
+/// One-worker, 2-worker, N-worker and default-budget runs all produce
+/// output byte-identical to each other on a generated S-1-like design.
 #[test]
 fn parallel_matches_serial_for_1_2_and_n_workers() {
     let cases = s1_cases();
     assert!(cases.len() >= 8);
 
     let mut serial = fresh_s1_verifier();
-    let baseline = format!("{:?}", serial.run_cases_serial(&cases).unwrap());
+    let baseline = format!(
+        "{:?}",
+        serial
+            .run(&RunOptions::new().cases(cases.clone()).jobs(1))
+            .unwrap()
+            .cases
+    );
 
     let n = std::thread::available_parallelism().map_or(4, usize::from);
     for jobs in [1, 2, n] {
         let mut v = fresh_s1_verifier();
-        let got = format!("{:?}", v.run_cases_with_jobs(&cases, jobs).unwrap());
+        let got = format!(
+            "{:?}",
+            v.run(&RunOptions::new().cases(cases.clone()).jobs(jobs))
+                .unwrap()
+                .cases
+        );
         assert_eq!(got, baseline, "jobs={jobs} diverged from serial");
     }
 
     let mut v = fresh_s1_verifier();
-    let got = format!("{:?}", v.run_cases(&cases).unwrap());
-    assert_eq!(got, baseline, "default-jobs run_cases diverged from serial");
+    let got = format!(
+        "{:?}",
+        v.run(&RunOptions::new().cases(cases.clone()))
+            .unwrap()
+            .cases
+    );
+    assert_eq!(got, baseline, "default-budget run diverged from serial");
 }
 
 /// Same property on a warm engine: a prior full `run` changes the
@@ -65,13 +81,79 @@ fn parallel_matches_serial_on_warm_engine() {
     let cases = s1_cases();
 
     let mut serial = fresh_s1_verifier();
-    serial.run().unwrap();
-    let baseline = format!("{:?}", serial.run_cases_serial(&cases).unwrap());
+    serial.run(&RunOptions::new()).unwrap();
+    let baseline = format!(
+        "{:?}",
+        serial
+            .run(&RunOptions::new().cases(cases.clone()).jobs(1))
+            .unwrap()
+            .cases
+    );
 
     let mut par = fresh_s1_verifier();
-    par.run().unwrap();
-    let got = format!("{:?}", par.run_cases_with_jobs(&cases, 4).unwrap());
+    par.run(&RunOptions::new()).unwrap();
+    let got = format!(
+        "{:?}",
+        par.run(&RunOptions::new().cases(cases.clone()).jobs(4))
+            .unwrap()
+            .cases
+    );
     assert_eq!(got, baseline);
+}
+
+/// The deprecated entry points must stay behaviourally identical to the
+/// unified `run` while they live — they are one-line shims over it.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_unified_run() {
+    let cases = s1_cases();
+
+    let mut unified = fresh_s1_verifier();
+    let baseline = format!(
+        "{:?}",
+        unified
+            .run(&RunOptions::new().cases(cases.clone()).jobs(2))
+            .unwrap()
+            .cases
+    );
+
+    let mut shim = fresh_s1_verifier();
+    let via_with_jobs = format!("{:?}", shim.run_cases_with_jobs(&cases, 2).unwrap());
+    assert_eq!(via_with_jobs, baseline);
+
+    let mut shim = fresh_s1_verifier();
+    let via_serial = format!("{:?}", shim.run_cases_serial(&cases).unwrap());
+    assert_eq!(via_serial, baseline);
+
+    let mut shim = fresh_s1_verifier();
+    let via_cases = format!("{:?}", shim.run_cases(&cases).unwrap());
+    assert_eq!(via_cases, baseline);
+
+    // Empty input keeps its historical contract: no work, no results.
+    let mut shim = fresh_s1_verifier();
+    assert!(shim.run_cases(&[]).unwrap().is_empty());
+    assert_eq!(shim.total_evaluations(), 0);
+}
+
+/// `Verifier::new` is a thin alias for the all-defaults builder: both
+/// constructors must yield verifiers producing identical reports.
+#[test]
+fn verifier_new_is_builder_alias() {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 40,
+        seed: 0x5ca1d,
+    });
+
+    let mut via_new = Verifier::new(netlist.clone());
+    let r1 = via_new.run(&RunOptions::new()).unwrap();
+    let mut via_builder = scald_verifier::VerifierBuilder::new(netlist).build();
+    let r2 = via_builder.run(&RunOptions::new()).unwrap();
+
+    assert_eq!(format!("{:?}", r1.cases), format!("{:?}", r2.cases));
+    assert_eq!(
+        via_new.report("alias", &r1.cases).to_json().to_string(),
+        via_builder.report("alias", &r2.cases).to_json().to_string()
+    );
 }
 
 /// A clocked inverter ring whose 2 ps feedback delay keeps generating
@@ -79,8 +161,7 @@ fn parallel_matches_serial_on_warm_engine() {
 /// periodic fixed point, so settling exhausts the evaluation budget.
 /// (Because the algebra is worst-case, a loop live under any case
 /// override is also live under the base's `S` — the error surfaces at
-/// the base settle inside `run_cases`, identically for every worker
-/// count.)
+/// the base settle inside `run`, identically for every worker count.)
 fn busy_ring_verifier() -> Verifier {
     let mut b = NetlistBuilder::new(Config::s1_example());
     let w = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
@@ -96,13 +177,15 @@ fn busy_ring_verifier() -> Verifier {
 
 #[test]
 fn oscillation_exhausts_budget_identically_serial_and_parallel() {
-    let cases = [
+    let cases = vec![
         Case::new().assign("EN", true),
         Case::new().assign("EN", false),
         Case::new().assign("EN", true),
     ];
 
-    let serial_err = busy_ring_verifier().run_cases_serial(&cases).unwrap_err();
+    let serial_err = busy_ring_verifier()
+        .run(&RunOptions::new().cases(cases.clone()).jobs(1))
+        .unwrap_err();
     match &serial_err {
         VerifyError::Oscillation {
             evaluations,
@@ -116,7 +199,7 @@ fn oscillation_exhausts_budget_identically_serial_and_parallel() {
 
     for jobs in [2, 4] {
         let par_err = busy_ring_verifier()
-            .run_cases_with_jobs(&cases, jobs)
+            .run(&RunOptions::new().cases(cases.clone()).jobs(jobs))
             .unwrap_err();
         assert_eq!(par_err, serial_err, "jobs={jobs}");
     }
@@ -133,7 +216,9 @@ fn unknown_case_signal_rejected_before_any_evaluation() {
 
     for jobs in [1, 3] {
         let mut v = fresh_s1_verifier();
-        let err = v.run_cases_with_jobs(&cases, jobs).unwrap_err();
+        let err = v
+            .run(&RunOptions::new().cases(cases.clone()).jobs(jobs))
+            .unwrap_err();
         assert_eq!(
             err,
             VerifyError::UnknownCaseSignal {

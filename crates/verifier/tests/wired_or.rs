@@ -4,7 +4,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Config, Conn, NetlistBuilder, NetlistError, SignalId};
-use scald_verifier::Verifier;
+use scald_verifier::{RunOptions, Verifier};
 use scald_wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -59,7 +59,7 @@ fn wired_or_joins_two_banks() {
     assert_eq!(n.drivers(bus).len(), 2);
 
     let mut v = Verifier::new(n);
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean(), "{r}");
     let w = v.resolved(bus);
     // Around mid-half-cycle instants the bus carries the enabled bank's
@@ -85,7 +85,7 @@ fn wired_or_dominated_by_asserted_one() {
     b.buf("D2", DelayRange::from_ns(1.0, 3.0), z(noisy), bus);
     let n = b.finish().unwrap();
     let mut v = Verifier::new(n);
-    v.run().unwrap();
+    v.run(&RunOptions::new()).unwrap();
     let w = v.resolved(bus);
     assert!(w.is_constant(), "{w}");
     assert_eq!(w.value_at(Time::ZERO), Value::One);
@@ -105,7 +105,7 @@ fn wired_or_checker_sees_joined_value() {
     b.setup_hold("BUS CHK", ns(2.5), ns(0.5), z(bus), z(clk));
     let n = b.finish().unwrap();
     let mut v = Verifier::new(n);
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     // LATE is changing until 35.6 ns; the 37.5 ns edge needs stability
     // from 35.0 -> the joined bus violates set-up by 0.6 ns.
     assert!(

@@ -14,7 +14,7 @@ use scald::gen::figures::case_analysis_circuit;
 use scald::netlist::{Config, Conn, Netlist, NetlistBuilder};
 use scald::paths::PathAnalysis;
 use scald::sim::{primary_inputs, simulate, SimViolationKind, Stimulus};
-use scald::verifier::{Case, Verifier, ViolationKind};
+use scald::verifier::{Case, RunOptions, Verifier, ViolationKind};
 use scald::wave::{DelayRange, Time};
 
 /// A register fed through a mux whose `1` leg is too slow for the set-up
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Timing Verifier: one pass over all cases at once.
     let mut v = Verifier::new(slow_leg_circuit());
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     println!(
         "Timing Verifier      : 1 symbolic pass, {} evaluations, setup errors: {}",
         r.evaluations,
@@ -101,10 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let (netlist, (_, _, output)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
-    v.run_cases(&[
+    v.run(&RunOptions::new().cases(vec![
         Case::new().assign("CONTROL SIGNAL", false),
         Case::new().assign("CONTROL SIGNAL", true),
-    ])?;
+    ]))?;
     let w = v.resolved(output);
     println!("Verifier with cases  : OUTPUT = {w} (true 30 ns path)");
     Ok(())

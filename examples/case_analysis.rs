@@ -15,7 +15,7 @@
 
 use scald::gen::figures::case_analysis_circuit;
 use scald::paths::PathAnalysis;
-use scald::verifier::{Case, Verifier};
+use scald::verifier::{Case, RunOptions, Verifier};
 use scald::wave::Time;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verifier without case analysis: same pessimism.
     let (netlist, (_, _, output)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     let w = v.resolved(output);
     println!("verifier, no cases  : OUTPUT = {w}   ({} events)", r.events);
     let pessimistic = w.value_at(Time::from_ns(36.0));
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Case::new().assign("CONTROL SIGNAL", false),
         Case::new().assign("CONTROL SIGNAL", true),
     ];
-    let results = v.run_cases(&cases)?;
+    let results = v.run(&RunOptions::new().cases(cases.to_vec()))?.cases;
     for r in &results {
         println!(
             "verifier, {:<24}: {} events, {} evaluations",

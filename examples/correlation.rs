@@ -11,12 +11,12 @@
 //! Run with: `cargo run --example correlation`
 
 use scald::gen::figures::correlation_circuit;
-use scald::verifier::{Verifier, ViolationKind};
+use scald::verifier::{RunOptions, Verifier, ViolationKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Fig 4-1: feedback register, no CORR delay ===");
     let mut v = Verifier::new(correlation_circuit(false));
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     let holds = r.of_kind(ViolationKind::Hold);
     println!("{} hold violation(s) reported:", holds.len());
     for violation in holds {
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== Fig 4-2: with the CORR fictitious delay inserted ===");
     let mut v = Verifier::new(correlation_circuit(true));
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     if r.of_kind(ViolationKind::Hold).is_empty() {
         println!(
             "false hold error suppressed; {} other violation(s)",

@@ -9,19 +9,19 @@
 //! Run with: `cargo run --example hazard_detection`
 
 use scald::gen::figures::hazard_circuit;
-use scald::verifier::Verifier;
+use scald::verifier::{RunOptions, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== With the &A directive on the clock input ===");
     let mut v = Verifier::new(hazard_circuit(true));
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     for violation in &r.violations {
         println!("{violation}");
     }
 
     println!("=== Without the directive (worst-case values only) ===");
     let mut v = Verifier::new(hazard_circuit(false));
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     for violation in &r.violations {
         println!("{violation}");
     }

@@ -9,7 +9,7 @@
 
 use scald::gen::hdl_sources::register_file_example;
 use scald::hdl::compile;
-use scald::verifier::Verifier;
+use scald::verifier::{RunOptions, Verifier};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t = Instant::now();
     let mut verifier = Verifier::new(expansion.netlist);
-    let result = verifier.run()?;
+    let result = verifier.run(&RunOptions::new())?.into_sole();
     println!("\n--- Verification ({:?}) ---", t.elapsed());
     println!("{result}");
     print!("{}", verifier.xref_listing());

@@ -10,6 +10,7 @@
 
 use scald::gen::s1::{s1_like_netlist, S1Options};
 use scald::incr::{Case, Delta, NetlistDelta, Session, Verifier};
+use scald::verifier::RunOptions;
 use scald::wave::DelayRange;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (base, _) = s1_like_netlist(S1Options::small());
     let edited = delta.apply(&base)?;
     let mut cold_verifier = Verifier::new(edited);
-    let results = cold_verifier.run_cases(&[Case::new()])?;
+    let results = cold_verifier.run(&RunOptions::new())?.cases;
     let cold_report = cold_verifier.report("incr example", &results);
     assert_eq!(
         outcome.report.strip_effort().to_json(),

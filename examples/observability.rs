@@ -6,7 +6,7 @@
 
 use scald::gen::figures::register_file_circuit;
 use scald::trace::{CounterSink, TimelineSink, TraceSink};
-use scald::verifier::VerifierBuilder;
+use scald::verifier::{RunOptions, VerifierBuilder};
 use std::sync::Arc;
 
 /// Fans one event stream out to several sinks — sinks compose.
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut verifier = VerifierBuilder::new(netlist)
         .trace(Arc::new(Tee(vec![counters.clone(), timeline.clone()])))
         .build();
-    let result = verifier.run()?;
+    let result = verifier.run(&RunOptions::new())?.into_sole();
 
     let snap = counters.snapshot();
     println!("--- engine effort ---");

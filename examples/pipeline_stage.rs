@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example pipeline_stage`
 
 use scald::gen::figures::alu_stage;
-use scald::verifier::Verifier;
+use scald::verifier::{RunOptions, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (netlist, latched) = alu_stage();
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut v = Verifier::new(netlist);
-    let result = v.run()?;
+    let result = v.run(&RunOptions::new())?.into_sole();
 
     println!("\n--- Signal values over the 50 ns cycle ---");
     print!("{}", v.summary_listing());

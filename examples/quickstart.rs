@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use scald::gen::figures::register_file_circuit;
-use scald::verifier::Verifier;
+use scald::verifier::{RunOptions, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (netlist, _signals) = register_file_circuit();
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut verifier = Verifier::new(netlist);
-    let result = verifier.run()?;
+    let result = verifier.run(&RunOptions::new())?.into_sole();
 
     println!("--- Signal values over the 50 ns cycle (Fig 3-10) ---");
     print!("{}", verifier.summary_listing());

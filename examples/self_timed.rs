@@ -10,7 +10,7 @@
 
 use scald::netlist::{Config, Conn, NetlistBuilder};
 use scald::paths::PathAnalysis;
-use scald::verifier::{Verifier, ViolationKind};
+use scald::verifier::{RunOptions, Verifier, ViolationKind};
 use scald::wave::{DelayRange, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wrapper = b.finish()?;
 
     let mut v = Verifier::new(wrapper);
-    let r = v.run()?;
+    let r = v.run(&RunOptions::new())?.into_sole();
     let setups = r.of_kind(ViolationKind::Setup);
     println!(
         "wrapper verification: {} setup violation(s) with a {done_delay} ns done line",

@@ -12,7 +12,7 @@
 use scald::logic::Value;
 use scald::netlist::{Config, Conn, NetlistBuilder};
 use scald::sim::{primary_inputs, simulate, SimValue, Stimulus};
-use scald::verifier::Verifier;
+use scald::verifier::{RunOptions, Verifier};
 use scald::wave::{DelayRange, Time};
 
 fn sim_glyph(v: SimValue) -> char {
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = b.finish()?;
 
     let mut v = Verifier::new(netlist.clone());
-    v.run()?;
+    v.run(&RunOptions::new())?;
 
     let inputs = primary_inputs(&netlist);
     let pattern = 0b1101; // A: 1 then 0; B: 1 then 1 (bits per input x cycle)

@@ -26,7 +26,10 @@
 //!     --trace FILE     stream engine trace events (one JSON object per
 //!                      line) to FILE while verifying
 //!     --no-cases       ignore the design's case blocks (single pass)
-//!     --jobs N         case-analysis worker count (default: CPU cores)
+//!     --jobs N         worker budget, shared by the case-analysis
+//!                      fan-out and the wave-parallel settle loop inside
+//!                      each case (default: CPU cores; capped at the
+//!                      machine's available parallelism)
 //!     --watch          stay resident and re-verify DESIGN.scald on every
 //!                      file change, warm-starting from the prior fixed
 //!                      point and printing per-edit effort
@@ -47,7 +50,9 @@ use scald::hdl;
 use scald::incr::{report_diff, Delta, IncrStats, Session, SessionBuilder};
 use scald::trace::json::Json;
 use scald::trace::JsonlSink;
-use scald::verifier::{Case, CaseResult, Verifier, VerifierBuilder, VerifyError, Violation};
+use scald::verifier::{
+    Case, CaseResult, RunOptions, Verifier, VerifierBuilder, VerifyError, Violation,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -374,11 +379,12 @@ fn run_verifier(
     verifier: &mut Verifier,
     cases: &[Case],
 ) -> Result<Vec<CaseResult>, VerifyError> {
-    match opts.jobs {
-        // Default: the parallel engine picks its own worker count.
-        None => verifier.run_cases(cases),
-        Some(n) => verifier.run_cases_with_jobs(cases, n),
+    let mut options = RunOptions::new().cases(cases.to_vec());
+    if let Some(n) = opts.jobs {
+        // Default (no flag): the engine picks its own worker budget.
+        options = options.jobs(n);
     }
+    Ok(verifier.run(&options)?.cases)
 }
 
 fn main() -> ExitCode {

@@ -34,12 +34,12 @@
 //!
 //! ```
 //! use scald::gen::figures::register_file_circuit;
-//! use scald::verifier::{Verifier, ViolationKind};
+//! use scald::verifier::{RunOptions, Verifier, ViolationKind};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let (netlist, _signals) = register_file_circuit();
 //! let mut verifier = Verifier::new(netlist);
-//! let result = verifier.run()?;
+//! let result = verifier.run(&RunOptions::new())?.into_sole();
 //!
 //! // The RAM address set-up (3.5 ns) and the output-register set-up
 //! // (2.5 ns) are both violated, as in the thesis.
@@ -54,12 +54,12 @@
 //! ```
 //! use scald::gen::hdl_sources::register_file_example;
 //! use scald::hdl::compile;
-//! use scald::verifier::Verifier;
+//! use scald::verifier::{RunOptions, Verifier};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let expansion = compile(&register_file_example())?;
 //! let mut verifier = Verifier::new(expansion.netlist);
-//! let result = verifier.run()?;
+//! let result = verifier.run(&RunOptions::new())?.into_sole();
 //! println!("{} violations", result.violations.len());
 //! # Ok(())
 //! # }

@@ -4,7 +4,7 @@
 //! own parser and cross-checked against a library run of the same design.
 
 use scald::trace::json::{parse, Json};
-use scald::verifier::{Verifier, REPORT_SCHEMA, REPORT_VERSION};
+use scald::verifier::{RunOptions, Verifier, REPORT_SCHEMA, REPORT_VERSION};
 use std::process::{Command, Output};
 
 const BIN: &str = env!("CARGO_BIN_EXE_scald-tv");
@@ -139,7 +139,12 @@ fn json_report_is_valid_and_matches_library_run() {
     let src = std::fs::read_to_string(&path).expect("shipped design");
     let expansion = scald::hdl::compile(&src).expect("compiles");
     let mut verifier = Verifier::new(expansion.netlist);
-    let expected = verifier.run().expect("settles").violations.len() as u64;
+    let expected = verifier
+        .run(&RunOptions::new())
+        .expect("settles")
+        .into_sole()
+        .violations
+        .len() as u64;
     assert!(expected > 0);
     assert_eq!(
         doc.get("total_violations").and_then(Json::as_u64),

@@ -4,7 +4,7 @@
 use scald::gen::figures::register_file_circuit;
 use scald::gen::hdl_sources::register_file_example;
 use scald::hdl::compile;
-use scald::verifier::{Verifier, ViolationKind};
+use scald::verifier::{RunOptions, Verifier, ViolationKind};
 use scald::wave::Time;
 
 fn ns(x: f64) -> Time {
@@ -18,7 +18,10 @@ fn ns(x: f64) -> Time {
 fn register_file_reproduces_fig_3_11() {
     let (netlist, _) = register_file_circuit();
     let mut v = Verifier::new(netlist);
-    let r = v.run().expect("circuit settles");
+    let r = v
+        .run(&RunOptions::new())
+        .expect("circuit settles")
+        .into_sole();
 
     let setups = r.of_kind(ViolationKind::Setup);
     assert_eq!(setups.len(), 2, "{r}");
@@ -54,7 +57,7 @@ fn register_file_reproduces_fig_3_11() {
 fn summary_listing_matches_fig_3_10_shape() {
     let (netlist, handles) = register_file_circuit();
     let mut v = Verifier::new(netlist);
-    v.run().expect("circuit settles");
+    v.run(&RunOptions::new()).expect("circuit settles");
     let adr = v.resolved(handles.adr);
     let transitioning: Vec<bool> = (0..50)
         .map(|t| adr.value_at(ns(f64::from(t))).is_transitioning())
@@ -76,7 +79,10 @@ fn hdl_register_file_matches_builder_version() {
     let expansion = compile(&register_file_example()).expect("HDL compiles");
     assert!(expansion.stats.instances_expanded >= 4);
     let mut v = Verifier::new(expansion.netlist);
-    let r = v.run().expect("circuit settles");
+    let r = v
+        .run(&RunOptions::new())
+        .expect("circuit settles")
+        .into_sole();
     let setups = r.of_kind(ViolationKind::Setup);
     assert_eq!(setups.len(), 2, "{r}");
     assert!(setups.iter().any(|x| x.source.contains("RAM")));
@@ -106,7 +112,7 @@ fn modular_verification_by_sections() {
         b.finish().unwrap()
     };
     let mut v = Verifier::new(whole);
-    let whole_result = v.run().unwrap();
+    let whole_result = v.run(&RunOptions::new()).unwrap().into_sole();
 
     // Section 1: the producer, with MID's assertion checked against its
     // actual timing.
@@ -118,7 +124,7 @@ fn modular_verification_by_sections() {
         b.finish().unwrap()
     };
     let mut v1 = Verifier::new(section1);
-    let r1 = v1.run().unwrap();
+    let r1 = v1.run(&RunOptions::new()).unwrap().into_sole();
 
     // Section 2: the consumer, taking MID on faith from its assertion.
     let section2 = {
@@ -131,7 +137,7 @@ fn modular_verification_by_sections() {
         b.finish().unwrap()
     };
     let mut v2 = Verifier::new(section2);
-    let r2 = v2.run().unwrap();
+    let r2 = v2.run(&RunOptions::new()).unwrap().into_sole();
 
     // §2.5.2: if no section has an error and the interface assertions
     // agree, the whole design is free of errors. Here all three agree.
@@ -156,7 +162,7 @@ fn interface_assertion_violation_caught_in_section() {
     let mid = b.signal_vec("MID .S0.5-6.1", 8).unwrap();
     b.chg("PROD", DelayRange::from_ns(1.0, 3.0), [z(input)], mid);
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert_eq!(r.of_kind(ViolationKind::AssertionViolated).len(), 1, "{r}");
 }
 
@@ -190,7 +196,10 @@ case 'CONTROL' = 1;
         })
         .collect();
     let mut v = Verifier::new(expansion.netlist);
-    let results = v.run_cases(&cases).expect("cases run");
+    let results = v
+        .run(&RunOptions::new().cases(cases.to_vec()))
+        .expect("cases run")
+        .cases;
     assert_eq!(results.len(), 2);
     // Incrementality: the second case costs less than the first.
     assert!(results[1].evaluations < results[0].evaluations);

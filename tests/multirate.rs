@@ -8,7 +8,7 @@
 //! the execution clock firing twice per period.
 
 use scald::netlist::{Config, Conn, NetlistBuilder, SignalId};
-use scald::verifier::{Verifier, ViolationKind};
+use scald::verifier::{RunOptions, Verifier, ViolationKind};
 use scald::wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -43,7 +43,7 @@ fn execution_unit_at_double_rate() {
     );
     b.setup_hold("E R2 CHK", ns(2.5), ns(1.5), z(mid), z(exec_clk));
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     // Launch at 11.25 -> Q1 changes 12.75..15.75 -> MID changes
     // 14.75..27.75: stable 2.5 ns before the *next* edge at 36.25, and
     // quiescent through the hold of the 11.25 edge? MID changes at
@@ -70,7 +70,7 @@ fn execution_unit_at_double_rate() {
     );
     b.setup_hold("E R2 CHK", ns(2.5), ns(1.5), z(mid), z(exec_clk));
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(
         !r.of_kind(ViolationKind::Setup).is_empty(),
         "a 23 ns path cannot meet the 25 ns execution rate: {r}"
@@ -106,7 +106,7 @@ fn mixed_rate_units_verify_together() {
     );
     b.setup_hold("X CHK", ns(2.5), ns(1.5), z(iq), z(exec_clk));
     let mut v = Verifier::new(b.finish().unwrap());
-    let r = v.run().unwrap();
+    let r = v.run(&RunOptions::new()).unwrap().into_sole();
     assert!(r.is_clean(), "{r}");
     // The instruction register output changes once per 50 ns.
     let w = v.resolved(iq);

@@ -2,7 +2,7 @@
 //! produce the documented verdicts — they are the CLI's demo inputs.
 
 use scald::hdl::compile;
-use scald::verifier::{Verifier, ViolationKind};
+use scald::verifier::{RunOptions, Verifier, ViolationKind};
 
 #[test]
 fn shipped_register_file_design_compiles_and_verifies() {
@@ -14,7 +14,10 @@ fn shipped_register_file_design_compiles_and_verifies() {
     let expansion = compile(&src).expect("shipped design compiles");
     assert!(expansion.stats.instances_expanded >= 4);
     let mut v = Verifier::new(expansion.netlist);
-    let r = v.run().expect("design settles");
+    let r = v
+        .run(&RunOptions::new())
+        .expect("design settles")
+        .into_sole();
     // The demo file reproduces the Fig 3-11 class of errors: at least the
     // RAM address set-up and the output-register set-up.
     let setups = r.of_kind(ViolationKind::Setup);
@@ -66,7 +69,10 @@ fn shipped_mini_cpu_verifies_clean_in_both_cases() {
         })
         .collect();
     let mut v = Verifier::new(expansion.netlist);
-    let results = v.run_cases(&cases).expect("design settles");
+    let results = v
+        .run(&RunOptions::new().cases(cases.to_vec()))
+        .expect("design settles")
+        .cases;
     for r in &results {
         assert!(r.is_clean(), "{r}");
     }
@@ -96,10 +102,14 @@ fn shipped_case_analysis_design() {
         .collect();
     // With cases: clean. Without: the phantom 40 ns path violates.
     let mut v = Verifier::new(expansion.netlist.clone());
-    for r in v.run_cases(&cases).expect("settles") {
+    for r in v
+        .run(&RunOptions::new().cases(cases.to_vec()))
+        .expect("settles")
+        .cases
+    {
         assert!(r.is_clean(), "{r}");
     }
     let mut v = Verifier::new(expansion.netlist);
-    let r = v.run().expect("settles");
+    let r = v.run(&RunOptions::new()).expect("settles").into_sole();
     assert!(!r.is_clean());
 }

@@ -10,7 +10,7 @@
 use scald::logic::Value;
 use scald::netlist::{Config, Conn, Netlist, NetlistBuilder, PrimKind, SignalId};
 use scald::sim::{primary_inputs, simulate, SimValue, Stimulus};
-use scald::verifier::Verifier;
+use scald::verifier::{RunOptions, Verifier};
 use scald::wave::{DelayRange, Time};
 use scald_rng::Rng;
 
@@ -122,7 +122,7 @@ fn symbolic_pass_admits_every_concrete_run() {
         let (netlist, pool) = build(&specs);
 
         let mut v = Verifier::new(netlist.clone());
-        if v.run().is_err() {
+        if v.run(&RunOptions::new()).is_err() {
             continue;
         }
 
@@ -158,15 +158,18 @@ fn verifier_is_deterministic() {
         let (n2, _) = build(&specs);
         let mut v1 = Verifier::new(n1);
         let mut v2 = Verifier::new(n2);
-        let r1 = v1.run();
-        let r2 = v2.run();
+        let r1 = v1.run(&RunOptions::new());
+        let r2 = v2.run(&RunOptions::new());
         if r1.is_err() || r2.is_err() {
             continue;
         }
         for &sid in &pool {
             assert_eq!(v1.resolved(sid), v2.resolved(sid));
         }
-        assert_eq!(r1.unwrap().events, r2.unwrap().events);
+        assert_eq!(
+            r1.unwrap().into_sole().events,
+            r2.unwrap().into_sole().events
+        );
     }
 }
 
@@ -186,7 +189,7 @@ fn symbolic_waveform_admits_concrete_trace() {
         let sample_offsets: Vec<i64> = (0..8).map(|_| rng.range_i64(0, 50_000)).collect();
         let (netlist, pool) = build(&specs);
         let mut v = Verifier::new(netlist.clone());
-        if v.run().is_err() {
+        if v.run(&RunOptions::new()).is_err() {
             continue;
         }
         let period = Time::from_ns(50.0);
@@ -241,7 +244,7 @@ fn symbolic_envelope_admits_toggling_inputs() {
         let (netlist, pool) = build_with_inputs(&specs, " .S1.5-8");
 
         let mut v = Verifier::new(netlist.clone());
-        if v.run().is_err() {
+        if v.run(&RunOptions::new()).is_err() {
             continue;
         }
         let period = Time::from_ns(50.0);
