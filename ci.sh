@@ -19,13 +19,16 @@ cargo test --workspace -q
 cargo test -q --test cli
 
 # The engine-determinism property suites alone, same reason: the wave
-# engine and the case fan-out must stay byte-identical for every worker
-# count.
-cargo test -q -p scald-verifier --test parallel_settle --test parallel_cases
+# engine, the case fan-out and the evaluation cache must stay
+# byte-identical for every worker count (and cache on/off), and the
+# interning store must stay bounded.
+cargo test -q -p scald-verifier --test parallel_settle --test parallel_cases --test eval_cache --test store_growth
+cargo test -q -p scald-wave --test store_props
 
-# Smoke the settle-scaling bench harness (tiny design, serial only);
-# the full run regenerates BENCH_settle.json.
+# Smoke the settle-scaling and cache A/B bench harnesses (tiny design);
+# the full runs regenerate BENCH_settle.json / BENCH_cache.json.
 cargo run -q -p scald-bench --release --bin settle_scaling -- --chips 40 --workers 1 --out target/BENCH_settle_smoke.json
+cargo run -q -p scald-bench --release --bin cache_stats -- --chips 40 --out target/BENCH_cache_smoke.json
 
 # Examples must keep building; incr_session doubles as a smoke test of
 # the incremental re-verification subsystem (it asserts the warm report

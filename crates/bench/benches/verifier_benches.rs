@@ -8,7 +8,7 @@ use scald_gen::figures::{
     alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_incr::{Delta, NetlistDelta, Session};
+use scald_incr::{Delta, NetlistDelta, Session, SessionBuilder};
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
@@ -243,6 +243,77 @@ fn incr_vs_full(b: &Bench) {
     });
 }
 
+/// The evaluation memo table A/B: the same three workloads with the
+/// cache on (the default) and off (`--no-eval-cache`). `base_settle` is
+/// the cache's worst case — a cold run of a fresh verifier where every
+/// lookup misses; `cases8` repeats evaluations across case cones; the
+/// session replay alternates one retime back and forth, so half the
+/// edits re-enter a previously cached design state.
+fn eval_cache(b: &Bench) {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips: 400,
+        ..S1Options::default()
+    });
+    let cases: Vec<Case> = (0..8)
+        .map(|i| Case::new().assign(format!("CTL {i}"), i % 2 == 0))
+        .collect();
+    for cached in [false, true] {
+        let mode = if cached { "cached" } else { "uncached" };
+        b.bench_with_setup(
+            &format!("eval_cache/base_settle/{mode}"),
+            || netlist.clone(),
+            |n| {
+                let mut v = VerifierBuilder::new(n).eval_cache(cached).build();
+                v.run(&RunOptions::new()).expect("settles").into_sole()
+            },
+        );
+        b.bench_with_setup(
+            &format!("eval_cache/cases8/{mode}"),
+            || netlist.clone(),
+            |n| {
+                let mut v = VerifierBuilder::new(n).eval_cache(cached).build();
+                v.run(&RunOptions::new().cases(cases.clone()).jobs(1))
+                    .expect("settles")
+            },
+        );
+        let target = netlist
+            .prims()
+            .iter()
+            .find(|p| p.name.ends_with("/LOGIC"))
+            .expect("generated design has datapath slices")
+            .name
+            .clone();
+        let original = netlist
+            .prims()
+            .iter()
+            .find(|p| p.name == target)
+            .expect("target exists")
+            .delay;
+        let mut session = SessionBuilder::new()
+            .eval_cache(cached)
+            .open_netlist(netlist.clone(), vec![Case::new()], "bench")
+            .expect("settles");
+        b.bench(&format!("eval_cache/session_replay10/{mode}"), move || {
+            let mut events = 0u64;
+            for edit in 0..10 {
+                let delay = if edit % 2 == 0 {
+                    DelayRange::from_ns(2.0, 6.5)
+                } else {
+                    original
+                };
+                let mut delta = NetlistDelta::new();
+                delta.retime(target.clone(), delay);
+                events += session
+                    .apply(Delta::Netlist(delta))
+                    .expect("retime applies")
+                    .stats
+                    .events;
+            }
+            events
+        });
+    }
+}
+
 fn muxed_paths_circuit(n: usize) -> Netlist {
     let mut b = NetlistBuilder::new(Config::s1_example());
     let clk = b.signal("CK .P6-7 (0,0)").expect("valid");
@@ -327,5 +398,6 @@ fn main() {
     par_settle(&b);
     trace_overhead(&b);
     incr_vs_full(&b);
+    eval_cache(&b);
     verifier_vs_sim(&b);
 }

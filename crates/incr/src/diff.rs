@@ -115,6 +115,7 @@ mod tests {
                 events: 0,
                 evaluations: 0,
                 verify_wall: None,
+                eval_cache: None,
             },
             slack: Vec::new(),
             storage: StorageReport {

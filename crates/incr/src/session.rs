@@ -4,7 +4,7 @@
 use scald_netlist::{DeltaError, Netlist, NetlistDelta, PrimId, SignalId};
 use scald_trace::TraceSink;
 use scald_verifier::{
-    Case, CheckpointPolicy, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
+    Case, CheckpointPolicy, EvalCache, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
@@ -124,6 +124,8 @@ impl From<VerifyError> for SessionError {
 pub struct SessionBuilder {
     jobs: Option<usize>,
     trace: Option<Arc<dyn TraceSink>>,
+    /// Inverted so `Default` means "cache on".
+    no_eval_cache: bool,
 }
 
 impl SessionBuilder {
@@ -153,6 +155,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables the shared evaluation memo table (on by
+    /// default). When enabled, one [`EvalCache`] spans every
+    /// re-verification of the session, so evaluations in regions an edit
+    /// did not touch replay from the table; results are byte-identical
+    /// either way.
+    #[must_use]
+    pub fn eval_cache(mut self, enabled: bool) -> SessionBuilder {
+        self.no_eval_cache = !enabled;
+        self
+    }
+
     /// Opens a session by compiling HDL source; the design's `case`
     /// blocks become the session's case set.
     ///
@@ -178,14 +191,20 @@ impl SessionBuilder {
         cases: Vec<Case>,
         label: impl Into<String>,
     ) -> Result<Session, SessionError> {
+        let eval_cache = (!self.no_eval_cache).then(|| Arc::new(EvalCache::new()));
         let mut session = Session {
-            settled: VerifierBuilder::new(netlist.clone()).build(),
+            // Placeholder until the first verify() snapshot replaces it;
+            // it never evaluates, so skip building it a cache.
+            settled: VerifierBuilder::new(netlist.clone())
+                .eval_cache(false)
+                .build(),
             sigs: HashMap::new(),
             prims: HashMap::new(),
             cases,
             label: label.into(),
             jobs: self.jobs,
             trace: self.trace,
+            eval_cache,
             last: None,
         };
         let outcome = session.verify(netlist, None)?;
@@ -208,6 +227,10 @@ pub struct Session {
     label: String,
     jobs: Option<usize>,
     trace: Option<Arc<dyn TraceSink>>,
+    /// One memo table across every re-verification of this session
+    /// (`None` when disabled): unchanged regions of an edited design
+    /// replay their evaluations instead of re-running the kernels.
+    eval_cache: Option<Arc<EvalCache>>,
     last: Option<SessionOutcome>,
 }
 
@@ -340,6 +363,10 @@ impl Session {
         }
         if let Some(trace) = &self.trace {
             builder = builder.trace(Arc::clone(trace));
+        }
+        match &self.eval_cache {
+            Some(cache) => builder = builder.shared_eval_cache(Arc::clone(cache)),
+            None => builder = builder.eval_cache(false),
         }
         let mut verifier = builder.build();
 

@@ -144,6 +144,19 @@ pub enum TraceEvent<'a> {
         /// Total primitives in the (edited) design, for cone ratios.
         prims: usize,
     },
+    /// Evaluation-memo-table counters at the end of a run (emitted just
+    /// before [`RunEnd`](Self::RunEnd) when caching is enabled). These
+    /// are effort counters, like wall-clock: they vary with cache
+    /// configuration and sharing while every verification result stays
+    /// byte-identical.
+    CacheStats {
+        /// Evaluations served from the memo table.
+        hits: u64,
+        /// Evaluations that ran the kernels (and populated the table).
+        misses: u64,
+        /// Distinct outcomes stored.
+        entries: usize,
+    },
 }
 
 impl TraceEvent<'_> {
@@ -160,6 +173,7 @@ impl TraceEvent<'_> {
             TraceEvent::CaseEnd { .. } => "case_end",
             TraceEvent::RunEnd { .. } => "run_end",
             TraceEvent::WarmStart { .. } => "warm_start",
+            TraceEvent::CacheStats { .. } => "cache_stats",
         }
     }
 
@@ -251,6 +265,15 @@ impl TraceEvent<'_> {
                 obj.push(("copied_signals".into(), Json::from(copied_signals as u64)));
                 obj.push(("seeded_prims".into(), Json::from(seeded_prims as u64)));
                 obj.push(("prims".into(), Json::from(prims as u64)));
+            }
+            TraceEvent::CacheStats {
+                hits,
+                misses,
+                entries,
+            } => {
+                obj.push(("hits".into(), Json::from(hits)));
+                obj.push(("misses".into(), Json::from(misses)));
+                obj.push(("entries".into(), Json::from(entries as u64)));
             }
         }
         Json::Obj(obj)

@@ -188,7 +188,9 @@ impl TraceSink for CounterSink {
             TraceEvent::RunEnd { wall_nanos, .. } => {
                 inner.run_wall_nanos = wall_nanos;
             }
-            TraceEvent::RunStart { .. } | TraceEvent::WarmStart { .. } => {}
+            TraceEvent::RunStart { .. }
+            | TraceEvent::WarmStart { .. }
+            | TraceEvent::CacheStats { .. } => {}
         }
     }
 }

@@ -1,0 +1,352 @@
+//! Cross-wave, cross-case, cross-session memoization of primitive
+//! evaluations.
+//!
+//! [`evaluate`](crate::eval) is a pure function of a primitive's static
+//! description (kind, delays, per-connection inversion/directive/wire
+//! delay, and the clock period) and the dynamic states of its input
+//! signals. With waveforms hash-consed ([`scald_wave::WaveStore`]), a
+//! dynamic input state is fully captured by the compact triple *(interned
+//! wave handle, skew, remaining eval string)* — so a small key identifies
+//! an evaluation exactly and the outcome can be served from a table
+//! instead of re-running the kernels.
+//!
+//! Invalidation is by construction: everything `evaluate` reads is in the
+//! key. The static half is rendered once per primitive into a
+//! *descriptor* string and interned to a `u32` signature, so netlist
+//! edits between `scald-incr` re-verifications produce new signatures for
+//! changed primitives and identical ones for untouched primitives —
+//! stale entries are unreachable, not purged.
+//!
+//! The table is sharded like the wave store: hits take a shard read-lock,
+//! misses insert under the shard write-lock, so the wave engine's
+//! evaluation workers share one cache without serializing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use scald_netlist::{Netlist, Primitive};
+use scald_wave::{Skew, WaveId};
+
+use crate::eval::EvalOutcome;
+use crate::view::StateView;
+
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// The dynamic half of the key: one input signal's state, compressed to
+/// the interned wave handle plus the fields `evaluate` actually reads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct InputKey {
+    /// Tag of the store that issued the handle (ids are only comparable
+    /// within one store).
+    store: u32,
+    wave: WaveId,
+    skew: Skew,
+    /// Remaining letters of the propagating evaluation string, if any.
+    eval: Option<Box<str>>,
+}
+
+/// Full cache key: the primitive's interned descriptor signature plus
+/// the dynamic state of each input, in connection order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct EvalKey {
+    sig: u32,
+    inputs: Vec<InputKey>,
+}
+
+/// Hit/miss/size counters for an [`EvalCache`], surfaced through the
+/// report's engine-stats listing and the `cache_stats` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCacheStats {
+    /// Lookups served from the table.
+    pub hits: u64,
+    /// Lookups that fell through to the evaluation kernels.
+    pub misses: u64,
+    /// Distinct evaluation outcomes currently stored.
+    pub entries: usize,
+}
+
+impl EvalCacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded memo table of primitive-evaluation outcomes.
+///
+/// One cache is created per [`Verifier`](crate::Verifier) unless a shared
+/// one is injected ([`VerifierBuilder::shared_eval_cache`]); `scald-incr`
+/// sessions inject one cache across every re-verification so unchanged
+/// regions of an edited design replay from the table.
+///
+/// [`VerifierBuilder::shared_eval_cache`]: crate::VerifierBuilder::shared_eval_cache
+pub struct EvalCache {
+    /// Descriptor-string → signature interner. Identical primitive
+    /// descriptions (across netlists, sessions, rebuilds) map to the same
+    /// signature, which is what makes warm-session reuse work.
+    sigs: Mutex<HashMap<String, u32>>,
+    hasher: RandomState,
+    shards: [RwLock<HashMap<EvalKey, EvalOutcome>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> EvalCache {
+        EvalCache {
+            sigs: Mutex::new(HashMap::new()),
+            hasher: RandomState::new(),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Interns the static descriptor of `prim`, returning its signature —
+    /// or `None` for checker kinds, which compute nothing during the
+    /// fixed point and are not worth a table slot.
+    pub(crate) fn sig_for_prim(&self, netlist: &Netlist, prim: &Primitive) -> Option<u32> {
+        if prim.kind.is_checker() {
+            return None;
+        }
+        let desc = prim_descriptor(netlist, prim);
+        let mut sigs = self.sigs.lock().expect("eval cache poisoned");
+        let next = sigs.len() as u32;
+        Some(*sigs.entry(desc).or_insert(next))
+    }
+
+    /// Builds the full key for evaluating `prim` (signature `sig`)
+    /// against the input states visible in `states`.
+    pub(crate) fn key_for<S: StateView + ?Sized>(
+        sig: u32,
+        prim: &Primitive,
+        states: &S,
+    ) -> EvalKey {
+        let inputs = prim
+            .inputs
+            .iter()
+            .map(|conn| {
+                let src = states.state_at(conn.signal.index());
+                InputKey {
+                    store: src.wave.store_tag(),
+                    wave: src.wave.id(),
+                    skew: src.skew,
+                    eval: src.eval.as_ref().map(|e| e.remaining().into()),
+                }
+            })
+            .collect();
+        EvalKey { sig, inputs }
+    }
+
+    /// Looks `key` up, counting a hit or a miss.
+    pub(crate) fn lookup(&self, key: &EvalKey) -> Option<EvalOutcome> {
+        let shard = self.shard_of(key);
+        let found = self.shards[shard]
+            .read()
+            .expect("eval cache poisoned")
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores the outcome for `key`. Racing inserts of the same key keep
+    /// the first value; outcomes for equal keys are equal, so which copy
+    /// wins is unobservable.
+    pub(crate) fn insert(&self, key: EvalKey, outcome: &EvalOutcome) {
+        let shard = self.shard_of(&key);
+        self.shards[shard]
+            .write()
+            .expect("eval cache poisoned")
+            .entry(key)
+            .or_insert_with(|| outcome.clone());
+    }
+
+    fn shard_of(&self, key: &EvalKey) -> usize {
+        (self.hasher.hash_one(key) as usize) & (SHARDS - 1)
+    }
+
+    /// Distinct outcomes currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("eval cache poisoned").len())
+            .sum()
+    }
+
+    /// `true` if no outcome has been stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/size counters.
+    #[must_use]
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache::new()
+    }
+}
+
+impl fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EvalCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+/// Renders everything `evaluate` reads from the netlist for one
+/// primitive: period, kind (with parameters), delays, and each
+/// connection's inversion, directive and *resolved* wire delay. Two
+/// primitives with equal descriptors evaluate identically on equal
+/// inputs — the invalidation-by-construction invariant.
+fn prim_descriptor(netlist: &Netlist, prim: &Primitive) -> String {
+    let mut d = String::with_capacity(96);
+    let _ = write!(
+        d,
+        "{:?}|{:?}|{:?}|{:?}",
+        netlist.config().timing.period,
+        prim.kind,
+        prim.delay,
+        prim.edge_delays,
+    );
+    for conn in &prim.inputs {
+        let _ = write!(
+            d,
+            "|{}:{:?}:{:?}",
+            conn.invert,
+            conn.directive,
+            netlist.wire_delay(conn),
+        );
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scald_logic::Value;
+    use scald_netlist::{Config, NetlistBuilder, PrimKind};
+    use scald_wave::{DelayRange, Time, Waveform};
+
+    use crate::state::SignalState;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let a = b.signal("A").unwrap();
+        let q = b.signal("Q").unwrap();
+        let r = b.signal("R").unwrap();
+        b.prim(
+            "BUF",
+            PrimKind::Buf,
+            DelayRange::from_ns(1.0, 2.0),
+            vec![a.into()],
+            Some(q),
+        );
+        b.prim(
+            "INV",
+            PrimKind::Not,
+            DelayRange::from_ns(1.0, 2.0),
+            vec![a.into()],
+            Some(r),
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn signatures_distinguish_prims_and_dedupe_equal_descriptors() {
+        let n = tiny();
+        let cache = EvalCache::new();
+        let buf = cache.sig_for_prim(&n, &n.prims()[0]).unwrap();
+        let inv = cache.sig_for_prim(&n, &n.prims()[1]).unwrap();
+        assert_ne!(buf, inv, "different kinds, different signatures");
+        // Re-interning (as a rebuilt session would) is stable.
+        assert_eq!(cache.sig_for_prim(&n, &n.prims()[0]), Some(buf));
+        assert_eq!(cache.sig_for_prim(&n, &n.prims()[1]), Some(inv));
+    }
+
+    #[test]
+    fn lookup_hits_only_on_matching_key_and_counts() {
+        let n = tiny();
+        let cache = EvalCache::new();
+        let prim = &n.prims()[0];
+        let sig = cache.sig_for_prim(&n, prim).unwrap();
+        let period = n.config().timing.period;
+        let states = vec![
+            SignalState::new(Waveform::constant(period, Value::Zero)),
+            SignalState::new(Waveform::constant(period, Value::Unknown)),
+            SignalState::new(Waveform::constant(period, Value::Unknown)),
+        ];
+        let key = EvalCache::key_for(sig, prim, states.as_slice());
+        assert!(cache.lookup(&key).is_none());
+        let outcome = crate::eval::evaluate(&n, prim, states.as_slice());
+        cache.insert(key.clone(), &outcome);
+        let back = cache.lookup(&key).expect("second lookup hits");
+        assert_eq!(format!("{back:?}"), format!("{outcome:?}"));
+
+        // A different input wave is a different key.
+        let other = vec![
+            SignalState::new(Waveform::constant(period, Value::One)),
+            states[1].clone(),
+        ];
+        let miss = EvalCache::key_for(sig, prim, other.as_slice());
+        assert_ne!(key, miss);
+        assert!(cache.lookup(&miss).is_none());
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checker_prims_are_not_cached() {
+        let mut b = NetlistBuilder::new(Config::s1_example());
+        let d = b.signal("D").unwrap();
+        let c = b.signal("C .P0-2").unwrap();
+        b.prim(
+            "CHK",
+            PrimKind::SetupHold {
+                setup: Time::from_ns(5.0),
+                hold: Time::from_ns(1.0),
+            },
+            DelayRange::ZERO,
+            vec![d.into(), c.into()],
+            None,
+        );
+        let n = b.finish().unwrap();
+        let cache = EvalCache::new();
+        assert_eq!(cache.sig_for_prim(&n, &n.prims()[0]), None);
+        assert!(cache.is_empty());
+    }
+}

@@ -21,13 +21,14 @@
 use scald_logic::Value;
 use scald_netlist::{Netlist, PrimId, SignalId};
 use scald_trace::{TraceEvent, TraceSink};
-use scald_wave::Waveform;
+use scald_wave::{WaveRef, Waveform};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::cache::EvalCache;
 use crate::checkers::{run_all_checks, slack_report, CheckMargin};
 use crate::eval::{evaluate, EvalOutcome};
 use crate::report::{CaseResult, EngineStats, Report, Violation};
@@ -297,6 +298,8 @@ pub struct VerifierBuilder {
     oscillation_budget: Option<u64>,
     trace: Option<Arc<dyn TraceSink>>,
     netlist: Option<Netlist>,
+    eval_cache: Option<bool>,
+    shared_cache: Option<Arc<EvalCache>>,
 }
 
 impl VerifierBuilder {
@@ -342,6 +345,24 @@ impl VerifierBuilder {
         self
     }
 
+    /// Enables or disables the evaluation memo table (on by default).
+    /// Disabling it (`--no-eval-cache` on the CLI) re-runs every kernel —
+    /// the A/B baseline for benchmarking; results are byte-identical
+    /// either way.
+    pub fn eval_cache(mut self, enabled: bool) -> VerifierBuilder {
+        self.eval_cache = Some(enabled);
+        self
+    }
+
+    /// Injects an existing [`EvalCache`] instead of creating a private
+    /// one, so several verifiers (e.g. a `scald-incr` session's
+    /// re-verifications) share one memo table. Ignored if the cache is
+    /// explicitly disabled via [`eval_cache(false)`](Self::eval_cache).
+    pub fn shared_eval_cache(mut self, cache: Arc<EvalCache>) -> VerifierBuilder {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Builds the verifier and initializes all signal states per §2.9.
     ///
     /// # Panics
@@ -354,7 +375,25 @@ impl VerifierBuilder {
         let budget = self
             .oscillation_budget
             .unwrap_or_else(|| 256 * (netlist.prims().len() as u64 + 64));
+        let cache = if self.eval_cache.unwrap_or(true) {
+            Some(self.shared_cache.unwrap_or_default())
+        } else {
+            None
+        };
         let mut v = Verifier::init(netlist);
+        if let Some(cache) = cache {
+            // Intern every primitive's static descriptor once: unchanged
+            // prims of a rebuilt (incr-session) netlist land on the same
+            // signature, which is what makes warm re-runs hit.
+            v.prim_sigs = Arc::new(
+                v.netlist
+                    .prims()
+                    .iter()
+                    .map(|p| cache.sig_for_prim(&v.netlist, p))
+                    .collect(),
+            );
+            v.eval_cache = Some(cache);
+        }
         v.jobs = self.jobs.unwrap_or_else(default_jobs);
         v.budget = budget;
         v.trace = self.trace;
@@ -424,6 +463,12 @@ pub struct Verifier {
     budget: u64,
     /// Observability sink; `None` keeps the hot loops branch-only.
     trace: Option<Arc<dyn TraceSink>>,
+    /// Memo table for pure primitive evaluations; shared (`Arc`) so
+    /// checkpoint clones and incr-session re-verifications reuse it.
+    eval_cache: Option<Arc<EvalCache>>,
+    /// Per-primitive descriptor signature in the cache (`None` for
+    /// checkers); indexed by `PrimId::index()`. Empty when uncached.
+    prim_sigs: Arc<Vec<Option<u32>>>,
 }
 
 impl fmt::Debug for Verifier {
@@ -434,6 +479,7 @@ impl fmt::Debug for Verifier {
             .field("jobs", &self.jobs)
             .field("budget", &self.budget)
             .field("traced", &self.trace.is_some())
+            .field("cached", &self.eval_cache.is_some())
             .field("total_events", &self.total_events)
             .field("total_evaluations", &self.total_evaluations)
             .finish_non_exhaustive()
@@ -471,7 +517,7 @@ impl Verifier {
                         pinned_clock_drivers.push(sid);
                     }
                     SignalState {
-                        wave,
+                        wave: wave.into(),
                         skew,
                         eval: None,
                     }
@@ -483,7 +529,7 @@ impl Verifier {
                         pinned[sid.index()] = true;
                         let (wave, skew) = a.to_state(&timing);
                         SignalState {
-                            wave,
+                            wave: wave.into(),
                             skew,
                             eval: None,
                         }
@@ -522,6 +568,8 @@ impl Verifier {
             jobs: 1,
             budget: 0,
             trace: None,
+            eval_cache: None,
+            prim_sigs: Arc::new(Vec::new()),
         }
     }
 
@@ -540,7 +588,14 @@ impl Verifier {
     /// The fully resolved (skew-folded) waveform of a signal.
     #[must_use]
     pub fn resolved(&self, id: SignalId) -> Waveform {
-        self.eff[id.index()].resolved()
+        self.eff[id.index()].resolved().to_waveform()
+    }
+
+    /// Hit/miss/size counters of the evaluation memo table, if caching is
+    /// enabled.
+    #[must_use]
+    pub fn eval_cache_stats(&self) -> Option<crate::EvalCacheStats> {
+        self.eval_cache.as_ref().map(|c| c.stats())
     }
 
     /// Undriven, unasserted signals assumed always stable — the thesis'
@@ -597,6 +652,10 @@ impl Verifier {
                 jobs: wave_jobs,
                 case: None,
                 trace: self.trace.as_deref(),
+                cache: self
+                    .eval_cache
+                    .as_deref()
+                    .map(|c| (c, self.prim_sigs.as_slice())),
             },
             WaveBooks {
                 hazards: &mut self.hazards,
@@ -689,7 +748,7 @@ impl Verifier {
     /// `prior` must be at its settled base — i.e. right after
     /// [`settle_base`](Self::settle_base), before any case overlay was
     /// installed. With correct maps the subsequent
-    /// [`settle_base`](Self::settle_base)/[`run_cases`](Self::run_cases)
+    /// [`settle_base`](Self::settle_base)/[`run`](Self::run)
     /// reach a state identical to a cold run of the edited design
     /// (`scald-incr` property-tests this; see `Report::strip_effort` for
     /// the one caveat, effort counters). Exactness relies on hazard sets
@@ -776,49 +835,6 @@ impl Verifier {
         )
     }
 
-    /// Deprecated spelling of [`run`](Self::run) with explicit cases.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run).
-    #[deprecated(note = "use `run(&RunOptions::new().cases(cases))` and take `.cases`")]
-    pub fn run_cases(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
-        if cases.is_empty() {
-            return Ok(Vec::new());
-        }
-        Ok(self.run(&RunOptions::new().cases(cases))?.cases)
-    }
-
-    /// Deprecated spelling of [`run`](Self::run) pinned to one worker.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run).
-    #[deprecated(note = "use `run(&RunOptions::new().cases(cases).jobs(1))` and take `.cases`")]
-    pub fn run_cases_serial(&mut self, cases: &[Case]) -> Result<Vec<CaseResult>, VerifyError> {
-        if cases.is_empty() {
-            return Ok(Vec::new());
-        }
-        Ok(self.run(&RunOptions::new().cases(cases).jobs(1))?.cases)
-    }
-
-    /// Deprecated spelling of [`run`](Self::run) with a worker override.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run).
-    #[deprecated(note = "use `run(&RunOptions::new().cases(cases).jobs(jobs))` and take `.cases`")]
-    pub fn run_cases_with_jobs(
-        &mut self,
-        cases: &[Case],
-        jobs: usize,
-    ) -> Result<Vec<CaseResult>, VerifyError> {
-        if cases.is_empty() {
-            return Ok(Vec::new());
-        }
-        Ok(self.run(&RunOptions::new().cases(cases).jobs(jobs))?.cases)
-    }
-
     /// The engine behind [`run`](Self::run): resolves case names, settles
     /// the base with the full worker budget, optionally checkpoints, then
     /// fans the cases across the pool with the budget split between case
@@ -887,6 +903,10 @@ impl Verifier {
         let base_hazards = &self.hazards;
         let base_wired = &self.wired_contributions;
         let budget = self.budget;
+        let cache: Option<(&EvalCache, &[Option<u32>])> = self
+            .eval_cache
+            .as_deref()
+            .map(|c| (c, self.prim_sigs.as_slice()));
         let trace: Option<&dyn TraceSink> = self.trace.as_deref();
         let labels: Vec<String> = cases.iter().map(Case::label).collect();
         let events_total = AtomicU64::new(0);
@@ -909,6 +929,7 @@ impl Verifier {
                 &resolved[i],
                 budget,
                 wave_jobs,
+                cache,
                 trace.map(|t| (t, i as u32)),
             );
             if let Ok(o) = &outcome {
@@ -986,6 +1007,17 @@ impl Verifier {
         self.hazards = last.hazards;
         self.wired_contributions = last.wired;
         if let Some(trace) = &self.trace {
+            // Effort-class observability: cache counters vary with cache
+            // configuration and sharing, so (like RunEnd's wall-clock)
+            // they are excluded from determinism comparisons.
+            if let Some(cache) = &self.eval_cache {
+                let stats = cache.stats();
+                trace.record(&TraceEvent::CacheStats {
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    entries: stats.entries,
+                });
+            }
             trace.record(&TraceEvent::RunEnd {
                 wall_nanos: u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
                 events: self.total_events - effort_before.0,
@@ -1095,6 +1127,7 @@ impl Verifier {
                 events: self.total_events,
                 evaluations: self.total_evaluations,
                 verify_wall: None,
+                eval_cache: self.eval_cache.as_ref().map(|c| c.stats()),
             },
             slack: self.slack_report(),
             storage: self.storage_report(),
@@ -1119,7 +1152,10 @@ fn override_state(over: Option<Value>, state: &SignalState) -> SignalState {
     match over {
         None => state.clone(),
         Some(v) => SignalState {
-            wave: state.wave.map(|x| if x == Value::Stable { v } else { x }),
+            wave: state
+                .wave
+                .map(|x| if x == Value::Stable { v } else { x })
+                .into(),
             skew: state.skew,
             eval: state.eval.clone(),
         },
@@ -1138,6 +1174,9 @@ struct WaveParams<'a> {
     /// Case index for trace events; `None` for the base settle.
     case: Option<u32>,
     trace: Option<&'a dyn TraceSink>,
+    /// Evaluation memo table plus per-primitive descriptor signatures;
+    /// `None` when caching is disabled.
+    cache: Option<(&'a EvalCache, &'a [Option<u32>])>,
 }
 
 /// Mutable bookkeeping of one settle loop, borrowed from whoever owns
@@ -1206,7 +1245,7 @@ where
         // Commit in primitive-id order: canonical, and independent of
         // how last wave's commits happened to interleave enqueues.
         wave.sort_unstable();
-        let outcomes = evaluate_wave(p.netlist, &wave, &*eff, wave_jobs);
+        let outcomes = evaluate_wave(p.netlist, &wave, &*eff, wave_jobs, p.cache);
         for (i, (&pid, outcome)) in wave.iter().zip(outcomes).enumerate() {
             *evaluations += 1;
             if let Some(t) = p.trace {
@@ -1244,18 +1283,18 @@ where
                 // signal's state is the worst-case OR of all drivers.
                 let new_state = if p.netlist.drivers(out).len() > 1 {
                     wired.insert((out, pid), new_state);
-                    let resolved: Vec<Waveform> = p
+                    let resolved: Vec<WaveRef> = p
                         .netlist
                         .drivers(out)
                         .iter()
                         .map(|d| {
                             wired.get(&(out, *d)).map_or_else(
-                                || Waveform::constant(period, Value::Unknown),
+                                || Waveform::constant(period, Value::Unknown).into(),
                                 SignalState::resolved,
                             )
                         })
                         .collect();
-                    let refs: Vec<&Waveform> = resolved.iter().collect();
+                    let refs: Vec<&Waveform> = resolved.iter().map(WaveRef::as_wave).collect();
                     SignalState::new(Waveform::combine_many(&refs, |vals| {
                         scald_logic::or_all(vals.iter().copied())
                     }))
@@ -1303,16 +1342,40 @@ where
 /// fanning across a scoped worker pool when `jobs` allows. The output
 /// vector is indexed like `wave` regardless of which worker computed
 /// which entry, so callers observe nothing but the wall-clock.
-fn evaluate_wave<S>(netlist: &Netlist, wave: &[PrimId], state: &S, jobs: usize) -> Vec<EvalOutcome>
+///
+/// With a `cache`, each evaluation first checks the memo table: because
+/// `evaluate` is a pure function of the primitive descriptor (interned
+/// as the signature) and the input states (interned wave handles, skew,
+/// eval string), a hit returns the identical outcome the kernel would
+/// recompute — serving from cache is unobservable in every result.
+fn evaluate_wave<S>(
+    netlist: &Netlist,
+    wave: &[PrimId],
+    state: &S,
+    jobs: usize,
+    cache: Option<(&EvalCache, &[Option<u32>])>,
+) -> Vec<EvalOutcome>
 where
     S: StateView + ?Sized,
 {
+    let eval_one = |pid: PrimId| -> EvalOutcome {
+        let prim = netlist.prim(pid);
+        if let Some((cache, sigs)) = cache {
+            if let Some(sig) = sigs[pid.index()] {
+                let key = EvalCache::key_for(sig, prim, state);
+                if let Some(hit) = cache.lookup(&key) {
+                    return hit;
+                }
+                let out = evaluate(netlist, prim, state);
+                cache.insert(key, &out);
+                return out;
+            }
+        }
+        evaluate(netlist, prim, state)
+    };
     let workers = jobs.min(wave.len());
     if workers <= 1 {
-        return wave
-            .iter()
-            .map(|&pid| evaluate(netlist, netlist.prim(pid), state))
-            .collect();
+        return wave.iter().map(|&pid| eval_one(pid)).collect();
     }
     let slots: Vec<Mutex<Option<EvalOutcome>>> = wave.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -1323,7 +1386,7 @@ where
                 if i >= wave.len() {
                     break;
                 }
-                let out = evaluate(netlist, netlist.prim(wave[i]), state);
+                let out = eval_one(wave[i]);
                 *slots[i].lock().expect("wave slot poisoned") = Some(out);
             });
         }
@@ -1375,6 +1438,7 @@ fn settle_case(
     assigns: &[(SignalId, Value)],
     budget: u64,
     wave_jobs: usize,
+    cache: Option<(&EvalCache, &[Option<u32>])>,
     trace: Option<(&dyn TraceSink, u32)>,
 ) -> Result<CaseOutcome, VerifyError> {
     let overrides: HashMap<SignalId, Value> = assigns.iter().copied().collect();
@@ -1412,6 +1476,7 @@ fn settle_case(
             jobs: wave_jobs,
             case: trace.map(|(_, c)| c),
             trace: trace.map(|(t, _)| t),
+            cache,
         },
         WaveBooks {
             hazards: &mut hazards,

@@ -14,13 +14,15 @@
 
 use scald_logic::{mux as mux_value, Value};
 use scald_netlist::{Conn, Netlist, PrimKind, Primitive};
-use scald_wave::{edge_windows, DelayRange, Edge, Skew, Span, Time, Waveform};
+use scald_wave::{edge_windows, DelayRange, Edge, Skew, Span, Time, WaveRef, Waveform};
 
 use crate::state::{Directive, EvalStr, SignalState};
 use crate::view::StateView;
 
-/// The result of evaluating one primitive.
-#[derive(Debug)]
+/// The result of evaluating one primitive. `Clone` lets the evaluation
+/// cache hand out stored outcomes; the clone is cheap because the states
+/// inside hold interned [`WaveRef`] handles.
+#[derive(Debug, Clone)]
 pub(crate) struct EvalOutcome {
     /// New output state (`None` for checkers, which drive nothing).
     pub output: Option<SignalState>,
@@ -70,7 +72,7 @@ fn prep_input<S: StateView + ?Sized>(
     };
     let mut st = src.clone();
     if conn.invert {
-        st.wave = st.wave.map(Value::not);
+        st.wave = st.wave.map(Value::not).into();
     }
     let mut st = st.delayed(wire.then(gate));
     st.eval = None; // output eval computed separately
@@ -100,20 +102,20 @@ fn combine_pins(states: &[&SignalState], fold: impl Fn(&[Value]) -> Value) -> Si
         .filter(|s| !s.wave.is_constant())
         .collect();
     if varying.len() <= 1 {
-        let waves: Vec<&Waveform> = states.iter().map(|s| &s.wave).collect();
+        let waves: Vec<&Waveform> = states.iter().map(|s| s.wave.as_wave()).collect();
         let wave = Waveform::combine_many(&waves, &fold);
         let skew = varying.first().map_or(Skew::ZERO, |s| s.skew);
         SignalState {
-            wave,
+            wave: wave.into(),
             skew,
             eval: None,
         }
     } else {
-        let resolved: Vec<Waveform> = states.iter().map(|s| s.resolved()).collect();
-        let refs: Vec<&Waveform> = resolved.iter().collect();
+        let resolved: Vec<WaveRef> = states.iter().map(|s| s.resolved()).collect();
+        let refs: Vec<&Waveform> = resolved.iter().map(WaveRef::as_wave).collect();
         let wave = Waveform::combine_many(&refs, &fold);
         SignalState {
-            wave,
+            wave: wave.into(),
             skew: Skew::ZERO,
             eval: None,
         }
@@ -236,13 +238,13 @@ fn eval_unary<S: StateView + ?Sized>(
     if let Some(ed) = prim.edge_delays {
         let pin = prep_input(netlist, prim, &prim.inputs[0], states, false);
         let apply_gate = !pin.directive.is_some_and(Directive::zeroes_gate);
-        let mut wave = pin.state.resolved();
-        if prim.kind == PrimKind::Not {
-            wave = wave.map(Value::not);
-        }
-        if apply_gate {
-            wave = delayed_per_edge(&wave, ed);
-        }
+        let resolved = pin.state.resolved();
+        let wave: WaveRef = match (prim.kind == PrimKind::Not, apply_gate) {
+            (true, true) => delayed_per_edge(&resolved.map(Value::not), ed).into(),
+            (true, false) => resolved.map(Value::not).into(),
+            (false, true) => delayed_per_edge(&resolved, ed).into(),
+            (false, false) => resolved,
+        };
         return EvalOutcome {
             output: Some(SignalState {
                 wave,
@@ -259,7 +261,7 @@ fn eval_unary<S: StateView + ?Sized>(
     let pin = prep_input(netlist, prim, &prim.inputs[0], states, true);
     let mut st = pin.state;
     if prim.kind == PrimKind::Not {
-        st.wave = st.wave.map(Value::not);
+        st.wave = st.wave.map(Value::not).into();
     }
     st.eval = pin.tail.clone();
     EvalOutcome {
@@ -530,7 +532,7 @@ pub(crate) fn pin_wave<S: StateView + ?Sized>(
     prim: &Primitive,
     conn: &Conn,
     states: &S,
-) -> Waveform {
+) -> WaveRef {
     prep_input(netlist, prim, conn, states, false)
         .state
         .resolved()
@@ -547,7 +549,7 @@ pub(crate) fn pin_wave_pulse_view<S: StateView + ?Sized>(
     prim: &Primitive,
     conn: &Conn,
     states: &S,
-) -> Waveform {
+) -> WaveRef {
     prep_input(netlist, prim, conn, states, false).state.wave
 }
 

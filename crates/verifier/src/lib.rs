@@ -74,6 +74,8 @@
 
 #![warn(missing_docs)]
 
+mod cache;
+pub use cache::{EvalCache, EvalCacheStats};
 mod checkers;
 pub use checkers::CheckMargin;
 mod diagram;

@@ -63,6 +63,7 @@ use scald_wave::{Span, Time, Waveform};
 use std::fmt;
 use std::time::Duration;
 
+use crate::cache::EvalCacheStats;
 use crate::checkers::CheckMargin;
 use crate::storage::StorageReport;
 
@@ -382,6 +383,8 @@ pub struct EngineStats {
     pub evaluations: u64,
     /// Wall-clock time of the run, when the caller measured it.
     pub verify_wall: Option<Duration>,
+    /// Evaluation-memo-table counters, when caching was enabled.
+    pub eval_cache: Option<EvalCacheStats>,
 }
 
 /// Everything one verification run produced, in one place: per-case
@@ -445,6 +448,7 @@ impl Report {
         r.engine.events = 0;
         r.engine.evaluations = 0;
         r.engine.verify_wall = None;
+        r.engine.eval_cache = None;
         for case in &mut r.cases {
             case.events = 0;
             case.evaluations = 0;
@@ -513,6 +517,26 @@ impl Report {
                 self.engine.verify_wall.map_or(Json::Null, |d| {
                     Json::from(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
                 }),
+            ),
+            // Schema v1 additive extension: cache counters are null when
+            // the evaluation cache is disabled (`--no-eval-cache`).
+            (
+                "cache_hits".into(),
+                self.engine
+                    .eval_cache
+                    .map_or(Json::Null, |c| Json::from(c.hits)),
+            ),
+            (
+                "cache_misses".into(),
+                self.engine
+                    .eval_cache
+                    .map_or(Json::Null, |c| Json::from(c.misses)),
+            ),
+            (
+                "cache_entries".into(),
+                self.engine
+                    .eval_cache
+                    .map_or(Json::Null, |c| Json::from(c.entries as u64)),
             ),
             ("period_ns".into(), Json::from(self.period.as_ns())),
         ]);

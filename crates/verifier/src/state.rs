@@ -4,7 +4,7 @@
 //! (§2.8), and the evaluation string being propagated through gating
 //! levels (§2.6, the `EVAL STR PTR` field).
 
-use scald_wave::{DelayRange, Skew, Waveform};
+use scald_wave::{DelayRange, Skew, Time, WaveRef, Waveform};
 use std::fmt;
 use std::sync::Arc;
 
@@ -126,10 +126,14 @@ impl fmt::Display for EvalStr {
 
 /// The dynamic state of one signal during verification: waveform, separate
 /// skew, and the propagating evaluation string (Fig 2-7).
+///
+/// The waveform is an interned handle ([`WaveRef`]): clones are
+/// reference-count bumps and equality (hence the engine's commit-time
+/// convergence check) is an id compare.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SignalState {
-    /// The signal's value over the period.
-    pub wave: Waveform,
+    /// The signal's value over the period (interned, shared).
+    pub wave: WaveRef,
     /// Separated transition-time uncertainty (§2.8).
     pub skew: Skew,
     /// Evaluation string travelling with the value (§2.6).
@@ -141,7 +145,7 @@ impl SignalState {
     #[must_use]
     pub fn new(wave: Waveform) -> SignalState {
         SignalState {
-            wave,
+            wave: wave.into(),
             skew: Skew::ZERO,
             eval: None,
         }
@@ -150,9 +154,16 @@ impl SignalState {
     /// The worst-case waveform with the separated skew folded back into
     /// the value list (Fig 2-9). Checkers and multi-input combines see
     /// this view.
+    ///
+    /// With zero skew the fold is the identity, so the interned base
+    /// handle is returned directly — no deep clone, no re-intern.
     #[must_use]
-    pub fn resolved(&self) -> Waveform {
-        self.wave.with_skew_applied(self.skew)
+    pub fn resolved(&self) -> WaveRef {
+        if self.skew.is_zero() {
+            self.wave.clone()
+        } else {
+            self.wave.with_skew_applied(self.skew).into()
+        }
     }
 
     /// The state after travelling through a min/max delay while remaining
@@ -161,8 +172,13 @@ impl SignalState {
     /// (§2.8, Fig 2-8).
     #[must_use]
     pub fn delayed(&self, delay: DelayRange) -> SignalState {
+        let wave = if delay.min == Time::ZERO {
+            self.wave.clone()
+        } else {
+            self.wave.delayed(delay.min).into()
+        };
         SignalState {
-            wave: self.wave.delayed(delay.min),
+            wave,
             skew: self.skew.after_delay(delay),
             eval: self.eval.clone(),
         }
@@ -172,7 +188,7 @@ impl SignalState {
     /// is about to be combined with others and the skew can no longer be
     /// kept separate (§2.8).
     #[must_use]
-    pub fn resolved_after(&self, delay: DelayRange) -> Waveform {
+    pub fn resolved_after(&self, delay: DelayRange) -> WaveRef {
         self.delayed(delay).resolved()
     }
 
@@ -216,6 +232,41 @@ mod tests {
         assert_eq!(s3.head(), Some(Directive::ZeroWire));
         assert!(s3.tail().is_none());
         assert_eq!(s3.to_string(), "&W");
+    }
+
+    /// Regression: with zero skew, `resolved` must hand back the interned
+    /// base handle itself (same store, same id) instead of re-running the
+    /// identity skew fold and re-interning — and a zero-spread,
+    /// zero-minimum delay must keep the same handle through
+    /// `delayed`/`resolved_after` too.
+    #[test]
+    fn zero_skew_resolution_returns_the_base_handle() {
+        let period = Time::from_ns(50.0);
+        let wave = Waveform::from_intervals(
+            period,
+            Value::Zero,
+            [(Time::from_ns(10.0), Time::from_ns(20.0), Value::One)],
+        );
+        let st = SignalState::new(wave.clone());
+        assert!(st.skew.is_zero());
+        let resolved = st.resolved();
+        assert_eq!(resolved.store_tag(), st.wave.store_tag());
+        assert_eq!(resolved.id(), st.wave.id(), "no re-fold on zero skew");
+        assert_eq!(*resolved, wave);
+
+        let after = st.resolved_after(DelayRange::ZERO);
+        assert_eq!(after.id(), st.wave.id(), "zero delay keeps the handle");
+
+        // Non-zero skew still folds.
+        let skewed = SignalState {
+            skew: Skew::from_ns(0.0, 5.0),
+            ..st.clone()
+        };
+        assert_ne!(skewed.resolved().id(), st.wave.id());
+        assert_eq!(
+            *skewed.resolved(),
+            wave.with_skew_applied(Skew::from_ns(0.0, 5.0))
+        );
     }
 
     #[test]

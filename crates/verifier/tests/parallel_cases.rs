@@ -101,40 +101,6 @@ fn parallel_matches_serial_on_warm_engine() {
     assert_eq!(got, baseline);
 }
 
-/// The deprecated entry points must stay behaviourally identical to the
-/// unified `run` while they live — they are one-line shims over it.
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_unified_run() {
-    let cases = s1_cases();
-
-    let mut unified = fresh_s1_verifier();
-    let baseline = format!(
-        "{:?}",
-        unified
-            .run(&RunOptions::new().cases(cases.clone()).jobs(2))
-            .unwrap()
-            .cases
-    );
-
-    let mut shim = fresh_s1_verifier();
-    let via_with_jobs = format!("{:?}", shim.run_cases_with_jobs(&cases, 2).unwrap());
-    assert_eq!(via_with_jobs, baseline);
-
-    let mut shim = fresh_s1_verifier();
-    let via_serial = format!("{:?}", shim.run_cases_serial(&cases).unwrap());
-    assert_eq!(via_serial, baseline);
-
-    let mut shim = fresh_s1_verifier();
-    let via_cases = format!("{:?}", shim.run_cases(&cases).unwrap());
-    assert_eq!(via_cases, baseline);
-
-    // Empty input keeps its historical contract: no work, no results.
-    let mut shim = fresh_s1_verifier();
-    assert!(shim.run_cases(&[]).unwrap().is_empty());
-    assert_eq!(shim.total_evaluations(), 0);
-}
-
 /// `Verifier::new` is a thin alias for the all-defaults builder: both
 /// constructors must yield verifiers producing identical reports.
 #[test]

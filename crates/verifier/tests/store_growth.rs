@@ -1,0 +1,56 @@
+//! Bounded growth of the process-global [`WaveStore`] under real engine
+//! load: across a 50-seed generated-design sweep the store grows only
+//! with the *distinct*-waveform population — re-verifying an identical
+//! design interns nothing new, and deduplication absorbs the bulk of the
+//! intern traffic. (One test function on purpose: the global store is
+//! process-wide state, so concurrent test functions would race its
+//! counters.)
+
+use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_rng::Rng;
+use scald_verifier::{RunOptions, Verifier};
+use scald_wave::WaveStore;
+
+#[test]
+fn global_store_growth_is_bounded_across_a_seeded_sweep() {
+    let store = WaveStore::global();
+    let mut rng = Rng::seed_from_u64(0x57035);
+    let mut designs = 0usize;
+    while designs < 50 {
+        designs += 1;
+        let (netlist, _) = s1_like_netlist(S1Options {
+            chips: rng.range_usize(4, 10),
+            seed: rng.next_u64(),
+        });
+
+        let mut cold = Verifier::new(netlist.clone());
+        cold.run(&RunOptions::new()).unwrap();
+        let after_cold = store.len();
+
+        // The bound: a byte-identical design produces byte-identical
+        // waveforms, every one of which is already canonical — the
+        // second verification adds zero entries.
+        let mut replay = Verifier::new(netlist);
+        replay.run(&RunOptions::new()).unwrap();
+        assert_eq!(
+            store.len(),
+            after_cold,
+            "design {designs}: re-verifying an identical design grew the store"
+        );
+    }
+
+    // Across the whole sweep, dedup must have absorbed at least the
+    // entire replay half of the traffic: unique entries stay below half
+    // the interns, and hits account for the rest exactly.
+    let stats = store.stats();
+    assert!(stats.hits > 0);
+    assert!(
+        stats.unique as u64 <= stats.interns / 2,
+        "store grew linearly with intern traffic: {stats:?}"
+    );
+    assert_eq!(
+        stats.hits + stats.unique as u64,
+        stats.interns,
+        "every intern either hit a canonical copy or created one"
+    );
+}

@@ -48,10 +48,12 @@
 
 mod edges;
 mod span;
+mod store;
 mod time;
 mod waveform;
 
 pub use edges::{edge_windows, pulses, Edge, EdgeWindow, Pulse};
 pub use span::Span;
+pub use store::{StoreStats, WaveId, WaveRef, WaveStore};
 pub use time::{DelayRange, Skew, Time};
 pub use waveform::{SegmentError, Waveform};

@@ -26,6 +26,9 @@
 //!     --trace FILE     stream engine trace events (one JSON object per
 //!                      line) to FILE while verifying
 //!     --no-cases       ignore the design's case blocks (single pass)
+//!     --no-eval-cache  disable the evaluation memo table (the A/B
+//!                      baseline for benchmarking; results are
+//!                      byte-identical with the cache on)
 //!     --jobs N         worker budget, shared by the case-analysis
 //!                      fan-out and the wave-parallel settle loop inside
 //!                      each case (default: CPU cores; capped at the
@@ -106,7 +109,7 @@ enum Format {
 const USAGE: &str = "usage: scald-tv [--summary] [--diagram] [--slack] \
                      [--paths] [--netlist] [--xref] [--stats] [--storage] \
                      [--format text|json] [--trace FILE] \
-                     [--no-cases] [--jobs N] \
+                     [--no-cases] [--no-eval-cache] [--jobs N] \
                      [--watch] [--watch-poll-ms N] [--watch-max-edits N] \
                      [--baseline OLD.scald] <DESIGN.scald>";
 
@@ -116,6 +119,7 @@ struct Options {
     format: Format,
     trace: Option<String>,
     no_cases: bool,
+    no_eval_cache: bool,
     jobs: Option<usize>,
     watch: bool,
     watch_poll_ms: u64,
@@ -136,6 +140,7 @@ fn parse_args() -> Result<Options, String> {
         format: Format::Text,
         trace: None,
         no_cases: false,
+        no_eval_cache: false,
         jobs: None,
         watch: false,
         watch_poll_ms: 200,
@@ -152,6 +157,7 @@ fn parse_args() -> Result<Options, String> {
         }
         match arg.as_str() {
             "--no-cases" => opts.no_cases = true,
+            "--no-eval-cache" => opts.no_eval_cache = true,
             "--format" => {
                 opts.format = match args.next().as_deref() {
                     Some("text") => Format::Text,
@@ -241,6 +247,9 @@ fn open_session(opts: &Options, src: &str) -> Result<Session, String> {
     let mut builder = SessionBuilder::new();
     if let Some(n) = opts.jobs {
         builder = builder.jobs(n);
+    }
+    if opts.no_eval_cache {
+        builder = builder.eval_cache(false);
     }
     if let Some(file) = &opts.trace {
         let sink =
@@ -466,6 +475,9 @@ fn main() -> ExitCode {
     };
 
     let mut builder = VerifierBuilder::new(expansion.netlist);
+    if opts.no_eval_cache {
+        builder = builder.eval_cache(false);
+    }
     if let Some(file) = &opts.trace {
         match JsonlSink::create(file) {
             Ok(sink) => builder = builder.trace(Arc::new(sink)),
@@ -506,6 +518,15 @@ fn main() -> ExitCode {
                 results.len(),
                 verifier.total_events()
             );
+            if let Some(cache) = report.engine.eval_cache {
+                eprintln!(
+                    "eval cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+                    cache.hits,
+                    cache.misses,
+                    100.0 * cache.hit_rate(),
+                    cache.entries
+                );
+            }
         }
         if opts.wants(Listing::Summary) {
             println!("--- signal values over the cycle ---");
