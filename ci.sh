@@ -30,6 +30,10 @@ cargo test -q -p scald-wave --test store_props
 cargo run -q -p scald-bench --release --bin settle_scaling -- --chips 40 --workers 1 --out target/BENCH_settle_smoke.json
 cargo run -q -p scald-bench --release --bin cache_stats -- --chips 40 --out target/BENCH_cache_smoke.json
 
+# Smoke the scale sweep at ~5k primitives (the committed BENCH_scale.json
+# sweeps 1k..1M; this proves the generator + sweep harness stay runnable).
+cargo run -q -p scald-bench --release --bin scale_sweep -- --steps 5000 --reps 1 --out target/BENCH_scale_smoke.json
+
 # Examples must keep building; incr_session doubles as a smoke test of
 # the incremental re-verification subsystem (it asserts the warm report
 # is byte-identical to a cold run).

@@ -1,0 +1,151 @@
+//! The scale sweep: how verification cost grows from 10^3 to 10^6
+//! primitives, with the Table 3-3 storage breakdown at every step.
+//!
+//! The thesis reports one data point — 8 282 primitives verified in
+//! 210 s of KL10 CPU time (Table 3-1) inside a 1.1 MB image (Table 3-3).
+//! This harness sweeps the [`scald_gen::scale`] generator across decades
+//! of that size and records, per step: generation and settle wall clocks
+//! (median over `--reps`, min kept honest alongside), the
+//! worker-count-independent event/evaluation trajectory, and the same
+//! storage categories Table 3-3 itemizes, into `BENCH_scale.json`.
+//!
+//! Usage: `cargo run -p scald-bench --bin scale_sweep --release`
+//! (`--steps 1000,10000,100000` to choose sizes, `--reps N` per-step
+//! repetitions — sizes of 100k+ default to a single rep — `--jobs N`
+//! for the wave-worker pool, and `--out FILE` to redirect the record, as
+//! the CI smoke run does to avoid clobbering the committed sweep).
+
+use std::time::Instant;
+
+use scald_gen::scale::{scale_netlist, ScaleOptions};
+use scald_trace::json::Json;
+use scald_verifier::{RunOptions, Verifier};
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let steps: Vec<usize> = flag_value("--steps")
+        .map(|s| {
+            s.split(',')
+                .map(|n| {
+                    n.trim()
+                        .parse()
+                        .expect("--steps takes sizes like 1000,10000")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1_000, 10_000, 100_000]);
+    let reps: usize = flag_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a count"))
+        .unwrap_or(3)
+        .max(1);
+    let jobs: usize = flag_value("--jobs")
+        .map(|s| s.parse().expect("--jobs takes a worker count"))
+        .unwrap_or(1)
+        .max(1);
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_owned());
+
+    let mut records = Vec::new();
+    for &target in &steps {
+        let opts = ScaleOptions::prims(target);
+        let started = Instant::now();
+        let (netlist, stats) = scale_netlist(&opts);
+        let gen_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        println!(
+            "target {target:>8}: {} prims, {} signals, {} chains (max depth {}), {} hubs, generated in {:.2}s",
+            stats.prims,
+            stats.signals,
+            stats.chains,
+            stats.max_depth,
+            stats.hubs,
+            gen_ns as f64 / 1e9
+        );
+
+        // Large designs get a single rep: at 100k+ primitives the settle
+        // runs long enough that scheduler noise is amortized away.
+        let step_reps = if target >= 100_000 { 1 } else { reps };
+        let mut samples = Vec::with_capacity(step_reps);
+        let mut events = 0u64;
+        let mut evaluations = 0u64;
+        let mut violations = 0u64;
+        let mut storage: Option<scald_verifier::StorageReport> = None;
+        for _ in 0..step_reps {
+            let mut v = Verifier::new(netlist.clone());
+            let started = Instant::now();
+            let outcome = v.run(&RunOptions::new().jobs(jobs)).expect("settles");
+            samples.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let sole = outcome.into_sole();
+            events = sole.events;
+            evaluations = sole.evaluations;
+            violations = sole.violations.len() as u64;
+            storage = Some(v.storage_report());
+        }
+        let min_ns = *samples.iter().min().expect("reps >= 1");
+        let wall_ns = median(&mut samples);
+        let storage = storage.expect("at least one rep ran");
+        println!(
+            "  settle: {:.3}s median ({:.3}s min, {step_reps} reps), {events} events, {evaluations} evaluations, {violations} violations",
+            wall_ns as f64 / 1e9,
+            min_ns as f64 / 1e9,
+        );
+        println!(
+            "  storage: {} bytes total, {:.2} value records/signal",
+            storage.total(),
+            storage.value_records_per_signal()
+        );
+
+        // The Table 3-3 categories, bytes per storage area.
+        let table_3_3 = Json::Obj(
+            storage
+                .rows()
+                .into_iter()
+                .map(|(name, bytes, _)| (name.to_owned(), Json::from(bytes as u64)))
+                .chain([
+                    ("TOTAL".to_owned(), Json::from(storage.total() as u64)),
+                    (
+                        "value_records_per_signal".to_owned(),
+                        Json::from(storage.value_records_per_signal()),
+                    ),
+                ])
+                .collect(),
+        );
+        records.push(Json::Obj(vec![
+            ("target_prims".to_owned(), Json::from(target as u64)),
+            ("prims".to_owned(), Json::from(stats.prims as u64)),
+            ("signals".to_owned(), Json::from(stats.signals as u64)),
+            ("chains".to_owned(), Json::from(stats.chains as u64)),
+            ("max_depth".to_owned(), Json::from(stats.max_depth as u64)),
+            ("hubs".to_owned(), Json::from(stats.hubs as u64)),
+            ("gen_ns".to_owned(), Json::from(gen_ns)),
+            ("reps".to_owned(), Json::from(step_reps as u64)),
+            ("wall_ns".to_owned(), Json::from(wall_ns)),
+            ("min_ns".to_owned(), Json::from(min_ns)),
+            ("events".to_owned(), Json::from(events)),
+            ("evaluations".to_owned(), Json::from(evaluations)),
+            ("violations".to_owned(), Json::from(violations)),
+            ("table_3_3".to_owned(), table_3_3),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".to_owned(), Json::str("scald-bench-scale")),
+        ("version".to_owned(), Json::from(1u64)),
+        ("jobs".to_owned(), Json::from(jobs as u64)),
+        ("steps".to_owned(), Json::Arr(records)),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write the JSON record");
+    println!("recorded {out}");
+}

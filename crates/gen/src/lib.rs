@@ -15,6 +15,9 @@
 //!   statistics of the S-1 Mark IIA evaluation design (6357 chips, 8 282
 //!   primitives, ≈1.3 primitives/chip, ≈6.5-bit average width), used to
 //!   regenerate Tables 3-1, 3-2 and 3-3.
+//! * [`scale`] — a size-sweep generator (10^3..10^6 primitives) with
+//!   independent depth, fanout and clock-count knobs, used by the
+//!   `BENCH_scale.json` scale sweep.
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod ablation;
 pub mod figures;
 pub mod hdl_sources;
 pub mod s1;
+pub mod scale;
 
 /// Deterministic std-only PRNG used by the generators (re-exported from
 /// [`scald_rng`] so workloads and tests share one implementation). The

@@ -7,7 +7,7 @@ use scald_verifier::{
     Case, CheckpointPolicy, EvalCache, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
 };
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -198,8 +198,8 @@ impl SessionBuilder {
             settled: VerifierBuilder::new(netlist.clone())
                 .eval_cache(false)
                 .build(),
-            sigs: HashMap::new(),
-            prims: HashMap::new(),
+            sigs: BTreeMap::new(),
+            prims: BTreeMap::new(),
             cases,
             label: label.into(),
             jobs: self.jobs,
@@ -219,10 +219,10 @@ pub struct Session {
     /// `prior` of the next warm start. Never holds a case overlay.
     settled: Verifier,
     /// Signal base name -> (id, content hash) in `settled`'s netlist.
-    sigs: HashMap<String, (SignalId, u64)>,
+    sigs: BTreeMap<String, (SignalId, u64)>,
     /// Primitive name -> (id, content hash); ambiguous (duplicate) names
     /// are excluded and therefore always re-verify dirty.
-    prims: HashMap<String, (PrimId, u64)>,
+    prims: BTreeMap<String, (PrimId, u64)>,
     cases: Vec<Case>,
     label: String,
     jobs: Option<usize>,
@@ -338,6 +338,9 @@ impl Session {
         // very first pass has empty hash maps, so it is naturally cold.
         let warm = !self.sigs.is_empty() && netlist.config() == self.settled.netlist().config();
 
+        // The indexes are BTreeMaps, so these pair lists come out in
+        // name order — never in per-process `RandomState` order, which
+        // would leak into anything downstream that walks them.
         let mut sig_pairs: Vec<(SignalId, SignalId)> = Vec::new();
         let mut prim_pairs: Vec<(PrimId, PrimId)> = Vec::new();
         let mut dirty_sigs: Vec<SignalId> = Vec::new();
@@ -497,7 +500,7 @@ fn hash_prim(netlist: &Netlist, pid: PrimId) -> u64 {
     h.finish()
 }
 
-fn index_signals(netlist: &Netlist) -> HashMap<String, (SignalId, u64)> {
+fn index_signals(netlist: &Netlist) -> BTreeMap<String, (SignalId, u64)> {
     netlist
         .iter_signals()
         .map(|(sid, sig)| (sig.name.clone(), (sid, hash_signal(netlist, sid))))
@@ -507,8 +510,8 @@ fn index_signals(netlist: &Netlist) -> HashMap<String, (SignalId, u64)> {
 /// Primitive names are not guaranteed unique (the expander makes them
 /// so, hand-built netlists might not); duplicates are dropped from the
 /// index so they can never be matched as clean.
-fn index_prims(netlist: &Netlist) -> HashMap<String, (PrimId, u64)> {
-    let mut map: HashMap<String, (PrimId, u64)> = HashMap::new();
+fn index_prims(netlist: &Netlist) -> BTreeMap<String, (PrimId, u64)> {
+    let mut map: BTreeMap<String, (PrimId, u64)> = BTreeMap::new();
     let mut dup: Vec<String> = Vec::new();
     for (pid, p) in netlist.iter_prims() {
         if map

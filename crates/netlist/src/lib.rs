@@ -37,5 +37,5 @@ mod primitive;
 
 pub use builder::{Conn, NetlistBuilder};
 pub use delta::{DeltaConn, DeltaError, DeltaOp, NetlistDelta, PrimSpec};
-pub use netlist::{Config, Netlist, NetlistError, PrimId, Signal, SignalId};
+pub use netlist::{Config, Csr, Netlist, NetlistError, PrimId, Signal, SignalId};
 pub use primitive::{EdgeDelays, PrimKind, Primitive};

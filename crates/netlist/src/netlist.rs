@@ -87,6 +87,65 @@ impl Config {
     }
 }
 
+/// Compressed-sparse-row adjacency: every per-signal row packed into one
+/// flat id array plus an offsets table. This is the thesis' CALL LIST
+/// ARRAY stored the way Table 3-3 costs it — one contiguous block, one
+/// FIELD per (signal, primitive) pair — instead of a `Vec<Vec<_>>` whose
+/// rows are scattered allocations. Row lookup is two loads and a slice,
+/// and walking many rows in id order is sequential in memory, which is
+/// what the settle loop's fan-out enqueue does at scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[s]..offsets[s + 1]` bounds signal `s`'s row in `items`.
+    offsets: Vec<u32>,
+    /// All rows, concatenated in signal-id order.
+    items: Vec<PrimId>,
+}
+
+impl Csr {
+    /// Packs per-signal rows into contiguous form. Row order (and any
+    /// duplicates the caller left in) is preserved exactly.
+    fn from_rows(rows: &[Vec<PrimId>]) -> Csr {
+        let total: usize = rows.iter().map(Vec::len).sum();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "adjacency exceeds u32 offsets ({total} entries)"
+        );
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut items = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for row in rows {
+            items.extend_from_slice(row);
+            offsets.push(items.len() as u32);
+        }
+        Csr { offsets, items }
+    }
+
+    /// The row for index `idx` (a signal's fan-out or driver list).
+    #[must_use]
+    pub fn row(&self, idx: usize) -> &[PrimId] {
+        &self.items[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total entries across all rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no row has any entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
 /// A validated, flattened circuit ready for verification.
 ///
 /// Construct one with [`NetlistBuilder`](crate::NetlistBuilder) or via the
@@ -102,8 +161,8 @@ pub struct Netlist {
     config: Config,
     signals: Vec<Signal>,
     prims: Vec<Primitive>,
-    drivers: Vec<Vec<PrimId>>,
-    fanout: Vec<Vec<PrimId>>,
+    drivers: Csr,
+    fanout: Csr,
     by_name: HashMap<String, SignalId>,
 }
 
@@ -185,8 +244,8 @@ impl Netlist {
             config,
             signals,
             prims,
-            drivers,
-            fanout,
+            drivers: Csr::from_rows(&drivers),
+            fanout: Csr::from_rows(&fanout),
             by_name,
         })
     }
@@ -231,14 +290,14 @@ impl Netlist {
     /// is the first driver; see [`drivers`](Self::drivers) for all of them.
     #[must_use]
     pub fn driver(&self, signal: SignalId) -> Option<PrimId> {
-        self.drivers[signal.index()].first().copied()
+        self.drivers.row(signal.index()).first().copied()
     }
 
     /// All primitives driving `signal` — more than one only on wired-OR
     /// buses.
     #[must_use]
     pub fn drivers(&self, signal: SignalId) -> &[PrimId] {
-        &self.drivers[signal.index()]
+        self.drivers.row(signal.index())
     }
 
     /// The primitives that read `signal` — the entries of the thesis'
@@ -246,7 +305,15 @@ impl Netlist {
     /// value changes (§2.9).
     #[must_use]
     pub fn fanout(&self, signal: SignalId) -> &[PrimId] {
-        &self.fanout[signal.index()]
+        self.fanout.row(signal.index())
+    }
+
+    /// The packed CALL LIST ARRAY itself — the CSR fan-out adjacency.
+    /// Exposed so storage accounting and consistency tests can inspect
+    /// the contiguous layout directly.
+    #[must_use]
+    pub fn fanout_csr(&self) -> &Csr {
+        &self.fanout
     }
 
     /// The forward structural closure of a set of edited signals and

@@ -22,7 +22,7 @@ use scald_logic::Value;
 use scald_netlist::{Netlist, PrimId, SignalId};
 use scald_trace::{TraceEvent, TraceSink};
 use scald_wave::{WaveRef, Waveform};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -34,7 +34,7 @@ use crate::eval::{evaluate, EvalOutcome};
 use crate::report::{CaseResult, EngineStats, Report, Violation};
 use crate::state::SignalState;
 use crate::storage::StorageReport;
-use crate::view::{ConeState, StateStore, StateView};
+use crate::view::{ConeState, SoaState, StateRef, StateStore, StateView};
 
 /// One case for case analysis (§2.7.1): a set of `signal = 0/1`
 /// assignments applied wherever the circuit would set the signal stable.
@@ -428,16 +428,18 @@ impl VerifierBuilder {
 #[derive(Clone)]
 pub struct Verifier {
     netlist: Netlist,
-    /// Computed (pre-case-mapping) states.
-    raw: Vec<SignalState>,
+    /// Computed (pre-case-mapping) states, struct-of-arrays.
+    raw: SoaState,
     /// Effective states seen by evaluation: raw with case overrides applied.
-    eff: Vec<SignalState>,
+    eff: SoaState,
     /// Signals whose state is fixed by an assertion (clocks, asserted or
     /// assumed-stable undriven signals) and never overwritten by a driver.
     pinned: Vec<bool>,
     queue: VecDeque<PrimId>,
     queued: Vec<bool>,
-    overrides: HashMap<SignalId, Value>,
+    /// Case overrides in force. `BTreeMap` so any iteration that reaches
+    /// a report or trace is in signal order, never `HashMap` order.
+    overrides: BTreeMap<SignalId, Value>,
     hazards: BTreeSet<(PrimId, usize)>,
     /// Undriven, unasserted signals assumed always stable (§2.5) — the
     /// special cross-reference listing for the designer.
@@ -447,8 +449,8 @@ pub struct Verifier {
     pinned_clock_drivers: Vec<SignalId>,
     /// Per-driver output states for wired-OR signals (§3.1, Fig 3-1's
     /// ECL bus): the signal's effective value is the worst-case OR of all
-    /// contributions.
-    wired_contributions: HashMap<(SignalId, PrimId), SignalState>,
+    /// contributions. `BTreeMap` keeps every walk of it deterministic.
+    wired_contributions: BTreeMap<(SignalId, PrimId), SignalState>,
     total_events: u64,
     total_evaluations: u64,
     /// Set by [`warm_start`](Self::warm_start): suppresses the
@@ -502,7 +504,7 @@ impl Verifier {
         let period = netlist.config().timing.period;
         let timing = netlist.config().timing;
         let n = netlist.signals().len();
-        let mut raw = Vec::with_capacity(n);
+        let mut raw = SoaState::with_capacity(n);
         let mut pinned = vec![false; n];
         let mut assumed_stable = Vec::new();
         let mut pinned_clock_drivers = Vec::new();
@@ -557,9 +559,9 @@ impl Verifier {
             pinned,
             queue: VecDeque::new(),
             queued,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
             hazards: BTreeSet::new(),
-            wired_contributions: HashMap::new(),
+            wired_contributions: BTreeMap::new(),
             assumed_stable,
             pinned_clock_drivers,
             total_events: 0,
@@ -580,15 +582,18 @@ impl Verifier {
     }
 
     /// The settled effective state of a signal (after [`run`](Self::run)).
+    /// Owned: the engine keeps states in parallel arrays, so there is no
+    /// single record to borrow; the clone is a reference-count bump on
+    /// the interned wave handle.
     #[must_use]
-    pub fn state(&self, id: SignalId) -> &SignalState {
-        &self.eff[id.index()]
+    pub fn state(&self, id: SignalId) -> SignalState {
+        self.eff.state(id.index())
     }
 
     /// The fully resolved (skew-folded) waveform of a signal.
     #[must_use]
     pub fn resolved(&self, id: SignalId) -> Waveform {
-        self.eff[id.index()].resolved().to_waveform()
+        self.eff.get(id.index()).resolved().to_waveform()
     }
 
     /// Hit/miss/size counters of the evaluation memo table, if caching is
@@ -618,7 +623,7 @@ impl Verifier {
         self.total_evaluations
     }
 
-    fn apply_override(&self, sid: SignalId, state: &SignalState) -> SignalState {
+    fn apply_override(&self, sid: SignalId, state: StateRef<'_>) -> SignalState {
         override_state(self.overrides.get(&sid).copied(), state)
     }
 
@@ -665,8 +670,8 @@ impl Verifier {
                 events: &mut events,
                 evaluations: &mut evaluations,
             },
-            self.raw.as_mut_slice(),
-            self.eff.as_mut_slice(),
+            &mut self.raw,
+            &mut self.eff,
         );
         self.total_events += events;
         self.total_evaluations += evaluations;
@@ -675,7 +680,7 @@ impl Verifier {
 
     /// Applies a case's overrides, dirtying the affected signals' fan-out.
     fn apply_case(&mut self, case: &Case) -> Result<(), VerifyError> {
-        let mut new_overrides = HashMap::new();
+        let mut new_overrides = BTreeMap::new();
         for (name, v) in case.assignments() {
             let sid = self
                 .netlist
@@ -691,9 +696,9 @@ impl Verifier {
             .collect();
         self.overrides = new_overrides;
         for sid in affected {
-            let eff = self.apply_override(sid, &self.raw[sid.index()]);
-            if self.eff[sid.index()] != eff {
-                self.eff[sid.index()] = eff;
+            let eff = self.apply_override(sid, self.raw.get(sid.index()));
+            if self.eff.get(sid.index()) != eff {
+                self.eff.set(sid.index(), eff);
                 self.enqueue_fanout(sid);
             }
         }
@@ -768,8 +773,9 @@ impl Verifier {
             if self.pinned[new.index()] {
                 continue; // init already pinned it to its asserted value
             }
-            self.raw[new.index()] = prior.raw[old.index()].clone();
-            self.eff[new.index()] = self.raw[new.index()].clone();
+            let st = prior.raw.state(old.index());
+            self.eff.set(new.index(), st.clone());
+            self.raw.set(new.index(), st);
             copied += 1;
         }
         let prim_back: HashMap<PrimId, PrimId> =
@@ -897,8 +903,8 @@ impl Verifier {
         // immutable base; per-case effort is summed into the totals with
         // atomics as workers finish.
         let netlist = &self.netlist;
-        let base_raw: &[SignalState] = &self.raw;
-        let base_eff: &[SignalState] = &self.eff;
+        let base_raw: &SoaState = &self.raw;
+        let base_eff: &SoaState = &self.eff;
         let pinned: &[bool] = &self.pinned;
         let base_hazards = &self.hazards;
         let base_wired = &self.wired_contributions;
@@ -998,10 +1004,10 @@ impl Verifier {
         // reflect it, exactly as the serial path left things.
         let last = last.expect("cases is non-empty");
         for (idx, st) in last.raw_overlay {
-            self.raw[idx] = st;
+            self.raw.set(idx, st);
         }
         for (idx, st) in last.eff_overlay {
-            self.eff[idx] = st;
+            self.eff.set(idx, st);
         }
         self.overrides = last.overrides;
         self.hazards = last.hazards;
@@ -1040,7 +1046,7 @@ impl Verifier {
     #[must_use]
     pub fn check_now(&self) -> Vec<Violation> {
         let hazards: Vec<(PrimId, usize)> = self.hazards.iter().copied().collect();
-        run_all_checks(&self.netlist, self.eff.as_slice(), &hazards)
+        run_all_checks(&self.netlist, &self.eff, &hazards)
     }
 
     /// The signal-value summary listing of Fig 3-10: one line per signal
@@ -1060,7 +1066,7 @@ impl Verifier {
     /// Storage accounting in the categories of Table 3-3.
     #[must_use]
     pub fn storage_report(&self) -> StorageReport {
-        StorageReport::measure(&self.netlist, self.raw.as_slice())
+        StorageReport::measure(&self.netlist, &self.raw)
     }
 
     /// Timing margins of every checker against the current settled state:
@@ -1068,7 +1074,7 @@ impl Verifier {
     /// a reported violation.
     #[must_use]
     pub fn slack_report(&self) -> Vec<CheckMargin> {
-        slack_report(&self.netlist, self.eff.as_slice())
+        slack_report(&self.netlist, &self.eff)
     }
 
     /// An ASCII timing diagram of all signals (sorted by name), `columns`
@@ -1148,9 +1154,9 @@ fn default_jobs() -> usize {
 /// Applies a case override to a computed state: the override replaces the
 /// signal's value wherever the circuit would leave it merely *stable*
 /// (§2.7.1) — asserted changing windows and computed constants win.
-fn override_state(over: Option<Value>, state: &SignalState) -> SignalState {
+fn override_state(over: Option<Value>, state: StateRef<'_>) -> SignalState {
     match over {
-        None => state.clone(),
+        None => state.to_state(),
         Some(v) => SignalState {
             wave: state
                 .wave
@@ -1162,12 +1168,13 @@ fn override_state(over: Option<Value>, state: &SignalState) -> SignalState {
     }
 }
 
-/// Immutable inputs of one settle loop, shared by the base settle (flat
-/// state vectors) and the per-case settle (cone overlays).
+/// Immutable inputs of one settle loop, shared by the base settle (the
+/// engine's struct-of-arrays state) and the per-case settle (cone
+/// overlays).
 struct WaveParams<'a> {
     netlist: &'a Netlist,
     pinned: &'a [bool],
-    overrides: &'a HashMap<SignalId, Value>,
+    overrides: &'a BTreeMap<SignalId, Value>,
     budget: u64,
     /// Wave-evaluation workers; 1 keeps everything on this thread.
     jobs: usize,
@@ -1179,13 +1186,83 @@ struct WaveParams<'a> {
     cache: Option<(&'a EvalCache, &'a [Option<u32>])>,
 }
 
+/// What the serial commit phase must do for one wave entry — precomputed
+/// during the (possibly parallel) evaluation phase against the frozen
+/// pre-wave state, so the serial residue only *applies* effects.
+///
+/// The precompute is sound for single-driver signals because a wave is a
+/// deduplicated primitive list: a signal's sole driver appears at most
+/// once per wave, so the frozen pre-wave `raw`/`eff` values it compared
+/// against are exactly the live values at its commit slot. Wired-OR
+/// buses (several drivers possibly in one wave) recombine against live
+/// state and stay on the serial path.
+enum CommitPlan {
+    /// Nothing to apply: a checker, a pinned output, or an output whose
+    /// recomputed state equals the committed one.
+    Skip,
+    /// The raw state changes but the effective (override-mapped) state
+    /// does not: store the outcome's output, emit no event.
+    Raw {
+        /// The driven signal.
+        out: SignalId,
+    },
+    /// Both raw and effective state change: store both, count an event,
+    /// enqueue the fan-out.
+    RawEff {
+        /// The driven signal.
+        out: SignalId,
+        /// The already-override-mapped effective state.
+        new_eff: SignalState,
+    },
+    /// A wired-OR bus: must be recombined serially against the live
+    /// contribution map.
+    Wired {
+        /// The driven signal.
+        out: SignalId,
+    },
+}
+
+/// Plans the commit of one evaluated primitive against the frozen
+/// pre-wave state. See [`CommitPlan`] for the soundness argument.
+fn plan_commit<R, E>(
+    p: &WaveParams<'_>,
+    pid: PrimId,
+    outcome: &EvalOutcome,
+    raw: &R,
+    eff: &E,
+) -> CommitPlan
+where
+    R: StateView + ?Sized,
+    E: StateView + ?Sized,
+{
+    let prim = p.netlist.prim(pid);
+    let (Some(new_state), Some(out)) = (&outcome.output, prim.output) else {
+        return CommitPlan::Skip;
+    };
+    if p.pinned[out.index()] {
+        return CommitPlan::Skip; // asserted clocks keep their asserted value
+    }
+    if p.netlist.drivers(out).len() > 1 {
+        return CommitPlan::Wired { out };
+    }
+    if raw.state_at(out.index()) == *new_state {
+        return CommitPlan::Skip;
+    }
+    let new_eff = override_state(p.overrides.get(&out).copied(), new_state.into());
+    if eff.state_at(out.index()) == new_eff {
+        CommitPlan::Raw { out }
+    } else {
+        CommitPlan::RawEff { out, new_eff }
+    }
+}
+
 /// Mutable bookkeeping of one settle loop, borrowed from whoever owns
 /// it (the [`Verifier`] for the base settle, the case worker's locals
 /// for a case settle). `events`/`evaluations` accumulate even when the
 /// loop errors out, so callers can fold partial effort into totals.
 struct WaveBooks<'a> {
     hazards: &'a mut BTreeSet<(PrimId, usize)>,
-    wired: &'a mut HashMap<(SignalId, PrimId), SignalState>,
+    wired: &'a mut BTreeMap<(SignalId, PrimId), SignalState>,
     queue: &'a mut VecDeque<PrimId>,
     queued: &'a mut [bool],
     events: &'a mut u64,
@@ -1235,7 +1312,11 @@ where
         .jobs
         .min(std::thread::available_parallelism().map_or(1, usize::from));
     let mut wave_ordinal = 0u64;
+    // Wave-local scratch, reused across waves: after the first few waves
+    // the settle loop allocates nothing proportional to the wave width.
     let mut wave: Vec<PrimId> = Vec::new();
+    let mut outcomes: Vec<EvalOutcome> = Vec::new();
+    let mut plans: Vec<CommitPlan> = Vec::new();
     while !queue.is_empty() {
         wave.clear();
         wave.extend(queue.drain(..));
@@ -1245,8 +1326,9 @@ where
         // Commit in primitive-id order: canonical, and independent of
         // how last wave's commits happened to interleave enqueues.
         wave.sort_unstable();
-        let outcomes = evaluate_wave(p.netlist, &wave, &*eff, wave_jobs, p.cache);
-        for (i, (&pid, outcome)) in wave.iter().zip(outcomes).enumerate() {
+        evaluate_wave(p, &wave, &*raw, &*eff, wave_jobs, &mut outcomes, &mut plans);
+        for i in 0..wave.len() {
+            let pid = wave[i];
             *evaluations += 1;
             if let Some(t) = p.trace {
                 t.record(&TraceEvent::Evaluation {
@@ -1271,17 +1353,30 @@ where
                     active,
                 });
             }
-            for idx in &outcome.hazard_inputs {
+            for idx in &outcomes[i].hazard_inputs {
                 hazards.insert((pid, *idx));
             }
-            let prim = p.netlist.prim(pid);
-            if let (Some(new_state), Some(out)) = (outcome.output, prim.output) {
-                if p.pinned[out.index()] {
-                    continue; // asserted clocks keep their asserted value
+            let (out, new_eff) = match std::mem::replace(&mut plans[i], CommitPlan::Skip) {
+                CommitPlan::Skip => continue,
+                CommitPlan::Raw { out } => {
+                    let new_state = outcomes[i].output.take().expect("Raw plan has an output");
+                    raw.set_state(out.index(), new_state);
+                    continue;
                 }
-                // Wired-OR buses: this driver contributes one term; the
-                // signal's state is the worst-case OR of all drivers.
-                let new_state = if p.netlist.drivers(out).len() > 1 {
+                CommitPlan::RawEff { out, new_eff } => {
+                    let new_state = outcomes[i]
+                        .output
+                        .take()
+                        .expect("RawEff plan has an output");
+                    raw.set_state(out.index(), new_state);
+                    (out, new_eff)
+                }
+                CommitPlan::Wired { out } => {
+                    // Wired-OR buses: this driver contributes one term;
+                    // the signal's state is the worst-case OR of all
+                    // drivers, recombined against the live contribution
+                    // map (another driver may have committed this wave).
+                    let new_state = outcomes[i].output.take().expect("Wired plan has an output");
                     wired.insert((out, pid), new_state);
                     let resolved: Vec<WaveRef> = p
                         .netlist
@@ -1295,33 +1390,35 @@ where
                         })
                         .collect();
                     let refs: Vec<&Waveform> = resolved.iter().map(WaveRef::as_wave).collect();
-                    SignalState::new(Waveform::combine_many(&refs, |vals| {
+                    let new_state = SignalState::new(Waveform::combine_many(&refs, |vals| {
                         scald_logic::or_all(vals.iter().copied())
-                    }))
-                } else {
-                    new_state
-                };
-                if *raw.state_at(out.index()) != new_state {
-                    let new_eff = override_state(p.overrides.get(&out).copied(), &new_state);
-                    raw.set_state(out.index(), new_state);
-                    if *eff.state_at(out.index()) != new_eff {
-                        eff.set_state(out.index(), new_eff);
-                        *events += 1;
-                        if let Some(t) = p.trace {
-                            t.record(&TraceEvent::SignalSettled {
-                                case: p.case,
-                                signal: out.index() as u32,
-                                name: &p.netlist.signal(out).name,
-                                ordinal: *evaluations,
-                            });
-                        }
-                        for &fan in p.netlist.fanout(out) {
-                            if !queued[fan.index()] {
-                                queued[fan.index()] = true;
-                                queue.push_back(fan);
-                            }
-                        }
+                    }));
+                    if raw.state_at(out.index()) == new_state {
+                        continue;
                     }
+                    let new_eff =
+                        override_state(p.overrides.get(&out).copied(), (&new_state).into());
+                    raw.set_state(out.index(), new_state);
+                    if eff.state_at(out.index()) == new_eff {
+                        continue;
+                    }
+                    (out, new_eff)
+                }
+            };
+            eff.set_state(out.index(), new_eff);
+            *events += 1;
+            if let Some(t) = p.trace {
+                t.record(&TraceEvent::SignalSettled {
+                    case: p.case,
+                    signal: out.index() as u32,
+                    name: &p.netlist.signal(out).name,
+                    ordinal: *evaluations,
+                });
+            }
+            for &fan in p.netlist.fanout(out) {
+                if !queued[fan.index()] {
+                    queued[fan.index()] = true;
+                    queue.push_back(fan);
                 }
             }
         }
@@ -1338,67 +1435,93 @@ where
     Ok(())
 }
 
-/// Evaluates every primitive of `wave` against the frozen `state`,
-/// fanning across a scoped worker pool when `jobs` allows. The output
-/// vector is indexed like `wave` regardless of which worker computed
-/// which entry, so callers observe nothing but the wall-clock.
+/// Evaluates every primitive of `wave` against the frozen pre-wave
+/// state and plans its commit, fanning across a scoped worker pool when
+/// `jobs` allows. `outcomes` and `plans` are caller-owned scratch,
+/// cleared and refilled indexed like `wave` regardless of which worker
+/// computed which entry — callers observe nothing but the wall-clock.
+///
+/// Workers claim contiguous *chunks* of the wave (not single slots) and
+/// write results in place through per-chunk locks, so synchronization
+/// and allocation are per chunk, not per primitive.
 ///
 /// With a `cache`, each evaluation first checks the memo table: because
 /// `evaluate` is a pure function of the primitive descriptor (interned
 /// as the signature) and the input states (interned wave handles, skew,
 /// eval string), a hit returns the identical outcome the kernel would
 /// recompute — serving from cache is unobservable in every result.
-fn evaluate_wave<S>(
-    netlist: &Netlist,
+fn evaluate_wave<R, E>(
+    p: &WaveParams<'_>,
     wave: &[PrimId],
-    state: &S,
+    raw: &R,
+    eff: &E,
     jobs: usize,
-    cache: Option<(&EvalCache, &[Option<u32>])>,
-) -> Vec<EvalOutcome>
-where
-    S: StateView + ?Sized,
+    outcomes: &mut Vec<EvalOutcome>,
+    plans: &mut Vec<CommitPlan>,
+) where
+    R: StateView + ?Sized,
+    E: StateView + ?Sized,
 {
+    let netlist = p.netlist;
     let eval_one = |pid: PrimId| -> EvalOutcome {
         let prim = netlist.prim(pid);
-        if let Some((cache, sigs)) = cache {
+        if let Some((cache, sigs)) = p.cache {
             if let Some(sig) = sigs[pid.index()] {
-                let key = EvalCache::key_for(sig, prim, state);
+                let key = EvalCache::key_for(sig, prim, eff);
                 if let Some(hit) = cache.lookup(&key) {
                     return hit;
                 }
-                let out = evaluate(netlist, prim, state);
+                let out = evaluate(netlist, prim, eff);
                 cache.insert(key, &out);
                 return out;
             }
         }
-        evaluate(netlist, prim, state)
+        evaluate(netlist, prim, eff)
     };
+    outcomes.clear();
+    plans.clear();
     let workers = jobs.min(wave.len());
     if workers <= 1 {
-        return wave.iter().map(|&pid| eval_one(pid)).collect();
+        for &pid in wave {
+            let out = eval_one(pid);
+            plans.push(plan_commit(p, pid, &out, raw, eff));
+            outcomes.push(out);
+        }
+        return;
     }
-    let slots: Vec<Mutex<Option<EvalOutcome>>> = wave.iter().map(|_| Mutex::new(None)).collect();
+    outcomes.resize_with(wave.len(), || EvalOutcome {
+        output: None,
+        hazard_inputs: Vec::new(),
+    });
+    plans.resize_with(wave.len(), || CommitPlan::Skip);
+    // A few chunks per worker balances uneven evaluation costs without
+    // per-primitive synchronization.
+    type Slot<'w> = Mutex<(&'w [PrimId], &'w mut [EvalOutcome], &'w mut [CommitPlan])>;
+    let chunk = wave.len().div_ceil(workers * 4).max(8);
+    let slots: Vec<Slot<'_>> = wave
+        .chunks(chunk)
+        .zip(outcomes.chunks_mut(chunk))
+        .zip(plans.chunks_mut(chunk))
+        .map(|((w, o), pl)| Mutex::new((w, o, pl)))
+        .collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= wave.len() {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= slots.len() {
                     break;
                 }
-                let out = eval_one(wave[i]);
-                *slots[i].lock().expect("wave slot poisoned") = Some(out);
+                let mut slot = slots[c].lock().expect("wave chunk poisoned");
+                let (pids, outs, pls) = &mut *slot;
+                for i in 0..pids.len() {
+                    let out = eval_one(pids[i]);
+                    pls[i] = plan_commit(p, pids[i], &out, raw, eff);
+                    outs[i] = out;
+                }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("wave slot poisoned")
-                .expect("worker filled every wave slot")
-        })
-        .collect()
 }
 
 /// Everything one case worker produced: the check results, its effort
@@ -1409,11 +1532,12 @@ struct CaseOutcome {
     events: u64,
     evaluations: u64,
     value_records: usize,
-    raw_overlay: HashMap<usize, SignalState>,
-    eff_overlay: HashMap<usize, SignalState>,
+    /// Dirtied (index, state) pairs in index order.
+    raw_overlay: Vec<(usize, SignalState)>,
+    eff_overlay: Vec<(usize, SignalState)>,
     hazards: BTreeSet<(PrimId, usize)>,
-    wired: HashMap<(SignalId, PrimId), SignalState>,
-    overrides: HashMap<SignalId, Value>,
+    wired: BTreeMap<(SignalId, PrimId), SignalState>,
+    overrides: BTreeMap<SignalId, Value>,
 }
 
 /// Settles one case against the shared settled base state (§2.7, §3.3.2).
@@ -1430,18 +1554,18 @@ struct CaseOutcome {
 #[allow(clippy::too_many_arguments)]
 fn settle_case(
     netlist: &Netlist,
-    base_raw: &[SignalState],
-    base_eff: &[SignalState],
+    base_raw: &SoaState,
+    base_eff: &SoaState,
     pinned: &[bool],
     base_hazards: &BTreeSet<(PrimId, usize)>,
-    base_wired: &HashMap<(SignalId, PrimId), SignalState>,
+    base_wired: &BTreeMap<(SignalId, PrimId), SignalState>,
     assigns: &[(SignalId, Value)],
     budget: u64,
     wave_jobs: usize,
     cache: Option<(&EvalCache, &[Option<u32>])>,
     trace: Option<(&dyn TraceSink, u32)>,
 ) -> Result<CaseOutcome, VerifyError> {
-    let overrides: HashMap<SignalId, Value> = assigns.iter().copied().collect();
+    let overrides: BTreeMap<SignalId, Value> = assigns.iter().copied().collect();
     let mut raw = ConeState::new(base_raw);
     let mut eff = ConeState::new(base_eff);
     let mut hazards = base_hazards.clone();
@@ -1452,8 +1576,8 @@ fn settle_case(
     // Seed: apply the overrides (in SignalId order) and dirty their
     // fan-out cones.
     for &(sid, v) in assigns {
-        let new_eff = override_state(Some(v), &base_raw[sid.index()]);
-        if new_eff != base_eff[sid.index()] {
+        let new_eff = override_state(Some(v), base_raw.get(sid.index()));
+        if base_eff.get(sid.index()) != new_eff {
             eff.set(sid.index(), new_eff);
             for &pid in netlist.fanout(sid) {
                 if !queued[pid.index()] {
@@ -1519,7 +1643,10 @@ fn settle_case(
 #[must_use]
 pub fn check_interfaces(sections: &[&Netlist]) -> Vec<String> {
     use scald_assertions::Assertion;
-    let mut seen: HashMap<String, (usize, Option<Assertion>)> = HashMap::new();
+    // BTreeMap as structural hardening: `seen`'s order never escapes
+    // today (problems follow section/signal input order), but a map that
+    // feeds a user-facing listing must not depend on `RandomState`.
+    let mut seen: BTreeMap<String, (usize, Option<Assertion>)> = BTreeMap::new();
     let mut problems = Vec::new();
     for (idx, section) in sections.iter().enumerate() {
         for (_, sig) in section.iter_signals() {

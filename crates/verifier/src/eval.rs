@@ -70,7 +70,7 @@ fn prep_input<S: StateView + ?Sized>(
     } else {
         DelayRange::ZERO
     };
-    let mut st = src.clone();
+    let mut st = src.to_state();
     if conn.invert {
         st.wave = st.wave.map(Value::not).into();
     }

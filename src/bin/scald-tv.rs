@@ -286,6 +286,15 @@ fn run_watch(opts: &Options) -> ExitCode {
         effort_line(&session.outcome().stats)
     );
     let mut edits = 0u64;
+    // Debounce for torn reads: a poll can catch an editor mid-write
+    // (empty or partial file), which parses as a broken design. A failed
+    // apply therefore never counts as an edit and never advances
+    // `last_src` — the same bytes are simply re-read on the next poll,
+    // by which time a torn write will have completed and the full save
+    // is verified as one edit. Content that keeps failing is diagnosed
+    // once (without consuming the edit budget) so a genuinely broken
+    // save is still visible.
+    let mut pending_bad: Option<(String, bool)> = None;
     while opts.watch_max_edits.is_none_or(|max| edits < max) {
         std::thread::sleep(Duration::from_millis(opts.watch_poll_ms));
         // A read can fail transiently while an editor replaces the file;
@@ -294,21 +303,32 @@ fn run_watch(opts: &Options) -> ExitCode {
             continue;
         };
         if src == last_src {
+            pending_bad = None;
             continue;
         }
-        last_src.clone_from(&src);
-        edits += 1;
-        match session.apply(Delta::Source(src)) {
+        match session.apply(Delta::Source(src.clone())) {
             Ok(outcome) => {
+                pending_bad = None;
+                last_src = src;
+                edits += 1;
                 violations = outcome.report.total_violations();
                 println!(
                     "[watch] edit {edits}: {violations} violation(s); {}",
                     effort_line(&outcome.stats)
                 );
             }
-            // A broken intermediate save: report it, keep the prior
-            // state, and wait for the next edit.
-            Err(e) => eprintln!("[watch] edit {edits}: {e}"),
+            Err(e) => match &mut pending_bad {
+                Some((bad, reported)) if *bad == src => {
+                    // Identical bytes failing a second poll: no longer a
+                    // torn write in flight. Diagnose it once and keep
+                    // polling for a fixed save.
+                    if !*reported {
+                        *reported = true;
+                        eprintln!("[watch] awaiting valid design: {e}");
+                    }
+                }
+                _ => pending_bad = Some((src, false)),
+            },
         }
     }
     if violations == 0 {

@@ -327,6 +327,111 @@ fn watch_reverifies_on_file_change() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--watch` must not treat a torn read (an editor mid-write) as an
+/// edit: the violating design is written in two chunks with several poll
+/// intervals between them. The partial file fails to compile, but the
+/// watcher must neither count it against `--watch-max-edits` nor report
+/// a failed re-verification — only the completed save is edit 1.
+#[test]
+fn watch_tolerates_torn_writes() {
+    use std::io::Write;
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!("scald-tv-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let watched = dir.join("watched.scald");
+    std::fs::copy(design("eco_edit_before.scald"), &watched).expect("seed watched file");
+
+    // Split the edited design mid-token, inside the retimed delay: the
+    // first chunk cannot parse, so a poll between the chunks sees
+    // exactly what a torn editor write produces.
+    let after = std::fs::read_to_string(design("eco_edit_after.scald")).expect("after design");
+    let cut = after.find("20.0:36.0").expect("retimed delay present") + "20.0:3".len();
+    let (chunk1, chunk2) = after.split_at(cut);
+
+    let mut child = std::process::Command::new(BIN)
+        .args([
+            "--watch",
+            "--watch-poll-ms",
+            "25",
+            "--watch-max-edits",
+            "1",
+            watched.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("watch mode starts");
+
+    // Initial verification, then the torn write: truncate + first chunk,
+    // hold the torn state across several polls, then append the rest.
+    std::thread::sleep(Duration::from_millis(300));
+    std::fs::write(&watched, chunk1).expect("write first chunk");
+    std::thread::sleep(Duration::from_millis(200));
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&watched)
+        .expect("reopen watched file");
+    f.write_all(chunk2.as_bytes()).expect("append second chunk");
+    drop(f);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("poll watch process") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("watch mode did not exit after the completed edit");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    let out = child.wait_with_output().expect("collect watch output");
+    let stdout = text(&out.stdout);
+    let stderr = text(&out.stderr);
+    // The completed save is the one and only edit, and it is verified.
+    assert_eq!(status.code(), Some(1), "stderr: {stderr}");
+    assert!(stdout.contains("edit 1: 1 violation(s)"), "{stdout}");
+    // The torn intermediate state was never counted or reported as an
+    // edit (pre-fix, it consumed the single edit budget and the real
+    // edit was never verified).
+    assert!(!stderr.contains("edit"), "spurious edit report: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The documented byte-identical-reports guarantee, across *processes*:
+/// `HashMap` iteration order changes with each process' `RandomState`,
+/// so any leaked iteration order shows up as two different documents
+/// here. Only the wall clock may differ between the two runs.
+#[test]
+fn json_report_is_byte_identical_across_processes() {
+    let path = design("register_file.scald");
+    let run_once = || {
+        let out = run(&["--format", "json", &path]);
+        assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+        let mut doc = parse(&text(&out.stdout)).expect("valid JSON");
+        // Null the only legitimately nondeterministic field.
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "engine" {
+                    if let Json::Obj(engine) = value {
+                        for (k, v) in engine.iter_mut() {
+                            if k == "wall_ns" {
+                                *v = Json::Null;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc.to_string()
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "report differs across processes");
+}
+
 fn text(bytes: &[u8]) -> String {
     String::from_utf8_lossy(bytes).into_owned()
 }
