@@ -25,6 +25,11 @@ cargo test -q --test cli
 cargo test -q -p scald-verifier --test parallel_settle --test parallel_cases --test eval_cache --test store_growth
 cargo test -q -p scald-wave --test store_props
 
+# The daemon suites alone: protocol robustness (malformed frames, torn
+# lines, disconnects, timeouts, shutdown-while-busy) and the 50-design
+# property that daemon reports are byte-identical to direct runs.
+cargo test -q -p scald-serve --test daemon --test serve_props
+
 # Smoke the settle-scaling and cache A/B bench harnesses (tiny design);
 # the full runs regenerate BENCH_settle.json / BENCH_cache.json.
 cargo run -q -p scald-bench --release --bin settle_scaling -- --chips 40 --workers 1 --out target/BENCH_settle_smoke.json
@@ -33,6 +38,10 @@ cargo run -q -p scald-bench --release --bin cache_stats -- --chips 40 --out targ
 # Smoke the scale sweep at ~5k primitives (the committed BENCH_scale.json
 # sweeps 1k..1M; this proves the generator + sweep harness stay runnable).
 cargo run -q -p scald-bench --release --bin scale_sweep -- --steps 5000 --reps 1 --out target/BENCH_scale_smoke.json
+
+# Smoke the serve loadtest with 4 concurrent clients on a small design
+# (the committed BENCH_serve.json uses --chips 400 --rounds 3).
+cargo run -q -p scald-bench --release --bin loadtest -- --clients 4 --chips 60 --rounds 1 --out target/BENCH_serve_smoke.json
 
 # Examples must keep building; incr_session doubles as a smoke test of
 # the incremental re-verification subsystem (it asserts the warm report

@@ -8,7 +8,7 @@ use scald_gen::figures::{
     alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_incr::{Delta, NetlistDelta, Session, SessionBuilder};
+use scald_incr::{Delta, DesignInput, NetlistDelta, Session, SessionBuilder};
 use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
@@ -227,8 +227,11 @@ fn incr_vs_full(b: &Bench) {
         .expect("generated design has datapath slices")
         .name
         .clone();
-    let mut session =
-        Session::from_netlist(netlist.clone(), vec![Case::new()], "bench").expect("settles");
+    let mut session = Session::open(
+        DesignInput::netlist(netlist.clone(), vec![Case::new()]),
+        "bench",
+    )
+    .expect("settles");
     let delays = [DelayRange::from_ns(2.0, 6.0), DelayRange::from_ns(2.5, 7.0)];
     let mut flip = 0usize;
     b.bench("incr_vs_full/warm_retime/400", move || {
@@ -291,7 +294,10 @@ fn eval_cache(b: &Bench) {
             .delay;
         let mut session = SessionBuilder::new()
             .eval_cache(cached)
-            .open_netlist(netlist.clone(), vec![Case::new()], "bench")
+            .open(
+                DesignInput::netlist(netlist.clone(), vec![Case::new()]),
+                "bench",
+            )
             .expect("settles");
         b.bench(&format!("eval_cache/session_replay10/{mode}"), move || {
             let mut events = 0u64;

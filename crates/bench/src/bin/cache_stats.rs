@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_incr::{Delta, NetlistDelta, Session, SessionBuilder};
+use scald_incr::{Delta, DesignInput, NetlistDelta, Session, SessionBuilder};
 use scald_netlist::Netlist;
 use scald_trace::json::Json;
 use scald_verifier::{Case, EvalCache, RunOptions, VerifierBuilder};
@@ -154,7 +154,10 @@ fn main() {
     let open = |cached: bool| {
         SessionBuilder::new()
             .eval_cache(cached)
-            .open_netlist(netlist.clone(), vec![Case::new()], "cache_stats")
+            .open(
+                DesignInput::netlist(netlist.clone(), vec![Case::new()]),
+                "cache_stats",
+            )
             .expect("session opens")
     };
     let session_off = open(false);

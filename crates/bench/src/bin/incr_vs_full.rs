@@ -14,7 +14,7 @@
 //! [`Session::apply`]: scald_incr::Session::apply
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_incr::{Case, Delta, NetlistDelta, Session};
+use scald_incr::{Case, Delta, DesignInput, NetlistDelta, Session};
 use scald_trace::json::Json;
 use scald_wave::DelayRange;
 
@@ -41,8 +41,11 @@ fn main() {
         stats.chips, stats.prims, stats.signals
     );
 
-    let mut session =
-        Session::from_netlist(netlist, vec![Case::new()], "incr_vs_full").expect("settles");
+    let mut session = Session::open(
+        DesignInput::netlist(netlist, vec![Case::new()]),
+        "incr_vs_full",
+    )
+    .expect("settles");
     let full = session.outcome().stats;
     println!(
         "full verification:  {:>8} events in {:.2?}",

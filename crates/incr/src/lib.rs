@@ -43,7 +43,10 @@ mod diff;
 mod session;
 
 pub use diff::{report_diff, ReportDiff};
-pub use session::{Delta, IncrStats, Session, SessionBuilder, SessionError, SessionOutcome};
+pub use session::{
+    compile_source, design_hash, Delta, DesignInput, IncrStats, Session, SessionBuilder,
+    SessionError, SessionOutcome,
+};
 
 // Re-exported so callers can build deltas and read reports without
 // spelling every crate dependency.

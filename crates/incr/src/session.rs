@@ -12,6 +12,41 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// A design to open a [`Session`] on — the one input type shared by the
+/// CLI, the `scald-serve` daemon and library callers, so every consumer
+/// constructs sessions identically ([`SessionBuilder::open`]).
+#[derive(Debug, Clone)]
+// Consumed by value the moment a session opens — the size gap between
+// the variants never sits in long-lived storage, so boxing would only
+// tax every construction site.
+#[allow(clippy::large_enum_variant)]
+pub enum DesignInput {
+    /// HDL source text; the design's `case` blocks become the session's
+    /// case set (one empty base case when it declares none).
+    Source(String),
+    /// An already-built netlist plus an explicit case set (pass
+    /// `vec![Case::new()]` for a single base case).
+    Netlist {
+        /// The elaborated design.
+        netlist: Netlist,
+        /// The cases to analyse on every verification.
+        cases: Vec<Case>,
+    },
+}
+
+impl DesignInput {
+    /// Source-text input (convenience over the variant).
+    pub fn source(src: impl Into<String>) -> DesignInput {
+        DesignInput::Source(src.into())
+    }
+
+    /// Netlist input (convenience over the variant).
+    #[must_use]
+    pub fn netlist(netlist: Netlist, cases: Vec<Case>) -> DesignInput {
+        DesignInput::Netlist { netlist, cases }
+    }
+}
+
 /// An edit to re-verify against a [`Session`].
 #[derive(Debug, Clone)]
 pub enum Delta {
@@ -126,6 +161,8 @@ pub struct SessionBuilder {
     trace: Option<Arc<dyn TraceSink>>,
     /// Inverted so `Default` means "cache on".
     no_eval_cache: bool,
+    /// A caller-supplied memo table; overrides `no_eval_cache`.
+    shared_cache: Option<Arc<EvalCache>>,
 }
 
 impl SessionBuilder {
@@ -166,32 +203,37 @@ impl SessionBuilder {
         self
     }
 
-    /// Opens a session by compiling HDL source; the design's `case`
-    /// blocks become the session's case set.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SessionError`] if the source fails to compile or the
-    /// initial cold verification fails.
-    pub fn open_source(self, src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
-        let (netlist, cases) = compile(src)?;
-        self.open_netlist(netlist, cases, label)
+    /// Uses a caller-owned [`EvalCache`] instead of a private one, so
+    /// several sessions (e.g. every `scald-serve` client of one popular
+    /// design) share a single memo table: evaluations one session
+    /// performed replay in every other. Overrides
+    /// [`eval_cache`](Self::eval_cache).
+    #[must_use]
+    pub fn shared_eval_cache(mut self, cache: Arc<EvalCache>) -> SessionBuilder {
+        self.shared_cache = Some(cache);
+        self
     }
 
-    /// Opens a session on an already-built netlist and case set (pass
-    /// `vec![Case::new()]` for a single base case).
+    /// Opens a session on a [`DesignInput`] — the single constructor the
+    /// CLI, the `scald-serve` daemon and library callers all use.
     ///
     /// # Errors
     ///
-    /// Returns a [`SessionError`] if the initial cold verification
-    /// fails.
-    pub fn open_netlist(
+    /// Returns a [`SessionError`] if source input fails to compile or
+    /// the initial cold verification fails.
+    pub fn open(
         self,
-        netlist: Netlist,
-        cases: Vec<Case>,
+        input: DesignInput,
         label: impl Into<String>,
     ) -> Result<Session, SessionError> {
-        let eval_cache = (!self.no_eval_cache).then(|| Arc::new(EvalCache::new()));
+        let (netlist, cases) = match input {
+            DesignInput::Source(src) => compile(&src)?,
+            DesignInput::Netlist { netlist, cases } => (netlist, cases),
+        };
+        let eval_cache = match &self.shared_cache {
+            Some(cache) => Some(Arc::clone(cache)),
+            None => (!self.no_eval_cache).then(|| Arc::new(EvalCache::new())),
+        };
         let mut session = Session {
             // Placeholder until the first verify() snapshot replaces it;
             // it never evaluates, so skip building it a cache.
@@ -210,6 +252,41 @@ impl SessionBuilder {
         let outcome = session.verify(netlist, None)?;
         session.last = Some(outcome);
         Ok(session)
+    }
+
+    /// Opens a session by compiling HDL source; the design's `case`
+    /// blocks become the session's case set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the source fails to compile or the
+    /// initial cold verification fails.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SessionBuilder::open(DesignInput::source(..))"
+    )]
+    pub fn open_source(self, src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
+        self.open(DesignInput::source(src), label)
+    }
+
+    /// Opens a session on an already-built netlist and case set (pass
+    /// `vec![Case::new()]` for a single base case).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the initial cold verification
+    /// fails.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SessionBuilder::open(DesignInput::netlist(..))"
+    )]
+    pub fn open_netlist(
+        self,
+        netlist: Netlist,
+        cases: Vec<Case>,
+        label: impl Into<String>,
+    ) -> Result<Session, SessionError> {
+        self.open(DesignInput::Netlist { netlist, cases }, label)
     }
 }
 
@@ -246,26 +323,37 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
-    /// [`SessionBuilder::open_source`] with default options.
+    /// [`SessionBuilder::open`] with default options.
     ///
     /// # Errors
     ///
-    /// As for [`SessionBuilder::open_source`].
-    pub fn from_source(src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
-        SessionBuilder::new().open_source(src, label)
+    /// As for [`SessionBuilder::open`].
+    pub fn open(input: DesignInput, label: impl Into<String>) -> Result<Session, SessionError> {
+        SessionBuilder::new().open(input, label)
     }
 
-    /// [`SessionBuilder::open_netlist`] with default options.
+    /// [`SessionBuilder::open`] on source input with default options.
     ///
     /// # Errors
     ///
-    /// As for [`SessionBuilder::open_netlist`].
+    /// As for [`SessionBuilder::open`].
+    #[deprecated(since = "0.1.0", note = "use Session::open(DesignInput::source(..))")]
+    pub fn from_source(src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
+        Session::open(DesignInput::source(src), label)
+    }
+
+    /// [`SessionBuilder::open`] on netlist input with default options.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SessionBuilder::open`].
+    #[deprecated(since = "0.1.0", note = "use Session::open(DesignInput::netlist(..))")]
     pub fn from_netlist(
         netlist: Netlist,
         cases: Vec<Case>,
         label: impl Into<String>,
     ) -> Result<Session, SessionError> {
-        SessionBuilder::new().open_netlist(netlist, cases, label)
+        Session::open(DesignInput::Netlist { netlist, cases }, label)
     }
 
     /// The current (edited-to-date) netlist.
@@ -278,6 +366,57 @@ impl Session {
     #[must_use]
     pub fn cases(&self) -> &[Case] {
         &self.cases
+    }
+
+    /// The session's design label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Overrides the worker budget for every subsequent verification
+    /// (`None` lets the engine choose). `scald-serve` uses this to split
+    /// one daemon-wide `--jobs` budget across concurrent clients;
+    /// results are byte-identical for any value.
+    pub fn set_jobs(&mut self, jobs: Option<usize>) {
+        self.jobs = jobs.map(|j| j.max(1));
+    }
+
+    /// The shared evaluation memo table, when caching is enabled.
+    #[must_use]
+    pub fn eval_cache(&self) -> Option<&Arc<EvalCache>> {
+        self.eval_cache.as_ref()
+    }
+
+    /// Cumulative hit/miss/entry counters of the session's memo table
+    /// (`None` when caching is disabled). For a shared table
+    /// ([`SessionBuilder::shared_eval_cache`]) the counters span every
+    /// session on it.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<scald_verifier::EvalCacheStats> {
+        self.eval_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Content hash of the session's *current* design: netlist
+    /// configuration, every signal and primitive content hash, and the
+    /// case set. Two sessions with equal hashes verify identically, so
+    /// this is the `scald-serve` pool key — see [`design_hash`].
+    #[must_use]
+    pub fn design_hash(&self) -> u64 {
+        design_hash(self.settled.netlist(), &self.cases)
+    }
+
+    /// Re-verifies the current design as-is (no edit). With a prior
+    /// fixed point everything is clean, so the pass warm-starts with an
+    /// empty frontier and replays cheaply; the refreshed
+    /// [`SessionOutcome`] is returned (and retained, see
+    /// [`outcome`](Self::outcome)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::apply`].
+    pub fn reverify(&mut self) -> Result<SessionOutcome, SessionError> {
+        self.apply(Delta::Cases(self.cases.clone()))
     }
 
     /// The report and effort statistics of the most recent pass.
@@ -432,6 +571,19 @@ impl Session {
     }
 }
 
+/// Compiles HDL source into the `(netlist, cases)` pair that
+/// [`DesignInput::Source`] opens — exposed so callers that need the
+/// netlist *before* opening (e.g. `scald-serve`, which keys its session
+/// pool on [`design_hash`]) compile exactly once, exactly the way
+/// [`SessionBuilder::open`] would.
+///
+/// # Errors
+///
+/// [`SessionError::Compile`] when the source fails to compile.
+pub fn compile_source(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
+    compile(src)
+}
+
 /// Compiles HDL source into a netlist plus its case set (one empty base
 /// case when the design declares none), mirroring `scald-tv`.
 fn compile(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
@@ -450,6 +602,42 @@ fn compile(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
             .collect()
     };
     Ok((expansion.netlist, cases))
+}
+
+/// Content hash of a whole design: the netlist configuration (period,
+/// clock units, skews, default wire delay), every signal and primitive
+/// content hash in name order, and the case set (labels + assignments).
+///
+/// Everything a verification result depends on feeds the hash, so equal
+/// hashes mean byte-identical (effort-stripped) reports. `scald-serve`
+/// keys its session pool on it: clients opening equal designs share one
+/// [`EvalCache`] and can reuse each other's settled sessions.
+#[must_use]
+pub fn design_hash(netlist: &Netlist, cases: &[Case]) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", netlist.config()).hash(&mut h);
+    // index_* are BTreeMaps: name order, never per-process hash order.
+    // Duplicate-named primitives are excluded from the index, so fold in
+    // the raw counts to distinguish designs that differ only there.
+    netlist.signals().len().hash(&mut h);
+    netlist.prims().len().hash(&mut h);
+    for (name, &(_, sig_hash)) in &index_signals(netlist) {
+        name.hash(&mut h);
+        sig_hash.hash(&mut h);
+    }
+    for (name, &(_, prim_hash)) in &index_prims(netlist) {
+        name.hash(&mut h);
+        prim_hash.hash(&mut h);
+    }
+    cases.len().hash(&mut h);
+    for case in cases {
+        case.label().hash(&mut h);
+        for (signal, value) in case.assignments() {
+            signal.hash(&mut h);
+            value.hash(&mut h);
+        }
+    }
+    h.finish()
 }
 
 /// Content hash of a signal: everything that feeds the verifier's init

@@ -7,7 +7,7 @@
 //! swaps, applied in sequence so later edits see earlier ones.
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_incr::{Case, Delta, DeltaConn, NetlistDelta, PrimSpec, Session};
+use scald_incr::{Case, Delta, DeltaConn, DesignInput, NetlistDelta, PrimSpec, Session};
 use scald_netlist::{Netlist, PrimKind};
 use scald_rng::Rng;
 use scald_verifier::{RunOptions, Verifier};
@@ -109,8 +109,8 @@ fn warm_apply_matches_cold_run_over_seeded_edit_scripts() {
         let mut rng = Rng::seed_from_u64(0x5eed_0000 + design as u64);
         let mut current = netlist.clone();
         let mut cases = vec![Case::new()];
-        let mut session =
-            Session::from_netlist(netlist, cases.clone(), "prop").expect("opens cold");
+        let mut session = Session::open(DesignInput::netlist(netlist, cases.clone()), "prop")
+            .expect("opens cold");
         assert!(!session.outcome().stats.warm, "initial open is cold");
         assert_eq!(
             session.report().strip_effort().to_json(),
@@ -163,7 +163,8 @@ fn single_retime_touches_a_small_cone() {
         .expect("generated design has datapath slices")
         .name
         .clone();
-    let mut session = Session::from_netlist(netlist, vec![Case::new()], "cone").expect("opens");
+    let mut session =
+        Session::open(DesignInput::netlist(netlist, vec![Case::new()]), "cone").expect("opens");
     let cold_events = session.outcome().stats.events;
 
     let mut d = NetlistDelta::new();
@@ -186,8 +187,11 @@ fn single_retime_touches_a_small_cone() {
 #[test]
 fn identical_source_reapply_is_all_clean() {
     let (netlist, _) = s1_like_netlist(S1Options { chips: 20, seed: 7 });
-    let mut session =
-        Session::from_netlist(netlist.clone(), vec![Case::new()], "noop").expect("opens");
+    let mut session = Session::open(
+        DesignInput::netlist(netlist.clone(), vec![Case::new()]),
+        "noop",
+    )
+    .expect("opens");
     let outcome = session
         .apply(Delta::Netlist(NetlistDelta::new()))
         .expect("empty delta applies");

@@ -1,0 +1,661 @@
+//! The daemon: accept loop, per-connection protocol handling, the
+//! jobs-budget ledger, per-request timeouts, and graceful shutdown.
+//!
+//! One [`serve`] call owns everything: a [`SessionPool`] shared by all
+//! connections, a [`JobsLedger`] splitting the single `--jobs` budget
+//! across whatever is verifying right now, and the listener(s). Each
+//! connection is one thread; each potentially-slow request (`open`,
+//! `apply-delta`, `run`) runs on a worker thread the connection waits on
+//! with a deadline, so a pathological design can time out one request
+//! without wedging the connection — the orphaned verification finishes
+//! in the background and its session rejoins the pool.
+
+use crate::pool::{CheckoutInfo, PooledSession, SessionPool};
+use crate::proto::{
+    CacheDelta, DaemonStats, DeltaSpec, ErrorKind, Frame, Hello, Request, Response, RunSummary,
+    PROTO_VERSION,
+};
+use crate::tap::SharedWriter;
+use scald_incr::{compile_source, Delta, SessionError, SessionOutcome};
+use scald_verifier::{Case, EvalCacheStats};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How the daemon listens and how it spends effort.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind a Unix socket here (the path must not already exist; it is
+    /// unlinked on clean shutdown).
+    pub socket: Option<PathBuf>,
+    /// Speak the protocol on stdin/stdout as one implicit connection;
+    /// its EOF begins graceful shutdown.
+    pub stdio: bool,
+    /// Daemon-wide verification worker budget, split across concurrent
+    /// requests (`0` = available parallelism).
+    pub jobs: usize,
+    /// Deadline for `open` / `apply-delta` / `run`. A request that
+    /// exceeds it gets an [`ErrorKind::Timeout`] response; its session
+    /// is evicted from the connection and returns to the pool when the
+    /// background verification finishes.
+    pub request_timeout: Duration,
+    /// `false` disables the shared evaluation cache (`--no-eval-cache`).
+    pub eval_cache: bool,
+    /// Settled sessions kept idle per design hash.
+    pub idle_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            socket: None,
+            stdio: false,
+            jobs: 0,
+            request_timeout: Duration::from_secs(30),
+            eval_cache: true,
+            idle_cap: 4,
+        }
+    }
+}
+
+/// Splits one daemon-wide worker budget across concurrent requests: a
+/// lease taken while `n` requests are active gets `max(1, total / n)`
+/// workers. Deliberately simple — shares are computed at acquisition and
+/// not rebalanced mid-run, so a request's worker count is stable for its
+/// whole verification.
+pub struct JobsLedger {
+    total: usize,
+    active: AtomicUsize,
+}
+
+impl JobsLedger {
+    /// A ledger over `total` workers (`0` = available parallelism).
+    #[must_use]
+    pub fn new(total: usize) -> JobsLedger {
+        let total = if total == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            total
+        };
+        JobsLedger {
+            total,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// The daemon-wide budget.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Takes a share for one request; released when the lease drops.
+    #[must_use]
+    pub fn lease(self: &Arc<JobsLedger>) -> JobsLease {
+        let active = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        JobsLease {
+            ledger: Arc::clone(self),
+            share: (self.total / active).max(1),
+        }
+    }
+}
+
+/// One request's slice of the jobs budget (RAII).
+pub struct JobsLease {
+    ledger: Arc<JobsLedger>,
+    share: usize,
+}
+
+impl JobsLease {
+    /// The worker count this request may use.
+    #[must_use]
+    pub fn share(&self) -> usize {
+        self.share
+    }
+}
+
+impl Drop for JobsLease {
+    fn drop(&mut self) {
+        self.ledger.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// State shared by every connection of one [`serve`] call.
+struct Shared {
+    pool: SessionPool,
+    jobs: Arc<JobsLedger>,
+    timeout: Duration,
+    shutting_down: AtomicBool,
+    connections: AtomicUsize,
+    active_runs: AtomicUsize,
+}
+
+impl Shared {
+    fn new(opts: &ServeOptions) -> Arc<Shared> {
+        Arc::new(Shared {
+            pool: SessionPool::new(opts.idle_cap, opts.eval_cache),
+            jobs: Arc::new(JobsLedger::new(opts.jobs)),
+            timeout: opts.request_timeout,
+            shutting_down: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            active_runs: AtomicUsize::new(0),
+        })
+    }
+
+    fn hello(&self) -> Hello {
+        Hello {
+            proto: PROTO_VERSION,
+            server: concat!("scald-serve/", env!("CARGO_PKG_VERSION")).to_owned(),
+            jobs: self.jobs.total() as u64,
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+            && self.connections.load(Ordering::Acquire) == 0
+            && self.active_runs.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Runs the daemon until graceful shutdown completes: a `shutdown`
+/// request (or EOF on a `stdio` connection) stops new opens, in-flight
+/// work drains, and `serve` returns once no connection or background run
+/// remains. At least one of `socket` / `stdio` must be requested.
+///
+/// # Errors
+///
+/// Binding or accepting on the socket, or (in `stdio` mode) writing the
+/// handshake.
+pub fn serve(opts: &ServeOptions) -> io::Result<()> {
+    if opts.socket.is_none() && !opts.stdio {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "serve needs a socket path, stdio mode, or both",
+        ));
+    }
+    let shared = Shared::new(opts);
+
+    let mut socket_thread = None;
+    if let Some(path) = &opts.socket {
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&shared);
+        socket_thread = Some(thread::spawn(move || accept_loop(&listener, &shared)));
+    }
+
+    if opts.stdio {
+        let shared_stdio = Arc::clone(&shared);
+        shared_stdio.connections.fetch_add(1, Ordering::AcqRel);
+        handle_connection(io::stdin().lock(), Box::new(io::stdout()), &shared_stdio)?;
+        shared_stdio.connections.fetch_sub(1, Ordering::AcqRel);
+        // The controlling client hung up: begin the drain so `serve`
+        // (and the daemon process) can exit.
+        shared_stdio.shutting_down.store(true, Ordering::Release);
+    }
+
+    while !shared.drained() {
+        thread::sleep(Duration::from_millis(25));
+    }
+    if let Some(handle) = socket_thread {
+        handle.join().expect("accept loop panicked");
+    }
+    if let Some(path) = &opts.socket {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// Accepts until shutdown, handing each connection its own thread.
+fn accept_loop(listener: &UnixListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                shared.connections.fetch_add(1, Ordering::AcqRel);
+                thread::spawn(move || {
+                    let _ = connection_on_stream(stream, &shared);
+                    shared.connections.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn connection_on_stream(stream: UnixStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let reader = stream.try_clone()?;
+    handle_connection(BufReader::new(reader), Box::new(stream), shared)
+}
+
+/// One session checked out to a connection, under the name the client
+/// knows it by.
+struct ConnState {
+    sessions: BTreeMap<String, PooledSession>,
+    next_session: u64,
+}
+
+/// The protocol loop for one client: handshake, then one strict JSONL
+/// request per line. Malformed frames get a structured parse error and
+/// the connection lives on; only EOF (or an unterminated final line,
+/// i.e. a client that died mid-write) ends it. Any session still checked
+/// out at the end returns to the pool.
+fn handle_connection(
+    mut reader: impl BufRead,
+    writer: Box<dyn Write + Send>,
+    shared: &Arc<Shared>,
+) -> io::Result<()> {
+    let writer: SharedWriter = Arc::new(Mutex::new(writer));
+    write_frame(&writer, &Frame::Hello(shared.hello()))?;
+
+    let mut conn = ConnState {
+        sessions: BTreeMap::new(),
+        next_session: 1,
+    };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break; // clean EOF
+        }
+        if !line.ends_with('\n') {
+            // The client vanished mid-frame; the fragment was never a
+            // complete request, so it must not be processed.
+            break;
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let request = match scald_trace::json::parse(text) {
+            Err(e) => {
+                let resp = Response::Error {
+                    id: None,
+                    kind: ErrorKind::Parse,
+                    message: format!("malformed JSON: {e}"),
+                };
+                write_frame(&writer, &Frame::Response(resp))?;
+                continue;
+            }
+            Ok(json) => match Request::parse(&json) {
+                Err(e) => {
+                    let resp = Response::Error {
+                        id: crate::proto::recover_id(&json),
+                        kind: ErrorKind::Parse,
+                        message: e.to_string(),
+                    };
+                    write_frame(&writer, &Frame::Response(resp))?;
+                    continue;
+                }
+                Ok(request) => request,
+            },
+        };
+        let response = dispatch(request, &mut conn, &writer, shared);
+        write_frame(&writer, &Frame::Response(response))?;
+    }
+
+    // Disconnect (clean or torn): park every remaining session.
+    for (_, pooled) in std::mem::take(&mut conn.sessions) {
+        shared.pool.checkin(pooled);
+    }
+    Ok(())
+}
+
+fn write_frame(writer: &SharedWriter, frame: &Frame) -> io::Result<()> {
+    let line = frame.to_json().to_string();
+    let mut w = writer.lock().expect("connection writer poisoned");
+    writeln!(w, "{line}")?;
+    w.flush()
+}
+
+fn dispatch(
+    request: Request,
+    conn: &mut ConnState,
+    writer: &SharedWriter,
+    shared: &Arc<Shared>,
+) -> Response {
+    match request {
+        Request::Open { id, source, label } => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                return Response::Error {
+                    id: Some(id),
+                    kind: ErrorKind::ShuttingDown,
+                    message: "daemon is draining; new opens are rejected".into(),
+                };
+            }
+            let label = label.unwrap_or_else(|| "<unnamed>".to_owned());
+            do_open(id, source, label, conn, shared)
+        }
+        Request::ApplyDelta { id, session, delta } => {
+            let Some(pooled) = conn.sessions.remove(&session) else {
+                return unknown_session(id, &session);
+            };
+            do_verify_op(id, session, pooled, VerifyOp::Apply(delta), conn, shared)
+        }
+        Request::Run { id, session } => {
+            let Some(pooled) = conn.sessions.remove(&session) else {
+                return unknown_session(id, &session);
+            };
+            do_verify_op(id, session, pooled, VerifyOp::Reverify, conn, shared)
+        }
+        Request::Report {
+            id,
+            session,
+            effort,
+        } => {
+            let Some(pooled) = conn.sessions.get(&session) else {
+                return unknown_session(id, &session);
+            };
+            let report = pooled.session.report();
+            let doc = if effort {
+                report.json_value()
+            } else {
+                report.strip_effort().json_value()
+            };
+            Response::Report {
+                id,
+                report: doc,
+                effort,
+            }
+        }
+        Request::SubscribeTrace { id, session, mode } => {
+            let Some(pooled) = conn.sessions.get(&session) else {
+                return unknown_session(id, &session);
+            };
+            pooled.tap.subscribe(mode, session, Arc::clone(writer));
+            Response::Subscribed { id, mode }
+        }
+        Request::Close { id, session } => {
+            let Some(pooled) = conn.sessions.remove(&session) else {
+                return unknown_session(id, &session);
+            };
+            let pooled = shared.pool.checkin(pooled);
+            Response::Closed { id, pooled }
+        }
+        Request::Stats { id } => Response::Stats {
+            id,
+            stats: DaemonStats {
+                connections: shared.connections.load(Ordering::Acquire) as u64,
+                active_runs: shared.active_runs.load(Ordering::Acquire) as u64,
+                jobs_total: shared.jobs.total() as u64,
+                shutting_down: shared.shutting_down.load(Ordering::Acquire),
+                designs: shared.pool.stats(),
+            },
+        },
+        Request::Shutdown { id } => {
+            shared.shutting_down.store(true, Ordering::Release);
+            Response::ShuttingDown { id }
+        }
+    }
+}
+
+fn unknown_session(id: u64, session: &str) -> Response {
+    Response::Error {
+        id: Some(id),
+        kind: ErrorKind::UnknownSession,
+        message: format!("no session {session:?} on this connection"),
+    }
+}
+
+/// Decrements a counter when dropped, whatever path the worker exits by.
+struct RunGuard(Arc<Shared>);
+
+impl Drop for RunGuard {
+    fn drop(&mut self) {
+        self.0.active_runs.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// `open`: compile inline (cheap, bounded by source size), then check
+/// out / verify on a worker thread under the request deadline.
+fn do_open(
+    id: u64,
+    source: String,
+    label: String,
+    conn: &mut ConnState,
+    shared: &Arc<Shared>,
+) -> Response {
+    let (netlist, cases) = match compile_source(&source) {
+        Ok(pair) => pair,
+        Err(e) => return session_error(id, &e),
+    };
+
+    let worker_shared = Arc::clone(shared);
+    shared.active_runs.fetch_add(1, Ordering::AcqRel);
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _guard = RunGuard(Arc::clone(&worker_shared));
+        let lease = worker_shared.jobs.lease();
+        let result = worker_shared
+            .pool
+            .checkout(netlist, cases, &label, Some(lease.share()));
+        let _ = tx.send(result);
+    });
+
+    match rx.recv_timeout(shared.timeout) {
+        Ok(Ok((pooled, info))) => {
+            let name = format!("s{}", conn.next_session);
+            conn.next_session += 1;
+            let summary = open_summary(&pooled, &info);
+            let response = Response::Opened {
+                id,
+                session: name.clone(),
+                design_hash: format!("{:016x}", info.design_hash),
+                reused_session: info.reused_session,
+                shared_cache: info.shared_cache,
+                summary,
+            };
+            conn.sessions.insert(name, pooled);
+            response
+        }
+        Ok(Err(e)) => session_error(id, &e),
+        Err(_) => {
+            reap_checkout(rx, Arc::clone(shared));
+            timeout_error(id, shared.timeout)
+        }
+    }
+}
+
+/// The deadline-guarded mutating ops: the session moves to the worker;
+/// on success (or a failed-but-harmless delta) it comes back to the
+/// connection, on timeout the reaper parks it in the pool instead.
+enum VerifyOp {
+    Apply(DeltaSpec),
+    Reverify,
+}
+
+fn do_verify_op(
+    id: u64,
+    name: String,
+    mut pooled: PooledSession,
+    op: VerifyOp,
+    conn: &mut ConnState,
+    shared: &Arc<Shared>,
+) -> Response {
+    let kind = match &op {
+        VerifyOp::Apply(_) => OpKind::Applied,
+        VerifyOp::Reverify => OpKind::Ran,
+    };
+    let worker_shared = Arc::clone(shared);
+    shared.active_runs.fetch_add(1, Ordering::AcqRel);
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _guard = RunGuard(Arc::clone(&worker_shared));
+        let lease = worker_shared.jobs.lease();
+        pooled.session.set_jobs(Some(lease.share()));
+        let before = pooled.session.cache_stats();
+        let result = match op {
+            VerifyOp::Apply(DeltaSpec::Source(src)) => pooled.session.apply(Delta::Source(src)),
+            VerifyOp::Apply(DeltaSpec::Cases(cases)) => pooled
+                .session
+                .apply(Delta::Cases(cases.into_iter().map(build_case).collect())),
+            VerifyOp::Reverify => pooled.session.reverify(),
+        };
+        let delta = cache_delta(before, pooled.session.cache_stats());
+        let _ = tx.send((pooled, result, delta));
+    });
+
+    match rx.recv_timeout(shared.timeout) {
+        Ok((pooled, result, delta)) => {
+            // Even a failed apply leaves the session valid at its prior
+            // state, so it always returns to the connection here.
+            let response = match &result {
+                Ok(outcome) => {
+                    let summary = outcome_summary(outcome, delta);
+                    match kind {
+                        OpKind::Applied => Response::Applied { id, summary },
+                        OpKind::Ran => Response::Ran { id, summary },
+                    }
+                }
+                Err(e) => session_error(id, e),
+            };
+            conn.sessions.insert(name, pooled);
+            response
+        }
+        Err(_) => {
+            reap_verify(rx, Arc::clone(shared));
+            timeout_error(id, shared.timeout)
+        }
+    }
+}
+
+/// Which success variant a verify op maps to, captured before the op
+/// moves to its worker thread.
+enum OpKind {
+    Applied,
+    Ran,
+}
+
+/// Collects a timed-out `open` in the background: when the checkout
+/// finally finishes, its session goes straight to the pool so the work
+/// is not wasted.
+fn reap_checkout(
+    rx: mpsc::Receiver<Result<(PooledSession, CheckoutInfo), SessionError>>,
+    shared: Arc<Shared>,
+) {
+    thread::spawn(move || {
+        if let Ok(Ok((pooled, _))) = rx.recv() {
+            shared.pool.checkin(pooled);
+        }
+    });
+}
+
+/// Collects a timed-out `apply-delta` / `run` in the background.
+fn reap_verify(
+    rx: mpsc::Receiver<(
+        PooledSession,
+        Result<SessionOutcome, SessionError>,
+        Option<CacheDelta>,
+    )>,
+    shared: Arc<Shared>,
+) {
+    thread::spawn(move || {
+        if let Ok((pooled, _, _)) = rx.recv() {
+            shared.pool.checkin(pooled);
+        }
+    });
+}
+
+fn build_case(assigns: Vec<(String, bool)>) -> Case {
+    assigns
+        .into_iter()
+        .fold(Case::new(), |c, (signal, value)| c.assign(signal, value))
+}
+
+fn cache_delta(
+    before: Option<EvalCacheStats>,
+    after: Option<EvalCacheStats>,
+) -> Option<CacheDelta> {
+    let (before, after) = (before?, after?);
+    let moved = after.since(&before);
+    Some(CacheDelta {
+        hits: moved.hits,
+        misses: moved.misses,
+        entries: moved.entries as u64,
+    })
+}
+
+/// The summary of a fresh or reused open. A pooled reuse ran nothing, so
+/// every effort counter is zero and `warm` is `true`; outcome fields
+/// come from the retained report.
+fn open_summary(pooled: &PooledSession, info: &CheckoutInfo) -> RunSummary {
+    if info.reused_session {
+        let report = pooled.session.report();
+        RunSummary {
+            clean: report.is_clean(),
+            violations: report.total_violations() as u64,
+            warm: true,
+            seeded_prims: 0,
+            total_prims: pooled.session.netlist().prims().len() as u64,
+            events: 0,
+            evaluations: 0,
+            wall_ns: 0,
+            cache: pooled.session.cache_stats().map(|s| CacheDelta {
+                hits: 0,
+                misses: 0,
+                entries: s.entries as u64,
+            }),
+        }
+    } else {
+        let outcome = pooled.session.outcome();
+        let cache = pooled.session.cache_stats().map(|s| CacheDelta {
+            // An open is this session's first traffic on the shared
+            // table, so the absolute counters over-attribute only under
+            // concurrent opens of the same design.
+            hits: s.hits,
+            misses: s.misses,
+            entries: s.entries as u64,
+        });
+        outcome_summary(outcome, cache)
+    }
+}
+
+fn outcome_summary(outcome: &SessionOutcome, cache: Option<CacheDelta>) -> RunSummary {
+    RunSummary {
+        clean: outcome.report.is_clean(),
+        violations: outcome.report.total_violations() as u64,
+        warm: outcome.stats.warm,
+        seeded_prims: outcome.stats.seeded_prims as u64,
+        total_prims: outcome.stats.total_prims as u64,
+        events: outcome.stats.events,
+        evaluations: outcome.stats.evaluations,
+        wall_ns: outcome.stats.wall.as_nanos() as u64,
+        cache,
+    }
+}
+
+fn session_error(id: u64, e: &SessionError) -> Response {
+    let kind = match e {
+        SessionError::Compile(_) => ErrorKind::Compile,
+        SessionError::Delta(_) => ErrorKind::Delta,
+        SessionError::Verify(_) => ErrorKind::Verify,
+    };
+    Response::Error {
+        id: Some(id),
+        kind,
+        message: e.to_string(),
+    }
+}
+
+fn timeout_error(id: u64, timeout: Duration) -> Response {
+    Response::Error {
+        id: Some(id),
+        kind: ErrorKind::Timeout,
+        message: format!(
+            "request exceeded the {}ms deadline; the session was evicted and will \
+             rejoin the pool when its verification completes",
+            timeout.as_millis()
+        ),
+    }
+}

@@ -1,0 +1,1294 @@
+//! Protocol v1 of `scald-serve`, as real types.
+//!
+//! The wire format is line-oriented JSONL over stdio or a Unix socket:
+//! every frame is one JSON object on one line, built and parsed with the
+//! workspace's serde-free [`Json`] toolkit. The server opens each
+//! connection with a [`Hello`] frame carrying the version handshake
+//! (`"scald-serve-proto": 1`); after that the client sends [`Request`]
+//! frames and the server answers each with exactly one [`Response`]
+//! frame, interleaved with zero or more [`Frame::Trace`] frames for
+//! sessions with an active trace subscription.
+//!
+//! # Frame shapes
+//!
+//! ```text
+//! server -> client on connect:
+//!   {"frame":"hello","scald-serve-proto":1,"server":"scald-serve/0.1.0","jobs":4}
+//!
+//! client -> server (one per line; "id" is the client's correlation tag):
+//!   {"id":1,"cmd":"open","source":"design D; ...","label":"demo"}
+//!   {"id":2,"cmd":"run","session":"s1"}
+//!   {"id":3,"cmd":"report","session":"s1"}            // + optional "effort":true
+//!   {"id":4,"cmd":"apply-delta","session":"s1","delta":{"kind":"source","source":"..."}}
+//!   {"id":5,"cmd":"apply-delta","session":"s1","delta":{"kind":"cases","cases":[{"CTL 0":true}]}}
+//!   {"id":6,"cmd":"subscribe-trace","session":"s1","mode":"coarse"}
+//!   {"id":7,"cmd":"close","session":"s1"}
+//!   {"id":8,"cmd":"stats"}
+//!   {"id":9,"cmd":"shutdown"}
+//!
+//! server -> client, one per request:
+//!   {"frame":"response","id":1,"ok":true,"cmd":"open","result":{...}}
+//!   {"frame":"response","id":1,"ok":false,"error":{"kind":"parse","message":"..."}}
+//!
+//! server -> client, streamed while a subscribed session verifies:
+//!   {"frame":"trace","session":"s1","event":{"type":"run_start",...}}
+//! ```
+//!
+//! Parsing is **strict**: unknown commands, unknown fields, missing
+//! fields and wrong types are all [`ProtoError`]s. The daemon turns any
+//! such error into an `ok:false` response (echoing the `id` when one
+//! could be recovered) and keeps the connection alive — a malformed
+//! frame never tears down the session state behind it.
+
+use scald_trace::json::Json;
+use std::fmt;
+
+/// Protocol version spoken by this build. Bumped only on breaking
+/// changes; additive result fields do not bump it.
+pub const PROTO_VERSION: u64 = 1;
+/// The handshake key carrying [`PROTO_VERSION`] in the hello frame.
+pub const PROTO_KEY: &str = "scald-serve-proto";
+
+/// A protocol-level parse failure: what was wrong with the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ProtoError> {
+    Err(ProtoError(msg.into()))
+}
+
+/// The server's first frame on every connection: the version handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version ([`PROTO_VERSION`] for this build).
+    pub proto: u64,
+    /// Server name/version string, informational.
+    pub server: String,
+    /// The daemon-wide worker budget requests are multiplexed over.
+    pub jobs: u64,
+}
+
+impl Hello {
+    /// The hello frame as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("frame".into(), Json::str("hello")),
+            (PROTO_KEY.into(), Json::from(self.proto)),
+            ("server".into(), Json::str(&self.server)),
+            ("jobs".into(), Json::from(self.jobs)),
+        ])
+    }
+
+    /// Parses a hello frame, checking the version key is present.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] if the frame is not a hello or lacks the handshake.
+    pub fn parse(json: &Json) -> Result<Hello, ProtoError> {
+        let fields = Fields::of(json, &["frame", PROTO_KEY, "server", "jobs"])?;
+        if fields.req_str("frame")? != "hello" {
+            return err("expected a hello frame");
+        }
+        Ok(Hello {
+            proto: fields.req_u64(PROTO_KEY)?,
+            server: fields.req_str("server")?.to_owned(),
+            jobs: fields.req_u64("jobs")?,
+        })
+    }
+}
+
+/// How much of the engine's trace stream a subscription forwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No trace frames (the default for every session).
+    #[default]
+    Off,
+    /// Run/case/wave/warm-start/cache milestones only — bounded by the
+    /// number of settle levels, not the number of evaluations.
+    Coarse,
+    /// Every engine event, including per-evaluation and per-signal ones.
+    Full,
+}
+
+impl TraceMode {
+    /// The wire token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Coarse => "coarse",
+            TraceMode::Full => "full",
+        }
+    }
+
+    fn parse(s: &str) -> Result<TraceMode, ProtoError> {
+        match s {
+            "off" => Ok(TraceMode::Off),
+            "coarse" => Ok(TraceMode::Coarse),
+            "full" => Ok(TraceMode::Full),
+            other => err(format!("unknown trace mode {other:?}")),
+        }
+    }
+}
+
+/// A design edit carried by `apply-delta`. Protocol v1 ships whole-text
+/// and case-set deltas; the session diffs hashes server-side either way,
+/// so a source swap that touches one macro still re-verifies warm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaSpec {
+    /// Replace the whole design from HDL source (case blocks included).
+    Source(String),
+    /// Replace the case set; the netlist carries over.
+    Cases(Vec<Vec<(String, bool)>>),
+}
+
+impl DeltaSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            DeltaSpec::Source(src) => Json::Obj(vec![
+                ("kind".into(), Json::str("source")),
+                ("source".into(), Json::str(src)),
+            ]),
+            DeltaSpec::Cases(cases) => Json::Obj(vec![
+                ("kind".into(), Json::str("cases")),
+                ("cases".into(), cases_to_json(cases)),
+            ]),
+        }
+    }
+
+    fn parse(json: &Json) -> Result<DeltaSpec, ProtoError> {
+        let kind_fields = Fields::of(json, &["kind", "source", "cases"])?;
+        match kind_fields.req_str("kind")? {
+            "source" => {
+                let fields = Fields::of(json, &["kind", "source"])?;
+                Ok(DeltaSpec::Source(fields.req_str("source")?.to_owned()))
+            }
+            "cases" => {
+                let fields = Fields::of(json, &["kind", "cases"])?;
+                Ok(DeltaSpec::Cases(parse_cases(fields.req("cases")?)?))
+            }
+            other => err(format!("unknown delta kind {other:?}")),
+        }
+    }
+}
+
+fn cases_to_json(cases: &[Vec<(String, bool)>]) -> Json {
+    Json::Arr(
+        cases
+            .iter()
+            .map(|assigns| {
+                Json::Obj(
+                    assigns
+                        .iter()
+                        .map(|(signal, value)| (signal.clone(), Json::from(*value)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn parse_cases(json: &Json) -> Result<Vec<Vec<(String, bool)>>, ProtoError> {
+    let Some(items) = json.as_array() else {
+        return err("\"cases\" must be an array of objects");
+    };
+    items
+        .iter()
+        .map(|case| {
+            let Some(assigns) = case.as_object() else {
+                return err("each case must be an object of signal: bool assignments");
+            };
+            assigns
+                .iter()
+                .map(|(signal, value)| match value.as_bool() {
+                    Some(v) => Ok((signal.clone(), v)),
+                    None => err(format!("case assignment {signal:?} must be a boolean")),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One client request. Every variant carries the client-chosen `id`
+/// echoed on the matching [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open (or reuse from the pool) a session on HDL source text.
+    Open {
+        /// Correlation tag.
+        id: u64,
+        /// The design, as SCALD-style HDL source.
+        source: String,
+        /// Report label; defaults to `"<unnamed>"`.
+        label: Option<String>,
+    },
+    /// Apply an edit to a session and re-verify (warm when possible).
+    ApplyDelta {
+        /// Correlation tag.
+        id: u64,
+        /// Session name from a prior `open` response.
+        session: String,
+        /// The edit.
+        delta: DeltaSpec,
+    },
+    /// Re-verify a session's current design as-is.
+    Run {
+        /// Correlation tag.
+        id: u64,
+        /// Session name.
+        session: String,
+    },
+    /// Fetch the session's current `scald-tv-report` v1 document.
+    Report {
+        /// Correlation tag.
+        id: u64,
+        /// Session name.
+        session: String,
+        /// `false` (default): the effort-stripped, byte-deterministic
+        /// document. `true`: include effort counters (events, wall
+        /// clock, cache stats), which vary run to run.
+        effort: bool,
+    },
+    /// Set the session's trace-forwarding mode for this connection.
+    SubscribeTrace {
+        /// Correlation tag.
+        id: u64,
+        /// Session name.
+        session: String,
+        /// Forwarding level.
+        mode: TraceMode,
+    },
+    /// Close a session, returning it to the shared pool.
+    Close {
+        /// Correlation tag.
+        id: u64,
+        /// Session name.
+        session: String,
+    },
+    /// Daemon-wide statistics: pool contents, cache counters, budgets.
+    Stats {
+        /// Correlation tag.
+        id: u64,
+    },
+    /// Begin graceful shutdown: drain in-flight work, reject new opens.
+    Shutdown {
+        /// Correlation tag.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request's correlation id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            Request::Open { id, .. }
+            | Request::ApplyDelta { id, .. }
+            | Request::Run { id, .. }
+            | Request::Report { id, .. }
+            | Request::SubscribeTrace { id, .. }
+            | Request::Close { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => id,
+        }
+    }
+
+    /// The wire command token.
+    #[must_use]
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::ApplyDelta { .. } => "apply-delta",
+            Request::Run { .. } => "run",
+            Request::Report { .. } => "report",
+            Request::SubscribeTrace { .. } => "subscribe-trace",
+            Request::Close { .. } => "close",
+            Request::Stats { .. } => "stats",
+            Request::Shutdown { .. } => "shutdown",
+        }
+    }
+
+    /// The request as a JSON frame.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("id".to_owned(), Json::from(self.id())),
+            ("cmd".to_owned(), Json::str(self.cmd())),
+        ];
+        match self {
+            Request::Open { source, label, .. } => {
+                obj.push(("source".into(), Json::str(source)));
+                if let Some(label) = label {
+                    obj.push(("label".into(), Json::str(label)));
+                }
+            }
+            Request::ApplyDelta { session, delta, .. } => {
+                obj.push(("session".into(), Json::str(session)));
+                obj.push(("delta".into(), delta.to_json()));
+            }
+            Request::Run { session, .. } | Request::Close { session, .. } => {
+                obj.push(("session".into(), Json::str(session)));
+            }
+            Request::Report {
+                session, effort, ..
+            } => {
+                obj.push(("session".into(), Json::str(session)));
+                if *effort {
+                    obj.push(("effort".into(), Json::from(true)));
+                }
+            }
+            Request::SubscribeTrace { session, mode, .. } => {
+                obj.push(("session".into(), Json::str(session)));
+                obj.push(("mode".into(), Json::str(mode.token())));
+            }
+            Request::Stats { .. } | Request::Shutdown { .. } => {}
+        }
+        Json::Obj(obj)
+    }
+
+    /// Strictly parses a request frame: the `cmd` must be known, every
+    /// required field present and well-typed, and no unknown fields.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtoError`] naming the first problem.
+    pub fn parse(json: &Json) -> Result<Request, ProtoError> {
+        // First pass with every field any command accepts, to name the
+        // command; the per-command pass then rejects fields that do not
+        // belong to *that* command.
+        let all = Fields::of(
+            json,
+            &[
+                "id", "cmd", "source", "label", "session", "delta", "mode", "effort",
+            ],
+        )?;
+        let id = all.req_u64("id")?;
+        let cmd = all.req_str("cmd")?;
+        match cmd {
+            "open" => {
+                let f = Fields::of(json, &["id", "cmd", "source", "label"])?;
+                Ok(Request::Open {
+                    id,
+                    source: f.req_str("source")?.to_owned(),
+                    label: f.opt_str("label")?.map(str::to_owned),
+                })
+            }
+            "apply-delta" => {
+                let f = Fields::of(json, &["id", "cmd", "session", "delta"])?;
+                Ok(Request::ApplyDelta {
+                    id,
+                    session: f.req_str("session")?.to_owned(),
+                    delta: DeltaSpec::parse(f.req("delta")?)?,
+                })
+            }
+            "run" => {
+                let f = Fields::of(json, &["id", "cmd", "session"])?;
+                Ok(Request::Run {
+                    id,
+                    session: f.req_str("session")?.to_owned(),
+                })
+            }
+            "report" => {
+                let f = Fields::of(json, &["id", "cmd", "session", "effort"])?;
+                Ok(Request::Report {
+                    id,
+                    session: f.req_str("session")?.to_owned(),
+                    effort: f.opt_bool("effort")?.unwrap_or(false),
+                })
+            }
+            "subscribe-trace" => {
+                let f = Fields::of(json, &["id", "cmd", "session", "mode"])?;
+                Ok(Request::SubscribeTrace {
+                    id,
+                    session: f.req_str("session")?.to_owned(),
+                    mode: match f.opt_str("mode")? {
+                        Some(tok) => TraceMode::parse(tok)?,
+                        None => TraceMode::Coarse,
+                    },
+                })
+            }
+            "close" => {
+                let f = Fields::of(json, &["id", "cmd", "session"])?;
+                Ok(Request::Close {
+                    id,
+                    session: f.req_str("session")?.to_owned(),
+                })
+            }
+            "stats" => {
+                Fields::of(json, &["id", "cmd"])?;
+                Ok(Request::Stats { id })
+            }
+            "shutdown" => {
+                Fields::of(json, &["id", "cmd"])?;
+                Ok(Request::Shutdown { id })
+            }
+            other => err(format!("unknown cmd {other:?}")),
+        }
+    }
+}
+
+/// Machine-readable error category on an `ok:false` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame failed to parse (malformed JSON, unknown cmd/field,
+    /// missing field, wrong type). The connection stays alive.
+    Parse,
+    /// The named session does not exist on this connection (never
+    /// opened, already closed, or evicted by a timeout).
+    UnknownSession,
+    /// HDL source failed to compile.
+    Compile,
+    /// A delta failed to apply.
+    Delta,
+    /// Verification failed (oscillation budget, unknown case signal).
+    Verify,
+    /// The request exceeded the per-request timeout. The session handle
+    /// is evicted; the underlying run completes in the background and
+    /// its session returns to the shared pool.
+    Timeout,
+    /// The daemon is draining: new `open` requests are rejected.
+    ShuttingDown,
+    /// Anything else (I/O, internal invariants).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::UnknownSession => "unknown-session",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Delta => "delta",
+            ErrorKind::Verify => "verify",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn parse(s: &str) -> Result<ErrorKind, ProtoError> {
+        Ok(match s {
+            "parse" => ErrorKind::Parse,
+            "unknown-session" => ErrorKind::UnknownSession,
+            "compile" => ErrorKind::Compile,
+            "delta" => ErrorKind::Delta,
+            "verify" => ErrorKind::Verify,
+            "timeout" => ErrorKind::Timeout,
+            "shutting-down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            other => return err(format!("unknown error kind {other:?}")),
+        })
+    }
+}
+
+/// Per-request verification effort, attached to `open` / `apply-delta` /
+/// `run` results. Everything here is *effort*, not outcome: two requests
+/// reaching the same fixed point may differ in all of it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// `true` when no case reported a violation.
+    pub clean: bool,
+    /// Total violations across all cases.
+    pub violations: u64,
+    /// `true` when the pass warm-started from a prior fixed point (or
+    /// was served straight from a pooled settled session).
+    pub warm: bool,
+    /// Primitives seeded into the worklist.
+    pub seeded_prims: u64,
+    /// Total primitives in the design.
+    pub total_prims: u64,
+    /// Signal-change events processed.
+    pub events: u64,
+    /// Primitive evaluations processed.
+    pub evaluations: u64,
+    /// Wall-clock nanoseconds of the verification (0 for a pooled reuse).
+    pub wall_ns: u64,
+    /// Evaluation-cache traffic attributed to this request: the shared
+    /// table's counter movement while it ran (approximate under
+    /// concurrency — other clients' traffic on the same design lands in
+    /// whichever request observes it). `None` when caching is disabled.
+    pub cache: Option<CacheDelta>,
+}
+
+/// Evaluation-cache counter movement over one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheDelta {
+    /// Evaluations served from the shared table.
+    pub hits: u64,
+    /// Evaluations that ran the kernels.
+    pub misses: u64,
+    /// Total entries in the table afterwards (absolute, not a delta).
+    pub entries: u64,
+}
+
+impl RunSummary {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("clean".into(), Json::from(self.clean)),
+            ("violations".into(), Json::from(self.violations)),
+            ("warm".into(), Json::from(self.warm)),
+            ("seeded_prims".into(), Json::from(self.seeded_prims)),
+            ("total_prims".into(), Json::from(self.total_prims)),
+            ("events".into(), Json::from(self.events)),
+            ("evaluations".into(), Json::from(self.evaluations)),
+            ("wall_ns".into(), Json::from(self.wall_ns)),
+            (
+                "cache".into(),
+                self.cache.map_or(Json::Null, |c| {
+                    Json::Obj(vec![
+                        ("hits".into(), Json::from(c.hits)),
+                        ("misses".into(), Json::from(c.misses)),
+                        ("entries".into(), Json::from(c.entries)),
+                    ])
+                }),
+            ),
+        ])
+    }
+
+    fn parse(json: &Json) -> Result<RunSummary, ProtoError> {
+        let f = Fields::of(
+            json,
+            &[
+                "clean",
+                "violations",
+                "warm",
+                "seeded_prims",
+                "total_prims",
+                "events",
+                "evaluations",
+                "wall_ns",
+                "cache",
+            ],
+        )?;
+        let cache = match f.req("cache")? {
+            Json::Null => None,
+            cache => {
+                let c = Fields::of(cache, &["hits", "misses", "entries"])?;
+                Some(CacheDelta {
+                    hits: c.req_u64("hits")?,
+                    misses: c.req_u64("misses")?,
+                    entries: c.req_u64("entries")?,
+                })
+            }
+        };
+        Ok(RunSummary {
+            clean: f.req_bool("clean")?,
+            violations: f.req_u64("violations")?,
+            warm: f.req_bool("warm")?,
+            seeded_prims: f.req_u64("seeded_prims")?,
+            total_prims: f.req_u64("total_prims")?,
+            events: f.req_u64("events")?,
+            evaluations: f.req_u64("evaluations")?,
+            wall_ns: f.req_u64("wall_ns")?,
+            cache,
+        })
+    }
+}
+
+/// Pool statistics for one design hash, inside [`DaemonStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignStats {
+    /// The pool key, as 16 hex digits.
+    pub design_hash: String,
+    /// Sessions opened on this design (cold builds + pooled reuses).
+    pub opens: u64,
+    /// Opens served by handing back a pooled settled session.
+    pub reuses: u64,
+    /// Settled sessions currently idle in the pool.
+    pub idle_sessions: u64,
+    /// Shared-cache hits across every client of this design.
+    pub cache_hits: u64,
+    /// Shared-cache misses across every client of this design.
+    pub cache_misses: u64,
+    /// Entries in the shared table.
+    pub cache_entries: u64,
+}
+
+/// Daemon-wide statistics returned by the `stats` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Live client connections.
+    pub connections: u64,
+    /// Requests currently verifying on worker threads.
+    pub active_runs: u64,
+    /// The daemon-wide `--jobs` budget.
+    pub jobs_total: u64,
+    /// `true` once graceful shutdown has begun.
+    pub shutting_down: bool,
+    /// Per-design pool/cache statistics, in hash order.
+    pub designs: Vec<DesignStats>,
+}
+
+impl DaemonStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("connections".into(), Json::from(self.connections)),
+            ("active_runs".into(), Json::from(self.active_runs)),
+            ("jobs_total".into(), Json::from(self.jobs_total)),
+            ("shutting_down".into(), Json::from(self.shutting_down)),
+            (
+                "designs".into(),
+                Json::Arr(
+                    self.designs
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("design_hash".into(), Json::str(&d.design_hash)),
+                                ("opens".into(), Json::from(d.opens)),
+                                ("reuses".into(), Json::from(d.reuses)),
+                                ("idle_sessions".into(), Json::from(d.idle_sessions)),
+                                ("cache_hits".into(), Json::from(d.cache_hits)),
+                                ("cache_misses".into(), Json::from(d.cache_misses)),
+                                ("cache_entries".into(), Json::from(d.cache_entries)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn parse(json: &Json) -> Result<DaemonStats, ProtoError> {
+        let f = Fields::of(
+            json,
+            &[
+                "connections",
+                "active_runs",
+                "jobs_total",
+                "shutting_down",
+                "designs",
+            ],
+        )?;
+        let Some(designs) = f.req("designs")?.as_array() else {
+            return err("\"designs\" must be an array");
+        };
+        let designs = designs
+            .iter()
+            .map(|d| {
+                let f = Fields::of(
+                    d,
+                    &[
+                        "design_hash",
+                        "opens",
+                        "reuses",
+                        "idle_sessions",
+                        "cache_hits",
+                        "cache_misses",
+                        "cache_entries",
+                    ],
+                )?;
+                Ok(DesignStats {
+                    design_hash: f.req_str("design_hash")?.to_owned(),
+                    opens: f.req_u64("opens")?,
+                    reuses: f.req_u64("reuses")?,
+                    idle_sessions: f.req_u64("idle_sessions")?,
+                    cache_hits: f.req_u64("cache_hits")?,
+                    cache_misses: f.req_u64("cache_misses")?,
+                    cache_entries: f.req_u64("cache_entries")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ProtoError>>()?;
+        Ok(DaemonStats {
+            connections: f.req_u64("connections")?,
+            active_runs: f.req_u64("active_runs")?,
+            jobs_total: f.req_u64("jobs_total")?,
+            shutting_down: f.req_bool("shutting_down")?,
+            designs,
+        })
+    }
+}
+
+/// One server response. Every success variant echoes the request `id`;
+/// [`Response::Error`] echoes it when the frame parsed far enough to
+/// recover one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `open` succeeded.
+    Opened {
+        /// Echoed request id.
+        id: u64,
+        /// The session name to use in subsequent requests (`"s1"`, ...),
+        /// scoped to this connection.
+        session: String,
+        /// The design's pool key, as 16 hex digits.
+        design_hash: String,
+        /// `true` when a pooled settled session was reused (no
+        /// verification ran at all).
+        reused_session: bool,
+        /// `true` when an earlier client had already opened this design,
+        /// so the session verified through the shared, pre-warmed cache.
+        shared_cache: bool,
+        /// Effort and outcome of the opening verification.
+        summary: RunSummary,
+    },
+    /// `apply-delta` succeeded.
+    Applied {
+        /// Echoed request id.
+        id: u64,
+        /// Effort and outcome of the re-verification.
+        summary: RunSummary,
+    },
+    /// `run` succeeded.
+    Ran {
+        /// Echoed request id.
+        id: u64,
+        /// Effort and outcome of the re-verification.
+        summary: RunSummary,
+    },
+    /// `report` succeeded.
+    Report {
+        /// Echoed request id.
+        id: u64,
+        /// The `scald-tv-report` v1 document. With `effort:false`
+        /// (default) it is effort-stripped and therefore byte-identical
+        /// to `Report::strip_effort().to_json()` of a direct
+        /// `Verifier::run` of the same design.
+        report: Json,
+        /// Whether effort counters were included.
+        effort: bool,
+    },
+    /// `subscribe-trace` succeeded.
+    Subscribed {
+        /// Echoed request id.
+        id: u64,
+        /// The mode now in force.
+        mode: TraceMode,
+    },
+    /// `close` succeeded.
+    Closed {
+        /// Echoed request id.
+        id: u64,
+        /// `true` when the settled session went back to the shared pool
+        /// (rather than being dropped because the pool slot was full).
+        pooled: bool,
+    },
+    /// `stats` succeeded.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// The daemon-wide statistics.
+        stats: DaemonStats,
+    },
+    /// `shutdown` acknowledged; the daemon is now draining.
+    ShuttingDown {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// The request failed. The connection stays usable.
+    Error {
+        /// Echoed request id, when the frame parsed far enough to
+        /// recover one.
+        id: Option<u64>,
+        /// Error category.
+        kind: ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The command token a success response answers (`None` for errors).
+    #[must_use]
+    pub fn cmd(&self) -> Option<&'static str> {
+        Some(match self {
+            Response::Opened { .. } => "open",
+            Response::Applied { .. } => "apply-delta",
+            Response::Ran { .. } => "run",
+            Response::Report { .. } => "report",
+            Response::Subscribed { .. } => "subscribe-trace",
+            Response::Closed { .. } => "close",
+            Response::Stats { .. } => "stats",
+            Response::ShuttingDown { .. } => "shutdown",
+            Response::Error { .. } => return None,
+        })
+    }
+
+    /// The response as a JSON frame.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        if let Response::Error { id, kind, message } = self {
+            return Json::Obj(vec![
+                ("frame".into(), Json::str("response")),
+                ("id".into(), id.map_or(Json::Null, Json::from)),
+                ("ok".into(), Json::from(false)),
+                (
+                    "error".into(),
+                    Json::Obj(vec![
+                        ("kind".into(), Json::str(kind.token())),
+                        ("message".into(), Json::str(message)),
+                    ]),
+                ),
+            ]);
+        }
+        let (id, result) = match self {
+            Response::Opened {
+                id,
+                session,
+                design_hash,
+                reused_session,
+                shared_cache,
+                summary,
+            } => (
+                *id,
+                Json::Obj(vec![
+                    ("session".into(), Json::str(session)),
+                    ("design_hash".into(), Json::str(design_hash)),
+                    ("reused_session".into(), Json::from(*reused_session)),
+                    ("shared_cache".into(), Json::from(*shared_cache)),
+                    ("summary".into(), summary.to_json()),
+                ]),
+            ),
+            Response::Applied { id, summary } | Response::Ran { id, summary } => {
+                (*id, Json::Obj(vec![("summary".into(), summary.to_json())]))
+            }
+            Response::Report { id, report, effort } => (
+                *id,
+                Json::Obj(vec![
+                    ("effort".into(), Json::from(*effort)),
+                    ("report".into(), report.clone()),
+                ]),
+            ),
+            Response::Subscribed { id, mode } => (
+                *id,
+                Json::Obj(vec![("mode".into(), Json::str(mode.token()))]),
+            ),
+            Response::Closed { id, pooled } => {
+                (*id, Json::Obj(vec![("pooled".into(), Json::from(*pooled))]))
+            }
+            Response::Stats { id, stats } => (*id, stats.to_json()),
+            Response::ShuttingDown { id } => (*id, Json::Obj(vec![])),
+            Response::Error { .. } => unreachable!("handled above"),
+        };
+        Json::Obj(vec![
+            ("frame".into(), Json::str("response")),
+            ("id".into(), Json::from(id)),
+            ("ok".into(), Json::from(true)),
+            (
+                "cmd".into(),
+                Json::str(self.cmd().expect("success responses name their cmd")),
+            ),
+            ("result".into(), result),
+        ])
+    }
+
+    /// Parses a response frame (the client side of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtoError`] naming the first problem.
+    pub fn parse(json: &Json) -> Result<Response, ProtoError> {
+        let outer = Fields::of(json, &["frame", "id", "ok", "cmd", "result", "error"])?;
+        if outer.req_str("frame")? != "response" {
+            return err("expected a response frame");
+        }
+        if !outer.req_bool("ok")? {
+            let id = match outer.req("id")? {
+                Json::Null => None,
+                other => match other.as_u64() {
+                    Some(id) => Some(id),
+                    None => return err("\"id\" must be an integer or null"),
+                },
+            };
+            let e = Fields::of(outer.req("error")?, &["kind", "message"])?;
+            return Ok(Response::Error {
+                id,
+                kind: ErrorKind::parse(e.req_str("kind")?)?,
+                message: e.req_str("message")?.to_owned(),
+            });
+        }
+        let id = outer.req_u64("id")?;
+        let result = outer.req("result")?;
+        match outer.req_str("cmd")? {
+            "open" => {
+                let f = Fields::of(
+                    result,
+                    &[
+                        "session",
+                        "design_hash",
+                        "reused_session",
+                        "shared_cache",
+                        "summary",
+                    ],
+                )?;
+                Ok(Response::Opened {
+                    id,
+                    session: f.req_str("session")?.to_owned(),
+                    design_hash: f.req_str("design_hash")?.to_owned(),
+                    reused_session: f.req_bool("reused_session")?,
+                    shared_cache: f.req_bool("shared_cache")?,
+                    summary: RunSummary::parse(f.req("summary")?)?,
+                })
+            }
+            "apply-delta" => {
+                let f = Fields::of(result, &["summary"])?;
+                Ok(Response::Applied {
+                    id,
+                    summary: RunSummary::parse(f.req("summary")?)?,
+                })
+            }
+            "run" => {
+                let f = Fields::of(result, &["summary"])?;
+                Ok(Response::Ran {
+                    id,
+                    summary: RunSummary::parse(f.req("summary")?)?,
+                })
+            }
+            "report" => {
+                let f = Fields::of(result, &["effort", "report"])?;
+                Ok(Response::Report {
+                    id,
+                    report: f.req("report")?.clone(),
+                    effort: f.req_bool("effort")?,
+                })
+            }
+            "subscribe-trace" => {
+                let f = Fields::of(result, &["mode"])?;
+                Ok(Response::Subscribed {
+                    id,
+                    mode: TraceMode::parse(f.req_str("mode")?)?,
+                })
+            }
+            "close" => {
+                let f = Fields::of(result, &["pooled"])?;
+                Ok(Response::Closed {
+                    id,
+                    pooled: f.req_bool("pooled")?,
+                })
+            }
+            "stats" => Ok(Response::Stats {
+                id,
+                stats: DaemonStats::parse(result)?,
+            }),
+            "shutdown" => Ok(Response::ShuttingDown { id }),
+            other => err(format!("unknown response cmd {other:?}")),
+        }
+    }
+}
+
+/// Any server-to-client frame: the connection hello, a response, or a
+/// streamed trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// The connection handshake.
+    Hello(Hello),
+    /// The answer to one request.
+    Response(Response),
+    /// One engine trace event from a subscribed session.
+    Trace {
+        /// The session the event belongs to.
+        session: String,
+        /// The event, in the `scald-trace` JSONL schema.
+        event: Json,
+    },
+}
+
+impl Frame {
+    /// The frame as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Frame::Hello(h) => h.to_json(),
+            Frame::Response(r) => r.to_json(),
+            Frame::Trace { session, event } => Json::Obj(vec![
+                ("frame".into(), Json::str("trace")),
+                ("session".into(), Json::str(session)),
+                ("event".into(), event.clone()),
+            ]),
+        }
+    }
+
+    /// Parses any server-to-client frame by its `frame` tag.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtoError`] naming the first problem.
+    pub fn parse(json: &Json) -> Result<Frame, ProtoError> {
+        let Some(tag) = json.get("frame").and_then(Json::as_str) else {
+            return err("frame object lacks a \"frame\" tag");
+        };
+        match tag {
+            "hello" => Ok(Frame::Hello(Hello::parse(json)?)),
+            "response" => Ok(Frame::Response(Response::parse(json)?)),
+            "trace" => {
+                let f = Fields::of(json, &["frame", "session", "event"])?;
+                Ok(Frame::Trace {
+                    session: f.req_str("session")?.to_owned(),
+                    event: f.req("event")?.clone(),
+                })
+            }
+            other => err(format!("unknown frame tag {other:?}")),
+        }
+    }
+}
+
+/// Strict field access over a JSON object: construction fails on a
+/// non-object, a duplicate key, or any key outside `allowed`.
+struct Fields<'a> {
+    obj: &'a [(String, Json)],
+}
+
+impl<'a> Fields<'a> {
+    fn of(json: &'a Json, allowed: &[&str]) -> Result<Fields<'a>, ProtoError> {
+        let Some(obj) = json.as_object() else {
+            return err("expected a JSON object");
+        };
+        for (i, (key, _)) in obj.iter().enumerate() {
+            if !allowed.contains(&key.as_str()) {
+                return err(format!("unknown field {key:?}"));
+            }
+            if obj[..i].iter().any(|(k, _)| k == key) {
+                return err(format!("duplicate field {key:?}"));
+            }
+        }
+        Ok(Fields { obj })
+    }
+
+    fn req(&self, key: &str) -> Result<&'a Json, ProtoError> {
+        match self.obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => Ok(v),
+            None => err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn opt(&self, key: &str) -> Option<&'a Json> {
+        self.obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn req_str(&self, key: &str) -> Result<&'a str, ProtoError> {
+        match self.req(key)?.as_str() {
+            Some(s) => Ok(s),
+            None => err(format!("field {key:?} must be a string")),
+        }
+    }
+
+    fn opt_str(&self, key: &str) -> Result<Option<&'a str>, ProtoError> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match v.as_str() {
+                Some(s) => Ok(Some(s)),
+                None => err(format!("field {key:?} must be a string")),
+            },
+        }
+    }
+
+    fn req_u64(&self, key: &str) -> Result<u64, ProtoError> {
+        match self.req(key)?.as_u64() {
+            Some(n) => Ok(n),
+            None => err(format!("field {key:?} must be a non-negative integer")),
+        }
+    }
+
+    fn req_bool(&self, key: &str) -> Result<bool, ProtoError> {
+        match self.req(key)?.as_bool() {
+            Some(b) => Ok(b),
+            None => err(format!("field {key:?} must be a boolean")),
+        }
+    }
+
+    fn opt_bool(&self, key: &str) -> Result<Option<bool>, ProtoError> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match v.as_bool() {
+                Some(b) => Ok(Some(b)),
+                None => err(format!("field {key:?} must be a boolean")),
+            },
+        }
+    }
+}
+
+/// Best-effort recovery of a request id from a frame that failed strict
+/// parsing, so the error response can still be correlated.
+#[must_use]
+pub fn recover_id(json: &Json) -> Option<u64> {
+    json.get("id").and_then(Json::as_u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scald_trace::json::parse;
+
+    fn round_trip_request(req: &Request) {
+        let text = req.to_json().to_string();
+        let back = Request::parse(&parse(&text).expect("valid json")).expect("parses");
+        assert_eq!(&back, req, "wire text: {text}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::Open {
+            id: 1,
+            source: "design D;\nperiod 50.0;\n".into(),
+            label: Some("demo".into()),
+        });
+        round_trip_request(&Request::ApplyDelta {
+            id: 2,
+            session: "s1".into(),
+            delta: DeltaSpec::Cases(vec![vec![("CTL 0".into(), true)], vec![]]),
+        });
+        round_trip_request(&Request::Run {
+            id: 3,
+            session: "s1".into(),
+        });
+        round_trip_request(&Request::Report {
+            id: 4,
+            session: "s1".into(),
+            effort: true,
+        });
+        round_trip_request(&Request::SubscribeTrace {
+            id: 5,
+            session: "s1".into(),
+            mode: TraceMode::Full,
+        });
+        round_trip_request(&Request::Close {
+            id: 6,
+            session: "s1".into(),
+        });
+        round_trip_request(&Request::Stats { id: 7 });
+        round_trip_request(&Request::Shutdown { id: 8 });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let summary = RunSummary {
+            clean: false,
+            violations: 3,
+            warm: true,
+            seeded_prims: 4,
+            total_prims: 400,
+            events: 120,
+            evaluations: 200,
+            wall_ns: 12345,
+            cache: Some(CacheDelta {
+                hits: 10,
+                misses: 2,
+                entries: 12,
+            }),
+        };
+        for resp in [
+            Response::Opened {
+                id: 1,
+                session: "s1".into(),
+                design_hash: "00ff00ff00ff00ff".into(),
+                reused_session: true,
+                shared_cache: true,
+                summary,
+            },
+            Response::Applied { id: 2, summary },
+            Response::Ran { id: 3, summary },
+            Response::Report {
+                id: 4,
+                report: Json::Obj(vec![("schema".into(), Json::str("scald-tv-report"))]),
+                effort: false,
+            },
+            Response::Subscribed {
+                id: 5,
+                mode: TraceMode::Coarse,
+            },
+            Response::Closed {
+                id: 6,
+                pooled: true,
+            },
+            Response::Stats {
+                id: 7,
+                stats: DaemonStats {
+                    connections: 4,
+                    active_runs: 1,
+                    jobs_total: 8,
+                    shutting_down: false,
+                    designs: vec![DesignStats {
+                        design_hash: "0123456789abcdef".into(),
+                        opens: 4,
+                        reuses: 2,
+                        idle_sessions: 1,
+                        cache_hits: 100,
+                        cache_misses: 10,
+                        cache_entries: 10,
+                    }],
+                },
+            },
+            Response::ShuttingDown { id: 8 },
+            Response::Error {
+                id: None,
+                kind: ErrorKind::Parse,
+                message: "unknown cmd \"frobnicate\"".into(),
+            },
+            Response::Error {
+                id: Some(9),
+                kind: ErrorKind::Timeout,
+                message: "request exceeded 30000 ms".into(),
+            },
+        ] {
+            let text = resp.to_json().to_string();
+            let back = Response::parse(&parse(&text).expect("valid json")).expect("parses");
+            assert_eq!(back, resp, "wire text: {text}");
+            // And through the generic frame parser.
+            let frame = Frame::parse(&parse(&text).expect("valid json")).expect("parses");
+            assert_eq!(frame, Frame::Response(resp));
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_checks_version() {
+        let hello = Hello {
+            proto: PROTO_VERSION,
+            server: "scald-serve/0.1.0".into(),
+            jobs: 4,
+        };
+        let text = hello.to_json().to_string();
+        assert!(text.contains("\"scald-serve-proto\":1"), "{text}");
+        assert_eq!(Hello::parse(&parse(&text).expect("valid")), Ok(hello));
+    }
+
+    #[test]
+    fn strict_parse_rejects_bad_frames() {
+        for (bad, why) in [
+            (r#"{"cmd":"open","source":"x"}"#, "missing id"),
+            (r#"{"id":1,"cmd":"frobnicate"}"#, "unknown cmd"),
+            (r#"{"id":1,"cmd":"open"}"#, "missing source"),
+            (
+                r#"{"id":1,"cmd":"open","source":"x","extra":1}"#,
+                "unknown field",
+            ),
+            (r#"{"id":1,"cmd":"run"}"#, "missing session"),
+            (r#"{"id":1,"cmd":"run","session":7}"#, "non-string session"),
+            (r#"{"id":-1,"cmd":"stats"}"#, "negative id"),
+            (
+                r#"{"id":1,"cmd":"stats","session":"s1"}"#,
+                "field from another cmd",
+            ),
+            (
+                r#"{"id":1,"cmd":"subscribe-trace","session":"s1","mode":"loud"}"#,
+                "bad mode",
+            ),
+            (
+                r#"{"id":1,"cmd":"apply-delta","session":"s1","delta":{"kind":"cases","cases":[{"A":1}]}}"#,
+                "non-bool assignment",
+            ),
+            (r#"[1,2,3]"#, "not an object"),
+            (r#"{"id":1,"id":2,"cmd":"stats"}"#, "duplicate field"),
+        ] {
+            let json = parse(bad).expect("tests use well-formed JSON text");
+            assert!(Request::parse(&json).is_err(), "accepted ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn recover_id_salvages_correlation_tags() {
+        let json = parse(r#"{"id":41,"cmd":"nope"}"#).expect("valid");
+        assert_eq!(recover_id(&json), Some(41));
+        let json = parse(r#"{"cmd":"nope"}"#).expect("valid");
+        assert_eq!(recover_id(&json), None);
+    }
+}

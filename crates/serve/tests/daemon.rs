@@ -1,0 +1,409 @@
+//! End-to-end daemon tests over a real Unix socket: concurrency,
+//! sharing, malformed frames, disconnects, timeouts, shutdown.
+
+use scald_gen::s1::{s1_like_hdl, S1Options};
+use scald_serve::{
+    serve, Client, DeltaSpec, ErrorKind, Request, Response, ServeOptions, TraceMode,
+};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+/// A fresh socket path per test (tests run in parallel in one process).
+fn socket_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("scald-serve-{}-{tag}-{n}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Starts an in-process daemon and waits until its socket accepts.
+fn start_daemon(opts: ServeOptions) -> (PathBuf, thread::JoinHandle<()>) {
+    let path = opts.socket.clone().expect("test daemons listen on sockets");
+    let handle = thread::spawn(move || serve(&opts).expect("daemon runs"));
+    for _ in 0..400 {
+        if UnixStream::connect(&path).is_ok() {
+            return (path, handle);
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    panic!("daemon socket {} never came up", path.display());
+}
+
+fn small_design(seed: u64) -> String {
+    s1_like_hdl(S1Options { chips: 9, seed })
+}
+
+fn opened(response: Response) -> (String, bool, bool) {
+    match response {
+        Response::Opened {
+            session,
+            reused_session,
+            shared_cache,
+            ..
+        } => (session, reused_session, shared_cache),
+        other => panic!("expected an open response, got {other:?}"),
+    }
+}
+
+fn report_text(response: Response) -> String {
+    match response {
+        Response::Report { report, .. } => report.to_string_pretty(),
+        other => panic!("expected a report response, got {other:?}"),
+    }
+}
+
+#[test]
+fn four_concurrent_clients_get_identical_reports_and_share_the_cache() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("fourway")),
+        ..ServeOptions::default()
+    });
+    let src = small_design(0xF00);
+
+    // A first client pays the cold open, then leaves.
+    let mut warmup = Client::connect_unix(&path).expect("connects");
+    let (s, reused, shared) = opened(warmup.open_source(&src, "shared").expect("opens"));
+    assert!(!reused && !shared, "first open must be cold");
+    let reference = report_text(warmup.report(&s, false).expect("reports"));
+    warmup.close(&s).expect("closes");
+
+    // Four clients now open the same design concurrently.
+    let reports: Vec<(String, bool)> = {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let path = path.clone();
+                let src = src.clone();
+                thread::spawn(move || {
+                    let mut client = Client::connect_unix(&path).expect("connects");
+                    let (s, _, shared) = opened(client.open_source(&src, "shared").expect("opens"));
+                    let text = report_text(client.report(&s, false).expect("reports"));
+                    client.close(&s).expect("closes");
+                    (text, shared)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    };
+    for (text, shared) in &reports {
+        assert_eq!(*text, reference, "every client sees the same bytes");
+        assert!(*shared, "later opens verify through the shared cache");
+    }
+
+    // The shared table served more than half of all evaluations.
+    let mut probe = Client::connect_unix(&path).expect("connects");
+    let Response::Stats { stats, .. } = probe.stats().expect("stats") else {
+        panic!("expected stats");
+    };
+    let design = &stats.designs[0];
+    assert_eq!(stats.designs.len(), 1);
+    assert!(design.opens >= 5);
+    assert!(
+        design.cache_hits as f64 > 0.5 * (design.cache_hits + design.cache_misses) as f64,
+        "cross-client hit rate should exceed 50%, got {}/{}",
+        design.cache_hits,
+        design.cache_hits + design.cache_misses,
+    );
+    probe.shutdown().expect("shutdown");
+    drop(probe);
+    drop(warmup);
+    daemon.join().expect("daemon drains");
+}
+
+#[test]
+fn malformed_frames_answer_with_parse_errors_and_the_connection_lives() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("malformed")),
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect_unix(&path).expect("connects");
+
+    // Raw invalid JSON: error with no recoverable id.
+    let resp = client
+        .request_raw("this is not json")
+        .expect("connection survives");
+    match resp {
+        Response::Error { id, kind, .. } => {
+            assert_eq!(id, None);
+            assert_eq!(kind, ErrorKind::Parse);
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+
+    // Valid JSON, invalid request: the id is still echoed back.
+    let resp = client
+        .request_raw(r#"{"id":42,"cmd":"open","source":"x","bogus":true}"#)
+        .expect("connection survives");
+    match resp {
+        Response::Error { id, kind, .. } => {
+            assert_eq!(id, Some(42));
+            assert_eq!(kind, ErrorKind::Parse);
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+
+    // Unknown session: a structured error, not a hangup.
+    let resp = client.run("s99").expect("connection survives");
+    match resp {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
+        other => panic!("expected unknown-session, got {other:?}"),
+    }
+
+    // And the connection still does real work afterwards.
+    let (s, _, _) = opened(
+        client
+            .open_source(small_design(0xBAD), "after-errors")
+            .expect("opens"),
+    );
+    assert!(matches!(
+        client.run(&s).expect("runs"),
+        Response::Ran { .. }
+    ));
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}
+
+#[test]
+fn disconnect_parks_sessions_for_reuse() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("disconnect")),
+        ..ServeOptions::default()
+    });
+    let src = small_design(0xD15C);
+
+    // Open a session, then vanish without closing it — including a torn
+    // final frame, which must be discarded, not processed.
+    {
+        let mut client = Client::connect_unix(&path).expect("connects");
+        let _ = opened(client.open_source(&src, "parked").expect("opens"));
+        let mut raw = UnixStream::connect(&path).expect("second raw connection");
+        raw.write_all(b"{\"id\":7,\"cmd\":\"shutdown\"")
+            .expect("half a frame");
+        // Both connections drop here.
+    }
+
+    // The torn shutdown must NOT have taken effect, and the parked
+    // session must be reusable by a fresh client.
+    let mut client = Client::connect_unix(&path).expect("daemon still alive");
+    let reused = (0..100).any(|_| {
+        let (s, reused, _) = opened(client.open_source(&src, "parked").expect("opens"));
+        client.close(&s).expect("closes");
+        if reused {
+            true
+        } else {
+            thread::sleep(Duration::from_millis(10));
+            false
+        }
+    });
+    assert!(
+        reused,
+        "the dropped connection's session should be reusable"
+    );
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}
+
+#[test]
+fn timeouts_evict_the_request_but_the_work_rejoins_the_pool() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("timeout")),
+        request_timeout: Duration::from_millis(1),
+        ..ServeOptions::default()
+    });
+    // Big enough that compile+settle cannot finish in a millisecond.
+    let src = s1_like_hdl(S1Options {
+        chips: 600,
+        seed: 0x7143,
+    });
+
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let resp = client.open_source(&src, "slow").expect("answered");
+    match resp {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+
+    // The orphaned verification finishes in the background and its
+    // session is parked for the next client.
+    let parked = (0..600).any(|_| {
+        let Response::Stats { stats, .. } = client.stats().expect("stats") else {
+            panic!("expected stats");
+        };
+        if stats.designs.iter().any(|d| d.idle_sessions > 0) {
+            true
+        } else {
+            thread::sleep(Duration::from_millis(25));
+            false
+        }
+    });
+    assert!(parked, "the timed-out open should park its session");
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}
+
+#[test]
+fn shutdown_rejects_new_opens_but_existing_sessions_finish() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("shutdown")),
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let (s, _, _) = opened(
+        client
+            .open_source(small_design(0x5D), "draining")
+            .expect("opens"),
+    );
+    assert!(matches!(
+        client.shutdown().expect("shutdown"),
+        Response::ShuttingDown { .. }
+    ));
+    // New opens are refused...
+    match client
+        .open_source(small_design(0x5E), "late")
+        .expect("answered")
+    {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ShuttingDown),
+        other => panic!("expected shutting-down, got {other:?}"),
+    }
+    // ...but in-flight sessions still serve requests until they close.
+    assert!(matches!(
+        client.run(&s).expect("runs"),
+        Response::Ran { .. }
+    ));
+    assert!(matches!(
+        client.close(&s).expect("closes"),
+        Response::Closed { .. }
+    ));
+    drop(client);
+    daemon
+        .join()
+        .expect("daemon drains after the last connection");
+}
+
+#[test]
+fn trace_subscription_streams_and_unsubscribes() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("trace")),
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let (s, _, _) = opened(
+        client
+            .open_source(small_design(0x7A), "traced")
+            .expect("opens"),
+    );
+
+    client
+        .subscribe_trace(&s, TraceMode::Coarse)
+        .expect("subscribes");
+    client.run(&s).expect("runs");
+    let frames = client.take_trace();
+    assert!(
+        !frames.is_empty(),
+        "a subscribed run should stream trace frames"
+    );
+    assert!(frames.iter().all(|(session, _)| session == &s));
+    assert!(frames
+        .iter()
+        .any(|(_, e)| e.get("type").and_then(|t| t.as_str()) == Some("run_end")));
+
+    client
+        .subscribe_trace(&s, TraceMode::Off)
+        .expect("unsubscribes");
+    client.run(&s).expect("runs");
+    assert!(
+        client.take_trace().is_empty(),
+        "an unsubscribed run must stream nothing"
+    );
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}
+
+#[test]
+fn apply_delta_reverifies_and_bad_deltas_leave_the_session_usable() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("delta")),
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let src = small_design(0xDE17A);
+    let (s, _, _) = opened(client.open_source(&src, "edited").expect("opens"));
+
+    // A whole-source delta with identical text warm-replays.
+    match client
+        .apply(&s, DeltaSpec::Source(src.clone()))
+        .expect("applies")
+    {
+        Response::Applied { summary, .. } => assert!(summary.warm),
+        other => panic!("expected applied, got {other:?}"),
+    }
+
+    // Broken source: a structured compile error, session intact.
+    match client
+        .apply(&s, DeltaSpec::Source("design BROKEN".to_owned()))
+        .expect("answered")
+    {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Compile),
+        other => panic!("expected a compile error, got {other:?}"),
+    }
+    assert!(matches!(
+        client.run(&s).expect("still runs"),
+        Response::Ran { .. }
+    ));
+
+    // A case-set delta replaces the cases and re-verifies.
+    match client
+        .apply(&s, DeltaSpec::Cases(vec![vec![]]))
+        .expect("applies")
+    {
+        Response::Applied { .. } => {}
+        other => panic!("expected applied, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}
+
+/// `Request`/`Response` stay in sync with the daemon over the wire for
+/// the `stats` command's full shape.
+#[test]
+fn stats_reflect_live_connections() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("stats")),
+        jobs: 3,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect_unix(&path).expect("connects");
+    assert_eq!(client.hello().jobs, 3);
+    let Response::Stats { stats, .. } = client.stats().expect("stats") else {
+        panic!("expected stats");
+    };
+    assert_eq!(stats.jobs_total, 3);
+    assert_eq!(stats.connections, 1);
+    assert!(!stats.shutting_down);
+    assert!(stats.designs.is_empty());
+
+    // Ids are echoed verbatim, even large ones.
+    match client
+        .request(&Request::Stats { id: u64::MAX })
+        .expect("stats")
+    {
+        Response::Stats { id, .. } => assert_eq!(id, u64::MAX),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}

@@ -81,6 +81,19 @@ impl EvalCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counters accumulated since `earlier` (a prior snapshot of the
+    /// same cache): per-request attribution on a shared, long-lived
+    /// table, where the cumulative numbers span every client.
+    /// `entries` stays absolute — the table only grows.
+    #[must_use]
+    pub fn since(&self, earlier: &EvalCacheStats) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
 }
 
 /// A sharded memo table of primitive-evaluation outcomes.

@@ -9,7 +9,7 @@
 //! [`NetlistDelta`]: scald::incr::NetlistDelta
 
 use scald::gen::s1::{s1_like_netlist, S1Options};
-use scald::incr::{Case, Delta, NetlistDelta, Session, Verifier};
+use scald::incr::{Case, Delta, DesignInput, NetlistDelta, Session, Verifier};
 use scald::verifier::RunOptions;
 use scald::wave::DelayRange;
 
@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.chips, stats.prims, stats.signals
     );
 
-    let mut session = Session::from_netlist(netlist, vec![Case::new()], "incr example")?;
+    let mut session = Session::open(
+        DesignInput::netlist(netlist, vec![Case::new()]),
+        "incr example",
+    )?;
     let cold = session.outcome().stats;
     println!(
         "cold open: {} events, {} violation(s)",

@@ -9,6 +9,8 @@
 //! ```text
 //! USAGE:
 //!     scald-tv [OPTIONS] <DESIGN.scald>
+//!     scald-tv serve [--socket PATH] [--stdio] [--jobs N]
+//!                    [--timeout-ms N] [--idle-cap N] [--no-eval-cache]
 //!
 //! OPTIONS:
 //!     --summary        print the Fig 3-10 signal-value summary listing
@@ -41,6 +43,17 @@
 //!                      until interrupted)
 //!     --baseline OLD.scald report only the violations DESIGN.scald
 //!                      introduces or fixes relative to OLD.scald
+//!
+//! SERVE MODE (scald-tv serve):
+//!     --socket PATH    listen for clients on a Unix socket at PATH
+//!     --stdio          speak the protocol on stdin/stdout (EOF begins
+//!                      graceful shutdown); combinable with --socket
+//!     --jobs N         daemon-wide worker budget, split across
+//!                      concurrent requests (default: CPU cores)
+//!     --timeout-ms N   per-request deadline for open/apply-delta/run
+//!                      (default 30000)
+//!     --idle-cap N     settled sessions kept pooled per design (default 4)
+//!     --no-eval-cache  disable the cross-client evaluation cache
 //! ```
 //!
 //! Exit codes: 0 = no timing errors, 1 = violations found, 2 = usage or
@@ -50,7 +63,8 @@
 //! completed re-verification.
 
 use scald::hdl;
-use scald::incr::{report_diff, Delta, IncrStats, Session, SessionBuilder};
+use scald::incr::{report_diff, Delta, DesignInput, IncrStats, Session, SessionBuilder};
+use scald::serve::{serve, ServeOptions};
 use scald::trace::json::Json;
 use scald::trace::JsonlSink;
 use scald::verifier::{
@@ -111,7 +125,9 @@ const USAGE: &str = "usage: scald-tv [--summary] [--diagram] [--slack] \
                      [--format text|json] [--trace FILE] \
                      [--no-cases] [--no-eval-cache] [--jobs N] \
                      [--watch] [--watch-poll-ms N] [--watch-max-edits N] \
-                     [--baseline OLD.scald] <DESIGN.scald>";
+                     [--baseline OLD.scald] <DESIGN.scald>\n\
+                     \u{20}      scald-tv serve [--socket PATH] [--stdio] [--jobs N] \
+                     [--timeout-ms N] [--idle-cap N] [--no-eval-cache]";
 
 struct Options {
     path: String,
@@ -257,8 +273,62 @@ fn open_session(opts: &Options, src: &str) -> Result<Session, String> {
         builder = builder.trace(Arc::new(sink));
     }
     builder
-        .open_source(src, opts.path.clone())
+        .open(DesignInput::source(src), opts.path.clone())
         .map_err(|e| e.to_string())
+}
+
+const SERVE_USAGE: &str = "usage: scald-tv serve [--socket PATH] [--stdio] \
+                           [--jobs N] [--timeout-ms N] [--idle-cap N] \
+                           [--no-eval-cache]  (at least one of --socket/--stdio)";
+
+/// `scald-tv serve`: run the multi-client verification daemon until it
+/// is asked to shut down (a `shutdown` request, or EOF in `--stdio`
+/// mode).
+fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = ServeOptions::default();
+    let mut args = args.peekable();
+    let parse_err = |msg: String| -> ExitCode {
+        eprintln!("scald-tv: {msg}");
+        eprintln!("{SERVE_USAGE}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next().filter(|p| !p.is_empty()) {
+                Some(path) => opts.socket = Some(path.into()),
+                None => return parse_err("--socket expects a path".to_owned()),
+            },
+            "--stdio" => opts.stdio = true,
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.jobs = n,
+                _ => return parse_err("--jobs expects a worker count >= 1".to_owned()),
+            },
+            "--timeout-ms" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.request_timeout = Duration::from_millis(n),
+                _ => return parse_err("--timeout-ms expects a millisecond count >= 1".to_owned()),
+            },
+            "--idle-cap" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => opts.idle_cap = n,
+                None => return parse_err("--idle-cap expects a session count".to_owned()),
+            },
+            "--no-eval-cache" => opts.eval_cache = false,
+            "--help" | "-h" => {
+                eprintln!("{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+            other => return parse_err(format!("unknown serve option {other:?}")),
+        }
+    }
+    if opts.socket.is_none() && !opts.stdio {
+        return parse_err("serve needs --socket PATH, --stdio, or both".to_owned());
+    }
+    match serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scald-tv: serve: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// `--watch`: poll the design file, re-verifying each time its contents
@@ -417,6 +487,12 @@ fn run_verifier(
 }
 
 fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("serve") {
+        return run_serve(args);
+    }
+    drop(args);
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {

@@ -26,6 +26,7 @@
 //! | [`gen`] | the thesis' figure circuits and the S-1-like design generator |
 //! | [`trace`] | engine observability: trace events, sinks, the JSON toolkit |
 //! | [`incr`] | incremental re-verification: netlist deltas, warm-started sessions |
+//! | [`serve`] | the multi-client verification daemon and its JSONL protocol v1 |
 //!
 //! # Quickstart
 //!
@@ -74,6 +75,7 @@ pub use scald_incr as incr;
 pub use scald_logic as logic;
 pub use scald_netlist as netlist;
 pub use scald_paths as paths;
+pub use scald_serve as serve;
 pub use scald_sim as sim;
 pub use scald_stats as stats;
 pub use scald_trace as trace;

@@ -432,6 +432,107 @@ fn json_report_is_byte_identical_across_processes() {
     assert_eq!(first, second, "report differs across processes");
 }
 
+/// Spawns `scald-tv serve --stdio` and wraps its pipes in the protocol
+/// client.
+fn spawn_stdio_daemon(extra: &[&str]) -> (std::process::Child, scald::serve::Client) {
+    use std::io::BufReader;
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg("--stdio")
+        .args(extra)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("scald-tv serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let stdin = child.stdin.take().expect("piped stdin");
+    let client =
+        scald::serve::Client::from_streams(Box::new(BufReader::new(stdout)), Box::new(stdin))
+            .expect("handshake succeeds");
+    (child, client)
+}
+
+#[test]
+fn serve_stdio_answers_the_protocol_and_drains_on_eof() {
+    use scald::serve::Response;
+    let (mut child, mut client) = spawn_stdio_daemon(&["--jobs", "2"]);
+    assert_eq!(client.hello().proto, scald::serve::PROTO_VERSION);
+    assert_eq!(client.hello().jobs, 2);
+
+    let src = std::fs::read_to_string(design("register_file.scald")).expect("design reads");
+    let label = "stdio-design";
+    let session = match client.open_source(&src, label).expect("opens") {
+        Response::Opened { session, .. } => session,
+        other => panic!("expected opened, got {other:?}"),
+    };
+    let served = match client.report(&session, false).expect("reports") {
+        Response::Report { report, .. } => report.to_string_pretty(),
+        other => panic!("expected report, got {other:?}"),
+    };
+
+    // Byte-identical to a direct single-shot verification of the same
+    // source under the same label.
+    let expansion = scald::hdl::compile(&src).expect("compiles");
+    let mut verifier = Verifier::new(expansion.netlist);
+    let results = verifier
+        .run(&RunOptions::new().cases(vec![scald::verifier::Case::new()]))
+        .expect("verifies")
+        .cases;
+    let direct = verifier.report(label, &results).strip_effort().to_json();
+    assert_eq!(
+        served, direct,
+        "served report diverged from scald-tv's own run"
+    );
+
+    client.close(&session).expect("closes");
+    // Dropping the client closes the daemon's stdin: EOF begins the
+    // graceful drain and the process exits cleanly.
+    drop(client);
+    let status = child.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn serve_survives_malformed_lines_on_stdio() {
+    use scald::serve::{ErrorKind, Response};
+    let (mut child, mut client) = spawn_stdio_daemon(&[]);
+    match client.request_raw("{malformed").expect("answered") {
+        Response::Error { id, kind, .. } => {
+            assert_eq!(id, None);
+            assert_eq!(kind, ErrorKind::Parse);
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+    // The connection still works afterwards.
+    let src = std::fs::read_to_string(design("mini_cpu.scald")).expect("design reads");
+    assert!(matches!(
+        client.open_source(&src, "after-garbage").expect("opens"),
+        Response::Opened { .. }
+    ));
+    drop(client);
+    assert_eq!(child.wait().expect("daemon exits").code(), Some(0));
+}
+
+#[test]
+fn serve_usage_errors_exit_two() {
+    // Neither --socket nor --stdio.
+    let out = run(&["serve"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        text(&out.stderr).contains("--socket"),
+        "{}",
+        text(&out.stderr)
+    );
+    // Unknown option.
+    assert_eq!(exit_code(&run(&["serve", "--frobnicate"])), 2);
+    // Bad values.
+    assert_eq!(exit_code(&run(&["serve", "--stdio", "--jobs", "0"])), 2);
+    assert_eq!(
+        exit_code(&run(&["serve", "--stdio", "--timeout-ms", "abc"])),
+        2
+    );
+}
+
 fn text(bytes: &[u8]) -> String {
     String::from_utf8_lossy(bytes).into_owned()
 }
