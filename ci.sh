@@ -30,6 +30,16 @@ cargo test -q -p scald-wave --test store_props
 # property that daemon reports are byte-identical to direct runs.
 cargo test -q -p scald-serve --test daemon --test serve_props
 
+# The RTL frontend suites: the cascade-race lowering, the spanned-
+# diagnostics failure surface, and the 50-seed cross-frontend property
+# that Verilog and SCALD HDL twins produce byte-identical reports.
+cargo test -q -p scald-rtl --test cascade_race --test failures
+cargo test -q --test cross_frontend
+
+# The gated-clock RTL design must be *red*: the verifier has to flag the
+# cascade race (exit 1), not pass it.
+! cargo run -q --release --bin scald-tv -- designs/cascade_race.v
+
 # Smoke the settle-scaling and cache A/B bench harnesses (tiny design);
 # the full runs regenerate BENCH_settle.json / BENCH_cache.json.
 cargo run -q -p scald-bench --release --bin settle_scaling -- --chips 40 --workers 1 --out target/BENCH_settle_smoke.json

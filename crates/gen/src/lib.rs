@@ -11,6 +11,10 @@
 //!   (Figs 3-5..3-9), exercising the macro expander.
 //! * [`ablation`] — the bit-blast transform that undoes the vector-width
 //!   symmetry, so the §3.3.2 saving can be measured.
+//! * [`rtl_pairs`] — seeded *twin* designs rendered both as
+//!   synthesisable Verilog and as SCALD HDL, used to property-test that
+//!   the two frontends lower to identical netlists and byte-identical
+//!   reports.
 //! * [`s1`] — a seeded synthetic generator matched to the published
 //!   statistics of the S-1 Mark IIA evaluation design (6357 chips, 8 282
 //!   primitives, ≈1.3 primitives/chip, ≈6.5-bit average width), used to
@@ -24,6 +28,7 @@
 pub mod ablation;
 pub mod figures;
 pub mod hdl_sources;
+pub mod rtl_pairs;
 pub mod s1;
 pub mod scale;
 

@@ -1,0 +1,394 @@
+//! Seeded twin-design generator for cross-frontend equivalence testing.
+//!
+//! [`paired_design`] emits the *same* random synchronous circuit twice:
+//! once as synthesisable Verilog for the `scald-rtl` frontend and once
+//! as SCALD-style HDL for the macro expander. The two texts are built
+//! from one abstract statement list so that both frontends produce
+//! **structurally identical netlists** — the same signal names created
+//! in the same order, the same primitive names with the same per-keyword
+//! ordinals, the same connection lists — which in turn makes the
+//! verifier's reports byte-identical. That property is what
+//! `tests/cross_frontend.rs` locks down over many seeds.
+//!
+//! The circuits are scalar (1-bit) DAGs: a gated clock (`GCLK = CLK &
+//! IN0`), a pool of combinational nets (`W1..`) built from gates,
+//! inverters, buffers, CHANGE cones and multiplexers, a layer of
+//! registers (`Q1..`) clocked by `CLK` or `GCLK` (about half with an
+//! asynchronous reset to 0), and a buffered output. Timing comes from
+//! explicit pragmas/headers with the repo's S-1-flavoured numbers, so
+//! the generated designs stand alone.
+
+use scald_rng::Rng;
+
+/// One random circuit rendered for both frontends.
+#[derive(Debug, Clone)]
+pub struct PairedDesign {
+    /// The synthesisable-Verilog rendering (`scald-rtl` frontend).
+    pub verilog: String,
+    /// The SCALD-style HDL rendering (macro-expander frontend).
+    pub scald: String,
+}
+
+/// Assertion specs pinned onto the generated inputs.
+const CLK_SPEC: &str = ".P0-4(0,0)";
+const RST_SPEC: &str = ".S0-8";
+const IN_SPEC: &str = ".S0-6";
+
+/// A combinational statement, stored in netlist connection order.
+enum Comb {
+    /// `out = fold(op, args)` — n-ary gate; each arg may be inverted.
+    Gate {
+        op: GateOp,
+        out: String,
+        args: Vec<(String, bool)>,
+    },
+    /// `out = ~arg` (a NOT primitive, not an inverted connection).
+    Not { out: String, arg: String },
+    /// `out = arg` (a BUF primitive).
+    Buf { out: String, arg: String },
+    /// `out = a + b` — one CHANGE cone over the operands.
+    Add { out: String, a: String, b: String },
+    /// `out = sel ? then : els` — conns are `[sel, els, then]`.
+    Mux {
+        out: String,
+        sel: String,
+        els: String,
+        then: String,
+    },
+}
+
+#[derive(Clone, Copy)]
+enum GateOp {
+    And,
+    Or,
+    Xor,
+}
+
+impl GateOp {
+    fn keyword(self) -> &'static str {
+        match self {
+            GateOp::And => "and",
+            GateOp::Or => "or",
+            GateOp::Xor => "xor",
+        }
+    }
+
+    fn verilog(self) -> &'static str {
+        match self {
+            GateOp::And => "&",
+            GateOp::Or => "|",
+            GateOp::Xor => "^",
+        }
+    }
+}
+
+/// A register statement.
+struct Reg {
+    out: String,
+    clock: String,
+    data: String,
+    /// `true`: asynchronous reset to 0 on `posedge RST`.
+    reset: bool,
+}
+
+/// Generates the seeded twin pair. The same seed always yields the same
+/// pair, on every platform.
+#[must_use]
+pub fn paired_design(seed: u64) -> PairedDesign {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n_inputs = rng.range_usize(3, 7);
+    let n_comb = rng.range_usize(4, 11);
+    let n_regs = rng.range_usize(2, 6);
+
+    let inputs: Vec<String> = (0..n_inputs).map(|i| format!("IN{i}")).collect();
+
+    // The data DAG: operands are drawn from the inputs and every
+    // already-driven W net, so references always hit existing signals.
+    let mut pool: Vec<String> = inputs.clone();
+    let mut combs: Vec<Comb> = Vec::new();
+    for i in 1..=n_comb {
+        let out = format!("W{i}");
+        let comb = match rng.range_u32(0, 7) {
+            0 | 1 => {
+                let op = *rng.choose(&[GateOp::And, GateOp::Or, GateOp::Xor]);
+                let n_args = rng.range_usize(2, 4);
+                let args = (0..n_args)
+                    .map(|_| (rng.choose(&pool).clone(), rng.bool_with(0.25)))
+                    .collect();
+                Comb::Gate {
+                    op,
+                    out: out.clone(),
+                    args,
+                }
+            }
+            2 => Comb::Not {
+                out: out.clone(),
+                arg: rng.choose(&pool).clone(),
+            },
+            3 => Comb::Buf {
+                out: out.clone(),
+                arg: rng.choose(&pool).clone(),
+            },
+            4 | 5 => Comb::Add {
+                out: out.clone(),
+                a: rng.choose(&pool).clone(),
+                b: rng.choose(&pool).clone(),
+            },
+            _ => Comb::Mux {
+                out: out.clone(),
+                sel: rng.choose(&pool).clone(),
+                els: rng.choose(&pool).clone(),
+                then: rng.choose(&pool).clone(),
+            },
+        };
+        combs.push(comb);
+        pool.push(out);
+    }
+
+    // Registers clock an already-driven W net on CLK or the gated clock.
+    let wnets: Vec<String> = (1..=n_comb).map(|i| format!("W{i}")).collect();
+    let regs: Vec<Reg> = (1..=n_regs)
+        .map(|i| Reg {
+            out: format!("Q{i}"),
+            clock: if rng.bool() { "GCLK" } else { "CLK" }.to_owned(),
+            data: rng.choose(&wnets).clone(),
+            reset: rng.bool(),
+        })
+        .collect();
+    let out_net = rng.choose(&wnets).clone();
+
+    PairedDesign {
+        verilog: render_verilog(&inputs, &combs, &regs, &out_net),
+        scald: render_scald(&inputs, &combs, &regs, &out_net),
+    }
+}
+
+/// Renders the Verilog half.
+fn render_verilog(inputs: &[String], combs: &[Comb], regs: &[Reg], out_net: &str) -> String {
+    use std::fmt::Write as _;
+    let mut v = String::new();
+    v.push_str("// scald: period 50.0\n");
+    v.push_str("// scald: clock_unit 6.25\n");
+    v.push_str("// scald: wire_delay 0.0 2.0\n");
+    v.push_str("module pair(input wire CLK, input wire RST");
+    for name in inputs {
+        let _ = write!(v, ", input wire {name}");
+    }
+    v.push_str(", output wire OUT);\n");
+    let _ = writeln!(v, "  // scald: input CLK {CLK_SPEC}");
+    let _ = writeln!(v, "  // scald: input RST {RST_SPEC}");
+    for name in inputs {
+        let _ = writeln!(v, "  // scald: input {name} {IN_SPEC}");
+    }
+    v.push_str("  // scald: ff delay=1.5:4.5 setup=2.5 hold=1.5\n");
+    v.push_str("  // scald: comb delay=1.0:3.0\n");
+    v.push_str("  wire GCLK;\n");
+    for comb in combs {
+        let _ = writeln!(v, "  wire {};", comb_out(comb));
+    }
+    for reg in regs {
+        let _ = writeln!(v, "  reg {};", reg.out);
+    }
+    let _ = writeln!(v, "  assign GCLK = CLK & {};", inputs[0]);
+    for comb in combs {
+        let line = match comb {
+            Comb::Gate { op, out, args } => {
+                let rhs: Vec<String> = args
+                    .iter()
+                    .map(|(name, inv)| {
+                        if *inv {
+                            format!("~{name}")
+                        } else {
+                            name.clone()
+                        }
+                    })
+                    .collect();
+                format!(
+                    "assign {out} = {};",
+                    rhs.join(&format!(" {} ", op.verilog()))
+                )
+            }
+            Comb::Not { out, arg } => format!("assign {out} = ~{arg};"),
+            Comb::Buf { out, arg } => format!("assign {out} = {arg};"),
+            Comb::Add { out, a, b } => format!("assign {out} = {a} + {b};"),
+            Comb::Mux {
+                out,
+                sel,
+                els,
+                then,
+            } => format!("assign {out} = {sel} ? {then} : {els};"),
+        };
+        let _ = writeln!(v, "  {line}");
+    }
+    for reg in regs {
+        if reg.reset {
+            let _ = writeln!(
+                v,
+                "  always_ff @(posedge {} or posedge RST) begin\n    \
+                 if (RST) {} <= 1'b0;\n    else {} <= {};\n  end",
+                reg.clock, reg.out, reg.out, reg.data
+            );
+        } else {
+            let _ = writeln!(
+                v,
+                "  always_ff @(posedge {}) {} <= {};",
+                reg.clock, reg.out, reg.data
+            );
+        }
+    }
+    let _ = writeln!(v, "  assign OUT = {out_net};");
+    v.push_str("endmodule\n");
+    v
+}
+
+/// Renders the SCALD-HDL twin. References to asserted inputs always
+/// carry their assertion suffix so both frontends create identical
+/// signal names.
+fn render_scald(inputs: &[String], combs: &[Comb], regs: &[Reg], out_net: &str) -> String {
+    use std::fmt::Write as _;
+    let named = |name: &str| -> String {
+        if name == "CLK" {
+            format!("'CLK {CLK_SPEC}'")
+        } else if name == "RST" {
+            format!("'RST {RST_SPEC}'")
+        } else if inputs.iter().any(|i| i == name) {
+            format!("'{name} {IN_SPEC}'")
+        } else {
+            name.to_owned()
+        }
+    };
+    let mut s = String::new();
+    s.push_str("design PAIR;\n");
+    s.push_str("period 50.0;\n");
+    s.push_str("clock_unit 6.25;\n");
+    s.push_str("wire_delay 0.0 2.0;\n");
+    s.push_str("precision_skew 1.0 1.0;\n");
+    s.push_str("clock_skew 5.0 5.0;\n");
+    s.push_str("\ntop;\n");
+    let _ = writeln!(
+        s,
+        "  and delay=1.0:3.0 ({}, {}) -> (GCLK);",
+        named("CLK"),
+        named(&inputs[0])
+    );
+    for comb in combs {
+        let line = match comb {
+            Comb::Gate { op, out, args } => {
+                let conns: Vec<String> = args
+                    .iter()
+                    .map(|(name, inv)| {
+                        let n = named(name);
+                        if *inv {
+                            format!("-{n}")
+                        } else {
+                            n
+                        }
+                    })
+                    .collect();
+                format!(
+                    "{} delay=1.0:3.0 ({}) -> ({out});",
+                    op.keyword(),
+                    conns.join(", ")
+                )
+            }
+            Comb::Not { out, arg } => {
+                format!("not delay=1.0:3.0 ({}) -> ({out});", named(arg))
+            }
+            Comb::Buf { out, arg } => {
+                format!("buf delay=1.0:3.0 ({}) -> ({out});", named(arg))
+            }
+            Comb::Add { out, a, b } => {
+                format!("chg delay=1.0:3.0 ({}, {}) -> ({out});", named(a), named(b))
+            }
+            Comb::Mux {
+                out,
+                sel,
+                els,
+                then,
+            } => format!(
+                "mux delay=1.0:3.0 ({}, {}, {}) -> ({out});",
+                named(sel),
+                named(els),
+                named(then)
+            ),
+        };
+        let _ = writeln!(s, "  {line}");
+    }
+    // The RTL frontend creates the shared ground net lazily, right
+    // before the first reset register; the twin places the `const0`
+    // statement at exactly that point.
+    let mut gnd_emitted = false;
+    for reg in regs {
+        if reg.reset {
+            if !gnd_emitted {
+                s.push_str("  const0 () -> ('GND#0');\n");
+                gnd_emitted = true;
+            }
+            let _ = writeln!(
+                s,
+                "  reg_sr delay=1.5:4.5 ({}, {}, 'GND#0', {}) -> ({});",
+                named(&reg.clock),
+                named(&reg.data),
+                named("RST"),
+                reg.out
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "  reg delay=1.5:4.5 ({}, {}) -> ({});",
+                named(&reg.clock),
+                named(&reg.data),
+                reg.out
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  setup_hold setup=2.5 hold=1.5 ({}, {});",
+            named(&reg.data),
+            named(&reg.clock)
+        );
+    }
+    let _ = writeln!(s, "  buf delay=1.0:3.0 ({}) -> (OUT);", named(out_net));
+    s.push_str("end;\n");
+    s
+}
+
+fn comb_out(comb: &Comb) -> &str {
+    match comb {
+        Comb::Gate { out, .. }
+        | Comb::Not { out, .. }
+        | Comb::Buf { out, .. }
+        | Comb::Add { out, .. }
+        | Comb::Mux { out, .. } => out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = paired_design(42);
+        let b = paired_design(42);
+        assert_eq!(a.verilog, b.verilog);
+        assert_eq!(a.scald, b.scald);
+        let c = paired_design(43);
+        assert_ne!(a.verilog, c.verilog);
+    }
+
+    #[test]
+    fn both_renderings_mention_the_same_registers() {
+        let pair = paired_design(7);
+        for line in pair.verilog.lines() {
+            if let Some(rest) = line.trim().strip_prefix("reg ") {
+                let name = rest.trim_end_matches(';');
+                assert!(
+                    pair.scald.contains(&format!("({name})")),
+                    "register {name} missing from the SCALD twin:\n{}",
+                    pair.scald
+                );
+            }
+        }
+    }
+}

@@ -44,8 +44,8 @@ mod session;
 
 pub use diff::{report_diff, ReportDiff};
 pub use session::{
-    compile_source, design_hash, Delta, DesignInput, IncrStats, Session, SessionBuilder,
-    SessionError, SessionOutcome,
+    compile_source, compile_verilog, design_hash, Delta, DesignInput, IncrStats, Session,
+    SessionBuilder, SessionError, SessionOutcome,
 };
 
 // Re-exported so callers can build deltas and read reports without

@@ -24,6 +24,10 @@ pub enum DesignInput {
     /// HDL source text; the design's `case` blocks become the session's
     /// case set (one empty base case when it declares none).
     Source(String),
+    /// Verilog source text, compiled through the `scald-rtl` frontend;
+    /// the design's `// scald: case` pragmas become the session's case
+    /// set (one empty base case when it declares none).
+    Verilog(String),
     /// An already-built netlist plus an explicit case set (pass
     /// `vec![Case::new()]` for a single base case).
     Netlist {
@@ -38,6 +42,11 @@ impl DesignInput {
     /// Source-text input (convenience over the variant).
     pub fn source(src: impl Into<String>) -> DesignInput {
         DesignInput::Source(src.into())
+    }
+
+    /// Verilog-source input (convenience over the variant).
+    pub fn verilog(src: impl Into<String>) -> DesignInput {
+        DesignInput::Verilog(src.into())
     }
 
     /// Netlist input (convenience over the variant).
@@ -56,6 +65,12 @@ pub enum Delta {
     /// definition did not change hash identically and stay warm. The
     /// design's `case` blocks replace the session's case set.
     Source(String),
+    /// Replace the whole design from Verilog source text, re-compiled
+    /// through the `scald-rtl` frontend. Lowered primitive names are
+    /// stable across re-compilation (per-body ordinals mirroring the
+    /// expander), so unchanged logic hashes identically and stays warm.
+    /// The design's `// scald: case` pragmas replace the case set.
+    Verilog(String),
     /// Apply structural edits ([`NetlistDelta`]) to the current netlist:
     /// add/remove/retime primitives, change assertions. The case set is
     /// kept.
@@ -118,6 +133,8 @@ pub struct SessionOutcome {
 pub enum SessionError {
     /// The HDL source failed to compile.
     Compile(scald_hdl::HdlError),
+    /// The Verilog source failed to compile.
+    Rtl(scald_rtl::RtlError),
     /// A [`NetlistDelta`] failed to apply.
     Delta(DeltaError),
     /// Verification failed (oscillation, unknown case signal).
@@ -128,6 +145,7 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::Compile(e) => write!(f, "{e}"),
+            SessionError::Rtl(e) => write!(f, "{e}"),
             SessionError::Delta(e) => write!(f, "{e}"),
             SessionError::Verify(e) => write!(f, "{e}"),
         }
@@ -139,6 +157,12 @@ impl std::error::Error for SessionError {}
 impl From<scald_hdl::HdlError> for SessionError {
     fn from(e: scald_hdl::HdlError) -> SessionError {
         SessionError::Compile(e)
+    }
+}
+
+impl From<scald_rtl::RtlError> for SessionError {
+    fn from(e: scald_rtl::RtlError) -> SessionError {
+        SessionError::Rtl(e)
     }
 }
 
@@ -228,6 +252,7 @@ impl SessionBuilder {
     ) -> Result<Session, SessionError> {
         let (netlist, cases) = match input {
             DesignInput::Source(src) => compile(&src)?,
+            DesignInput::Verilog(src) => compile_rtl(&src)?,
             DesignInput::Netlist { netlist, cases } => (netlist, cases),
         };
         let eval_cache = match &self.shared_cache {
@@ -252,41 +277,6 @@ impl SessionBuilder {
         let outcome = session.verify(netlist, None)?;
         session.last = Some(outcome);
         Ok(session)
-    }
-
-    /// Opens a session by compiling HDL source; the design's `case`
-    /// blocks become the session's case set.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SessionError`] if the source fails to compile or the
-    /// initial cold verification fails.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SessionBuilder::open(DesignInput::source(..))"
-    )]
-    pub fn open_source(self, src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
-        self.open(DesignInput::source(src), label)
-    }
-
-    /// Opens a session on an already-built netlist and case set (pass
-    /// `vec![Case::new()]` for a single base case).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SessionError`] if the initial cold verification
-    /// fails.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SessionBuilder::open(DesignInput::netlist(..))"
-    )]
-    pub fn open_netlist(
-        self,
-        netlist: Netlist,
-        cases: Vec<Case>,
-        label: impl Into<String>,
-    ) -> Result<Session, SessionError> {
-        self.open(DesignInput::Netlist { netlist, cases }, label)
     }
 }
 
@@ -330,30 +320,6 @@ impl Session {
     /// As for [`SessionBuilder::open`].
     pub fn open(input: DesignInput, label: impl Into<String>) -> Result<Session, SessionError> {
         SessionBuilder::new().open(input, label)
-    }
-
-    /// [`SessionBuilder::open`] on source input with default options.
-    ///
-    /// # Errors
-    ///
-    /// As for [`SessionBuilder::open`].
-    #[deprecated(since = "0.1.0", note = "use Session::open(DesignInput::source(..))")]
-    pub fn from_source(src: &str, label: impl Into<String>) -> Result<Session, SessionError> {
-        Session::open(DesignInput::source(src), label)
-    }
-
-    /// [`SessionBuilder::open`] on netlist input with default options.
-    ///
-    /// # Errors
-    ///
-    /// As for [`SessionBuilder::open`].
-    #[deprecated(since = "0.1.0", note = "use Session::open(DesignInput::netlist(..))")]
-    pub fn from_netlist(
-        netlist: Netlist,
-        cases: Vec<Case>,
-        label: impl Into<String>,
-    ) -> Result<Session, SessionError> {
-        Session::open(DesignInput::Netlist { netlist, cases }, label)
     }
 
     /// The current (edited-to-date) netlist.
@@ -449,6 +415,10 @@ impl Session {
         let (netlist, cases) = match delta {
             Delta::Source(src) => {
                 let (netlist, cases) = compile(&src)?;
+                (netlist, Some(cases))
+            }
+            Delta::Verilog(src) => {
+                let (netlist, cases) = compile_rtl(&src)?;
                 (netlist, Some(cases))
             }
             Delta::Netlist(d) => (d.apply(self.settled.netlist())?, None),
@@ -582,6 +552,38 @@ impl Session {
 /// [`SessionError::Compile`] when the source fails to compile.
 pub fn compile_source(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
     compile(src)
+}
+
+/// Compiles Verilog source into the `(netlist, cases)` pair that
+/// [`DesignInput::Verilog`] opens — the `scald-rtl` twin of
+/// [`compile_source`], for callers that need the netlist before opening
+/// a session.
+///
+/// # Errors
+///
+/// [`SessionError::Rtl`] when the source fails to compile.
+pub fn compile_verilog(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
+    compile_rtl(src)
+}
+
+/// Compiles Verilog source into a netlist plus its case set (one empty
+/// base case when the design declares none), mirroring [`compile`].
+fn compile_rtl(src: &str) -> Result<(Netlist, Vec<Case>), SessionError> {
+    let expansion = scald_rtl::compile(src)?;
+    let cases: Vec<Case> = if expansion.cases.is_empty() {
+        vec![Case::new()]
+    } else {
+        expansion
+            .cases
+            .iter()
+            .map(|assigns| {
+                assigns
+                    .iter()
+                    .fold(Case::new(), |c, (s, v)| c.assign(s.clone(), *v))
+            })
+            .collect()
+    };
+    Ok((expansion.netlist, cases))
 }
 
 /// Compiles HDL source into a netlist plus its case set (one empty base

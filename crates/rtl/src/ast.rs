@@ -1,0 +1,277 @@
+//! The abstract syntax tree of the Verilog subset.
+//!
+//! Deliberately small: everything here is synthesisable and has a
+//! direct timing meaning after lowering. Vectors keep one declaration
+//! width per net — the netlist models a vector as one symmetric signal
+//! (§3.3.2 of the thesis), so bit/part selects resolve to the base net.
+
+use crate::error::Span;
+use crate::token::RawPragma;
+
+/// One parsed source file: the modules plus file-scoped pragmas.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// All modules, in source order.
+    pub modules: Vec<Module>,
+    /// `// scald:` pragmas outside any module (design configuration).
+    pub global_pragmas: Vec<RawPragma>,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A declared port.
+#[derive(Debug)]
+pub struct Port {
+    /// Direction.
+    pub dir: Dir,
+    /// Port name.
+    pub name: String,
+    /// Bit width (1 for scalars).
+    pub width: u32,
+    /// Where the port name appears.
+    pub span: Span,
+}
+
+/// One `module ... endmodule`.
+#[derive(Debug)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Where the name appears (for duplicate/top diagnostics).
+    pub span: Span,
+    /// Declared ports, in header order.
+    pub ports: Vec<Port>,
+    /// Body items, in source order.
+    pub items: Vec<Item>,
+    /// `// scald:` pragmas lexically inside this module.
+    pub pragmas: Vec<RawPragma>,
+}
+
+/// A module body item.
+#[derive(Debug)]
+pub enum Item {
+    /// A `wire`/`reg`/`logic` net declaration (multi-name declarations
+    /// are split into one item per name).
+    Net {
+        /// Net name.
+        name: String,
+        /// Bit width (1 for scalars).
+        width: u32,
+        /// Where the name appears.
+        span: Span,
+    },
+    /// `assign target = expr;`
+    Assign {
+        /// Target net.
+        target: String,
+        /// Where the target appears.
+        target_span: Span,
+        /// Driven expression.
+        expr: Expr,
+        /// Statement span (the `assign` keyword).
+        span: Span,
+    },
+    /// `always_ff @(posedge clk [or posedge rst]) stmt`
+    AlwaysFf {
+        /// The clock edge (first entry of the sensitivity list).
+        clock: EdgeRef,
+        /// The async set/reset edge, when present.
+        reset: Option<EdgeRef>,
+        /// Process body.
+        body: Stmt,
+        /// Statement span (the `always_ff` keyword).
+        span: Span,
+    },
+    /// `always_comb stmt`
+    AlwaysComb {
+        /// Process body.
+        body: Stmt,
+        /// Statement span (the `always_comb` keyword).
+        span: Span,
+    },
+    /// `Module inst (.port(net), ...);`
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name (diagnostics only; flat primitive paths use
+        /// the module name, mirroring the SCALD expander).
+        inst: String,
+        /// Named connections: `(port, net, span-of-port)`.
+        conns: Vec<(String, String, Span)>,
+        /// Statement span (the module name).
+        span: Span,
+    },
+}
+
+/// A `posedge`/`negedge` entry in a sensitivity list.
+#[derive(Debug, Clone)]
+pub struct EdgeRef {
+    /// `true` for `posedge`.
+    pub posedge: bool,
+    /// The edge's signal.
+    pub signal: String,
+    /// Where the signal name appears.
+    pub span: Span,
+}
+
+/// A procedural statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `begin ... end`
+    Block(Vec<Stmt>),
+    /// `if (cond) then [else els]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then: Box<Stmt>,
+        /// Else branch, when present.
+        els: Option<Box<Stmt>>,
+        /// The `if` keyword.
+        span: Span,
+    },
+    /// `target <= expr;` / `target = expr;`
+    Assign {
+        /// Target net.
+        target: String,
+        /// Where the target appears.
+        target_span: Span,
+        /// `true` for `<=`.
+        nonblocking: bool,
+        /// Assigned expression.
+        expr: Expr,
+        /// Statement span.
+        span: Span,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `~` / `!` — lowered to an inverted connection (no primitive).
+    Not,
+    /// `-` — arithmetic negate, lowered as a CHANGE cone.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// `true` for the bitwise gate operators (`&`, `|`, `^`), which
+    /// lower to their own gate primitives; everything else lowers into
+    /// a CHANGE cone (§2.4.2: complex combinational logic).
+    #[must_use]
+    pub fn is_gate(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// `true` for comparisons, whose result is one bit wide.
+    #[must_use]
+    pub fn is_compare(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A net reference; bit/part selects (`x[3]`, `x[7:0]`) resolve to
+    /// the base net under vector symmetry.
+    Ident {
+        /// Referenced name.
+        name: String,
+        /// Where it appears.
+        span: Span,
+    },
+    /// A number literal.
+    Literal {
+        /// Value.
+        value: u64,
+        /// Declared width, if sized.
+        width: Option<u32>,
+        /// Where it appears.
+        span: Span,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Operator position.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Operator position.
+        span: Span,
+    },
+    /// `cond ? then : els`
+    Ternary {
+        /// Select.
+        cond: Box<Expr>,
+        /// Value when the select is 1.
+        then: Box<Expr>,
+        /// Value when the select is 0.
+        els: Box<Expr>,
+        /// The `?` position.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's anchor span for diagnostics.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident { span, .. }
+            | Expr::Literal { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Ternary { span, .. } => *span,
+        }
+    }
+}

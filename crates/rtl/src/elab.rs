@@ -1,0 +1,309 @@
+//! Elaboration support: the module table, top-module selection, and the
+//! symbolic evaluation that turns a process body into one expression
+//! per assigned register/net.
+//!
+//! The symbolic evaluator is the principled always-block semantics the
+//! lowering relies on (after Lööw's simulation semantics of
+//! synthesisable Verilog): walk the statements in order keeping, for
+//! every target, the expression it would hold at the end of the body.
+//! `if`/`else` merges become ternaries (lowered to multiplexers); in an
+//! `always_ff` a branch that leaves a target unassigned holds its old
+//! value, while in `always_comb` it is a latch-inference error.
+
+use crate::ast::{Expr, Module, Stmt};
+use crate::error::{RtlError, Span};
+use std::collections::{HashMap, HashSet};
+
+/// All modules of a file, indexed by name.
+pub(crate) struct ModuleTable<'a> {
+    by_name: HashMap<&'a str, &'a Module>,
+}
+
+impl<'a> ModuleTable<'a> {
+    /// Indexes the modules, rejecting duplicate names.
+    pub(crate) fn new(modules: &'a [Module]) -> Result<ModuleTable<'a>, RtlError> {
+        let mut by_name = HashMap::new();
+        for module in modules {
+            if by_name.insert(module.name.as_str(), module).is_some() {
+                return Err(RtlError::new(
+                    format!("duplicate module `{}`", module.name),
+                    module.span,
+                ));
+            }
+        }
+        Ok(ModuleTable { by_name })
+    }
+
+    /// Looks up a module by name.
+    pub(crate) fn get(&self, name: &str) -> Option<&'a Module> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Picks the top module: the unique module no other module
+    /// instantiates.
+    pub(crate) fn top(&self, modules: &'a [Module]) -> Result<&'a Module, RtlError> {
+        if modules.is_empty() {
+            return Err(RtlError::new(
+                "the file declares no modules",
+                Span::new(1, 1),
+            ));
+        }
+        let mut instantiated: HashSet<&str> = HashSet::new();
+        for module in modules {
+            for item in &module.items {
+                if let crate::ast::Item::Instance { module: child, .. } = item {
+                    instantiated.insert(child.as_str());
+                }
+            }
+        }
+        let candidates: Vec<&'a Module> = modules
+            .iter()
+            .filter(|m| !instantiated.contains(m.name.as_str()))
+            .collect();
+        match candidates.as_slice() {
+            [] => Err(RtlError::new(
+                "no top module: every module is instantiated (instantiation cycle?)",
+                modules[0].span,
+            )),
+            [top] => Ok(top),
+            [first, second, ..] => Err(RtlError::new(
+                format!(
+                    "ambiguous top module: both `{}` and `{}` are uninstantiated",
+                    first.name, second.name
+                ),
+                second.span,
+            )),
+        }
+    }
+}
+
+/// Which kind of process a body belongs to; controls the assignment
+/// discipline and the unassigned-branch semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcKind {
+    /// `always_ff`: non-blocking assignments, unassigned targets hold.
+    Ff,
+    /// `always_comb`: blocking assignments, unassigned targets are a
+    /// latch-inference error.
+    Comb,
+}
+
+/// One resolved target: name, span of its first assignment, and the
+/// expression it holds at the end of the body.
+pub(crate) type TargetExpr = (String, Span, Expr);
+
+/// Symbolically evaluates a process body into one expression per
+/// target, in first-assignment order.
+///
+/// # Errors
+///
+/// Wrong assignment operator for the process kind, or (for
+/// `always_comb`) a target not assigned on every path.
+pub(crate) fn eval_targets(body: &Stmt, kind: ProcKind) -> Result<Vec<TargetExpr>, RtlError> {
+    let mut env: Env = Vec::new();
+    let mut touched = Vec::new();
+    walk(body, kind, &mut env, &mut touched)?;
+    Ok(env)
+}
+
+type Env = Vec<TargetExpr>;
+
+fn get<'e>(env: &'e Env, target: &str) -> Option<&'e Expr> {
+    env.iter()
+        .find(|(name, _, _)| name == target)
+        .map(|(_, _, e)| e)
+}
+
+fn set(env: &mut Env, target: &str, span: Span, expr: Expr) {
+    match env.iter_mut().find(|(name, _, _)| name == target) {
+        Some(slot) => slot.2 = expr,
+        None => env.push((target.to_owned(), span, expr)),
+    }
+}
+
+fn touch(touched: &mut Vec<String>, target: &str) {
+    if !touched.iter().any(|t| t == target) {
+        touched.push(target.to_owned());
+    }
+}
+
+fn walk(
+    stmt: &Stmt,
+    kind: ProcKind,
+    env: &mut Env,
+    touched: &mut Vec<String>,
+) -> Result<(), RtlError> {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                walk(s, kind, env, touched)?;
+            }
+            Ok(())
+        }
+        Stmt::Assign {
+            target,
+            target_span,
+            nonblocking,
+            expr,
+            span,
+        } => {
+            match kind {
+                ProcKind::Ff if !nonblocking => {
+                    return Err(RtlError::new(
+                        format!(
+                            "blocking assignment to `{target}` in always_ff; \
+                             registers use `<=`"
+                        ),
+                        *span,
+                    ))
+                }
+                ProcKind::Comb if *nonblocking => {
+                    return Err(RtlError::new(
+                        format!(
+                            "non-blocking assignment to `{target}` in always_comb; \
+                             combinational logic uses `=`"
+                        ),
+                        *span,
+                    ))
+                }
+                _ => {}
+            }
+            set(env, target, *target_span, expr.clone());
+            touch(touched, target);
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then,
+            els,
+            span,
+        } => {
+            let mut env_t = env.clone();
+            let mut touched_t = Vec::new();
+            walk(then, kind, &mut env_t, &mut touched_t)?;
+            let mut env_e = env.clone();
+            let mut touched_e = Vec::new();
+            if let Some(els) = els {
+                walk(els, kind, &mut env_e, &mut touched_e)?;
+            }
+            // Merge in first-touch order: branch targets become
+            // ternaries selecting between the two branch values.
+            let mut union = touched_t.clone();
+            for t in &touched_e {
+                if !union.iter().any(|u| u == t) {
+                    union.push(t.clone());
+                }
+            }
+            for target in union {
+                let value_of = |branch: &Env| -> Result<Expr, RtlError> {
+                    if let Some(e) = get(branch, &target) {
+                        return Ok(e.clone());
+                    }
+                    match kind {
+                        // Unassigned in this branch: the register holds.
+                        ProcKind::Ff => Ok(Expr::Ident {
+                            name: target.clone(),
+                            span: *span,
+                        }),
+                        ProcKind::Comb => Err(RtlError::new(
+                            format!(
+                                "in always_comb, `{target}` is not assigned on every \
+                                 path (latch inferred); assign it in both branches \
+                                 or give it a default"
+                            ),
+                            *span,
+                        )),
+                    }
+                };
+                let then_value = value_of(&env_t)?;
+                let else_value = value_of(&env_e)?;
+                let span_of = env_t
+                    .iter()
+                    .chain(env_e.iter())
+                    .find(|(name, _, _)| *name == target)
+                    .map_or(*span, |(_, s, _)| *s);
+                set(
+                    env,
+                    &target,
+                    span_of,
+                    Expr::Ternary {
+                        cond: Box::new(cond.clone()),
+                        then: Box::new(then_value),
+                        els: Box::new(else_value),
+                        span: *span,
+                    },
+                );
+                touch(touched, &target);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn body_of(src: &str) -> (Stmt, ProcKind) {
+        let file = parse(src).unwrap();
+        match file
+            .modules
+            .into_iter()
+            .next()
+            .unwrap()
+            .items
+            .into_iter()
+            .next()
+            .unwrap()
+        {
+            crate::ast::Item::AlwaysFf { body, .. } => (body, ProcKind::Ff),
+            crate::ast::Item::AlwaysComb { body, .. } => (body, ProcKind::Comb),
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enable_pattern_becomes_hold_mux() {
+        let (body, kind) = body_of(
+            "module m(input wire c, input wire en, input wire d, output reg q);\n\
+             always_ff @(posedge c) if (en) q <= d;\nendmodule\n",
+        );
+        let targets = eval_targets(&body, kind).unwrap();
+        assert_eq!(targets.len(), 1);
+        let Expr::Ternary { els, .. } = &targets[0].2 else {
+            panic!("expected a mux: {targets:?}")
+        };
+        assert!(matches!(&**els, Expr::Ident { name, .. } if name == "q"));
+    }
+
+    #[test]
+    fn comb_missing_branch_is_latch_error() {
+        let (body, kind) = body_of(
+            "module m(input wire en, input wire d, output wire y);\n\
+             always_comb if (en) y = d;\nendmodule\n",
+        );
+        let err = eval_targets(&body, kind).unwrap_err();
+        assert!(err.message.contains("latch inferred"), "{err}");
+    }
+
+    #[test]
+    fn blocking_in_ff_is_rejected() {
+        let (body, kind) = body_of(
+            "module m(input wire c, input wire d, output reg q);\n\
+             always_ff @(posedge c) q = d;\nendmodule\n",
+        );
+        let err = eval_targets(&body, kind).unwrap_err();
+        assert!(err.message.contains("blocking assignment"), "{err}");
+    }
+
+    #[test]
+    fn sequential_reassignment_keeps_last_value() {
+        let (body, kind) = body_of(
+            "module m(input wire a, input wire b, output wire y);\n\
+             always_comb begin y = a; y = b; end\nendmodule\n",
+        );
+        let targets = eval_targets(&body, kind).unwrap();
+        assert!(matches!(&targets[0].2, Expr::Ident { name, .. } if name == "b"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Spanned diagnostics with source excerpts.
+//!
+//! Every failure in the RTL frontend — lexical, syntactic, semantic or
+//! lowering — carries the 1-based line/column it points at. The
+//! top-level [`compile`](crate::compile) entry point attaches the
+//! offending source line so CLI users see a caret under the problem.
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number (in characters), starting at 1.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span at the given line and column.
+    #[must_use]
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// An error from the RTL frontend: what went wrong, where, and (once
+/// [`attach_source`](RtlError::attach_source) has run) the offending
+/// source line.
+#[derive(Debug, Clone)]
+pub struct RtlError {
+    /// Explanation of the failure.
+    pub message: String,
+    /// Where in the source it points.
+    pub span: Span,
+    /// The source line the span falls on, when known.
+    pub excerpt: Option<String>,
+}
+
+impl RtlError {
+    /// A new diagnostic at `span` (no excerpt yet).
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> RtlError {
+        RtlError {
+            message: message.into(),
+            span,
+            excerpt: None,
+        }
+    }
+
+    /// Fills in the excerpt from the source text the error came from.
+    /// Idempotent; a span past the end of the text leaves no excerpt.
+    #[must_use]
+    pub fn attach_source(mut self, src: &str) -> RtlError {
+        if self.excerpt.is_none() {
+            self.excerpt = src
+                .lines()
+                .nth(self.span.line.saturating_sub(1) as usize)
+                .map(str::to_owned);
+        }
+        self
+    }
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)?;
+        if let Some(excerpt) = &self.excerpt {
+            let line = self.span.line;
+            let gutter = format!("{line}").len().max(4);
+            writeln!(f)?;
+            writeln!(f, "{line:>gutter$} | {excerpt}")?;
+            let caret_at = (self.span.col.saturating_sub(1)) as usize;
+            // Columns count characters, so pad by character count, not
+            // bytes, and never run the caret past the excerpt's end.
+            let pad = caret_at.min(excerpt.chars().count());
+            write!(f, "{:>gutter$} | {:pad$}^", "", "")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_excerpt_with_caret() {
+        let src = "module top;\n  assign y = x;\nendmodule\n";
+        let e = RtlError::new("undeclared identifier `x`", Span::new(2, 14)).attach_source(src);
+        let text = e.to_string();
+        assert!(text.contains("line 2, col 14"));
+        assert!(text.contains("  assign y = x;"));
+        let caret_line = text.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some("   2 | ".len() + 13));
+    }
+
+    #[test]
+    fn span_past_eof_has_no_excerpt() {
+        let e = RtlError::new("unexpected end of file", Span::new(99, 1)).attach_source("x\n");
+        assert!(e.excerpt.is_none());
+        assert_eq!(e.to_string(), "line 99, col 1: unexpected end of file");
+    }
+}

@@ -1,0 +1,893 @@
+//! Lowering: flatten the instance hierarchy and map elaborated RTL
+//! onto the netlist's timing primitives.
+//!
+//! Naming mirrors the SCALD expander exactly so the two frontends are
+//! interchangeable: primitives are `{path}/{kind}#{ordinal}` with
+//! per-body per-keyword ordinals, instance paths are
+//! `{path}/{Module}#{ordinal}`, and signals are created in connection
+//! order (inputs first, then the output). Expression temporaries are
+//! `x#{n}`, constant nets `k#{n}`, and the per-body ground net
+//! `GND#0` — all under the instance prefix.
+//!
+//! The timing mapping:
+//!
+//! * `always_ff` bodies become [`Reg`](PrimKind::Reg) primitives (with
+//!   asynchronous SET/RESET when the sensitivity list carries a reset
+//!   edge), each guarded by a `SETUP HOLD CHK` built from the module's
+//!   `// scald: ff` pragma.
+//! * `assign` and `always_comb` cones become gate/CHANGE/mux
+//!   primitives carrying the module's `comb` delay.
+//! * A derived clock (`assign gclk = clk & en;`) is just the AND gate
+//!   it says it is: under the seven-value algebra a gate with one
+//!   changing input and stable companions passes the edge through, so
+//!   the gate *is* the clock-path primitive and its delay widens the
+//!   edge arrival window the checker sees downstream.
+
+use crate::ast::{BinOp, EdgeRef, Expr, Item, Module, SourceFile, Stmt, UnOp};
+use crate::elab::{eval_targets, ModuleTable, ProcKind, TargetExpr};
+use crate::error::{RtlError, Span};
+use crate::pragma::{global_config, module_timing, Defaults, ModuleTiming};
+use scald_logic::Value;
+use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, PrimKind, SignalId};
+use scald_wave::{DelayRange, Time};
+use std::collections::HashMap;
+
+/// Maximum instance-nesting depth; a backstop against (transitively)
+/// self-instantiating module graphs.
+const MAX_DEPTH: usize = 32;
+
+/// The result of lowering a parsed file.
+pub(crate) struct Lowered {
+    /// The finished netlist.
+    pub netlist: Netlist,
+    /// Case assignments from `// scald: case` pragmas.
+    pub cases: Vec<Vec<(String, bool)>>,
+    /// Instances flattened (excluding the top module).
+    pub instances: usize,
+    /// Primitives emitted.
+    pub prims: usize,
+    /// Signals created.
+    pub signals: usize,
+}
+
+/// Lowers a parsed source file into a netlist.
+pub(crate) fn lower(file: &SourceFile, defaults: &Defaults) -> Result<Lowered, RtlError> {
+    let global = global_config(defaults, &file.global_pragmas)?;
+    let config = Config {
+        timing: scald_assertions::TimingContext {
+            period: Time::from_ns(global.period_ns),
+            clock_unit: Time::from_ns(global.clock_unit_ns),
+            precision_skew: scald_wave::Skew::from_ns(
+                global.precision_skew_ns.0,
+                global.precision_skew_ns.1,
+            ),
+            nonprecision_skew: scald_wave::Skew::from_ns(
+                global.clock_skew_ns.0,
+                global.clock_skew_ns.1,
+            ),
+        },
+        default_wire_delay: DelayRange::from_ns(global.wire_delay_ns.0, global.wire_delay_ns.1),
+    };
+    let table = ModuleTable::new(&file.modules)?;
+    let top = table.top(&file.modules)?;
+    let mut lw = Lowerer {
+        builder: NetlistBuilder::new(config),
+        table: &table,
+        defaults,
+        asserted: HashMap::new(),
+        driven: HashMap::new(),
+        instances: 0,
+    };
+    lw.walk_module(top, "TOP".to_owned(), String::new(), HashMap::new(), 0)?;
+    let prims = lw.builder.prim_count();
+    let signals = lw.builder.signal_count();
+    let netlist = lw
+        .builder
+        .finish()
+        .map_err(|e| RtlError::new(format!("netlist validation failed: {e}"), Span::new(1, 1)))?;
+    Ok(Lowered {
+        netlist,
+        cases: global.cases,
+        instances: lw.instances,
+        prims,
+        signals,
+    })
+}
+
+/// Per-instance lowering context: flat naming, declared widths, and the
+/// per-body ordinal/temporary counters.
+struct Ctx {
+    /// Module name, for diagnostics.
+    module_name: String,
+    /// Flat instance path (`TOP`, `TOP/Child#1`, ...).
+    path: String,
+    /// Prefix for local nets (`""` at top, `"TOP/Child#1/"` below).
+    prefix: String,
+    /// Declared local names → (width, declaration span).
+    widths: HashMap<String, (u32, Span)>,
+    /// Port name → flat parent net, for connected ports.
+    bindings: HashMap<String, String>,
+    /// Module timing pragmas.
+    timing: ModuleTiming,
+    /// Per-keyword primitive/instance ordinals.
+    ordinals: HashMap<String, usize>,
+    /// Expression-temporary counter (`x#{n}`).
+    temp_n: usize,
+    /// Constant-net counter (`k#{n}`).
+    const_n: usize,
+    /// The body's ground net, created on first use.
+    gnd: Option<Conn>,
+}
+
+impl Ctx {
+    /// The flat netlist name of a local identifier.
+    fn flat(&self, local: &str) -> String {
+        match self.bindings.get(local) {
+            Some(bound) => bound.clone(),
+            None => format!("{}{}", self.prefix, local),
+        }
+    }
+
+    /// Declared width of a local identifier.
+    fn width_of(&self, name: &str, span: Span) -> Result<u32, RtlError> {
+        self.widths
+            .get(name)
+            .map(|&(w, _)| w)
+            .ok_or_else(|| RtlError::new(format!("undeclared identifier `{name}`"), span))
+    }
+}
+
+fn next_ordinal(ordinals: &mut HashMap<String, usize>, key: &str) -> usize {
+    let n = ordinals.entry(key.to_owned()).or_insert(0);
+    *n += 1;
+    *n
+}
+
+struct Lowerer<'a> {
+    builder: NetlistBuilder,
+    table: &'a ModuleTable<'a>,
+    defaults: &'a Defaults,
+    /// Flat base name → full name with assertion suffix, from top-level
+    /// `// scald: input` pragmas.
+    asserted: HashMap<String, String>,
+    /// Flat base name → span of its first driver.
+    driven: HashMap<String, Span>,
+    instances: usize,
+}
+
+impl Lowerer<'_> {
+    /// The full netlist name (base plus assertion suffix, if any).
+    fn full(&self, flat: &str) -> String {
+        match self.asserted.get(flat) {
+            Some(full) => full.clone(),
+            None => flat.to_owned(),
+        }
+    }
+
+    /// Resolves a local identifier to its netlist signal.
+    fn signal_ref(
+        &mut self,
+        ctx: &Ctx,
+        name: &str,
+        span: Span,
+    ) -> Result<(SignalId, u32), RtlError> {
+        let w = ctx.width_of(name, span)?;
+        let full = self.full(&ctx.flat(name));
+        let sid = self
+            .builder
+            .signal_vec(&full, w)
+            .map_err(|e| RtlError::new(e.to_string(), span))?;
+        Ok((sid, w))
+    }
+
+    /// Records a driver of `target`, rejecting multiple drivers.
+    fn check_driven(&mut self, ctx: &Ctx, target: &str, span: Span) -> Result<(), RtlError> {
+        let flat = ctx.flat(target);
+        if let Some(first) = self.driven.insert(flat, span) {
+            return Err(RtlError::new(
+                format!(
+                    "`{target}` is driven more than once (first driver at line {})",
+                    first.line
+                ),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn prim_name(&self, ctx: &mut Ctx, kw: &str) -> String {
+        let n = next_ordinal(&mut ctx.ordinals, kw);
+        format!("{}/{}#{}", ctx.path, kw, n)
+    }
+
+    fn comb_delay(&self, ctx: &Ctx) -> DelayRange {
+        DelayRange::from_ns(ctx.timing.comb_delay_ns.0, ctx.timing.comb_delay_ns.1)
+    }
+
+    /// Infers the width of `expr`; `None` means a flexible (unsized,
+    /// context-determined) literal.
+    fn infer(&self, ctx: &Ctx, expr: &Expr) -> Result<Option<u32>, RtlError> {
+        match expr {
+            Expr::Ident { name, span } => Ok(Some(ctx.width_of(name, *span)?)),
+            Expr::Literal { width, .. } => Ok(*width),
+            Expr::Unary { operand, .. } => self.infer(ctx, operand),
+            Expr::Binary { op, lhs, rhs, span } => {
+                let l = self.infer(ctx, lhs)?;
+                let r = self.infer(ctx, rhs)?;
+                let w = unify(l, r, *span)?;
+                Ok(if op.is_compare() { Some(1) } else { w })
+            }
+            Expr::Ternary {
+                cond,
+                then,
+                els,
+                span,
+            } => {
+                let c = self.infer(ctx, cond)?;
+                unify(c, Some(1), cond.span())?;
+                let t = self.infer(ctx, then)?;
+                let e = self.infer(ctx, els)?;
+                unify(t, e, *span)
+            }
+        }
+    }
+
+    /// Checks that `expr` is width-compatible with `target`; returns the
+    /// target's width.
+    fn check_assign_width(
+        &self,
+        ctx: &Ctx,
+        target: &str,
+        target_span: Span,
+        expr: &Expr,
+    ) -> Result<u32, RtlError> {
+        let tw = ctx.width_of(target, target_span)?;
+        if let Some(ew) = self.infer(ctx, expr)? {
+            if ew != tw {
+                return Err(RtlError::new(
+                    format!(
+                        "width mismatch: {tw}-bit `{target}` is assigned a {ew}-bit expression"
+                    ),
+                    expr.span(),
+                ));
+            }
+        }
+        Ok(tw)
+    }
+
+    /// Lowers `expr` to a connection, materialising a temporary net for
+    /// anything that is not a (possibly inverted) identifier.
+    fn lower_operand(&mut self, ctx: &mut Ctx, expr: &Expr, want: u32) -> Result<Conn, RtlError> {
+        match expr {
+            Expr::Ident { name, span } => {
+                let (sid, _) = self.signal_ref(ctx, name, *span)?;
+                Ok(Conn::new(sid))
+            }
+            // `~`/`!` cost nothing: they become inverted connections,
+            // the netlist's native complemented-input form.
+            Expr::Unary {
+                op: UnOp::Not,
+                operand,
+                ..
+            } => Ok(self.lower_operand(ctx, operand, want)?.inverted()),
+            Expr::Literal { value, width, span } => {
+                let w = width.unwrap_or(want);
+                ctx.const_n += 1;
+                let name = format!("{}k#{}", ctx.prefix, ctx.const_n);
+                let sid = self
+                    .builder
+                    .signal_vec(&name, w)
+                    .map_err(|e| RtlError::new(e.to_string(), *span))?;
+                let (kw, value) = if *value == 0 {
+                    ("const0", Value::Zero)
+                } else {
+                    ("const1", Value::One)
+                };
+                let prim = self.prim_name(ctx, kw);
+                self.builder.constant(prim, value, sid);
+                Ok(Conn::new(sid))
+            }
+            _ => {
+                let w = self.infer(ctx, expr)?.unwrap_or(want);
+                ctx.temp_n += 1;
+                let name = format!("{}x#{}", ctx.prefix, ctx.temp_n);
+                let sid = self.lower_into(ctx, expr, &name, w)?;
+                Ok(Conn::new(sid))
+            }
+        }
+    }
+
+    /// The body's lazily created ground net (`GND#0` driven by a
+    /// `const0`), shared by every reset in the body.
+    fn ensure_gnd(&mut self, ctx: &mut Ctx, span: Span) -> Result<Conn, RtlError> {
+        if let Some(conn) = &ctx.gnd {
+            return Ok(conn.clone());
+        }
+        let name = format!("{}GND#0", ctx.prefix);
+        let sid = self
+            .builder
+            .signal_vec(&name, 1)
+            .map_err(|e| RtlError::new(e.to_string(), span))?;
+        let prim = self.prim_name(ctx, "const0");
+        self.builder.constant(prim, Value::Zero, sid);
+        let conn = Conn::new(sid);
+        ctx.gnd = Some(conn.clone());
+        Ok(conn)
+    }
+
+    /// Lowers `expr` into the signal `out_full`, creating operand
+    /// connections first and the output signal last (the expander's
+    /// creation order). Returns the output's id.
+    fn lower_into(
+        &mut self,
+        ctx: &mut Ctx,
+        expr: &Expr,
+        out_full: &str,
+        out_w: u32,
+    ) -> Result<SignalId, RtlError> {
+        let delay = self.comb_delay(ctx);
+        let out = |lw: &mut Self, span: Span| {
+            lw.builder
+                .signal_vec(out_full, out_w)
+                .map_err(|e| RtlError::new(e.to_string(), span))
+        };
+        match expr {
+            Expr::Literal { value, span, .. } => {
+                let sid = out(self, *span)?;
+                let (kw, value) = if *value == 0 {
+                    ("const0", Value::Zero)
+                } else {
+                    ("const1", Value::One)
+                };
+                let prim = self.prim_name(ctx, kw);
+                self.builder.constant(prim, value, sid);
+                Ok(sid)
+            }
+            Expr::Ident { span, .. } => {
+                let conn = self.lower_operand(ctx, expr, out_w)?;
+                let sid = out(self, *span)?;
+                let name = self.prim_name(ctx, "buf");
+                self.builder.buf(name, delay, conn, sid);
+                Ok(sid)
+            }
+            Expr::Unary {
+                op: UnOp::Not,
+                operand,
+                span,
+            } => {
+                let conn = self.lower_operand(ctx, operand, out_w)?;
+                let sid = out(self, *span)?;
+                let name = self.prim_name(ctx, "not");
+                self.builder.not(name, delay, conn, sid);
+                Ok(sid)
+            }
+            Expr::Binary { op, span, .. } if op.is_gate() => {
+                let mut operands = Vec::new();
+                flatten_gate(*op, expr, &mut operands);
+                let conns = operands
+                    .iter()
+                    .map(|e| self.lower_operand(ctx, e, out_w))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let sid = out(self, *span)?;
+                let (kw, kind) = match op {
+                    BinOp::And => ("and", PrimKind::And),
+                    BinOp::Or => ("or", PrimKind::Or),
+                    _ => ("xor", PrimKind::Xor),
+                };
+                let name = self.prim_name(ctx, kw);
+                self.builder.gate(name, kind, delay, conns, sid);
+                Ok(sid)
+            }
+            // Arithmetic, comparisons and negation: a CHANGE cone over
+            // the maximal non-gate subtree (§2.4.2 — complex logic has
+            // no per-value model, only "an output change follows an
+            // input change").
+            Expr::Unary { .. } | Expr::Binary { .. } => {
+                let operand_w = chg_operand_width(self, ctx, expr)?.unwrap_or(1);
+                let mut leaves = Vec::new();
+                flatten_chg(expr, &mut leaves);
+                let conns = leaves
+                    .iter()
+                    .map(|e| self.lower_operand(ctx, e, operand_w))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let sid = out(self, expr.span())?;
+                let name = self.prim_name(ctx, "chg");
+                self.builder.chg(name, delay, conns, sid);
+                Ok(sid)
+            }
+            Expr::Ternary {
+                cond,
+                then,
+                els,
+                span,
+            } => {
+                let select = self.lower_operand(ctx, cond, 1)?;
+                let d0 = self.lower_operand(ctx, els, out_w)?;
+                let d1 = self.lower_operand(ctx, then, out_w)?;
+                let sid = out(self, *span)?;
+                let name = self.prim_name(ctx, "mux");
+                self.builder.mux2(name, delay, select, d0, d1, sid);
+                Ok(sid)
+            }
+        }
+    }
+
+    /// Lowers one `always_ff` process.
+    fn lower_ff(
+        &mut self,
+        ctx: &mut Ctx,
+        clock: &EdgeRef,
+        reset: Option<&EdgeRef>,
+        body: &Stmt,
+        span: Span,
+    ) -> Result<(), RtlError> {
+        let (targets, reset_values) = match reset {
+            Some(rst) => split_async_reset(rst, body, span)?,
+            None => (eval_targets(body, ProcKind::Ff)?, Vec::new()),
+        };
+        for (target, tspan, expr) in &targets {
+            let tw = self.check_assign_width(ctx, target, *tspan, expr)?;
+            self.check_driven(ctx, target, *tspan)?;
+
+            // Creation order mirrors the expander's twin statements:
+            // data temporaries, the ground net, then the register's
+            // connections (clock, data, set, reset) and its output.
+            let data = self.lower_operand(ctx, expr, tw)?;
+            let reset_wiring = match reset {
+                Some(rst) => {
+                    let value = reset_values
+                        .iter()
+                        .find(|(t, _, _)| t == target)
+                        .map(|&(_, vspan, v)| (vspan, v))
+                        .ok_or_else(|| {
+                            RtlError::new(
+                                format!(
+                                    "register `{target}` is missing an assignment in \
+                                     the reset branch"
+                                ),
+                                *tspan,
+                            )
+                        })?;
+                    let gnd = self.ensure_gnd(ctx, span)?;
+                    Some((rst, value, gnd))
+                }
+                None => None,
+            };
+            let (clock_sid, cw) = self.signal_ref(ctx, &clock.signal, clock.span)?;
+            if cw != 1 {
+                return Err(RtlError::new(
+                    format!("clock `{}` must be 1 bit wide, not {cw}", clock.signal),
+                    clock.span,
+                ));
+            }
+            let mut clock_conn = Conn::new(clock_sid);
+            if !clock.posedge {
+                clock_conn = clock_conn.inverted();
+            }
+            let reset_conns = match reset_wiring {
+                Some((rst, (vspan, value), gnd)) => {
+                    let (rsid, rw) = self.signal_ref(ctx, &rst.signal, rst.span)?;
+                    if rw != 1 {
+                        return Err(RtlError::new(
+                            format!("reset `{}` must be 1 bit wide, not {rw}", rst.signal),
+                            rst.span,
+                        ));
+                    }
+                    let mut rconn = Conn::new(rsid);
+                    if !rst.posedge {
+                        rconn = rconn.inverted();
+                    }
+                    // Reset-to-0 wires the RESET pin, anything else the
+                    // SET pin; the unused pin is grounded.
+                    Some(if value == 0 {
+                        (gnd, rconn)
+                    } else {
+                        if tw > 1 && value != (1 << tw) - 1 {
+                            return Err(RtlError::new(
+                                format!(
+                                    "reset value {value} of `{target}` is neither all-zeros \
+                                     nor all-ones; the vector register model resets \
+                                     symmetrically"
+                                ),
+                                vspan,
+                            ));
+                        }
+                        (rconn, gnd)
+                    })
+                }
+                None => None,
+            };
+            let qfull = self.full(&ctx.flat(target));
+            let qsid = self
+                .builder
+                .signal_vec(&qfull, tw)
+                .map_err(|e| RtlError::new(e.to_string(), *tspan))?;
+            let ff_delay = DelayRange::from_ns(ctx.timing.ff_delay_ns.0, ctx.timing.ff_delay_ns.1);
+            match reset_conns {
+                Some((set, rconn)) => {
+                    let name = self.prim_name(ctx, "reg_sr");
+                    self.builder.reg_sr(
+                        name,
+                        ff_delay,
+                        clock_conn.clone(),
+                        data.clone(),
+                        set,
+                        rconn,
+                        qsid,
+                    );
+                }
+                None => {
+                    let name = self.prim_name(ctx, "reg");
+                    self.builder
+                        .reg(name, ff_delay, clock_conn.clone(), data.clone(), qsid);
+                }
+            }
+            let name = self.prim_name(ctx, "setup_hold");
+            self.builder.setup_hold(
+                name,
+                Time::from_ns(ctx.timing.setup_ns),
+                Time::from_ns(ctx.timing.hold_ns),
+                data,
+                clock_conn,
+            );
+        }
+        Ok(())
+    }
+
+    /// Lowers one module body under the given flat path and port
+    /// bindings, recursing into instances.
+    fn walk_module(
+        &mut self,
+        module: &Module,
+        path: String,
+        prefix: String,
+        bindings: HashMap<String, String>,
+        depth: usize,
+    ) -> Result<(), RtlError> {
+        if depth > MAX_DEPTH {
+            return Err(RtlError::new(
+                format!(
+                    "instance nesting deeper than {MAX_DEPTH} at `{}`; is the module \
+                     graph recursive?",
+                    module.name
+                ),
+                module.span,
+            ));
+        }
+        let timing = module_timing(self.defaults, &module.pragmas)?;
+
+        let mut widths: HashMap<String, (u32, Span)> = HashMap::new();
+        let mut declare = |name: &str, width: u32, span: Span| -> Result<(), RtlError> {
+            if let Some(&(_, first)) = widths.get(name) {
+                return Err(RtlError::new(
+                    format!(
+                        "duplicate declaration of `{name}` (first declared at line {})",
+                        first.line
+                    ),
+                    span,
+                ));
+            }
+            widths.insert(name.to_owned(), (width, span));
+            Ok(())
+        };
+        for port in &module.ports {
+            declare(&port.name, port.width, port.span)?;
+        }
+        for item in &module.items {
+            if let Item::Net { name, width, span } = item {
+                declare(name, *width, *span)?;
+            }
+        }
+
+        let mut ctx = Ctx {
+            module_name: module.name.clone(),
+            path,
+            prefix,
+            widths,
+            bindings,
+            timing,
+            ordinals: HashMap::new(),
+            temp_n: 0,
+            const_n: 0,
+            gnd: None,
+        };
+
+        // Top-level `// scald: input` pragmas pin assertion specs onto
+        // the design's inputs; every later reference uses the full name.
+        for (name, spec, pspan) in ctx.timing.inputs.clone() {
+            if depth != 0 {
+                return Err(RtlError::new(
+                    "input assertion pragmas apply to the top module only; inner \
+                     modules see their parent's signals",
+                    pspan,
+                ));
+            }
+            let is_input = module
+                .ports
+                .iter()
+                .any(|p| p.name == name && p.dir == crate::ast::Dir::Input);
+            if !is_input {
+                return Err(RtlError::new(
+                    format!(
+                        "input pragma names `{name}`, which is not an input port of \
+                         `{}`",
+                        ctx.module_name
+                    ),
+                    pspan,
+                ));
+            }
+            let flat = ctx.flat(&name);
+            let full = format!("{flat} {spec}");
+            if let Some(prior) = self.asserted.insert(flat, full) {
+                return Err(RtlError::new(
+                    format!("`{name}` already has an assertion pragma (`{prior}`)"),
+                    pspan,
+                ));
+            }
+        }
+
+        for item in &module.items {
+            match item {
+                Item::Net { .. } => {}
+                Item::Assign {
+                    target,
+                    target_span,
+                    expr,
+                    ..
+                } => {
+                    let tw = self.check_assign_width(&ctx, target, *target_span, expr)?;
+                    self.check_driven(&ctx, target, *target_span)?;
+                    let out_full = self.full(&ctx.flat(target));
+                    self.lower_into(&mut ctx, expr, &out_full, tw)?;
+                }
+                Item::AlwaysComb { body, .. } => {
+                    let targets = eval_targets(body, ProcKind::Comb)?;
+                    for (target, tspan, expr) in &targets {
+                        let tw = self.check_assign_width(&ctx, target, *tspan, expr)?;
+                        self.check_driven(&ctx, target, *tspan)?;
+                        let out_full = self.full(&ctx.flat(target));
+                        self.lower_into(&mut ctx, expr, &out_full, tw)?;
+                    }
+                }
+                Item::AlwaysFf {
+                    clock,
+                    reset,
+                    body,
+                    span,
+                } => {
+                    self.lower_ff(&mut ctx, clock, reset.as_ref(), body, *span)?;
+                }
+                Item::Instance {
+                    module: child_name,
+                    conns,
+                    span,
+                    ..
+                } => {
+                    let child = self.table.get(child_name).ok_or_else(|| {
+                        RtlError::new(format!("unknown module `{child_name}`"), *span)
+                    })?;
+                    let n = next_ordinal(&mut ctx.ordinals, child_name);
+                    let inst_path = format!("{}/{}#{}", ctx.path, child_name, n);
+                    let mut child_bindings: HashMap<String, String> = HashMap::new();
+                    for (port, net, cspan) in conns {
+                        let cp = child
+                            .ports
+                            .iter()
+                            .find(|p| &p.name == port)
+                            .ok_or_else(|| {
+                                RtlError::new(
+                                    format!("module `{child_name}` has no port `{port}`"),
+                                    *cspan,
+                                )
+                            })?;
+                        if child_bindings.contains_key(port) {
+                            return Err(RtlError::new(
+                                format!("port `{port}` is connected twice"),
+                                *cspan,
+                            ));
+                        }
+                        let w = ctx.width_of(net, *cspan)?;
+                        if w != cp.width {
+                            return Err(RtlError::new(
+                                format!(
+                                    "width mismatch: port `{port}` of `{child_name}` is \
+                                     {}-bit but `{net}` is {w}-bit",
+                                    cp.width
+                                ),
+                                *cspan,
+                            ));
+                        }
+                        child_bindings.insert(port.clone(), ctx.flat(net));
+                    }
+                    for p in &child.ports {
+                        if p.dir == crate::ast::Dir::Input && !child_bindings.contains_key(&p.name)
+                        {
+                            return Err(RtlError::new(
+                                format!("input port `{}` of `{child_name}` is unconnected", p.name),
+                                *span,
+                            ));
+                        }
+                    }
+                    self.instances += 1;
+                    let child_prefix = format!("{inst_path}/");
+                    self.walk_module(child, inst_path, child_prefix, child_bindings, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Unifies two inferred widths; `None` (a flexible literal) defers.
+fn unify(a: Option<u32>, b: Option<u32>, span: Span) -> Result<Option<u32>, RtlError> {
+    match (a, b) {
+        (Some(x), Some(y)) if x != y => Err(RtlError::new(
+            format!("width mismatch: {x}-bit vs {y}-bit operands"),
+            span,
+        )),
+        (Some(x), _) => Ok(Some(x)),
+        (None, y) => Ok(y),
+    }
+}
+
+/// Collects the operands of a same-operator gate tree (`a & b & c`)
+/// into one n-ary gate.
+fn flatten_gate<'e>(op: BinOp, expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary {
+            op: o, lhs, rhs, ..
+        } if *o == op => {
+            flatten_gate(op, lhs, out);
+            flatten_gate(op, rhs, out);
+        }
+        _ => out.push(expr),
+    }
+}
+
+/// Collects the leaves of a maximal non-gate (arithmetic/compare/negate)
+/// subtree; the whole cone becomes one CHANGE primitive.
+fn flatten_chg<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary { op, lhs, rhs, .. } if !op.is_gate() => {
+            flatten_chg(lhs, out);
+            flatten_chg(rhs, out);
+        }
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => flatten_chg(operand, out),
+        _ => out.push(expr),
+    }
+}
+
+/// The operand width of a CHANGE cone: for comparisons the unified
+/// operand width (the result is 1 bit), otherwise the cone's own width.
+fn chg_operand_width(lw: &Lowerer<'_>, ctx: &Ctx, expr: &Expr) -> Result<Option<u32>, RtlError> {
+    if let Expr::Binary { op, lhs, rhs, span } = expr {
+        if op.is_compare() {
+            let l = lw.infer(ctx, lhs)?;
+            let r = lw.infer(ctx, rhs)?;
+            return unify(l, r, *span);
+        }
+    }
+    lw.infer(ctx, expr)
+}
+
+/// A register's reset assignment: target name, its span, and the
+/// literal value it resets to.
+type ResetValue = (String, Span, u64);
+
+/// Validates the canonical async-reset shape — `if (rst) <literal
+/// resets> else <clocked body>` — returning the clocked targets and the
+/// per-register reset values.
+fn split_async_reset(
+    rst: &EdgeRef,
+    body: &Stmt,
+    span: Span,
+) -> Result<(Vec<TargetExpr>, Vec<ResetValue>), RtlError> {
+    let stmt = unwrap_single(body);
+    let Stmt::If {
+        cond,
+        then,
+        els,
+        span: if_span,
+    } = stmt
+    else {
+        return Err(RtlError::new(
+            format!(
+                "with `{} {}` in the sensitivity list, the body must start with \
+                 `if ({}{})` handling the reset",
+                if rst.posedge { "posedge" } else { "negedge" },
+                rst.signal,
+                if rst.posedge { "" } else { "!" },
+                rst.signal,
+            ),
+            span,
+        ));
+    };
+    let cond_matches = match cond {
+        Expr::Ident { name, .. } => rst.posedge && *name == rst.signal,
+        Expr::Unary {
+            op: UnOp::Not,
+            operand,
+            ..
+        } => !rst.posedge && matches!(&**operand, Expr::Ident { name, .. } if *name == rst.signal),
+        _ => false,
+    };
+    if !cond_matches {
+        return Err(RtlError::new(
+            format!(
+                "the reset branch must test exactly the reset signal: `if ({}{})`",
+                if rst.posedge { "" } else { "!" },
+                rst.signal
+            ),
+            cond.span(),
+        ));
+    }
+    let Some(els) = els else {
+        return Err(RtlError::new(
+            "async-reset always_ff needs an `else` branch with the clocked assignments",
+            *if_span,
+        ));
+    };
+    let mut reset_values = Vec::new();
+    collect_resets(then, &mut reset_values)?;
+    let targets = eval_targets(els, ProcKind::Ff)?;
+    for (t, s, _) in &reset_values {
+        if !targets.iter().any(|(name, _, _)| name == t) {
+            return Err(RtlError::new(
+                format!("register `{t}` is assigned only in the reset branch"),
+                *s,
+            ));
+        }
+    }
+    Ok((targets, reset_values))
+}
+
+/// Unwraps `begin ... end` blocks containing a single statement.
+fn unwrap_single(stmt: &Stmt) -> &Stmt {
+    match stmt {
+        Stmt::Block(inner) if inner.len() == 1 => unwrap_single(&inner[0]),
+        other => other,
+    }
+}
+
+/// Collects `target <= literal;` pairs from a reset branch.
+fn collect_resets(stmt: &Stmt, out: &mut Vec<(String, Span, u64)>) -> Result<(), RtlError> {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_resets(s, out)?;
+            }
+            Ok(())
+        }
+        Stmt::If { span, .. } => Err(RtlError::new(
+            "conditional reset values are not supported; the reset branch must be \
+             plain `target <= literal;` assignments",
+            *span,
+        )),
+        Stmt::Assign {
+            target,
+            target_span,
+            nonblocking,
+            expr,
+            span,
+        } => {
+            if !nonblocking {
+                return Err(RtlError::new(
+                    format!("blocking assignment to `{target}` in always_ff; registers use `<=`"),
+                    *span,
+                ));
+            }
+            let Expr::Literal { value, .. } = expr else {
+                return Err(RtlError::new(
+                    format!("reset value of `{target}` must be a literal constant"),
+                    expr.span(),
+                ));
+            };
+            out.push((target.clone(), *target_span, *value));
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! The grammar (items in `[]` optional, `*` repeated):
+//!
+//! ```text
+//! file    := module*
+//! module  := 'module' IDENT '(' [port (',' port)*] ')' ';' item* 'endmodule'
+//! port    := ('input'|'output') ['wire'|'reg'|'logic'] [range] IDENT
+//! range   := '[' NUM ':' NUM ']'
+//! item    := ('wire'|'reg'|'logic') [range] IDENT (',' IDENT)* ';'
+//!          | 'assign' IDENT '=' expr ';'
+//!          | 'always_ff' '@' '(' edge (('or'|',') edge)* ')' stmt
+//!          | 'always_comb' stmt
+//!          | IDENT IDENT '(' [conn (',' conn)*] ')' ';'
+//! edge    := ('posedge'|'negedge') IDENT
+//! conn    := '.' IDENT '(' IDENT ')'
+//! stmt    := 'begin' stmt* 'end'
+//!          | 'if' '(' expr ')' stmt ['else' stmt]
+//!          | IDENT ('<='|'=') expr ';'
+//! expr    := ternary with Verilog precedence:
+//!            unary ~ ! -  >  *  >  + -  >  < <= > >=  >  == !=
+//!            >  &  >  ^  >  |  >  ?:
+//! ```
+//!
+//! `// scald:` pragmas are collected by the lexer; the parser assigns
+//! each to the module whose `module`..`endmodule` lines enclose it, and
+//! leaves the rest file-scoped.
+
+use crate::ast::{BinOp, Dir, EdgeRef, Expr, Item, Module, Port, SourceFile, Stmt, UnOp};
+use crate::error::{RtlError, Span};
+use crate::token::{lex, Sym, Tok, Token};
+
+/// Parses a whole source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, spanned. A truncated
+/// file yields an "unexpected end of file" diagnostic at the cut, never
+/// a panic.
+pub fn parse(src: &str) -> Result<SourceFile, RtlError> {
+    let lexed = lex(src)?;
+    let mut p = Parser {
+        tokens: lexed.tokens,
+        pos: 0,
+    };
+    let mut modules = Vec::new();
+    let mut spans: Vec<(u32, u32)> = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        let start = p.span();
+        p.expect_kw("module")?;
+        let (module, end_line) = p.module(start)?;
+        spans.push((start.line, end_line));
+        modules.push(module);
+    }
+    // Partition pragmas: inside a module's line range -> that module.
+    let mut global_pragmas = Vec::new();
+    for pragma in lexed.pragmas {
+        let line = pragma.span.line;
+        match spans
+            .iter()
+            .position(|&(start, end)| line >= start && line <= end)
+        {
+            Some(idx) => modules[idx].pragmas.push(pragma),
+            None => global_pragmas.push(pragma),
+        }
+    }
+    Ok(SourceFile {
+        modules,
+        global_pragmas,
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Human-readable description of the token under the cursor.
+    fn describe(&self) -> String {
+        match self.peek() {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Number { value, .. } => format!("number {value}"),
+            Tok::Sym(s) => format!("`{}`", s.as_str()),
+            Tok::Eof => "end of file".to_owned(),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, RtlError> {
+        Err(RtlError::new(message, self.span()))
+    }
+
+    fn expected<T>(&self, what: &str) -> Result<T, RtlError> {
+        let found = self.describe();
+        if matches!(self.peek(), Tok::Eof) {
+            self.err(format!("unexpected end of file: expected {what}"))
+        } else {
+            self.err(format!("expected {what}, found {found}"))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<Span, RtlError> {
+        if *self.peek() == Tok::Sym(sym) {
+            Ok(self.bump().span)
+        } else {
+            self.expected(&format!("`{}`", sym.as_str()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), RtlError> {
+        match self.peek() {
+            Tok::Ident(_) => {
+                let t = self.bump();
+                let Tok::Ident(name) = t.tok else {
+                    unreachable!()
+                };
+                Ok((name, t.span))
+            }
+            _ => self.expected("an identifier"),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, RtlError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => Ok(self.bump().span),
+            _ => self.expected(&format!("`{kw}`")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if *self.peek() == Tok::Sym(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `[msb:lsb]` -> width. Returns 1 when absent.
+    fn opt_range(&mut self) -> Result<u32, RtlError> {
+        if !self.eat_sym(Sym::LBracket) {
+            return Ok(1);
+        }
+        let span = self.span();
+        let msb = self.expect_plain_number()?;
+        self.expect_sym(Sym::Colon)?;
+        let lsb = self.expect_plain_number()?;
+        self.expect_sym(Sym::RBracket)?;
+        if lsb > msb {
+            return Err(RtlError::new(
+                format!("range [{msb}:{lsb}] must be [msb:lsb] with msb >= lsb"),
+                span,
+            ));
+        }
+        u32::try_from(msb - lsb + 1)
+            .ok()
+            .filter(|w| *w <= 4096)
+            .ok_or_else(|| RtlError::new(format!("vector width {} too large", msb - lsb + 1), span))
+    }
+
+    fn expect_plain_number(&mut self) -> Result<u64, RtlError> {
+        match *self.peek() {
+            Tok::Number { value, width: None } => {
+                self.bump();
+                Ok(value)
+            }
+            _ => self.expected("a plain number"),
+        }
+    }
+
+    /// Body of one module; the `module` keyword is already consumed.
+    /// Returns the module and the line of its `endmodule`.
+    fn module(&mut self, start: Span) -> Result<(Module, u32), RtlError> {
+        let (name, name_span) = self.expect_ident()?;
+        self.expect_sym(Sym::LParen)?;
+        let mut ports = Vec::new();
+        if !self.eat_sym(Sym::RParen) {
+            loop {
+                ports.push(self.port()?);
+                if self.eat_sym(Sym::RParen) {
+                    break;
+                }
+                self.expect_sym(Sym::Comma)?;
+            }
+        }
+        self.expect_sym(Sym::Semi)?;
+        let mut items = Vec::new();
+        let end_line = loop {
+            if self.at_kw("endmodule") {
+                break self.bump().span.line;
+            }
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err(format!(
+                    "unexpected end of file: missing `endmodule` for module `{name}` \
+                     (started at line {})",
+                    start.line
+                ));
+            }
+            self.item(&mut items)?;
+        };
+        Ok((
+            Module {
+                name,
+                span: name_span,
+                ports,
+                items,
+                pragmas: Vec::new(),
+            },
+            end_line,
+        ))
+    }
+
+    fn port(&mut self) -> Result<Port, RtlError> {
+        let dir = if self.at_kw("input") {
+            self.bump();
+            Dir::Input
+        } else if self.at_kw("output") {
+            self.bump();
+            Dir::Output
+        } else {
+            return self.expected("`input` or `output`");
+        };
+        if self.at_kw("wire") || self.at_kw("reg") || self.at_kw("logic") {
+            self.bump();
+        }
+        let width = self.opt_range()?;
+        let (name, span) = self.expect_ident()?;
+        Ok(Port {
+            dir,
+            name,
+            width,
+            span,
+        })
+    }
+
+    fn item(&mut self, items: &mut Vec<Item>) -> Result<(), RtlError> {
+        if self.at_kw("wire") || self.at_kw("reg") || self.at_kw("logic") {
+            self.bump();
+            let width = self.opt_range()?;
+            loop {
+                let (name, span) = self.expect_ident()?;
+                items.push(Item::Net { name, width, span });
+                if self.eat_sym(Sym::Semi) {
+                    break;
+                }
+                self.expect_sym(Sym::Comma)?;
+            }
+            return Ok(());
+        }
+        if self.at_kw("assign") {
+            let span = self.bump().span;
+            let (target, target_span) = self.expect_ident()?;
+            if *self.peek() == Tok::Sym(Sym::LBracket) {
+                return self.err(
+                    "cannot assign to a bit/part select; a vector net carries one \
+                     timing value, assign the whole net",
+                );
+            }
+            self.expect_sym(Sym::Assign)?;
+            let expr = self.expr()?;
+            self.expect_sym(Sym::Semi)?;
+            items.push(Item::Assign {
+                target,
+                target_span,
+                expr,
+                span,
+            });
+            return Ok(());
+        }
+        if self.at_kw("always_ff") {
+            let span = self.bump().span;
+            self.expect_sym(Sym::At)?;
+            self.expect_sym(Sym::LParen)?;
+            let clock = self.edge()?;
+            let mut reset = None;
+            if self.at_kw("or") || *self.peek() == Tok::Sym(Sym::Comma) {
+                self.bump();
+                reset = Some(self.edge()?);
+                if self.at_kw("or") || *self.peek() == Tok::Sym(Sym::Comma) {
+                    return self.err(
+                        "at most two sensitivity entries are supported \
+                         (clock plus one async set/reset)",
+                    );
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            let body = self.stmt()?;
+            items.push(Item::AlwaysFf {
+                clock,
+                reset,
+                body,
+                span,
+            });
+            return Ok(());
+        }
+        if self.at_kw("always_comb") {
+            let span = self.bump().span;
+            let body = self.stmt()?;
+            items.push(Item::AlwaysComb { body, span });
+            return Ok(());
+        }
+        if self.at_kw("always") || self.at_kw("always_latch") || self.at_kw("initial") {
+            let found = self.describe();
+            return self.err(format!(
+                "{found} is outside the synthesisable subset; use `always_ff` or \
+                 `always_comb`"
+            ));
+        }
+        if matches!(self.peek(), Tok::Ident(_)) {
+            // Module instantiation: `Mod inst (.port(net), ...);`
+            let (module, span) = self.expect_ident()?;
+            let (inst, _) = self.expect_ident()?;
+            self.expect_sym(Sym::LParen)?;
+            let mut conns = Vec::new();
+            if !self.eat_sym(Sym::RParen) {
+                loop {
+                    self.expect_sym(Sym::Dot)?;
+                    let (port, port_span) = self.expect_ident()?;
+                    self.expect_sym(Sym::LParen)?;
+                    let (net, _) = match self.peek() {
+                        Tok::Ident(_) => self.expect_ident()?,
+                        _ => {
+                            return self
+                                .expected("a net name (instance connections must be plain nets)")
+                        }
+                    };
+                    self.expect_sym(Sym::RParen)?;
+                    conns.push((port, net, port_span));
+                    if self.eat_sym(Sym::RParen) {
+                        break;
+                    }
+                    self.expect_sym(Sym::Comma)?;
+                }
+            }
+            self.expect_sym(Sym::Semi)?;
+            items.push(Item::Instance {
+                module,
+                inst,
+                conns,
+                span,
+            });
+            return Ok(());
+        }
+        self.expected("a declaration, `assign`, `always_ff`, `always_comb` or an instance")
+    }
+
+    fn edge(&mut self) -> Result<EdgeRef, RtlError> {
+        let posedge = if self.at_kw("posedge") {
+            true
+        } else if self.at_kw("negedge") {
+            false
+        } else {
+            return self.err(
+                "always_ff requires an edge-triggered sensitivity list \
+                 (`posedge`/`negedge`); for combinational logic use `always_comb`",
+            );
+        };
+        self.bump();
+        let (signal, span) = self.expect_ident()?;
+        Ok(EdgeRef {
+            posedge,
+            signal,
+            span,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, RtlError> {
+        if self.at_kw("begin") {
+            self.bump();
+            let mut stmts = Vec::new();
+            while !self.at_kw("end") {
+                if matches!(self.peek(), Tok::Eof) {
+                    return self.expected("`end`");
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.bump();
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.at_kw("if") {
+            let span = self.bump().span;
+            self.expect_sym(Sym::LParen)?;
+            let cond = self.expr()?;
+            self.expect_sym(Sym::RParen)?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.at_kw("else") {
+                self.bump();
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                els,
+                span,
+            });
+        }
+        if matches!(self.peek(), Tok::Ident(_)) {
+            let (target, target_span) = self.expect_ident()?;
+            if *self.peek() == Tok::Sym(Sym::LBracket) {
+                return self.err(
+                    "cannot assign to a bit/part select; a vector net carries one \
+                     timing value, assign the whole net",
+                );
+            }
+            let span = self.span();
+            let nonblocking = if self.eat_sym(Sym::LtEq) {
+                true
+            } else if self.eat_sym(Sym::Assign) {
+                false
+            } else {
+                return self.expected("`<=` or `=`");
+            };
+            let expr = self.expr()?;
+            self.expect_sym(Sym::Semi)?;
+            return Ok(Stmt::Assign {
+                target,
+                target_span,
+                nonblocking,
+                expr,
+                span,
+            });
+        }
+        self.expected("a statement")
+    }
+
+    // --- Expressions, lowest precedence first. ---
+
+    fn expr(&mut self) -> Result<Expr, RtlError> {
+        let cond = self.bit_or()?;
+        if *self.peek() == Tok::Sym(Sym::Question) {
+            let span = self.bump().span;
+            let then = Box::new(self.expr()?);
+            self.expect_sym(Sym::Colon)?;
+            let els = Box::new(self.expr()?);
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then,
+                els,
+                span,
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binary_chain(
+        &mut self,
+        next: fn(&mut Parser) -> Result<Expr, RtlError>,
+        ops: &[(Sym, BinOp)],
+    ) -> Result<Expr, RtlError> {
+        let mut lhs = next(self)?;
+        loop {
+            let Tok::Sym(sym) = *self.peek() else {
+                return Ok(lhs);
+            };
+            let Some(&(_, op)) = ops.iter().find(|(s, _)| *s == sym) else {
+                return Ok(lhs);
+            };
+            let span = self.bump().span;
+            let rhs = next(self)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(Parser::bit_xor, &[(Sym::Pipe, BinOp::Or)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(Parser::bit_and, &[(Sym::Caret, BinOp::Xor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(Parser::equality, &[(Sym::Amp, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(
+            Parser::relational,
+            &[(Sym::EqEq, BinOp::Eq), (Sym::NotEq, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(
+            Parser::additive,
+            &[
+                (Sym::Lt, BinOp::Lt),
+                (Sym::LtEq, BinOp::Le),
+                (Sym::Gt, BinOp::Gt),
+                (Sym::GtEq, BinOp::Ge),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(
+            Parser::multiplicative,
+            &[(Sym::Plus, BinOp::Add), (Sym::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, RtlError> {
+        self.binary_chain(Parser::unary, &[(Sym::Star, BinOp::Mul)])
+    }
+
+    fn unary(&mut self) -> Result<Expr, RtlError> {
+        let op = match self.peek() {
+            Tok::Sym(Sym::Tilde) | Tok::Sym(Sym::Bang) => Some(UnOp::Not),
+            Tok::Sym(Sym::Minus) => Some(UnOp::Neg),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let span = self.bump().span;
+            let operand = Box::new(self.unary()?);
+            return Ok(Expr::Unary { op, operand, span });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, RtlError> {
+        match self.peek().clone() {
+            Tok::Sym(Sym::LParen) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(inner)
+            }
+            Tok::Number { value, width } => {
+                let span = self.bump().span;
+                Ok(Expr::Literal { value, width, span })
+            }
+            Tok::Ident(_) => {
+                let (name, span) = self.expect_ident()?;
+                if self.eat_sym(Sym::LBracket) {
+                    // Bit/part select: the whole vector is one timing
+                    // value, so `x[3]` and `x[7:0]` read the base net.
+                    self.expect_plain_number()?;
+                    if self.eat_sym(Sym::Colon) {
+                        self.expect_plain_number()?;
+                    }
+                    self.expect_sym(Sym::RBracket)?;
+                }
+                Ok(Expr::Ident { name, span })
+            }
+            _ => self.expected("an expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counter_module() {
+        let src = "\
+module counter (input wire clk, input wire rst, output reg [7:0] q);
+  always_ff @(posedge clk or posedge rst)
+    if (rst) q <= 8'd0;
+    else q <= q + 8'd1;
+endmodule
+";
+        let file = parse(src).unwrap();
+        assert_eq!(file.modules.len(), 1);
+        let m = &file.modules[0];
+        assert_eq!(m.name, "counter");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[2].width, 8);
+        assert!(matches!(m.items[0], Item::AlwaysFf { .. }));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let file = parse("module m(input wire a, input wire b, input wire c, output wire y);\nassign y = a | b & c;\nendmodule\n").unwrap();
+        let Item::Assign { expr, .. } = &file.modules[0].items[0] else {
+            panic!("expected assign")
+        };
+        let Expr::Binary {
+            op: BinOp::Or, rhs, ..
+        } = expr
+        else {
+            panic!("| should be the root: {expr:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn unterminated_module_names_the_module() {
+        let err = parse("module broken (input wire a);\n  wire x;\n").unwrap_err();
+        assert!(err.message.contains("missing `endmodule`"));
+        assert!(err.message.contains("`broken`"));
+        assert!(err.message.contains("line 1"));
+    }
+
+    #[test]
+    fn non_edge_sensitivity_is_rejected() {
+        let err =
+            parse("module m(input wire a, output reg q);\nalways_ff @(a) q <= a;\nendmodule\n")
+                .unwrap_err();
+        assert!(err.message.contains("edge-triggered"));
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn pragmas_partition_by_module() {
+        let src = "\
+// scald: period 50.0
+module m (input wire clk);
+  // scald: ff delay=1.5:4.5 setup=2.5 hold=1.5
+endmodule
+// scald: clock_unit 6.25
+";
+        let file = parse(src).unwrap();
+        assert_eq!(file.global_pragmas.len(), 2);
+        assert_eq!(file.modules[0].pragmas.len(), 1);
+        assert!(file.modules[0].pragmas[0].text.starts_with("ff "));
+    }
+
+    #[test]
+    fn nonblocking_vs_blocking_is_recorded() {
+        let src = "\
+module m (input wire c, input wire d, output reg q, output reg p);
+  always_ff @(posedge c) q <= d;
+  always_comb p = d;
+endmodule
+";
+        let file = parse(src).unwrap();
+        let Item::AlwaysFf { body, .. } = &file.modules[0].items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            body,
+            Stmt::Assign {
+                nonblocking: true,
+                ..
+            }
+        ));
+        let Item::AlwaysComb { body, .. } = &file.modules[0].items[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            body,
+            Stmt::Assign {
+                nonblocking: false,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,428 @@
+//! `// scald:` timing pragmas — the bridge from bare RTL to the timing
+//! assertions the verifier needs.
+//!
+//! Verilog carries no timing, so the frontend reads it from structured
+//! comments. Design-wide configuration lives outside any module:
+//!
+//! ```text
+//! // scald: period 50.0            — clock period in ns
+//! // scald: clock_unit 6.25        — ns per assertion clock unit
+//! // scald: wire_delay 0.0 2.0     — default interconnect delay (min max)
+//! // scald: precision_skew 1.0 1.0 — default skew of .P clocks (minus plus)
+//! // scald: clock_skew 5.0 5.0     — default skew of .C clocks
+//! // scald: case SEL=0, EN=1       — one case-analysis block (§2.7.1)
+//! ```
+//!
+//! Per-module timing goes inside the module body:
+//!
+//! ```text
+//! // scald: input CLK .P0-4(0,0)   — assertion suffix for a top-level input
+//! // scald: ff delay=1.5:4.5 setup=2.5 hold=1.5
+//! // scald: comb delay=1.0:3.0
+//! ```
+//!
+//! Every key falls back to [`Defaults`] when absent, so an unannotated
+//! `.v` file still verifies (with the S-1-flavoured numbers below).
+
+use crate::error::{RtlError, Span};
+use crate::token::RawPragma;
+
+/// Fallback timing used wherever a pragma is absent. The values mirror
+/// the S-1 example configuration used throughout the repo: a 50 ns
+/// period in 6.25 ns clock units, 0–2 ns interconnect, registers at
+/// 1.5–4.5 ns with a 2.5/1.5 ns set-up/hold window, and combinational
+/// cones at 1–3 ns.
+#[derive(Debug, Clone)]
+pub struct Defaults {
+    /// Clock period, ns.
+    pub period_ns: f64,
+    /// Assertion clock unit, ns.
+    pub clock_unit_ns: f64,
+    /// Default interconnect delay (min, max), ns.
+    pub wire_delay_ns: (f64, f64),
+    /// Default skew of precision (`.P`) clocks (minus, plus), ns.
+    pub precision_skew_ns: (f64, f64),
+    /// Default skew of non-precision (`.C`) clocks (minus, plus), ns.
+    pub clock_skew_ns: (f64, f64),
+    /// Register clock-to-output delay (min, max), ns.
+    pub ff_delay_ns: (f64, f64),
+    /// Register set-up time, ns.
+    pub setup_ns: f64,
+    /// Register hold time, ns.
+    pub hold_ns: f64,
+    /// Combinational primitive delay (min, max), ns.
+    pub comb_delay_ns: (f64, f64),
+}
+
+impl Default for Defaults {
+    fn default() -> Defaults {
+        Defaults {
+            period_ns: 50.0,
+            clock_unit_ns: 6.25,
+            wire_delay_ns: (0.0, 2.0),
+            precision_skew_ns: (1.0, 1.0),
+            clock_skew_ns: (5.0, 5.0),
+            ff_delay_ns: (1.5, 4.5),
+            setup_ns: 2.5,
+            hold_ns: 1.5,
+            comb_delay_ns: (1.0, 3.0),
+        }
+    }
+}
+
+/// Design-wide configuration after folding the global pragmas over the
+/// defaults.
+#[derive(Debug, Clone)]
+pub(crate) struct GlobalConfig {
+    pub period_ns: f64,
+    pub clock_unit_ns: f64,
+    pub wire_delay_ns: (f64, f64),
+    pub precision_skew_ns: (f64, f64),
+    pub clock_skew_ns: (f64, f64),
+    /// Case-analysis blocks, one per `case` pragma.
+    pub cases: Vec<Vec<(String, bool)>>,
+}
+
+/// Per-module timing after folding the module's pragmas over the
+/// defaults.
+#[derive(Debug, Clone)]
+pub(crate) struct ModuleTiming {
+    pub ff_delay_ns: (f64, f64),
+    pub setup_ns: f64,
+    pub hold_ns: f64,
+    pub comb_delay_ns: (f64, f64),
+    /// `input NAME .SPEC` assertions: name -> (spec, span).
+    pub inputs: Vec<(String, String, Span)>,
+}
+
+const MODULE_KEYS: [&str; 3] = ["input", "ff", "comb"];
+const GLOBAL_KEYS: [&str; 6] = [
+    "period",
+    "clock_unit",
+    "wire_delay",
+    "precision_skew",
+    "clock_skew",
+    "case",
+];
+
+/// Folds the file-scoped pragmas into a [`GlobalConfig`].
+pub(crate) fn global_config(
+    defaults: &Defaults,
+    pragmas: &[RawPragma],
+) -> Result<GlobalConfig, RtlError> {
+    let mut config = GlobalConfig {
+        period_ns: defaults.period_ns,
+        clock_unit_ns: defaults.clock_unit_ns,
+        wire_delay_ns: defaults.wire_delay_ns,
+        precision_skew_ns: defaults.precision_skew_ns,
+        clock_skew_ns: defaults.clock_skew_ns,
+        cases: Vec::new(),
+    };
+    for pragma in pragmas {
+        let (key, rest) = split_key(pragma)?;
+        let span = pragma.span;
+        match key {
+            "period" => {
+                config.period_ns = parse_pos_f64(rest, "period", span)?;
+            }
+            "clock_unit" => {
+                config.clock_unit_ns = parse_pos_f64(rest, "clock_unit", span)?;
+            }
+            "wire_delay" => {
+                config.wire_delay_ns = parse_pair(rest, "wire_delay", span)?;
+            }
+            "precision_skew" => {
+                config.precision_skew_ns = parse_pair(rest, "precision_skew", span)?;
+            }
+            "clock_skew" => {
+                config.clock_skew_ns = parse_pair(rest, "clock_skew", span)?;
+            }
+            "case" => {
+                config.cases.push(parse_case(rest, span)?);
+            }
+            k if MODULE_KEYS.contains(&k) => {
+                return Err(RtlError::new(
+                    format!(
+                        "pragma `{k}` applies per module; move it inside \
+                         `module ... endmodule`"
+                    ),
+                    span,
+                ));
+            }
+            other => {
+                return Err(RtlError::new(
+                    format!(
+                        "unknown pragma `{other}`; design-wide keys are {}",
+                        GLOBAL_KEYS.join(", ")
+                    ),
+                    span,
+                ));
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Folds one module's pragmas into its [`ModuleTiming`].
+pub(crate) fn module_timing(
+    defaults: &Defaults,
+    pragmas: &[RawPragma],
+) -> Result<ModuleTiming, RtlError> {
+    let mut timing = ModuleTiming {
+        ff_delay_ns: defaults.ff_delay_ns,
+        setup_ns: defaults.setup_ns,
+        hold_ns: defaults.hold_ns,
+        comb_delay_ns: defaults.comb_delay_ns,
+        inputs: Vec::new(),
+    };
+    for pragma in pragmas {
+        let (key, rest) = split_key(pragma)?;
+        let span = pragma.span;
+        match key {
+            "input" => {
+                let (name, spec) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+                    RtlError::new("`input` pragma needs a name and an assertion spec", span)
+                })?;
+                let spec = spec.trim();
+                if !spec.starts_with('.') {
+                    return Err(RtlError::new(
+                        format!("assertion spec must start with `.`, found `{spec}`"),
+                        span,
+                    ));
+                }
+                // Validate the spec now so the diagnostic points at the
+                // pragma rather than surfacing later from the netlist.
+                let (_, assertion) = scald_assertions::parse_signal_name(&format!("{name} {spec}"))
+                    .map_err(|e| RtlError::new(format!("bad assertion spec: {e}"), span))?;
+                if assertion.is_none() {
+                    return Err(RtlError::new(
+                        format!(
+                            "bad assertion spec `{spec}`: expected a clock (`.P`/`.C`) or \
+                             stability (`.S`) assertion"
+                        ),
+                        span,
+                    ));
+                }
+                timing.inputs.push((name.to_owned(), spec.to_owned(), span));
+            }
+            "ff" => {
+                for field in rest.split_whitespace() {
+                    let (k, v) = split_attr(field, span)?;
+                    match k {
+                        "delay" => timing.ff_delay_ns = parse_range(v, span)?,
+                        "setup" => timing.setup_ns = parse_pos_f64(v, "setup", span)?,
+                        "hold" => timing.hold_ns = parse_pos_f64(v, "hold", span)?,
+                        other => {
+                            return Err(RtlError::new(
+                                format!("`ff` pragma has no field `{other}`"),
+                                span,
+                            ))
+                        }
+                    }
+                }
+            }
+            "comb" => {
+                for field in rest.split_whitespace() {
+                    let (k, v) = split_attr(field, span)?;
+                    match k {
+                        "delay" => timing.comb_delay_ns = parse_range(v, span)?,
+                        other => {
+                            return Err(RtlError::new(
+                                format!("`comb` pragma has no field `{other}`"),
+                                span,
+                            ))
+                        }
+                    }
+                }
+            }
+            k if GLOBAL_KEYS.contains(&k) => {
+                return Err(RtlError::new(
+                    format!("pragma `{k}` is design-wide; move it outside the module"),
+                    span,
+                ));
+            }
+            other => {
+                return Err(RtlError::new(
+                    format!(
+                        "unknown pragma `{other}`; per-module keys are {}",
+                        MODULE_KEYS.join(", ")
+                    ),
+                    span,
+                ));
+            }
+        }
+    }
+    Ok(timing)
+}
+
+fn split_key(pragma: &RawPragma) -> Result<(&str, &str), RtlError> {
+    let text = pragma.text.trim();
+    if text.is_empty() {
+        return Err(RtlError::new("empty `// scald:` pragma", pragma.span));
+    }
+    Ok(match text.split_once(char::is_whitespace) {
+        Some((key, rest)) => (key, rest.trim()),
+        None => (text, ""),
+    })
+}
+
+fn split_attr(field: &str, span: Span) -> Result<(&str, &str), RtlError> {
+    field
+        .split_once('=')
+        .ok_or_else(|| RtlError::new(format!("expected `key=value`, found `{field}`"), span))
+}
+
+fn parse_f64(text: &str, what: &str, span: Span) -> Result<f64, RtlError> {
+    text.trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| RtlError::new(format!("`{what}` expects a number, found `{text}`"), span))
+}
+
+fn parse_pos_f64(text: &str, what: &str, span: Span) -> Result<f64, RtlError> {
+    let v = parse_f64(text, what, span)?;
+    if v < 0.0 {
+        return Err(RtlError::new(
+            format!("`{what}` must be non-negative, found {v}"),
+            span,
+        ));
+    }
+    Ok(v)
+}
+
+/// Two whitespace-separated numbers: `0.0 2.0`.
+fn parse_pair(text: &str, what: &str, span: Span) -> Result<(f64, f64), RtlError> {
+    let mut parts = text.split_whitespace();
+    let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(RtlError::new(
+            format!("`{what}` expects two numbers (min max), found `{text}`"),
+            span,
+        ));
+    };
+    let lo = parse_f64(a, what, span)?;
+    let hi = parse_f64(b, what, span)?;
+    if lo > hi {
+        return Err(RtlError::new(
+            format!("`{what}` range {lo}:{hi} has min > max"),
+            span,
+        ));
+    }
+    Ok((lo, hi))
+}
+
+/// A colon range: `1.5:4.5` (or a single number for a fixed delay).
+fn parse_range(text: &str, span: Span) -> Result<(f64, f64), RtlError> {
+    let (lo, hi) = match text.split_once(':') {
+        Some((a, b)) => (parse_f64(a, "delay", span)?, parse_f64(b, "delay", span)?),
+        None => {
+            let v = parse_f64(text, "delay", span)?;
+            (v, v)
+        }
+    };
+    if lo > hi {
+        return Err(RtlError::new(
+            format!("delay range {lo}:{hi} has min > max"),
+            span,
+        ));
+    }
+    Ok((lo, hi))
+}
+
+/// `SIG=0, SIG2=1` -> one case-analysis assignment list.
+fn parse_case(text: &str, span: Span) -> Result<Vec<(String, bool)>, RtlError> {
+    if text.is_empty() {
+        return Err(RtlError::new(
+            "`case` pragma needs at least one NAME=0|1 assignment",
+            span,
+        ));
+    }
+    let mut assigns = Vec::new();
+    for part in text.split(',') {
+        let (name, value) = split_attr(part.trim(), span)?;
+        let value = match value.trim() {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(RtlError::new(
+                    format!("case value for `{name}` must be 0 or 1, found `{other}`"),
+                    span,
+                ))
+            }
+        };
+        assigns.push((name.trim().to_owned(), value));
+    }
+    Ok(assigns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(text: &str) -> RawPragma {
+        RawPragma {
+            text: text.to_owned(),
+            span: Span::new(1, 1),
+        }
+    }
+
+    #[test]
+    fn defaults_survive_empty_pragma_lists() {
+        let d = Defaults::default();
+        let g = global_config(&d, &[]).unwrap();
+        assert_eq!(g.period_ns, 50.0);
+        let t = module_timing(&d, &[]).unwrap();
+        assert_eq!(t.ff_delay_ns, (1.5, 4.5));
+    }
+
+    #[test]
+    fn global_pragmas_override() {
+        let g = global_config(
+            &Defaults::default(),
+            &[
+                raw("period 40"),
+                raw("wire_delay 0.5 1.5"),
+                raw("case S=1, T=0"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.period_ns, 40.0);
+        assert_eq!(g.wire_delay_ns, (0.5, 1.5));
+        assert_eq!(g.cases, vec![vec![("S".into(), true), ("T".into(), false)]]);
+    }
+
+    #[test]
+    fn module_pragmas_parse_attrs_and_inputs() {
+        let t = module_timing(
+            &Defaults::default(),
+            &[
+                raw("ff delay=3.0:5.0 setup=2.0 hold=1.0"),
+                raw("comb delay=1.5:3.0"),
+                raw("input CLK .P0-4(0,0)"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.ff_delay_ns, (3.0, 5.0));
+        assert_eq!(t.setup_ns, 2.0);
+        assert_eq!(t.comb_delay_ns, (1.5, 3.0));
+        assert_eq!(t.inputs[0].0, "CLK");
+        assert_eq!(t.inputs[0].1, ".P0-4(0,0)");
+    }
+
+    #[test]
+    fn misplaced_and_unknown_keys_are_spanned_errors() {
+        let d = Defaults::default();
+        let err = global_config(&d, &[raw("ff delay=1:2")]).unwrap_err();
+        assert!(err.message.contains("applies per module"));
+        let err = module_timing(&d, &[raw("period 50")]).unwrap_err();
+        assert!(err.message.contains("design-wide"));
+        let err = global_config(&d, &[raw("frobnicate 3")]).unwrap_err();
+        assert!(err.message.contains("unknown pragma"));
+    }
+
+    #[test]
+    fn bad_assertion_spec_is_rejected_at_the_pragma() {
+        let err = module_timing(&Defaults::default(), &[raw("input CLK .Q9")]).unwrap_err();
+        assert!(err.message.contains("bad assertion spec"), "{err}");
+    }
+}

@@ -1,0 +1,420 @@
+//! The hand-written lexer for the Verilog subset.
+//!
+//! Produces a flat token stream with 1-based line/column spans, and
+//! collects `// scald:` pragma comments (the timing annotations of the
+//! frontend, see [`crate::pragma`]) as a side channel in source order.
+
+use crate::error::{RtlError, Span};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`module`, `clk`, `always_ff`, ...).
+    Ident(String),
+    /// A sized or unsized number literal (`42`, `8'd1`, `4'hF`).
+    Number {
+        /// The literal's value.
+        value: u64,
+        /// Declared bit width (`8` in `8'd1`), if sized.
+        width: Option<u32>,
+    },
+    /// Punctuation or an operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=` — non-blocking assignment *or* less-equal; the parser
+    /// disambiguates by position.
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+}
+
+impl Sym {
+    /// The token as it appears in source, for diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::LBracket => "[",
+            Sym::RBracket => "]",
+            Sym::Semi => ";",
+            Sym::Comma => ",",
+            Sym::Dot => ".",
+            Sym::Colon => ":",
+            Sym::Question => "?",
+            Sym::At => "@",
+            Sym::Assign => "=",
+            Sym::EqEq => "==",
+            Sym::NotEq => "!=",
+            Sym::Lt => "<",
+            Sym::LtEq => "<=",
+            Sym::Gt => ">",
+            Sym::GtEq => ">=",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Star => "*",
+            Sym::Amp => "&",
+            Sym::Pipe => "|",
+            Sym::Caret => "^",
+            Sym::Tilde => "~",
+            Sym::Bang => "!",
+        }
+    }
+}
+
+/// A token plus where it starts.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Source position of its first character.
+    pub span: Span,
+}
+
+/// A `// scald:` comment, with the text after the marker.
+#[derive(Debug, Clone)]
+pub struct RawPragma {
+    /// The pragma body (whitespace-trimmed).
+    pub text: String,
+    /// Position of the comment's first character.
+    pub span: Span,
+}
+
+/// The lexer's output: the token stream (terminated by [`Tok::Eof`])
+/// and the pragma comments in source order.
+#[derive(Debug)]
+pub struct Lexed {
+    /// All tokens, ending with exactly one `Eof`.
+    pub tokens: Vec<Token>,
+    /// Every `// scald:` comment encountered.
+    pub pragmas: Vec<RawPragma>,
+}
+
+/// Tokenizes the whole source.
+///
+/// # Errors
+///
+/// Returns a spanned [`RtlError`] for unterminated block comments,
+/// malformed number literals, or characters outside the subset.
+pub fn lex(src: &str) -> Result<Lexed, RtlError> {
+    let mut chars: Vec<char> = src.chars().collect();
+    // Sentinel simplifies two-character lookahead.
+    chars.push('\0');
+    let mut tokens = Vec::new();
+    let mut pragmas = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() - 1 {
+        let c = chars[i];
+        let span = Span::new(line, col);
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == '/' && chars[i + 1] == '/' {
+            let start = i;
+            while i < chars.len() - 1 && chars[i] != '\n' {
+                bump!();
+            }
+            let comment: String = chars[start..i].iter().collect();
+            if let Some(rest) = comment.strip_prefix("// scald:") {
+                pragmas.push(RawPragma {
+                    text: rest.trim().to_owned(),
+                    span,
+                });
+            }
+            continue;
+        }
+        if c == '/' && chars[i + 1] == '*' {
+            bump!();
+            bump!();
+            loop {
+                if i >= chars.len() - 1 {
+                    return Err(RtlError::new("unterminated block comment", span));
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    bump!();
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$' {
+                bump!();
+            }
+            tokens.push(Token {
+                tok: Tok::Ident(chars[start..i].iter().collect()),
+                span,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let first = read_digits(&chars, &mut i, &mut col, 10, span)?;
+            if chars[i] == '\'' {
+                bump!(); // the tick
+                let base = match chars[i] {
+                    'b' | 'B' => 2,
+                    'd' | 'D' => 10,
+                    'h' | 'H' => 16,
+                    other => {
+                        return Err(RtlError::new(
+                            format!("unknown number base {other:?}; expected b, d or h"),
+                            Span::new(line, col),
+                        ))
+                    }
+                };
+                bump!(); // the base letter
+                if !chars[i].is_ascii_hexdigit() {
+                    return Err(RtlError::new(
+                        "sized literal is missing its digits",
+                        Span::new(line, col),
+                    ));
+                }
+                let value = read_digits(&chars, &mut i, &mut col, base, span)?;
+                let width = u32::try_from(first)
+                    .ok()
+                    .filter(|w| (1..=64).contains(w))
+                    .ok_or_else(|| {
+                        RtlError::new(format!("literal width {first} out of range 1..=64"), span)
+                    })?;
+                tokens.push(Token {
+                    tok: Tok::Number {
+                        value,
+                        width: Some(width),
+                    },
+                    span,
+                });
+            } else {
+                tokens.push(Token {
+                    tok: Tok::Number {
+                        value: first,
+                        width: None,
+                    },
+                    span,
+                });
+            }
+            continue;
+        }
+        let (sym, len) = match (c, chars[i + 1]) {
+            ('=', '=') => (Sym::EqEq, 2),
+            ('!', '=') => (Sym::NotEq, 2),
+            ('<', '=') => (Sym::LtEq, 2),
+            ('>', '=') => (Sym::GtEq, 2),
+            _ => match c {
+                '(' => (Sym::LParen, 1),
+                ')' => (Sym::RParen, 1),
+                '[' => (Sym::LBracket, 1),
+                ']' => (Sym::RBracket, 1),
+                ';' => (Sym::Semi, 1),
+                ',' => (Sym::Comma, 1),
+                '.' => (Sym::Dot, 1),
+                ':' => (Sym::Colon, 1),
+                '?' => (Sym::Question, 1),
+                '@' => (Sym::At, 1),
+                '+' => (Sym::Plus, 1),
+                '-' => (Sym::Minus, 1),
+                '*' => (Sym::Star, 1),
+                '&' => (Sym::Amp, 1),
+                '|' => (Sym::Pipe, 1),
+                '^' => (Sym::Caret, 1),
+                '~' => (Sym::Tilde, 1),
+                '=' => (Sym::Assign, 1),
+                '!' => (Sym::Bang, 1),
+                '<' => (Sym::Lt, 1),
+                '>' => (Sym::Gt, 1),
+                other => {
+                    return Err(RtlError::new(
+                        format!("unexpected character {other:?}"),
+                        span,
+                    ))
+                }
+            },
+        };
+        for _ in 0..len {
+            bump!();
+        }
+        tokens.push(Token {
+            tok: Tok::Sym(sym),
+            span,
+        });
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(line, col),
+    });
+    Ok(Lexed { tokens, pragmas })
+}
+
+/// Reads a run of digits (with `_` separators) in `base`, accumulating
+/// into a `u64`. Digit runs never span lines, so only the column moves.
+fn read_digits(
+    chars: &[char],
+    i: &mut usize,
+    col: &mut u32,
+    base: u32,
+    span: Span,
+) -> Result<u64, RtlError> {
+    let mut value: u64 = 0;
+    while chars[*i].is_ascii_hexdigit() || chars[*i] == '_' {
+        let c = chars[*i];
+        if c != '_' {
+            let digit = c.to_digit(base).ok_or_else(|| {
+                RtlError::new(format!("digit {c:?} invalid in base {base}"), span)
+            })?;
+            value = value
+                .checked_mul(u64::from(base))
+                .and_then(|v| v.checked_add(u64::from(digit)))
+                .ok_or_else(|| RtlError::new("number literal overflows 64 bits", span))?;
+        }
+        *col += 1;
+        *i += 1;
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_module_header() {
+        let lexed = lex("module top(input wire clk);\nendmodule\n").unwrap();
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            idents,
+            ["module", "top", "input", "wire", "clk", "endmodule"]
+        );
+    }
+
+    #[test]
+    fn sized_literals_carry_width() {
+        let lexed = lex("8'd255 4'hF 1'b0 42").unwrap();
+        let nums: Vec<(u64, Option<u32>)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Number { value, width } => Some((value, width)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            [(255, Some(8)), (15, Some(4)), (0, Some(1)), (42, None)]
+        );
+    }
+
+    #[test]
+    fn collects_scald_pragmas_with_spans() {
+        let lexed = lex("// scald: period 50.0\nmodule m(); // not a pragma\nendmodule\n").unwrap();
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].text, "period 50.0");
+        assert_eq!(lexed.pragmas[0].span, Span::new(1, 1));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_spanned() {
+        let err = lex("module m();\n/* torn").unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+        assert_eq!(err.span, Span::new(2, 1));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let lexed = lex("<= >= == != < >").unwrap();
+        let syms: Vec<Sym> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Sym(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            [
+                Sym::LtEq,
+                Sym::GtEq,
+                Sym::EqEq,
+                Sym::NotEq,
+                Sym::Lt,
+                Sym::Gt
+            ]
+        );
+    }
+}

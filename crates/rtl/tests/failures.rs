@@ -1,0 +1,193 @@
+//! The frontend's failure surface: malformed, torn, or
+//! subset-violating input must produce a spanned diagnostic with the
+//! offending source excerpt — never a panic, never a bare message.
+
+use scald_rtl::{compile, RtlError};
+
+fn fail(src: &str) -> RtlError {
+    match compile(src) {
+        Err(e) => e,
+        Ok(_) => panic!("expected a diagnostic for:\n{src}"),
+    }
+}
+
+/// Every diagnostic carries a 1-based span and (when the line exists in
+/// the source) a rendered excerpt with a caret.
+fn assert_spanned(src: &str, e: &RtlError) {
+    assert!(e.span.line >= 1 && e.span.col >= 1, "bad span: {e:?}");
+    let rendered = e.to_string();
+    assert!(
+        rendered.contains(&format!("line {}, col {}", e.span.line, e.span.col)),
+        "missing position in: {rendered}"
+    );
+    if src.lines().nth(e.span.line as usize - 1).is_some() {
+        assert!(rendered.contains('^'), "missing caret in: {rendered}");
+    }
+}
+
+#[test]
+fn unterminated_module_names_the_module_and_its_start() {
+    let src = "module counter(input wire clk);\n  wire q;\n  assign q = clk;\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("unexpected end of file"), "{e}");
+    assert!(
+        e.message
+            .contains("missing `endmodule` for module `counter`"),
+        "{e}"
+    );
+    assert!(e.message.contains("started at line 1"), "{e}");
+}
+
+#[test]
+fn undeclared_identifier_is_spanned_at_the_use() {
+    let src = "module m(input wire a, output wire y);\n  assign y = a & ghost;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("undeclared identifier `ghost`"), "{e}");
+    assert_eq!(e.span.line, 2);
+}
+
+#[test]
+fn width_mismatch_names_both_widths() {
+    let src = "module m(input wire [7:0] a, output wire [3:0] y);\n  assign y = a;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("width mismatch"), "{e}");
+    assert!(e.message.contains("4-bit"), "{e}");
+    assert!(e.message.contains("8-bit"), "{e}");
+}
+
+#[test]
+fn operand_width_mismatch_is_caught_inside_expressions() {
+    let src = "module m(input wire [7:0] a, input wire [3:0] b, output wire [7:0] y);\n  \
+               assign y = a + b;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("width mismatch"), "{e}");
+}
+
+#[test]
+fn combinational_always_ff_is_redirected_to_always_comb() {
+    let src = "module m(input wire a, output reg y);\n  always_ff @(a) y <= a;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("edge-triggered"), "{e}");
+    assert!(e.message.contains("always_comb"), "{e}");
+}
+
+#[test]
+fn torn_file_mid_expression_is_a_diagnostic() {
+    let src = "module m(input wire a, output wire y);\n  assign y = a &";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("unexpected end of file"), "{e}");
+}
+
+#[test]
+fn torn_file_mid_block_comment_is_a_diagnostic() {
+    let src = "module m();\n/* torn away";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("unterminated block comment"), "{e}");
+}
+
+#[test]
+fn truncation_at_every_byte_never_panics() {
+    // Shear the shipped design at every char boundary; every prefix
+    // must either compile or produce a diagnostic, never panic.
+    let full = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../designs/cascade_race.v"
+    ))
+    .expect("shipped design file exists");
+    for (i, _) in full.char_indices() {
+        let _ = compile(&full[..i]);
+    }
+    assert!(compile(&full).is_ok());
+}
+
+#[test]
+fn multiple_drivers_point_at_the_second_driver() {
+    let src = "module m(input wire a, input wire b, output wire y);\n  \
+               assign y = a;\n  assign y = b;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("driven more than once"), "{e}");
+    assert!(e.message.contains("first driver at line 2"), "{e}");
+    assert_eq!(e.span.line, 3);
+}
+
+#[test]
+fn latch_inference_in_always_comb_is_rejected() {
+    let src = "module m(input wire en, input wire d, output wire y);\n  \
+               always_comb if (en) y = d;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("latch inferred"), "{e}");
+}
+
+#[test]
+fn async_reset_shape_is_enforced() {
+    // Sensitivity list says async reset, body never tests it.
+    let src = "module m(input wire c, input wire r, input wire d, output reg q);\n  \
+               always_ff @(posedge c or posedge r) q <= d;\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("if (r)"), "{e}");
+
+    // Reset polarity must match the tested condition.
+    let src = "module m(input wire c, input wire r, input wire d, output reg q);\n  \
+               always_ff @(posedge c or negedge r) begin\n    \
+               if (r) q <= 1'b0; else q <= d;\n  end\nendmodule\n";
+    let e = fail(src);
+    assert!(
+        e.message.contains("must test exactly the reset signal"),
+        "{e}"
+    );
+
+    // Reset values must be literals.
+    let src = "module m(input wire c, input wire r, input wire d, output reg q);\n  \
+               always_ff @(posedge c or posedge r) begin\n    \
+               if (r) q <= d; else q <= d;\n  end\nendmodule\n";
+    let e = fail(src);
+    assert!(e.message.contains("literal constant"), "{e}");
+}
+
+#[test]
+fn unknown_module_and_bad_connections_are_spanned() {
+    let src = "module top(input wire a);\n  Ghost u0 (.x(a));\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("unknown module `Ghost`"), "{e}");
+
+    let src = "module child(input wire x);\nendmodule\n\
+               module top(input wire a);\n  child u0 (.y(a));\nendmodule\n";
+    let e = fail(src);
+    assert!(e.message.contains("has no port `y`"), "{e}");
+
+    let src = "module child(input wire x);\nendmodule\n\
+               module top(input wire a);\n  child u0 ();\nendmodule\n";
+    let e = fail(src);
+    assert!(
+        e.message
+            .contains("input port `x` of `child` is unconnected"),
+        "{e}"
+    );
+}
+
+#[test]
+fn bad_pragmas_are_spanned_diagnostics() {
+    let src = "// scald: frobnicate 12\nmodule m(input wire a);\nendmodule\n";
+    let e = fail(src);
+    assert_spanned(src, &e);
+    assert!(e.message.contains("unknown pragma"), "{e}");
+
+    let src = "module m(input wire a);\n  // scald: period 50.0\nendmodule\n";
+    let e = fail(src);
+    assert!(e.message.contains("design-wide"), "{e}");
+
+    let src = "module m(input wire a);\n  // scald: input a .Q9\nendmodule\n";
+    let e = fail(src);
+    assert!(e.message.contains("bad assertion spec"), "{e}");
+}

@@ -3,7 +3,9 @@
 //! by anything that wants to talk to a running daemon without writing
 //! JSONL by hand.
 
-use crate::proto::{DeltaSpec, Frame, Hello, Request, Response, TraceMode, PROTO_VERSION};
+use crate::proto::{
+    DeltaSpec, Frame, Frontend, Hello, Request, Response, TraceMode, PROTO_VERSION,
+};
 use scald_trace::json::Json;
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -151,6 +153,26 @@ impl Client {
             id,
             source: source.into(),
             label: Some(label.into()),
+            frontend: Frontend::Scald,
+        })
+    }
+
+    /// `open` sugar for Verilog sources (the `scald-rtl` frontend).
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Client::request).
+    pub fn open_verilog(
+        &mut self,
+        source: impl Into<String>,
+        label: impl Into<String>,
+    ) -> io::Result<Response> {
+        let id = self.id();
+        self.request(&Request::Open {
+            id,
+            source: source.into(),
+            label: Some(label.into()),
+            frontend: Frontend::Verilog,
         })
     }
 

@@ -12,11 +12,11 @@
 
 use crate::pool::{CheckoutInfo, PooledSession, SessionPool};
 use crate::proto::{
-    CacheDelta, DaemonStats, DeltaSpec, ErrorKind, Frame, Hello, Request, Response, RunSummary,
-    PROTO_VERSION,
+    CacheDelta, DaemonStats, DeltaSpec, ErrorKind, Frame, Frontend, Hello, Request, Response,
+    RunSummary, PROTO_VERSION,
 };
 use crate::tap::SharedWriter;
-use scald_incr::{compile_source, Delta, SessionError, SessionOutcome};
+use scald_incr::{compile_source, compile_verilog, Delta, SessionError, SessionOutcome};
 use scald_verifier::{Case, EvalCacheStats};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -326,7 +326,12 @@ fn dispatch(
     shared: &Arc<Shared>,
 ) -> Response {
     match request {
-        Request::Open { id, source, label } => {
+        Request::Open {
+            id,
+            source,
+            label,
+            frontend,
+        } => {
             if shared.shutting_down.load(Ordering::Acquire) {
                 return Response::Error {
                     id: Some(id),
@@ -335,7 +340,7 @@ fn dispatch(
                 };
             }
             let label = label.unwrap_or_else(|| "<unnamed>".to_owned());
-            do_open(id, source, label, conn, shared)
+            do_open(id, source, frontend, label, conn, shared)
         }
         Request::ApplyDelta { id, session, delta } => {
             let Some(pooled) = conn.sessions.remove(&session) else {
@@ -422,11 +427,16 @@ impl Drop for RunGuard {
 fn do_open(
     id: u64,
     source: String,
+    frontend: Frontend,
     label: String,
     conn: &mut ConnState,
     shared: &Arc<Shared>,
 ) -> Response {
-    let (netlist, cases) = match compile_source(&source) {
+    let compiled = match frontend {
+        Frontend::Scald => compile_source(&source),
+        Frontend::Verilog => compile_verilog(&source),
+    };
+    let (netlist, cases) = match compiled {
         Ok(pair) => pair,
         Err(e) => return session_error(id, &e),
     };
@@ -637,7 +647,7 @@ fn outcome_summary(outcome: &SessionOutcome, cache: Option<CacheDelta>) -> RunSu
 
 fn session_error(id: u64, e: &SessionError) -> Response {
     let kind = match e {
-        SessionError::Compile(_) => ErrorKind::Compile,
+        SessionError::Compile(_) | SessionError::Rtl(_) => ErrorKind::Compile,
         SessionError::Delta(_) => ErrorKind::Delta,
         SessionError::Verify(_) => ErrorKind::Verify,
     };

@@ -48,7 +48,7 @@ pub use client::Client;
 pub use daemon::{serve, JobsLease, JobsLedger, ServeOptions};
 pub use pool::{CheckoutInfo, PooledSession, SessionPool};
 pub use proto::{
-    CacheDelta, DaemonStats, DeltaSpec, DesignStats, ErrorKind, Frame, Hello, ProtoError, Request,
-    Response, RunSummary, TraceMode, PROTO_KEY, PROTO_VERSION,
+    CacheDelta, DaemonStats, DeltaSpec, DesignStats, ErrorKind, Frame, Frontend, Hello, ProtoError,
+    Request, Response, RunSummary, TraceMode, PROTO_KEY, PROTO_VERSION,
 };
 pub use tap::TapSink;

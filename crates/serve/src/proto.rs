@@ -140,6 +140,38 @@ impl TraceMode {
     }
 }
 
+/// Which compiler an `open` request's `source` goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// SCALD-style HDL (the default when the field is absent, so v1
+    /// frames from older clients parse unchanged).
+    #[default]
+    Scald,
+    /// Synthesisable Verilog, via the `scald-rtl` frontend.
+    Verilog,
+}
+
+impl Frontend {
+    /// The wire token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Frontend::Scald => "scald",
+            Frontend::Verilog => "verilog",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Frontend, ProtoError> {
+        match s {
+            "scald" => Ok(Frontend::Scald),
+            "verilog" => Ok(Frontend::Verilog),
+            other => err(format!(
+                "unknown frontend {other:?}; expected \"scald\" or \"verilog\""
+            )),
+        }
+    }
+}
+
 /// A design edit carried by `apply-delta`. Protocol v1 ships whole-text
 /// and case-set deltas; the session diffs hashes server-side either way,
 /// so a source swap that touches one macro still re-verifies warm.
@@ -222,14 +254,16 @@ fn parse_cases(json: &Json) -> Result<Vec<Vec<(String, bool)>>, ProtoError> {
 /// echoed on the matching [`Response`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Open (or reuse from the pool) a session on HDL source text.
+    /// Open (or reuse from the pool) a session on design source text.
     Open {
         /// Correlation tag.
         id: u64,
-        /// The design, as SCALD-style HDL source.
+        /// The design source, in the `frontend`'s language.
         source: String,
         /// Report label; defaults to `"<unnamed>"`.
         label: Option<String>,
+        /// Which compiler the source goes through (absent = SCALD HDL).
+        frontend: Frontend,
     },
     /// Apply an edit to a session and re-verify (warm when possible).
     ApplyDelta {
@@ -325,10 +359,20 @@ impl Request {
             ("cmd".to_owned(), Json::str(self.cmd())),
         ];
         match self {
-            Request::Open { source, label, .. } => {
+            Request::Open {
+                source,
+                label,
+                frontend,
+                ..
+            } => {
                 obj.push(("source".into(), Json::str(source)));
                 if let Some(label) = label {
                     obj.push(("label".into(), Json::str(label)));
+                }
+                // Emitted only when non-default, so golden v1 frames
+                // from scald-HDL clients are byte-stable.
+                if *frontend != Frontend::Scald {
+                    obj.push(("frontend".into(), Json::str(frontend.token())));
                 }
             }
             Request::ApplyDelta { session, delta, .. } => {
@@ -368,18 +412,22 @@ impl Request {
         let all = Fields::of(
             json,
             &[
-                "id", "cmd", "source", "label", "session", "delta", "mode", "effort",
+                "id", "cmd", "source", "label", "frontend", "session", "delta", "mode", "effort",
             ],
         )?;
         let id = all.req_u64("id")?;
         let cmd = all.req_str("cmd")?;
         match cmd {
             "open" => {
-                let f = Fields::of(json, &["id", "cmd", "source", "label"])?;
+                let f = Fields::of(json, &["id", "cmd", "source", "label", "frontend"])?;
                 Ok(Request::Open {
                     id,
                     source: f.req_str("source")?.to_owned(),
                     label: f.opt_str("label")?.map(str::to_owned),
+                    frontend: match f.opt_str("frontend")? {
+                        Some(token) => Frontend::parse(token)?,
+                        None => Frontend::Scald,
+                    },
                 })
             }
             "apply-delta" => {
@@ -1131,6 +1179,13 @@ mod tests {
             id: 1,
             source: "design D;\nperiod 50.0;\n".into(),
             label: Some("demo".into()),
+            frontend: Frontend::Scald,
+        });
+        round_trip_request(&Request::Open {
+            id: 1,
+            source: "module m(input wire clk);\nendmodule\n".into(),
+            label: None,
+            frontend: Frontend::Verilog,
         });
         round_trip_request(&Request::ApplyDelta {
             id: 2,
@@ -1278,10 +1333,47 @@ mod tests {
             ),
             (r#"[1,2,3]"#, "not an object"),
             (r#"{"id":1,"id":2,"cmd":"stats"}"#, "duplicate field"),
+            (
+                r#"{"id":1,"cmd":"open","source":"x","frontend":"vhdl"}"#,
+                "unknown frontend",
+            ),
+            (
+                r#"{"id":1,"cmd":"run","session":"s1","frontend":"scald"}"#,
+                "frontend on wrong cmd",
+            ),
         ] {
             let json = parse(bad).expect("tests use well-formed JSON text");
             assert!(Request::parse(&json).is_err(), "accepted ({why}): {bad}");
         }
+    }
+
+    #[test]
+    fn frontend_field_defaults_to_scald_and_stays_off_the_wire() {
+        // A v1 client that has never heard of frontends still parses.
+        let json = parse(r#"{"id":1,"cmd":"open","source":"design D;"}"#).expect("valid");
+        let req = Request::parse(&json).expect("parses");
+        assert_eq!(
+            req,
+            Request::Open {
+                id: 1,
+                source: "design D;".into(),
+                label: None,
+                frontend: Frontend::Scald,
+            }
+        );
+        // And the default frontend is never emitted, so golden frames
+        // recorded against the v1 daemon keep matching byte for byte.
+        assert!(!req.to_json().to_string().contains("frontend"));
+        let verilog = Request::Open {
+            id: 2,
+            source: "module m();\nendmodule\n".into(),
+            label: None,
+            frontend: Frontend::Verilog,
+        };
+        assert!(verilog
+            .to_json()
+            .to_string()
+            .contains(r#""frontend":"verilog""#));
     }
 
     #[test]

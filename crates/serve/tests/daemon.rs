@@ -376,6 +376,54 @@ fn apply_delta_reverifies_and_bad_deltas_leave_the_session_usable() {
     daemon.join().expect("daemon drains");
 }
 
+#[test]
+fn verilog_frontend_is_served_and_bad_rtl_is_a_compile_error() {
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("verilog")),
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect_unix(&path).expect("connects");
+
+    let src = "\
+// scald: period 50.0
+module counter(input wire clk, input wire rst, output reg [3:0] q);
+  // scald: input clk .P0-4(0,0)
+  // scald: input rst .S0-8
+  always_ff @(posedge clk or posedge rst) begin
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule
+";
+    let (s, _, _) = opened(client.open_verilog(src, "rtl").expect("opens"));
+    assert!(matches!(
+        client.run(&s).expect("runs"),
+        Response::Ran { .. }
+    ));
+    let report = report_text(client.report(&s, false).expect("reports"));
+    assert!(
+        report.contains("TOP/reg_sr#1"),
+        "report names the lowered RTL primitives: {report}"
+    );
+
+    // A torn module is a structured compile error carrying the span,
+    // and the connection keeps working.
+    match client
+        .open_verilog("module torn(input wire clk);\n", "broken")
+        .expect("answered")
+    {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, ErrorKind::Compile);
+            assert!(message.contains("endmodule"), "spanned message: {message}");
+        }
+        other => panic!("expected a compile error, got {other:?}"),
+    }
+    client.close(&s).expect("closes");
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}
+
 /// `Request`/`Response` stay in sync with the daemon over the wire for
 /// the `stats` command's full shape.
 #[test]

@@ -1,0 +1,48 @@
+// The cascade race, ported to the Verilog frontend: two counters, one
+// on the raw clock and one on a gated clock. The AND gate deriving
+// `gclk` adds its combinational delay to the clock path, so cnt2's
+// clock edge arrives late and wide — its add cone is still changing
+// inside the skewed setup/hold window, while the identical cnt1 loop
+// on the raw clock passes with margin to spare.
+//
+// Expected verdict: `scald-tv run designs/cascade_race.v` exits 1 with
+// setup and hold violations at the cnt2 register whose CK INPUT is
+// `gclk` and whose fan-in provenance walks back through the gated
+// clock to `clk` and `en`.
+
+// scald: period 50.0
+// scald: clock_unit 6.25
+
+module cascade_race(
+  input  wire clk,
+  input  wire rst,
+  input  wire en,
+  output wire [7:0] cnt1_out,
+  output wire [7:0] cnt2_out
+);
+  // scald: input clk .P0-4(0,0)
+  // scald: input rst .S0-8
+  // scald: input en .S0-8
+  // scald: ff delay=3.0:5.0 setup=2.5 hold=1.5
+  // scald: comb delay=1.5:3.0
+
+  wire gclk;
+  reg [7:0] cnt1;
+  reg [7:0] cnt2;
+
+  // The derived clock: this gate IS the clock path the checker sees.
+  assign gclk = clk & en;
+
+  always_ff @(posedge clk or posedge rst) begin
+    if (rst) cnt1 <= 8'd0;
+    else     cnt1 <= cnt1 + 8'd1;
+  end
+
+  always_ff @(posedge gclk or posedge rst) begin
+    if (rst) cnt2 <= 8'd0;
+    else     cnt2 <= cnt2 + cnt1;
+  end
+
+  assign cnt1_out = cnt1;
+  assign cnt2_out = cnt2;
+endmodule

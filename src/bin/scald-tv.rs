@@ -1,18 +1,22 @@
 //! `scald-tv` — the SCALD Timing Verifier command-line tool.
 //!
-//! Reads a design in the SCALD-style HDL, expands its macros, verifies all
-//! timing constraints (running the design's `case` blocks if present), and
+//! Reads a design — SCALD-style HDL, or synthesisable Verilog via the
+//! `scald-rtl` frontend — expands/elaborates it, verifies all timing
+//! constraints (running the design's `case` blocks if present), and
 //! prints the error report. Exits non-zero when violations are found, so
 //! it slots into CI the way the thesis' designers ran the verifier daily
-//! (§3.3.1).
+//! (§3.3.1). Files ending in `.v`/`.sv` select the Verilog frontend
+//! automatically; `--frontend` overrides the detection.
 //!
 //! ```text
 //! USAGE:
-//!     scald-tv [OPTIONS] <DESIGN.scald>
+//!     scald-tv [OPTIONS] <DESIGN.scald | DESIGN.v>
 //!     scald-tv serve [--socket PATH] [--stdio] [--jobs N]
 //!                    [--timeout-ms N] [--idle-cap N] [--no-eval-cache]
 //!
 //! OPTIONS:
+//!     --frontend F     input language: scald or verilog (default: by
+//!                      file extension — .v/.sv mean verilog)
 //!     --summary        print the Fig 3-10 signal-value summary listing
 //!     --diagram        print an ASCII timing diagram of all signals
 //!     --slack          print per-checker timing margins (worst first)
@@ -120,17 +124,41 @@ enum Format {
     Json,
 }
 
-const USAGE: &str = "usage: scald-tv [--summary] [--diagram] [--slack] \
+const USAGE: &str = "usage: scald-tv [--frontend scald|verilog] \
+                     [--summary] [--diagram] [--slack] \
                      [--paths] [--netlist] [--xref] [--stats] [--storage] \
                      [--format text|json] [--trace FILE] \
                      [--no-cases] [--no-eval-cache] [--jobs N] \
                      [--watch] [--watch-poll-ms N] [--watch-max-edits N] \
-                     [--baseline OLD.scald] <DESIGN.scald>\n\
+                     [--baseline OLD.scald] <DESIGN.scald | DESIGN.v>\n\
                      \u{20}      scald-tv serve [--socket PATH] [--stdio] [--jobs N] \
                      [--timeout-ms N] [--idle-cap N] [--no-eval-cache]";
 
+/// Which frontend parses the design file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrontendKind {
+    /// The SCALD-style HDL and its two-pass macro expander.
+    Scald,
+    /// The synthesisable-Verilog subset (`scald-rtl`).
+    Verilog,
+}
+
+impl FrontendKind {
+    /// Picks the frontend by file extension (`.v`/`.sv`, case-insensitive,
+    /// mean Verilog; everything else is SCALD HDL).
+    fn detect(path: &str) -> FrontendKind {
+        let lower = path.to_ascii_lowercase();
+        if lower.ends_with(".v") || lower.ends_with(".sv") {
+            FrontendKind::Verilog
+        } else {
+            FrontendKind::Scald
+        }
+    }
+}
+
 struct Options {
     path: String,
+    frontend: FrontendKind,
     listings: Vec<Listing>,
     format: Format,
     trace: Option<String>,
@@ -150,8 +178,10 @@ impl Options {
 }
 
 fn parse_args() -> Result<Options, String> {
+    let mut frontend: Option<FrontendKind> = None;
     let mut opts = Options {
         path: String::new(),
+        frontend: FrontendKind::Scald,
         listings: Vec::new(),
         format: Format::Text,
         trace: None,
@@ -174,6 +204,13 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--no-cases" => opts.no_cases = true,
             "--no-eval-cache" => opts.no_eval_cache = true,
+            "--frontend" => {
+                frontend = Some(match args.next().as_deref() {
+                    Some("scald") => FrontendKind::Scald,
+                    Some("verilog") => FrontendKind::Verilog,
+                    _ => return Err("--frontend expects 'scald' or 'verilog'".to_owned()),
+                });
+            }
             "--format" => {
                 opts.format = match args.next().as_deref() {
                     Some("text") => Format::Text,
@@ -235,6 +272,7 @@ fn parse_args() -> Result<Options, String> {
     if opts.path.is_empty() {
         return Err("no design file given; try --help".to_owned());
     }
+    opts.frontend = frontend.unwrap_or_else(|| FrontendKind::detect(&opts.path));
     if opts.watch && opts.baseline.is_some() {
         return Err("--watch and --baseline are mutually exclusive".to_owned());
     }
@@ -272,9 +310,21 @@ fn open_session(opts: &Options, src: &str) -> Result<Session, String> {
             JsonlSink::create(file).map_err(|e| format!("cannot create trace file {file}: {e}"))?;
         builder = builder.trace(Arc::new(sink));
     }
+    let input = match opts.frontend {
+        FrontendKind::Scald => DesignInput::source(src),
+        FrontendKind::Verilog => DesignInput::verilog(src),
+    };
     builder
-        .open(DesignInput::source(src), opts.path.clone())
+        .open(input, opts.path.clone())
         .map_err(|e| e.to_string())
+}
+
+/// Wraps new source text in the delta variant matching the frontend.
+fn source_delta(opts: &Options, src: String) -> Delta {
+    match opts.frontend {
+        FrontendKind::Scald => Delta::Source(src),
+        FrontendKind::Verilog => Delta::Verilog(src),
+    }
 }
 
 const SERVE_USAGE: &str = "usage: scald-tv serve [--socket PATH] [--stdio] \
@@ -376,7 +426,7 @@ fn run_watch(opts: &Options) -> ExitCode {
             pending_bad = None;
             continue;
         }
-        match session.apply(Delta::Source(src.clone())) {
+        match session.apply(source_delta(opts, src.clone())) {
             Ok(outcome) => {
                 pending_bad = None;
                 last_src = src;
@@ -426,7 +476,7 @@ fn run_baseline(opts: &Options, old_path: &str) -> ExitCode {
         let mut session = open_session(opts, &old_src)?;
         let before = session.report().clone();
         let outcome = session
-            .apply(Delta::Source(new_src))
+            .apply(source_delta(opts, new_src))
             .map_err(|e| e.to_string())?;
         Ok((before, outcome))
     });
@@ -516,33 +566,56 @@ fn main() -> ExitCode {
         }
     };
 
+    // Each frontend reports its own expansion statistics; fold them into
+    // one enum so the listing renderers below stay frontend-agnostic.
+    enum ExpandInfo {
+        Scald(hdl::ExpandStats),
+        Rtl(scald::rtl::RtlStats),
+    }
+
     let t = Instant::now();
-    let expansion = match hdl::compile(&src) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("scald-tv: {e}");
-            return ExitCode::from(2);
-        }
+    let (netlist, raw_cases, expand_stats) = match opts.frontend {
+        FrontendKind::Scald => match hdl::compile(&src) {
+            Ok(e) => (e.netlist, e.cases, ExpandInfo::Scald(e.stats)),
+            Err(e) => {
+                eprintln!("scald-tv: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        FrontendKind::Verilog => match scald::rtl::compile(&src) {
+            Ok(e) => (e.netlist, e.cases, ExpandInfo::Rtl(e.stats)),
+            Err(e) => {
+                eprintln!("scald-tv: {e}");
+                return ExitCode::from(2);
+            }
+        },
     };
     let expand_time = t.elapsed();
     let text = opts.format == Format::Text;
 
     if text && opts.wants(Listing::Stats) {
-        let s = expansion.stats;
-        eprintln!(
-            "expanded {} macros / {} instances -> {} primitives, {} signals \
-             (pass1 {:?}, pass2 {:?}, total {expand_time:?})",
-            s.macros_defined, s.instances_expanded, s.prims_emitted, s.signals, s.pass1, s.pass2
-        );
+        match &expand_stats {
+            ExpandInfo::Scald(s) => eprintln!(
+                "expanded {} macros / {} instances -> {} primitives, {} signals \
+                 (pass1 {:?}, pass2 {:?}, total {expand_time:?})",
+                s.macros_defined,
+                s.instances_expanded,
+                s.prims_emitted,
+                s.signals,
+                s.pass1,
+                s.pass2
+            ),
+            ExpandInfo::Rtl(s) => eprintln!(
+                "elaborated {} module(s) / {} instance(s) -> {} primitives, \
+                 {} signals ({expand_time:?})",
+                s.modules, s.instances_flattened, s.prims_emitted, s.signals
+            ),
+        }
     }
 
     // Sections that need the netlist before the verifier takes ownership.
-    let netlist_listing = opts
-        .wants(Listing::Netlist)
-        .then(|| expansion.netlist.listing());
-    let paths_listing = opts
-        .wants(Listing::Paths)
-        .then(|| path_lines(&expansion.netlist));
+    let netlist_listing = opts.wants(Listing::Netlist).then(|| netlist.listing());
+    let paths_listing = opts.wants(Listing::Paths).then(|| path_lines(&netlist));
     if text {
         if let Some(listing) = &netlist_listing {
             println!("--- fully elaborated design ---");
@@ -556,11 +629,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let cases: Vec<Case> = if opts.no_cases || expansion.cases.is_empty() {
+    let cases: Vec<Case> = if opts.no_cases || raw_cases.is_empty() {
         vec![Case::new()]
     } else {
-        expansion
-            .cases
+        raw_cases
             .iter()
             .map(|assigns| {
                 assigns
@@ -570,7 +642,7 @@ fn main() -> ExitCode {
             .collect()
     };
 
-    let mut builder = VerifierBuilder::new(expansion.netlist);
+    let mut builder = VerifierBuilder::new(netlist);
     if opts.no_eval_cache {
         builder = builder.eval_cache(false);
     }
@@ -666,10 +738,12 @@ fn main() -> ExitCode {
             ));
         }
         if opts.wants(Listing::Stats) {
-            let s = expansion.stats;
-            fields.push((
-                "expansion".to_owned(),
-                Json::Obj(vec![
+            let wall = (
+                "wall_ns".to_owned(),
+                Json::from(u64::try_from(expand_time.as_nanos()).unwrap_or(u64::MAX)),
+            );
+            let expansion_fields = match &expand_stats {
+                ExpandInfo::Scald(s) => vec![
                     (
                         "macros_defined".to_owned(),
                         Json::from(s.macros_defined as u64),
@@ -683,12 +757,23 @@ fn main() -> ExitCode {
                         Json::from(s.prims_emitted as u64),
                     ),
                     ("signals".to_owned(), Json::from(s.signals as u64)),
+                    wall,
+                ],
+                ExpandInfo::Rtl(s) => vec![
+                    ("modules".to_owned(), Json::from(s.modules as u64)),
                     (
-                        "wall_ns".to_owned(),
-                        Json::from(u64::try_from(expand_time.as_nanos()).unwrap_or(u64::MAX)),
+                        "instances_flattened".to_owned(),
+                        Json::from(s.instances_flattened as u64),
                     ),
-                ]),
-            ));
+                    (
+                        "prims_emitted".to_owned(),
+                        Json::from(s.prims_emitted as u64),
+                    ),
+                    ("signals".to_owned(), Json::from(s.signals as u64)),
+                    wall,
+                ],
+            };
+            fields.push(("expansion".to_owned(), Json::Obj(expansion_fields)));
         }
         print!("{}", Json::Obj(fields).to_string_pretty());
     }

@@ -19,6 +19,7 @@
 //! | [`assertions`] | `.P`/`.C`/`.S` signal-name assertions (§2.5) |
 //! | [`netlist`] | primitives, signals, the circuit graph (§2.4, §3.1) |
 //! | [`hdl`] | SCALD-style HDL and the two-pass macro expander (§3.1) |
+//! | [`rtl`] | synthesisable-Verilog frontend: parse, elaborate, lower to primitives |
 //! | [`verifier`] | the Timing Verifier engine, checkers, case analysis (§2.6–2.9) |
 //! | [`sim`] | baseline: min/max six-value logic simulator (§1.4.1.1) |
 //! | [`paths`] | baseline: worst-case path search (§1.4.2) |
@@ -75,6 +76,7 @@ pub use scald_incr as incr;
 pub use scald_logic as logic;
 pub use scald_netlist as netlist;
 pub use scald_paths as paths;
+pub use scald_rtl as rtl;
 pub use scald_serve as serve;
 pub use scald_sim as sim;
 pub use scald_stats as stats;

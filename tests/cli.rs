@@ -101,9 +101,38 @@ fn help_usage_names_every_flag() {
         "--watch-poll-ms",
         "--watch-max-edits",
         "--baseline",
+        "--frontend",
     ] {
         assert!(usage.contains(flag), "usage omits {flag}: {usage}");
     }
+}
+
+/// The shipped gated-clock design: the verifier must flag the cascade
+/// race behind the derived clock, exit 1, and walk the provenance back
+/// to `gclk` — the `.v` extension alone selects the Verilog frontend.
+#[test]
+fn cascade_race_verilog_design_is_flagged_via_the_gated_clock() {
+    let path = design("cascade_race.v");
+    let out = run(&[&path]);
+    assert_eq!(exit_code(&out), 1, "the race must fail the run");
+    let stdout = text(&out.stdout);
+    assert!(stdout.contains("HOLD TIME VIOLATED"), "{stdout}");
+    assert!(
+        stdout.contains("gclk"),
+        "the violation must name the derived clock: {stdout}"
+    );
+    assert!(
+        stdout.contains("FAN-IN PROVENANCE"),
+        "provenance walk expected: {stdout}"
+    );
+
+    // The explicit flag overrides detection the other way: forcing the
+    // SCALD frontend on Verilog text is a compile error, not a panic.
+    let forced = run(&["--frontend", "scald", &path]);
+    assert_eq!(exit_code(&forced), 2);
+
+    // And an unknown frontend is a usage error.
+    assert_eq!(exit_code(&run(&["--frontend", "vhdl", &path])), 2);
 }
 
 /// The golden test for `--format json`: the emitted document must parse
