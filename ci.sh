@@ -23,6 +23,11 @@ cargo test -q --test cli
 # byte-identical for every worker count (and cache on/off), and the
 # interning store must stay bounded.
 cargo test -q -p scald-verifier --test parallel_settle --test parallel_cases --test eval_cache --test store_growth
+
+# The case-tree suite alone: 50-seed property that tree-factored sweeps
+# produce stripped reports byte-identical to the independent path at
+# 1/2/8 workers, plus the shared-prefix error-path test.
+cargo test -q -p scald-verifier --test case_tree
 cargo test -q -p scald-wave --test store_props
 
 # The daemon suites alone: protocol robustness (malformed frames, torn
@@ -52,6 +57,11 @@ cargo run -q -p scald-bench --release --bin scale_sweep -- --steps 5000 --reps 1
 # Smoke the serve loadtest with 4 concurrent clients on a small design
 # (the committed BENCH_serve.json uses --chips 400 --rounds 3).
 cargo run -q -p scald-bench --release --bin loadtest -- --clients 4 --chips 60 --rounds 1 --out target/BENCH_serve_smoke.json
+
+# Smoke the case-tree sweep bench, 1000 cases on a slimmed design (the
+# committed BENCH_cases.json uses the default --master 1500): proves the
+# sweep generator + trie engine handle a 1000-case run end to end.
+cargo run -q -p scald-bench --release --bin case_tree -- --counts 10,1000 --master 100 --block 4 --out target/BENCH_cases_smoke.json
 
 # Examples must keep building; incr_session doubles as a smoke test of
 # the incremental re-verification subsystem (it asserts the warm report

@@ -13,7 +13,7 @@ use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, SignalId};
 use scald_paths::PathAnalysis;
 use scald_sim::{primary_inputs, simulate, Stimulus};
 use scald_trace::CounterSink;
-use scald_verifier::{Case, RunOptions, Verifier, VerifierBuilder};
+use scald_verifier::{Case, CaseSet, RunOptions, Verifier, VerifierBuilder};
 use scald_wave::{DelayRange, Time};
 use std::sync::Arc;
 
@@ -48,11 +48,8 @@ fn fig_2_6(b: &Bench) {
         || case_analysis_circuit().0,
         |netlist| {
             let mut v = Verifier::new(netlist);
-            v.run(&RunOptions::new().cases(vec![
-                Case::new().assign("CONTROL SIGNAL", false),
-                Case::new().assign("CONTROL SIGNAL", true),
-            ]))
-            .expect("settles")
+            v.run(&RunOptions::new().cases(CaseSet::exhaustive(["CONTROL SIGNAL"])))
+                .expect("settles")
         },
     );
 }
@@ -108,7 +105,7 @@ fn par_cases(b: &Bench) {
     // every case dirties a sizeable cone. The engine is pre-settled in the
     // untimed setup, so the timed region is exactly the case sweep — the
     // part the worker pool parallelizes.
-    let cases: Vec<Case> = (0..16)
+    let cases: CaseSet = (0..16)
         .map(|i| {
             Case::new()
                 .assign(format!("CTL {i}"), i % 2 == 0)
@@ -257,7 +254,7 @@ fn eval_cache(b: &Bench) {
         chips: 400,
         ..S1Options::default()
     });
-    let cases: Vec<Case> = (0..8)
+    let cases: CaseSet = (0..8)
         .map(|i| Case::new().assign(format!("CTL {i}"), i % 2 == 0))
         .collect();
     for cached in [false, true] {

@@ -18,7 +18,7 @@ use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_incr::{Delta, DesignInput, NetlistDelta, Session, SessionBuilder};
 use scald_netlist::Netlist;
 use scald_trace::json::Json;
-use scald_verifier::{Case, EvalCache, RunOptions, VerifierBuilder};
+use scald_verifier::{Case, CaseSet, EvalCache, RunOptions, VerifierBuilder};
 use scald_wave::DelayRange;
 
 struct Args {
@@ -76,7 +76,7 @@ fn run_cases(
         .eval_cache(cached)
         .build();
     let (_, wall) = timed(|| {
-        v.run(&RunOptions::new().cases(cases()).jobs(1))
+        v.run(&RunOptions::new().cases(CaseSet::list(cases())).jobs(1))
             .expect("design settles")
     });
     (wall, v.eval_cache_stats())

@@ -12,7 +12,7 @@
 //! Usage: `cargo run -p scald-bench --bin case_cost --release [--chips N]`
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
-use scald_verifier::{Case, RunOptions, Verifier};
+use scald_verifier::{Case, CaseSet, RunOptions, Verifier};
 use std::time::Instant;
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
     let mut v = Verifier::new(netlist);
     let t = Instant::now();
     let results = v
-        .run(&RunOptions::new().cases(cases.to_vec()))
+        .run(&RunOptions::new().cases(CaseSet::list(cases.iter().cloned())))
         .expect("design settles")
         .cases;
     let total = t.elapsed();
@@ -85,8 +85,12 @@ fn main() {
         let mut v = Verifier::new(netlist);
         let t = Instant::now();
         let jobs = jobs.unwrap_or(1);
-        v.run(&RunOptions::new().cases(cases.clone()).jobs(jobs))
-            .expect("design settles");
+        v.run(
+            &RunOptions::new()
+                .cases(CaseSet::list(cases.iter().cloned()))
+                .jobs(jobs),
+        )
+        .expect("design settles");
         t.elapsed()
     };
     let serial = time_with(None);

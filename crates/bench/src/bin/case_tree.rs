@@ -1,0 +1,171 @@
+//! Case-tree benchmark: naive independent cases vs. the shared-prefix
+//! trie, at 10/100/1000 cases of one exhaustive mode sweep.
+//!
+//! The [`scald_gen::sweep`] design has one heavy master mode bit and
+//! many light block bits, so every case of the exhaustive sweep pays
+//! the master's cone under the naive engine while the case tree settles
+//! it once per root branch. This harness records, per case count and
+//! per strategy: wall clock, settle effort (prefix + per-case events
+//! and evaluations), and the trie shape — into `BENCH_cases.json`. The
+//! acceptance signal is the *settle-event growth*: naive effort grows
+//! linearly with the case count; tree effort grows sublinearly because
+//! the shared master cone amortizes.
+//!
+//! Both strategies produce byte-identical stripped reports (property
+//! tested in `crates/verifier/tests/case_tree.rs`); this harness
+//! measures only cost, but still cross-checks violations counts.
+//!
+//! Usage: `cargo run -p scald-bench --bin case_tree --release`
+//! (`--counts 10,100,1000` for the sweep sizes, `--master N` /
+//! `--block N` for slice counts, `--jobs N` for the worker pool, and
+//! `--out FILE` to redirect the record, as the CI smoke run does.)
+
+use std::time::Instant;
+
+use scald_gen::sweep::{sweep_netlist, SweepOptions};
+use scald_trace::json::Json;
+use scald_verifier::{CaseSet, CaseStrategy, RunOptions, Verifier};
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// One measured run: the sweep applied on a warm engine (the base
+/// settle is paid before the clock starts, so per-case counters hold
+/// only sweep effort).
+struct Measured {
+    wall_ns: u64,
+    events: u64,
+    evaluations: u64,
+    prefix_nodes: usize,
+    violations: usize,
+}
+
+fn measure(
+    netlist: &scald_netlist::Netlist,
+    cases: &CaseSet,
+    strategy: CaseStrategy,
+    jobs: usize,
+) -> Measured {
+    let mut v = Verifier::new(netlist.clone());
+    v.run(&RunOptions::new().jobs(jobs)).expect("base settles");
+    let t = Instant::now();
+    let outcome = v
+        .run(
+            &RunOptions::new()
+                .cases(cases.clone())
+                .jobs(jobs)
+                .strategy(strategy),
+        )
+        .expect("sweep settles");
+    let wall_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Measured {
+        wall_ns,
+        events: outcome.prefix.events + outcome.cases.iter().map(|c| c.events).sum::<u64>(),
+        evaluations: outcome.prefix.evaluations
+            + outcome.cases.iter().map(|c| c.evaluations).sum::<u64>(),
+        prefix_nodes: outcome.prefix.nodes,
+        violations: outcome.cases.iter().map(|c| c.violations.len()).sum(),
+    }
+}
+
+fn measured_json(m: &Measured) -> Json {
+    Json::Obj(vec![
+        ("wall_ns".into(), Json::from(m.wall_ns)),
+        ("settle_events".into(), Json::from(m.events)),
+        ("settle_evaluations".into(), Json::from(m.evaluations)),
+        ("prefix_nodes".into(), Json::from(m.prefix_nodes as u64)),
+        ("violations".into(), Json::from(m.violations as u64)),
+    ])
+}
+
+fn main() {
+    let counts: Vec<usize> = flag_value("--counts")
+        .unwrap_or_else(|| "10,100,1000".to_owned())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--counts takes case counts"))
+        .collect();
+    let opts = SweepOptions {
+        master_slices: flag_value("--master").map_or(1500, |s| s.parse().expect("--master N")),
+        block_slices: flag_value("--block").map_or(10, |s| s.parse().expect("--block N")),
+        ..SweepOptions::default()
+    };
+    let jobs = flag_value("--jobs")
+        .map_or_else(scald_bench::default_jobs, |s| s.parse().expect("--jobs N"));
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_cases.json".to_owned());
+
+    let (netlist, stats) = sweep_netlist(&opts);
+    let full = CaseSet::exhaustive(stats.mode_bits.iter().cloned());
+    println!(
+        "CASE-TREE SWEEP — {} prims, {} mode bits ({} exhaustive cases), {jobs} jobs\n",
+        stats.prims,
+        stats.mode_bits.len(),
+        full.len()
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>12} {:>12} {:>8} {:>8}",
+        "CASES", "NAIVE WALL", "TREE WALL", "NAIVE EVAL", "TREE EVAL", "NODES", "RATIO"
+    );
+
+    let mut steps = Vec::new();
+    for &count in &counts {
+        let count = count.min(full.len());
+        let cases = CaseSet::list(full.cases()[..count].iter().cloned());
+        let naive = measure(&netlist, &cases, CaseStrategy::Independent, jobs);
+        let tree = measure(&netlist, &cases, CaseStrategy::Tree, jobs);
+        assert_eq!(
+            naive.violations, tree.violations,
+            "strategies must agree on violations"
+        );
+        println!(
+            "{:>7} {:>12.2?}ms {:>12.2?}ms {:>12} {:>12} {:>8} {:>7.1}x",
+            count,
+            naive.wall_ns as f64 / 1e6,
+            tree.wall_ns as f64 / 1e6,
+            naive.evaluations,
+            tree.evaluations,
+            tree.prefix_nodes,
+            naive.evaluations as f64 / tree.evaluations.max(1) as f64,
+        );
+        steps.push(Json::Obj(vec![
+            ("cases".into(), Json::from(count as u64)),
+            ("naive".into(), measured_json(&naive)),
+            ("tree".into(), measured_json(&tree)),
+            (
+                "evaluations_ratio".into(),
+                Json::from(naive.evaluations as f64 / tree.evaluations.max(1) as f64),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("scald-bench-cases")),
+        ("version".into(), Json::from(1u64)),
+        ("jobs".into(), Json::from(jobs as u64)),
+        (
+            "design".into(),
+            Json::Obj(vec![
+                ("prims".into(), Json::from(stats.prims as u64)),
+                ("signals".into(), Json::from(stats.signals as u64)),
+                (
+                    "mode_bits".into(),
+                    Json::Arr(stats.mode_bits.iter().map(Json::str).collect()),
+                ),
+                (
+                    "master_slices".into(),
+                    Json::from(opts.master_slices as u64),
+                ),
+                ("block_slices".into(), Json::from(opts.block_slices as u64)),
+            ]),
+        ),
+        ("steps".into(), Json::Arr(steps)),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write the JSON record");
+    println!("\nwrote {out}");
+}

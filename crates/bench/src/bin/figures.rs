@@ -8,7 +8,7 @@ use scald_gen::figures::{
     alu_stage, case_analysis_circuit, correlation_circuit, hazard_circuit, register_file_circuit,
 };
 use scald_logic::Value;
-use scald_verifier::{Case, RunOptions, Verifier, ViolationKind};
+use scald_verifier::{CaseSet, RunOptions, Verifier, ViolationKind};
 use scald_wave::{DelayRange, Skew, Time, Waveform};
 
 fn ns(x: f64) -> Time {
@@ -57,10 +57,7 @@ fn main() {
     let (netlist, (_, _, out)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
     let results = v
-        .run(&RunOptions::new().cases(vec![
-            Case::new().assign("CONTROL SIGNAL", false),
-            Case::new().assign("CONTROL SIGNAL", true),
-        ]))
+        .run(&RunOptions::new().cases(CaseSet::exhaustive(["CONTROL SIGNAL"])))
         .expect("settles")
         .cases;
     let cased = v.resolved(out);

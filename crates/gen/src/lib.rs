@@ -22,6 +22,10 @@
 //! * [`scale`] — a size-sweep generator (10^3..10^6 primitives) with
 //!   independent depth, fanout and clock-count knobs, used by the
 //!   `BENCH_scale.json` scale sweep.
+//! * [`sweep`] — a mode-sweep generator whose exhaustive case sweeps
+//!   share long assignment prefixes (one heavy master mode bit, many
+//!   light block bits), used by the `BENCH_cases.json` case-tree
+//!   benchmark.
 
 #![warn(missing_docs)]
 
@@ -31,6 +35,7 @@ pub mod hdl_sources;
 pub mod rtl_pairs;
 pub mod s1;
 pub mod scale;
+pub mod sweep;
 
 /// Deterministic std-only PRNG used by the generators (re-exported from
 /// [`scald_rng`] so workloads and tests share one implementation). The

@@ -132,6 +132,7 @@ mod tests {
             clock_driver_notes: Vec::new(),
             waves: Vec::new(),
             period: Time::from_ns(50.0),
+            probabilistic: None,
         }
     }
 

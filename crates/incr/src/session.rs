@@ -4,7 +4,8 @@
 use scald_netlist::{DeltaError, Netlist, NetlistDelta, PrimId, SignalId};
 use scald_trace::TraceSink;
 use scald_verifier::{
-    Case, CheckpointPolicy, EvalCache, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
+    Case, CaseSet, CheckpointPolicy, EvalCache, Report, RunOptions, Verifier, VerifierBuilder,
+    VerifyError,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
@@ -510,7 +511,7 @@ impl Session {
         // inherit a case's state as its base.
         let outcome = verifier.run(
             &RunOptions::new()
-                .cases(cases.clone())
+                .cases(CaseSet::list(cases.iter().cloned()))
                 .checkpoint(CheckpointPolicy::SettledBase),
         )?;
         let snapshot = *outcome.checkpoint.expect("checkpoint was requested");

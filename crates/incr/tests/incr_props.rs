@@ -10,14 +10,14 @@ use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_incr::{Case, Delta, DeltaConn, DesignInput, NetlistDelta, PrimSpec, Session};
 use scald_netlist::{Netlist, PrimKind};
 use scald_rng::Rng;
-use scald_verifier::{RunOptions, Verifier};
+use scald_verifier::{CaseSet, RunOptions, Verifier};
 use scald_wave::DelayRange;
 
 /// Cold-verifies `netlist` against `cases` exactly as a fresh run would.
 fn cold_report(netlist: &Netlist, cases: &[Case]) -> String {
     let mut v = Verifier::new(netlist.clone());
     let results = v
-        .run(&RunOptions::new().cases(cases.to_vec()))
+        .run(&RunOptions::new().cases(CaseSet::list(cases.iter().cloned())))
         .expect("cold run settles")
         .cases;
     v.report("prop", &results).strip_effort().to_json()

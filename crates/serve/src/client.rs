@@ -4,7 +4,7 @@
 //! JSONL by hand.
 
 use crate::proto::{
-    DeltaSpec, Frame, Frontend, Hello, Request, Response, TraceMode, PROTO_VERSION,
+    DeltaSpec, Frame, Frontend, Hello, Request, Response, SweepSpec, TraceMode, PROTO_VERSION,
 };
 use scald_trace::json::Json;
 use std::io::{self, BufRead, BufReader, Write};
@@ -200,6 +200,26 @@ impl Client {
         self.request(&Request::Run {
             id,
             session: session.into(),
+            cases: None,
+        })
+    }
+
+    /// `run` with a case sweep: installs the expanded sweep as the
+    /// session's case set and re-verifies, in one request.
+    ///
+    /// # Errors
+    ///
+    /// As for [`request`](Client::request).
+    pub fn run_sweep(
+        &mut self,
+        session: impl Into<String>,
+        cases: SweepSpec,
+    ) -> io::Result<Response> {
+        let id = self.id();
+        self.request(&Request::Run {
+            id,
+            session: session.into(),
+            cases: Some(cases),
         })
     }
 

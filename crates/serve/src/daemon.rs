@@ -346,13 +346,27 @@ fn dispatch(
             let Some(pooled) = conn.sessions.remove(&session) else {
                 return unknown_session(id, &session);
             };
-            do_verify_op(id, session, pooled, VerifyOp::Apply(delta), conn, shared)
+            do_verify_op(
+                id,
+                session,
+                pooled,
+                VerifyOp::Apply(delta),
+                OpKind::Applied,
+                conn,
+                shared,
+            )
         }
-        Request::Run { id, session } => {
+        Request::Run { id, session, cases } => {
             let Some(pooled) = conn.sessions.remove(&session) else {
                 return unknown_session(id, &session);
             };
-            do_verify_op(id, session, pooled, VerifyOp::Reverify, conn, shared)
+            // A `run` with a sweep spec is sugar for applying the
+            // expanded case list, so both spellings share one path.
+            let op = match cases {
+                Some(spec) => VerifyOp::Apply(DeltaSpec::Sweep(spec)),
+                None => VerifyOp::Reverify,
+            };
+            do_verify_op(id, session, pooled, op, OpKind::Ran, conn, shared)
         }
         Request::Report {
             id,
@@ -485,18 +499,16 @@ enum VerifyOp {
     Reverify,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn do_verify_op(
     id: u64,
     name: String,
     mut pooled: PooledSession,
     op: VerifyOp,
+    kind: OpKind,
     conn: &mut ConnState,
     shared: &Arc<Shared>,
 ) -> Response {
-    let kind = match &op {
-        VerifyOp::Apply(_) => OpKind::Applied,
-        VerifyOp::Reverify => OpKind::Ran,
-    };
     let worker_shared = Arc::clone(shared);
     shared.active_runs.fetch_add(1, Ordering::AcqRel);
     let (tx, rx) = mpsc::channel();
@@ -510,6 +522,12 @@ fn do_verify_op(
             VerifyOp::Apply(DeltaSpec::Cases(cases)) => pooled
                 .session
                 .apply(Delta::Cases(cases.into_iter().map(build_case).collect())),
+            // The sweep expands server-side through the same CaseSet
+            // builders the in-process API uses, so a swept run is
+            // byte-identical to handing the expanded list to `cases`.
+            VerifyOp::Apply(DeltaSpec::Sweep(spec)) => pooled
+                .session
+                .apply(Delta::Cases(spec.to_case_set().into_cases())),
             VerifyOp::Reverify => pooled.session.reverify(),
         };
         let delta = cache_delta(before, pooled.session.cache_stats());

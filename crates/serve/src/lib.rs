@@ -49,6 +49,6 @@ pub use daemon::{serve, JobsLease, JobsLedger, ServeOptions};
 pub use pool::{CheckoutInfo, PooledSession, SessionPool};
 pub use proto::{
     CacheDelta, DaemonStats, DeltaSpec, DesignStats, ErrorKind, Frame, Frontend, Hello, ProtoError,
-    Request, Response, RunSummary, TraceMode, PROTO_KEY, PROTO_VERSION,
+    Request, Response, RunSummary, SweepSpec, TraceMode, PROTO_KEY, PROTO_VERSION,
 };
 pub use tap::TapSink;

@@ -17,10 +17,12 @@
 //!
 //! client -> server (one per line; "id" is the client's correlation tag):
 //!   {"id":1,"cmd":"open","source":"design D; ...","label":"demo"}
-//!   {"id":2,"cmd":"run","session":"s1"}
+//!   {"id":2,"cmd":"run","session":"s1"}               // + optional "cases":{sweep spec}
 //!   {"id":3,"cmd":"report","session":"s1"}            // + optional "effort":true
 //!   {"id":4,"cmd":"apply-delta","session":"s1","delta":{"kind":"source","source":"..."}}
 //!   {"id":5,"cmd":"apply-delta","session":"s1","delta":{"kind":"cases","cases":[{"CTL 0":true}]}}
+//!   {"id":5,"cmd":"apply-delta","session":"s1",
+//!    "delta":{"kind":"sweep","sweep":{"kind":"exhaustive","signals":["MODE0","MODE1"]}}}
 //!   {"id":6,"cmd":"subscribe-trace","session":"s1","mode":"coarse"}
 //!   {"id":7,"cmd":"close","session":"s1"}
 //!   {"id":8,"cmd":"stats"}
@@ -41,6 +43,7 @@
 //! frame never tears down the session state behind it.
 
 use scald_trace::json::Json;
+use scald_verifier::{Case, CaseSet, DelayCorner};
 use std::fmt;
 
 /// Protocol version spoken by this build. Bumped only on breaking
@@ -174,13 +177,21 @@ impl Frontend {
 
 /// A design edit carried by `apply-delta`. Protocol v1 ships whole-text
 /// and case-set deltas; the session diffs hashes server-side either way,
-/// so a source swap that touches one macro still re-verifies warm.
+/// so a source swap that touches one macro still re-verifies warm. The
+/// additive `sweep` kind (same protocol version — absent from older
+/// clients' frames, never emitted unless used) carries a generated
+/// [`SweepSpec`] instead of a hand-enumerated list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DeltaSpec {
     /// Replace the whole design from HDL source (case blocks included).
     Source(String),
     /// Replace the case set; the netlist carries over.
     Cases(Vec<Vec<(String, bool)>>),
+    /// Replace the case set with a generated sweep; the netlist carries
+    /// over. The server expands the spec with the `CaseSet` builders,
+    /// so the wire carries the generator (exhaustive/product/corners),
+    /// not the enumeration.
+    Sweep(SweepSpec),
 }
 
 impl DeltaSpec {
@@ -194,11 +205,15 @@ impl DeltaSpec {
                 ("kind".into(), Json::str("cases")),
                 ("cases".into(), cases_to_json(cases)),
             ]),
+            DeltaSpec::Sweep(spec) => Json::Obj(vec![
+                ("kind".into(), Json::str("sweep")),
+                ("sweep".into(), spec.to_json()),
+            ]),
         }
     }
 
     fn parse(json: &Json) -> Result<DeltaSpec, ProtoError> {
-        let kind_fields = Fields::of(json, &["kind", "source", "cases"])?;
+        let kind_fields = Fields::of(json, &["kind", "source", "cases", "sweep"])?;
         match kind_fields.req_str("kind")? {
             "source" => {
                 let fields = Fields::of(json, &["kind", "source"])?;
@@ -208,7 +223,154 @@ impl DeltaSpec {
                 let fields = Fields::of(json, &["kind", "cases"])?;
                 Ok(DeltaSpec::Cases(parse_cases(fields.req("cases")?)?))
             }
+            "sweep" => {
+                let fields = Fields::of(json, &["kind", "sweep"])?;
+                Ok(DeltaSpec::Sweep(SweepSpec::parse(fields.req("sweep")?, 0)?))
+            }
             other => err(format!("unknown delta kind {other:?}")),
+        }
+    }
+}
+
+/// A generated case sweep on the wire: the protocol counterpart of the
+/// `CaseSet` builders. Strictly parsed — unknown kinds, malformed
+/// corner tokens, absurd widths and over-deep nesting are all
+/// [`ProtoError`]s, so a malformed frame can never panic the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepSpec {
+    /// Every 0/1 combination of the named signals (`CaseSet::exhaustive`).
+    /// `{"kind":"exhaustive","signals":["MODE0","MODE1"]}`
+    Exhaustive(Vec<String>),
+    /// Cross product of independent axes (`CaseSet::product`).
+    /// `{"kind":"product","axes":[<spec>, ...]}`
+    Product(Vec<SweepSpec>),
+    /// One assignment-free case per delay corner (`CaseSet::corners`),
+    /// as `worst`/`min`/`typ`/`max` tokens.
+    /// `{"kind":"corners","corners":["min","max"]}`
+    Corners(Vec<DelayCorner>),
+    /// An explicit list, same shape as the `cases` delta
+    /// (`CaseSet::list`). `{"kind":"list","cases":[{"SIG":true}, ...]}`
+    List(Vec<Vec<(String, bool)>>),
+}
+
+/// `product` axes may nest sweeps, but a frame is one line of JSON from
+/// an untrusted client — cap the recursion well above any real sweep.
+const SWEEP_MAX_DEPTH: usize = 8;
+
+impl SweepSpec {
+    /// The spec as a JSON object (the wire shape).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            SweepSpec::Exhaustive(signals) => Json::Obj(vec![
+                ("kind".into(), Json::str("exhaustive")),
+                (
+                    "signals".into(),
+                    Json::Arr(signals.iter().map(Json::str).collect()),
+                ),
+            ]),
+            SweepSpec::Product(axes) => Json::Obj(vec![
+                ("kind".into(), Json::str("product")),
+                (
+                    "axes".into(),
+                    Json::Arr(axes.iter().map(SweepSpec::to_json).collect()),
+                ),
+            ]),
+            SweepSpec::Corners(corners) => Json::Obj(vec![
+                ("kind".into(), Json::str("corners")),
+                (
+                    "corners".into(),
+                    Json::Arr(corners.iter().map(|c| Json::str(c.token())).collect()),
+                ),
+            ]),
+            SweepSpec::List(cases) => Json::Obj(vec![
+                ("kind".into(), Json::str("list")),
+                ("cases".into(), cases_to_json(cases)),
+            ]),
+        }
+    }
+
+    fn parse(json: &Json, depth: usize) -> Result<SweepSpec, ProtoError> {
+        if depth > SWEEP_MAX_DEPTH {
+            return err(format!("sweep nested deeper than {SWEEP_MAX_DEPTH} levels"));
+        }
+        let kind_fields = Fields::of(json, &["kind", "signals", "axes", "corners", "cases"])?;
+        match kind_fields.req_str("kind")? {
+            "exhaustive" => {
+                let fields = Fields::of(json, &["kind", "signals"])?;
+                let Some(items) = fields.req("signals")?.as_array() else {
+                    return err("\"signals\" must be an array of signal names");
+                };
+                let signals: Vec<String> = items
+                    .iter()
+                    .map(|s| match s.as_str() {
+                        Some(name) => Ok(name.to_owned()),
+                        None => err("\"signals\" must be an array of signal names"),
+                    })
+                    .collect::<Result<_, _>>()?;
+                // Mirrors the CaseSet::exhaustive width guard as a parse
+                // error: a client cannot make the daemon enumerate 2^n
+                // cases (or panic) with one short frame.
+                if signals.len() > 20 {
+                    return err(format!(
+                        "exhaustive sweep over {} signals would enumerate 2^{} cases",
+                        signals.len(),
+                        signals.len()
+                    ));
+                }
+                Ok(SweepSpec::Exhaustive(signals))
+            }
+            "product" => {
+                let fields = Fields::of(json, &["kind", "axes"])?;
+                let Some(items) = fields.req("axes")?.as_array() else {
+                    return err("\"axes\" must be an array of sweep specs");
+                };
+                Ok(SweepSpec::Product(
+                    items
+                        .iter()
+                        .map(|axis| SweepSpec::parse(axis, depth + 1))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            "corners" => {
+                let fields = Fields::of(json, &["kind", "corners"])?;
+                let Some(items) = fields.req("corners")?.as_array() else {
+                    return err("\"corners\" must be an array of corner tokens");
+                };
+                Ok(SweepSpec::Corners(
+                    items
+                        .iter()
+                        .map(|c| {
+                            c.as_str().and_then(DelayCorner::from_token).ok_or_else(|| {
+                                ProtoError(format!(
+                                    "unknown delay corner {c}; expected \
+                                         \"worst\"/\"min\"/\"typ\"/\"max\""
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            "list" => {
+                let fields = Fields::of(json, &["kind", "cases"])?;
+                Ok(SweepSpec::List(parse_cases(fields.req("cases")?)?))
+            }
+            other => err(format!("unknown sweep kind {other:?}")),
+        }
+    }
+
+    /// Expands the spec into the `CaseSet` it names.
+    #[must_use]
+    pub fn to_case_set(&self) -> CaseSet {
+        match self {
+            SweepSpec::Exhaustive(signals) => CaseSet::exhaustive(signals.iter().cloned()),
+            SweepSpec::Product(axes) => CaseSet::product(axes.iter().map(SweepSpec::to_case_set)),
+            SweepSpec::Corners(corners) => CaseSet::corners(corners.iter().copied()),
+            SweepSpec::List(cases) => CaseSet::list(cases.iter().map(|assigns| {
+                assigns
+                    .iter()
+                    .fold(Case::new(), |c, (signal, value)| c.assign(signal, *value))
+            })),
         }
     }
 }
@@ -280,6 +442,11 @@ pub enum Request {
         id: u64,
         /// Session name.
         session: String,
+        /// Optional case sweep to install before re-verifying — the
+        /// same spec shape as [`DeltaSpec::Sweep`]. Omitted on the wire
+        /// when `None` (the v1 default: re-run the session's current
+        /// cases), so pre-sweep clients emit byte-identical frames.
+        cases: Option<SweepSpec>,
     },
     /// Fetch the session's current `scald-tv-report` v1 document.
     Report {
@@ -379,7 +546,13 @@ impl Request {
                 obj.push(("session".into(), Json::str(session)));
                 obj.push(("delta".into(), delta.to_json()));
             }
-            Request::Run { session, .. } | Request::Close { session, .. } => {
+            Request::Run { session, cases, .. } => {
+                obj.push(("session".into(), Json::str(session)));
+                if let Some(spec) = cases {
+                    obj.push(("cases".into(), spec.to_json()));
+                }
+            }
+            Request::Close { session, .. } => {
                 obj.push(("session".into(), Json::str(session)));
             }
             Request::Report {
@@ -413,6 +586,7 @@ impl Request {
             json,
             &[
                 "id", "cmd", "source", "label", "frontend", "session", "delta", "mode", "effort",
+                "cases",
             ],
         )?;
         let id = all.req_u64("id")?;
@@ -439,10 +613,14 @@ impl Request {
                 })
             }
             "run" => {
-                let f = Fields::of(json, &["id", "cmd", "session"])?;
+                let f = Fields::of(json, &["id", "cmd", "session", "cases"])?;
                 Ok(Request::Run {
                     id,
                     session: f.req_str("session")?.to_owned(),
+                    cases: f
+                        .opt("cases")
+                        .map(|spec| SweepSpec::parse(spec, 0))
+                        .transpose()?,
                 })
             }
             "report" => {
@@ -1195,6 +1373,12 @@ mod tests {
         round_trip_request(&Request::Run {
             id: 3,
             session: "s1".into(),
+            cases: None,
+        });
+        round_trip_request(&Request::Run {
+            id: 3,
+            session: "s1".into(),
+            cases: Some(SweepSpec::Exhaustive(vec!["A".into()])),
         });
         round_trip_request(&Request::Report {
             id: 4,
@@ -1212,6 +1396,75 @@ mod tests {
         });
         round_trip_request(&Request::Stats { id: 7 });
         round_trip_request(&Request::Shutdown { id: 8 });
+    }
+
+    #[test]
+    fn sweep_specs_round_trip_and_expand() {
+        let spec = SweepSpec::Product(vec![
+            SweepSpec::Exhaustive(vec!["MODE0".into(), "MODE1".into()]),
+            SweepSpec::Corners(vec![DelayCorner::Min, DelayCorner::Max]),
+            SweepSpec::List(vec![vec![("EN".into(), true)], vec![]]),
+        ]);
+        // 4 exhaustive combinations x 2 corners x 2 listed cases.
+        assert_eq!(spec.to_case_set().len(), 16);
+        round_trip_request(&Request::ApplyDelta {
+            id: 9,
+            session: "s1".into(),
+            delta: DeltaSpec::Sweep(spec),
+        });
+        round_trip_request(&Request::ApplyDelta {
+            id: 10,
+            session: "s1".into(),
+            delta: DeltaSpec::Sweep(SweepSpec::Exhaustive(Vec::new())),
+        });
+    }
+
+    #[test]
+    fn sweep_parse_is_strict() {
+        let parse_delta = |delta: &str| {
+            let line = format!(r#"{{"id":1,"cmd":"apply-delta","session":"s1","delta":{delta}}}"#);
+            Request::parse(&parse(&line).expect("valid json"))
+        };
+        // The documented wire shapes parse.
+        for good in [
+            r#"{"kind":"sweep","sweep":{"kind":"exhaustive","signals":["A","B"]}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"corners","corners":["worst","min","typ","max"]}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"list","cases":[{"SIG":true}]}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"product","axes":[
+                {"kind":"exhaustive","signals":["A"]},
+                {"kind":"corners","corners":["min"]}]}}"#,
+        ] {
+            parse_delta(good).unwrap_or_else(|e| panic!("{good} must parse: {e}"));
+        }
+        // Unknown kinds, bad tokens, stray fields, wrong types: errors.
+        for bad in [
+            r#"{"kind":"sweep","sweep":{"kind":"spiral"}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"corners","corners":["typical"]}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"exhaustive","signals":["A"],"extra":1}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"exhaustive","signals":[1]}}"#,
+            r#"{"kind":"sweep","sweep":{"kind":"list","cases":[{"SIG":"yes"}]}}"#,
+            r#"{"kind":"sweep"}"#,
+        ] {
+            assert!(parse_delta(bad).is_err(), "{bad} must be rejected");
+        }
+        // Width guard: an exhaustive sweep over 21 signals is a parse
+        // error, not a 2-million-case enumeration (or a panic).
+        let wide: Vec<String> = (0..21).map(|i| format!("\"S{i}\"")).collect();
+        let wide = format!(
+            r#"{{"kind":"sweep","sweep":{{"kind":"exhaustive","signals":[{}]}}}}"#,
+            wide.join(",")
+        );
+        assert!(parse_delta(&wide).is_err(), "21-signal sweep rejected");
+        // Depth guard: product nesting beyond SWEEP_MAX_DEPTH is a
+        // parse error, not unbounded recursion.
+        let mut deep = r#"{"kind":"corners","corners":["min"]}"#.to_owned();
+        for _ in 0..10 {
+            deep = format!(r#"{{"kind":"product","axes":[{deep}]}}"#);
+        }
+        assert!(
+            parse_delta(&format!(r#"{{"kind":"sweep","sweep":{deep}}}"#)).is_err(),
+            "over-deep product nesting rejected"
+        );
     }
 
     #[test]

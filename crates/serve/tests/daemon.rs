@@ -455,3 +455,61 @@ fn stats_reflect_live_connections() {
     drop(client);
     daemon.join().expect("daemon drains");
 }
+
+/// The sweep satellite's acceptance test: a `sweep` delta applied over
+/// the wire must produce a stripped report byte-identical to expanding
+/// the same spec client-side and handing the case list to an
+/// in-process session — proving the daemon's server-side expansion
+/// goes through the same `CaseSet` builders and the same engine.
+#[test]
+fn sweep_delta_is_byte_identical_to_the_expanded_case_list() {
+    use scald_incr::{Delta, DesignInput, Session};
+    use scald_serve::SweepSpec;
+    use scald_verifier::DelayCorner;
+
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("sweep")),
+        ..ServeOptions::default()
+    });
+    let src = small_design(0x51EEB);
+    // The generated HDL references a seed-dependent subset of the CTL
+    // control signals; sweep over the first two that actually exist.
+    let mut ctls: Vec<&str> = src
+        .match_indices("'CTL ")
+        .filter_map(|(i, _)| src[i + 1..].split(" .").next())
+        .collect();
+    ctls.sort();
+    ctls.dedup();
+    assert!(ctls.len() >= 2, "design must have control signals to sweep");
+    let spec = SweepSpec::Product(vec![
+        SweepSpec::Exhaustive(ctls.iter().take(2).map(|s| (*s).to_owned()).collect()),
+        SweepSpec::Corners(vec![DelayCorner::Worst, DelayCorner::Min]),
+    ]);
+
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let (s, _, _) = opened(client.open_source(&src, "swept").expect("opens"));
+    // The sweep rides the `run` request (protocol v1 additive field);
+    // the equivalent `apply-delta` spelling shares the same path.
+    match client.run_sweep(&s, spec.clone()).expect("runs") {
+        Response::Ran { summary, .. } => {
+            assert!(summary.warm, "sweep re-verifies the settled session");
+        }
+        other => panic!("expected a ran response, got {other:?}"),
+    }
+    let swept = report_text(client.report(&s, false).expect("reports"));
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+
+    // Same source, same label, sweep expanded caller-side instead.
+    let mut session = Session::open(DesignInput::source(&src), "swept").expect("opens");
+    session
+        .apply(Delta::Cases(spec.to_case_set().into_cases()))
+        .expect("applies");
+    let local = session
+        .report()
+        .strip_effort()
+        .json_value()
+        .to_string_pretty();
+    assert_eq!(swept, local, "daemon sweep and in-process cases diverge");
+}

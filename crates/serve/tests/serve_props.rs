@@ -5,7 +5,7 @@
 
 use scald_gen::s1::{s1_like_hdl, S1Options};
 use scald_serve::{serve, Client, Response, ServeOptions};
-use scald_verifier::{Case, RunOptions, VerifierBuilder};
+use scald_verifier::{Case, CaseSet, RunOptions, VerifierBuilder};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::thread;
@@ -36,7 +36,7 @@ fn direct_report(src: &str, label: &str) -> String {
     };
     let mut verifier = VerifierBuilder::new(expansion.netlist).build();
     let results = verifier
-        .run(&RunOptions::new().cases(cases))
+        .run(&RunOptions::new().cases(CaseSet::list(cases)))
         .expect("design verifies")
         .cases;
     verifier.report(label, &results).strip_effort().to_json()

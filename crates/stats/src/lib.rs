@@ -171,8 +171,25 @@ pub struct ProbReport {
     pub arrival: DelayDist,
     /// The min/max worst-case arrival, for comparison.
     pub worst_case_ns: f64,
+    /// The latest acceptable arrival (period minus the endpoint's
+    /// set-up requirement), against which the violation probability and
+    /// slack distribution are measured.
+    pub deadline_ns: f64,
     /// Probability the set-up constraint is violated.
     pub violation_probability: f64,
+}
+
+impl ProbReport {
+    /// The slack as a distribution: `deadline - arrival`, so a negative
+    /// mean is a probable violation and `sigma` carries the arrival
+    /// uncertainty through unchanged.
+    #[must_use]
+    pub fn slack(&self) -> DelayDist {
+        DelayDist {
+            mean: self.deadline_ns - self.arrival.mean,
+            sigma: self.arrival.sigma,
+        }
+    }
 }
 
 /// Probabilistic counterpart of the worst-case path search: propagates
@@ -309,6 +326,7 @@ impl ProbPathAnalysis {
                 constraint_source: p.name.clone(),
                 arrival,
                 worst_case_ns: w,
+                deadline_ns: deadline,
                 violation_probability: arrival.prob_exceeds(deadline),
             });
         }

@@ -124,6 +124,26 @@ pub enum TraceEvent<'a> {
         /// Violations the case's check pass reported.
         violations: usize,
     },
+    /// An internal node of the case tree finished settling its shared
+    /// assignment prefix on top of its parent's state. The contained
+    /// [`Evaluation`](Self::Evaluation)/[`Wave`](Self::Wave)/
+    /// [`SignalSettled`](Self::SignalSettled) events were traced with
+    /// `case: None` (like the base settle): prefix effort is paid once
+    /// for every descendant leaf, so it belongs to no single case. It
+    /// is still included in the run totals of
+    /// [`RunEnd`](Self::RunEnd).
+    PrefixSettled {
+        /// 0-based node index in settle order (parents before children).
+        node: u32,
+        /// Human-readable label of the node's cumulative overrides.
+        label: &'a str,
+        /// Descendant leaf cases that share this prefix.
+        cases: usize,
+        /// Signal-change events within the node's settle.
+        events: u64,
+        /// Primitive evaluations within the node's settle.
+        evaluations: u64,
+    },
     /// The run finished (all cases merged).
     RunEnd {
         /// Wall-clock nanoseconds for the whole run.
@@ -171,6 +191,7 @@ impl TraceEvent<'_> {
             TraceEvent::SignalSettled { .. } => "signal_settled",
             TraceEvent::CaseStart { .. } => "case_start",
             TraceEvent::CaseEnd { .. } => "case_end",
+            TraceEvent::PrefixSettled { .. } => "prefix_settled",
             TraceEvent::RunEnd { .. } => "run_end",
             TraceEvent::WarmStart { .. } => "warm_start",
             TraceEvent::CacheStats { .. } => "cache_stats",
@@ -247,6 +268,19 @@ impl TraceEvent<'_> {
                 obj.push(("events".into(), Json::from(events)));
                 obj.push(("evaluations".into(), Json::from(evaluations)));
                 obj.push(("violations".into(), Json::from(violations as u64)));
+            }
+            TraceEvent::PrefixSettled {
+                node,
+                label,
+                cases,
+                events,
+                evaluations,
+            } => {
+                obj.push(("node".into(), Json::from(u64::from(node))));
+                obj.push(("label".into(), Json::str(label)));
+                obj.push(("cases".into(), Json::from(cases as u64)));
+                obj.push(("events".into(), Json::from(events)));
+                obj.push(("evaluations".into(), Json::from(evaluations)));
             }
             TraceEvent::RunEnd {
                 wall_nanos,

@@ -189,6 +189,7 @@ impl TraceSink for CounterSink {
                 inner.run_wall_nanos = wall_nanos;
             }
             TraceEvent::RunStart { .. }
+            | TraceEvent::PrefixSettled { .. }
             | TraceEvent::WarmStart { .. }
             | TraceEvent::CacheStats { .. } => {}
         }

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use scald_netlist::{Netlist, Primitive};
-use scald_wave::{Skew, WaveId};
+use scald_wave::{DelayCorner, Skew, WaveId};
 
 use crate::eval::EvalOutcome;
 use crate::view::StateView;
@@ -55,6 +55,10 @@ struct InputKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct EvalKey {
     sig: u32,
+    /// The delay corner in force — corner sweeps collapse every
+    /// [`DelayRange`](scald_wave::DelayRange) the kernels read, so
+    /// outcomes from different corners must never alias.
+    corner: DelayCorner,
     inputs: Vec<InputKey>,
 }
 
@@ -147,6 +151,7 @@ impl EvalCache {
         sig: u32,
         prim: &Primitive,
         states: &S,
+        corner: DelayCorner,
     ) -> EvalKey {
         let inputs = prim
             .inputs
@@ -161,7 +166,11 @@ impl EvalCache {
                 }
             })
             .collect();
-        EvalKey { sig, inputs }
+        EvalKey {
+            sig,
+            corner,
+            inputs,
+        }
     }
 
     /// Looks `key` up, counting a hit or a miss.
@@ -321,9 +330,9 @@ mod tests {
             SignalState::new(Waveform::constant(period, Value::Unknown)),
             SignalState::new(Waveform::constant(period, Value::Unknown)),
         ];
-        let key = EvalCache::key_for(sig, prim, states.as_slice());
+        let key = EvalCache::key_for(sig, prim, states.as_slice(), DelayCorner::Worst);
         assert!(cache.lookup(&key).is_none());
-        let outcome = crate::eval::evaluate(&n, prim, states.as_slice());
+        let outcome = crate::eval::evaluate(&n, prim, states.as_slice(), DelayCorner::Worst);
         cache.insert(key.clone(), &outcome);
         let back = cache.lookup(&key).expect("second lookup hits");
         assert_eq!(format!("{back:?}"), format!("{outcome:?}"));
@@ -333,7 +342,7 @@ mod tests {
             SignalState::new(Waveform::constant(period, Value::One)),
             states[1].clone(),
         ];
-        let miss = EvalCache::key_for(sig, prim, other.as_slice());
+        let miss = EvalCache::key_for(sig, prim, other.as_slice(), DelayCorner::Worst);
         assert_ne!(key, miss);
         assert!(cache.lookup(&miss).is_none());
 

@@ -4,7 +4,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Netlist, PrimId, PrimKind, SignalId};
-use scald_wave::{edge_windows, pulses, Edge, EdgeWindow, Span, Time, Waveform};
+use scald_wave::{edge_windows, pulses, DelayCorner, Edge, EdgeWindow, Span, Time, Waveform};
 use std::collections::{BTreeSet, VecDeque};
 
 use crate::eval::{pin_wave, pin_wave_pulse_view};
@@ -265,14 +265,15 @@ pub struct CheckMargin {
 pub(crate) fn slack_report<S: StateView + ?Sized>(
     netlist: &Netlist,
     states: &S,
+    corner: DelayCorner,
 ) -> Vec<CheckMargin> {
     let period = netlist.config().timing.period;
     let mut out = Vec::new();
     for (_, prim) in netlist.iter_prims() {
         match prim.kind {
             PrimKind::SetupHold { setup, hold } => {
-                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
-                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
                 let mut setup_slack: Option<Time> = None;
                 let mut hold_slack: Option<Time> = None;
                 for e in edge_windows(&clock, Edge::Rising) {
@@ -296,8 +297,8 @@ pub(crate) fn slack_report<S: StateView + ?Sized>(
                 });
             }
             PrimKind::SetupRiseHoldFall { setup, hold } => {
-                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
-                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
                 let mut setup_slack: Option<Time> = None;
                 let mut hold_slack: Option<Time> = None;
                 for (r, f) in clock_pulses(&clock) {
@@ -315,7 +316,7 @@ pub(crate) fn slack_report<S: StateView + ?Sized>(
                 });
             }
             PrimKind::MinPulseWidth { high, low } => {
-                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states);
+                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states, corner);
                 let mut pulse_slack: Option<Time> = None;
                 if high > Time::ZERO {
                     for p in pulses(&input, true) {
@@ -358,6 +359,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
     netlist: &Netlist,
     states: &S,
     hazards: &[(PrimId, usize)],
+    corner: DelayCorner,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     let period = netlist.config().timing.period;
@@ -365,8 +367,8 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
     for (_, prim) in netlist.iter_prims() {
         match prim.kind {
             PrimKind::SetupHold { setup, hold } => {
-                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
-                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
                 let in_name = &netlist.signal(prim.inputs[0].signal).name;
                 let ck_name = &netlist.signal(prim.inputs[1].signal).name;
                 let len_before = out.len();
@@ -391,8 +393,8 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
                 );
             }
             PrimKind::SetupRiseHoldFall { setup, hold } => {
-                let input = pin_wave(netlist, prim, &prim.inputs[0], states);
-                let clock = pin_wave(netlist, prim, &prim.inputs[1], states);
+                let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
+                let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
                 let in_name = netlist.signal(prim.inputs[0].signal).name.clone();
                 let ck_name = netlist.signal(prim.inputs[1].signal).name.clone();
                 let len_before = out.len();
@@ -470,7 +472,7 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
             PrimKind::MinPulseWidth { high, low } => {
                 // Pulse widths are measured with skew kept separate: skew
                 // shifts both edges of a pulse together (§2.8).
-                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states);
+                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states, corner);
                 let name = &netlist.signal(prim.inputs[0].signal).name;
                 let len_before = out.len();
                 let observed = vec![observed_line("INPUT     ", name, &input)];
@@ -535,14 +537,14 @@ pub(crate) fn run_all_checks<S: StateView + ?Sized>(
     // be quiescent whenever the asserted (clock) input could be true.
     for &(pid, clock_idx) in hazards {
         let prim = netlist.prim(pid);
-        let clock = pin_wave(netlist, prim, &prim.inputs[clock_idx], states);
+        let clock = pin_wave(netlist, prim, &prim.inputs[clock_idx], states, corner);
         let asserted = clock.spans_where(Value::could_be_high);
         let ck_name = netlist.signal(prim.inputs[clock_idx].signal).name.clone();
         for (i, conn) in prim.inputs.iter().enumerate() {
             if i == clock_idx {
                 continue;
             }
-            let other = pin_wave(netlist, prim, conn, states);
+            let other = pin_wave(netlist, prim, conn, states, corner);
             let name = &netlist.signal(conn.signal).name;
             for span in &asserted {
                 if !other.quiescent_throughout(*span) {

@@ -21,7 +21,7 @@
 use scald_logic::Value;
 use scald_netlist::{Netlist, PrimId, SignalId};
 use scald_trace::{TraceEvent, TraceSink};
-use scald_wave::{WaveRef, Waveform};
+use scald_wave::{DelayCorner, WaveRef, Waveform};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::cache::EvalCache;
+use crate::caseset::CaseSet;
 use crate::checkers::{run_all_checks, slack_report, CheckMargin};
 use crate::eval::{evaluate, EvalOutcome};
 use crate::report::{CaseResult, EngineStats, Report, Violation};
@@ -37,10 +38,12 @@ use crate::storage::StorageReport;
 use crate::view::{ConeState, SoaState, StateRef, StateStore, StateView};
 
 /// One case for case analysis (§2.7.1): a set of `signal = 0/1`
-/// assignments applied wherever the circuit would set the signal stable.
+/// assignments applied wherever the circuit would set the signal
+/// stable, optionally evaluated at a non-default [`DelayCorner`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Case {
     assigns: Vec<(String, bool)>,
+    corner: DelayCorner,
 }
 
 impl Case {
@@ -58,23 +61,47 @@ impl Case {
         self
     }
 
+    /// Sets the delay corner every primitive delay is evaluated at for
+    /// this case. The default, [`DelayCorner::Worst`], keeps the full
+    /// `[min, max]` ranges (the thesis' value-independent analysis); a
+    /// point corner re-settles the whole design at that corner.
+    #[must_use]
+    pub fn corner(mut self, corner: DelayCorner) -> Case {
+        self.corner = corner;
+        self
+    }
+
     /// The assignments in this case.
     #[must_use]
     pub fn assignments(&self) -> &[(String, bool)] {
         &self.assigns
     }
 
-    /// Case label for reports, e.g. `CONTROL SIGNAL = 1`.
+    /// The delay corner this case is evaluated at.
+    #[must_use]
+    pub fn delay_corner(&self) -> DelayCorner {
+        self.corner
+    }
+
+    /// Case label for reports, e.g. `CONTROL SIGNAL = 1` or
+    /// `corner=min; MODE = 0`. A non-default corner always prefixes the
+    /// label, so corner cases stay distinguishable everywhere a label
+    /// travels (reports, traces, incremental-session design hashes).
     #[must_use]
     pub fn label(&self) -> String {
-        if self.assigns.is_empty() {
-            "no case overrides".to_owned()
-        } else {
+        let mut parts: Vec<String> = Vec::new();
+        if self.corner != DelayCorner::Worst {
+            parts.push(format!("corner={}", self.corner));
+        }
+        parts.extend(
             self.assigns
                 .iter()
-                .map(|(s, v)| format!("{s} = {}", u8::from(*v)))
-                .collect::<Vec<_>>()
-                .join("; ")
+                .map(|(s, v)| format!("{s} = {}", u8::from(*v))),
+        );
+        if parts.is_empty() {
+            "no case overrides".to_owned()
+        } else {
+            parts.join("; ")
         }
     }
 }
@@ -118,18 +145,37 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Error of [`RunOutcome::try_sole`]: the run analysed more than one
+/// case, so there is no single result to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiCaseError {
+    /// How many cases the run analysed.
+    pub cases: usize,
+}
+
+impl fmt::Display for MultiCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expected a single-case run, but {} cases were analysed",
+            self.cases
+        )
+    }
+}
+
+impl std::error::Error for MultiCaseError {}
+
 /// Options for one [`Verifier::run`]: the cases to analyse, an optional
-/// per-run worker override, and whether to checkpoint the settled base.
-/// The default (`RunOptions::new()`) verifies the single no-override
-/// base case.
+/// per-run worker override, the case-scheduling strategy, and whether
+/// to checkpoint the settled base. The default (`RunOptions::new()`)
+/// verifies the single no-override base case.
 ///
 /// # Examples
 ///
 /// ```ignore
 /// let outcome = verifier.run(
 ///     &RunOptions::new()
-///         .case(Case::new().assign("MODE", true))
-///         .case(Case::new().assign("MODE", false))
+///         .cases(CaseSet::exhaustive(["MODE0", "MODE1"]))
 ///         .jobs(4)
 ///         .checkpoint(CheckpointPolicy::SettledBase),
 /// )?;
@@ -137,9 +183,10 @@ impl std::error::Error for VerifyError {}
 #[derive(Debug, Clone, Default)]
 #[must_use]
 pub struct RunOptions {
-    cases: Vec<Case>,
+    cases: CaseSet,
     jobs: Option<usize>,
     checkpoint: CheckpointPolicy,
+    strategy: CaseStrategy,
 }
 
 impl RunOptions {
@@ -148,10 +195,12 @@ impl RunOptions {
         RunOptions::default()
     }
 
-    /// Sets the cases to analyse (§2.7), replacing any set before. An
-    /// empty list means "just the base case": the outcome then holds one
-    /// [`CaseResult`] with no overrides.
-    pub fn cases(mut self, cases: impl Into<Vec<Case>>) -> RunOptions {
+    /// Sets the cases to analyse (§2.7), replacing any set before —
+    /// usually a [`CaseSet`] built with its sweep constructors; a plain
+    /// `Vec<Case>` still converts via the deprecated compatibility
+    /// shim. An empty set means "just the base case": the outcome then
+    /// holds one [`CaseResult`] with no overrides.
+    pub fn cases(mut self, cases: impl Into<CaseSet>) -> RunOptions {
         self.cases = cases.into();
         self
     }
@@ -159,6 +208,14 @@ impl RunOptions {
     /// Adds one case to the analysis.
     pub fn case(mut self, case: Case) -> RunOptions {
         self.cases.push(case);
+        self
+    }
+
+    /// Sets the case-scheduling strategy; see [`CaseStrategy`]. Every
+    /// strategy produces byte-identical per-case results — this knob
+    /// only trades settle effort for scheduling overhead.
+    pub fn strategy(mut self, strategy: CaseStrategy) -> RunOptions {
+        self.strategy = strategy;
         self
     }
 
@@ -176,6 +233,43 @@ impl RunOptions {
         self.checkpoint = policy;
         self
     }
+}
+
+/// How [`Verifier::run`] schedules a multi-case analysis. Every
+/// strategy yields byte-identical per-case violations, waveforms and
+/// value-record counts; only effort counters (events/evaluations per
+/// case, prefix totals) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaseStrategy {
+    /// Factor shared work through the case tree when the run's cases
+    /// actually share assignment prefixes or delay corners; fall back
+    /// to [`Independent`](Self::Independent) otherwise. The default.
+    #[default]
+    Auto,
+    /// Settle every case independently from the settled base — the
+    /// thesis' §2.7 scheme, and the baseline the case tree is
+    /// property-tested against.
+    Independent,
+    /// Always build the case tree: organize cases into a trie on
+    /// shared assignment prefixes, settle each internal node's overlay
+    /// once on its parent's state, and fan only the leaf suffixes
+    /// across the worker pool (DESIGN.md § "The case tree").
+    Tree,
+}
+
+/// Effort spent settling shared-prefix case-tree nodes in one
+/// [`Verifier::run`] (zero for independent scheduling). Node effort is
+/// paid once per prefix on behalf of all its leaves, so it is *not*
+/// folded into any per-case counters; it does count toward the engine
+/// totals and the `RunEnd` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixStats {
+    /// Internal tree nodes settled (shared prefixes + corner roots).
+    pub nodes: usize,
+    /// Signal-change events across all node settles.
+    pub events: u64,
+    /// Primitive evaluations across all node settles.
+    pub evaluations: u64,
 }
 
 /// Whether [`Verifier::run`] snapshots the verifier at the settled base
@@ -218,13 +312,33 @@ pub struct RunOutcome {
     /// Per-case results in input order — never empty (a run with no
     /// explicit cases analyses the implicit base case).
     pub cases: Vec<CaseResult>,
+    /// Shared-prefix settle effort, when the case tree ran.
+    pub prefix: PrefixStats,
     /// The settled-base snapshot, if
     /// [`CheckpointPolicy::SettledBase`] was requested.
     pub checkpoint: Option<Box<Verifier>>,
 }
 
 impl RunOutcome {
-    /// The sole case's result — the common accessor for single-case runs.
+    /// The sole case's result, or a [`MultiCaseError`] if the run
+    /// analysed more than one case — the accessor library code should
+    /// use when it *expects* a single-case run but cannot prove it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiCaseError`] when the run analysed several cases.
+    pub fn try_sole(&self) -> Result<&CaseResult, MultiCaseError> {
+        match self.cases.as_slice() {
+            [one] => Ok(one),
+            _ => Err(MultiCaseError {
+                cases: self.cases.len(),
+            }),
+        }
+    }
+
+    /// The sole case's result — a CLI/example convenience for runs that
+    /// are single-case *by construction*. Library code handling caller
+    /// input should prefer [`try_sole`](Self::try_sole).
     ///
     /// # Panics
     ///
@@ -240,7 +354,9 @@ impl RunOutcome {
     }
 
     /// Owning [`sole`](Self::sole): consumes the outcome and returns the
-    /// single case's result.
+    /// single case's result. Like [`sole`](Self::sole), a convenience
+    /// for runs single-case by construction; library code should prefer
+    /// [`try_sole`](Self::try_sole).
     ///
     /// # Panics
     ///
@@ -451,6 +567,11 @@ pub struct Verifier {
     /// ECL bus): the signal's effective value is the worst-case OR of all
     /// contributions. `BTreeMap` keeps every walk of it deterministic.
     wired_contributions: BTreeMap<(SignalId, PrimId), SignalState>,
+    /// The delay corner of the currently installed state — the last
+    /// run's final case's corner. Post-run inspection (`check_now`,
+    /// `slack_report`) evaluates at this corner, and the next base
+    /// settle re-evaluates everything when leaving a point corner.
+    corner: DelayCorner,
     total_events: u64,
     total_evaluations: u64,
     /// Set by [`warm_start`](Self::warm_start): suppresses the
@@ -562,6 +683,7 @@ impl Verifier {
             overrides: BTreeMap::new(),
             hazards: BTreeSet::new(),
             wired_contributions: BTreeMap::new(),
+            corner: DelayCorner::Worst,
             assumed_stable,
             pinned_clock_drivers,
             total_events: 0,
@@ -655,6 +777,7 @@ impl Verifier {
                 overrides: &self.overrides,
                 budget: self.budget,
                 jobs: wave_jobs,
+                corner: self.corner,
                 case: None,
                 trace: self.trace.as_deref(),
                 cache: self
@@ -722,15 +845,28 @@ impl Verifier {
     /// Returns [`VerifyError::Oscillation`] if the circuit does not
     /// settle.
     pub fn settle_base(&mut self) -> Result<(u64, u64), VerifyError> {
+        self.prepare_base()?;
+        self.settle(self.jobs)
+    }
+
+    /// Returns the verifier to the base configuration (no overrides,
+    /// worst-case corner) and enqueues whatever the next settle must
+    /// re-evaluate: everything on a cold verifier (§2.9's initial pass)
+    /// or when the installed state was settled at a point corner, just
+    /// the dirtied override cones otherwise. Returns whether this was
+    /// the cold first run.
+    fn prepare_base(&mut self) -> Result<bool, VerifyError> {
         let first_run = self.total_evaluations == 0 && !self.warmed;
+        let corner_reset = self.corner != DelayCorner::Worst;
         self.apply_case(&Case::new())?;
-        if first_run {
+        self.corner = DelayCorner::Worst;
+        if first_run || corner_reset {
             let all: Vec<PrimId> = self.netlist.iter_prims().map(|(p, _)| p).collect();
             for pid in all {
                 self.enqueue(pid);
             }
         }
-        self.settle(self.jobs)
+        Ok(first_run)
     }
 
     /// Seeds this (freshly built, not yet run) verifier from `prior`'s
@@ -832,12 +968,13 @@ impl Verifier {
             base_case = [Case::new()];
             &base_case
         } else {
-            &options.cases
+            options.cases.cases()
         };
         self.run_impl(
             cases,
             options.jobs.unwrap_or(self.jobs),
             options.checkpoint == CheckpointPolicy::SettledBase,
+            options.strategy,
         )
     }
 
@@ -850,6 +987,7 @@ impl Verifier {
         cases: &[Case],
         jobs: usize,
         checkpoint: bool,
+        strategy: CaseStrategy,
     ) -> Result<RunOutcome, VerifyError> {
         let run_started = Instant::now();
         let effort_before = (self.total_events, self.total_evaluations);
@@ -882,26 +1020,32 @@ impl Verifier {
             assigns.sort_by_key(|(sid, _)| sid.index());
             resolved.push(assigns);
         }
-
-        // Establish (or return to) the settled base: no overrides. The
-        // base settle gets the whole budget — no case worker is running
-        // yet.
-        let first_run = self.total_evaluations == 0 && !self.warmed;
-        self.apply_case(&Case::new())?;
-        if first_run {
-            // Initial pass evaluates everything (§2.9).
-            let all: Vec<PrimId> = self.netlist.iter_prims().map(|(p, _)| p).collect();
-            for pid in all {
-                self.enqueue(pid);
+        let corners: Vec<DelayCorner> = cases.iter().map(Case::delay_corner).collect();
+        // Factor shared work through the case tree when asked to — or,
+        // under `Auto`, when the trie actually found sharing (a prefix
+        // node or a corner root). The `Auto` fallback keeps runs whose
+        // cases share nothing on the independent path, effort counters
+        // and all.
+        let tree = match strategy {
+            CaseStrategy::Independent => None,
+            CaseStrategy::Tree => Some(CaseTree::build(&resolved, &corners)),
+            CaseStrategy::Auto => {
+                let t = CaseTree::build(&resolved, &corners);
+                (!t.nodes.is_empty()).then_some(t)
             }
-        }
+        };
+
+        // Establish (or return to) the settled base: no overrides, at
+        // the worst-case corner. The base settle gets the whole budget —
+        // no case worker is running yet.
+        let first_run = self.prepare_base()?;
         let (base_events, base_evaluations) = self.settle(jobs)?;
         let checkpoint = checkpoint.then(|| Box::new(self.clone()));
 
         // Fan the cases across the pool. Each worker repeatedly claims
-        // the next unclaimed case index and settles it against the shared
-        // immutable base; per-case effort is summed into the totals with
-        // atomics as workers finish.
+        // the next unclaimed unit of work (a case, or a case-tree leaf)
+        // and settles it against shared immutable state; per-case effort
+        // is summed into the totals with atomics as workers finish.
         let netlist = &self.netlist;
         let base_raw: &SoaState = &self.raw;
         let base_eff: &SoaState = &self.eff;
@@ -917,68 +1061,230 @@ impl Verifier {
         let labels: Vec<String> = cases.iter().map(Case::label).collect();
         let events_total = AtomicU64::new(0);
         let evaluations_total = AtomicU64::new(0);
-        let work = |i: usize| {
-            if let Some(t) = trace {
-                t.record(&TraceEvent::CaseStart {
-                    case: i as u32,
-                    label: &labels[i],
-                });
-            }
-            let case_started = Instant::now();
-            let outcome = settle_case(
-                netlist,
-                base_raw,
-                base_eff,
-                pinned,
-                base_hazards,
-                base_wired,
-                &resolved[i],
-                budget,
-                wave_jobs,
-                cache,
-                trace.map(|t| (t, i as u32)),
-            );
-            if let Ok(o) = &outcome {
-                events_total.fetch_add(o.events, Ordering::Relaxed);
-                evaluations_total.fetch_add(o.evaluations, Ordering::Relaxed);
-                if let Some(t) = trace {
-                    t.record(&TraceEvent::CaseEnd {
-                        case: i as u32,
-                        wall_nanos: u64::try_from(case_started.elapsed().as_nanos())
-                            .unwrap_or(u64::MAX),
-                        events: o.events,
-                        evaluations: o.evaluations,
-                        violations: o.violations.len(),
-                    });
+        let mut prefix = PrefixStats::default();
+        let record_case_end =
+            |i: usize, started: Instant, outcome: &Result<CaseOutcome, VerifyError>| {
+                if let Ok(o) = outcome {
+                    events_total.fetch_add(o.events, Ordering::Relaxed);
+                    evaluations_total.fetch_add(o.evaluations, Ordering::Relaxed);
+                    if let Some(t) = trace {
+                        t.record(&TraceEvent::CaseEnd {
+                            case: i as u32,
+                            wall_nanos: u64::try_from(started.elapsed().as_nanos())
+                                .unwrap_or(u64::MAX),
+                            events: o.events,
+                            evaluations: o.evaluations,
+                            violations: o.violations.len(),
+                        });
+                    }
                 }
-            }
-            outcome
-        };
-        let mut outcomes: Vec<Option<Result<CaseOutcome, VerifyError>>> = if case_workers == 1 {
-            (0..cases.len()).map(|i| Some(work(i))).collect()
-        } else {
-            let slots: Vec<Mutex<Option<Result<CaseOutcome, VerifyError>>>> =
-                (0..cases.len()).map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|s| {
-                for _ in 0..case_workers {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cases.len() {
-                            break;
+            };
+        let mut outcomes: Vec<Option<Result<CaseOutcome, VerifyError>>> = match &tree {
+            None => {
+                let work = |i: usize| {
+                    if let Some(t) = trace {
+                        t.record(&TraceEvent::CaseStart {
+                            case: i as u32,
+                            label: &labels[i],
+                        });
+                    }
+                    let case_started = Instant::now();
+                    let outcome = settle_case(
+                        netlist,
+                        base_raw,
+                        base_eff,
+                        pinned,
+                        base_hazards,
+                        base_wired,
+                        &resolved[i],
+                        corners[i],
+                        budget,
+                        wave_jobs,
+                        cache,
+                        trace.map(|t| (t, i as u32)),
+                    );
+                    record_case_end(i, case_started, &outcome);
+                    outcome
+                };
+                if case_workers == 1 {
+                    (0..cases.len()).map(|i| Some(work(i))).collect()
+                } else {
+                    let slots: Vec<Mutex<Option<Result<CaseOutcome, VerifyError>>>> =
+                        (0..cases.len()).map(|_| Mutex::new(None)).collect();
+                    let next = AtomicUsize::new(0);
+                    std::thread::scope(|s| {
+                        for _ in 0..case_workers {
+                            s.spawn(|| loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= cases.len() {
+                                    break;
+                                }
+                                let outcome = work(i);
+                                *slots[i].lock().expect("case slot poisoned") = Some(outcome);
+                            });
                         }
-                        let outcome = work(i);
-                        *slots[i].lock().expect("case slot poisoned") = Some(outcome);
                     });
+                    slots
+                        .into_iter()
+                        .map(|m| m.into_inner().expect("case slot poisoned"))
+                        .collect()
                 }
-            });
-            slots
-                .into_iter()
-                .map(|m| m.into_inner().expect("case slot poisoned"))
-                .collect()
+            }
+            Some(tree) => {
+                // Phase A: settle every internal node serially, parents
+                // first, each with the whole worker budget (no case
+                // worker runs yet). A node applies only its chunk of new
+                // assignments on top of its parent's forked overlay, so
+                // a prefix shared by N leaves is settled once, not N
+                // times. A node error fails the whole subtree.
+                let mut node_states: Vec<NodeState<'_>> = Vec::with_capacity(tree.nodes.len());
+                for (ni, node) in tree.nodes.iter().enumerate() {
+                    let (mut st, parent_error) = match node.parent {
+                        None => (
+                            NodeState {
+                                raw: ConeState::new(base_raw),
+                                eff: ConeState::new(base_eff),
+                                hazards: base_hazards.clone(),
+                                wired: base_wired.clone(),
+                                overrides: BTreeMap::new(),
+                                error: None,
+                            },
+                            None,
+                        ),
+                        Some(p) => {
+                            let ps = &node_states[p];
+                            (
+                                NodeState {
+                                    raw: ps.raw.fork(),
+                                    eff: ps.eff.fork(),
+                                    hazards: ps.hazards.clone(),
+                                    wired: ps.wired.clone(),
+                                    overrides: ps.overrides.clone(),
+                                    error: None,
+                                },
+                                ps.error.clone(),
+                            )
+                        }
+                    };
+                    for &(sid, v) in &node.chunk {
+                        st.overrides.insert(sid, v);
+                    }
+                    let mut events = 0u64;
+                    let mut evaluations = 0u64;
+                    st.error = match parent_error {
+                        Some(e) => Some(e),
+                        None => settle_overlay(
+                            netlist,
+                            pinned,
+                            &mut st.raw,
+                            &mut st.eff,
+                            &mut st.hazards,
+                            &mut st.wired,
+                            &node.chunk,
+                            &st.overrides,
+                            node.corner,
+                            node.reseed_all,
+                            budget,
+                            jobs,
+                            cache,
+                            trace.map(|t| (t, None)),
+                            &mut events,
+                            &mut evaluations,
+                        )
+                        .err(),
+                    };
+                    prefix.nodes += 1;
+                    prefix.events += events;
+                    prefix.evaluations += evaluations;
+                    if let Some(t) = trace {
+                        let label = node_label(netlist, node.corner, &st.overrides);
+                        t.record(&TraceEvent::PrefixSettled {
+                            node: ni as u32,
+                            label: &label,
+                            cases: node.leaf_count,
+                            events,
+                            evaluations,
+                        });
+                    }
+                    node_states.push(st);
+                }
+                // Phase B: fan the leaves across the pool. Each leaf
+                // forks its node's settled overlay and settles only its
+                // unshared suffix.
+                let leaf_work = |li: usize| -> (usize, Result<CaseOutcome, VerifyError>) {
+                    let leaf = &tree.leaves[li];
+                    let i = leaf.case;
+                    if let Some(t) = trace {
+                        t.record(&TraceEvent::CaseStart {
+                            case: i as u32,
+                            label: &labels[i],
+                        });
+                    }
+                    let case_started = Instant::now();
+                    let outcome = match leaf.node {
+                        None => settle_case(
+                            netlist,
+                            base_raw,
+                            base_eff,
+                            pinned,
+                            base_hazards,
+                            base_wired,
+                            &resolved[i],
+                            corners[i],
+                            budget,
+                            wave_jobs,
+                            cache,
+                            trace.map(|t| (t, i as u32)),
+                        ),
+                        Some(n) => settle_leaf(
+                            netlist,
+                            pinned,
+                            &node_states[n],
+                            &resolved[i],
+                            leaf.suffix_start,
+                            corners[i],
+                            budget,
+                            wave_jobs,
+                            cache,
+                            trace.map(|t| (t, i as u32)),
+                        ),
+                    };
+                    record_case_end(i, case_started, &outcome);
+                    (i, outcome)
+                };
+                if case_workers == 1 {
+                    let mut out: Vec<Option<Result<CaseOutcome, VerifyError>>> =
+                        (0..cases.len()).map(|_| None).collect();
+                    for li in 0..tree.leaves.len() {
+                        let (i, outcome) = leaf_work(li);
+                        out[i] = Some(outcome);
+                    }
+                    out
+                } else {
+                    let slots: Vec<Mutex<Option<Result<CaseOutcome, VerifyError>>>> =
+                        (0..cases.len()).map(|_| Mutex::new(None)).collect();
+                    let next = AtomicUsize::new(0);
+                    std::thread::scope(|s| {
+                        for _ in 0..case_workers {
+                            s.spawn(|| loop {
+                                let li = next.fetch_add(1, Ordering::Relaxed);
+                                if li >= tree.leaves.len() {
+                                    break;
+                                }
+                                let (i, outcome) = leaf_work(li);
+                                *slots[i].lock().expect("case slot poisoned") = Some(outcome);
+                            });
+                        }
+                    });
+                    slots
+                        .into_iter()
+                        .map(|m| m.into_inner().expect("case slot poisoned"))
+                        .collect()
+                }
+            }
         };
-        self.total_events += events_total.into_inner();
-        self.total_evaluations += evaluations_total.into_inner();
+        self.total_events += prefix.events + events_total.into_inner();
+        self.total_evaluations += prefix.evaluations + evaluations_total.into_inner();
 
         // Merge in input-case order; the first error (by case index) wins.
         let mut results = Vec::with_capacity(cases.len());
@@ -1012,6 +1318,7 @@ impl Verifier {
         self.overrides = last.overrides;
         self.hazards = last.hazards;
         self.wired_contributions = last.wired;
+        self.corner = *corners.last().expect("cases is non-empty");
         if let Some(trace) = &self.trace {
             // Effort-class observability: cache counters vary with cache
             // configuration and sharing, so (like RunEnd's wall-clock)
@@ -1037,6 +1344,7 @@ impl Verifier {
                 full_settle: first_run,
             },
             cases: results,
+            prefix,
             checkpoint,
         })
     }
@@ -1046,7 +1354,7 @@ impl Verifier {
     #[must_use]
     pub fn check_now(&self) -> Vec<Violation> {
         let hazards: Vec<(PrimId, usize)> = self.hazards.iter().copied().collect();
-        run_all_checks(&self.netlist, &self.eff, &hazards)
+        run_all_checks(&self.netlist, &self.eff, &hazards, self.corner)
     }
 
     /// The signal-value summary listing of Fig 3-10: one line per signal
@@ -1074,7 +1382,7 @@ impl Verifier {
     /// a reported violation.
     #[must_use]
     pub fn slack_report(&self) -> Vec<CheckMargin> {
-        slack_report(&self.netlist, &self.eff)
+        slack_report(&self.netlist, &self.eff, self.corner)
     }
 
     /// An ASCII timing diagram of all signals (sorted by name), `columns`
@@ -1141,6 +1449,7 @@ impl Verifier {
             clock_driver_notes: self.clock_driver_notes(),
             waves: self.sorted_waves(),
             period: self.netlist.config().timing.period,
+            probabilistic: None,
         }
     }
 }
@@ -1178,6 +1487,8 @@ struct WaveParams<'a> {
     budget: u64,
     /// Wave-evaluation workers; 1 keeps everything on this thread.
     jobs: usize,
+    /// Delay corner every evaluation collapses its delay ranges at.
+    corner: DelayCorner,
     /// Case index for trace events; `None` for the base settle.
     case: Option<u32>,
     trace: Option<&'a dyn TraceSink>,
@@ -1467,16 +1778,16 @@ fn evaluate_wave<R, E>(
         let prim = netlist.prim(pid);
         if let Some((cache, sigs)) = p.cache {
             if let Some(sig) = sigs[pid.index()] {
-                let key = EvalCache::key_for(sig, prim, eff);
+                let key = EvalCache::key_for(sig, prim, eff, p.corner);
                 if let Some(hit) = cache.lookup(&key) {
                     return hit;
                 }
-                let out = evaluate(netlist, prim, eff);
+                let out = evaluate(netlist, prim, eff, p.corner);
                 cache.insert(key, &out);
                 return out;
             }
         }
-        evaluate(netlist, prim, eff)
+        evaluate(netlist, prim, eff, p.corner)
     };
     outcomes.clear();
     plans.clear();
@@ -1540,14 +1851,304 @@ struct CaseOutcome {
     overrides: BTreeMap<SignalId, Value>,
 }
 
+/// The run's cases organized as a trie on shared assignment prefixes,
+/// plus one root per non-default delay corner. Internal nodes are
+/// settled once, in `nodes` order (parents strictly before children);
+/// `leaves` carry each case's residual suffix.
+struct CaseTree {
+    nodes: Vec<TreeNode>,
+    leaves: Vec<LeafTask>,
+}
+
+/// One internal trie node: the assignments it adds on top of its parent.
+struct TreeNode {
+    /// Parent node index; `None` roots directly on the settled base.
+    parent: Option<usize>,
+    /// The new `(signal, value)` assignments this node applies.
+    chunk: Vec<(SignalId, Value)>,
+    /// Delay corner of the whole subtree (cases are grouped by corner).
+    corner: DelayCorner,
+    /// Whether this node's settle must re-evaluate every primitive: the
+    /// root of a non-worst corner group, where every delay changes.
+    reseed_all: bool,
+    /// Descendant leaf cases, for the `PrefixSettled` trace event.
+    leaf_count: usize,
+}
+
+/// One case's residual work after its deepest shared prefix.
+struct LeafTask {
+    /// Input case index.
+    case: usize,
+    /// The node whose settled overlay the leaf forks; `None` settles
+    /// directly from the base (no shared prefix, worst-case corner).
+    node: Option<usize>,
+    /// Where in the case's resolved assignments the unshared suffix
+    /// starts.
+    suffix_start: usize,
+}
+
+impl CaseTree {
+    /// Organizes resolved cases into the trie: group by corner, sort
+    /// each group by assignment list (tie-broken by input index so the
+    /// structure is deterministic), and recursively split on the
+    /// longest shared prefix. A prefix node is created only when ≥ 2
+    /// cases share it; every non-worst corner group gets a root node so
+    /// the full corner re-settle is paid once per corner, not per case.
+    fn build(resolved: &[Vec<(SignalId, Value)>], corners: &[DelayCorner]) -> CaseTree {
+        let mut tree = CaseTree {
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+        };
+        let mut groups: BTreeMap<DelayCorner, Vec<usize>> = BTreeMap::new();
+        for (i, &corner) in corners.iter().enumerate().take(resolved.len()) {
+            groups.entry(corner).or_default().push(i);
+        }
+        // Comparison key: `Value` here is only ever One/Zero, so the
+        // pair (signal index, is-one) sorts assignment lists totally.
+        let key = |case: usize| -> Vec<(usize, bool)> {
+            resolved[case]
+                .iter()
+                .map(|&(sid, v)| (sid.index(), v == Value::One))
+                .collect()
+        };
+        for (corner, mut idxs) in groups {
+            idxs.sort_by(|&a, &b| key(a).cmp(&key(b)).then(a.cmp(&b)));
+            let root = if corner == DelayCorner::Worst {
+                None
+            } else {
+                tree.nodes.push(TreeNode {
+                    parent: None,
+                    chunk: Vec::new(),
+                    corner,
+                    reseed_all: true,
+                    leaf_count: idxs.len(),
+                });
+                Some(tree.nodes.len() - 1)
+            };
+            tree.split(resolved, corner, &idxs, 0, root);
+        }
+        tree
+    }
+
+    /// Recursively splits a sorted case group whose members all share
+    /// `depth` leading assignments already applied by `parent`.
+    fn split(
+        &mut self,
+        resolved: &[Vec<(SignalId, Value)>],
+        corner: DelayCorner,
+        idxs: &[usize],
+        depth: usize,
+        parent: Option<usize>,
+    ) {
+        let mut i = 0;
+        while i < idxs.len() {
+            let case = idxs[i];
+            if resolved[case].len() == depth {
+                // No assignments left: the case *is* its prefix.
+                self.leaves.push(LeafTask {
+                    case,
+                    node: parent,
+                    suffix_start: depth,
+                });
+                i += 1;
+                continue;
+            }
+            // The sort makes cases agreeing at `depth` contiguous.
+            let head = resolved[case][depth];
+            let mut j = i + 1;
+            while j < idxs.len()
+                && resolved[idxs[j]].len() > depth
+                && resolved[idxs[j]][depth] == head
+            {
+                j += 1;
+            }
+            if j - i == 1 {
+                // Nothing shares this prefix: leaf directly on `parent`.
+                self.leaves.push(LeafTask {
+                    case,
+                    node: parent,
+                    suffix_start: depth,
+                });
+            } else {
+                // Extend the shared prefix as far as the group agrees.
+                let group = &idxs[i..j];
+                let mut end = depth + 1;
+                while let Some(next) = resolved[case].get(end) {
+                    if group.iter().all(|&c| resolved[c].get(end) == Some(next)) {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.nodes.push(TreeNode {
+                    parent,
+                    chunk: resolved[case][depth..end].to_vec(),
+                    corner,
+                    reseed_all: false,
+                    leaf_count: group.len(),
+                });
+                let node = Some(self.nodes.len() - 1);
+                self.split(resolved, corner, group, end, node);
+            }
+            i = j;
+        }
+    }
+}
+
+/// A settled internal tree node: the forked overlays and bookkeeping
+/// every descendant (node or leaf) builds on.
+struct NodeState<'a> {
+    raw: ConeState<'a>,
+    eff: ConeState<'a>,
+    hazards: BTreeSet<(PrimId, usize)>,
+    wired: BTreeMap<(SignalId, PrimId), SignalState>,
+    /// Cumulative overrides from the root down to this node.
+    overrides: BTreeMap<SignalId, Value>,
+    /// A settle failure here (or above) fails every descendant leaf.
+    error: Option<VerifyError>,
+}
+
+/// Human-readable label of a tree node's cumulative overrides, for the
+/// `PrefixSettled` trace event.
+fn node_label(
+    netlist: &Netlist,
+    corner: DelayCorner,
+    overrides: &BTreeMap<SignalId, Value>,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if corner != DelayCorner::Worst {
+        parts.push(format!("corner={corner}"));
+    }
+    parts.extend(overrides.iter().map(|(sid, v)| {
+        format!(
+            "{} = {}",
+            netlist.signal(*sid).name,
+            u8::from(*v == Value::One)
+        )
+    }));
+    if parts.is_empty() {
+        "no overrides".to_owned()
+    } else {
+        parts.join("; ")
+    }
+}
+
+/// One incremental settle on top of an existing overlay: seeds the new
+/// assignments (diffing the effective state through the overlay, so a
+/// leaf re-seeds exactly the signals whose override map changed since
+/// its node settled), optionally re-enqueues every primitive (corner
+/// roots, where every delay changes), and runs the wave loop to the
+/// fixed point. Effort accumulates into `events`/`evaluations` even on
+/// the error path.
+#[allow(clippy::too_many_arguments)]
+fn settle_overlay(
+    netlist: &Netlist,
+    pinned: &[bool],
+    raw: &mut ConeState<'_>,
+    eff: &mut ConeState<'_>,
+    hazards: &mut BTreeSet<(PrimId, usize)>,
+    wired: &mut BTreeMap<(SignalId, PrimId), SignalState>,
+    seeds: &[(SignalId, Value)],
+    overrides: &BTreeMap<SignalId, Value>,
+    corner: DelayCorner,
+    reseed_all: bool,
+    budget: u64,
+    wave_jobs: usize,
+    cache: Option<(&EvalCache, &[Option<u32>])>,
+    trace: Option<(&dyn TraceSink, Option<u32>)>,
+    events: &mut u64,
+    evaluations: &mut u64,
+) -> Result<(), VerifyError> {
+    let mut queue: VecDeque<PrimId> = VecDeque::new();
+    let mut queued = vec![false; netlist.prims().len()];
+
+    // Seed: apply the new overrides (in SignalId order) and dirty their
+    // fan-out cones.
+    for &(sid, v) in seeds {
+        let new_eff = override_state(Some(v), raw.state_at(sid.index()));
+        if eff.state_at(sid.index()) != new_eff {
+            eff.set(sid.index(), new_eff);
+            for &pid in netlist.fanout(sid) {
+                if !queued[pid.index()] {
+                    queued[pid.index()] = true;
+                    queue.push_back(pid);
+                }
+            }
+        }
+    }
+    if reseed_all {
+        for (pid, _) in netlist.iter_prims() {
+            if !queued[pid.index()] {
+                queued[pid.index()] = true;
+                queue.push_back(pid);
+            }
+        }
+    }
+
+    settle_waves(
+        &WaveParams {
+            netlist,
+            pinned,
+            overrides,
+            budget,
+            jobs: wave_jobs,
+            corner,
+            case: trace.and_then(|(_, c)| c),
+            trace: trace.map(|(t, _)| t),
+            cache,
+        },
+        WaveBooks {
+            hazards,
+            wired,
+            queue: &mut queue,
+            queued: &mut queued,
+            events,
+            evaluations,
+        },
+        raw,
+        eff,
+    )
+}
+
+/// Runs the check pass over a settled overlay and packages everything
+/// the merge step needs back into a [`CaseOutcome`].
+#[allow(clippy::too_many_arguments)]
+fn case_outcome(
+    netlist: &Netlist,
+    corner: DelayCorner,
+    raw: ConeState<'_>,
+    eff: ConeState<'_>,
+    hazards: BTreeSet<(PrimId, usize)>,
+    wired: BTreeMap<(SignalId, PrimId), SignalState>,
+    overrides: BTreeMap<SignalId, Value>,
+    events: u64,
+    evaluations: u64,
+) -> CaseOutcome {
+    let hazard_list: Vec<(PrimId, usize)> = hazards.iter().copied().collect();
+    let violations = run_all_checks(netlist, &eff, &hazard_list, corner);
+    let value_records = StorageReport::measure(netlist, &raw).value_records;
+    CaseOutcome {
+        violations,
+        events,
+        evaluations,
+        value_records,
+        raw_overlay: raw.into_overlay(),
+        eff_overlay: eff.into_overlay(),
+        hazards,
+        wired,
+        overrides,
+    }
+}
+
 /// Settles one case against the shared settled base state (§2.7, §3.3.2).
 ///
 /// This is the per-case unit of work for both the serial path and the
 /// worker pool: it reads the base immutably, re-evaluates only the cone
-/// the case's overrides dirty (on a [`ConeState`] copy-on-write overlay),
-/// and runs all checks against the overlaid state. Because every input is
-/// the same settled base and the worklist seeding order is fixed, the
-/// outcome is a pure function of `(base, assigns)` — which is what makes
+/// the case's overrides dirty (on a [`ConeState`] copy-on-write overlay)
+/// — or, at a non-worst delay corner, the whole design — and runs all
+/// checks against the overlaid state. Because every input is the same
+/// settled base and the worklist seeding order is fixed, the outcome is
+/// a pure function of `(base, assigns, corner)` — which is what makes
 /// parallel case analysis byte-identical to serial. (An attached trace
 /// sink observes the work but cannot influence it; `wave_jobs` changes
 /// only who computes each wave entry, never any result.)
@@ -1560,6 +2161,7 @@ fn settle_case(
     base_hazards: &BTreeSet<(PrimId, usize)>,
     base_wired: &BTreeMap<(SignalId, PrimId), SignalState>,
     assigns: &[(SignalId, Value)],
+    corner: DelayCorner,
     budget: u64,
     wave_jobs: usize,
     cache: Option<(&EvalCache, &[Option<u32>])>,
@@ -1570,64 +2172,99 @@ fn settle_case(
     let mut eff = ConeState::new(base_eff);
     let mut hazards = base_hazards.clone();
     let mut wired = base_wired.clone();
-    let mut queue: VecDeque<PrimId> = VecDeque::new();
-    let mut queued = vec![false; netlist.prims().len()];
-
-    // Seed: apply the overrides (in SignalId order) and dirty their
-    // fan-out cones.
-    for &(sid, v) in assigns {
-        let new_eff = override_state(Some(v), base_raw.get(sid.index()));
-        if base_eff.get(sid.index()) != new_eff {
-            eff.set(sid.index(), new_eff);
-            for &pid in netlist.fanout(sid) {
-                if !queued[pid.index()] {
-                    queued[pid.index()] = true;
-                    queue.push_back(pid);
-                }
-            }
-        }
-    }
-
-    // The same wave loop as the base settle, on the overlay.
     let mut events = 0u64;
     let mut evaluations = 0u64;
-    settle_waves(
-        &WaveParams {
-            netlist,
-            pinned,
-            overrides: &overrides,
-            budget,
-            jobs: wave_jobs,
-            case: trace.map(|(_, c)| c),
-            trace: trace.map(|(t, _)| t),
-            cache,
-        },
-        WaveBooks {
-            hazards: &mut hazards,
-            wired: &mut wired,
-            queue: &mut queue,
-            queued: &mut queued,
-            events: &mut events,
-            evaluations: &mut evaluations,
-        },
+    settle_overlay(
+        netlist,
+        pinned,
         &mut raw,
         &mut eff,
+        &mut hazards,
+        &mut wired,
+        assigns,
+        &overrides,
+        corner,
+        corner != DelayCorner::Worst,
+        budget,
+        wave_jobs,
+        cache,
+        trace.map(|(t, c)| (t, Some(c))),
+        &mut events,
+        &mut evaluations,
     )?;
-
-    let hazard_list: Vec<(PrimId, usize)> = hazards.iter().copied().collect();
-    let violations = run_all_checks(netlist, &eff, &hazard_list);
-    let value_records = StorageReport::measure(netlist, &raw).value_records;
-    Ok(CaseOutcome {
-        violations,
-        events,
-        evaluations,
-        value_records,
-        raw_overlay: raw.into_overlay(),
-        eff_overlay: eff.into_overlay(),
+    Ok(case_outcome(
+        netlist,
+        corner,
+        raw,
+        eff,
         hazards,
         wired,
         overrides,
-    })
+        events,
+        evaluations,
+    ))
+}
+
+/// Settles one case-tree leaf: forks its node's settled overlay and
+/// settles only the suffix of assignments the prefix didn't already
+/// apply. The resulting fixed point — and therefore the leaf's
+/// violations, waveforms and value-record counts — is byte-identical to
+/// [`settle_case`] from the base with the full assignment list, because
+/// the settle's fixed point is unique and the seed diff re-dirties
+/// exactly the signals whose override mapping changed (see DESIGN.md
+/// § "The case tree" for the argument).
+#[allow(clippy::too_many_arguments)]
+fn settle_leaf(
+    netlist: &Netlist,
+    pinned: &[bool],
+    node: &NodeState<'_>,
+    assigns: &[(SignalId, Value)],
+    suffix_start: usize,
+    corner: DelayCorner,
+    budget: u64,
+    wave_jobs: usize,
+    cache: Option<(&EvalCache, &[Option<u32>])>,
+    trace: Option<(&dyn TraceSink, u32)>,
+) -> Result<CaseOutcome, VerifyError> {
+    if let Some(e) = &node.error {
+        return Err(e.clone());
+    }
+    let overrides: BTreeMap<SignalId, Value> = assigns.iter().copied().collect();
+    let mut raw = node.raw.fork();
+    let mut eff = node.eff.fork();
+    let mut hazards = node.hazards.clone();
+    let mut wired = node.wired.clone();
+    let mut events = 0u64;
+    let mut evaluations = 0u64;
+    settle_overlay(
+        netlist,
+        pinned,
+        &mut raw,
+        &mut eff,
+        &mut hazards,
+        &mut wired,
+        &assigns[suffix_start..],
+        &overrides,
+        corner,
+        false,
+        budget,
+        wave_jobs,
+        cache,
+        trace.map(|(t, c)| (t, Some(c))),
+        &mut events,
+        &mut evaluations,
+    )?;
+    Ok(case_outcome(
+        netlist,
+        corner,
+        raw,
+        eff,
+        hazards,
+        wired,
+        overrides,
+        events,
+        evaluations,
+    ))
 }
 
 /// Checks that the interface signals of separately verified design

@@ -14,7 +14,9 @@
 
 use scald_logic::{mux as mux_value, Value};
 use scald_netlist::{Conn, Netlist, PrimKind, Primitive};
-use scald_wave::{edge_windows, DelayRange, Edge, Skew, Span, Time, WaveRef, Waveform};
+use scald_wave::{
+    edge_windows, DelayCorner, DelayRange, Edge, Skew, Span, Time, WaveRef, Waveform,
+};
 
 use crate::state::{Directive, EvalStr, SignalState};
 use crate::view::StateView;
@@ -49,6 +51,7 @@ fn prep_input<S: StateView + ?Sized>(
     conn: &Conn,
     states: &S,
     include_gate_delay: bool,
+    corner: DelayCorner,
 ) -> Pin {
     let src = states.state_at(conn.signal.index());
     let eval = conn
@@ -63,10 +66,10 @@ fn prep_input<S: StateView + ?Sized>(
     let wire = if directive.is_some_and(Directive::zeroes_wire) {
         DelayRange::ZERO
     } else {
-        netlist.wire_delay(conn)
+        corner.collapse(netlist.wire_delay(conn))
     };
     let gate = if include_gate_delay && !directive.is_some_and(Directive::zeroes_gate) {
-        prim.delay
+        corner.collapse(prim.delay)
     } else {
         DelayRange::ZERO
     };
@@ -123,11 +126,14 @@ fn combine_pins(states: &[&SignalState], fold: impl Fn(&[Value]) -> Value) -> Si
 }
 
 /// Evaluates `prim` against the current signal states, returning the new
-/// output state and any asserted-check requests.
+/// output state and any asserted-check requests. `corner` selects how
+/// every [`DelayRange`] the evaluation reads is collapsed
+/// ([`DelayCorner::Worst`] keeps the full range — the default analysis).
 pub(crate) fn evaluate<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
     states: &S,
+    corner: DelayCorner,
 ) -> EvalOutcome {
     let period = netlist.config().timing.period;
     match prim.kind {
@@ -137,11 +143,13 @@ pub(crate) fn evaluate<S: StateView + ?Sized>(
         | PrimKind::Nor
         | PrimKind::Xor
         | PrimKind::Xnor
-        | PrimKind::Chg => eval_gate(netlist, prim, states),
-        PrimKind::Not | PrimKind::Buf | PrimKind::Delay => eval_unary(netlist, prim, states),
-        PrimKind::Mux { .. } => eval_mux(netlist, prim, states),
-        PrimKind::Reg { set_reset } => eval_reg(netlist, prim, states, set_reset),
-        PrimKind::Latch { set_reset } => eval_latch(netlist, prim, states, set_reset),
+        | PrimKind::Chg => eval_gate(netlist, prim, states, corner),
+        PrimKind::Not | PrimKind::Buf | PrimKind::Delay => {
+            eval_unary(netlist, prim, states, corner)
+        }
+        PrimKind::Mux { .. } => eval_mux(netlist, prim, states, corner),
+        PrimKind::Reg { set_reset } => eval_reg(netlist, prim, states, set_reset, corner),
+        PrimKind::Latch { set_reset } => eval_latch(netlist, prim, states, set_reset, corner),
         PrimKind::Const(v) => EvalOutcome {
             output: Some(SignalState::new(Waveform::constant(period, v))),
             hazard_inputs: Vec::new(),
@@ -187,11 +195,12 @@ fn eval_gate<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
     states: &S,
+    corner: DelayCorner,
 ) -> EvalOutcome {
     let pins: Vec<Pin> = prim
         .inputs
         .iter()
-        .map(|c| prep_input(netlist, prim, c, states, true))
+        .map(|c| prep_input(netlist, prim, c, states, true, corner))
         .collect();
     let hazard_inputs: Vec<usize> = pins
         .iter()
@@ -232,11 +241,16 @@ fn eval_unary<S: StateView + ?Sized>(
     netlist: &Netlist,
     prim: &Primitive,
     states: &S,
+    corner: DelayCorner,
 ) -> EvalOutcome {
     // §4.2.2 extension: with asymmetric rise/fall delays the gate delay is
     // applied per output edge instead of uniformly.
     if let Some(ed) = prim.edge_delays {
-        let pin = prep_input(netlist, prim, &prim.inputs[0], states, false);
+        let ed = scald_netlist::EdgeDelays {
+            rise: corner.collapse(ed.rise),
+            fall: corner.collapse(ed.fall),
+        };
+        let pin = prep_input(netlist, prim, &prim.inputs[0], states, false, corner);
         let apply_gate = !pin.directive.is_some_and(Directive::zeroes_gate);
         let resolved = pin.state.resolved();
         let wave: WaveRef = match (prim.kind == PrimKind::Not, apply_gate) {
@@ -258,7 +272,7 @@ fn eval_unary<S: StateView + ?Sized>(
             },
         };
     }
-    let pin = prep_input(netlist, prim, &prim.inputs[0], states, true);
+    let pin = prep_input(netlist, prim, &prim.inputs[0], states, true, corner);
     let mut st = pin.state;
     if prim.kind == PrimKind::Not {
         st.wave = st.wave.map(Value::not).into();
@@ -358,11 +372,16 @@ fn delayed_per_edge(wave: &Waveform, ed: scald_netlist::EdgeDelays) -> Waveform 
     Waveform::from_transitions(period, trans)
 }
 
-fn eval_mux<S: StateView + ?Sized>(netlist: &Netlist, prim: &Primitive, states: &S) -> EvalOutcome {
+fn eval_mux<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    prim: &Primitive,
+    states: &S,
+    corner: DelayCorner,
+) -> EvalOutcome {
     let pins: Vec<Pin> = prim
         .inputs
         .iter()
-        .map(|c| prep_input(netlist, prim, c, states, true))
+        .map(|c| prep_input(netlist, prim, c, states, true, corner))
         .collect();
     let select = &pins[0].state;
     // A constant known select routes one data input straight through,
@@ -430,12 +449,14 @@ fn eval_reg<S: StateView + ?Sized>(
     prim: &Primitive,
     states: &S,
     set_reset: bool,
+    corner: DelayCorner,
 ) -> EvalOutcome {
     let period = netlist.config().timing.period;
+    let delay = corner.collapse(prim.delay);
     // Clock and data are observed at the pins (wire delay only); the
     // register's own delay is applied from the clock edge to the output.
-    let ck_pin = prep_input(netlist, prim, &prim.inputs[0], states, false);
-    let d_pin = prep_input(netlist, prim, &prim.inputs[1], states, false);
+    let ck_pin = prep_input(netlist, prim, &prim.inputs[0], states, false, corner);
+    let d_pin = prep_input(netlist, prim, &prim.inputs[1], states, false, corner);
     let ck = ck_pin.state.resolved();
     let dd = d_pin.state.resolved();
 
@@ -448,18 +469,12 @@ fn eval_reg<S: StateView + ?Sized>(
         };
         Waveform::constant(period, v)
     } else {
-        let spread = prim.delay.spread();
+        let spread = delay.spread();
         // Output value regions: from the end of each change span until the
         // start of the next, the output holds what that edge latched.
         let change_spans: Vec<Span> = edges
             .iter()
-            .map(|e| {
-                Span::new(
-                    e.span.start() + prim.delay.min,
-                    e.span.width() + spread,
-                    period,
-                )
-            })
+            .map(|e| Span::new(e.span.start() + delay.min, e.span.width() + spread, period))
             .collect();
         let sampled: Vec<Value> = edges
             .iter()
@@ -482,10 +497,10 @@ fn eval_reg<S: StateView + ?Sized>(
     };
 
     let wave = if set_reset {
-        let s = prep_input(netlist, prim, &prim.inputs[2], states, true)
+        let s = prep_input(netlist, prim, &prim.inputs[2], states, true, corner)
             .state
             .resolved();
-        let r = prep_input(netlist, prim, &prim.inputs[3], states, true)
+        let r = prep_input(netlist, prim, &prim.inputs[3], states, true, corner)
             .state
             .resolved();
         overlay_set_reset(&clocked, &s, &r)
@@ -532,8 +547,9 @@ pub(crate) fn pin_wave<S: StateView + ?Sized>(
     prim: &Primitive,
     conn: &Conn,
     states: &S,
+    corner: DelayCorner,
 ) -> WaveRef {
-    prep_input(netlist, prim, conn, states, false)
+    prep_input(netlist, prim, conn, states, false, corner)
         .state
         .resolved()
 }
@@ -549,8 +565,11 @@ pub(crate) fn pin_wave_pulse_view<S: StateView + ?Sized>(
     prim: &Primitive,
     conn: &Conn,
     states: &S,
+    corner: DelayCorner,
 ) -> WaveRef {
-    prep_input(netlist, prim, conn, states, false).state.wave
+    prep_input(netlist, prim, conn, states, false, corner)
+        .state
+        .wave
 }
 
 fn eval_latch<S: StateView + ?Sized>(
@@ -558,14 +577,15 @@ fn eval_latch<S: StateView + ?Sized>(
     prim: &Primitive,
     states: &S,
     set_reset: bool,
+    corner: DelayCorner,
 ) -> EvalOutcome {
     let period = netlist.config().timing.period;
     // The latch's propagation delay applies from every input (§2.4.3), so
     // both enable and data are viewed after wire + latch delay.
-    let en = prep_input(netlist, prim, &prim.inputs[0], states, true)
+    let en = prep_input(netlist, prim, &prim.inputs[0], states, true, corner)
         .state
         .resolved();
-    let dd = prep_input(netlist, prim, &prim.inputs[1], states, true)
+    let dd = prep_input(netlist, prim, &prim.inputs[1], states, true, corner)
         .state
         .resolved();
 
@@ -651,10 +671,10 @@ fn eval_latch<S: StateView + ?Sized>(
     let transparent = Waveform::from_transitions(period, trans);
 
     let wave = if set_reset {
-        let s = prep_input(netlist, prim, &prim.inputs[2], states, true)
+        let s = prep_input(netlist, prim, &prim.inputs[2], states, true, corner)
             .state
             .resolved();
-        let r = prep_input(netlist, prim, &prim.inputs[3], states, true)
+        let r = prep_input(netlist, prim, &prim.inputs[3], states, true, corner)
             .state
             .resolved();
         overlay_set_reset(&transparent, &s, &r)

@@ -76,6 +76,8 @@
 
 mod cache;
 pub use cache::{EvalCache, EvalCacheStats};
+mod caseset;
+pub use caseset::CaseSet;
 mod checkers;
 pub use checkers::CheckMargin;
 mod diagram;
@@ -88,12 +90,16 @@ mod view;
 
 pub use diagram::render_diagram;
 pub use engine::{
-    check_interfaces, BaseResult, Case, CheckpointPolicy, RunOptions, RunOutcome, Verifier,
-    VerifierBuilder, VerifyError,
+    check_interfaces, BaseResult, Case, CaseStrategy, CheckpointPolicy, MultiCaseError,
+    PrefixStats, RunOptions, RunOutcome, Verifier, VerifierBuilder, VerifyError,
 };
 pub use report::{
-    CaseResult, EngineStats, Provenance, ProvenanceHop, Report, Violation, ViolationKind,
-    REPORT_SCHEMA, REPORT_VERSION,
+    CaseResult, EngineStats, ProbEndpoint, ProbSection, Provenance, ProvenanceHop, Report,
+    Violation, ViolationKind, REPORT_SCHEMA, REPORT_VERSION,
 };
 pub use state::{Directive, EvalStr, SignalState};
 pub use storage::StorageReport;
+
+// Re-exported so `CaseSet::corners`/`Case::corner` callers need not
+// depend on `scald-wave` directly.
+pub use scald_wave::DelayCorner;

@@ -4,14 +4,14 @@
 //! summary of Fig 3-10, the cross-reference, slack and storage views —
 //! renderable as text sections or as one versioned JSON document.
 //!
-//! # JSON schema (version 1)
+//! # JSON schema (version 2)
 //!
 //! [`Report::to_json`] emits a single top-level object:
 //!
 //! ```text
 //! {
 //!   "schema": "scald-tv-report",        // REPORT_SCHEMA, always present
-//!   "version": 1,                       // REPORT_VERSION, bumped on breaking change
+//!   "version": 2,                       // REPORT_VERSION, bumped on breaking change
 //!   "design": "designs/foo.scald",      // caller-supplied design label
 //!   "clean": false,
 //!   "total_violations": 3,
@@ -49,14 +49,38 @@
 //!   "storage": { "rows": [{"area": "SIGNAL VALUES", "bytes": N}, ...],
 //!                "total_bytes": N, "value_records_per_signal": 2.97 },
 //!   "assumed_stable": ["NAME", ...],    // the §2.5 cross-reference
-//!   "summary": [ {"signal": "ADR", "wave": "S 0.0 C 0.5 S 13.5"}, ... ]
+//!   "summary": [ {"signal": "ADR", "wave": "S 0.0 C 0.5 S 13.5"}, ... ],
+//!   "probabilistic": {                  // v2: present only when the run
+//!     "rho": 0.5,                       // was given delay distributions
+//!     "endpoints": [ {                  // (scald-tv --prob RHO)
+//!       "endpoint": "DATA BUS",
+//!       "constraint_source": "TOP/REG CHK#12",
+//!       "arrival_mean_ns": 41.2, "arrival_sigma_ns": 1.7,
+//!       "slack_mean_ns": 6.3,   "slack_sigma_ns": 1.7,
+//!       "deadline_ns": 47.5, "worst_case_ns": 46.1,
+//!       "violation_probability": 0.0001
+//!     } ]
+//!   }
 //! }
 //! ```
 //!
 //! `arrival` windows are the spans (start + width within the cycle,
 //! nanoseconds) where the signal *may be changing*; spans can wrap the
 //! period. Consumers must ignore unknown fields; within a major version
-//! fields are only added, never removed or retyped.
+//! fields are only added, never removed or retyped. Version 2 is a
+//! purely additive revision of version 1: the only change is the
+//! optional `probabilistic` section, which is **omitted** (not null)
+//! when no distribution analysis ran, so version-1 consumers keep
+//! working unchanged.
+//!
+//! The probabilistic section reports each checked endpoint's arrival
+//! time and slack as normal distributions (mean + sigma, nanoseconds)
+//! instead of single worst-case numbers, plus the probability the
+//! endpoint misses its deadline — §4.2.4's "verified to a specified
+//! level of probability". The verifier itself never fills it in (the
+//! seven-value algebra is worst-case by construction); callers with
+//! distribution data — `scald-tv --prob RHO`, via `scald-stats` — attach
+//! it before rendering.
 
 use scald_trace::json::Json;
 use scald_wave::{Span, Time, Waveform};
@@ -69,8 +93,10 @@ use crate::storage::StorageReport;
 
 /// The JSON document identifier emitted in the `"schema"` field.
 pub const REPORT_SCHEMA: &str = "scald-tv-report";
-/// Current major version of the JSON report schema.
-pub const REPORT_VERSION: u64 = 1;
+/// Current major version of the JSON report schema. Version 2 adds the
+/// optional `probabilistic` section (omitted when absent); everything
+/// else is identical to version 1.
+pub const REPORT_VERSION: u64 = 2;
 
 /// The class of a detected timing error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -365,6 +391,104 @@ impl fmt::Display for CaseResult {
     }
 }
 
+/// One endpoint of a probabilistic timing analysis: arrival and slack
+/// as normal distributions plus the probability of missing the
+/// deadline. Plain data — the verifier does not compute these (its
+/// algebra is worst-case); `scald-tv --prob` fills them from
+/// `scald-stats` before rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbEndpoint {
+    /// The checked signal.
+    pub endpoint: String,
+    /// The checker/storage primitive imposing the deadline.
+    pub constraint_source: String,
+    /// Mean arrival time at the endpoint, ns.
+    pub arrival_mean_ns: f64,
+    /// Arrival-time standard deviation, ns.
+    pub arrival_sigma_ns: f64,
+    /// Mean slack (`deadline - arrival`), ns; negative means a probable
+    /// violation.
+    pub slack_mean_ns: f64,
+    /// Slack standard deviation, ns (equal to the arrival sigma).
+    pub slack_sigma_ns: f64,
+    /// The latest acceptable arrival, ns.
+    pub deadline_ns: f64,
+    /// The worst-case (min/max algebra) arrival, for comparison with
+    /// the distribution view.
+    pub worst_case_ns: f64,
+    /// Probability the endpoint misses its deadline.
+    pub violation_probability: f64,
+}
+
+/// The optional probabilistic section of a [`Report`] (schema v2):
+/// per-endpoint arrival/slack distributions at a given inter-path
+/// correlation. Omitted from the JSON document entirely when absent.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProbSection {
+    /// Inter-path correlation used at reconvergent fan-in (0 =
+    /// independent components, 1 = perfectly correlated).
+    pub rho: f64,
+    /// Per-endpoint results, in netlist order.
+    pub endpoints: Vec<ProbEndpoint>,
+}
+
+impl ProbSection {
+    /// Endpoints whose violation probability exceeds `threshold`.
+    #[must_use]
+    pub fn risky(&self, threshold: f64) -> Vec<&ProbEndpoint> {
+        self.endpoints
+            .iter()
+            .filter(|e| e.violation_probability > threshold)
+            .collect()
+    }
+
+    fn json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("rho".into(), Json::from(self.rho)),
+            (
+                "endpoints".into(),
+                Json::Arr(
+                    self.endpoints
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("endpoint".into(), Json::str(&e.endpoint)),
+                                ("constraint_source".into(), Json::str(&e.constraint_source)),
+                                ("arrival_mean_ns".into(), Json::from(e.arrival_mean_ns)),
+                                ("arrival_sigma_ns".into(), Json::from(e.arrival_sigma_ns)),
+                                ("slack_mean_ns".into(), Json::from(e.slack_mean_ns)),
+                                ("slack_sigma_ns".into(), Json::from(e.slack_sigma_ns)),
+                                ("deadline_ns".into(), Json::from(e.deadline_ns)),
+                                ("worst_case_ns".into(), Json::from(e.worst_case_ns)),
+                                (
+                                    "violation_probability".into(),
+                                    Json::from(e.violation_probability),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for ProbEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<40} arrival N({:.3}, {:.3}²) slack N({:.3}, {:.3}²) \
+             P(viol) = {:.2e}",
+            self.endpoint,
+            self.arrival_mean_ns,
+            self.arrival_sigma_ns,
+            self.slack_mean_ns,
+            self.slack_sigma_ns,
+            self.violation_probability
+        )
+    }
+}
+
 /// Execution statistics of one verification run — the Table 3-1 numbers
 /// plus the run shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -416,6 +540,10 @@ pub struct Report {
     pub waves: Vec<(String, Waveform)>,
     /// Clock period, for interpreting wrapping spans.
     pub period: Time,
+    /// Distribution-valued arrival/slack results, when the caller ran a
+    /// probabilistic analysis (`scald-tv --prob`). `None` — and omitted
+    /// from the JSON document — otherwise.
+    pub probabilistic: Option<ProbSection>,
 }
 
 impl Report {
@@ -501,10 +629,27 @@ impl Report {
         format!("{}\n", self.storage)
     }
 
+    /// The probabilistic timing listing, one endpoint per line, when the
+    /// section is present.
+    #[must_use]
+    pub fn probabilistic_text(&self) -> Option<String> {
+        let prob = self.probabilistic.as_ref()?;
+        let mut out = format!(
+            "probabilistic timing at rho = {} ({} endpoint(s)):\n",
+            prob.rho,
+            prob.endpoints.len()
+        );
+        for e in &prob.endpoints {
+            out.push_str(&format!("{e}\n"));
+        }
+        Some(out)
+    }
+
     /// The full document as a [`Json`] value — callers (like `scald-tv`)
     /// may append extra top-level sections before printing.
     #[must_use]
     pub fn json_value(&self) -> Json {
+        let mut doc;
         let engine = Json::Obj(vec![
             ("signals".into(), Json::from(self.engine.signals as u64)),
             ("prims".into(), Json::from(self.engine.prims as u64)),
@@ -591,7 +736,7 @@ impl Report {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
+        doc = Json::Obj(vec![
             ("schema".into(), Json::str(REPORT_SCHEMA)),
             ("version".into(), Json::from(REPORT_VERSION)),
             ("design".into(), Json::str(&self.design)),
@@ -612,7 +757,13 @@ impl Report {
                 Json::Arr(self.assumed_stable.iter().map(Json::str).collect()),
             ),
             ("summary".into(), summary),
-        ])
+        ]);
+        // Schema v2: the probabilistic section is omitted (not null) when
+        // absent, so v1 consumers see a byte-for-byte v1 document.
+        if let (Json::Obj(fields), Some(prob)) = (&mut doc, &self.probabilistic) {
+            fields.push(("probabilistic".into(), prob.json_value()));
+        }
+        doc
     }
 
     /// The versioned JSON document, pretty-printed (see the

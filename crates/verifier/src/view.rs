@@ -214,6 +214,18 @@ impl<'a> ConeState<'a> {
         self.local.insert(idx, state);
     }
 
+    /// Forks the overlay: the child shares the same immutable base and
+    /// starts from a copy of this overlay's dirtied signals. Used by the
+    /// case tree (§2.7 at scale) — each internal node settles its shared
+    /// prefix once, then every descendant leaf forks the node's overlay
+    /// instead of re-settling the prefix cone.
+    pub(crate) fn fork(&self) -> ConeState<'a> {
+        ConeState {
+            base: self.base,
+            local: self.local.clone(),
+        }
+    }
+
     /// The dirtied slice: every (index, state) this case re-computed,
     /// sorted by index so overlay order never inherits `HashMap`
     /// iteration order (the byte-identical-reports guarantee).

@@ -1,0 +1,224 @@
+//! Property tests for the case-tree engine: tree-factored sweeps must be
+//! observably indistinguishable from the naive independent-case path.
+//!
+//! The engine settles shared assignment prefixes once per trie node and
+//! fans only the leaf suffixes across workers, so effort counters differ —
+//! but everything a user can observe (violations, waveforms, storage
+//! records, the installed final state, the report JSON) must be
+//! byte-identical for every strategy and every worker count. These tests
+//! pin that down over seeded random sweeps, and check the error path: a
+//! failure inside a shared prefix takes down the whole run cleanly.
+
+use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_rng::Rng;
+use scald_verifier::{Case, CaseSet, CaseStrategy, RunOptions, Verifier, VerifyError};
+use scald_wave::DelayCorner;
+
+/// The S-1-like generator always emits 24 control signals named
+/// `CTL {i}` regardless of chip count; sweeps are built over those.
+fn ctl(i: u64) -> String {
+    format!("CTL {i}")
+}
+
+fn fresh_verifier(chips: usize) -> Verifier {
+    let (netlist, _) = s1_like_netlist(S1Options {
+        chips,
+        seed: 0x5ca1d,
+    });
+    Verifier::new(netlist)
+}
+
+/// A random sweep with deliberate prefix sharing: a few groups, each a
+/// shared prefix of control-signal assignments fanned into several
+/// suffix variants, with an occasional delay corner thrown in. Signals
+/// are drawn in ascending-id order so the prefixes survive the engine's
+/// canonical assignment sort.
+fn random_sweep(rng: &mut Rng) -> CaseSet {
+    let mut set = CaseSet::list([]);
+    let groups = rng.range_u64(1, 3);
+    for g in 0..groups {
+        // Distinct ascending signal ids per group; groups overlap freely.
+        let base = g * 8 + rng.below(3);
+        let prefix: Vec<(String, bool)> = (0..rng.range_u64(1, 3))
+            .map(|k| (ctl(base + k), rng.bool()))
+            .collect();
+        let corner = if rng.bool_with(0.25) {
+            *rng.choose(&[DelayCorner::Min, DelayCorner::Typ, DelayCorner::Max])
+        } else {
+            DelayCorner::Worst
+        };
+        for _ in 0..rng.range_u64(2, 4) {
+            let mut case = Case::new().corner(corner);
+            for (name, v) in &prefix {
+                case = case.assign(name.clone(), *v);
+            }
+            // Suffix over ids strictly above the prefix block.
+            let suffix_len = rng.below(3);
+            for k in 0..suffix_len {
+                case = case.assign(ctl(base + 3 + k), rng.bool());
+            }
+            set.push(case);
+        }
+    }
+    set
+}
+
+/// Runs one sweep and renders the effort-stripped report — the full
+/// user-observable surface (violations, waves, storage, slack) minus
+/// the scheduling-dependent counters.
+fn stripped_report(v: &mut Verifier, set: &CaseSet, jobs: usize, strategy: CaseStrategy) -> String {
+    let outcome = v
+        .run(
+            &RunOptions::new()
+                .cases(set.clone())
+                .jobs(jobs)
+                .strategy(strategy),
+        )
+        .unwrap();
+    v.report("case-tree", &outcome.cases)
+        .strip_effort()
+        .to_json()
+        .to_string()
+}
+
+/// The tentpole property: over 50 seeded random sweeps, the tree engine
+/// at 1, 2 and 8 workers produces stripped reports byte-identical to the
+/// naive independent path. Verifiers are reused (warm) across seeds so
+/// the property also covers warm-start bases and corner-state resets.
+#[test]
+fn tree_matches_independent_over_50_seeds() {
+    let mut naive = fresh_verifier(16);
+    let mut tree: Vec<Verifier> = (0..3).map(|_| fresh_verifier(16)).collect();
+
+    for seed in 0..50u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let sweep = random_sweep(&mut rng);
+        let baseline = stripped_report(&mut naive, &sweep, 1, CaseStrategy::Independent);
+        for (v, jobs) in tree.iter_mut().zip([1usize, 2, 8]) {
+            let got = stripped_report(v, &sweep, jobs, CaseStrategy::Tree);
+            assert_eq!(
+                got, baseline,
+                "seed {seed}, jobs {jobs}: tree diverged from independent"
+            );
+        }
+    }
+}
+
+/// Delay-corner sweeps are first-class case axes: a `cross_corners`
+/// sweep (which forces a reseed-everything root per corner group) must
+/// be byte-identical between strategies, cold, at several worker counts.
+#[test]
+fn corner_sweeps_match_between_strategies() {
+    let sweep = CaseSet::exhaustive([ctl(0), ctl(1)]).cross_corners(DelayCorner::ALL);
+    let baseline = stripped_report(
+        &mut fresh_verifier(12),
+        &sweep,
+        1,
+        CaseStrategy::Independent,
+    );
+    for jobs in [1usize, 4] {
+        let got = stripped_report(&mut fresh_verifier(12), &sweep, jobs, CaseStrategy::Tree);
+        assert_eq!(got, baseline, "jobs {jobs}");
+        let auto = stripped_report(&mut fresh_verifier(12), &sweep, jobs, CaseStrategy::Auto);
+        assert_eq!(auto, baseline, "auto, jobs {jobs}");
+    }
+}
+
+/// The point of the trie: shared prefixes settle once. On an exhaustive
+/// sweep the tree run must report prefix nodes, and the total settle
+/// effort (prefix + per-case) must come in strictly below the naive
+/// path's per-case total.
+#[test]
+fn tree_spends_less_settle_effort_on_shared_prefixes() {
+    let sweep = CaseSet::exhaustive((0..5).map(ctl));
+
+    let mut naive = fresh_verifier(16);
+    let naive_out = naive
+        .run(
+            &RunOptions::new()
+                .cases(sweep.clone())
+                .strategy(CaseStrategy::Independent),
+        )
+        .unwrap();
+    assert_eq!(naive_out.prefix.nodes, 0, "independent path has no trie");
+    let naive_evals: u64 = naive_out.cases.iter().map(|c| c.evaluations).sum();
+
+    let mut factored = fresh_verifier(16);
+    let tree_out = factored
+        .run(
+            &RunOptions::new()
+                .cases(sweep.clone())
+                .strategy(CaseStrategy::Tree),
+        )
+        .unwrap();
+    assert!(tree_out.prefix.nodes > 0, "exhaustive sweep must share");
+    let tree_evals: u64 =
+        tree_out.prefix.evaluations + tree_out.cases.iter().map(|c| c.evaluations).sum::<u64>();
+
+    // Cold runs fold the base settle into case 1 on both paths; remove
+    // it from both sides by comparing the per-case remainders only.
+    assert!(
+        tree_evals < naive_evals,
+        "tree ({tree_evals} evals) must beat naive ({naive_evals} evals)"
+    );
+
+    // Auto picks the tree for this sweep: same outcome as explicit Tree.
+    let mut auto = fresh_verifier(16);
+    let auto_out = auto
+        .run(&RunOptions::new().cases(sweep).strategy(CaseStrategy::Auto))
+        .unwrap();
+    assert_eq!(auto_out.prefix, tree_out.prefix);
+    assert_eq!(
+        format!("{:?}", auto_out.cases),
+        format!("{:?}", tree_out.cases)
+    );
+}
+
+/// Error path: an unknown signal inside a *shared prefix* fails the
+/// whole run before any evaluation — not one leaf, and not after
+/// settling half the trie.
+#[test]
+fn unknown_signal_in_shared_prefix_fails_whole_subtree() {
+    let sweep = CaseSet::list([
+        Case::new()
+            .assign("NO SUCH SIGNAL", true)
+            .assign(ctl(0), false),
+        Case::new()
+            .assign("NO SUCH SIGNAL", true)
+            .assign(ctl(0), true),
+    ]);
+    for strategy in [CaseStrategy::Tree, CaseStrategy::Auto] {
+        let mut v = fresh_verifier(8);
+        let err = v
+            .run(&RunOptions::new().cases(sweep.clone()).strategy(strategy))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::UnknownCaseSignal {
+                name: "NO SUCH SIGNAL".to_owned()
+            },
+            "{strategy:?}"
+        );
+        assert_eq!(
+            v.total_evaluations(),
+            0,
+            "{strategy:?}: resolution must precede all settling"
+        );
+    }
+}
+
+/// `RunOutcome::try_sole` is the non-panicking accessor: `Ok` for a
+/// single-case run, a `MultiCaseError` naming the case count otherwise.
+#[test]
+fn try_sole_rejects_multi_case_runs() {
+    let mut v = fresh_verifier(8);
+    let single = v.run(&RunOptions::new()).unwrap();
+    assert!(single.try_sole().is_ok());
+
+    let multi = v
+        .run(&RunOptions::new().cases(CaseSet::exhaustive([ctl(0)])))
+        .unwrap();
+    let err = multi.try_sole().unwrap_err();
+    assert_eq!(err.cases, 2);
+    assert!(err.to_string().contains("2 cases"));
+}

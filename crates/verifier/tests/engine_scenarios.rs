@@ -4,7 +4,7 @@
 
 use scald_logic::Value;
 use scald_netlist::{Config, Conn, NetlistBuilder};
-use scald_verifier::{Case, RunOptions, Verifier, VerifyError, ViolationKind};
+use scald_verifier::{Case, CaseSet, RunOptions, Verifier, VerifyError, ViolationKind};
 use scald_wave::{DelayRange, Time};
 
 fn ns(x: f64) -> Time {
@@ -242,7 +242,7 @@ fn case_analysis_fig_2_6_recovers_30ns_path() {
         Case::new().assign("CONTROL SIGNAL", true),
     ];
     let results = v
-        .run(&RunOptions::new().cases(cases.to_vec()))
+        .run(&RunOptions::new().cases(CaseSet::list(cases.iter().cloned())))
         .unwrap()
         .cases;
     assert_eq!(results.len(), 2);

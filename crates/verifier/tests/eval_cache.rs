@@ -14,7 +14,7 @@ use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_netlist::Netlist;
 use scald_rng::Rng;
 use scald_trace::{json, TraceEvent, TraceSink};
-use scald_verifier::{Case, EvalCache, Report, RunOptions, VerifierBuilder};
+use scald_verifier::{Case, CaseSet, EvalCache, Report, RunOptions, VerifierBuilder};
 
 /// A sink that keeps every event as its JSONL line, in arrival order.
 #[derive(Default)]
@@ -77,7 +77,11 @@ fn run_traced(
         .trace(sink.clone())
         .build();
     let outcome = v
-        .run(&RunOptions::new().cases(cases.to_vec()).jobs(jobs))
+        .run(
+            &RunOptions::new()
+                .cases(CaseSet::list(cases.iter().cloned()))
+                .jobs(jobs),
+        )
         .expect("seeded designs settle");
     let mut report = v.report("eval_cache", &outcome.cases);
     let hits = v.eval_cache_stats().map_or(0, |s| s.hits);

@@ -5,7 +5,9 @@
 
 use scald_gen::figures::{case_analysis_circuit, register_file_circuit};
 use scald_trace::{CounterSink, JsonlSink, TimelineSink};
-use scald_verifier::{Case, RunOptions, Verifier, VerifierBuilder, VerifyError, REPORT_SCHEMA};
+use scald_verifier::{
+    Case, CaseSet, RunOptions, Verifier, VerifierBuilder, VerifyError, REPORT_SCHEMA,
+};
 use std::sync::Arc;
 
 #[test]
@@ -68,7 +70,7 @@ fn tracing_does_not_change_results() {
     let mut bare = Verifier::new(netlist.clone());
     let baseline = format!(
         "{:?}",
-        bare.run(&RunOptions::new().cases(cases.to_vec()))
+        bare.run(&RunOptions::new().cases(CaseSet::list(cases.iter().cloned())))
             .expect("settles")
             .cases
     );
@@ -78,7 +80,7 @@ fn tracing_does_not_change_results() {
     let traced_out = format!(
         "{:?}",
         traced
-            .run(&RunOptions::new().cases(cases.to_vec()))
+            .run(&RunOptions::new().cases(CaseSet::list(cases.iter().cloned())))
             .expect("settles")
             .cases
     );

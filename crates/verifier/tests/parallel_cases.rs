@@ -7,13 +7,13 @@
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
 use scald_netlist::{Config, Conn, NetlistBuilder};
-use scald_verifier::{Case, RunOptions, Verifier, VerifyError};
+use scald_verifier::{Case, CaseSet, RunOptions, Verifier, VerifyError};
 use scald_wave::DelayRange;
 
 /// Twelve cases over the generated design's global control signals —
 /// comfortably past the issue's "≥ 8 cases" floor, mixing single- and
 /// multi-signal assignments so dirtied cones differ per case.
-fn s1_cases() -> Vec<Case> {
+fn s1_cases() -> CaseSet {
     let mut cases: Vec<Case> = (0..8)
         .map(|i| Case::new().assign(format!("CTL {i}"), i % 2 == 0))
         .collect();
@@ -24,7 +24,7 @@ fn s1_cases() -> Vec<Case> {
                 .assign(format!("CTL {}", 2 * i + 1), i % 2 == 1),
         );
     }
-    cases
+    CaseSet::list(cases)
 }
 
 fn fresh_s1_verifier() -> Verifier {
@@ -143,11 +143,11 @@ fn busy_ring_verifier() -> Verifier {
 
 #[test]
 fn oscillation_exhausts_budget_identically_serial_and_parallel() {
-    let cases = vec![
+    let cases = CaseSet::list([
         Case::new().assign("EN", true),
         Case::new().assign("EN", false),
         Case::new().assign("EN", true),
-    ];
+    ]);
 
     let serial_err = busy_ring_verifier()
         .run(&RunOptions::new().cases(cases.clone()).jobs(1))

@@ -13,7 +13,7 @@ use scald_netlist::{Config, Conn, Netlist, NetlistBuilder};
 use scald_rng::Rng;
 use scald_trace::{json, TimelineSink, TraceEvent, TraceSink};
 use scald_verifier::{
-    Case, CheckpointPolicy, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
+    Case, CaseSet, CheckpointPolicy, Report, RunOptions, Verifier, VerifierBuilder, VerifyError,
 };
 use scald_wave::DelayRange;
 
@@ -77,7 +77,11 @@ fn run_traced(
         .trace(sink.clone())
         .build();
     let outcome = v
-        .run(&RunOptions::new().cases(cases.to_vec()).jobs(jobs))
+        .run(
+            &RunOptions::new()
+                .cases(CaseSet::list(cases.iter().cloned()))
+                .jobs(jobs),
+        )
         .expect("seeded designs settle");
     let mut report = v.report("parallel_settle", &outcome.cases);
     let lines = sink.0.lock().expect("collect sink poisoned").clone();
@@ -216,7 +220,7 @@ fn checkpoint_resumes_at_the_settled_base() {
     let outcome = v
         .run(
             &RunOptions::new()
-                .cases(cases.clone())
+                .cases(CaseSet::list(cases.clone()))
                 .jobs(2)
                 .checkpoint(CheckpointPolicy::SettledBase),
         )
@@ -225,7 +229,9 @@ fn checkpoint_resumes_at_the_settled_base() {
     assert!(outcome.base.evaluations > 0);
 
     let mut warm = *outcome.checkpoint.expect("checkpoint was requested");
-    let warm_out = warm.run(&RunOptions::new().cases(cases).jobs(1)).unwrap();
+    let warm_out = warm
+        .run(&RunOptions::new().cases(CaseSet::list(cases)).jobs(1))
+        .unwrap();
     assert!(!warm_out.base.full_settle, "base was already settled");
     assert_eq!(warm_out.base.evaluations, 0);
     assert!(warm_out.checkpoint.is_none(), "default policy keeps none");

@@ -55,5 +55,5 @@ mod waveform;
 pub use edges::{edge_windows, pulses, Edge, EdgeWindow, Pulse};
 pub use span::Span;
 pub use store::{StoreStats, WaveId, WaveRef, WaveStore};
-pub use time::{DelayRange, Skew, Time};
+pub use time::{DelayCorner, DelayRange, Skew, Time};
 pub use waveform::{SegmentError, Waveform};

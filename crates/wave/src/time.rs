@@ -215,6 +215,94 @@ impl fmt::Display for DelayRange {
     }
 }
 
+/// A process/operating corner selecting how [`DelayRange`]s are read
+/// (§1.4.1.2, §4.2).
+///
+/// The verifier's default analysis keeps the full `[min, max]` range so
+/// one run covers every combination of real delays. Corner analysis
+/// instead collapses every range to a single point — the fastest
+/// possible parts, a typical part, or the slowest — which is how
+/// multi-corner sign-off sweeps (min/typ/max) are expressed as case
+/// axes.
+///
+/// ```
+/// use scald_wave::{DelayCorner, DelayRange, Time};
+/// let d = DelayRange::from_ns(1.0, 3.0);
+/// assert_eq!(DelayCorner::Worst.collapse(d), d);
+/// assert_eq!(DelayCorner::Min.collapse(d).max, Time::from_ns(1.0));
+/// assert_eq!(DelayCorner::Typ.collapse(d).min, Time::from_ns(2.0));
+/// assert_eq!(DelayCorner::Max.collapse(d).min, Time::from_ns(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DelayCorner {
+    /// Keep the full `[min, max]` range (the verifier's default: the
+    /// result holds for every real delay inside every range).
+    #[default]
+    Worst,
+    /// Every delay at its minimum: the fast corner.
+    Min,
+    /// Every delay at the midpoint of its range: the typical corner.
+    Typ,
+    /// Every delay at its maximum: the slow corner.
+    Max,
+}
+
+impl DelayCorner {
+    /// All corners, in sweep order.
+    pub const ALL: [DelayCorner; 4] = [
+        DelayCorner::Worst,
+        DelayCorner::Min,
+        DelayCorner::Typ,
+        DelayCorner::Max,
+    ];
+
+    /// Collapses a delay range to this corner's point value (identity
+    /// for [`DelayCorner::Worst`]).
+    #[must_use]
+    pub fn collapse(self, range: DelayRange) -> DelayRange {
+        let point = match self {
+            DelayCorner::Worst => return range,
+            DelayCorner::Min => range.min,
+            DelayCorner::Typ => Time::from_ps((range.min.as_ps() + range.max.as_ps()) / 2),
+            DelayCorner::Max => range.max,
+        };
+        DelayRange {
+            min: point,
+            max: point,
+        }
+    }
+
+    /// The lower-case token used in labels, sweep specs and reports
+    /// (`worst` / `min` / `typ` / `max`).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            DelayCorner::Worst => "worst",
+            DelayCorner::Min => "min",
+            DelayCorner::Typ => "typ",
+            DelayCorner::Max => "max",
+        }
+    }
+
+    /// Parses a corner token as produced by [`DelayCorner::token`].
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<DelayCorner> {
+        match token {
+            "worst" => Some(DelayCorner::Worst),
+            "min" => Some(DelayCorner::Min),
+            "typ" => Some(DelayCorner::Typ),
+            "max" => Some(DelayCorner::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DelayCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
 /// Timing skew: the uncertainty in *when* a signal transitions, kept
 /// separate from the signal's value list (§2.8).
 ///
@@ -356,6 +444,19 @@ mod tests {
     #[should_panic(expected = "invalid delay range")]
     fn delay_range_rejects_inverted_bounds() {
         let _ = DelayRange::from_ns(3.0, 1.0);
+    }
+
+    #[test]
+    fn corners_collapse_ranges() {
+        let d = DelayRange::from_ns(1.0, 3.0);
+        assert_eq!(DelayCorner::Worst.collapse(d), d);
+        assert_eq!(DelayCorner::Min.collapse(d), DelayRange::from_ns(1.0, 1.0));
+        assert_eq!(DelayCorner::Typ.collapse(d), DelayRange::from_ns(2.0, 2.0));
+        assert_eq!(DelayCorner::Max.collapse(d), DelayRange::from_ns(3.0, 3.0));
+        for c in DelayCorner::ALL {
+            assert_eq!(DelayCorner::from_token(c.token()), Some(c));
+        }
+        assert_eq!(DelayCorner::from_token("slow"), None);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use scald::gen::figures::case_analysis_circuit;
 use scald::netlist::{Config, Conn, Netlist, NetlistBuilder};
 use scald::paths::PathAnalysis;
 use scald::sim::{primary_inputs, simulate, SimViolationKind, Stimulus};
-use scald::verifier::{Case, RunOptions, Verifier, ViolationKind};
+use scald::verifier::{CaseSet, RunOptions, Verifier, ViolationKind};
 use scald::wave::{DelayRange, Time};
 
 /// A register fed through a mux whose `1` leg is too slow for the set-up
@@ -101,10 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let (netlist, (_, _, output)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
-    v.run(&RunOptions::new().cases(vec![
-        Case::new().assign("CONTROL SIGNAL", false),
-        Case::new().assign("CONTROL SIGNAL", true),
-    ]))?;
+    v.run(&RunOptions::new().cases(CaseSet::exhaustive(["CONTROL SIGNAL"])))?;
     let w = v.resolved(output);
     println!("Verifier with cases  : OUTPUT = {w} (true 30 ns path)");
     Ok(())

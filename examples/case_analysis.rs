@@ -15,7 +15,7 @@
 
 use scald::gen::figures::case_analysis_circuit;
 use scald::paths::PathAnalysis;
-use scald::verifier::{Case, RunOptions, Verifier};
+use scald::verifier::{CaseSet, RunOptions, Verifier};
 use scald::wave::Time;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,11 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verifier with the two cases of §2.7.1.
     let (netlist, (_, _, output)) = case_analysis_circuit();
     let mut v = Verifier::new(netlist);
-    let cases = [
-        Case::new().assign("CONTROL SIGNAL", false),
-        Case::new().assign("CONTROL SIGNAL", true),
-    ];
-    let results = v.run(&RunOptions::new().cases(cases.to_vec()))?.cases;
+    let cases = CaseSet::exhaustive(["CONTROL SIGNAL"]);
+    let results = v.run(&RunOptions::new().cases(cases))?.cases;
     for r in &results {
         println!(
             "verifier, {:<24}: {} events, {} evaluations",

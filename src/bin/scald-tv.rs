@@ -21,6 +21,12 @@
 //!     --diagram        print an ASCII timing diagram of all signals
 //!     --slack          print per-checker timing margins (worst first)
 //!     --paths          print the worst-case path analysis (GRASP-style)
+//!     --prob RHO       run the probabilistic path analysis with
+//!                      inter-path correlation RHO in [0, 1]: delay
+//!                      ranges become ±3σ normal distributions, and the
+//!                      report gains per-endpoint arrival/slack
+//!                      distributions with violation probabilities (the
+//!                      JSON document's v2 "probabilistic" section)
 //!     --netlist        print the fully elaborated (flattened) design
 //!     --xref           print the assumed-stable cross-reference listing
 //!     --stats          print expansion/verification statistics (Table 3-1)
@@ -72,7 +78,7 @@ use scald::serve::{serve, ServeOptions};
 use scald::trace::json::Json;
 use scald::trace::JsonlSink;
 use scald::verifier::{
-    Case, CaseResult, RunOptions, Verifier, VerifierBuilder, VerifyError, Violation,
+    Case, CaseResult, CaseSet, RunOptions, Verifier, VerifierBuilder, VerifyError, Violation,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -126,7 +132,7 @@ enum Format {
 
 const USAGE: &str = "usage: scald-tv [--frontend scald|verilog] \
                      [--summary] [--diagram] [--slack] \
-                     [--paths] [--netlist] [--xref] [--stats] [--storage] \
+                     [--paths] [--prob RHO] [--netlist] [--xref] [--stats] [--storage] \
                      [--format text|json] [--trace FILE] \
                      [--no-cases] [--no-eval-cache] [--jobs N] \
                      [--watch] [--watch-poll-ms N] [--watch-max-edits N] \
@@ -169,6 +175,7 @@ struct Options {
     watch_poll_ms: u64,
     watch_max_edits: Option<u64>,
     baseline: Option<String>,
+    prob_rho: Option<f64>,
 }
 
 impl Options {
@@ -192,6 +199,7 @@ fn parse_args() -> Result<Options, String> {
         watch_poll_ms: 200,
         watch_max_edits: None,
         baseline: None,
+        prob_rho: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -249,6 +257,14 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|n| *n >= 1)
                     .ok_or_else(|| "--watch-max-edits expects an edit count >= 1".to_owned())?;
                 opts.watch_max_edits = Some(n);
+            }
+            "--prob" => {
+                let rho = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| "--prob expects a correlation in [0, 1]".to_owned())?;
+                opts.prob_rho = Some(rho);
             }
             "--baseline" => {
                 let file = args
@@ -523,12 +539,41 @@ fn path_lines(netlist: &scald::netlist::Netlist) -> Vec<String> {
     lines
 }
 
+/// Builds the report's v2 `probabilistic` section from the scald-stats
+/// distribution analysis: every delay range becomes a ±3σ normal, and
+/// each checked endpoint gets arrival/slack distributions plus its
+/// probability of missing the deadline.
+fn prob_section(netlist: &scald::netlist::Netlist, rho: f64) -> scald::verifier::ProbSection {
+    let analysis = scald::stats::ProbPathAnalysis::analyze(netlist, rho);
+    scald::verifier::ProbSection {
+        rho,
+        endpoints: analysis
+            .reports()
+            .iter()
+            .map(|r| {
+                let slack = r.slack();
+                scald::verifier::ProbEndpoint {
+                    endpoint: r.endpoint.clone(),
+                    constraint_source: r.constraint_source.clone(),
+                    arrival_mean_ns: r.arrival.mean,
+                    arrival_sigma_ns: r.arrival.sigma,
+                    slack_mean_ns: slack.mean,
+                    slack_sigma_ns: slack.sigma,
+                    deadline_ns: r.deadline_ns,
+                    worst_case_ns: r.worst_case_ns,
+                    violation_probability: r.violation_probability,
+                }
+            })
+            .collect(),
+    }
+}
+
 fn run_verifier(
     opts: &Options,
     verifier: &mut Verifier,
     cases: &[Case],
 ) -> Result<Vec<CaseResult>, VerifyError> {
-    let mut options = RunOptions::new().cases(cases.to_vec());
+    let mut options = RunOptions::new().cases(CaseSet::list(cases.iter().cloned()));
     if let Some(n) = opts.jobs {
         // Default (no flag): the engine picks its own worker budget.
         options = options.jobs(n);
@@ -616,6 +661,7 @@ fn main() -> ExitCode {
     // Sections that need the netlist before the verifier takes ownership.
     let netlist_listing = opts.wants(Listing::Netlist).then(|| netlist.listing());
     let paths_listing = opts.wants(Listing::Paths).then(|| path_lines(&netlist));
+    let probabilistic = opts.prob_rho.map(|rho| prob_section(&netlist, rho));
     if text {
         if let Some(listing) = &netlist_listing {
             println!("--- fully elaborated design ---");
@@ -668,6 +714,7 @@ fn main() -> ExitCode {
     let verify_time = t.elapsed();
 
     let mut report = verifier.report(&opts.path, &results);
+    report.probabilistic = probabilistic;
     report.engine.verify_wall = Some(verify_time);
     if let Some(n) = opts.jobs {
         report.engine.jobs = n;
@@ -707,6 +754,10 @@ fn main() -> ExitCode {
         if opts.wants(Listing::Slack) {
             println!("--- timing margins (worst first) ---");
             print!("{}", report.slack_text());
+        }
+        if let Some(prob) = report.probabilistic_text() {
+            println!("--- probabilistic timing (distribution-valued slack) ---");
+            print!("{prob}");
         }
         if opts.wants(Listing::Xref) {
             print!("{}", report.xref_text());

@@ -504,7 +504,9 @@ fn serve_stdio_answers_the_protocol_and_drains_on_eof() {
     let expansion = scald::hdl::compile(&src).expect("compiles");
     let mut verifier = Verifier::new(expansion.netlist);
     let results = verifier
-        .run(&RunOptions::new().cases(vec![scald::verifier::Case::new()]))
+        .run(&RunOptions::new().cases(scald::verifier::CaseSet::list([
+            scald::verifier::Case::new(),
+        ])))
         .expect("verifies")
         .cases;
     let direct = verifier.report(label, &results).strip_effort().to_json();

@@ -197,7 +197,7 @@ case 'CONTROL' = 1;
         .collect();
     let mut v = Verifier::new(expansion.netlist);
     let results = v
-        .run(&RunOptions::new().cases(cases.to_vec()))
+        .run(&RunOptions::new().cases(scald::verifier::CaseSet::list(cases.iter().cloned())))
         .expect("cases run")
         .cases;
     assert_eq!(results.len(), 2);

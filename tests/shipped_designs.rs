@@ -70,7 +70,7 @@ fn shipped_mini_cpu_verifies_clean_in_both_cases() {
         .collect();
     let mut v = Verifier::new(expansion.netlist);
     let results = v
-        .run(&RunOptions::new().cases(cases.to_vec()))
+        .run(&RunOptions::new().cases(scald::verifier::CaseSet::list(cases.iter().cloned())))
         .expect("design settles")
         .cases;
     for r in &results {
@@ -103,7 +103,7 @@ fn shipped_case_analysis_design() {
     // With cases: clean. Without: the phantom 40 ns path violates.
     let mut v = Verifier::new(expansion.netlist.clone());
     for r in v
-        .run(&RunOptions::new().cases(cases.to_vec()))
+        .run(&RunOptions::new().cases(scald::verifier::CaseSet::list(cases.iter().cloned())))
         .expect("settles")
         .cases
     {
