@@ -13,7 +13,7 @@
 use crate::pool::{CheckoutInfo, PooledSession, SessionPool};
 use crate::proto::{
     CacheDelta, DaemonStats, DeltaSpec, ErrorKind, Frame, Frontend, Hello, Request, Response,
-    RunSummary, PROTO_VERSION,
+    RunSummary, SweepSpec, PROTO_VERSION,
 };
 use crate::tap::SharedWriter;
 use scald_incr::{compile_source, compile_verilog, Delta, SessionError, SessionOutcome};
@@ -48,7 +48,20 @@ pub struct ServeOptions {
     pub eval_cache: bool,
     /// Settled sessions kept idle per design hash.
     pub idle_cap: usize,
+    /// Largest case count a `sweep` spec may expand to server-side.
+    /// The protocol already refuses anything over
+    /// [`SWEEP_MAX_CASES`](crate::proto::SWEEP_MAX_CASES) at parse
+    /// time; this is the daemon's own (lower, operator-tunable) budget,
+    /// since even a legal 2^20-case expansion is a lot of memory to
+    /// hand one client of a shared daemon. Specs over budget get an
+    /// [`ErrorKind::Delta`] response and the session stays usable.
+    pub max_sweep_cases: u64,
 }
+
+/// Default for [`ServeOptions::max_sweep_cases`]: 2^16 cases, well past
+/// the 1000-case sweeps the case-tree engine targets while keeping one
+/// client's expansion far below the protocol's 2^20 hard cap.
+pub const DEFAULT_MAX_SWEEP_CASES: u64 = 1 << 16;
 
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
@@ -59,6 +72,7 @@ impl Default for ServeOptions {
             request_timeout: Duration::from_secs(30),
             eval_cache: true,
             idle_cap: 4,
+            max_sweep_cases: DEFAULT_MAX_SWEEP_CASES,
         }
     }
 }
@@ -130,6 +144,7 @@ struct Shared {
     pool: SessionPool,
     jobs: Arc<JobsLedger>,
     timeout: Duration,
+    max_sweep_cases: u64,
     shutting_down: AtomicBool,
     connections: AtomicUsize,
     active_runs: AtomicUsize,
@@ -141,6 +156,7 @@ impl Shared {
             pool: SessionPool::new(opts.idle_cap, opts.eval_cache),
             jobs: Arc::new(JobsLedger::new(opts.jobs)),
             timeout: opts.request_timeout,
+            max_sweep_cases: opts.max_sweep_cases,
             shutting_down: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             active_runs: AtomicUsize::new(0),
@@ -343,6 +359,11 @@ fn dispatch(
             do_open(id, source, frontend, label, conn, shared)
         }
         Request::ApplyDelta { id, session, delta } => {
+            if let DeltaSpec::Sweep(spec) = &delta {
+                if let Some(resp) = sweep_over_budget(id, spec, shared) {
+                    return resp;
+                }
+            }
             let Some(pooled) = conn.sessions.remove(&session) else {
                 return unknown_session(id, &session);
             };
@@ -357,6 +378,11 @@ fn dispatch(
             )
         }
         Request::Run { id, session, cases } => {
+            if let Some(spec) = &cases {
+                if let Some(resp) = sweep_over_budget(id, spec, shared) {
+                    return resp;
+                }
+            }
             let Some(pooled) = conn.sessions.remove(&session) else {
                 return unknown_session(id, &session);
             };
@@ -417,6 +443,23 @@ fn dispatch(
             Response::ShuttingDown { id }
         }
     }
+}
+
+/// The daemon-budget sweep guard: the protocol's hard cap has already
+/// run at parse time, but a shared daemon enforces its own (lower,
+/// `--max-sweep-cases`) budget before a single case is materialized.
+/// The session is untouched, so the client can retry a smaller sweep.
+fn sweep_over_budget(id: u64, spec: &SweepSpec, shared: &Shared) -> Option<Response> {
+    let total = spec.case_count();
+    (total > shared.max_sweep_cases).then(|| Response::Error {
+        id: Some(id),
+        kind: ErrorKind::Delta,
+        message: format!(
+            "sweep expands to {total} cases, over this daemon's budget of {} \
+             (raise with --max-sweep-cases)",
+            shared.max_sweep_cases
+        ),
+    })
 }
 
 fn unknown_session(id: u64, session: &str) -> Response {

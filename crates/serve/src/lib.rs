@@ -45,10 +45,10 @@ pub mod proto;
 mod tap;
 
 pub use client::Client;
-pub use daemon::{serve, JobsLease, JobsLedger, ServeOptions};
+pub use daemon::{serve, JobsLease, JobsLedger, ServeOptions, DEFAULT_MAX_SWEEP_CASES};
 pub use pool::{CheckoutInfo, PooledSession, SessionPool};
 pub use proto::{
     CacheDelta, DaemonStats, DeltaSpec, DesignStats, ErrorKind, Frame, Frontend, Hello, ProtoError,
-    Request, Response, RunSummary, SweepSpec, TraceMode, PROTO_KEY, PROTO_VERSION,
+    Request, Response, RunSummary, SweepSpec, TraceMode, PROTO_KEY, PROTO_VERSION, SWEEP_MAX_CASES,
 };
 pub use tap::TapSink;

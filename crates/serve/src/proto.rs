@@ -234,8 +234,11 @@ impl DeltaSpec {
 
 /// A generated case sweep on the wire: the protocol counterpart of the
 /// `CaseSet` builders. Strictly parsed — unknown kinds, malformed
-/// corner tokens, absurd widths and over-deep nesting are all
-/// [`ProtoError`]s, so a malformed frame can never panic the daemon.
+/// corner tokens, absurd widths, over-deep nesting and over-large
+/// *expanded totals* (a product multiplies its axes, so the per-axis
+/// width guard alone is not enough) are all [`ProtoError`]s, so a
+/// malformed frame can never panic the daemon or make it enumerate an
+/// astronomically large case list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepSpec {
     /// Every 0/1 combination of the named signals (`CaseSet::exhaustive`).
@@ -256,6 +259,14 @@ pub enum SweepSpec {
 /// `product` axes may nest sweeps, but a frame is one line of JSON from
 /// an untrusted client — cap the recursion well above any real sweep.
 const SWEEP_MAX_DEPTH: usize = 8;
+
+/// Hard ceiling on the number of cases a parsed sweep may expand to.
+/// Matches the `CaseSet::exhaustive` width guard (20 signals = 2^20
+/// cases), but applied to the *multiplicative total*: three 20-signal
+/// exhaustive axes in one product would otherwise pass the per-axis
+/// guard while naming 2^60 cases. Daemons may enforce a lower,
+/// configurable limit on top (`ServeOptions::max_sweep_cases`).
+pub const SWEEP_MAX_CASES: u64 = 1 << 20;
 
 impl SweepSpec {
     /// The spec as a JSON object (the wire shape).
@@ -290,7 +301,44 @@ impl SweepSpec {
         }
     }
 
+    /// The number of cases the spec expands to, computed bottom-up with
+    /// saturating arithmetic — safe to call on arbitrarily large specs
+    /// without materializing anything.
+    #[must_use]
+    pub fn case_count(&self) -> u64 {
+        match self {
+            SweepSpec::Exhaustive(signals) => match u32::try_from(signals.len()) {
+                Ok(n) if n < 64 => 1u64 << n,
+                _ => u64::MAX,
+            },
+            SweepSpec::Product(axes) => axes
+                .iter()
+                .fold(1u64, |total, axis| total.saturating_mul(axis.case_count())),
+            SweepSpec::Corners(corners) => corners.len() as u64,
+            SweepSpec::List(cases) => cases.len() as u64,
+        }
+    }
+
     fn parse(json: &Json, depth: usize) -> Result<SweepSpec, ProtoError> {
+        let spec = SweepSpec::parse_inner(json, depth)?;
+        // Guard the *expanded total* at the root, not just each axis:
+        // products multiply, so several individually-legal exhaustive
+        // axes can still name more cases than any daemon could ever
+        // materialize. Saturating bottom-up arithmetic keeps the check
+        // itself cheap regardless of how absurd the spec is.
+        if depth == 0 {
+            let total = spec.case_count();
+            if total > SWEEP_MAX_CASES {
+                return err(format!(
+                    "sweep expands to {total} cases, over the protocol limit of \
+                     {SWEEP_MAX_CASES}"
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    fn parse_inner(json: &Json, depth: usize) -> Result<SweepSpec, ProtoError> {
         if depth > SWEEP_MAX_DEPTH {
             return err(format!("sweep nested deeper than {SWEEP_MAX_DEPTH} levels"));
         }
@@ -308,15 +356,19 @@ impl SweepSpec {
                         None => err("\"signals\" must be an array of signal names"),
                     })
                     .collect::<Result<_, _>>()?;
-                // Mirrors the CaseSet::exhaustive width guard as a parse
-                // error: a client cannot make the daemon enumerate 2^n
-                // cases (or panic) with one short frame.
+                // Mirrors the CaseSet::exhaustive width and uniqueness
+                // guards as parse errors: a client cannot make the
+                // daemon enumerate 2^n cases (or panic) with one short
+                // frame.
                 if signals.len() > 20 {
                     return err(format!(
                         "exhaustive sweep over {} signals would enumerate 2^{} cases",
                         signals.len(),
                         signals.len()
                     ));
+                }
+                if let Some(dup) = first_duplicate(&signals) {
+                    return err(format!("exhaustive sweep names signal {dup:?} twice"));
                 }
                 Ok(SweepSpec::Exhaustive(signals))
             }
@@ -373,6 +425,15 @@ impl SweepSpec {
             })),
         }
     }
+}
+
+/// The first signal name appearing more than once, if any.
+fn first_duplicate(signals: &[String]) -> Option<&String> {
+    signals
+        .iter()
+        .enumerate()
+        .find(|(i, name)| signals[..*i].contains(name))
+        .map(|(_, name)| name)
 }
 
 fn cases_to_json(cases: &[Vec<(String, bool)>]) -> Json {
@@ -1420,6 +1481,30 @@ mod tests {
     }
 
     #[test]
+    fn sweep_case_count_is_multiplicative_and_saturates() {
+        let wide = SweepSpec::Exhaustive((0..20).map(|i| format!("S{i}")).collect());
+        assert_eq!(wide.case_count(), 1 << 20);
+        assert_eq!(SweepSpec::Exhaustive(Vec::new()).case_count(), 1);
+        assert_eq!(SweepSpec::Product(Vec::new()).case_count(), 1);
+        assert_eq!(
+            SweepSpec::Corners(vec![DelayCorner::Min, DelayCorner::Max]).case_count(),
+            2
+        );
+        assert_eq!(SweepSpec::List(vec![vec![]]).case_count(), 1);
+        // An empty-list axis annihilates the product, like CaseSet.
+        assert_eq!(
+            SweepSpec::Product(vec![wide.clone(), SweepSpec::List(Vec::new())]).case_count(),
+            0
+        );
+        // 2^20 x 2^20 x 2^20 = 2^60 still fits; one more axis overflows
+        // u64 and must saturate rather than wrap back under the cap.
+        let three = SweepSpec::Product(vec![wide.clone(), wide.clone(), wide.clone()]);
+        assert_eq!(three.case_count(), 1 << 60);
+        let four = SweepSpec::Product(vec![three, wide]);
+        assert_eq!(four.case_count(), u64::MAX);
+    }
+
+    #[test]
     fn sweep_parse_is_strict() {
         let parse_delta = |delta: &str| {
             let line = format!(r#"{{"id":1,"cmd":"apply-delta","session":"s1","delta":{delta}}}"#);
@@ -1455,6 +1540,44 @@ mod tests {
             wide.join(",")
         );
         assert!(parse_delta(&wide).is_err(), "21-signal sweep rejected");
+        // Total guard: each axis passes the per-axis width guard, but
+        // the product multiplies — three 20-signal exhaustive axes name
+        // 2^60 cases and must be a parse error, not an OOM in
+        // to_case_set.
+        let axis = |base: usize| {
+            let names: Vec<String> = (0..20).map(|i| format!("\"S{}_{i}\"", base)).collect();
+            format!(r#"{{"kind":"exhaustive","signals":[{}]}}"#, names.join(","))
+        };
+        let huge = format!(
+            r#"{{"kind":"sweep","sweep":{{"kind":"product","axes":[{},{},{}]}}}}"#,
+            axis(0),
+            axis(1),
+            axis(2)
+        );
+        assert!(
+            parse_delta(&huge).is_err(),
+            "2^60-case product sweep rejected"
+        );
+        // ...while a product that lands exactly on the limit (2^10 x
+        // 2^10 = SWEEP_MAX_CASES) still parses.
+        let half = |base: usize| {
+            let names: Vec<String> = (0..10).map(|i| format!("\"S{}_{i}\"", base)).collect();
+            format!(r#"{{"kind":"exhaustive","signals":[{}]}}"#, names.join(","))
+        };
+        let at_limit = format!(
+            r#"{{"kind":"sweep","sweep":{{"kind":"product","axes":[{},{}]}}}}"#,
+            half(0),
+            half(1)
+        );
+        parse_delta(&at_limit).expect("a sweep at exactly SWEEP_MAX_CASES parses");
+        // Duplicate signal names in an exhaustive sweep are a parse
+        // error (they would enumerate colliding cases), mirroring the
+        // CaseSet::exhaustive uniqueness guard.
+        assert!(
+            parse_delta(r#"{"kind":"sweep","sweep":{"kind":"exhaustive","signals":["A","A"]}}"#)
+                .is_err(),
+            "duplicate exhaustive signals rejected"
+        );
         // Depth guard: product nesting beyond SWEEP_MAX_DEPTH is a
         // parse error, not unbounded recursion.
         let mut deep = r#"{"kind":"corners","corners":["min"]}"#.to_owned();

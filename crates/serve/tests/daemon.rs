@@ -513,3 +513,65 @@ fn sweep_delta_is_byte_identical_to_the_expanded_case_list() {
         .to_string_pretty();
     assert_eq!(swept, local, "daemon sweep and in-process cases diverge");
 }
+
+/// A short untrusted frame must not be able to make the shared daemon
+/// materialize an astronomically large case list: a product of three
+/// individually-legal 20-signal exhaustive axes (2^60 cases) dies at
+/// parse time, an over-budget-but-legal sweep dies at the daemon's
+/// `max_sweep_cases` check, and the session survives both rejections.
+#[test]
+fn oversized_sweeps_are_rejected_without_expansion() {
+    use scald_serve::SweepSpec;
+
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("sweepcap")),
+        // A deliberately tiny daemon budget so the test sweep is cheap.
+        max_sweep_cases: 4,
+        ..ServeOptions::default()
+    });
+    let src = small_design(0xCA9);
+
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let (s, _, _) = opened(client.open_source(&src, "capped").expect("opens"));
+
+    // 2^60-case product sweep: every axis passes the per-axis width
+    // guard, so only the multiplicative total guard stands between this
+    // ~700-byte line and an OOM.
+    let axis = |base: usize| {
+        let names: Vec<String> = (0..20).map(|i| format!("\"S{base}_{i}\"")).collect();
+        format!(r#"{{"kind":"exhaustive","signals":[{}]}}"#, names.join(","))
+    };
+    let line = format!(
+        r#"{{"id":90,"cmd":"run","session":"{s}","cases":{{"kind":"product","axes":[{},{},{}]}}}}"#,
+        axis(0),
+        axis(1),
+        axis(2)
+    );
+    match client.request_raw(&line).expect("answers") {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, ErrorKind::Parse, "{message}");
+            assert!(message.contains("over the protocol limit"), "{message}");
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // 8 cases is fine by the protocol but over this daemon's budget of
+    // 4: rejected before expansion, session untouched.
+    let spec = SweepSpec::Exhaustive(vec!["A".into(), "B".into(), "C".into()]);
+    match client.run_sweep(&s, spec).expect("answers") {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, ErrorKind::Delta, "{message}");
+            assert!(message.contains("daemon's budget of 4"), "{message}");
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // Both rejections left the session usable.
+    match client.run(&s).expect("runs") {
+        Response::Ran { .. } => {}
+        other => panic!("expected a ran response, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+}

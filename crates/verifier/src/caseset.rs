@@ -66,8 +66,11 @@ impl CaseSet {
     ///
     /// # Panics
     ///
-    /// Panics if more than 20 signals are given (over a million cases) —
-    /// almost certainly a generator bug, not a sweep.
+    /// Panics if more than 20 signals are given (over a million cases)
+    /// or if a signal name appears twice (the duplicate's cases would
+    /// collide: two assignments per case to one signal, last one
+    /// winning) — either is almost certainly a generator bug, not a
+    /// sweep.
     pub fn exhaustive<I>(signals: I) -> CaseSet
     where
         I: IntoIterator,
@@ -79,6 +82,12 @@ impl CaseSet {
             n <= 20,
             "CaseSet::exhaustive over {n} signals would enumerate 2^{n} cases"
         );
+        for (i, name) in signals.iter().enumerate() {
+            assert!(
+                !signals[..i].contains(name),
+                "CaseSet::exhaustive names signal {name:?} twice"
+            );
+        }
         let cases = (0..1usize << n)
             .map(|i| {
                 let mut case = Case::new();
@@ -227,6 +236,12 @@ mod tests {
             ]
         );
         assert_eq!(CaseSet::exhaustive(Vec::<String>::new()).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "names signal \"A\" twice")]
+    fn exhaustive_rejects_duplicate_signals() {
+        let _ = CaseSet::exhaustive(["A", "B", "A"]);
     }
 
     #[test]

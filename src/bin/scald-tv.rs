@@ -64,6 +64,8 @@
 //!                      (default 30000)
 //!     --idle-cap N     settled sessions kept pooled per design (default 4)
 //!     --no-eval-cache  disable the cross-client evaluation cache
+//!     --max-sweep-cases N  largest case count a client's `sweep` spec
+//!                      may expand to server-side (default 65536)
 //! ```
 //!
 //! Exit codes: 0 = no timing errors, 1 = violations found, 2 = usage or
@@ -138,7 +140,8 @@ const USAGE: &str = "usage: scald-tv [--frontend scald|verilog] \
                      [--watch] [--watch-poll-ms N] [--watch-max-edits N] \
                      [--baseline OLD.scald] <DESIGN.scald | DESIGN.v>\n\
                      \u{20}      scald-tv serve [--socket PATH] [--stdio] [--jobs N] \
-                     [--timeout-ms N] [--idle-cap N] [--no-eval-cache]";
+                     [--timeout-ms N] [--idle-cap N] [--no-eval-cache] \
+                     [--max-sweep-cases N]";
 
 /// Which frontend parses the design file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -345,7 +348,8 @@ fn source_delta(opts: &Options, src: String) -> Delta {
 
 const SERVE_USAGE: &str = "usage: scald-tv serve [--socket PATH] [--stdio] \
                            [--jobs N] [--timeout-ms N] [--idle-cap N] \
-                           [--no-eval-cache]  (at least one of --socket/--stdio)";
+                           [--no-eval-cache] [--max-sweep-cases N]  \
+                           (at least one of --socket/--stdio)";
 
 /// `scald-tv serve`: run the multi-client verification daemon until it
 /// is asked to shut down (a `shutdown` request, or EOF in `--stdio`
@@ -378,6 +382,10 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
                 None => return parse_err("--idle-cap expects a session count".to_owned()),
             },
             "--no-eval-cache" => opts.eval_cache = false,
+            "--max-sweep-cases" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.max_sweep_cases = n,
+                _ => return parse_err("--max-sweep-cases expects a case count >= 1".to_owned()),
+            },
             "--help" | "-h" => {
                 eprintln!("{SERVE_USAGE}");
                 return ExitCode::from(2);
