@@ -63,6 +63,11 @@ cargo run -q -p scald-bench --release --bin loadtest -- --clients 4 --chips 60 -
 # sweep generator + trie engine handle a 1000-case run end to end.
 cargo run -q -p scald-bench --release --bin case_tree -- --counts 10,1000 --master 100 --block 4 --out target/BENCH_cases_smoke.json
 
+# Smoke the scheduler/memoization bench with the scheduler forced on
+# (case_sched always runs the Tree strategy against the naive baseline):
+# a 1000-case sweep must finish and the per-leaf fixed work must drop.
+cargo run -q -p scald-bench --release --bin case_sched -- --counts 10,1000 --master 100 --block 4 --out target/BENCH_sched_smoke.json
+
 # Examples must keep building; incr_session doubles as a smoke test of
 # the incremental re-verification subsystem (it asserts the warm report
 # is byte-identical to a cold run).

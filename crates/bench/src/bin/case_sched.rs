@@ -1,0 +1,198 @@
+//! Scheduler + memoization benchmark: per-leaf *fixed* cost of a wide
+//! sweep under the dependency-release scheduler, vs. the naive
+//! independent path.
+//!
+//! PR 9's case tree amortized the settle effort; what remained linear
+//! was the per-leaf fixed work — a full checker pass and a full
+//! `StorageReport::measure` per case. The scheduler memoizes both on the
+//! prefix nodes, so a leaf re-checks only the units in its dirty cone
+//! and inherits the rest. This harness records, per case count and per
+//! strategy: wall clock, per-leaf checker evaluations, storage
+//! measurements, and the cache hit rate — into `BENCH_sched.json`. The
+//! acceptance signal is the *per-leaf fixed-work drop*: checker + storage
+//! evaluations per leaf must fall ≥ 5x against the independent path,
+//! with byte-identical reports (property tested in
+//! `crates/verifier/tests/case_tree.rs`).
+//!
+//! Usage: `cargo run -p scald-bench --bin case_sched --release`
+//! (`--counts 10,100,1000` for the sweep sizes, `--master N` /
+//! `--block N` for slice counts, `--jobs N` for the worker pool, and
+//! `--out FILE` to redirect the record, as the CI smoke run does.)
+
+use std::time::Instant;
+
+use scald_gen::sweep::{sweep_netlist, SweepOptions};
+use scald_trace::json::Json;
+use scald_verifier::{CaseSet, CaseStrategy, MemoStats, RunOptions, Verifier};
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// One measured sweep on a warm engine (the base settle is paid before
+/// the clock starts).
+struct Measured {
+    wall_ns: u64,
+    cases: u64,
+    memo: MemoStats,
+    prefix_nodes: usize,
+    violations: usize,
+}
+
+impl Measured {
+    /// Checker evaluations + storage measurements actually executed per
+    /// leaf — the fixed work the memoization attacks. Node passes count
+    /// against the whole sweep, amortized here over the leaves.
+    fn fixed_work_per_leaf(&self) -> f64 {
+        let evals =
+            self.memo.leaf_check_evals + self.memo.leaf_storage_evals + self.memo.node_check_evals;
+        evals as f64 / self.cases.max(1) as f64
+    }
+}
+
+fn measure(
+    netlist: &scald_netlist::Netlist,
+    cases: &CaseSet,
+    strategy: CaseStrategy,
+    jobs: usize,
+) -> Measured {
+    let mut v = Verifier::new(netlist.clone());
+    v.run(&RunOptions::new().jobs(jobs)).expect("base settles");
+    let t = Instant::now();
+    let outcome = v
+        .run(
+            &RunOptions::new()
+                .cases(cases.clone())
+                .jobs(jobs)
+                .strategy(strategy),
+        )
+        .expect("sweep settles");
+    let wall_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Measured {
+        wall_ns,
+        cases: outcome.cases.len() as u64,
+        memo: outcome.memo,
+        prefix_nodes: outcome.prefix.nodes,
+        violations: outcome.cases.iter().map(|c| c.violations.len()).sum(),
+    }
+}
+
+fn measured_json(m: &Measured) -> Json {
+    Json::Obj(vec![
+        ("wall_ns".into(), Json::from(m.wall_ns)),
+        ("prefix_nodes".into(), Json::from(m.prefix_nodes as u64)),
+        ("node_passes".into(), Json::from(m.memo.node_passes)),
+        (
+            "node_check_evals".into(),
+            Json::from(m.memo.node_check_evals),
+        ),
+        (
+            "leaf_check_evals".into(),
+            Json::from(m.memo.leaf_check_evals),
+        ),
+        ("leaf_check_hits".into(), Json::from(m.memo.leaf_check_hits)),
+        (
+            "leaf_storage_evals".into(),
+            Json::from(m.memo.leaf_storage_evals),
+        ),
+        (
+            "leaf_storage_hits".into(),
+            Json::from(m.memo.leaf_storage_hits),
+        ),
+        ("leaf_hit_rate".into(), Json::from(m.memo.leaf_hit_rate())),
+        (
+            "fixed_work_per_leaf".into(),
+            Json::from(m.fixed_work_per_leaf()),
+        ),
+        ("violations".into(), Json::from(m.violations as u64)),
+    ])
+}
+
+fn main() {
+    let counts: Vec<usize> = flag_value("--counts")
+        .unwrap_or_else(|| "10,100,1000".to_owned())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--counts takes case counts"))
+        .collect();
+    let opts = SweepOptions {
+        master_slices: flag_value("--master").map_or(1500, |s| s.parse().expect("--master N")),
+        block_slices: flag_value("--block").map_or(10, |s| s.parse().expect("--block N")),
+        ..SweepOptions::default()
+    };
+    let jobs = flag_value("--jobs")
+        .map_or_else(scald_bench::default_jobs, |s| s.parse().expect("--jobs N"));
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_sched.json".to_owned());
+
+    let (netlist, stats) = sweep_netlist(&opts);
+    let full = CaseSet::exhaustive(stats.mode_bits.iter().cloned());
+    println!(
+        "CASE-SCHED SWEEP — {} prims, {} mode bits ({} exhaustive cases), {jobs} jobs\n",
+        stats.prims,
+        stats.mode_bits.len(),
+        full.len()
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>12} {:>12} {:>9} {:>8}",
+        "CASES", "NAIVE WALL", "SCHED WALL", "NAIVE /LEAF", "SCHED /LEAF", "HIT RATE", "DROP"
+    );
+
+    let mut steps = Vec::new();
+    for &count in &counts {
+        let count = count.min(full.len());
+        let cases = CaseSet::list(full.cases()[..count].iter().cloned());
+        let naive = measure(&netlist, &cases, CaseStrategy::Independent, jobs);
+        let sched = measure(&netlist, &cases, CaseStrategy::Tree, jobs);
+        assert_eq!(
+            naive.violations, sched.violations,
+            "strategies must agree on violations"
+        );
+        let drop = naive.fixed_work_per_leaf() / sched.fixed_work_per_leaf().max(1e-9);
+        println!(
+            "{:>7} {:>12.2?}ms {:>12.2?}ms {:>12.1} {:>12.1} {:>8.1}% {:>7.1}x",
+            count,
+            naive.wall_ns as f64 / 1e6,
+            sched.wall_ns as f64 / 1e6,
+            naive.fixed_work_per_leaf(),
+            sched.fixed_work_per_leaf(),
+            100.0 * sched.memo.leaf_hit_rate(),
+            drop,
+        );
+        steps.push(Json::Obj(vec![
+            ("cases".into(), Json::from(count as u64)),
+            ("naive".into(), measured_json(&naive)),
+            ("sched".into(), measured_json(&sched)),
+            ("fixed_work_drop".into(), Json::from(drop)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("scald-bench-sched")),
+        ("version".into(), Json::from(1u64)),
+        ("jobs".into(), Json::from(jobs as u64)),
+        (
+            "design".into(),
+            Json::Obj(vec![
+                ("prims".into(), Json::from(stats.prims as u64)),
+                ("signals".into(), Json::from(stats.signals as u64)),
+                (
+                    "mode_bits".into(),
+                    Json::Arr(stats.mode_bits.iter().map(Json::str).collect()),
+                ),
+                (
+                    "master_slices".into(),
+                    Json::from(opts.master_slices as u64),
+                ),
+                ("block_slices".into(), Json::from(opts.block_slices as u64)),
+            ]),
+        ),
+        ("steps".into(), Json::Arr(steps)),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write the JSON record");
+    println!("\nwrote {out}");
+}

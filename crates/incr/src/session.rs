@@ -4,8 +4,8 @@
 use scald_netlist::{DeltaError, Netlist, NetlistDelta, PrimId, SignalId};
 use scald_trace::TraceSink;
 use scald_verifier::{
-    Case, CaseSet, CheckpointPolicy, EvalCache, Report, RunOptions, Verifier, VerifierBuilder,
-    VerifyError,
+    Case, CaseSet, CheckpointPolicy, EvalCache, MemoStats, PrefixStats, Report, RunOptions,
+    Verifier, VerifierBuilder, VerifyError,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
@@ -102,6 +102,12 @@ pub struct IncrStats {
     pub events: u64,
     /// Primitive evaluations this re-verification processed.
     pub evaluations: u64,
+    /// Shared-prefix settle effort, when the run scheduled its cases as
+    /// a tree (zero under the independent path).
+    pub prefix: PrefixStats,
+    /// Checker/storage memoization counters of the sweep scheduler
+    /// (zero under the independent path).
+    pub memo: MemoStats,
     /// Wall-clock time of the re-verification.
     pub wall: Duration,
 }
@@ -515,6 +521,7 @@ impl Session {
                 .checkpoint(CheckpointPolicy::SettledBase),
         )?;
         let snapshot = *outcome.checkpoint.expect("checkpoint was requested");
+        let (prefix, memo) = (outcome.prefix, outcome.memo);
         let results = outcome.cases;
         let wall = started.elapsed();
 
@@ -531,6 +538,8 @@ impl Session {
             total_prims,
             events: verifier.total_events(),
             evaluations: verifier.total_evaluations(),
+            prefix,
+            memo,
             wall,
         };
 

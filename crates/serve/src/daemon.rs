@@ -13,7 +13,7 @@
 use crate::pool::{CheckoutInfo, PooledSession, SessionPool};
 use crate::proto::{
     CacheDelta, DaemonStats, DeltaSpec, ErrorKind, Frame, Frontend, Hello, Request, Response,
-    RunSummary, SweepSpec, PROTO_VERSION,
+    RunSummary, SweepEffort, SweepSpec, PROTO_VERSION,
 };
 use crate::tap::SharedWriter;
 use scald_incr::{compile_source, compile_verilog, Delta, SessionError, SessionOutcome};
@@ -677,6 +677,9 @@ fn open_summary(pooled: &PooledSession, info: &CheckoutInfo) -> RunSummary {
                 misses: 0,
                 entries: s.entries as u64,
             }),
+            // A reuse ran no verification, so there is no sweep effort
+            // to attribute to this request.
+            sweep: None,
         }
     } else {
         let outcome = pooled.session.outcome();
@@ -693,6 +696,19 @@ fn open_summary(pooled: &PooledSession, info: &CheckoutInfo) -> RunSummary {
 }
 
 fn outcome_summary(outcome: &SessionOutcome, cache: Option<CacheDelta>) -> RunSummary {
+    // The sweep block is reported only when the pass actually amortized
+    // something across cases (the independent path leaves every counter
+    // at zero), so single-case clients never see it.
+    let (prefix, memo) = (outcome.stats.prefix, outcome.stats.memo);
+    let sweep = (prefix.nodes > 0 || memo.leaf_check_hits > 0 || memo.leaf_storage_hits > 0)
+        .then_some(SweepEffort {
+            prefix_nodes: prefix.nodes as u64,
+            prefix_evaluations: prefix.evaluations,
+            leaf_check_evals: memo.leaf_check_evals,
+            leaf_check_hits: memo.leaf_check_hits,
+            leaf_storage_evals: memo.leaf_storage_evals,
+            leaf_storage_hits: memo.leaf_storage_hits,
+        });
     RunSummary {
         clean: outcome.report.is_clean(),
         violations: outcome.report.total_violations() as u64,
@@ -703,6 +719,7 @@ fn outcome_summary(outcome: &SessionOutcome, cache: Option<CacheDelta>) -> RunSu
         evaluations: outcome.stats.evaluations,
         wall_ns: outcome.stats.wall.as_nanos() as u64,
         cache,
+        sweep,
     }
 }
 

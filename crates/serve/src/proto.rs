@@ -806,6 +806,50 @@ pub struct RunSummary {
     /// concurrency — other clients' traffic on the same design lands in
     /// whichever request observes it). `None` when caching is disabled.
     pub cache: Option<CacheDelta>,
+    /// Sweep-amortization effort: shared-prefix settles and per-leaf
+    /// checker/storage memoization. `None` when the pass ran no
+    /// verification (a pooled reuse) or scheduled its cases
+    /// independently. Additive protocol-v1 extension.
+    pub sweep: Option<SweepEffort>,
+}
+
+/// Sweep-amortization counters over one request: how much of the
+/// per-case fixed cost the case-tree scheduler shared or inherited
+/// instead of recomputing. Mirrors the engine's `PrefixStats` +
+/// `MemoStats` so clients can compute the same hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepEffort {
+    /// Internal prefix nodes the scheduler settled (each shared by ≥ 2
+    /// cases).
+    pub prefix_nodes: u64,
+    /// Primitive evaluations spent settling those shared prefixes.
+    pub prefix_evaluations: u64,
+    /// Checker units leaves actually re-evaluated.
+    pub leaf_check_evals: u64,
+    /// Checker units leaves inherited from their prefix node's cached
+    /// pass.
+    pub leaf_check_hits: u64,
+    /// Signals leaves actually re-measured for storage accounting.
+    pub leaf_storage_evals: u64,
+    /// Signals whose storage accounting leaves inherited.
+    pub leaf_storage_hits: u64,
+}
+
+impl SweepEffort {
+    /// Fraction of per-leaf checker work served from the parent's cached
+    /// pass, in `[0, 1]` (`0.0` when no leaf checker work ran).
+    #[must_use]
+    pub fn leaf_hit_rate(&self) -> f64 {
+        let total = self.leaf_check_evals + self.leaf_check_hits;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.leaf_check_hits as f64 / total as f64
+            }
+        }
+    }
 }
 
 /// Evaluation-cache counter movement over one request.
@@ -840,6 +884,25 @@ impl RunSummary {
                     ])
                 }),
             ),
+            (
+                "sweep".into(),
+                self.sweep.map_or(Json::Null, |s| {
+                    Json::Obj(vec![
+                        ("prefix_nodes".into(), Json::from(s.prefix_nodes)),
+                        (
+                            "prefix_evaluations".into(),
+                            Json::from(s.prefix_evaluations),
+                        ),
+                        ("leaf_check_evals".into(), Json::from(s.leaf_check_evals)),
+                        ("leaf_check_hits".into(), Json::from(s.leaf_check_hits)),
+                        (
+                            "leaf_storage_evals".into(),
+                            Json::from(s.leaf_storage_evals),
+                        ),
+                        ("leaf_storage_hits".into(), Json::from(s.leaf_storage_hits)),
+                    ])
+                }),
+            ),
         ])
     }
 
@@ -856,8 +919,35 @@ impl RunSummary {
                 "evaluations",
                 "wall_ns",
                 "cache",
+                "sweep",
             ],
         )?;
+        // Absent (pre-extension peer) and null both mean "no sweep
+        // amortization to report".
+        let sweep = match f.opt("sweep") {
+            None | Some(Json::Null) => None,
+            Some(sweep) => {
+                let s = Fields::of(
+                    sweep,
+                    &[
+                        "prefix_nodes",
+                        "prefix_evaluations",
+                        "leaf_check_evals",
+                        "leaf_check_hits",
+                        "leaf_storage_evals",
+                        "leaf_storage_hits",
+                    ],
+                )?;
+                Some(SweepEffort {
+                    prefix_nodes: s.req_u64("prefix_nodes")?,
+                    prefix_evaluations: s.req_u64("prefix_evaluations")?,
+                    leaf_check_evals: s.req_u64("leaf_check_evals")?,
+                    leaf_check_hits: s.req_u64("leaf_check_hits")?,
+                    leaf_storage_evals: s.req_u64("leaf_storage_evals")?,
+                    leaf_storage_hits: s.req_u64("leaf_storage_hits")?,
+                })
+            }
+        };
         let cache = match f.req("cache")? {
             Json::Null => None,
             cache => {
@@ -879,6 +969,7 @@ impl RunSummary {
             evaluations: f.req_u64("evaluations")?,
             wall_ns: f.req_u64("wall_ns")?,
             cache,
+            sweep,
         })
     }
 }
@@ -1605,6 +1696,14 @@ mod tests {
                 hits: 10,
                 misses: 2,
                 entries: 12,
+            }),
+            sweep: Some(SweepEffort {
+                prefix_nodes: 7,
+                prefix_evaluations: 91,
+                leaf_check_evals: 30,
+                leaf_check_hits: 270,
+                leaf_storage_evals: 12,
+                leaf_storage_hits: 388,
             }),
         };
         for resp in [

@@ -514,6 +514,65 @@ fn sweep_delta_is_byte_identical_to_the_expanded_case_list() {
     assert_eq!(swept, local, "daemon sweep and in-process cases diverge");
 }
 
+/// The run reply's additive `sweep` effort block must report exactly
+/// the amortization counters the in-process engine produced for the
+/// same sweep: prefix-settle effort from `PrefixStats` and per-leaf
+/// checker/storage memoization from `MemoStats`, so wire clients can
+/// observe the hit rate without access to `RunOutcome`.
+#[test]
+fn run_reply_sweep_block_matches_the_in_process_outcome() {
+    use scald_incr::{Delta, DesignInput, Session};
+    use scald_serve::SweepSpec;
+
+    let (path, daemon) = start_daemon(ServeOptions {
+        socket: Some(socket_path("sweepfx")),
+        ..ServeOptions::default()
+    });
+    let src = small_design(0x5EFF);
+    let mut ctls: Vec<&str> = src
+        .match_indices("'CTL ")
+        .filter_map(|(i, _)| src[i + 1..].split(" .").next())
+        .collect();
+    ctls.sort();
+    ctls.dedup();
+    assert!(ctls.len() >= 3, "design must have control signals to sweep");
+    let spec = SweepSpec::Exhaustive(ctls.iter().take(3).map(|s| (*s).to_owned()).collect());
+
+    let mut client = Client::connect_unix(&path).expect("connects");
+    let (s, _, _) = opened(client.open_source(&src, "sweepfx").expect("opens"));
+    let wire = match client.run_sweep(&s, spec.clone()).expect("runs") {
+        Response::Ran { summary, .. } => summary
+            .sweep
+            .expect("an 8-case exhaustive sweep shares prefixes, so the block is present"),
+        other => panic!("expected a ran response, got {other:?}"),
+    };
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.join().expect("daemon drains");
+
+    // Same design, same sweep, run in-process: the wire block must be
+    // a verbatim copy of the outcome's counters.
+    let mut session = Session::open(DesignInput::source(&src), "sweepfx").expect("opens");
+    let outcome = session
+        .apply(Delta::Cases(spec.to_case_set().into_cases()))
+        .expect("applies");
+    assert_eq!(wire.prefix_nodes, outcome.stats.prefix.nodes as u64);
+    assert_eq!(wire.prefix_evaluations, outcome.stats.prefix.evaluations);
+    assert_eq!(wire.leaf_check_evals, outcome.stats.memo.leaf_check_evals);
+    assert_eq!(wire.leaf_check_hits, outcome.stats.memo.leaf_check_hits);
+    assert_eq!(
+        wire.leaf_storage_evals,
+        outcome.stats.memo.leaf_storage_evals
+    );
+    assert_eq!(wire.leaf_storage_hits, outcome.stats.memo.leaf_storage_hits);
+    assert!(
+        wire.leaf_check_hits > wire.leaf_check_evals,
+        "most per-leaf checker work should be inherited, got {} hits / {} evals",
+        wire.leaf_check_hits,
+        wire.leaf_check_evals
+    );
+}
+
 /// A short untrusted frame must not be able to make the shared daemon
 /// materialize an astronomically large case list: a product of three
 /// individually-legal 20-signal exhaustive axes (2^60 cases) dies at

@@ -144,6 +144,38 @@ pub enum TraceEvent<'a> {
         /// Primitive evaluations within the node's settle.
         evaluations: u64,
     },
+    /// A case-tree node finished settling and the scheduler released its
+    /// dependent children (child nodes and leaf cases) to the worker
+    /// pool. Under dependency-aware scheduling, release order — and
+    /// therefore the arrival order of this event — depends on which
+    /// worker finishes which node first, like the interleaving of
+    /// per-case events; the *content* per node is deterministic.
+    SubtreeReleased {
+        /// 0-based node index in the run's case tree.
+        node: u32,
+        /// Work units (child nodes plus leaves) released.
+        children: usize,
+    },
+    /// Per-case checker/storage memoization counters, emitted just
+    /// before [`CaseEnd`](Self::CaseEnd): how much of the per-leaf fixed
+    /// cost (checker units, storage measurements) the case evaluated
+    /// versus inherited from its prefix node's cached pass. On the
+    /// independent path every unit is evaluated and the hit counters are
+    /// zero. Deterministic per case — the counters depend on the case
+    /// set and the netlist, never on worker count.
+    LeafChecks {
+        /// Case index (0-based input order).
+        case: u32,
+        /// Checker units (checker prims, hazard pairs, assertions)
+        /// evaluated for this case.
+        check_evals: u64,
+        /// Checker units inherited clean-and-empty from the prefix.
+        check_hits: u64,
+        /// Signals measured for the case's storage accounting.
+        storage_evals: u64,
+        /// Signals whose storage measurement was inherited.
+        storage_hits: u64,
+    },
     /// The run finished (all cases merged).
     RunEnd {
         /// Wall-clock nanoseconds for the whole run.
@@ -192,6 +224,8 @@ impl TraceEvent<'_> {
             TraceEvent::CaseStart { .. } => "case_start",
             TraceEvent::CaseEnd { .. } => "case_end",
             TraceEvent::PrefixSettled { .. } => "prefix_settled",
+            TraceEvent::SubtreeReleased { .. } => "subtree_released",
+            TraceEvent::LeafChecks { .. } => "leaf_checks",
             TraceEvent::RunEnd { .. } => "run_end",
             TraceEvent::WarmStart { .. } => "warm_start",
             TraceEvent::CacheStats { .. } => "cache_stats",
@@ -281,6 +315,23 @@ impl TraceEvent<'_> {
                 obj.push(("cases".into(), Json::from(cases as u64)));
                 obj.push(("events".into(), Json::from(events)));
                 obj.push(("evaluations".into(), Json::from(evaluations)));
+            }
+            TraceEvent::SubtreeReleased { node, children } => {
+                obj.push(("node".into(), Json::from(u64::from(node))));
+                obj.push(("children".into(), Json::from(children as u64)));
+            }
+            TraceEvent::LeafChecks {
+                case,
+                check_evals,
+                check_hits,
+                storage_evals,
+                storage_hits,
+            } => {
+                obj.push(("case".into(), Json::from(u64::from(case))));
+                obj.push(("check_evals".into(), Json::from(check_evals)));
+                obj.push(("check_hits".into(), Json::from(check_hits)));
+                obj.push(("storage_evals".into(), Json::from(storage_evals)));
+                obj.push(("storage_hits".into(), Json::from(storage_hits)));
             }
             TraceEvent::RunEnd {
                 wall_nanos,

@@ -37,6 +37,12 @@ struct CounterInner {
     max_wave: usize,
     cases: Vec<CaseSummary>,
     run_wall_nanos: u64,
+    leaf_check_evals: u64,
+    leaf_check_hits: u64,
+    leaf_storage_evals: u64,
+    leaf_storage_hits: u64,
+    subtree_releases: u64,
+    released_units: u64,
 }
 
 /// Aggregating sink: per-primitive evaluation counts, per-signal settle
@@ -73,6 +79,20 @@ pub struct CounterSnapshot {
     pub cases: Vec<CaseSummary>,
     /// Whole-run wall-clock nanoseconds (0 until `RunEnd` arrives).
     pub run_wall_nanos: u64,
+    /// Checker units evaluated at leaf cases (`leaf_checks` events).
+    pub leaf_check_evals: u64,
+    /// Checker units leaf cases inherited from their prefix node's
+    /// cached pass — the memoization rate is `hits / (hits + evals)`.
+    pub leaf_check_hits: u64,
+    /// Signals measured for per-case storage accounting.
+    pub leaf_storage_evals: u64,
+    /// Per-case storage measurements inherited from the prefix.
+    pub leaf_storage_hits: u64,
+    /// Subtree releases performed by the dependency-aware scheduler
+    /// (one per settled case-tree node).
+    pub subtree_releases: u64,
+    /// Work units (child nodes + leaves) those releases made runnable.
+    pub released_units: u64,
 }
 
 impl CounterSink {
@@ -105,6 +125,12 @@ impl CounterSink {
             max_wave: inner.max_wave,
             cases: inner.cases.clone(),
             run_wall_nanos: inner.run_wall_nanos,
+            leaf_check_evals: inner.leaf_check_evals,
+            leaf_check_hits: inner.leaf_check_hits,
+            leaf_storage_evals: inner.leaf_storage_evals,
+            leaf_storage_hits: inner.leaf_storage_hits,
+            subtree_releases: inner.subtree_releases,
+            released_units: inner.released_units,
         }
     }
 }
@@ -187,6 +213,22 @@ impl TraceSink for CounterSink {
             }
             TraceEvent::RunEnd { wall_nanos, .. } => {
                 inner.run_wall_nanos = wall_nanos;
+            }
+            TraceEvent::LeafChecks {
+                check_evals,
+                check_hits,
+                storage_evals,
+                storage_hits,
+                ..
+            } => {
+                inner.leaf_check_evals += check_evals;
+                inner.leaf_check_hits += check_hits;
+                inner.leaf_storage_evals += storage_evals;
+                inner.leaf_storage_hits += storage_hits;
+            }
+            TraceEvent::SubtreeReleased { children, .. } => {
+                inner.subtree_releases += 1;
+                inner.released_units += children as u64;
             }
             TraceEvent::RunStart { .. }
             | TraceEvent::PrefixSettled { .. }

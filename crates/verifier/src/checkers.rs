@@ -3,9 +3,9 @@
 //! stable assertion on a generated signal.
 
 use scald_logic::Value;
-use scald_netlist::{Netlist, PrimId, PrimKind, SignalId};
+use scald_netlist::{Netlist, PrimId, PrimKind, Primitive, Signal, SignalId};
 use scald_wave::{edge_windows, pulses, DelayCorner, Edge, EdgeWindow, Span, Time, Waveform};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 use crate::eval::{pin_wave, pin_wave_pulse_view};
 use crate::report::{Provenance, ProvenanceHop, Violation, ViolationKind};
@@ -352,248 +352,418 @@ pub(crate) fn slack_report<S: StateView + ?Sized>(
     out
 }
 
+/// The empty-verdict summary of one checker pass: which units (checker
+/// primitives, hazard-flagged gates, asserted signals) fired at least one
+/// violation. Everything *not* listed here produced an empty verdict, and
+/// an empty verdict depends only on the unit's direct input states — so a
+/// child state whose inputs to that unit are unchanged can inherit the
+/// emptiness without re-running the check (§2.7 incremental case
+/// analysis, applied to the checker pass).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CheckCache {
+    /// Checker primitives (`SetupHold`/`SetupRiseHoldFall`/`MinPulseWidth`)
+    /// that reported at least one violation.
+    pub violating_prims: BTreeSet<PrimId>,
+    /// `(gate, asserted input index)` hazard units that reported.
+    pub violating_hazards: BTreeSet<(PrimId, usize)>,
+    /// Asserted generated signals whose assertion check reported.
+    pub violating_asserts: BTreeSet<SignalId>,
+}
+
+/// Parent context for a memoized checker pass.
+pub(crate) struct CheckMemo<'a> {
+    /// The parent state's empty-verdict summary.
+    pub cache: &'a CheckCache,
+    /// The parent state's hazard set — a hazard unit may only be
+    /// inherited if the parent actually checked it.
+    pub hazards: &'a BTreeSet<(PrimId, usize)>,
+    /// Signal indices whose state differs from the parent (effective
+    /// view). A unit touching none of these has the same inputs as the
+    /// parent's pass.
+    pub dirty: &'a HashSet<usize>,
+}
+
+/// Outcome of one (possibly memoized) checker pass.
+pub(crate) struct CheckPass {
+    pub violations: Vec<Violation>,
+    pub cache: CheckCache,
+    /// Units actually evaluated against `states`.
+    pub evaluated: u64,
+    /// Units inherited as clean-and-empty from the parent.
+    pub inherited: u64,
+}
+
+/// True if every direct input signal of `prim` is outside `dirty`.
+fn inputs_clean(prim: &Primitive, dirty: &HashSet<usize>) -> bool {
+    prim.input_signals().all(|s| !dirty.contains(&s.index()))
+}
+
+/// Runs one checker primitive (the three `PrimKind` checker variants)
+/// against `states`, appending any violations. Reads only the prim's
+/// direct input states — except through `attach_provenance`, which walks
+/// the fan-in cone but only when a violation actually fired.
+fn check_checker_prim<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+    prim: &Primitive,
+    corner: DelayCorner,
+    out: &mut Vec<Violation>,
+) {
+    let period = netlist.config().timing.period;
+    match prim.kind {
+        PrimKind::SetupHold { setup, hold } => {
+            let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
+            let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
+            let in_name = &netlist.signal(prim.inputs[0].signal).name;
+            let ck_name = &netlist.signal(prim.inputs[1].signal).name;
+            let len_before = out.len();
+            if !check_clock_defined(&prim.name, ck_name, &clock, out) {
+                attach_provenance(
+                    netlist,
+                    states,
+                    prim.inputs[1].signal,
+                    &mut out[len_before..],
+                );
+                return;
+            }
+            let edges = edge_windows(&clock, Edge::Rising);
+            check_setup_hold_edges(
+                &prim.name, setup, hold, &input, in_name, &clock, ck_name, &edges, out,
+            );
+            attach_provenance(
+                netlist,
+                states,
+                prim.inputs[0].signal,
+                &mut out[len_before..],
+            );
+        }
+        PrimKind::SetupRiseHoldFall { setup, hold } => {
+            let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
+            let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
+            let in_name = netlist.signal(prim.inputs[0].signal).name.clone();
+            let ck_name = netlist.signal(prim.inputs[1].signal).name.clone();
+            let len_before = out.len();
+            if !check_clock_defined(&prim.name, &ck_name, &clock, out) {
+                attach_provenance(
+                    netlist,
+                    states,
+                    prim.inputs[1].signal,
+                    &mut out[len_before..],
+                );
+                return;
+            }
+            let observed = vec![
+                observed_line("CK INPUT  ", &ck_name, &clock),
+                observed_line("DATA INPUT", &in_name, &input),
+            ];
+            for (r, f) in clock_pulses(&clock) {
+                let constraint = format!("SETUP (RISE) = {setup}, HOLD (FALL) = {hold}");
+                // Stability over the definitely-high interior of the
+                // pulse (rise window end to fall window start); the
+                // edge windows themselves are covered by the set-up
+                // and hold checks, so each cause reports once.
+                let interior = (f.span.start() - r.span.end(period)).rem_period(period);
+                let high = Span::new(r.span.end(period), interior, period);
+                if interior > Time::ZERO
+                    && !high.is_full(period)
+                    && !input.quiescent_throughout(high)
+                {
+                    out.push(Violation {
+                        kind: ViolationKind::StableWhileTrue,
+                        source: prim.name.clone(),
+                        constraint: constraint.clone(),
+                        missed_by: None,
+                        at: Some(high),
+                        observed: observed.clone(),
+                        provenance: None,
+                    });
+                }
+                if setup > Time::ZERO {
+                    let avail = quiescent_before(&input, r.span.start());
+                    if avail < setup {
+                        out.push(Violation {
+                            kind: ViolationKind::Setup,
+                            source: prim.name.clone(),
+                            constraint: constraint.clone(),
+                            missed_by: Some(setup - avail),
+                            at: Some(r.span),
+                            observed: observed.clone(),
+                            provenance: None,
+                        });
+                    }
+                }
+                if hold > Time::ZERO {
+                    let avail = quiescent_after(&input, f.span.end(period));
+                    if avail < hold {
+                        out.push(Violation {
+                            kind: ViolationKind::Hold,
+                            source: prim.name.clone(),
+                            constraint,
+                            missed_by: Some(hold - avail),
+                            at: Some(f.span),
+                            observed: observed.clone(),
+                            provenance: None,
+                        });
+                    }
+                }
+            }
+            attach_provenance(
+                netlist,
+                states,
+                prim.inputs[0].signal,
+                &mut out[len_before..],
+            );
+        }
+        PrimKind::MinPulseWidth { high, low } => {
+            // Pulse widths are measured with skew kept separate: skew
+            // shifts both edges of a pulse together (§2.8).
+            let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states, corner);
+            let name = &netlist.signal(prim.inputs[0].signal).name;
+            let len_before = out.len();
+            let observed = vec![observed_line("INPUT     ", name, &input)];
+            if high > Time::ZERO {
+                for p in pulses(&input, true) {
+                    if p.min_possible_width < high {
+                        let glitch = if p.certain {
+                            ""
+                        } else {
+                            " (POTENTIAL SPURIOUS PULSE)"
+                        };
+                        out.push(Violation {
+                            kind: ViolationKind::MinPulseHigh,
+                            source: prim.name.clone(),
+                            constraint: format!(
+                                "MIN HIGH WIDTH = {high}, POSSIBLE WIDTH = {}{glitch}",
+                                p.min_possible_width
+                            ),
+                            missed_by: Some(high - p.min_possible_width),
+                            at: Some(p.possible),
+                            observed: observed.clone(),
+                            provenance: None,
+                        });
+                    }
+                }
+            }
+            if low > Time::ZERO {
+                for p in pulses(&input, false) {
+                    if p.min_possible_width < low {
+                        let glitch = if p.certain {
+                            ""
+                        } else {
+                            " (POTENTIAL SPURIOUS PULSE)"
+                        };
+                        out.push(Violation {
+                            kind: ViolationKind::MinPulseLow,
+                            source: prim.name.clone(),
+                            constraint: format!(
+                                "MIN LOW WIDTH = {low}, POSSIBLE WIDTH = {}{glitch}",
+                                p.min_possible_width
+                            ),
+                            missed_by: Some(low - p.min_possible_width),
+                            at: Some(p.possible),
+                            observed: observed.clone(),
+                            provenance: None,
+                        });
+                    }
+                }
+            }
+            attach_provenance(
+                netlist,
+                states,
+                prim.inputs[0].signal,
+                &mut out[len_before..],
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Runs one `&A`/`&H` directive check (§2.6) for `(pid, clock_idx)`: the
+/// other inputs of the gate must be quiescent whenever the asserted
+/// (clock) input could be true.
+fn check_hazard_gate<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+    pid: PrimId,
+    clock_idx: usize,
+    corner: DelayCorner,
+    out: &mut Vec<Violation>,
+) {
+    let prim = netlist.prim(pid);
+    let clock = pin_wave(netlist, prim, &prim.inputs[clock_idx], states, corner);
+    let asserted = clock.spans_where(Value::could_be_high);
+    let ck_name = netlist.signal(prim.inputs[clock_idx].signal).name.clone();
+    for (i, conn) in prim.inputs.iter().enumerate() {
+        if i == clock_idx {
+            continue;
+        }
+        let other = pin_wave(netlist, prim, conn, states, corner);
+        let name = &netlist.signal(conn.signal).name;
+        for span in &asserted {
+            if !other.quiescent_throughout(*span) {
+                out.push(Violation {
+                    kind: ViolationKind::Hazard,
+                    source: prim.name.clone(),
+                    constraint: format!("CONTROL MUST BE STABLE WHILE {ck_name} ASSERTED"),
+                    missed_by: None,
+                    at: Some(*span),
+                    observed: vec![
+                        observed_line("CLOCK     ", &ck_name, &clock),
+                        observed_line("CONTROL   ", name, &other),
+                    ],
+                    provenance: Some(provenance_for(netlist, states, conn.signal)),
+                });
+                break; // one report per (gate, control input)
+            }
+        }
+    }
+}
+
+/// True if `sig` carries the §2.5.2 assertion-check unit: a non-clock
+/// assertion on a generated (driven) signal.
+fn has_assertion_unit(netlist: &Netlist, sid: SignalId, sig: &Signal) -> bool {
+    sig.assertion
+        .as_ref()
+        .is_some_and(|a| !a.kind.is_clock() && netlist.driver(sid).is_some())
+}
+
+/// Checks one stable assertion on a generated signal (§2.5.2): the
+/// designer's assertion against the actual settled timing. Reads only
+/// `sid`'s own state (plus provenance, computed only on failure).
+fn check_signal_assertion<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+    sid: SignalId,
+    sig: &Signal,
+    out: &mut Vec<Violation>,
+) {
+    let timing = netlist.config().timing;
+    let assertion = sig.assertion.as_ref().expect("assertion unit");
+    let (asserted_wave, _) = assertion.to_state(&timing);
+    let actual = states.state_at(sid.index()).resolved();
+    for span in asserted_wave.spans_where(|v| v == Value::Stable) {
+        if !actual.quiescent_throughout(span) {
+            out.push(Violation {
+                kind: ViolationKind::AssertionViolated,
+                source: sig.full_name(),
+                constraint: format!("ASSERTED STABLE {span}"),
+                missed_by: None,
+                at: Some(span),
+                observed: vec![observed_line("ACTUAL    ", &sig.name, &actual)],
+                provenance: Some(provenance_for(netlist, states, sid)),
+            });
+        }
+    }
+}
+
 /// Verifies all checker primitives, `&A`/`&H` gate directives and stable
-/// assertions against the settled signal states. `hazards` lists
-/// `(gate, asserted input index)` pairs collected during evaluation.
+/// assertions against the settled signal states, optionally inheriting
+/// empty verdicts from a parent pass. `hazards` lists `(gate, asserted
+/// input index)` pairs collected during evaluation.
+///
+/// With `parent: Some(memo)`, a unit is *skipped* — its (empty) verdict
+/// inherited — exactly when the parent evaluated the same unit, found
+/// nothing, and none of the unit's direct input signals are dirty. Units
+/// that fired at the parent are always re-evaluated so the violations
+/// (and their cone-walking provenance) come out byte-identical to a full
+/// pass; units with a dirty input are re-evaluated because their verdict
+/// may have changed. Violations are appended in netlist order, the same
+/// order as a full pass, so the memoized result *is* the full result.
+pub(crate) fn run_checks_cached<S: StateView + ?Sized>(
+    netlist: &Netlist,
+    states: &S,
+    hazards: &[(PrimId, usize)],
+    corner: DelayCorner,
+    parent: Option<&CheckMemo<'_>>,
+) -> CheckPass {
+    let mut out = Vec::new();
+    let mut cache = CheckCache::default();
+    let mut evaluated = 0u64;
+    let mut inherited = 0u64;
+
+    for (pid, prim) in netlist.iter_prims() {
+        if !matches!(
+            prim.kind,
+            PrimKind::SetupHold { .. }
+                | PrimKind::SetupRiseHoldFall { .. }
+                | PrimKind::MinPulseWidth { .. }
+        ) {
+            continue;
+        }
+        let clean = parent.is_some_and(|m| {
+            !m.cache.violating_prims.contains(&pid) && inputs_clean(prim, m.dirty)
+        });
+        if clean {
+            inherited += 1;
+            continue;
+        }
+        evaluated += 1;
+        let before = out.len();
+        check_checker_prim(netlist, states, prim, corner, &mut out);
+        if out.len() > before {
+            cache.violating_prims.insert(pid);
+        }
+    }
+
+    for &(pid, clock_idx) in hazards {
+        // A hazard unit may only be inherited if the parent's hazard set
+        // contained the same (gate, input) pair — a unit new to this
+        // state was never checked before.
+        let clean = parent.is_some_and(|m| {
+            m.hazards.contains(&(pid, clock_idx))
+                && !m.cache.violating_hazards.contains(&(pid, clock_idx))
+                && inputs_clean(netlist.prim(pid), m.dirty)
+        });
+        if clean {
+            inherited += 1;
+            continue;
+        }
+        evaluated += 1;
+        let before = out.len();
+        check_hazard_gate(netlist, states, pid, clock_idx, corner, &mut out);
+        if out.len() > before {
+            cache.violating_hazards.insert((pid, clock_idx));
+        }
+    }
+
+    for (sid, sig) in netlist.iter_signals() {
+        if !has_assertion_unit(netlist, sid, sig) {
+            continue;
+        }
+        let clean = parent.is_some_and(|m| {
+            !m.cache.violating_asserts.contains(&sid) && !m.dirty.contains(&sid.index())
+        });
+        if clean {
+            inherited += 1;
+            continue;
+        }
+        evaluated += 1;
+        let before = out.len();
+        check_signal_assertion(netlist, states, sid, sig, &mut out);
+        if out.len() > before {
+            cache.violating_asserts.insert(sid);
+        }
+    }
+
+    CheckPass {
+        violations: out,
+        cache,
+        evaluated,
+        inherited,
+    }
+}
+
+/// Verifies all checker primitives, `&A`/`&H` gate directives and stable
+/// assertions against the settled signal states — the full, unmemoized
+/// checker pass. `hazards` lists `(gate, asserted input index)` pairs
+/// collected during evaluation.
 pub(crate) fn run_all_checks<S: StateView + ?Sized>(
     netlist: &Netlist,
     states: &S,
     hazards: &[(PrimId, usize)],
     corner: DelayCorner,
 ) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let period = netlist.config().timing.period;
-
-    for (_, prim) in netlist.iter_prims() {
-        match prim.kind {
-            PrimKind::SetupHold { setup, hold } => {
-                let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
-                let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
-                let in_name = &netlist.signal(prim.inputs[0].signal).name;
-                let ck_name = &netlist.signal(prim.inputs[1].signal).name;
-                let len_before = out.len();
-                if !check_clock_defined(&prim.name, ck_name, &clock, &mut out) {
-                    attach_provenance(
-                        netlist,
-                        states,
-                        prim.inputs[1].signal,
-                        &mut out[len_before..],
-                    );
-                    continue;
-                }
-                let edges = edge_windows(&clock, Edge::Rising);
-                check_setup_hold_edges(
-                    &prim.name, setup, hold, &input, in_name, &clock, ck_name, &edges, &mut out,
-                );
-                attach_provenance(
-                    netlist,
-                    states,
-                    prim.inputs[0].signal,
-                    &mut out[len_before..],
-                );
-            }
-            PrimKind::SetupRiseHoldFall { setup, hold } => {
-                let input = pin_wave(netlist, prim, &prim.inputs[0], states, corner);
-                let clock = pin_wave(netlist, prim, &prim.inputs[1], states, corner);
-                let in_name = netlist.signal(prim.inputs[0].signal).name.clone();
-                let ck_name = netlist.signal(prim.inputs[1].signal).name.clone();
-                let len_before = out.len();
-                if !check_clock_defined(&prim.name, &ck_name, &clock, &mut out) {
-                    attach_provenance(
-                        netlist,
-                        states,
-                        prim.inputs[1].signal,
-                        &mut out[len_before..],
-                    );
-                    continue;
-                }
-                let observed = vec![
-                    observed_line("CK INPUT  ", &ck_name, &clock),
-                    observed_line("DATA INPUT", &in_name, &input),
-                ];
-                for (r, f) in clock_pulses(&clock) {
-                    let constraint = format!("SETUP (RISE) = {setup}, HOLD (FALL) = {hold}");
-                    // Stability over the definitely-high interior of the
-                    // pulse (rise window end to fall window start); the
-                    // edge windows themselves are covered by the set-up
-                    // and hold checks, so each cause reports once.
-                    let interior = (f.span.start() - r.span.end(period)).rem_period(period);
-                    let high = Span::new(r.span.end(period), interior, period);
-                    if interior > Time::ZERO
-                        && !high.is_full(period)
-                        && !input.quiescent_throughout(high)
-                    {
-                        out.push(Violation {
-                            kind: ViolationKind::StableWhileTrue,
-                            source: prim.name.clone(),
-                            constraint: constraint.clone(),
-                            missed_by: None,
-                            at: Some(high),
-                            observed: observed.clone(),
-                            provenance: None,
-                        });
-                    }
-                    if setup > Time::ZERO {
-                        let avail = quiescent_before(&input, r.span.start());
-                        if avail < setup {
-                            out.push(Violation {
-                                kind: ViolationKind::Setup,
-                                source: prim.name.clone(),
-                                constraint: constraint.clone(),
-                                missed_by: Some(setup - avail),
-                                at: Some(r.span),
-                                observed: observed.clone(),
-                                provenance: None,
-                            });
-                        }
-                    }
-                    if hold > Time::ZERO {
-                        let avail = quiescent_after(&input, f.span.end(period));
-                        if avail < hold {
-                            out.push(Violation {
-                                kind: ViolationKind::Hold,
-                                source: prim.name.clone(),
-                                constraint,
-                                missed_by: Some(hold - avail),
-                                at: Some(f.span),
-                                observed: observed.clone(),
-                                provenance: None,
-                            });
-                        }
-                    }
-                }
-                attach_provenance(
-                    netlist,
-                    states,
-                    prim.inputs[0].signal,
-                    &mut out[len_before..],
-                );
-            }
-            PrimKind::MinPulseWidth { high, low } => {
-                // Pulse widths are measured with skew kept separate: skew
-                // shifts both edges of a pulse together (§2.8).
-                let input = pin_wave_pulse_view(netlist, prim, &prim.inputs[0], states, corner);
-                let name = &netlist.signal(prim.inputs[0].signal).name;
-                let len_before = out.len();
-                let observed = vec![observed_line("INPUT     ", name, &input)];
-                if high > Time::ZERO {
-                    for p in pulses(&input, true) {
-                        if p.min_possible_width < high {
-                            let glitch = if p.certain {
-                                ""
-                            } else {
-                                " (POTENTIAL SPURIOUS PULSE)"
-                            };
-                            out.push(Violation {
-                                kind: ViolationKind::MinPulseHigh,
-                                source: prim.name.clone(),
-                                constraint: format!(
-                                    "MIN HIGH WIDTH = {high}, POSSIBLE WIDTH = {}{glitch}",
-                                    p.min_possible_width
-                                ),
-                                missed_by: Some(high - p.min_possible_width),
-                                at: Some(p.possible),
-                                observed: observed.clone(),
-                                provenance: None,
-                            });
-                        }
-                    }
-                }
-                if low > Time::ZERO {
-                    for p in pulses(&input, false) {
-                        if p.min_possible_width < low {
-                            let glitch = if p.certain {
-                                ""
-                            } else {
-                                " (POTENTIAL SPURIOUS PULSE)"
-                            };
-                            out.push(Violation {
-                                kind: ViolationKind::MinPulseLow,
-                                source: prim.name.clone(),
-                                constraint: format!(
-                                    "MIN LOW WIDTH = {low}, POSSIBLE WIDTH = {}{glitch}",
-                                    p.min_possible_width
-                                ),
-                                missed_by: Some(low - p.min_possible_width),
-                                at: Some(p.possible),
-                                observed: observed.clone(),
-                                provenance: None,
-                            });
-                        }
-                    }
-                }
-                attach_provenance(
-                    netlist,
-                    states,
-                    prim.inputs[0].signal,
-                    &mut out[len_before..],
-                );
-            }
-            _ => {}
-        }
-    }
-
-    // &A / &H directive checks (§2.6): the other inputs of the gate must
-    // be quiescent whenever the asserted (clock) input could be true.
-    for &(pid, clock_idx) in hazards {
-        let prim = netlist.prim(pid);
-        let clock = pin_wave(netlist, prim, &prim.inputs[clock_idx], states, corner);
-        let asserted = clock.spans_where(Value::could_be_high);
-        let ck_name = netlist.signal(prim.inputs[clock_idx].signal).name.clone();
-        for (i, conn) in prim.inputs.iter().enumerate() {
-            if i == clock_idx {
-                continue;
-            }
-            let other = pin_wave(netlist, prim, conn, states, corner);
-            let name = &netlist.signal(conn.signal).name;
-            for span in &asserted {
-                if !other.quiescent_throughout(*span) {
-                    out.push(Violation {
-                        kind: ViolationKind::Hazard,
-                        source: prim.name.clone(),
-                        constraint: format!("CONTROL MUST BE STABLE WHILE {ck_name} ASSERTED"),
-                        missed_by: None,
-                        at: Some(*span),
-                        observed: vec![
-                            observed_line("CLOCK     ", &ck_name, &clock),
-                            observed_line("CONTROL   ", name, &other),
-                        ],
-                        provenance: Some(provenance_for(netlist, states, conn.signal)),
-                    });
-                    break; // one report per (gate, control input)
-                }
-            }
-        }
-    }
-
-    // Stable assertions on generated signals (§2.5.2): the designer's
-    // assertion is checked against the actual timing.
-    let timing = netlist.config().timing;
-    for (sid, sig) in netlist.iter_signals() {
-        let Some(assertion) = &sig.assertion else {
-            continue;
-        };
-        if assertion.kind.is_clock() || netlist.driver(sid).is_none() {
-            continue;
-        }
-        let (asserted_wave, _) = assertion.to_state(&timing);
-        let actual = states.state_at(sid.index()).resolved();
-        for span in asserted_wave.spans_where(|v| v == Value::Stable) {
-            if !actual.quiescent_throughout(span) {
-                out.push(Violation {
-                    kind: ViolationKind::AssertionViolated,
-                    source: sig.full_name(),
-                    constraint: format!("ASSERTED STABLE {span}"),
-                    missed_by: None,
-                    at: Some(span),
-                    observed: vec![observed_line("ACTUAL    ", &sig.name, &actual)],
-                    provenance: Some(provenance_for(netlist, states, sid)),
-                });
-            }
-        }
-    }
-
-    out
+    run_checks_cached(netlist, states, hazards, corner, None).violations
 }
 
 #[cfg(test)]

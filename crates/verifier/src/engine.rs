@@ -25,12 +25,14 @@ use scald_wave::{DelayCorner, WaveRef, Waveform};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::cache::EvalCache;
 use crate::caseset::CaseSet;
-use crate::checkers::{run_all_checks, slack_report, CheckMargin};
+use crate::checkers::{
+    run_all_checks, run_checks_cached, slack_report, CheckCache, CheckMargin, CheckMemo,
+};
 use crate::eval::{evaluate, EvalOutcome};
 use crate::report::{CaseResult, EngineStats, Report, Violation};
 use crate::state::SignalState;
@@ -257,6 +259,42 @@ pub enum CaseStrategy {
     Tree,
 }
 
+impl CaseStrategy {
+    /// Stable token for reports and the `--case-strategy` CLI flag:
+    /// `auto`, `naive` (the independent path) or `tree`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CaseStrategy::Auto => "auto",
+            CaseStrategy::Independent => "naive",
+            CaseStrategy::Tree => "tree",
+        }
+    }
+}
+
+impl fmt::Display for CaseStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for CaseStrategy {
+    type Err = String;
+
+    /// Parses a `--case-strategy` value; `independent` is accepted as a
+    /// spelled-out alias of `naive`.
+    fn from_str(s: &str) -> Result<CaseStrategy, String> {
+        match s {
+            "auto" => Ok(CaseStrategy::Auto),
+            "naive" | "independent" => Ok(CaseStrategy::Independent),
+            "tree" => Ok(CaseStrategy::Tree),
+            other => Err(format!(
+                "unknown case strategy '{other}' (expected auto, tree or naive)"
+            )),
+        }
+    }
+}
+
 /// Effort spent settling shared-prefix case-tree nodes in one
 /// [`Verifier::run`] (zero for independent scheduling). Node effort is
 /// paid once per prefix on behalf of all its leaves, so it is *not*
@@ -270,6 +308,56 @@ pub struct PrefixStats {
     pub events: u64,
     /// Primitive evaluations across all node settles.
     pub evaluations: u64,
+}
+
+/// Checker/storage memoization counters of one [`Verifier::run`] — the
+/// per-leaf *fixed* cost the case tree amortizes. Checker units are
+/// checker primitives, `&A`/`&H` hazard pairs and signal assertions;
+/// storage units are per-signal value-record measurements. On the
+/// independent path every leaf evaluates every unit (all evals, zero
+/// hits), so these counters are directly comparable across strategies.
+/// All fields are deterministic: they depend on the case set and the
+/// netlist, never on worker count or timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Checker/storage passes run at tree nodes (shared prefixes,
+    /// corner roots, and the lazily-computed base pass) — paid once per
+    /// prefix on behalf of all its leaves.
+    pub node_passes: u64,
+    /// Checker units evaluated during node passes.
+    pub node_check_evals: u64,
+    /// Checker units node passes inherited from their parent's pass.
+    pub node_check_hits: u64,
+    /// Checker units evaluated at leaves (the per-case dirty cone).
+    pub leaf_check_evals: u64,
+    /// Checker units leaves inherited clean-and-empty from their node.
+    pub leaf_check_hits: u64,
+    /// Signals measured for storage accounting at leaves.
+    pub leaf_storage_evals: u64,
+    /// Signals whose storage measurement was inherited from the node.
+    pub leaf_storage_hits: u64,
+    /// Work units (child nodes and leaves) released by the scheduler
+    /// when their parent node settled.
+    pub releases: u64,
+}
+
+impl MemoStats {
+    /// Fraction of leaf checker units inherited rather than evaluated,
+    /// in `0.0..=1.0`; `0.0` when no leaf checks ran at all.
+    #[must_use]
+    pub fn leaf_hit_rate(&self) -> f64 {
+        let total = self.leaf_check_evals + self.leaf_check_hits;
+        if total == 0 {
+            0.0
+        } else {
+            // Precision loss needs > 2^52 checker units; counters never
+            // get near that.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.leaf_check_hits as f64 / total as f64
+            }
+        }
+    }
 }
 
 /// Whether [`Verifier::run`] snapshots the verifier at the settled base
@@ -314,6 +402,8 @@ pub struct RunOutcome {
     pub cases: Vec<CaseResult>,
     /// Shared-prefix settle effort, when the case tree ran.
     pub prefix: PrefixStats,
+    /// Checker/storage memoization counters (see [`MemoStats`]).
+    pub memo: MemoStats,
     /// The settled-base snapshot, if
     /// [`CheckpointPolicy::SettledBase`] was requested.
     pub checkpoint: Option<Box<Verifier>>,
@@ -592,6 +682,10 @@ pub struct Verifier {
     /// Per-primitive descriptor signature in the cache (`None` for
     /// checkers); indexed by `PrimId::index()`. Empty when uncached.
     prim_sigs: Arc<Vec<Option<u32>>>,
+    /// The [`CaseStrategy`] requested by the last [`run`](Self::run) —
+    /// echoed in [`EngineStats`] so reports record which scheduling
+    /// path produced them.
+    last_strategy: CaseStrategy,
 }
 
 impl fmt::Debug for Verifier {
@@ -694,6 +788,7 @@ impl Verifier {
             trace: None,
             eval_cache: None,
             prim_sigs: Arc::new(Vec::new()),
+            last_strategy: CaseStrategy::default(),
         }
     }
 
@@ -991,6 +1086,7 @@ impl Verifier {
     ) -> Result<RunOutcome, VerifyError> {
         let run_started = Instant::now();
         let effort_before = (self.total_events, self.total_evaluations);
+        self.last_strategy = strategy;
         // Split the worker budget: W case workers each evaluating waves
         // J/W wide never oversubscribe a J-job budget.
         let jobs = jobs.max(1);
@@ -1061,13 +1157,29 @@ impl Verifier {
         let labels: Vec<String> = cases.iter().map(Case::label).collect();
         let events_total = AtomicU64::new(0);
         let evaluations_total = AtomicU64::new(0);
-        let mut prefix = PrefixStats::default();
+        // Node-settle and memoization counters; atomics because under
+        // dependency-aware scheduling nodes settle concurrently. Each
+        // total is deterministic even though accumulation order is not.
+        let prefix_nodes = AtomicUsize::new(0);
+        let prefix_events = AtomicU64::new(0);
+        let prefix_evaluations = AtomicU64::new(0);
+        let memo_node_passes = AtomicU64::new(0);
+        let memo_node_evals = AtomicU64::new(0);
+        let memo_node_hits = AtomicU64::new(0);
+        let memo_releases = AtomicU64::new(0);
         let record_case_end =
             |i: usize, started: Instant, outcome: &Result<CaseOutcome, VerifyError>| {
                 if let Ok(o) = outcome {
                     events_total.fetch_add(o.events, Ordering::Relaxed);
                     evaluations_total.fetch_add(o.evaluations, Ordering::Relaxed);
                     if let Some(t) = trace {
+                        t.record(&TraceEvent::LeafChecks {
+                            case: i as u32,
+                            check_evals: o.check_evals,
+                            check_hits: o.check_hits,
+                            storage_evals: o.storage_evals,
+                            storage_hits: o.storage_hits,
+                        });
                         t.record(&TraceEvent::CaseEnd {
                             case: i as u32,
                             wall_nanos: u64::try_from(started.elapsed().as_nanos())
@@ -1102,6 +1214,7 @@ impl Verifier {
                         wave_jobs,
                         cache,
                         trace.map(|t| (t, i as u32)),
+                        None,
                     );
                     record_case_end(i, case_started, &outcome);
                     outcome
@@ -1131,15 +1244,70 @@ impl Verifier {
                 }
             }
             Some(tree) => {
-                // Phase A: settle every internal node serially, parents
-                // first, each with the whole worker budget (no case
-                // worker runs yet). A node applies only its chunk of new
-                // assignments on top of its parent's forked overlay, so
-                // a prefix shared by N leaves is settled once, not N
-                // times. A node error fails the whole subtree.
-                let mut node_states: Vec<NodeState<'_>> = Vec::with_capacity(tree.nodes.len());
+                // Dependency-aware scheduling: every node and leaf is a
+                // work unit released the moment its parent node settles,
+                // so prefix settles overlap leaf suffixes under one jobs
+                // budget instead of running in a serial phase. Results
+                // are byte-identical for every worker count because each
+                // unit is a pure function of its parent's settled state
+                // (DESIGN.md § "Dependency-release scheduling").
+                let mut node_children: Vec<Vec<Unit>> = vec![Vec::new(); tree.nodes.len()];
+                let mut ready: Vec<Unit> = Vec::new();
                 for (ni, node) in tree.nodes.iter().enumerate() {
-                    let (mut st, parent_error) = match node.parent {
+                    match node.parent {
+                        Some(p) => node_children[p].push(Unit::Node(ni)),
+                        None => ready.push(Unit::Node(ni)),
+                    }
+                }
+                for (li, leaf) in tree.leaves.iter().enumerate() {
+                    match leaf.node {
+                        Some(n) => node_children[n].push(Unit::Leaf(li)),
+                        None => ready.push(Unit::Leaf(li)),
+                    }
+                }
+                // Settled node states, handed from the worker that
+                // settles a node to the workers running its children
+                // (`OnceLock::set`/`get` order the hand-off).
+                let node_states: Vec<OnceLock<NodeState<'_>>> =
+                    (0..tree.nodes.len()).map(|_| OnceLock::new()).collect();
+                // The base checker pass and storage total, computed
+                // lazily by whichever worker first reaches a unit that
+                // roots directly on the settled base.
+                let base_check: OnceLock<CheckCache> = OnceLock::new();
+                let base_records: OnceLock<usize> = OnceLock::new();
+                let base_check_pass = || -> &CheckCache {
+                    base_check.get_or_init(|| {
+                        let hazard_list: Vec<(PrimId, usize)> =
+                            base_hazards.iter().copied().collect();
+                        let pass = run_checks_cached(
+                            netlist,
+                            base_eff,
+                            &hazard_list,
+                            DelayCorner::Worst,
+                            None,
+                        );
+                        memo_node_passes.fetch_add(1, Ordering::Relaxed);
+                        memo_node_evals.fetch_add(pass.evaluated, Ordering::Relaxed);
+                        pass.cache
+                    })
+                };
+                let base_total_records = || -> usize {
+                    *base_records
+                        .get_or_init(|| StorageReport::measure(netlist, base_raw).value_records)
+                };
+                // Settles one internal node on its parent's state, then
+                // runs the node's own checker/storage pass (a delta off
+                // the parent's cached pass) so every descendant inherits
+                // from it. A node error skips the pass and fails the
+                // whole subtree — children still run, propagate the
+                // error to their leaves immediately, and the scheduler
+                // drains without deadlocking.
+                let node_work = |ni: usize| {
+                    let node = &tree.nodes[ni];
+                    let parent = node
+                        .parent
+                        .map(|p| node_states[p].get().expect("parent settled before release"));
+                    let (mut st, parent_error) = match parent {
                         None => (
                             NodeState {
                                 raw: ConeState::new(base_raw),
@@ -1148,23 +1316,24 @@ impl Verifier {
                                 wired: base_wired.clone(),
                                 overrides: BTreeMap::new(),
                                 error: None,
+                                cache: None,
+                                value_records: 0,
                             },
                             None,
                         ),
-                        Some(p) => {
-                            let ps = &node_states[p];
-                            (
-                                NodeState {
-                                    raw: ps.raw.fork(),
-                                    eff: ps.eff.fork(),
-                                    hazards: ps.hazards.clone(),
-                                    wired: ps.wired.clone(),
-                                    overrides: ps.overrides.clone(),
-                                    error: None,
-                                },
-                                ps.error.clone(),
-                            )
-                        }
+                        Some(ps) => (
+                            NodeState {
+                                raw: ps.raw.fork(),
+                                eff: ps.eff.fork(),
+                                hazards: ps.hazards.clone(),
+                                wired: ps.wired.clone(),
+                                overrides: ps.overrides.clone(),
+                                error: None,
+                                cache: None,
+                                value_records: 0,
+                            },
+                            ps.error.clone(),
+                        ),
                     };
                     for &(sid, v) in &node.chunk {
                         st.overrides.insert(sid, v);
@@ -1185,7 +1354,7 @@ impl Verifier {
                             node.corner,
                             node.reseed_all,
                             budget,
-                            jobs,
+                            wave_jobs,
                             cache,
                             trace.map(|t| (t, None)),
                             &mut events,
@@ -1193,9 +1362,58 @@ impl Verifier {
                         )
                         .err(),
                     };
-                    prefix.nodes += 1;
-                    prefix.events += events;
-                    prefix.evaluations += evaluations;
+                    if st.error.is_none() {
+                        // The node's checker pass. Violations are
+                        // discarded (a node is not a case); the
+                        // empty-verdict summary seeds every descendant's
+                        // delta pass. A corner root re-times every wave,
+                        // so nothing from the Worst-corner base pass is
+                        // inheritable there.
+                        let hazard_list: Vec<(PrimId, usize)> =
+                            st.hazards.iter().copied().collect();
+                        let pass = if node.reseed_all {
+                            run_checks_cached(netlist, &st.eff, &hazard_list, node.corner, None)
+                        } else {
+                            let (cache, hazards, eff_parent): (
+                                &CheckCache,
+                                &BTreeSet<(PrimId, usize)>,
+                                &dyn StateView,
+                            ) = match parent {
+                                Some(ps) => (
+                                    ps.cache.as_ref().expect("settled parent has a cache"),
+                                    &ps.hazards,
+                                    &ps.eff,
+                                ),
+                                None => (base_check_pass(), base_hazards, base_eff),
+                            };
+                            let dirty = st.eff.dirty_vs(eff_parent);
+                            run_checks_cached(
+                                netlist,
+                                &st.eff,
+                                &hazard_list,
+                                node.corner,
+                                Some(&CheckMemo {
+                                    cache,
+                                    hazards,
+                                    dirty: &dirty,
+                                }),
+                            )
+                        };
+                        memo_node_passes.fetch_add(1, Ordering::Relaxed);
+                        memo_node_evals.fetch_add(pass.evaluated, Ordering::Relaxed);
+                        memo_node_hits.fetch_add(pass.inherited, Ordering::Relaxed);
+                        st.cache = Some(pass.cache);
+                        // Storage is corner-independent, so the records
+                        // chain runs through corner roots too.
+                        let (raw_parent, parent_records): (&dyn StateView, usize) = match parent {
+                            Some(ps) => (&ps.raw, ps.value_records),
+                            None => (base_raw, base_total_records()),
+                        };
+                        st.value_records = st.raw.value_records_vs(raw_parent, parent_records).0;
+                    }
+                    prefix_nodes.fetch_add(1, Ordering::Relaxed);
+                    prefix_events.fetch_add(events, Ordering::Relaxed);
+                    prefix_evaluations.fetch_add(evaluations, Ordering::Relaxed);
                     if let Some(t) = trace {
                         let label = node_label(netlist, node.corner, &st.overrides);
                         t.record(&TraceEvent::PrefixSettled {
@@ -1206,11 +1424,11 @@ impl Verifier {
                             evaluations,
                         });
                     }
-                    node_states.push(st);
-                }
-                // Phase B: fan the leaves across the pool. Each leaf
-                // forks its node's settled overlay and settles only its
-                // unshared suffix.
+                    st
+                };
+                // Each leaf forks its node's settled overlay, settles
+                // only its unshared suffix, and inherits the node's
+                // cached checker verdicts outside its dirty cone.
                 let leaf_work = |li: usize| -> (usize, Result<CaseOutcome, VerifyError>) {
                     let leaf = &tree.leaves[li];
                     let i = leaf.case;
@@ -1222,24 +1440,40 @@ impl Verifier {
                     }
                     let case_started = Instant::now();
                     let outcome = match leaf.node {
-                        None => settle_case(
-                            netlist,
-                            base_raw,
-                            base_eff,
-                            pinned,
-                            base_hazards,
-                            base_wired,
-                            &resolved[i],
-                            corners[i],
-                            budget,
-                            wave_jobs,
-                            cache,
-                            trace.map(|t| (t, i as u32)),
-                        ),
+                        None => {
+                            // Node-less leaves exist only in the
+                            // Worst-corner group (every other corner
+                            // gets a root node), which makes the base
+                            // pass their valid parent; the corner guard
+                            // is belt-and-braces, since inheriting
+                            // across corners would be unsound.
+                            let memo = (corners[i] == DelayCorner::Worst).then(|| LeafMemo {
+                                cache: base_check_pass(),
+                                hazards: base_hazards,
+                                raw_parent: base_raw,
+                                eff_parent: base_eff,
+                                value_records: base_total_records(),
+                            });
+                            settle_case(
+                                netlist,
+                                base_raw,
+                                base_eff,
+                                pinned,
+                                base_hazards,
+                                base_wired,
+                                &resolved[i],
+                                corners[i],
+                                budget,
+                                wave_jobs,
+                                cache,
+                                trace.map(|t| (t, i as u32)),
+                                memo.as_ref(),
+                            )
+                        }
                         Some(n) => settle_leaf(
                             netlist,
                             pinned,
-                            &node_states[n],
+                            node_states[n].get().expect("node settled before release"),
                             &resolved[i],
                             leaf.suffix_start,
                             corners[i],
@@ -1252,27 +1486,104 @@ impl Verifier {
                     record_case_end(i, case_started, &outcome);
                     (i, outcome)
                 };
+                // Releases a completed node's children into the ready
+                // set (the caller publishes the state first, since the
+                // `OnceLock` element type pins the state's lifetime).
+                let release_children = |ni: usize, push: &mut dyn FnMut(Unit)| {
+                    let children = &node_children[ni];
+                    memo_releases.fetch_add(children.len() as u64, Ordering::Relaxed);
+                    if let Some(t) = trace {
+                        t.record(&TraceEvent::SubtreeReleased {
+                            node: ni as u32,
+                            children: children.len(),
+                        });
+                    }
+                    for &u in children {
+                        push(u);
+                    }
+                };
                 if case_workers == 1 {
+                    // Single worker: drain the ready queue in release
+                    // order on this thread (roots first, children as
+                    // their parents complete).
                     let mut out: Vec<Option<Result<CaseOutcome, VerifyError>>> =
                         (0..cases.len()).map(|_| None).collect();
-                    for li in 0..tree.leaves.len() {
-                        let (i, outcome) = leaf_work(li);
-                        out[i] = Some(outcome);
+                    let mut queue: VecDeque<Unit> = ready.into();
+                    while let Some(unit) = queue.pop_front() {
+                        match unit {
+                            Unit::Node(ni) => {
+                                let st = node_work(ni);
+                                if node_states[ni].set(st).is_err() {
+                                    unreachable!("each node is settled exactly once");
+                                }
+                                release_children(ni, &mut |u| queue.push_back(u));
+                            }
+                            Unit::Leaf(li) => {
+                                let (i, outcome) = leaf_work(li);
+                                out[i] = Some(outcome);
+                            }
+                        }
                     }
                     out
                 } else {
+                    // Worker pool over one shared ready queue. Workers
+                    // exit when every leaf has completed: each leaf is
+                    // reachable from the ready set through its ancestor
+                    // chain, every node completes (errors included) and
+                    // releases its children, so the count always drains
+                    // — a failing prefix cannot deadlock the pool.
                     let slots: Vec<Mutex<Option<Result<CaseOutcome, VerifyError>>>> =
                         (0..cases.len()).map(|_| Mutex::new(None)).collect();
-                    let next = AtomicUsize::new(0);
+                    let sched: Mutex<(VecDeque<Unit>, usize)> =
+                        Mutex::new((ready.into(), tree.leaves.len()));
+                    let ready_cv = Condvar::new();
                     std::thread::scope(|s| {
                         for _ in 0..case_workers {
                             s.spawn(|| loop {
-                                let li = next.fetch_add(1, Ordering::Relaxed);
-                                if li >= tree.leaves.len() {
-                                    break;
+                                let unit = {
+                                    let mut guard = sched.lock().expect("scheduler lock poisoned");
+                                    loop {
+                                        if guard.1 == 0 {
+                                            break None;
+                                        }
+                                        if let Some(u) = guard.0.pop_front() {
+                                            break Some(u);
+                                        }
+                                        guard =
+                                            ready_cv.wait(guard).expect("scheduler lock poisoned");
+                                    }
+                                };
+                                let Some(unit) = unit else { break };
+                                match unit {
+                                    Unit::Node(ni) => {
+                                        let st = node_work(ni);
+                                        if node_states[ni].set(st).is_err() {
+                                            unreachable!("each node is settled exactly once");
+                                        }
+                                        let mut released = Vec::new();
+                                        release_children(ni, &mut |u| released.push(u));
+                                        if !released.is_empty() {
+                                            let mut guard =
+                                                sched.lock().expect("scheduler lock poisoned");
+                                            guard.0.extend(released);
+                                            drop(guard);
+                                            ready_cv.notify_all();
+                                        }
+                                    }
+                                    Unit::Leaf(li) => {
+                                        let (i, outcome) = leaf_work(li);
+                                        *slots[i].lock().expect("case slot poisoned") =
+                                            Some(outcome);
+                                        let mut guard =
+                                            sched.lock().expect("scheduler lock poisoned");
+                                        guard.1 -= 1;
+                                        let all_done = guard.1 == 0;
+                                        drop(guard);
+                                        if all_done {
+                                            ready_cv.notify_all();
+                                        }
+                                    }
                                 }
-                                let (i, outcome) = leaf_work(li);
-                                *slots[i].lock().expect("case slot poisoned") = Some(outcome);
                             });
                         }
                     });
@@ -1282,6 +1593,18 @@ impl Verifier {
                         .collect()
                 }
             }
+        };
+        let prefix = PrefixStats {
+            nodes: prefix_nodes.into_inner(),
+            events: prefix_events.into_inner(),
+            evaluations: prefix_evaluations.into_inner(),
+        };
+        let mut memo = MemoStats {
+            node_passes: memo_node_passes.into_inner(),
+            node_check_evals: memo_node_evals.into_inner(),
+            node_check_hits: memo_node_hits.into_inner(),
+            releases: memo_releases.into_inner(),
+            ..MemoStats::default()
         };
         self.total_events += prefix.events + events_total.into_inner();
         self.total_evaluations += prefix.evaluations + evaluations_total.into_inner();
@@ -1303,6 +1626,10 @@ impl Verifier {
                     },
                 value_records: outcome.value_records,
             });
+            memo.leaf_check_evals += outcome.check_evals;
+            memo.leaf_check_hits += outcome.check_hits;
+            memo.leaf_storage_evals += outcome.storage_evals;
+            memo.leaf_storage_hits += outcome.storage_hits;
             last = Some(outcome);
         }
 
@@ -1345,6 +1672,7 @@ impl Verifier {
             },
             cases: results,
             prefix,
+            memo,
             checkpoint,
         })
     }
@@ -1438,6 +1766,7 @@ impl Verifier {
                 prims: self.netlist.prims().len(),
                 cases: results.len(),
                 jobs: self.jobs,
+                case_strategy: self.last_strategy,
                 events: self.total_events,
                 evaluations: self.total_evaluations,
                 verify_wall: None,
@@ -1843,12 +2172,30 @@ struct CaseOutcome {
     events: u64,
     evaluations: u64,
     value_records: usize,
+    /// Checker units evaluated / inherited for this case's check pass.
+    check_evals: u64,
+    check_hits: u64,
+    /// Signals measured / inherited for this case's storage accounting.
+    storage_evals: u64,
+    storage_hits: u64,
     /// Dirtied (index, state) pairs in index order.
     raw_overlay: Vec<(usize, SignalState)>,
     eff_overlay: Vec<(usize, SignalState)>,
     hazards: BTreeSet<(PrimId, usize)>,
     wired: BTreeMap<(SignalId, PrimId), SignalState>,
     overrides: BTreeMap<SignalId, Value>,
+}
+
+/// One unit of dependency-scheduled work in a tree run: settling an
+/// internal prefix node, or settling one leaf case. A unit becomes
+/// runnable when its parent node settles (roots and node-less leaves
+/// are runnable immediately); workers release a settled node's children
+/// the moment it completes, so prefix settles overlap leaf suffixes
+/// under one `--jobs` budget.
+#[derive(Debug, Clone, Copy)]
+enum Unit {
+    Node(usize),
+    Leaf(usize),
 }
 
 /// The run's cases organized as a trie on shared assignment prefixes,
@@ -2006,6 +2353,30 @@ struct NodeState<'a> {
     overrides: BTreeMap<SignalId, Value>,
     /// A settle failure here (or above) fails every descendant leaf.
     error: Option<VerifyError>,
+    /// Empty-verdict summary of this node's checker pass, computed once
+    /// after the settle (chained as a delta off the parent's pass);
+    /// `None` when the settle failed. Descendants re-check only units
+    /// inside their dirty cone and inherit the rest from here.
+    cache: Option<CheckCache>,
+    /// Total value-record count of this node's raw state, so leaves pay
+    /// a cone-sized storage delta instead of a full measure.
+    value_records: usize,
+}
+
+/// Parent context for a memoized per-case checker/storage pass: the
+/// cached results of the prefix node (or the settled base) a leaf forked
+/// from.
+struct LeafMemo<'a> {
+    /// The parent pass's empty-verdict summary.
+    cache: &'a CheckCache,
+    /// The parent's hazard set (a hazard unit new to the leaf was never
+    /// checked by the parent and must be evaluated).
+    hazards: &'a BTreeSet<(PrimId, usize)>,
+    /// The parent's raw/effective states, for dirty-cone diffs.
+    raw_parent: &'a dyn StateView,
+    eff_parent: &'a dyn StateView,
+    /// The parent's total value-record count.
+    value_records: usize,
 }
 
 /// Human-readable label of a tree node's cumulative overrides, for the
@@ -2112,6 +2483,12 @@ fn settle_overlay(
 
 /// Runs the check pass over a settled overlay and packages everything
 /// the merge step needs back into a [`CaseOutcome`].
+///
+/// With `memo: Some`, the checker pass runs as a dirty-cone delta
+/// against the parent's cached pass and storage accounting as a records
+/// delta against the parent's total — byte-identical to the full pass
+/// (see `run_checks_cached` and `ConeState::value_records_vs` for the
+/// argument) while evaluating only units the suffix settle touched.
 #[allow(clippy::too_many_arguments)]
 fn case_outcome(
     netlist: &Netlist,
@@ -2123,15 +2500,42 @@ fn case_outcome(
     overrides: BTreeMap<SignalId, Value>,
     events: u64,
     evaluations: u64,
+    memo: Option<&LeafMemo<'_>>,
 ) -> CaseOutcome {
     let hazard_list: Vec<(PrimId, usize)> = hazards.iter().copied().collect();
-    let violations = run_all_checks(netlist, &eff, &hazard_list, corner);
-    let value_records = StorageReport::measure(netlist, &raw).value_records;
+    let signals = netlist.signals().len() as u64;
+    let (pass, value_records, storage_evals) = match memo {
+        Some(m) => {
+            let dirty = eff.dirty_vs(m.eff_parent);
+            let pass = run_checks_cached(
+                netlist,
+                &eff,
+                &hazard_list,
+                corner,
+                Some(&CheckMemo {
+                    cache: m.cache,
+                    hazards: m.hazards,
+                    dirty: &dirty,
+                }),
+            );
+            let (value_records, examined) = raw.value_records_vs(m.raw_parent, m.value_records);
+            (pass, value_records, examined)
+        }
+        None => {
+            let pass = run_checks_cached(netlist, &eff, &hazard_list, corner, None);
+            let value_records = StorageReport::measure(netlist, &raw).value_records;
+            (pass, value_records, signals)
+        }
+    };
     CaseOutcome {
-        violations,
+        violations: pass.violations,
         events,
         evaluations,
         value_records,
+        check_evals: pass.evaluated,
+        check_hits: pass.inherited,
+        storage_evals,
+        storage_hits: signals.saturating_sub(storage_evals),
         raw_overlay: raw.into_overlay(),
         eff_overlay: eff.into_overlay(),
         hazards,
@@ -2166,6 +2570,7 @@ fn settle_case(
     wave_jobs: usize,
     cache: Option<(&EvalCache, &[Option<u32>])>,
     trace: Option<(&dyn TraceSink, u32)>,
+    memo: Option<&LeafMemo<'_>>,
 ) -> Result<CaseOutcome, VerifyError> {
     let overrides: BTreeMap<SignalId, Value> = assigns.iter().copied().collect();
     let mut raw = ConeState::new(base_raw);
@@ -2202,6 +2607,7 @@ fn settle_case(
         overrides,
         events,
         evaluations,
+        memo,
     ))
 }
 
@@ -2254,6 +2660,16 @@ fn settle_leaf(
         &mut events,
         &mut evaluations,
     )?;
+    // Inherit the node's cached checker verdicts and storage total; the
+    // leaf re-checks only units its suffix settle dirtied. A settled
+    // node always carries a cache (built right after its settle).
+    let memo = node.cache.as_ref().map(|cache| LeafMemo {
+        cache,
+        hazards: &node.hazards,
+        raw_parent: &node.raw,
+        eff_parent: &node.eff,
+        value_records: node.value_records,
+    });
     Ok(case_outcome(
         netlist,
         corner,
@@ -2264,6 +2680,7 @@ fn settle_leaf(
         overrides,
         events,
         evaluations,
+        memo.as_ref(),
     ))
 }
 

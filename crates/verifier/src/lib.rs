@@ -90,7 +90,7 @@ mod view;
 
 pub use diagram::render_diagram;
 pub use engine::{
-    check_interfaces, BaseResult, Case, CaseStrategy, CheckpointPolicy, MultiCaseError,
+    check_interfaces, BaseResult, Case, CaseStrategy, CheckpointPolicy, MemoStats, MultiCaseError,
     PrefixStats, RunOptions, RunOutcome, Verifier, VerifierBuilder, VerifyError,
 };
 pub use report::{

@@ -18,6 +18,7 @@
 //!   "engine": {
 //!     "signals": 61, "prims": 50,       // design size
 //!     "cases": 1, "jobs": 4,            // case-analysis shape
+//!     "case_strategy": "auto",          // resolved scheduling path
 //!     "events": 123, "evaluations": 456,// cumulative effort (§3.3.2)
 //!     "wall_ns": 183042,                // null when not measured
 //!     "period_ns": 50
@@ -89,6 +90,7 @@ use std::time::Duration;
 
 use crate::cache::EvalCacheStats;
 use crate::checkers::CheckMargin;
+use crate::engine::CaseStrategy;
 use crate::storage::StorageReport;
 
 /// The JSON document identifier emitted in the `"schema"` field.
@@ -501,6 +503,9 @@ pub struct EngineStats {
     pub cases: usize,
     /// Worker-pool size used for case analysis.
     pub jobs: usize,
+    /// Case-analysis strategy the run resolved to, echoed so benches
+    /// and CI can confirm which scheduling path executed.
+    pub case_strategy: CaseStrategy,
     /// Cumulative signal-change events (§3.3.2).
     pub events: u64,
     /// Cumulative primitive evaluations.
@@ -573,6 +578,7 @@ impl Report {
     pub fn strip_effort(&self) -> Report {
         let mut r = self.clone();
         r.engine.jobs = 0;
+        r.engine.case_strategy = CaseStrategy::default();
         r.engine.events = 0;
         r.engine.evaluations = 0;
         r.engine.verify_wall = None;
@@ -655,6 +661,12 @@ impl Report {
             ("prims".into(), Json::from(self.engine.prims as u64)),
             ("cases".into(), Json::from(self.engine.cases as u64)),
             ("jobs".into(), Json::from(self.engine.jobs as u64)),
+            // Schema v1 additive extension: which case-scheduling path
+            // the run resolved to ("auto" until the engine has run).
+            (
+                "case_strategy".into(),
+                Json::Str(self.engine.case_strategy.as_str().into()),
+            ),
             ("events".into(), Json::from(self.engine.events)),
             ("evaluations".into(), Json::from(self.engine.evaluations)),
             (

@@ -22,7 +22,7 @@
 //! base settle and the [`ConeState`] overlay of a case settle implement
 //! both traits, so one settle loop serves every path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use scald_wave::{Skew, WaveRef};
 
@@ -224,6 +224,40 @@ impl<'a> ConeState<'a> {
             base: self.base,
             local: self.local.clone(),
         }
+    }
+
+    /// Signal indices whose state differs from `parent` — the dirty cone
+    /// of this overlay relative to the state it forked from. Complete
+    /// because a fork's `local` map only ever grows: any signal absent
+    /// from `local` falls through to the same base entry on both sides.
+    /// Entries the settle re-computed to the parent's value drop out via
+    /// the interned-handle compare.
+    pub(crate) fn dirty_vs<S: StateView + ?Sized>(&self, parent: &S) -> HashSet<usize> {
+        self.local
+            .iter()
+            .filter(|&(&idx, st)| parent.state_at(idx) != *st)
+            .map(|(&idx, _)| idx)
+            .collect()
+    }
+
+    /// Total value-record count (Table 3-3) computed as a delta against a
+    /// parent state whose total is already known: `parent_total` plus,
+    /// per locally-dirtied signal, this overlay's records minus the
+    /// parent's. Exact, because signals outside `local` are shared with
+    /// the parent and equal entries contribute zero. Returns
+    /// `(total, examined)` where `examined` counts the signals actually
+    /// measured (the overlay size) — versus a full pass over every
+    /// signal.
+    pub(crate) fn value_records_vs<S: StateView + ?Sized>(
+        &self,
+        parent: &S,
+        parent_total: usize,
+    ) -> (usize, u64) {
+        let mut total = parent_total as i64;
+        for (&idx, st) in &self.local {
+            total += st.value_records() as i64 - parent.state_at(idx).value_records() as i64;
+        }
+        (total as usize, self.local.len() as u64)
     }
 
     /// The dirtied slice: every (index, state) this case re-computed,

@@ -10,9 +10,12 @@
 //! failure inside a shared prefix takes down the whole run cleanly.
 
 use scald_gen::s1::{s1_like_netlist, S1Options};
+use scald_netlist::{Config, Conn, Netlist, NetlistBuilder, PrimKind};
 use scald_rng::Rng;
-use scald_verifier::{Case, CaseSet, CaseStrategy, RunOptions, Verifier, VerifyError};
-use scald_wave::DelayCorner;
+use scald_verifier::{
+    Case, CaseSet, CaseStrategy, MemoStats, RunOptions, Verifier, VerifierBuilder, VerifyError,
+};
+use scald_wave::{DelayCorner, DelayRange};
 
 /// The S-1-like generator always emits 24 control signals named
 /// `CTL {i}` regardless of chip count; sweeps are built over those.
@@ -205,6 +208,151 @@ fn unknown_signal_in_shared_prefix_fails_whole_subtree() {
             "{strategy:?}: resolution must precede all settling"
         );
     }
+}
+
+/// The memoization ledger must balance: every leaf examines the same
+/// unit universe under both strategies (evaluated + inherited under the
+/// tree equals evaluated under the naive path, for checkers and for
+/// storage), the tree actually inherits most of it, and the counters
+/// are deterministic totals — identical for every worker count.
+#[test]
+fn memo_counters_account_for_every_checker_unit() {
+    let sweep = CaseSet::exhaustive((0..5).map(ctl));
+
+    let mut naive = fresh_verifier(16);
+    let naive_out = naive
+        .run(
+            &RunOptions::new()
+                .cases(sweep.clone())
+                .strategy(CaseStrategy::Independent),
+        )
+        .unwrap();
+    assert_eq!(naive_out.memo.node_passes, 0, "no nodes on the naive path");
+    assert_eq!(naive_out.memo.leaf_check_hits, 0);
+    assert_eq!(naive_out.memo.leaf_storage_hits, 0);
+    let check_units = naive_out.memo.leaf_check_evals;
+    let storage_units = naive_out.memo.leaf_storage_evals;
+    assert!(check_units > 0 && storage_units > 0);
+
+    let mut reference: Option<MemoStats> = None;
+    for jobs in [1usize, 2, 8] {
+        let mut v = fresh_verifier(16);
+        let out = v
+            .run(
+                &RunOptions::new()
+                    .cases(sweep.clone())
+                    .jobs(jobs)
+                    .strategy(CaseStrategy::Tree),
+            )
+            .unwrap();
+        let memo = out.memo;
+        assert_eq!(
+            memo.leaf_check_evals + memo.leaf_check_hits,
+            check_units,
+            "jobs {jobs}: every leaf checks the same checker-unit universe"
+        );
+        assert_eq!(
+            memo.leaf_storage_evals + memo.leaf_storage_hits,
+            storage_units,
+            "jobs {jobs}: every leaf accounts the same signal universe"
+        );
+        assert!(
+            memo.leaf_check_hits > memo.leaf_check_evals,
+            "jobs {jobs}: shared prefixes must carry most checker work"
+        );
+        assert!(memo.node_passes > 0 && memo.releases > 0);
+        match &reference {
+            None => reference = Some(memo),
+            Some(first) => assert_eq!(
+                memo, *first,
+                "jobs {jobs}: memo counters are deterministic totals"
+            ),
+        }
+    }
+}
+
+/// A design whose *base* settles in one evaluation per primitive
+/// (every input merely assumed-stable, so nothing propagates), but
+/// where asserting `GATE` cascades an inverter chain one wave per
+/// stage, re-evaluating the wide collector gate on every wave — the
+/// settle costs ~2×`depth` evaluations, roughly double the base. A
+/// budget between the two trips *only* the case-tree's `GATE = 1`
+/// prefix-node settle. `SEL` is an unrelated input giving two such
+/// cases distinct suffixes, which forces `GATE` into a shared node.
+fn triangle_cone_netlist(depth: u64) -> Netlist {
+    let mut b = NetlistBuilder::new(Config::s1_example());
+    let w = |s| Conn::new(s).with_wire_delay(DelayRange::ZERO);
+    // Creation order fixes signal ids: GATE below SEL, so the canonical
+    // assignment sort puts GATE first and the two cases share it.
+    let gate = b.signal("GATE").unwrap();
+    let sel = b.signal("SEL").unwrap();
+    let selbar = b.signal("SELBAR").unwrap();
+    b.not("SELINV", DelayRange::ZERO, w(sel), selbar);
+    let mut taps = vec![w(gate)];
+    let mut prev = gate;
+    for i in 0..depth {
+        let out = b.signal(&format!("STAGE {i}")).unwrap();
+        b.not(
+            format!("BUF {i}"),
+            DelayRange::from_ns(0.002, 0.002),
+            w(prev),
+            out,
+        );
+        taps.push(w(out));
+        prev = out;
+    }
+    let wide = b.signal("WIDE").unwrap();
+    b.gate("COLLECT", PrimKind::And, DelayRange::ZERO, taps, wide);
+    b.finish().unwrap()
+}
+
+/// Error path of the dependency-release scheduler: when a shared prefix
+/// node's settle fails (here: oscillation budget), every leaf under it
+/// fails, the run returns the error, and the worker pool drains — no
+/// deadlock — identically at 1, 2 and 8 workers.
+#[test]
+fn failing_prefix_node_fails_its_subtree_without_deadlocking() {
+    // Base ≈ 42 evaluations (one per prim), the GATE=1 cone ≈ 80: a
+    // budget of 60 settles the base and trips the shared prefix node.
+    let netlist = triangle_cone_netlist(40);
+    let sweep = CaseSet::list([
+        Case::new().assign("GATE", true).assign("SEL", false),
+        Case::new().assign("GATE", true).assign("SEL", true),
+    ]);
+
+    let mut reference: Option<VerifyError> = None;
+    for jobs in [1usize, 2, 8] {
+        let mut v = VerifierBuilder::new(netlist.clone())
+            .oscillation_budget(60)
+            .build();
+        let err = v
+            .run(
+                &RunOptions::new()
+                    .cases(sweep.clone())
+                    .jobs(jobs)
+                    .strategy(CaseStrategy::Tree),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, VerifyError::Oscillation { .. }),
+            "jobs {jobs}: expected the prefix settle to trip the budget, got {err:?}"
+        );
+        match &reference {
+            None => reference = Some(err),
+            Some(first) => assert_eq!(err, *first, "jobs {jobs}: error differs"),
+        }
+    }
+
+    // The naive path fails the same sweep too (each case independently).
+    let mut naive = VerifierBuilder::new(netlist).oscillation_budget(60).build();
+    let err = naive
+        .run(
+            &RunOptions::new()
+                .cases(sweep)
+                .strategy(CaseStrategy::Independent),
+        )
+        .unwrap_err();
+    assert!(matches!(err, VerifyError::Oscillation { .. }));
 }
 
 /// `RunOutcome::try_sole` is the non-panicking accessor: `Ok` for a
